@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses: suite
+ * iteration in the paper's order, per-suite geometric means, and a
+ * small cache of baseline runs.
+ */
+
+#ifndef TURNPIKE_BENCH_COMMON_HH_
+#define TURNPIKE_BENCH_COMMON_HH_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace turnpike {
+namespace bench {
+
+/** Paper suite order. */
+inline const std::vector<std::string> &
+suiteOrder()
+{
+    static const std::vector<std::string> order = {"CPU2006",
+                                                   "CPU2017",
+                                                   "SPLASH3"};
+    return order;
+}
+
+/** Accumulates per-suite and overall geometric means. */
+class GeoMeans
+{
+  public:
+    void add(const std::string &suite, double v)
+    {
+        per_suite_[suite].push_back(v);
+        all_.push_back(v);
+    }
+
+    double suite(const std::string &s) const
+    {
+        auto it = per_suite_.find(s);
+        return it == per_suite_.end() ? 1.0 : geomean(it->second);
+    }
+
+    double all() const { return geomean(all_); }
+
+  private:
+    std::map<std::string, std::vector<double>> per_suite_;
+    std::vector<double> all_;
+};
+
+/** Cache of baseline runs keyed by workload. */
+class BaselineCache
+{
+  public:
+    explicit BaselineCache(uint64_t insts) : insts_(insts) {}
+
+    const RunResult &get(const WorkloadSpec &spec)
+    {
+        std::string key = spec.suite + "/" + spec.name;
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            it = cache_.emplace(key,
+                                runWorkload(spec,
+                                            ResilienceConfig::baseline(),
+                                            insts_)).first;
+        }
+        return it->second;
+    }
+
+    uint64_t insts() const { return insts_; }
+
+  private:
+    uint64_t insts_;
+    std::map<std::string, RunResult> cache_;
+};
+
+/** Standard harness banner. */
+inline void
+banner(const char *figure, const char *description)
+{
+    std::printf("== %s: %s ==\n", figure, description);
+    std::printf("   (synthetic benchmark proxies; icount budget %llu"
+                " per run, override with TURNPIKE_BENCH_ICOUNT)\n\n",
+                static_cast<unsigned long long>(benchInstBudget()));
+}
+
+} // namespace bench
+} // namespace turnpike
+
+#endif // TURNPIKE_BENCH_COMMON_HH_

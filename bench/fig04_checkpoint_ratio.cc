@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 4: ratio of inserted (dynamic) checkpoints to dynamic
+ * instructions when the store buffer shrinks from 40 entries
+ * (out-of-order class) to 4 (in-order class). The paper reports
+ * ~4.1% vs ~14.98% on SPEC CPU2006/2017.
+ */
+
+#include "bench/common.hh"
+
+using namespace turnpike;
+using namespace turnpike::bench;
+
+int
+main()
+{
+    banner("Figure 4", "checkpoint ratio vs store buffer size "
+                       "(Turnstile eager checkpointing)");
+    uint64_t insts = benchInstBudget();
+
+    Table table({"suite", "workload", "ckpt% (SB=40)",
+                 "ckpt% (SB=4)"});
+    GeoMeans g40, g4;
+    for (const WorkloadSpec &spec : workloadSuite()) {
+        if (spec.suite == "SPLASH3")
+            continue; // the paper's Fig. 4 covers SPEC only
+        ResilienceConfig big = ResilienceConfig::turnstile(10);
+        big.sbSize = 40;
+        ResilienceConfig small = ResilienceConfig::turnstile(10);
+        small.sbSize = 4;
+        RunResult rb = interpretWorkload(spec, big, insts);
+        RunResult rs = interpretWorkload(spec, small, insts);
+        double ratio40 = static_cast<double>(rb.dyn.storesCkpt) /
+            static_cast<double>(rb.dyn.insts);
+        double ratio4 = static_cast<double>(rs.dyn.storesCkpt) /
+            static_cast<double>(rs.dyn.insts);
+        table.addRow({spec.suite, spec.name, pct(ratio40),
+                      pct(ratio4)});
+        g40.add(spec.suite, ratio40);
+        g4.add(spec.suite, ratio4);
+    }
+    for (const std::string &s : suiteOrder()) {
+        if (s == "SPLASH3")
+            continue;
+        table.addRow({s, "geomean", pct(g40.suite(s)),
+                      pct(g4.suite(s))});
+    }
+    table.addRow({"all", "geomean", pct(g40.all()), pct(g4.all())});
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("paper: 4.1%% (SB=40) vs 14.98%% (SB=4) on average\n");
+    return 0;
+}

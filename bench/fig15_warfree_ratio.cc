@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 15: fraction of all stores (checkpoints included) detected as
+ * WAR-free and released without verification, for the ideal and the
+ * compact CLQ designs. The paper reports the ideal design detecting
+ * ~10.6 percentage points more.
+ */
+
+#include "bench/common.hh"
+
+using namespace turnpike;
+using namespace turnpike::bench;
+
+namespace {
+
+double
+warFreeRatio(const RunResult &r)
+{
+    uint64_t total = r.pipe.storesTotal();
+    return total == 0
+        ? 0.0
+        : static_cast<double>(r.pipe.storesWarFree) /
+            static_cast<double>(total);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 15", "WAR-free stores detected, ideal vs compact "
+                        "CLQ");
+    ResilienceConfig compact = ResilienceConfig::fastRelease(10);
+    ResilienceConfig ideal = compact;
+    ideal.label = "ideal-clq";
+    ideal.clqDesign = ClqDesign::Ideal;
+    ideal.clqEntries = 1u << 20;
+    uint64_t insts = benchInstBudget();
+
+    Table table({"suite", "workload", "ideal CLQ", "compact CLQ"});
+    std::vector<double> vi, vc;
+    for (const WorkloadSpec &spec : workloadSuite()) {
+        RunResult ri = runWorkload(spec, ideal, insts);
+        RunResult rc = runWorkload(spec, compact, insts);
+        table.addRow({spec.suite, spec.name, pct(warFreeRatio(ri)),
+                      pct(warFreeRatio(rc))});
+        vi.push_back(warFreeRatio(ri));
+        vc.push_back(warFreeRatio(rc));
+    }
+    table.addRow({"all", "mean", pct(mean(vi)), pct(mean(vc))});
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("paper: the ideal CLQ detects ~10.6pp more WAR-free "
+                "stores than the compact design\n");
+    return 0;
+}

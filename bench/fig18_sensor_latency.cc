@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fig. 18: worst-case detection latency versus the number of
+ * deployed acoustic sensors, for 2.0/2.5/3.0 GHz cores on a 1 mm^2
+ * die. Reproduces the analytical sensor model's curves, including
+ * the paper's anchor points (300 sensors at 2.5 GHz -> 10 cycles,
+ * 30 sensors -> ~30 cycles).
+ */
+
+#include "bench/common.hh"
+#include "sim/sensors.hh"
+
+using namespace turnpike;
+using namespace turnpike::bench;
+
+int
+main()
+{
+    banner("Figure 18", "detection latency vs number of sensors");
+
+    Table table({"sensors", "2.0GHz (cycles)", "2.5GHz (cycles)",
+                 "3.0GHz (cycles)", "area overhead"});
+    for (uint32_t n : {10u, 20u, 30u, 50u, 100u, 200u, 300u, 500u}) {
+        table.addRow({
+            cell(static_cast<uint64_t>(n)),
+            cell(static_cast<uint64_t>(
+                worstCaseDetectionLatency({n, 2.0, 1.0}))),
+            cell(static_cast<uint64_t>(
+                worstCaseDetectionLatency({n, 2.5, 1.0}))),
+            cell(static_cast<uint64_t>(
+                worstCaseDetectionLatency({n, 3.0, 1.0}))),
+            pct(sensorAreaOverhead({n, 2.5, 1.0}), 2),
+        });
+    }
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("paper anchors: 300 sensors @2.5GHz -> 10 cycles; "
+                "30 sensors -> ~30 cycles; <=1%% die area\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 20: Turnstile (the state of the art adapted to in-order
+ * cores) normalized execution time across WCDLs of 10-50 cycles.
+ * The paper reports 29-84% average overhead, with individual
+ * benchmarks up to 5.8x.
+ */
+
+#include "bench/common.hh"
+
+using namespace turnpike;
+using namespace turnpike::bench;
+
+int
+main()
+{
+    banner("Figure 20", "Turnstile normalized exec time, WCDL 10-50");
+    const std::vector<uint32_t> wcdls = {10, 20, 30, 40, 50};
+    BaselineCache base(benchInstBudget());
+
+    Table table({"suite", "workload", "DL10", "DL20", "DL30", "DL40",
+                 "DL50"});
+    std::map<uint32_t, GeoMeans> geo;
+    for (const WorkloadSpec &spec : workloadSuite()) {
+        std::vector<std::string> row{spec.suite, spec.name};
+        double b = static_cast<double>(base.get(spec).pipe.cycles);
+        for (uint32_t w : wcdls) {
+            RunResult r = runWorkload(
+                spec, ResilienceConfig::turnstile(w), base.insts());
+            double norm = static_cast<double>(r.pipe.cycles) / b;
+            row.push_back(cell(norm));
+            geo[w].add(spec.suite, norm);
+        }
+        table.addRow(row);
+    }
+    for (const std::string &s : suiteOrder()) {
+        std::vector<std::string> row{s, "geomean"};
+        for (uint32_t w : wcdls)
+            row.push_back(cell(geo[w].suite(s)));
+        table.addRow(row);
+    }
+    std::vector<std::string> row{"all", "geomean"};
+    for (uint32_t w : wcdls)
+        row.push_back(cell(geo[w].all()));
+    table.addRow(row);
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("paper: 29%% (DL10) to 84%% (DL50) average "
+                "overhead\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 21: the optimization ablation at the default 10-cycle WCDL —
+ * Turnstile, +WAR-free checking, +hardware coloring (fast release),
+ * +pruning, +LICM, +instruction scheduling, +store-aware RA, and
+ * full Turnpike (adds LIVM). The paper's averages walk from 29%
+ * down to 0%.
+ */
+
+#include "bench/common.hh"
+
+using namespace turnpike;
+using namespace turnpike::bench;
+
+int
+main()
+{
+    banner("Figure 21", "optimization ablation at WCDL=10");
+    const std::vector<std::pair<std::string, ResilienceConfig>> steps = {
+        {"TS", ResilienceConfig::turnstile(10)},
+        {"+WAR", ResilienceConfig::warFreeOnly(10)},
+        {"+Color", ResilienceConfig::fastRelease(10)},
+        {"+Prune", ResilienceConfig::fastReleasePruning(10)},
+        {"+LICM", ResilienceConfig::fastReleasePruningLicm(10)},
+        {"+Sched", ResilienceConfig::fastReleasePruningLicmSched(10)},
+        {"+RA", ResilienceConfig::fastReleasePruningLicmSchedRa(10)},
+        {"TP", ResilienceConfig::turnpike(10)},
+    };
+    BaselineCache base(benchInstBudget());
+
+    std::vector<std::string> headers{"suite", "workload"};
+    for (const auto &[label, cfg] : steps)
+        headers.push_back(label);
+    Table table(headers);
+    std::map<std::string, GeoMeans> geo;
+
+    for (const WorkloadSpec &spec : workloadSuite()) {
+        std::vector<std::string> row{spec.suite, spec.name};
+        double b = static_cast<double>(base.get(spec).pipe.cycles);
+        for (const auto &[label, cfg] : steps) {
+            RunResult r = runWorkload(spec, cfg, base.insts());
+            double norm = static_cast<double>(r.pipe.cycles) / b;
+            row.push_back(cell(norm));
+            geo[label].add(spec.suite, norm);
+        }
+        table.addRow(row);
+    }
+    for (const std::string &s : suiteOrder()) {
+        std::vector<std::string> row{s, "geomean"};
+        for (const auto &[label, cfg] : steps)
+            row.push_back(cell(geo[label].suite(s)));
+        table.addRow(row);
+    }
+    std::vector<std::string> row{"all", "geomean"};
+    for (const auto &[label, cfg] : steps)
+        row.push_back(cell(geo[label].all()));
+    table.addRow(row);
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("paper averages: 1.29 -> 1.25 -> 1.22 -> 1.12 -> "
+                "1.10 -> 1.07 -> 1.02 -> 1.00\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 26: average dynamic region size (instructions per region)
+ * and binary code-size increase of the full Turnpike build versus
+ * the baseline build. The paper reports ~11.2 instructions per
+ * region and a ~0.4% average size increase (up to ~8% for
+ * small-region code like gcc).
+ */
+
+#include "bench/common.hh"
+
+using namespace turnpike;
+using namespace turnpike::bench;
+
+int
+main()
+{
+    banner("Figure 26", "region size and code-size increase");
+    uint64_t insts = benchInstBudget();
+
+    Table table({"suite", "workload", "insts/region",
+                 "ckpt code increase", "with recovery blocks"});
+    std::vector<double> sizes, increases, full_increases;
+    for (const WorkloadSpec &spec : workloadSuite()) {
+        RunResult base = interpretWorkload(
+            spec, ResilienceConfig::baseline(), insts);
+        RunResult tp = interpretWorkload(
+            spec, ResilienceConfig::turnpike(10), insts);
+        double instr_bytes =
+            static_cast<double>(tp.codeBytes - tp.recoveryBytes);
+        double inc =
+            instr_bytes / static_cast<double>(base.codeBytes) - 1.0;
+        double full = static_cast<double>(tp.codeBytes) /
+                static_cast<double>(base.codeBytes) - 1.0;
+        table.addRow({spec.suite, spec.name,
+                      cell(tp.regionSizeAvg, 1), pct(inc),
+                      pct(full)});
+        sizes.push_back(tp.regionSizeAvg);
+        increases.push_back(inc);
+        full_increases.push_back(full);
+    }
+    table.addRow({"all", "mean", cell(mean(sizes), 1),
+                  pct(mean(increases)), pct(mean(full_increases))});
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("paper: ~11.2 insts/region on average; ~0.4%% code "
+                "size increase (8.15%% worst case).\n"
+                "note: recovery blocks are a fixed per-region cost; "
+                "on these small synthetic kernels\n(hundreds of "
+                "instructions vs SPEC's megabytes) they dominate the "
+                "relative increase.\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the simulator's hot
+ * structures (CLQ lookups, store-buffer operations, color-map
+ * assignment) and end-to-end throughput (compilation, functional
+ * interpretation, cycle-level simulation). These track the
+ * simulator's own performance, not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/compiler.hh"
+#include "core/runner.hh"
+#include "machine/minterp.hh"
+#include "sim/clq.hh"
+#include "sim/color_maps.hh"
+#include "sim/pipeline.hh"
+#include "sim/store_buffer.hh"
+#include "util/rng.hh"
+
+namespace turnpike {
+namespace {
+
+void
+BM_ClqInsertAndCheck(benchmark::State &state)
+{
+    ClqDesign design = state.range(0) ? ClqDesign::Ideal
+                                      : ClqDesign::Compact;
+    Rng rng(1);
+    for (auto _ : state) {
+        Clq clq(design, 4);
+        for (uint64_t i = 0; i < 64; i++)
+            clq.insertLoad(i / 16, 0x1000 + rng.below(4096) * 8);
+        bool ok = false;
+        for (int i = 0; i < 64; i++)
+            ok ^= clq.isWarFree(0x1000 + rng.below(8192) * 8);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_ClqInsertAndCheck)->Arg(0)->Arg(1);
+
+void
+BM_StoreBufferOps(benchmark::State &state)
+{
+    for (auto _ : state) {
+        StoreBuffer sb(4);
+        for (int round = 0; round < 32; round++) {
+            for (uint64_t i = 0; i < 4; i++)
+                sb.push({0x100 + i * 8, static_cast<int64_t>(i),
+                         static_cast<uint64_t>(round),
+                         StoreKind::App, false});
+            benchmark::DoNotOptimize(sb.youngestFor(0x108));
+            sb.release(static_cast<uint64_t>(round));
+            while (sb.headReleasable())
+                benchmark::DoNotOptimize(sb.pop());
+        }
+    }
+}
+BENCHMARK(BM_StoreBufferOps);
+
+void
+BM_ColorMaps(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ColorMaps cm;
+        for (int round = 0; round < 64; round++) {
+            Reg r = static_cast<Reg>(round % 8);
+            int c = cm.tryAssign(r);
+            if (c >= 0)
+                cm.applyVerified({{r, c}});
+        }
+        benchmark::DoNotOptimize(cm.verifiedSlot(3));
+    }
+}
+BENCHMARK(BM_ColorMaps);
+
+void
+BM_CompileTurnpike(benchmark::State &state)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "hmmer");
+    for (auto _ : state) {
+        auto mod = buildWorkload(spec, 20000);
+        CompiledProgram prog =
+            compileWorkload(*mod, ResilienceConfig::turnpike(10));
+        benchmark::DoNotOptimize(prog.mf->size());
+    }
+}
+BENCHMARK(BM_CompileTurnpike)->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalInterp(benchmark::State &state)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "hmmer");
+    auto mod = buildWorkload(spec, 50000);
+    CompiledProgram prog =
+        compileWorkload(*mod, ResilienceConfig::turnpike(10));
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        InterpResult r = interpretMachine(*mod, *prog.mf);
+        insts += r.stats.insts;
+        benchmark::DoNotOptimize(r.stats.insts);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_FunctionalInterp)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineSimulation(benchmark::State &state)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "hmmer");
+    auto mod = buildWorkload(spec, 50000);
+    ResilienceConfig cfg = ResilienceConfig::turnpike(10);
+    CompiledProgram prog = compileWorkload(*mod, cfg);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        InOrderPipeline pipe(*mod, *prog.mf, cfg.toPipelineConfig());
+        PipelineResult r = pipe.run();
+        cycles += r.stats.cycles;
+        benchmark::DoNotOptimize(r.stats.cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(cycles));
+}
+BENCHMARK(BM_PipelineSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace turnpike
+
+BENCHMARK_MAIN();

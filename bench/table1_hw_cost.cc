@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 1: CACTI-style 22 nm area and per-access energy of the
+ * structures involved — the 4-entry CAM store buffer baseline,
+ * Turnpike's color maps and compact CLQ, and the (unrealistic)
+ * 40-entry store buffer alternative, with the paper's two ratio
+ * rows.
+ */
+
+#include "bench/common.hh"
+#include "core/hwcost.hh"
+
+using namespace turnpike;
+using namespace turnpike::bench;
+
+int
+main()
+{
+    banner("Table 1", "hardware cost comparison (CACTI-fitted "
+                      "model, 22nm)");
+    HwCost sb4 = camStoreBufferCost(4);
+    HwCost maps = colorMapsCost(32, 4);
+    HwCost clq = clqCost(2);
+    HwCost tp = turnpikeCost(32, 4, 2);
+    HwCost sb40 = camStoreBufferCost(40);
+
+    Table table({"structure", "area (um^2)", "dynamic access (pJ)"});
+    table.addRow({"4-entry SB (CAM)", cell(sb4.areaUm2, 2),
+                  cell(sb4.accessEnergyPj, 5)});
+    table.addRow({"Color maps in Turnpike (RAM)", cell(maps.areaUm2, 3),
+                  cell(maps.accessEnergyPj, 5)});
+    table.addRow({"2-entry CLQ in Turnpike (RAM)", cell(clq.areaUm2, 3),
+                  cell(clq.accessEnergyPj, 5)});
+    table.addRow({"Turnpike in total (maps + CLQ)", cell(tp.areaUm2, 3),
+                  cell(tp.accessEnergyPj, 5)});
+    table.addRow({"40-entry SB (CAM)", cell(sb40.areaUm2, 2),
+                  cell(sb40.accessEnergyPj, 5)});
+    table.addRow({"Turnpike total / 4-entry SB",
+                  pct(tp.areaUm2 / sb4.areaUm2),
+                  pct(tp.accessEnergyPj / sb4.accessEnergyPj)});
+    table.addRow({"40-entry SB / 4-entry SB",
+                  pct(sb40.areaUm2 / sb4.areaUm2, 0),
+                  pct(sb40.accessEnergyPj / sb4.accessEnergyPj, 0)});
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("paper: Turnpike adds 9.8%% area / 9.7%% energy of "
+                "the 4-entry SB; a 40-entry SB costs 504%%/497%%\n");
+
+    // State bytes, as in the paper's prose (40 B total).
+    std::printf("\nstate: color maps %d B + CLQ %d B = %d B total\n",
+                3 * 2 * 32 / 8, 2 * 8, 3 * 2 * 32 / 8 + 16);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fault-injection demo: strike the core with single-event upsets
+ * while it runs, watch the acoustic sensors detect them within the
+ * WCDL, and verify that region-level recovery restores the exact
+ * golden result — then show what goes wrong when the hardware
+ * coloring safeguard (paper Fig. 16) is turned off.
+ */
+
+#include <cstdio>
+
+#include "core/runner.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+using namespace turnpike;
+
+namespace {
+
+void
+sweep(const char *title, const ResilienceConfig &cfg,
+      const RunResult &clean, const WorkloadSpec &spec,
+      uint64_t insts, int trials)
+{
+    int recovered = 0, diverged = 0;
+    uint64_t recoveries = 0;
+    for (int t = 0; t < trials; t++) {
+        Rng rng(1000 + static_cast<uint64_t>(t));
+        auto plan = makeFaultPlan(rng, clean.pipe.cycles, cfg.wcdl, 3);
+        RunResult r = runWorkload(spec, cfg, insts, plan);
+        recoveries += r.pipe.recoveries;
+        if (r.dataHash == clean.goldenHash)
+            recovered++;
+        else
+            diverged++;
+    }
+    std::printf("  %-28s %3d/%d runs produced the golden image "
+                "(%llu recoveries total)\n",
+                title, recovered, trials,
+                static_cast<unsigned long long>(recoveries));
+    if (diverged > 0)
+        std::printf("  %-28s %d runs DIVERGED — silent data "
+                    "corruption!\n", "", diverged);
+}
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadSpec &spec = findWorkload("SPLASH3", "radix");
+    constexpr uint64_t kInsts = 50000;
+    constexpr uint32_t kWcdl = 20;
+    constexpr int kTrials = 15;
+
+    std::printf("Fault-injection demo on %s/%s (WCDL=%u, %d trials "
+                "of 3 upsets each)\n\n",
+                spec.suite.c_str(), spec.name.c_str(), kWcdl,
+                kTrials);
+
+    ResilienceConfig turnpike_cfg = ResilienceConfig::turnpike(kWcdl);
+    RunResult clean = runWorkload(spec, turnpike_cfg, kInsts);
+    std::printf("fault-free run: %llu cycles, golden hash "
+                "%016llx\n\n",
+                static_cast<unsigned long long>(clean.pipe.cycles),
+                static_cast<unsigned long long>(clean.goldenHash));
+
+    std::printf("1) Full Turnpike (WAR-free release + hardware "
+                "coloring):\n");
+    sweep("turnpike", turnpike_cfg, clean, spec, kInsts, kTrials);
+
+    std::printf("\n2) Turnstile (everything quarantined until "
+                "verified):\n");
+    ResilienceConfig ts = ResilienceConfig::turnstile(kWcdl);
+    RunResult ts_clean = runWorkload(spec, ts, kInsts);
+    sweep("turnstile", ts, ts_clean, spec, kInsts, kTrials);
+
+    std::printf("\n3) UNSAFE: checkpoints released without coloring "
+                "(the Fig. 16 hazard):\n");
+    ResilienceConfig naive = turnpike_cfg;
+    naive.label = "naive-ckpt-release";
+    naive.hwColoring = false;
+    naive.naiveCkptRelease = true;
+    sweep("naive release", naive, clean, spec, kInsts, kTrials);
+
+    std::printf("\nAn unverified (possibly corrupt) checkpoint that "
+                "overwrites the only verified\ncopy of a register "
+                "breaks recovery; Turnpike's per-register color "
+                "pool keeps the\nverified copy intact at ~40 bytes "
+                "of state.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: build a workload, compile it under Baseline, Turnstile
+ * and Turnpike, simulate all three, and print the headline numbers —
+ * the 30-second tour of the library's public API.
+ */
+
+#include <cstdio>
+
+#include "core/runner.hh"
+#include "util/table.hh"
+
+using namespace turnpike;
+
+int
+main()
+{
+    std::printf("Turnpike quickstart: soft error resilience for "
+                "in-order cores\n\n");
+
+    // Pick one of the 36 benchmark proxies and a WCDL (worst-case
+    // acoustic detection latency, in cycles).
+    const WorkloadSpec &spec = findWorkload("CPU2006", "hmmer");
+    constexpr uint32_t kWcdl = 10;
+    constexpr uint64_t kInsts = 100000;
+
+    // The three schemes of interest. ResilienceConfig also exposes
+    // every intermediate Fig. 21 ablation step.
+    const ResilienceConfig configs[] = {
+        ResilienceConfig::baseline(),
+        ResilienceConfig::turnstile(kWcdl),
+        ResilienceConfig::turnpike(kWcdl),
+    };
+
+    Table table({"scheme", "cycles", "insts", "IPC", "SB-stall",
+                 "ckpts", "fast-released", "normalized"});
+    double base_cycles = 0;
+    for (const ResilienceConfig &cfg : configs) {
+        // runWorkload = build IR -> compile (passes per cfg) ->
+        // lower -> simulate on the cycle-level in-order pipeline.
+        RunResult r = runWorkload(spec, cfg, kInsts);
+        if (cfg.label == "baseline")
+            base_cycles = static_cast<double>(r.pipe.cycles);
+        double ipc = static_cast<double>(r.pipe.insts) /
+            static_cast<double>(r.pipe.cycles);
+        table.addRow({
+            cfg.label,
+            cell(r.pipe.cycles),
+            cell(r.pipe.insts),
+            cell(ipc, 2),
+            cell(r.pipe.sbFullStallCycles),
+            cell(r.pipe.storesCkpt),
+            cell(r.pipe.storesWarFree + r.pipe.ckptColored),
+            cell(static_cast<double>(r.pipe.cycles) / base_cycles),
+        });
+    }
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("Turnstile gates every store for %u-cycle "
+                "verification and stalls the tiny 4-entry store\n"
+                "buffer; Turnpike prunes/sinks/merges checkpoints "
+                "and fast-releases WAR-free and\ncolored stores, "
+                "recovering the baseline's performance.\n",
+                kWcdl);
+    return 0;
+}

@@ -1,0 +1,110 @@
+#include "core/compiler.hh"
+
+#include "ir/verifier.hh"
+#include "passes/checkpoint_pruning.hh"
+#include "passes/checkpoint_sinking.hh"
+#include "passes/eager_checkpointing.hh"
+#include "passes/induction_variable_merging.hh"
+#include "passes/instruction_scheduling.hh"
+#include "passes/lowering.hh"
+#include "passes/pass_manager.hh"
+#include "passes/region_formation.hh"
+#include "passes/register_allocation.hh"
+#include "passes/strength_reduction.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+CompiledProgram
+compileWorkload(Module &mod, const ResilienceConfig &cfg)
+{
+    TP_ASSERT(!mod.functions().empty(), "module %s has no function",
+              mod.name().c_str());
+    Function &fn = *mod.functions()[0];
+    CompiledProgram out;
+    StatSet &st = out.stats;
+    verifyOrDie(fn);
+
+    // Baseline codegen: strength reduction models the -O3 pointer
+    // induction variables of a traditional compiler (Fig. 8b).
+    st.set("sr.pointer_ivs", runStrengthReduction(fn));
+    verifyOrDie(fn);
+
+    if (cfg.livm) {
+        st.set("livm.merged", runInductionVariableMerging(fn));
+        runDeadCodeElimination(fn);
+        verifyOrDie(fn);
+    }
+
+    RaOptions ra;
+    ra.writeCostFactor = cfg.storeAwareRa ? 3.0 : 1.0;
+    RaStats ras = runRegisterAllocation(fn, ra);
+    st.set("ra.spilled_vregs", ras.spilledVregs);
+    st.set("ra.spill_stores", ras.spillStores);
+    st.set("ra.spill_loads", ras.spillLoads);
+    verifyOrDie(fn);
+
+    // Generic post-RA scheduling: every configuration gets it (it is
+    // part of -O3); the checkpoint-aware rerun below is Turnpike's
+    // addition.
+    runInstructionScheduling(fn);
+    verifyOrDie(fn);
+
+    PruneResult prune;
+    if (!cfg.resilience) {
+        // A single region covering the whole program; no
+        // checkpoints, no gating.
+        fn.block(fn.entry()).insertAt(0, makeBoundary(0));
+        fn.setNumRegions(1);
+    } else {
+        RegionFormationOptions rf;
+        rf.storeBudget = cfg.regionStoreBudget > 0
+            ? cfg.regionStoreBudget
+            : std::max(1u, cfg.sbSize / 2);
+        rf.keepStoreFreeLoopsWhole = cfg.licm;
+        runRegionFormation(fn, rf);
+        verifyOrDie(fn);
+
+        // Checkpoint insertion (+ sinking) with budget repair: a
+        // region whose worst-case path exceeds the SB capacity would
+        // deadlock the gated store buffer, so split and redo. The
+        // budget deliberately counts the *unpruned* checkpoint load:
+        // the region structure then does not depend on which
+        // optimizations are enabled (as in the paper, which
+        // partitions once), keeping the Fig. 21 ablation apples to
+        // apples. Pruning runs last, after the boundaries are final,
+        // so its recovery recipes stay valid.
+        for (int attempt = 0; ; attempt++) {
+            TP_ASSERT(attempt < 1000, "region budget repair diverged "
+                      "for %s", mod.name().c_str());
+            removeAllCheckpoints(fn);
+            CkptStats cs = runEagerCheckpointing(fn);
+            st.set("ckpt.inserted", cs.inserted);
+            if (cfg.licm) {
+                SinkStats ss = runCheckpointSinking(fn);
+                st.set("ckpt.loop_sunk", ss.loopSunk);
+                st.set("ckpt.block_sunk", ss.blockSunk);
+                st.set("ckpt.deduped", ss.deduped);
+            }
+            if (!repairRegionBudget(fn, cfg.sbSize))
+                break;
+        }
+        verifyOrDie(fn);
+
+        if (cfg.pruning) {
+            prune = runCheckpointPruning(fn);
+            st.set("ckpt.pruned", prune.pruned);
+            verifyOrDie(fn);
+        }
+        if (cfg.scheduling) {
+            st.set("sched.blocks_moved", runInstructionScheduling(fn));
+            verifyOrDie(fn);
+        }
+    }
+
+    st.set("regions", fn.numRegions());
+    out.mf = std::make_unique<MachineFunction>(lowerFunction(fn, prune));
+    return out;
+}
+
+} // namespace turnpike

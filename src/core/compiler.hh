@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The Turnpike compiler driver: sequences the passes selected by a
+ * ResilienceConfig over a workload module and lowers the result to
+ * machine code, collecting per-pass statistics along the way.
+ */
+
+#ifndef TURNPIKE_CORE_COMPILER_HH_
+#define TURNPIKE_CORE_COMPILER_HH_
+
+#include <memory>
+
+#include "core/config.hh"
+#include "ir/module.hh"
+#include "machine/mfunction.hh"
+#include "util/stats.hh"
+
+namespace turnpike {
+
+/** Output of one compilation. */
+struct CompiledProgram
+{
+    std::unique_ptr<MachineFunction> mf;
+    /**
+     * Pass statistics: "ckpt.inserted", "ckpt.pruned",
+     * "ckpt.loop_sunk", "ckpt.deduped", "livm.merged",
+     * "ra.spill_stores", "ra.spilled_vregs", "sched.blocks_moved",
+     * "regions".
+     */
+    StatSet stats;
+};
+
+/**
+ * Compile function 0 of @p mod in place according to @p cfg.
+ * Call with a freshly built module (passes mutate the IR).
+ */
+CompiledProgram compileWorkload(Module &mod,
+                                const ResilienceConfig &cfg);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_CORE_COMPILER_HH_

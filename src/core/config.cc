@@ -1,0 +1,101 @@
+#include "core/config.hh"
+
+namespace turnpike {
+
+ResilienceConfig
+ResilienceConfig::baseline()
+{
+    ResilienceConfig c;
+    c.label = "baseline";
+    c.resilience = false;
+    return c;
+}
+
+ResilienceConfig
+ResilienceConfig::turnstile(uint32_t wcdl)
+{
+    ResilienceConfig c;
+    c.label = "turnstile";
+    c.wcdl = wcdl;
+    return c;
+}
+
+ResilienceConfig
+ResilienceConfig::warFreeOnly(uint32_t wcdl)
+{
+    ResilienceConfig c = turnstile(wcdl);
+    c.label = "war-free";
+    c.warFreeRelease = true;
+    return c;
+}
+
+ResilienceConfig
+ResilienceConfig::fastRelease(uint32_t wcdl)
+{
+    ResilienceConfig c = warFreeOnly(wcdl);
+    c.label = "fast-release";
+    c.hwColoring = true;
+    return c;
+}
+
+ResilienceConfig
+ResilienceConfig::fastReleasePruning(uint32_t wcdl)
+{
+    ResilienceConfig c = fastRelease(wcdl);
+    c.label = "fast-release+prune";
+    c.pruning = true;
+    return c;
+}
+
+ResilienceConfig
+ResilienceConfig::fastReleasePruningLicm(uint32_t wcdl)
+{
+    ResilienceConfig c = fastReleasePruning(wcdl);
+    c.label = "fast-release+prune+licm";
+    c.licm = true;
+    return c;
+}
+
+ResilienceConfig
+ResilienceConfig::fastReleasePruningLicmSched(uint32_t wcdl)
+{
+    ResilienceConfig c = fastReleasePruningLicm(wcdl);
+    c.label = "fast-release+prune+licm+sched";
+    c.scheduling = true;
+    return c;
+}
+
+ResilienceConfig
+ResilienceConfig::fastReleasePruningLicmSchedRa(uint32_t wcdl)
+{
+    ResilienceConfig c = fastReleasePruningLicmSched(wcdl);
+    c.label = "fast-release+prune+licm+sched+ra";
+    c.storeAwareRa = true;
+    return c;
+}
+
+ResilienceConfig
+ResilienceConfig::turnpike(uint32_t wcdl)
+{
+    ResilienceConfig c = fastReleasePruningLicmSchedRa(wcdl);
+    c.label = "turnpike";
+    c.livm = true;
+    return c;
+}
+
+PipelineConfig
+ResilienceConfig::toPipelineConfig() const
+{
+    PipelineConfig p;
+    p.resilience = resilience;
+    p.warFreeRelease = warFreeRelease;
+    p.hwColoring = hwColoring;
+    p.naiveCkptRelease = naiveCkptRelease;
+    p.clqDesign = clqDesign;
+    p.clqEntries = clqEntries;
+    p.sbSize = sbSize;
+    p.wcdl = wcdl;
+    return p;
+}
+
+} // namespace turnpike

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Resilience-scheme configuration: one struct capturing both halves
+ * of the co-design (compiler pass toggles and hardware features),
+ * with named factories for every configuration the paper evaluates —
+ * the Fig. 21 ablation ladder from Turnstile to full Turnpike.
+ */
+
+#ifndef TURNPIKE_CORE_CONFIG_HH_
+#define TURNPIKE_CORE_CONFIG_HH_
+
+#include <string>
+
+#include "sim/pipeline.hh"
+
+namespace turnpike {
+
+/** A full scheme: compiler toggles + hardware toggles + sizing. */
+struct ResilienceConfig
+{
+    std::string label = "turnpike";
+
+    /** Master switch; false = no soft-error support at all. */
+    bool resilience = true;
+
+    // -- compiler optimizations (paper §4.1, §4.2) ------------------
+    bool livm = false;         ///< loop induction variable merging
+    bool pruning = false;      ///< optimal checkpoint pruning
+    bool licm = false;         ///< checkpoint sinking / loop LICM
+    bool scheduling = false;   ///< checkpoint-aware scheduling
+    bool storeAwareRa = false; ///< write-weighted spill costs
+
+    // -- hardware schemes (paper §4.3) -------------------------------
+    bool warFreeRelease = false; ///< CLQ fast release, regular stores
+    bool hwColoring = false;     ///< colored checkpoint fast release
+    bool naiveCkptRelease = false; ///< Fig. 16 unsafe mode (tests)
+    ClqDesign clqDesign = ClqDesign::Compact;
+    uint32_t clqEntries = 2;
+
+    // -- sizing --------------------------------------------------------
+    uint32_t sbSize = 4;
+    uint32_t wcdl = 10;
+    /**
+     * Regular-store budget per region for partitioning; 0 selects
+     * the paper's rule (SB/2, so one region's verification overlaps
+     * the next region's execution, §4.3.1).
+     */
+    uint32_t regionStoreBudget = 0;
+
+    /** No resilience support (the normalization baseline). */
+    static ResilienceConfig baseline();
+    /** Turnstile as adapted to in-order cores (state of the art). */
+    static ResilienceConfig turnstile(uint32_t wcdl = 10);
+    /** Fig. 21 step: Turnstile + WAR-free checking. */
+    static ResilienceConfig warFreeOnly(uint32_t wcdl = 10);
+    /** Fig. 21 step: + hardware coloring (full fast release). */
+    static ResilienceConfig fastRelease(uint32_t wcdl = 10);
+    /** Fig. 21 step: + checkpoint pruning. */
+    static ResilienceConfig fastReleasePruning(uint32_t wcdl = 10);
+    /** Fig. 21 step: + LICM checkpoint sinking. */
+    static ResilienceConfig fastReleasePruningLicm(uint32_t wcdl = 10);
+    /** Fig. 21 step: + instruction scheduling. */
+    static ResilienceConfig fastReleasePruningLicmSched(
+        uint32_t wcdl = 10);
+    /** Fig. 21 step: + store-aware register allocation. */
+    static ResilienceConfig fastReleasePruningLicmSchedRa(
+        uint32_t wcdl = 10);
+    /** Full Turnpike (adds LIVM on top of everything). */
+    static ResilienceConfig turnpike(uint32_t wcdl = 10);
+
+    /** Derive the simulator configuration. */
+    PipelineConfig toPipelineConfig() const;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_CORE_CONFIG_HH_

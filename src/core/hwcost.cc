@@ -1,0 +1,59 @@
+#include "core/hwcost.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+// Linear CAM model fitted to the paper's CACTI 22 nm points:
+// 4 entries -> 621.28 um^2 / 0.43099 pJ,
+// 40 entries -> 3132.50 um^2 / 2.11525 pJ.
+constexpr double kCamAreaBase = 342.257;
+constexpr double kCamAreaPerEntry = 69.756;
+constexpr double kCamEnergyBase = 0.24385;
+constexpr double kCamEnergyPerEntry = 0.0467850;
+
+// RAM model from the paper's color-map (24 B) and CLQ (16 B) rows:
+// both give ~1.527 um^2 and ~0.0010492 pJ per byte.
+constexpr double kRamAreaPerByte = 1.52713;
+constexpr double kRamEnergyPerByte = 0.00104917;
+
+} // namespace
+
+HwCost
+camStoreBufferCost(uint32_t entries)
+{
+    TP_ASSERT(entries >= 1, "store buffer needs entries");
+    return {kCamAreaBase + kCamAreaPerEntry * entries,
+            kCamEnergyBase + kCamEnergyPerEntry * entries};
+}
+
+HwCost
+ramCost(double bytes)
+{
+    return {kRamAreaPerByte * bytes, kRamEnergyPerByte * bytes};
+}
+
+HwCost
+colorMapsCost(uint32_t regs, uint32_t colors)
+{
+    double bits_per_reg = 3.0 * std::log2(static_cast<double>(colors));
+    return ramCost(bits_per_reg * regs / 8.0);
+}
+
+HwCost
+clqCost(uint32_t entries)
+{
+    return ramCost(8.0 * entries);
+}
+
+HwCost
+turnpikeCost(uint32_t regs, uint32_t colors, uint32_t clq_entries)
+{
+    return colorMapsCost(regs, colors) + clqCost(clq_entries);
+}
+
+} // namespace turnpike

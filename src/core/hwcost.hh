@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Hardware cost model (paper Table 1): CACTI-style area and
+ * dynamic-access energy for the CAM store buffer and the RAM
+ * structures Turnpike adds (color maps, CLQ), at 22 nm. The linear
+ * per-entry/per-byte coefficients are fitted to the paper's
+ * published CACTI numbers.
+ */
+
+#ifndef TURNPIKE_CORE_HWCOST_HH_
+#define TURNPIKE_CORE_HWCOST_HH_
+
+#include <cstdint>
+
+namespace turnpike {
+
+/** Area and per-access energy of one structure. */
+struct HwCost
+{
+    double areaUm2 = 0;
+    double accessEnergyPj = 0;
+
+    HwCost operator+(const HwCost &o) const
+    {
+        return {areaUm2 + o.areaUm2,
+                accessEnergyPj + o.accessEnergyPj};
+    }
+};
+
+/** CAM store buffer with @p entries entries. */
+HwCost camStoreBufferCost(uint32_t entries);
+
+/** RAM structure of @p bytes bytes. */
+HwCost ramCost(double bytes);
+
+/** The three color maps (AC/UC/VC) for @p regs registers with
+ *  @p colors colors each: 3 * log2(colors) bits per register. */
+HwCost colorMapsCost(uint32_t regs, uint32_t colors);
+
+/** The compact CLQ with @p entries range entries (8 bytes each). */
+HwCost clqCost(uint32_t entries);
+
+/** Total Turnpike addition: color maps + CLQ. */
+HwCost turnpikeCost(uint32_t regs, uint32_t colors,
+                    uint32_t clq_entries);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_CORE_HWCOST_HH_

@@ -1,0 +1,86 @@
+#include "core/runner.hh"
+
+#include <cstdlib>
+
+#include "machine/minterp.hh"
+#include "machine/mverifier.hh"
+#include "sim/pipeline.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+RunResult
+prepare(const WorkloadSpec &spec, const ResilienceConfig &cfg,
+        uint64_t target, std::unique_ptr<Module> &mod,
+        CompiledProgram &prog)
+{
+    mod = buildWorkload(spec, target);
+    prog = compileWorkload(*mod, cfg);
+    verifyOrDie(*prog.mf);
+
+    RunResult r;
+    r.workload = spec.suite + "/" + spec.name;
+    r.scheme = cfg.label;
+    r.compileStats = prog.stats;
+    r.codeBytes = prog.mf->codeBytes() + prog.mf->recoveryBytes();
+    r.baselineBytes = prog.mf->baselineBytes();
+    r.recoveryBytes = prog.mf->recoveryBytes();
+
+    InterpResult golden = interpretMachine(*mod, *prog.mf);
+    TP_ASSERT(golden.reason == StopReason::Halted,
+              "workload %s did not halt functionally",
+              r.workload.c_str());
+    r.goldenHash = golden.memory.dataHash(*mod);
+    r.dyn = golden.stats;
+    if (r.dyn.regionSize.count() > 0)
+        r.regionSizeAvg = r.dyn.regionSize.sum() /
+            static_cast<double>(r.dyn.regionSize.count());
+    return r;
+}
+
+} // namespace
+
+RunResult
+runWorkload(const WorkloadSpec &spec, const ResilienceConfig &cfg,
+            uint64_t target_dyn_insts,
+            const std::vector<FaultEvent> &faults)
+{
+    std::unique_ptr<Module> mod;
+    CompiledProgram prog;
+    RunResult r = prepare(spec, cfg, target_dyn_insts, mod, prog);
+
+    InOrderPipeline pipe(*mod, *prog.mf, cfg.toPipelineConfig());
+    PipelineResult pr = pipe.run(faults);
+    TP_ASSERT(pr.halted, "workload %s did not halt in the pipeline "
+              "(scheme %s)", r.workload.c_str(), cfg.label.c_str());
+    r.halted = pr.halted;
+    r.pipe = pr.stats;
+    r.dataHash = pr.memory.dataHash(*mod);
+    return r;
+}
+
+RunResult
+interpretWorkload(const WorkloadSpec &spec, const ResilienceConfig &cfg,
+                  uint64_t target_dyn_insts)
+{
+    std::unique_ptr<Module> mod;
+    CompiledProgram prog;
+    RunResult r = prepare(spec, cfg, target_dyn_insts, mod, prog);
+    r.halted = true;
+    r.dataHash = r.goldenHash;
+    return r;
+}
+
+uint64_t
+benchInstBudget()
+{
+    const char *env = std::getenv("TURNPIKE_BENCH_ICOUNT");
+    if (!env)
+        return 200000;
+    long long v = std::atoll(env);
+    return v > 1000 ? static_cast<uint64_t>(v) : 200000;
+}
+
+} // namespace turnpike

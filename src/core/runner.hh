@@ -1,0 +1,65 @@
+/**
+ * @file
+ * End-to-end runner: build workload -> compile under a scheme ->
+ * simulate (or functionally interpret) -> collect results. The
+ * benchmark harnesses and integration tests sit on top of this.
+ */
+
+#ifndef TURNPIKE_CORE_RUNNER_HH_
+#define TURNPIKE_CORE_RUNNER_HH_
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.hh"
+#include "sim/fault_injector.hh"
+#include "workloads/suite.hh"
+
+namespace turnpike {
+
+/** Everything a bench needs from one (workload, scheme) run. */
+struct RunResult
+{
+    std::string workload;
+    std::string scheme;
+    bool halted = false;
+    PipelineStats pipe;        ///< timing results
+    InterpStats dyn;           ///< functional dynamic counts
+    StatSet compileStats;      ///< per-pass statistics
+    uint64_t dataHash = 0;     ///< final data-segment hash (pipeline)
+    uint64_t goldenHash = 0;   ///< functional-interpreter hash
+    uint64_t codeBytes = 0;
+    uint64_t baselineBytes = 0;
+    uint64_t recoveryBytes = 0;
+    double regionSizeAvg = 0;  ///< dynamic instructions per region
+};
+
+/**
+ * Full run: compile @p spec under @p cfg, simulate with the
+ * pipeline (injecting @p faults if given) and functionally
+ * interpret for the golden hash and dynamic counts.
+ *
+ * @param target_dyn_insts approximate baseline dynamic instructions.
+ */
+RunResult runWorkload(const WorkloadSpec &spec,
+                      const ResilienceConfig &cfg,
+                      uint64_t target_dyn_insts,
+                      const std::vector<FaultEvent> &faults = {});
+
+/**
+ * Compile-and-interpret only (no timing): much faster; fills dyn,
+ * compile stats, code sizes and the golden hash.
+ */
+RunResult interpretWorkload(const WorkloadSpec &spec,
+                            const ResilienceConfig &cfg,
+                            uint64_t target_dyn_insts);
+
+/**
+ * Default dynamic-instruction budget for benches; reads the
+ * TURNPIKE_BENCH_ICOUNT environment variable (default 200000).
+ */
+uint64_t benchInstBudget();
+
+} // namespace turnpike
+
+#endif // TURNPIKE_CORE_RUNNER_HH_

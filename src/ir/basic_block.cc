@@ -1,0 +1,40 @@
+#include "ir/basic_block.hh"
+
+#include <cstddef>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+void
+BasicBlock::insertAt(size_t pos, Instruction inst)
+{
+    TP_ASSERT(pos <= insts_.size(), "insertAt: pos %zu > size %zu",
+              pos, insts_.size());
+    insts_.insert(insts_.begin() + static_cast<ptrdiff_t>(pos),
+                  std::move(inst));
+}
+
+void
+BasicBlock::eraseAt(size_t pos)
+{
+    TP_ASSERT(pos < insts_.size(), "eraseAt: pos %zu >= size %zu",
+              pos, insts_.size());
+    insts_.erase(insts_.begin() + static_cast<ptrdiff_t>(pos));
+}
+
+bool
+BasicBlock::hasTerminator() const
+{
+    return !insts_.empty() && isTerminator(insts_.back().op);
+}
+
+const Instruction &
+BasicBlock::terminator() const
+{
+    TP_ASSERT(hasTerminator(), "block %s has no terminator",
+              name_.c_str());
+    return insts_.back();
+}
+
+} // namespace turnpike

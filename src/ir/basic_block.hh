@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Basic block of the Turnpike mini-IR: a straight-line instruction
+ * vector ending in a terminator, plus successor edges by block id.
+ */
+
+#ifndef TURNPIKE_IR_BASIC_BLOCK_HH_
+#define TURNPIKE_IR_BASIC_BLOCK_HH_
+
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hh"
+
+namespace turnpike {
+
+/**
+ * A basic block. The terminator is the last instruction; Br uses
+ * succs[0] as the taken target and succs[1] as the fall-through,
+ * Jmp uses succs[0], Halt has no successors.
+ */
+class BasicBlock
+{
+  public:
+    BasicBlock(BlockId id, std::string name)
+        : id_(id), name_(std::move(name))
+    {}
+
+    BlockId id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    std::vector<Instruction> &insts() { return insts_; }
+    const std::vector<Instruction> &insts() const { return insts_; }
+
+    std::vector<BlockId> &succs() { return succs_; }
+    const std::vector<BlockId> &succs() const { return succs_; }
+
+    /** Append an instruction (before any terminator is set). */
+    void append(Instruction inst) { insts_.push_back(std::move(inst)); }
+
+    /** Insert @p inst at position @p pos. */
+    void insertAt(size_t pos, Instruction inst);
+
+    /** Remove the instruction at position @p pos. */
+    void eraseAt(size_t pos);
+
+    /** True if the block ends with a terminator. */
+    bool hasTerminator() const;
+
+    /** The terminator; panics if absent. */
+    const Instruction &terminator() const;
+
+    /** Number of instructions. */
+    size_t size() const { return insts_.size(); }
+
+  private:
+    BlockId id_;
+    std::string name_;
+    std::vector<Instruction> insts_;
+    std::vector<BlockId> succs_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_IR_BASIC_BLOCK_HH_

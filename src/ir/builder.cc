@@ -1,0 +1,117 @@
+#include "ir/builder.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+BasicBlock &
+IRBuilder::cur()
+{
+    TP_ASSERT(cur_ != kNoBlock, "IRBuilder: no insertion block set");
+    BasicBlock &b = fn_.block(cur_);
+    TP_ASSERT(!b.hasTerminator(), "IRBuilder: block %s already terminated",
+              b.name().c_str());
+    return b;
+}
+
+Reg
+IRBuilder::li(int64_t v)
+{
+    Reg d = reg();
+    cur().append(makeLi(d, v));
+    return d;
+}
+
+Reg
+IRBuilder::mov(Reg src)
+{
+    Reg d = reg();
+    cur().append(makeMov(d, src));
+    return d;
+}
+
+Reg
+IRBuilder::bin(Op op, Reg a, Reg b)
+{
+    Reg d = reg();
+    cur().append(makeBin(op, d, a, b));
+    return d;
+}
+
+Reg
+IRBuilder::binImm(Op op, Reg a, int64_t imm)
+{
+    Reg d = reg();
+    cur().append(makeBinImm(op, d, a, imm));
+    return d;
+}
+
+Reg
+IRBuilder::load(Reg base, int64_t off)
+{
+    Reg d = reg();
+    cur().append(makeLoad(d, base, off));
+    return d;
+}
+
+void
+IRBuilder::store(Reg val, Reg base, int64_t off)
+{
+    cur().append(makeStore(val, base, off));
+}
+
+void
+IRBuilder::binTo(Op op, Reg dst, Reg a, Reg b)
+{
+    cur().append(makeBin(op, dst, a, b));
+}
+
+void
+IRBuilder::binImmTo(Op op, Reg dst, Reg a, int64_t imm)
+{
+    cur().append(makeBinImm(op, dst, a, imm));
+}
+
+void
+IRBuilder::liTo(Reg dst, int64_t v)
+{
+    cur().append(makeLi(dst, v));
+}
+
+void
+IRBuilder::movTo(Reg dst, Reg src)
+{
+    cur().append(makeMov(dst, src));
+}
+
+void
+IRBuilder::loadTo(Reg dst, Reg base, int64_t off)
+{
+    cur().append(makeLoad(dst, base, off));
+}
+
+void
+IRBuilder::br(Reg cond, BlockId if_true, BlockId if_false)
+{
+    BasicBlock &b = cur();
+    b.append(makeBr(cond));
+    b.succs() = {if_true, if_false};
+}
+
+void
+IRBuilder::jmp(BlockId target)
+{
+    BasicBlock &b = cur();
+    b.append(makeJmp());
+    b.succs() = {target};
+}
+
+void
+IRBuilder::halt()
+{
+    BasicBlock &b = cur();
+    b.append(makeHalt());
+    b.succs().clear();
+}
+
+} // namespace turnpike

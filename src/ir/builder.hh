@@ -1,0 +1,73 @@
+/**
+ * @file
+ * IRBuilder: convenience layer for constructing mini-IR functions.
+ * Used by the workload generator, tests, and examples.
+ */
+
+#ifndef TURNPIKE_IR_BUILDER_HH_
+#define TURNPIKE_IR_BUILDER_HH_
+
+#include "ir/function.hh"
+
+namespace turnpike {
+
+/**
+ * Builds instructions into a current insertion block of a function.
+ * All emit helpers return the destination register when one exists.
+ */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Function &fn) : fn_(fn) {}
+
+    /** Create a block (does not change the insertion point). */
+    BlockId newBlock(const std::string &name) { return fn_.addBlock(name); }
+
+    /** Set the insertion point to block @p b. */
+    void setBlock(BlockId b) { cur_ = b; }
+
+    BlockId currentBlock() const { return cur_; }
+
+    Function &function() { return fn_; }
+
+    /** Allocate a fresh virtual register. */
+    Reg reg() { return fn_.newReg(); }
+
+    Reg li(int64_t v);
+    Reg mov(Reg src);
+    Reg bin(Op op, Reg a, Reg b);
+    Reg binImm(Op op, Reg a, int64_t imm);
+    Reg add(Reg a, Reg b) { return bin(Op::Add, a, b); }
+    Reg addImm(Reg a, int64_t v) { return binImm(Op::Add, a, v); }
+    Reg mul(Reg a, Reg b) { return bin(Op::Mul, a, b); }
+    Reg load(Reg base, int64_t off = 0);
+    void store(Reg val, Reg base, int64_t off = 0);
+
+    /** Emit a binary op into an existing destination register. */
+    void binTo(Op op, Reg dst, Reg a, Reg b);
+    /** Emit a reg-imm binary op into an existing destination. */
+    void binImmTo(Op op, Reg dst, Reg a, int64_t imm);
+    /** Emit li into an existing destination register. */
+    void liTo(Reg dst, int64_t v);
+    /** Emit mov into an existing destination register. */
+    void movTo(Reg dst, Reg src);
+    /** Emit a load into an existing destination register. */
+    void loadTo(Reg dst, Reg base, int64_t off = 0);
+
+    /** Terminate with a conditional branch. */
+    void br(Reg cond, BlockId if_true, BlockId if_false);
+    /** Terminate with an unconditional jump. */
+    void jmp(BlockId target);
+    /** Terminate with halt. */
+    void halt();
+
+  private:
+    BasicBlock &cur();
+
+    Function &fn_;
+    BlockId cur_ = kNoBlock;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_IR_BUILDER_HH_

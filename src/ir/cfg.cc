@@ -1,0 +1,48 @@
+#include "ir/cfg.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+Cfg::Cfg(const Function &fn)
+    : fn_(fn),
+      preds_(fn.numBlocks()),
+      rpo_index_(fn.numBlocks(), -1)
+{
+    TP_ASSERT(fn.entry() != kNoBlock, "Cfg: function %s has no entry",
+              fn.name().c_str());
+
+    for (BlockId b = 0; b < fn.numBlocks(); b++)
+        for (BlockId s : fn.block(b).succs())
+            preds_[s].push_back(b);
+
+    // Iterative post-order DFS from the entry.
+    std::vector<BlockId> post;
+    std::vector<uint8_t> state(fn.numBlocks(), 0); // 0 new, 1 open, 2 done
+    struct Frame { BlockId b; size_t next_succ; };
+    std::vector<Frame> stack;
+    stack.push_back({fn.entry(), 0});
+    state[fn.entry()] = 1;
+    while (!stack.empty()) {
+        Frame &f = stack.back();
+        const auto &succs = fn.block(f.b).succs();
+        if (f.next_succ < succs.size()) {
+            BlockId s = succs[f.next_succ++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.push_back({s, 0});
+            }
+        } else {
+            state[f.b] = 2;
+            post.push_back(f.b);
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(post.rbegin(), post.rend());
+    for (size_t i = 0; i < rpo_.size(); i++)
+        rpo_index_[rpo_[i]] = static_cast<int>(i);
+}
+
+} // namespace turnpike

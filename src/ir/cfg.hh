@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Control-flow-graph utilities over Function: predecessor lists,
+ * reverse post order, and reachability.
+ */
+
+#ifndef TURNPIKE_IR_CFG_HH_
+#define TURNPIKE_IR_CFG_HH_
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace turnpike {
+
+/**
+ * Derived CFG facts for a function. Snapshot semantics: build once,
+ * use while the block structure is unchanged.
+ */
+class Cfg
+{
+  public:
+    explicit Cfg(const Function &fn);
+
+    const Function &function() const { return fn_; }
+
+    /** Predecessor block ids of @p b. */
+    const std::vector<BlockId> &preds(BlockId b) const
+    {
+        return preds_[b];
+    }
+
+    /**
+     * Blocks in reverse post order from the entry. Unreachable
+     * blocks are excluded.
+     */
+    const std::vector<BlockId> &rpo() const { return rpo_; }
+
+    /** Position of block @p b in the RPO; -1 if unreachable. */
+    int rpoIndex(BlockId b) const { return rpo_index_[b]; }
+
+    /** True if @p b is reachable from the entry. */
+    bool reachable(BlockId b) const { return rpo_index_[b] >= 0; }
+
+  private:
+    const Function &fn_;
+    std::vector<std::vector<BlockId>> preds_;
+    std::vector<BlockId> rpo_;
+    std::vector<int> rpo_index_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_IR_CFG_HH_

@@ -1,0 +1,66 @@
+#include "ir/dominators.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+DominatorTree::DominatorTree(const Cfg &cfg)
+    : cfg_(cfg),
+      idom_(cfg.function().numBlocks(), kNoBlock)
+{
+    const Function &fn = cfg.function();
+    const auto &rpo = cfg.rpo();
+    if (rpo.empty())
+        return;
+    BlockId entry = fn.entry();
+    idom_[entry] = entry;
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (cfg.rpoIndex(a) > cfg.rpoIndex(b))
+                a = idom_[a];
+            while (cfg.rpoIndex(b) > cfg.rpoIndex(a))
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : rpo) {
+            if (b == entry)
+                continue;
+            BlockId new_idom = kNoBlock;
+            for (BlockId p : cfg.preds(b)) {
+                if (!cfg.reachable(p) || idom_[p] == kNoBlock)
+                    continue;
+                new_idom = (new_idom == kNoBlock)
+                    ? p : intersect(p, new_idom);
+            }
+            TP_ASSERT(new_idom != kNoBlock,
+                      "reachable block %u has no processed pred", b);
+            if (idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+DominatorTree::dominates(BlockId a, BlockId b) const
+{
+    if (!cfg_.reachable(a) || !cfg_.reachable(b))
+        return false;
+    BlockId entry = cfg_.function().entry();
+    while (true) {
+        if (b == a)
+            return true;
+        if (b == entry)
+            return false;
+        b = idom_[b];
+    }
+}
+
+} // namespace turnpike

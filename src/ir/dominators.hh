@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm.
+ */
+
+#ifndef TURNPIKE_IR_DOMINATORS_HH_
+#define TURNPIKE_IR_DOMINATORS_HH_
+
+#include <vector>
+
+#include "ir/cfg.hh"
+
+namespace turnpike {
+
+/** Immediate-dominator tree for the reachable part of a CFG. */
+class DominatorTree
+{
+  public:
+    explicit DominatorTree(const Cfg &cfg);
+
+    /**
+     * Immediate dominator of @p b; the entry's idom is itself;
+     * kNoBlock for unreachable blocks.
+     */
+    BlockId idom(BlockId b) const { return idom_[b]; }
+
+    /** True if @p a dominates @p b (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+  private:
+    const Cfg &cfg_;
+    std::vector<BlockId> idom_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_IR_DOMINATORS_HH_

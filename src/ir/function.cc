@@ -1,0 +1,40 @@
+#include "ir/function.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+BlockId
+Function::addBlock(const std::string &block_name)
+{
+    BlockId id = static_cast<BlockId>(blocks_.size());
+    blocks_.push_back(std::make_unique<BasicBlock>(id, block_name));
+    if (entry_ == kNoBlock)
+        entry_ = id;
+    return id;
+}
+
+BasicBlock &
+Function::block(BlockId id)
+{
+    TP_ASSERT(id < blocks_.size(), "bad block id %u", id);
+    return *blocks_[id];
+}
+
+const BasicBlock &
+Function::block(BlockId id) const
+{
+    TP_ASSERT(id < blocks_.size(), "bad block id %u", id);
+    return *blocks_[id];
+}
+
+size_t
+Function::totalInsts() const
+{
+    size_t n = 0;
+    for (const auto &b : blocks_)
+        n += b->size();
+    return n;
+}
+
+} // namespace turnpike

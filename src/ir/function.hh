@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Function of the Turnpike mini-IR: owns its basic blocks, tracks the
+ * virtual register count, and (after region formation) the number of
+ * static regions.
+ */
+
+#ifndef TURNPIKE_IR_FUNCTION_HH_
+#define TURNPIKE_IR_FUNCTION_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hh"
+
+namespace turnpike {
+
+/** Address-space layout constants shared by compiler and simulator. */
+namespace layout {
+
+/** Base of global data objects. */
+constexpr uint64_t kDataBase = 0x10000;
+/** Base of the register-spill area (one 8-byte slot per spill). */
+constexpr uint64_t kSpillBase = 0x8000000;
+/** Base of checkpoint storage: slot(reg, color) layout below. */
+constexpr uint64_t kCkptBase = 0xc000000;
+/** Number of colors per register in the checkpoint storage pool. */
+constexpr int kNumColors = 4;
+
+/**
+ * Slot index used by quarantined (non-colored) checkpoints; their
+ * stores sit in the store buffer until verified, so reusing one
+ * fixed slot per register is safe (see DESIGN.md).
+ */
+constexpr int kQuarantineColor = kNumColors;
+
+/** Slots per register: the colors plus the quarantine slot. */
+constexpr int kSlotsPerReg = kNumColors + 1;
+
+/** Address of checkpoint slot for @p reg with @p color. */
+constexpr uint64_t
+ckptSlot(uint32_t reg, int color)
+{
+    return kCkptBase + static_cast<uint64_t>(reg) * (8 * kSlotsPerReg) +
+        static_cast<uint64_t>(color) * 8;
+}
+
+/** Address of spill slot @p index. */
+constexpr uint64_t
+spillSlot(uint32_t index)
+{
+    return kSpillBase + static_cast<uint64_t>(index) * 8;
+}
+
+} // namespace layout
+
+/**
+ * A single function: the unit of compilation and simulation. Blocks
+ * are owned and addressed by BlockId; block 0 need not be the entry
+ * (entry() names it explicitly).
+ */
+class Function
+{
+  public:
+    explicit Function(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Create a new empty block and return its id. */
+    BlockId addBlock(const std::string &block_name);
+
+    BasicBlock &block(BlockId id);
+    const BasicBlock &block(BlockId id) const;
+
+    size_t numBlocks() const { return blocks_.size(); }
+
+    BlockId entry() const { return entry_; }
+    void setEntry(BlockId b) { entry_ = b; }
+
+    /** Allocate a fresh virtual register. */
+    Reg newReg() { return num_regs_++; }
+
+    Reg numRegs() const { return num_regs_; }
+    void setNumRegs(Reg n) { num_regs_ = n; }
+
+    /** Number of static regions after region formation (0 before). */
+    uint32_t numRegions() const { return num_regions_; }
+    void setNumRegions(uint32_t n) { num_regions_ = n; }
+
+    /** Total instruction count across blocks. */
+    size_t totalInsts() const;
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<BasicBlock>> blocks_;
+    BlockId entry_ = kNoBlock;
+    Reg num_regs_ = 0;
+    uint32_t num_regions_ = 0;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_IR_FUNCTION_HH_

@@ -1,0 +1,183 @@
+#include "ir/instruction.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+int
+Instruction::numSrcs() const
+{
+    int n = 0;
+    if (src0 != kNoReg)
+        n++;
+    if (src1 != kNoReg)
+        n++;
+    return n;
+}
+
+bool
+Instruction::reads(Reg r) const
+{
+    return (src0 != kNoReg && src0 == r) || (src1 != kNoReg && src1 == r);
+}
+
+std::string
+Instruction::toString() const
+{
+    auto reg = [](Reg r) { return strfmt("v%u", r); };
+    switch (op) {
+      case Op::Li:
+        return strfmt("%s = li %lld", reg(dst).c_str(),
+                      static_cast<long long>(imm));
+      case Op::Mov:
+        return strfmt("%s = mov %s", reg(dst).c_str(), reg(src0).c_str());
+      case Op::Load:
+        return strfmt("%s = ld [%s + %lld]", reg(dst).c_str(),
+                      reg(src0).c_str(), static_cast<long long>(imm));
+      case Op::Store:
+        return strfmt("st%s %s, [%s + %lld]",
+                      skind == StoreKind::Spill ? ".spill" : "",
+                      reg(src0).c_str(), reg(src1).c_str(),
+                      static_cast<long long>(imm));
+      case Op::Ckpt:
+        return strfmt("ckpt %s", reg(src0).c_str());
+      case Op::Boundary:
+        return strfmt("rgn #%lld", static_cast<long long>(imm));
+      case Op::Br:
+        return strfmt("br %s", reg(src0).c_str());
+      case Op::Jmp:
+        return "jmp";
+      case Op::Halt:
+        return "halt";
+      case Op::Nop:
+        return "nop";
+      case Op::AddShl:
+        return strfmt("%s = addshl %s, %s, %lld", reg(dst).c_str(),
+                      reg(src0).c_str(), reg(src1).c_str(),
+                      static_cast<long long>(imm));
+      default:
+        break;
+    }
+    if (isBinary(op)) {
+        if (src1 == kNoReg) {
+            return strfmt("%s = %s %s, %lld", reg(dst).c_str(), opName(op),
+                          reg(src0).c_str(), static_cast<long long>(imm));
+        }
+        return strfmt("%s = %s %s, %s", reg(dst).c_str(), opName(op),
+                      reg(src0).c_str(), reg(src1).c_str());
+    }
+    panic("Instruction::toString: bad opcode %d", static_cast<int>(op));
+}
+
+Instruction
+makeLi(Reg dst, int64_t imm)
+{
+    Instruction i;
+    i.op = Op::Li;
+    i.dst = dst;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeMov(Reg dst, Reg src)
+{
+    Instruction i;
+    i.op = Op::Mov;
+    i.dst = dst;
+    i.src0 = src;
+    return i;
+}
+
+Instruction
+makeBin(Op op, Reg dst, Reg a, Reg b)
+{
+    TP_ASSERT(isBinary(op), "makeBin: %s is not binary", opName(op));
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.src0 = a;
+    i.src1 = b;
+    return i;
+}
+
+Instruction
+makeBinImm(Op op, Reg dst, Reg a, int64_t imm)
+{
+    TP_ASSERT(isBinary(op), "makeBinImm: %s is not binary", opName(op));
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.src0 = a;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeLoad(Reg dst, Reg base, int64_t off)
+{
+    Instruction i;
+    i.op = Op::Load;
+    i.dst = dst;
+    i.src0 = base;
+    i.imm = off;
+    return i;
+}
+
+Instruction
+makeStore(Reg val, Reg base, int64_t off, StoreKind kind)
+{
+    Instruction i;
+    i.op = Op::Store;
+    i.src0 = val;
+    i.src1 = base;
+    i.imm = off;
+    i.skind = kind;
+    return i;
+}
+
+Instruction
+makeCkpt(Reg r)
+{
+    Instruction i;
+    i.op = Op::Ckpt;
+    i.src0 = r;
+    i.skind = StoreKind::Ckpt;
+    return i;
+}
+
+Instruction
+makeBoundary(int64_t region_id)
+{
+    Instruction i;
+    i.op = Op::Boundary;
+    i.imm = region_id;
+    return i;
+}
+
+Instruction
+makeBr(Reg cond)
+{
+    Instruction i;
+    i.op = Op::Br;
+    i.src0 = cond;
+    return i;
+}
+
+Instruction
+makeJmp()
+{
+    Instruction i;
+    i.op = Op::Jmp;
+    return i;
+}
+
+Instruction
+makeHalt()
+{
+    Instruction i;
+    i.op = Op::Halt;
+    return i;
+}
+
+} // namespace turnpike

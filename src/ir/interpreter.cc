@@ -1,0 +1,205 @@
+#include "ir/interpreter.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+int64_t
+MemoryImage::read(uint64_t addr) const
+{
+    TP_ASSERT((addr & 7) == 0, "unaligned read at 0x%llx",
+              static_cast<unsigned long long>(addr));
+    auto it = words_.find(addr);
+    return it == words_.end() ? 0 : it->second;
+}
+
+void
+MemoryImage::write(uint64_t addr, int64_t value)
+{
+    TP_ASSERT((addr & 7) == 0, "unaligned write at 0x%llx",
+              static_cast<unsigned long long>(addr));
+    words_[addr] = value;
+}
+
+void
+MemoryImage::loadModule(const Module &mod)
+{
+    for (const DataObject &obj : mod.data())
+        for (size_t i = 0; i < obj.init.size(); i++)
+            words_[obj.base + i * 8] = obj.init[i];
+}
+
+std::vector<int64_t>
+MemoryImage::dumpRange(uint64_t base, uint64_t words) const
+{
+    std::vector<int64_t> out;
+    out.reserve(words);
+    for (uint64_t i = 0; i < words; i++)
+        out.push_back(read(base + i * 8));
+    return out;
+}
+
+uint64_t
+MemoryImage::dataHash(const Module &mod) const
+{
+    uint64_t h = 1469598103934665603ull; // FNV offset basis
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const DataObject &obj : mod.data()) {
+        for (uint64_t i = 0; i < obj.words; i++) {
+            mix(obj.base + i * 8);
+            mix(static_cast<uint64_t>(read(obj.base + i * 8)));
+        }
+    }
+    return h;
+}
+
+InterpResult
+interpret(const Module &mod, const Function &fn, uint64_t step_limit)
+{
+    InterpResult result;
+    result.memory.loadModule(mod);
+    MemoryImage &mem = result.memory;
+    InterpStats &st = result.stats;
+
+    std::vector<int64_t> regs(fn.numRegs(), 0);
+    auto rd = [&](Reg r) -> int64_t {
+        TP_ASSERT(r != kNoReg, "interp: read of missing operand");
+        return regs[r];
+    };
+    auto operand2 = [&](const Instruction &inst) -> int64_t {
+        return inst.src1 == kNoReg ? inst.imm : regs[inst.src1];
+    };
+
+    BlockId cur = fn.entry();
+    size_t pc = 0;
+    uint64_t region_insts = 0;
+
+    while (st.insts < step_limit) {
+        const BasicBlock &blk = fn.block(cur);
+        TP_ASSERT(pc < blk.size(), "interp: fell off block %s",
+                  blk.name().c_str());
+        const Instruction &inst = blk.insts()[pc];
+        st.insts++;
+        region_insts++;
+        pc++;
+
+        switch (inst.op) {
+          case Op::Li:
+            regs[inst.dst] = inst.imm;
+            break;
+          case Op::Mov:
+            regs[inst.dst] = rd(inst.src0);
+            break;
+          case Op::Add:
+            regs[inst.dst] = rd(inst.src0) + operand2(inst);
+            break;
+          case Op::Sub:
+            regs[inst.dst] = rd(inst.src0) - operand2(inst);
+            break;
+          case Op::Mul:
+            regs[inst.dst] = rd(inst.src0) * operand2(inst);
+            break;
+          case Op::Div: {
+            int64_t d = operand2(inst);
+            regs[inst.dst] = d == 0 ? 0 : rd(inst.src0) / d;
+            break;
+          }
+          case Op::Shl:
+            regs[inst.dst] = static_cast<int64_t>(
+                static_cast<uint64_t>(rd(inst.src0))
+                << (operand2(inst) & 63));
+            break;
+          case Op::Shr:
+            regs[inst.dst] = rd(inst.src0) >> (operand2(inst) & 63);
+            break;
+          case Op::And:
+            regs[inst.dst] = rd(inst.src0) & operand2(inst);
+            break;
+          case Op::Or:
+            regs[inst.dst] = rd(inst.src0) | operand2(inst);
+            break;
+          case Op::Xor:
+            regs[inst.dst] = rd(inst.src0) ^ operand2(inst);
+            break;
+          case Op::CmpEq:
+            regs[inst.dst] = rd(inst.src0) == operand2(inst);
+            break;
+          case Op::CmpNe:
+            regs[inst.dst] = rd(inst.src0) != operand2(inst);
+            break;
+          case Op::CmpLt:
+            regs[inst.dst] = rd(inst.src0) < operand2(inst);
+            break;
+          case Op::CmpLe:
+            regs[inst.dst] = rd(inst.src0) <= operand2(inst);
+            break;
+          case Op::AddShl:
+            regs[inst.dst] = rd(inst.src0) +
+                static_cast<int64_t>(
+                    static_cast<uint64_t>(rd(inst.src1))
+                    << (inst.imm & 63));
+            break;
+          case Op::Load: {
+            uint64_t addr =
+                static_cast<uint64_t>(rd(inst.src0) + inst.imm);
+            regs[inst.dst] = mem.read(addr);
+            st.loads++;
+            break;
+          }
+          case Op::Store: {
+            uint64_t addr =
+                static_cast<uint64_t>(rd(inst.src1) + inst.imm);
+            mem.write(addr, rd(inst.src0));
+            if (inst.skind == StoreKind::Spill)
+                st.storesSpill++;
+            else
+                st.storesApp++;
+            break;
+          }
+          case Op::Ckpt:
+            mem.write(layout::ckptSlot(inst.src0, 0), rd(inst.src0));
+            st.storesCkpt++;
+            break;
+          case Op::Boundary:
+            st.boundaries++;
+            // The boundary marker itself is not a real instruction.
+            st.insts--;
+            region_insts--;
+            if (region_insts > 0)
+                st.regionSize.sample(
+                    static_cast<double>(region_insts));
+            region_insts = 0;
+            break;
+          case Op::Br: {
+            st.branches++;
+            bool taken = rd(inst.src0) != 0;
+            cur = blk.succs()[taken ? 0 : 1];
+            pc = 0;
+            break;
+          }
+          case Op::Jmp:
+            cur = blk.succs()[0];
+            pc = 0;
+            break;
+          case Op::Halt:
+            if (region_insts > 1)
+                st.regionSize.sample(
+                    static_cast<double>(region_insts - 1));
+            result.reason = StopReason::Halted;
+            return result;
+          case Op::Nop:
+            break;
+          default:
+            panic("interp: bad opcode %d", static_cast<int>(inst.op));
+        }
+    }
+    result.reason = StopReason::StepLimit;
+    return result;
+}
+
+} // namespace turnpike

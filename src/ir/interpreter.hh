@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reference interpreter (golden model) for mini-IR functions, plus
+ * the sparse MemoryImage shared with the simulator. Every compiler
+ * pass must preserve the interpreter-observable result (the final
+ * data-segment image); tests enforce this.
+ */
+
+#ifndef TURNPIKE_IR_INTERPRETER_HH_
+#define TURNPIKE_IR_INTERPRETER_HH_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.hh"
+#include "util/stats.hh"
+
+namespace turnpike {
+
+/**
+ * Sparse 64-bit-word memory keyed by byte address. Accesses must be
+ * 8-byte aligned; unwritten words read as zero.
+ */
+class MemoryImage
+{
+  public:
+    /** Read the word at @p addr (must be 8-byte aligned). */
+    int64_t read(uint64_t addr) const;
+
+    /** Write the word at @p addr (must be 8-byte aligned). */
+    void write(uint64_t addr, int64_t value);
+
+    /** Load all data objects of @p mod as the initial image. */
+    void loadModule(const Module &mod);
+
+    /** Dump the words of a [base, base+words*8) range. */
+    std::vector<int64_t> dumpRange(uint64_t base, uint64_t words) const;
+
+    /**
+     * FNV-1a hash of the data-segment contents of @p mod as stored
+     * in this image; the canonical "program result" for equivalence
+     * tests.
+     */
+    uint64_t dataHash(const Module &mod) const;
+
+    const std::unordered_map<uint64_t, int64_t> &words() const
+    {
+        return words_;
+    }
+
+  private:
+    std::unordered_map<uint64_t, int64_t> words_;
+};
+
+/** Why the interpreter stopped. */
+enum class StopReason {
+    Halted,       ///< executed a Halt
+    StepLimit,    ///< hit the step limit
+};
+
+/** Dynamic-execution statistics collected by a run. */
+struct InterpStats
+{
+    uint64_t insts = 0;        ///< all executed instructions
+    uint64_t loads = 0;
+    uint64_t storesApp = 0;    ///< application stores
+    uint64_t storesSpill = 0;  ///< register-spill stores
+    uint64_t storesCkpt = 0;   ///< checkpoint stores
+    uint64_t boundaries = 0;   ///< region boundaries crossed
+    uint64_t branches = 0;
+    Distribution regionSize;   ///< instructions per dynamic region
+
+    /** All dynamic stores (app + spill + ckpt). */
+    uint64_t storesTotal() const
+    {
+        return storesApp + storesSpill + storesCkpt;
+    }
+};
+
+/** Result of an interpreter run. */
+struct InterpResult
+{
+    StopReason reason = StopReason::Halted;
+    InterpStats stats;
+    MemoryImage memory;
+};
+
+/**
+ * Execute @p fn from its entry with memory initialized from
+ * @p mod's data objects. Registers start at zero. Ckpt executes as
+ * a store to the register's color-0 checkpoint slot; Boundary just
+ * counts.
+ *
+ * @param step_limit maximum dynamic instructions before StepLimit.
+ */
+InterpResult interpret(const Module &mod, const Function &fn,
+                       uint64_t step_limit = 100000000);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_IR_INTERPRETER_HH_

@@ -1,0 +1,150 @@
+#include "ir/liveness.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+void
+RegSet::insert(Reg r)
+{
+    TP_ASSERT(r < universe_, "RegSet::insert out of range: %u", r);
+    words_[r >> 6] |= uint64_t(1) << (r & 63);
+}
+
+void
+RegSet::erase(Reg r)
+{
+    TP_ASSERT(r < universe_, "RegSet::erase out of range: %u", r);
+    words_[r >> 6] &= ~(uint64_t(1) << (r & 63));
+}
+
+bool
+RegSet::contains(Reg r) const
+{
+    if (r >= universe_)
+        return false;
+    return (words_[r >> 6] >> (r & 63)) & 1;
+}
+
+bool
+RegSet::unionWith(const RegSet &other)
+{
+    TP_ASSERT(universe_ == other.universe_, "RegSet universe mismatch");
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); i++) {
+        uint64_t merged = words_[i] | other.words_[i];
+        if (merged != words_[i]) {
+            words_[i] = merged;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+void
+RegSet::subtract(const RegSet &other)
+{
+    TP_ASSERT(universe_ == other.universe_, "RegSet universe mismatch");
+    for (size_t i = 0; i < words_.size(); i++)
+        words_[i] &= ~other.words_[i];
+}
+
+uint32_t
+RegSet::count() const
+{
+    uint32_t n = 0;
+    for (uint64_t w : words_)
+        n += static_cast<uint32_t>(__builtin_popcountll(w));
+    return n;
+}
+
+std::vector<Reg>
+RegSet::toVector() const
+{
+    std::vector<Reg> out;
+    for (size_t i = 0; i < words_.size(); i++) {
+        uint64_t w = words_[i];
+        while (w) {
+            int bit = __builtin_ctzll(w);
+            out.push_back(static_cast<Reg>(i * 64 + bit));
+            w &= w - 1;
+        }
+    }
+    return out;
+}
+
+void
+addUses(const Instruction &inst, RegSet &set)
+{
+    if (inst.src0 != kNoReg)
+        set.insert(inst.src0);
+    if (inst.src1 != kNoReg)
+        set.insert(inst.src1);
+}
+
+Liveness::Liveness(const Cfg &cfg)
+    : cfg_(cfg)
+{
+    const Function &fn = cfg.function();
+    uint32_t n = fn.numRegs();
+    live_in_.assign(fn.numBlocks(), RegSet(n));
+    live_out_.assign(fn.numBlocks(), RegSet(n));
+
+    // Per-block use (upward-exposed) and def sets.
+    std::vector<RegSet> use(fn.numBlocks(), RegSet(n));
+    std::vector<RegSet> def(fn.numBlocks(), RegSet(n));
+    for (BlockId b : cfg.rpo()) {
+        for (const Instruction &inst : fn.block(b).insts()) {
+            if (inst.src0 != kNoReg && !def[b].contains(inst.src0))
+                use[b].insert(inst.src0);
+            if (inst.src1 != kNoReg && !def[b].contains(inst.src1))
+                use[b].insert(inst.src1);
+            if (writesDst(inst.op) && inst.dst != kNoReg)
+                def[b].insert(inst.dst);
+        }
+    }
+
+    // Iterate to fixpoint, blocks in reverse RPO for fast
+    // convergence on reducible graphs.
+    bool changed = true;
+    const auto &rpo = cfg.rpo();
+    while (changed) {
+        changed = false;
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            BlockId b = *it;
+            RegSet out(n);
+            for (BlockId s : fn.block(b).succs())
+                out.unionWith(live_in_[s]);
+            if (!(out == live_out_[b])) {
+                live_out_[b] = out;
+                changed = true;
+            }
+            RegSet in = live_out_[b];
+            in.subtract(def[b]);
+            in.unionWith(use[b]);
+            if (!(in == live_in_[b])) {
+                live_in_[b] = in;
+                changed = true;
+            }
+        }
+    }
+}
+
+RegSet
+Liveness::liveBefore(BlockId b, size_t index) const
+{
+    const BasicBlock &blk = cfg_.function().block(b);
+    TP_ASSERT(index <= blk.size(), "liveBefore: index %zu > block size",
+              index);
+    RegSet live = live_out_[b];
+    const auto &insts = blk.insts();
+    for (size_t i = insts.size(); i > index; i--) {
+        const Instruction &inst = insts[i - 1];
+        if (writesDst(inst.op) && inst.dst != kNoReg)
+            live.erase(inst.dst);
+        addUses(inst, live);
+    }
+    return live;
+}
+
+} // namespace turnpike

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Backward liveness dataflow over virtual registers, plus a dynamic
+ * bitset (RegSet) reused by several passes. Eager checkpointing,
+ * pruning, LICM sinking and register allocation all consume this.
+ */
+
+#ifndef TURNPIKE_IR_LIVENESS_HH_
+#define TURNPIKE_IR_LIVENESS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/cfg.hh"
+
+namespace turnpike {
+
+/** A fixed-universe bitset over register ids. */
+class RegSet
+{
+  public:
+    RegSet() = default;
+    explicit RegSet(uint32_t universe)
+        : words_((universe + 63) / 64, 0), universe_(universe)
+    {}
+
+    void insert(Reg r);
+    void erase(Reg r);
+    bool contains(Reg r) const;
+
+    /** this |= other; returns true if this changed. */
+    bool unionWith(const RegSet &other);
+
+    /** this &= ~other. */
+    void subtract(const RegSet &other);
+
+    bool operator==(const RegSet &other) const
+    {
+        return words_ == other.words_;
+    }
+
+    uint32_t universe() const { return universe_; }
+
+    /** Number of set bits. */
+    uint32_t count() const;
+
+    /** Enumerate set bits in ascending order. */
+    std::vector<Reg> toVector() const;
+
+  private:
+    std::vector<uint64_t> words_;
+    uint32_t universe_ = 0;
+};
+
+/** Per-block liveness facts for one function. */
+class Liveness
+{
+  public:
+    explicit Liveness(const Cfg &cfg);
+
+    const RegSet &liveIn(BlockId b) const { return live_in_[b]; }
+    const RegSet &liveOut(BlockId b) const { return live_out_[b]; }
+
+    /**
+     * Registers live immediately before instruction @p index of
+     * block @p b (index == size means live-out of the block).
+     * Computed by a backward walk from the block's live-out.
+     */
+    RegSet liveBefore(BlockId b, size_t index) const;
+
+  private:
+    const Cfg &cfg_;
+    std::vector<RegSet> live_in_;
+    std::vector<RegSet> live_out_;
+};
+
+/** Add @p inst's register uses to @p set. */
+void addUses(const Instruction &inst, RegSet &set);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_IR_LIVENESS_HH_

@@ -1,0 +1,132 @@
+#include "ir/loop_info.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+LoopInfo::LoopInfo(const Cfg &cfg, const DominatorTree &dt)
+    : innermost_(cfg.function().numBlocks(), -1)
+{
+    const Function &fn = cfg.function();
+
+    // Find back edges: b -> h where h dominates b. Merge loops that
+    // share a header.
+    std::vector<std::set<BlockId>> bodies; // parallel to loops_
+    for (BlockId b : cfg.rpo()) {
+        for (BlockId h : fn.block(b).succs()) {
+            if (!dt.dominates(h, b))
+                continue;
+            int li = -1;
+            for (size_t i = 0; i < loops_.size(); i++) {
+                if (loops_[i].header == h) {
+                    li = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (li < 0) {
+                loops_.push_back({});
+                loops_.back().header = h;
+                bodies.push_back({h});
+                li = static_cast<int>(loops_.size()) - 1;
+            }
+            loops_[static_cast<size_t>(li)].latches.push_back(b);
+            // Collect the loop body by walking predecessors from the
+            // latch until the header.
+            std::vector<BlockId> work{b};
+            auto &body = bodies[static_cast<size_t>(li)];
+            while (!work.empty()) {
+                BlockId x = work.back();
+                work.pop_back();
+                if (body.count(x))
+                    continue;
+                body.insert(x);
+                for (BlockId p : cfg.preds(x))
+                    if (cfg.reachable(p))
+                        work.push_back(p);
+            }
+        }
+    }
+
+    for (size_t i = 0; i < loops_.size(); i++)
+        loops_[i].blocks.assign(bodies[i].begin(), bodies[i].end());
+
+    // Nesting: loop A is inside loop B if A's header is in B's body
+    // and A != B. Depth = number of enclosing loops + 1.
+    for (size_t i = 0; i < loops_.size(); i++) {
+        int best_parent = -1;
+        size_t best_size = SIZE_MAX;
+        int depth = 1;
+        for (size_t j = 0; j < loops_.size(); j++) {
+            if (i == j)
+                continue;
+            if (bodies[j].count(loops_[i].header) &&
+                bodies[j].size() > bodies[i].size()) {
+                depth++;
+                if (bodies[j].size() < best_size) {
+                    best_size = bodies[j].size();
+                    best_parent = static_cast<int>(j);
+                }
+            }
+        }
+        loops_[i].depth = depth;
+        loops_[i].parent = best_parent;
+    }
+
+    // Innermost loop per block: the containing loop with the fewest
+    // blocks.
+    for (size_t i = 0; i < loops_.size(); i++) {
+        for (BlockId b : loops_[i].blocks) {
+            int cur = innermost_[b];
+            if (cur < 0 ||
+                bodies[i].size() <
+                    bodies[static_cast<size_t>(cur)].size()) {
+                innermost_[b] = static_cast<int>(i);
+            }
+        }
+    }
+
+    // Preheader: unique reachable predecessor of the header outside
+    // the loop. Exit: unique block outside the loop that is a
+    // successor of some loop block.
+    for (size_t i = 0; i < loops_.size(); i++) {
+        Loop &loop = loops_[i];
+        BlockId pre = kNoBlock;
+        int pre_count = 0;
+        for (BlockId p : cfg.preds(loop.header)) {
+            if (!cfg.reachable(p) || bodies[i].count(p))
+                continue;
+            pre = p;
+            pre_count++;
+        }
+        loop.preheader = (pre_count == 1) ? pre : kNoBlock;
+
+        std::set<BlockId> exits;
+        for (BlockId b : loop.blocks)
+            for (BlockId s : fn.block(b).succs())
+                if (!bodies[i].count(s))
+                    exits.insert(s);
+        loop.exit = (exits.size() == 1) ? *exits.begin() : kNoBlock;
+    }
+}
+
+int
+LoopInfo::depth(BlockId b) const
+{
+    int li = innermost_[b];
+    return li < 0 ? 0 : loops_[static_cast<size_t>(li)].depth;
+}
+
+bool
+LoopInfo::contains(int loop_index, BlockId b) const
+{
+    TP_ASSERT(loop_index >= 0 &&
+              loop_index < static_cast<int>(loops_.size()),
+              "bad loop index %d", loop_index);
+    const auto &blocks = loops_[static_cast<size_t>(loop_index)].blocks;
+    return std::find(blocks.begin(), blocks.end(), b) != blocks.end();
+}
+
+} // namespace turnpike

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Natural-loop detection from back edges (dominator based), with
+ * loop nesting depth and preheader identification. Used by region
+ * formation (boundary in loop headers), LICM checkpoint sinking, and
+ * loop-induction-variable merging.
+ */
+
+#ifndef TURNPIKE_IR_LOOP_INFO_HH_
+#define TURNPIKE_IR_LOOP_INFO_HH_
+
+#include <vector>
+
+#include "ir/dominators.hh"
+
+namespace turnpike {
+
+/** One natural loop. */
+struct Loop
+{
+    BlockId header = kNoBlock;
+    /** Blocks in the loop, including the header. */
+    std::vector<BlockId> blocks;
+    /** Latch blocks (sources of back edges to the header). */
+    std::vector<BlockId> latches;
+    /**
+     * Unique predecessor of the header outside the loop, or kNoBlock
+     * if there are several.
+     */
+    BlockId preheader = kNoBlock;
+    /**
+     * Unique successor block outside the loop reached from inside,
+     * or kNoBlock if there are several exits.
+     */
+    BlockId exit = kNoBlock;
+    /** Nesting depth: 1 for outermost. */
+    int depth = 1;
+    /** Index of the innermost enclosing loop, or -1. */
+    int parent = -1;
+};
+
+/** All natural loops of a function. */
+class LoopInfo
+{
+  public:
+    LoopInfo(const Cfg &cfg, const DominatorTree &dt);
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** Index of the innermost loop containing @p b, or -1. */
+    int innermostLoop(BlockId b) const { return innermost_[b]; }
+
+    /** Nesting depth of @p b (0 when not in any loop). */
+    int depth(BlockId b) const;
+
+    /** True if @p b belongs to loop @p loop_index (any nesting). */
+    bool contains(int loop_index, BlockId b) const;
+
+  private:
+    std::vector<Loop> loops_;
+    std::vector<int> innermost_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_IR_LOOP_INFO_HH_

@@ -1,0 +1,35 @@
+#include "ir/module.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+Function &
+Module::addFunction(const std::string &fn_name)
+{
+    functions_.push_back(std::make_unique<Function>(fn_name));
+    return *functions_.back();
+}
+
+DataObject &
+Module::addData(const std::string &obj_name, uint64_t words,
+                std::vector<int64_t> init)
+{
+    TP_ASSERT(words > 0, "data object %s needs size", obj_name.c_str());
+    TP_ASSERT(init.size() <= words, "init larger than object %s",
+              obj_name.c_str());
+    DataObject obj;
+    obj.name = obj_name;
+    obj.base = next_data_;
+    obj.words = words;
+    obj.init = std::move(init);
+    next_data_ += words * 8;
+    // Keep objects 64-byte (cache-line) aligned.
+    next_data_ = (next_data_ + 63) & ~uint64_t(63);
+    TP_ASSERT(next_data_ < layout::kSpillBase,
+              "data segment overflow in module %s", name_.c_str());
+    data_.push_back(std::move(obj));
+    return data_.back();
+}
+
+} // namespace turnpike

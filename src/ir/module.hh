@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Module: a compilation unit holding one or more functions and the
+ * global data objects (arrays) they reference. Data objects define
+ * the initial memory image a workload starts from.
+ */
+
+#ifndef TURNPIKE_IR_MODULE_HH_
+#define TURNPIKE_IR_MODULE_HH_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace turnpike {
+
+/** A statically allocated 64-bit-word array in the data segment. */
+struct DataObject
+{
+    std::string name;
+    uint64_t base = 0;           ///< byte address, 8-byte aligned
+    uint64_t words = 0;          ///< size in 64-bit words
+    std::vector<int64_t> init;   ///< initial values (zero-padded)
+};
+
+/** A compilation unit: functions plus the data segment. */
+class Module
+{
+  public:
+    explicit Module(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Create a function owned by this module. */
+    Function &addFunction(const std::string &fn_name);
+
+    std::vector<std::unique_ptr<Function>> &functions()
+    {
+        return functions_;
+    }
+    const std::vector<std::unique_ptr<Function>> &functions() const
+    {
+        return functions_;
+    }
+
+    /**
+     * Allocate a data object of @p words 64-bit words at the next
+     * 64-byte-aligned address and return a stable reference to it
+     * (objects live in a deque, so earlier references survive later
+     * allocations). @p init may be shorter than @p words; the rest
+     * is zero.
+     */
+    DataObject &addData(const std::string &obj_name, uint64_t words,
+                        std::vector<int64_t> init = {});
+
+    const std::deque<DataObject> &data() const { return data_; }
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Function>> functions_;
+    std::deque<DataObject> data_;
+    uint64_t next_data_ = layout::kDataBase;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_IR_MODULE_HH_

@@ -1,0 +1,87 @@
+#include "ir/opcode.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Li: return "li";
+      case Op::Mov: return "mov";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::Shl: return "shl";
+      case Op::Shr: return "shr";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::CmpEq: return "cmpeq";
+      case Op::CmpNe: return "cmpne";
+      case Op::CmpLt: return "cmplt";
+      case Op::CmpLe: return "cmple";
+      case Op::AddShl: return "addshl";
+      case Op::Load: return "ld";
+      case Op::Store: return "st";
+      case Op::Ckpt: return "ckpt";
+      case Op::Boundary: return "rgn";
+      case Op::Br: return "br";
+      case Op::Jmp: return "jmp";
+      case Op::Halt: return "halt";
+      case Op::Nop: return "nop";
+      default: panic("opName: bad opcode %d", static_cast<int>(op));
+    }
+}
+
+bool
+isBinary(Op op)
+{
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Shl: case Op::Shr: case Op::And: case Op::Or:
+      case Op::Xor: case Op::CmpEq: case Op::CmpNe: case Op::CmpLt:
+      case Op::CmpLe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isTerminator(Op op)
+{
+    return op == Op::Br || op == Op::Jmp || op == Op::Halt;
+}
+
+bool
+writesDst(Op op)
+{
+    if (isBinary(op))
+        return true;
+    return op == Op::Li || op == Op::Mov || op == Op::Load ||
+        op == Op::AddShl;
+}
+
+bool
+isMemOp(Op op)
+{
+    return op == Op::Load || op == Op::Store;
+}
+
+int
+exLatency(Op op)
+{
+    switch (op) {
+      case Op::Mul:
+        return 3;
+      case Op::Div:
+        return 12;
+      default:
+        return 1;
+    }
+}
+
+} // namespace turnpike

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Opcode definitions and static traits for the Turnpike mini-IR.
+ *
+ * The IR is a RISC-like, register-based, non-SSA representation over
+ * 64-bit integer values. Binary arithmetic accepts either two
+ * register sources or a register and an immediate (when src1 is
+ * kNoReg, the immediate is the second operand). Two pseudo ops carry
+ * the resilience semantics: Ckpt (checkpoint a register to its
+ * memory slot) and Boundary (region boundary marker; assigned a
+ * static region id by region formation).
+ */
+
+#ifndef TURNPIKE_IR_OPCODE_HH_
+#define TURNPIKE_IR_OPCODE_HH_
+
+#include <cstdint>
+
+namespace turnpike {
+
+/** Operation kinds of the mini-IR and machine ISA. */
+enum class Op : uint8_t {
+    Li,       ///< dst = imm
+    Mov,      ///< dst = src0
+    Add,      ///< dst = src0 + (src1|imm)
+    Sub,      ///< dst = src0 - (src1|imm)
+    Mul,      ///< dst = src0 * (src1|imm)
+    Div,      ///< dst = src0 / (src1|imm), div-by-zero yields 0
+    Shl,      ///< dst = src0 << ((src1|imm) & 63)
+    Shr,      ///< dst = (int64)src0 >> ((src1|imm) & 63)
+    And,      ///< dst = src0 & (src1|imm)
+    Or,       ///< dst = src0 | (src1|imm)
+    Xor,      ///< dst = src0 ^ (src1|imm)
+    CmpEq,    ///< dst = src0 == (src1|imm)
+    CmpNe,    ///< dst = src0 != (src1|imm)
+    CmpLt,    ///< dst = src0 <  (src1|imm), signed
+    CmpLe,    ///< dst = src0 <= (src1|imm), signed
+    AddShl,   ///< dst = src0 + (src1 << imm); ARM shifted-operand add
+    Load,     ///< dst = mem64[src0 + imm]
+    Store,    ///< mem64[src1 + imm] = src0
+    Ckpt,     ///< checkpoint register src0 (pseudo; lowered to store)
+    Boundary, ///< region boundary marker; imm = static region id
+    Br,       ///< if (src0 != 0) goto succ0 else goto succ1
+    Jmp,      ///< goto succ0
+    Halt,     ///< terminate the program
+    Nop,      ///< no effect
+    NumOps,   ///< sentinel
+};
+
+/** Human-readable mnemonic, e.g. "add". */
+const char *opName(Op op);
+
+/** True for the two-operand arithmetic/compare ops (Add..CmpLe). */
+bool isBinary(Op op);
+
+/** True for Br/Jmp/Halt — the only legal block terminators. */
+bool isTerminator(Op op);
+
+/** True if the op writes a destination register. */
+bool writesDst(Op op);
+
+/** True for ops that access data memory (Load/Store; not Ckpt). */
+bool isMemOp(Op op);
+
+/**
+ * Execute-stage latency of the op in cycles for the in-order
+ * pipeline model (Loads additionally pay the cache access).
+ */
+int exLatency(Op op);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_IR_OPCODE_HH_

@@ -1,0 +1,48 @@
+#include "ir/printer.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+std::string
+printFunction(const Function &fn)
+{
+    std::ostringstream out;
+    out << "func " << fn.name() << " (regs=" << fn.numRegs()
+        << ", entry=" << fn.entry() << ")\n";
+    for (BlockId b = 0; b < fn.numBlocks(); b++) {
+        const BasicBlock &blk = fn.block(b);
+        out << blk.name() << ":  ; id=" << b;
+        if (!blk.succs().empty()) {
+            out << " succs=[";
+            for (size_t i = 0; i < blk.succs().size(); i++) {
+                if (i)
+                    out << ",";
+                out << blk.succs()[i];
+            }
+            out << "]";
+        }
+        out << "\n";
+        for (const Instruction &inst : blk.insts())
+            out << "    " << inst.toString() << "\n";
+    }
+    return out.str();
+}
+
+std::string
+printModule(const Module &mod)
+{
+    std::ostringstream out;
+    out << "module " << mod.name() << "\n";
+    for (const DataObject &d : mod.data()) {
+        out << "data " << d.name << " @0x" << std::hex << d.base
+            << std::dec << " words=" << d.words << "\n";
+    }
+    for (const auto &fn : mod.functions())
+        out << printFunction(*fn);
+    return out.str();
+}
+
+} // namespace turnpike

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Textual dumps of IR functions and modules for debugging, tests,
+ * and the compiler-explorer example.
+ */
+
+#ifndef TURNPIKE_IR_PRINTER_HH_
+#define TURNPIKE_IR_PRINTER_HH_
+
+#include <string>
+
+#include "ir/module.hh"
+
+namespace turnpike {
+
+/** Dump one function, blocks in id order. */
+std::string printFunction(const Function &fn);
+
+/** Dump a whole module: data objects then functions. */
+std::string printModule(const Module &mod);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_IR_PRINTER_HH_

@@ -1,0 +1,104 @@
+#include "ir/verifier.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+std::vector<std::string>
+verifyFunction(const Function &fn)
+{
+    std::vector<std::string> problems;
+    auto complain = [&](std::string s) { problems.push_back(std::move(s)); };
+
+    if (fn.entry() == kNoBlock) {
+        complain("function has no entry block");
+        return problems;
+    }
+
+    for (BlockId b = 0; b < fn.numBlocks(); b++) {
+        const BasicBlock &blk = fn.block(b);
+        const std::string where = strfmt("block %s(%u)",
+                                         blk.name().c_str(), b);
+        if (!blk.hasTerminator()) {
+            complain(where + ": missing terminator");
+            continue;
+        }
+        size_t expected_succs = 0;
+        switch (blk.terminator().op) {
+          case Op::Br:
+            expected_succs = 2;
+            break;
+          case Op::Jmp:
+            expected_succs = 1;
+            break;
+          case Op::Halt:
+            expected_succs = 0;
+            break;
+          default:
+            break;
+        }
+        if (blk.succs().size() != expected_succs) {
+            complain(strfmt("%s: %s terminator with %zu successors",
+                            where.c_str(), opName(blk.terminator().op),
+                            blk.succs().size()));
+        }
+        for (BlockId s : blk.succs())
+            if (s >= fn.numBlocks())
+                complain(where + ": successor out of range");
+
+        for (size_t i = 0; i < blk.size(); i++) {
+            const Instruction &inst = blk.insts()[i];
+            if (isTerminator(inst.op) && i + 1 != blk.size()) {
+                complain(strfmt("%s: terminator at %zu not last",
+                                where.c_str(), i));
+            }
+            auto check_reg = [&](Reg r, const char *role) {
+                if (r != kNoReg && r >= fn.numRegs()) {
+                    complain(strfmt("%s inst %zu: %s reg v%u out of "
+                                    "range (%u regs)", where.c_str(), i,
+                                    role, r, fn.numRegs()));
+                }
+            };
+            if (writesDst(inst.op)) {
+                if (inst.dst == kNoReg)
+                    complain(strfmt("%s inst %zu: missing dst",
+                                    where.c_str(), i));
+                check_reg(inst.dst, "dst");
+            }
+            check_reg(inst.src0, "src0");
+            check_reg(inst.src1, "src1");
+            switch (inst.op) {
+              case Op::Mov:
+              case Op::Load:
+              case Op::Ckpt:
+              case Op::Br:
+                if (inst.src0 == kNoReg)
+                    complain(strfmt("%s inst %zu: %s missing src0",
+                                    where.c_str(), i, opName(inst.op)));
+                break;
+              case Op::Store:
+                if (inst.src0 == kNoReg || inst.src1 == kNoReg)
+                    complain(strfmt("%s inst %zu: store missing operand",
+                                    where.c_str(), i));
+                break;
+              default:
+                if (isBinary(inst.op) && inst.src0 == kNoReg)
+                    complain(strfmt("%s inst %zu: binary missing src0",
+                                    where.c_str(), i));
+                break;
+            }
+        }
+    }
+    return problems;
+}
+
+void
+verifyOrDie(const Function &fn)
+{
+    auto problems = verifyFunction(fn);
+    if (!problems.empty())
+        panic("IR verification failed for %s: %s", fn.name().c_str(),
+              problems.front().c_str());
+}
+
+} // namespace turnpike

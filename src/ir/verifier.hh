@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Structural verifier for mini-IR functions. Catches malformed IR
+ * early: missing terminators, bad successor arities, out-of-range
+ * registers, and (when regions are formed) boundary invariants.
+ */
+
+#ifndef TURNPIKE_IR_VERIFIER_HH_
+#define TURNPIKE_IR_VERIFIER_HH_
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace turnpike {
+
+/**
+ * Verify @p fn; returns the list of problems found (empty when the
+ * function is well-formed).
+ */
+std::vector<std::string> verifyFunction(const Function &fn);
+
+/** Verify and panic with the first problem if any. */
+void verifyOrDie(const Function &fn);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_IR_VERIFIER_HH_

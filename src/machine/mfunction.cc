@@ -1,0 +1,44 @@
+#include "machine/mfunction.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+const RegionMeta &
+MachineFunction::region(uint32_t id) const
+{
+    TP_ASSERT(id < regions_.size(), "bad region id %u", id);
+    return regions_[id];
+}
+
+uint64_t
+MachineFunction::codeBytes() const
+{
+    uint64_t bytes = 0;
+    for (const MInstr &mi : code_)
+        bytes += mi.encodedBytes();
+    return bytes;
+}
+
+uint64_t
+MachineFunction::recoveryBytes() const
+{
+    uint64_t bytes = 0;
+    for (const RegionMeta &rm : regions_)
+        bytes += 4 * rm.recovery.size();
+    return bytes;
+}
+
+uint64_t
+MachineFunction::baselineBytes() const
+{
+    uint64_t bytes = 0;
+    for (const MInstr &mi : code_) {
+        if (mi.op == Op::Ckpt || mi.op == Op::Boundary)
+            continue;
+        bytes += mi.encodedBytes();
+    }
+    return bytes;
+}
+
+} // namespace turnpike

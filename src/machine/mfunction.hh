@@ -1,0 +1,104 @@
+/**
+ * @file
+ * MachineFunction: linearized machine code plus per-region recovery
+ * metadata — the unit the in-order pipeline simulator runs and the
+ * recovery engine consults after an error.
+ */
+
+#ifndef TURNPIKE_MACHINE_MFUNCTION_HH_
+#define TURNPIKE_MACHINE_MFUNCTION_HH_
+
+#include <string>
+#include <vector>
+
+#include "machine/minstr.hh"
+
+namespace turnpike {
+
+/**
+ * One step of a region's recovery program. Recovery programs run on
+ * a small virtual temp file inside the recovery engine; their only
+ * memory reads are checkpoint slots (resolved through the verified
+ * colors) and their only architectural writes are CommitReg steps.
+ * BrIfZero enables the Fig. 9 style branch-replaying reconstruction
+ * of pruned checkpoints.
+ */
+struct RecoveryOp
+{
+    enum class Kind : uint8_t {
+        LoadCkpt,   ///< temp[t] = ckpt slot of physical register reg
+        Li,         ///< temp[t] = imm
+        Bin,        ///< temp[t] = op(temp[a], bImm ? imm : temp[b])
+        BrIfZero,   ///< if (temp[a] == 0) skip the next 'skip' ops
+        CommitReg,  ///< architectural reg = temp[t]
+    };
+
+    Kind kind = Kind::Li;
+    Op op = Op::Add;   ///< for Bin
+    int t = 0;         ///< destination temp (LoadCkpt/Li/Bin/CommitReg)
+    int a = 0;         ///< source temp
+    int b = 0;         ///< source temp (Bin with !bImm)
+    bool bImm = false; ///< Bin second operand is imm
+    int64_t imm = 0;   ///< Li value / Bin immediate
+    Reg reg = kNoReg;  ///< physical register (LoadCkpt/CommitReg)
+    int skip = 0;      ///< BrIfZero skip count
+};
+
+/** A region's recovery program: restores the region's live-ins. */
+using RecoveryProgram = std::vector<RecoveryOp>;
+
+/** Static per-region metadata. */
+struct RegionMeta
+{
+    /** PC of the Boundary instruction that starts the region. */
+    uint32_t entryPc = kNoPc;
+    /** Live-in physical registers at the region entry. */
+    std::vector<Reg> liveIns;
+    /** Restores liveIns from checkpoint storage after an error. */
+    RecoveryProgram recovery;
+};
+
+/**
+ * A linearized machine program. PC 0 is the entry; execution ends at
+ * a Halt. Region 0 starts at the leading Boundary the lowering pass
+ * inserts at PC 0.
+ */
+class MachineFunction
+{
+  public:
+    explicit MachineFunction(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    std::vector<MInstr> &code() { return code_; }
+    const std::vector<MInstr> &code() const { return code_; }
+
+    std::vector<RegionMeta> &regions() { return regions_; }
+    const std::vector<RegionMeta> &regions() const { return regions_; }
+
+    const RegionMeta &region(uint32_t id) const;
+
+    size_t size() const { return code_.size(); }
+
+    /** Encoded bytes of the instruction stream (boundaries free). */
+    uint64_t codeBytes() const;
+
+    /** Encoded bytes of all recovery programs (4 bytes per op). */
+    uint64_t recoveryBytes() const;
+
+    /**
+     * Encoded bytes excluding resilience additions: checkpoint
+     * stores, boundaries, and recovery blocks — i.e. the size the
+     * same code would have without any soft-error support.
+     */
+    uint64_t baselineBytes() const;
+
+  private:
+    std::string name_;
+    std::vector<MInstr> code_;
+    std::vector<RegionMeta> regions_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_MACHINE_MFUNCTION_HH_

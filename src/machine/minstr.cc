@@ -1,0 +1,20 @@
+#include "machine/minstr.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+std::string
+MInstr::toString() const
+{
+    switch (op) {
+      case Op::Br:
+        return strfmt("br v%u -> %u", src0, target);
+      case Op::Jmp:
+        return strfmt("jmp -> %u", target);
+      default:
+        return Instruction::toString();
+    }
+}
+
+} // namespace turnpike

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Machine-level instruction: the mini-IR Instruction operating on
+ * physical registers, linearized to a flat PC space with explicit
+ * branch targets. This is what the in-order pipeline executes.
+ */
+
+#ifndef TURNPIKE_MACHINE_MINSTR_HH_
+#define TURNPIKE_MACHINE_MINSTR_HH_
+
+#include "ir/instruction.hh"
+
+namespace turnpike {
+
+/** Number of architectural registers (ARM Cortex-A53-like). */
+constexpr Reg kNumPhysRegs = 32;
+
+/** Reserved frame-pointer register holding the spill-area base. */
+constexpr Reg kFramePointer = 31;
+
+/** Sentinel PC. */
+constexpr uint32_t kNoPc = 0xffffffffu;
+
+/**
+ * One machine instruction. Register fields hold physical ids
+ * (< kNumPhysRegs). Br jumps to @p target when the condition is
+ * non-zero, else falls through to pc+1; Jmp always jumps to
+ * @p target. Boundary instructions carry their static region id in
+ * imm and occupy zero encoded bytes (modelled as a marker bit on
+ * the following instruction in a real encoding).
+ */
+struct MInstr : Instruction
+{
+    /** Taken target for Br; target for Jmp; kNoPc otherwise. */
+    uint32_t target = kNoPc;
+
+    /** Encoded size in bytes (0 for Boundary, 4 otherwise). */
+    uint32_t encodedBytes() const
+    {
+        return op == Op::Boundary ? 0 : 4;
+    }
+
+    /** Render with pc-based branch syntax. */
+    std::string toString() const;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_MACHINE_MINSTR_HH_

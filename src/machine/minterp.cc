@@ -1,0 +1,136 @@
+#include "machine/minterp.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+int64_t
+evalAlu(Op op, int64_t a, int64_t b)
+{
+    switch (op) {
+      case Op::Mov:
+        return a;
+      case Op::Add:
+        return a + b;
+      case Op::Sub:
+        return a - b;
+      case Op::Mul:
+        return a * b;
+      case Op::Div:
+        return b == 0 ? 0 : a / b;
+      case Op::Shl:
+        return static_cast<int64_t>(static_cast<uint64_t>(a)
+                                    << (b & 63));
+      case Op::Shr:
+        return a >> (b & 63);
+      case Op::And:
+        return a & b;
+      case Op::Or:
+        return a | b;
+      case Op::Xor:
+        return a ^ b;
+      case Op::CmpEq:
+        return a == b;
+      case Op::CmpNe:
+        return a != b;
+      case Op::CmpLt:
+        return a < b;
+      case Op::CmpLe:
+        return a <= b;
+      default:
+        panic("evalAlu: %s is not an ALU op", opName(op));
+    }
+}
+
+InterpResult
+interpretMachine(const Module &mod, const MachineFunction &mf,
+                 uint64_t step_limit)
+{
+    InterpResult result;
+    result.memory.loadModule(mod);
+    MemoryImage &mem = result.memory;
+    InterpStats &st = result.stats;
+
+    int64_t regs[kNumPhysRegs] = {0};
+    const auto &code = mf.code();
+    uint32_t pc = 0;
+    uint64_t region_insts = 0;
+
+    while (st.insts < step_limit) {
+        TP_ASSERT(pc < code.size(), "minterp: pc %u out of range", pc);
+        const MInstr &mi = code[pc];
+        st.insts++;
+        region_insts++;
+        uint32_t next_pc = pc + 1;
+
+        auto op2 = [&]() {
+            return mi.src1 == kNoReg ? mi.imm : regs[mi.src1];
+        };
+
+        switch (mi.op) {
+          case Op::Li:
+            regs[mi.dst] = mi.imm;
+            break;
+          case Op::AddShl:
+            regs[mi.dst] = regs[mi.src0] +
+                static_cast<int64_t>(
+                    static_cast<uint64_t>(regs[mi.src1])
+                    << (mi.imm & 63));
+            break;
+          case Op::Load: {
+            uint64_t addr =
+                static_cast<uint64_t>(regs[mi.src0] + mi.imm);
+            regs[mi.dst] = mem.read(addr);
+            st.loads++;
+            break;
+          }
+          case Op::Store: {
+            uint64_t addr =
+                static_cast<uint64_t>(regs[mi.src1] + mi.imm);
+            mem.write(addr, regs[mi.src0]);
+            if (mi.skind == StoreKind::Spill)
+                st.storesSpill++;
+            else
+                st.storesApp++;
+            break;
+          }
+          case Op::Ckpt:
+            mem.write(layout::ckptSlot(mi.src0, layout::kQuarantineColor),
+                      regs[mi.src0]);
+            st.storesCkpt++;
+            break;
+          case Op::Boundary:
+            st.boundaries++;
+            st.insts--;
+            region_insts--;
+            if (region_insts > 0)
+                st.regionSize.sample(static_cast<double>(region_insts));
+            region_insts = 0;
+            break;
+          case Op::Br:
+            st.branches++;
+            if (regs[mi.src0] != 0)
+                next_pc = mi.target;
+            break;
+          case Op::Jmp:
+            next_pc = mi.target;
+            break;
+          case Op::Halt:
+            if (region_insts > 1)
+                st.regionSize.sample(
+                    static_cast<double>(region_insts - 1));
+            result.reason = StopReason::Halted;
+            return result;
+          case Op::Nop:
+            break;
+          default:
+            regs[mi.dst] = evalAlu(mi.op, regs[mi.src0], op2());
+            break;
+        }
+        pc = next_pc;
+    }
+    result.reason = StopReason::StepLimit;
+    return result;
+}
+
+} // namespace turnpike

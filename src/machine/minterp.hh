@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Functional (untimed) interpreter for machine code. The golden
+ * model for the pipeline simulator: both must produce the same final
+ * data-segment image on fault-free runs.
+ */
+
+#ifndef TURNPIKE_MACHINE_MINTERP_HH_
+#define TURNPIKE_MACHINE_MINTERP_HH_
+
+#include "ir/interpreter.hh"
+#include "machine/mfunction.hh"
+
+namespace turnpike {
+
+/**
+ * Execute @p mf functionally with memory initialized from @p mod.
+ * Checkpoint stores write the register's quarantine slot. Returns
+ * the same result shape as the IR interpreter.
+ */
+InterpResult interpretMachine(const Module &mod, const MachineFunction &mf,
+                              uint64_t step_limit = 100000000);
+
+/**
+ * Evaluate one ALU-class machine op over resolved operand values.
+ * Shared by the functional interpreter and the pipeline's execute
+ * stage so semantics can never diverge.
+ */
+int64_t evalAlu(Op op, int64_t a, int64_t b);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_MACHINE_MINTERP_HH_

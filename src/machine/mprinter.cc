@@ -1,0 +1,68 @@
+#include "machine/mprinter.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+std::string
+printRecovery(const RecoveryProgram &prog)
+{
+    std::ostringstream out;
+    for (size_t i = 0; i < prog.size(); i++) {
+        const RecoveryOp &op = prog[i];
+        out << "      [" << i << "] ";
+        switch (op.kind) {
+          case RecoveryOp::Kind::LoadCkpt:
+            out << strfmt("t%d = ldckpt r%u", op.t, op.reg);
+            break;
+          case RecoveryOp::Kind::Li:
+            out << strfmt("t%d = li %lld", op.t,
+                          static_cast<long long>(op.imm));
+            break;
+          case RecoveryOp::Kind::Bin:
+            if (op.bImm) {
+                out << strfmt("t%d = %s t%d, %lld", op.t, opName(op.op),
+                              op.a, static_cast<long long>(op.imm));
+            } else {
+                out << strfmt("t%d = %s t%d, t%d", op.t, opName(op.op),
+                              op.a, op.b);
+            }
+            break;
+          case RecoveryOp::Kind::BrIfZero:
+            out << strfmt("brz t%d, +%d", op.a, op.skip);
+            break;
+          case RecoveryOp::Kind::CommitReg:
+            out << strfmt("r%u = commit t%d", op.reg, op.t);
+            break;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+printMachineFunction(const MachineFunction &mf)
+{
+    std::ostringstream out;
+    out << "mfunc " << mf.name() << " (" << mf.size() << " instrs, "
+        << mf.regions().size() << " regions)\n";
+    for (size_t pc = 0; pc < mf.code().size(); pc++)
+        out << strfmt("%5zu: %s\n", pc, mf.code()[pc].toString().c_str());
+    for (size_t r = 0; r < mf.regions().size(); r++) {
+        const RegionMeta &rm = mf.regions()[r];
+        out << "  region " << r << " @pc " << rm.entryPc << " live-in {";
+        for (size_t i = 0; i < rm.liveIns.size(); i++) {
+            if (i)
+                out << ",";
+            out << "r" << rm.liveIns[i];
+        }
+        out << "}\n";
+        if (!rm.recovery.empty())
+            out << printRecovery(rm.recovery);
+    }
+    return out.str();
+}
+
+} // namespace turnpike

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Disassembly of machine functions, including region metadata and
+ * recovery programs.
+ */
+
+#ifndef TURNPIKE_MACHINE_MPRINTER_HH_
+#define TURNPIKE_MACHINE_MPRINTER_HH_
+
+#include <string>
+
+#include "machine/mfunction.hh"
+
+namespace turnpike {
+
+/** Dump the code stream with PCs and region markers. */
+std::string printMachineFunction(const MachineFunction &mf);
+
+/** Dump one recovery program. */
+std::string printRecovery(const RecoveryProgram &prog);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_MACHINE_MPRINTER_HH_

@@ -1,0 +1,96 @@
+#include "machine/mverifier.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+std::vector<std::string>
+verifyMachineFunction(const MachineFunction &mf)
+{
+    std::vector<std::string> problems;
+    auto complain = [&](std::string s) { problems.push_back(std::move(s)); };
+    const auto &code = mf.code();
+
+    if (code.empty()) {
+        complain("empty machine function");
+        return problems;
+    }
+    if (code.front().op != Op::Boundary)
+        complain("machine function must start with the region-0 boundary");
+    bool saw_halt = false;
+    for (size_t pc = 0; pc < code.size(); pc++) {
+        const MInstr &mi = code[pc];
+        auto check_reg = [&](Reg r, const char *role) {
+            if (r != kNoReg && r >= kNumPhysRegs)
+                complain(strfmt("pc %zu: %s register %u not physical",
+                                pc, role, r));
+        };
+        check_reg(mi.dst, "dst");
+        check_reg(mi.src0, "src0");
+        check_reg(mi.src1, "src1");
+        if (mi.op == Op::Br || mi.op == Op::Jmp) {
+            if (mi.target >= code.size())
+                complain(strfmt("pc %zu: branch target %u out of range",
+                                pc, mi.target));
+        }
+        if (mi.op == Op::Br && pc + 1 >= code.size())
+            complain(strfmt("pc %zu: conditional branch has no "
+                            "fall-through", pc));
+        if (mi.op == Op::Halt)
+            saw_halt = true;
+        if (mi.op == Op::Boundary) {
+            uint32_t rid = static_cast<uint32_t>(mi.imm);
+            if (rid >= mf.regions().size()) {
+                complain(strfmt("pc %zu: boundary region id %u has no "
+                                "metadata", pc, rid));
+            } else if (mf.regions()[rid].entryPc != pc) {
+                complain(strfmt("pc %zu: region %u metadata entryPc %u "
+                                "mismatch", pc, rid,
+                                mf.regions()[rid].entryPc));
+            }
+        }
+    }
+    if (!saw_halt)
+        complain("machine function has no halt");
+
+    for (size_t r = 0; r < mf.regions().size(); r++) {
+        const RegionMeta &rm = mf.regions()[r];
+        if (rm.entryPc >= code.size()) {
+            complain(strfmt("region %zu: entryPc out of range", r));
+            continue;
+        }
+        if (code[rm.entryPc].op != Op::Boundary)
+            complain(strfmt("region %zu: entryPc not a boundary", r));
+        for (Reg lr : rm.liveIns)
+            if (lr >= kNumPhysRegs)
+                complain(strfmt("region %zu: live-in %u not physical",
+                                r, lr));
+        for (size_t i = 0; i < rm.recovery.size(); i++) {
+            const RecoveryOp &op = rm.recovery[i];
+            if (op.kind == RecoveryOp::Kind::BrIfZero &&
+                i + 1 + static_cast<size_t>(op.skip) >
+                    rm.recovery.size()) {
+                complain(strfmt("region %zu: recovery br skips out of "
+                                "range at %zu", r, i));
+            }
+            if ((op.kind == RecoveryOp::Kind::LoadCkpt ||
+                 op.kind == RecoveryOp::Kind::CommitReg) &&
+                op.reg >= kNumPhysRegs) {
+                complain(strfmt("region %zu: recovery op %zu bad reg",
+                                r, i));
+            }
+        }
+    }
+    return problems;
+}
+
+void
+verifyOrDie(const MachineFunction &mf)
+{
+    auto problems = verifyMachineFunction(mf);
+    if (!problems.empty())
+        panic("machine verification failed for %s: %s",
+              mf.name().c_str(), problems.front().c_str());
+}
+
+} // namespace turnpike

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Structural verifier for machine functions: register ranges, branch
+ * targets, region metadata consistency.
+ */
+
+#ifndef TURNPIKE_MACHINE_MVERIFIER_HH_
+#define TURNPIKE_MACHINE_MVERIFIER_HH_
+
+#include <string>
+#include <vector>
+
+#include "machine/mfunction.hh"
+
+namespace turnpike {
+
+/** Verify @p mf; returns the problems found (empty when valid). */
+std::vector<std::string> verifyMachineFunction(const MachineFunction &mf);
+
+/** Verify and panic on the first problem. */
+void verifyOrDie(const MachineFunction &mf);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_MACHINE_MVERIFIER_HH_

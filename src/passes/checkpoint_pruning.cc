@@ -1,0 +1,627 @@
+#include "passes/checkpoint_pruning.hh"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+#include "ir/loop_info.hh"
+#include "machine/minstr.hh"
+#include "passes/region_formation.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+/**
+ * Forward scan from (block b, index i) collecting the boundaries the
+ * current value of @p p can reach. Fails (returns false) if any
+ * source register in @p sources is redefined while p's value is
+ * still in flight. Paths end when p is redefined. @p reached gets
+ * the region ids of boundaries where p is live.
+ */
+bool
+scanValueFlow(const Function &fn, const Liveness &live, Reg p,
+              const std::set<Reg> &sources, BlockId b, size_t i,
+              std::set<uint32_t> &reached)
+{
+    std::set<BlockId> visited;
+    // Work item: scan block from index.
+    std::vector<std::pair<BlockId, size_t>> work{{b, i}};
+    while (!work.empty()) {
+        auto [blk_id, start] = work.back();
+        work.pop_back();
+        const BasicBlock &blk = fn.block(blk_id);
+        bool stopped = false;
+        for (size_t idx = start; idx < blk.size(); idx++) {
+            const Instruction &inst = blk.insts()[idx];
+            if (inst.op == Op::Boundary) {
+                if (live.liveBefore(blk_id, idx).contains(p))
+                    reached.insert(static_cast<uint32_t>(inst.imm));
+            }
+            if (writesDst(inst.op) && inst.dst != kNoReg) {
+                if (inst.dst == p) {
+                    stopped = true;
+                    break;
+                }
+                if (sources.count(inst.dst)) {
+                    // A source lost its def-time value here. That
+                    // only invalidates the recipe if p's value can
+                    // still reach a recovery boundary from this
+                    // point; a redefinition past the last boundary
+                    // is harmless.
+                    std::set<uint32_t> beyond;
+                    std::set<Reg> none;
+                    scanValueFlow(fn, live, p, none, blk_id, idx + 1,
+                                  beyond);
+                    if (!beyond.empty())
+                        return false;
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+        if (stopped)
+            continue;
+        for (BlockId s : blk.succs()) {
+            if (visited.count(s))
+                continue;
+            visited.insert(s);
+            // Only descend while p is live-in (dead and
+            // never-redefined values cannot reach a boundary live).
+            if (!live.liveIn(s).contains(p))
+                continue;
+            work.push_back({s, 0});
+        }
+    }
+    return true;
+}
+
+/** All defs of @p p in the function as (block, index) positions. */
+std::vector<std::pair<BlockId, size_t>>
+defsOf(const Function &fn, Reg p)
+{
+    std::vector<std::pair<BlockId, size_t>> out;
+    for (BlockId b = 0; b < fn.numBlocks(); b++) {
+        const BasicBlock &blk = fn.block(b);
+        for (size_t i = 0; i < blk.size(); i++)
+            if (blk.insts()[i].writes(p))
+                out.push_back({b, i});
+    }
+    return out;
+}
+
+/**
+ * Append ops computing @p def's value to @p prog; the result lands
+ * in @p into when >= 0 (via a final copy) or in a fresh temp whose
+ * index is returned.
+ */
+int
+buildExpr(RecoveryProgram &prog, const Instruction &def, int into)
+{
+    auto next_temp = [&]() { return static_cast<int>(prog.size()) + 64; };
+    auto load_or_imm = [&](Reg r, int64_t imm, bool is_reg) {
+        RecoveryOp op;
+        int t = next_temp();
+        if (is_reg) {
+            op.kind = RecoveryOp::Kind::LoadCkpt;
+            op.t = t;
+            op.reg = r;
+        } else {
+            op.kind = RecoveryOp::Kind::Li;
+            op.t = t;
+            op.imm = imm;
+        }
+        prog.push_back(op);
+        return t;
+    };
+
+    int result;
+    if (def.op == Op::Li) {
+        result = load_or_imm(kNoReg, def.imm, false);
+    } else if (def.op == Op::Mov) {
+        result = load_or_imm(def.src0, 0, true);
+    } else {
+        int a = load_or_imm(def.src0, 0, true);
+        RecoveryOp bin;
+        bin.kind = RecoveryOp::Kind::Bin;
+        bin.op = def.op;
+        bin.a = a;
+        if (def.src1 == kNoReg) {
+            bin.bImm = true;
+            bin.imm = def.imm;
+        } else {
+            bin.b = load_or_imm(def.src1, 0, true);
+        }
+        bin.t = next_temp();
+        prog.push_back(bin);
+        result = bin.t;
+    }
+    if (into >= 0 && into != result) {
+        RecoveryOp mov;
+        mov.kind = RecoveryOp::Kind::Bin;
+        mov.op = Op::Mov;
+        mov.a = result;
+        mov.t = into;
+        prog.push_back(mov);
+        result = into;
+    }
+    return result;
+}
+
+/** Build the reconstruction recipe for a pure single def. */
+RecoveryProgram
+buildRecipe(const Instruction &def)
+{
+    RecoveryProgram prog;
+    int result = buildExpr(prog, def, -1);
+    RecoveryOp commit;
+    commit.kind = RecoveryOp::Kind::CommitReg;
+    commit.t = result;
+    commit.reg = def.dst;
+    prog.push_back(commit);
+    return prog;
+}
+
+/**
+ * Fig. 9 recipe for a diamond: compute the else-arm value, then, if
+ * the checkpointed predicate is non-zero, overwrite it with the
+ * then-arm value; commit the survivor.
+ */
+RecoveryProgram
+buildDiamondRecipe(Reg cond, const Instruction &then_def,
+                   const Instruction &else_def)
+{
+    RecoveryProgram prog;
+    constexpr int kResult = 0; // temp indices >= 64 used by buildExpr
+    buildExpr(prog, else_def, kResult);
+
+    RecoveryOp ld;
+    ld.kind = RecoveryOp::Kind::LoadCkpt;
+    ld.t = 1;
+    ld.reg = cond;
+    prog.push_back(ld);
+
+    RecoveryOp br;
+    br.kind = RecoveryOp::Kind::BrIfZero;
+    br.a = 1;
+    size_t br_pos = prog.size();
+    prog.push_back(br);
+
+    buildExpr(prog, then_def, kResult);
+    prog[br_pos].skip =
+        static_cast<int>(prog.size() - br_pos - 1);
+
+    RecoveryOp commit;
+    commit.kind = RecoveryOp::Kind::CommitReg;
+    commit.t = kResult;
+    commit.reg = then_def.dst;
+    prog.push_back(commit);
+    return prog;
+}
+
+/**
+ * Fig. 9 extension: prune the checkpoints of a register defined in
+ * both arms of a two-way diamond. The recovery recipe replays the
+ * branch on the checkpointed predicate and reconstructs whichever
+ * arm value was taken. Conditions mirror the single-def case, plus:
+ * the branch condition must itself be live (hence checkpointed and
+ * current) at every governed boundary.
+ */
+void
+pruneDiamonds(Function &fn, const Cfg &cfg, const Liveness &live,
+              const RegionMap &rmap,
+              std::map<Reg, std::set<uint32_t>> &source_regions,
+              PruneResult &result)
+{
+    for (BlockId join = 0; join < fn.numBlocks(); join++) {
+        if (!cfg.reachable(join) || cfg.preds(join).size() != 2)
+            continue;
+        BlockId arm_l = cfg.preds(join)[0];
+        BlockId arm_r = cfg.preds(join)[1];
+        // Each arm: single pred (the branch block), ends in Jmp, no
+        // boundaries inside (whole diamond in one region).
+        auto arm_ok = [&](BlockId a) {
+            if (cfg.preds(a).size() != 1)
+                return false;
+            const BasicBlock &blk = fn.block(a);
+            if (!blk.hasTerminator() || blk.terminator().op != Op::Jmp)
+                return false;
+            for (const Instruction &inst : blk.insts())
+                if (inst.op == Op::Boundary)
+                    return false;
+            return true;
+        };
+        if (!arm_ok(arm_l) || !arm_ok(arm_r))
+            continue;
+        BlockId branch_bb = cfg.preds(arm_l)[0];
+        if (cfg.preds(arm_r)[0] != branch_bb)
+            continue;
+        const BasicBlock &bb = fn.block(branch_bb);
+        if (!bb.hasTerminator() || bb.terminator().op != Op::Br)
+            continue;
+        Reg cond = bb.terminator().src0;
+        // succs[0] is the taken (cond != 0) arm.
+        BlockId then_arm = bb.succs()[0];
+        BlockId else_arm = bb.succs()[1];
+
+        uint32_t region = rmap.regionAtEntry(join);
+        if (region == kNoRegion || region == kMixedRegion)
+            continue;
+
+        // Candidate registers: checkpointed in both arms with a pure
+        // adjacent-region def in each.
+        struct ArmDef { size_t ckpt = SIZE_MAX; size_t def = SIZE_MAX; };
+        auto find_arm = [&](BlockId a, Reg p, ArmDef &out) {
+            const BasicBlock &blk = fn.block(a);
+            for (size_t i = 0; i < blk.size(); i++) {
+                if (blk.insts()[i].op == Op::Ckpt &&
+                    blk.insts()[i].src0 == p)
+                    out.ckpt = i;
+            }
+            if (out.ckpt == SIZE_MAX)
+                return false;
+            for (size_t j = out.ckpt; j > 0; j--) {
+                if (blk.insts()[j - 1].writes(p)) {
+                    out.def = j - 1;
+                    break;
+                }
+            }
+            if (out.def == SIZE_MAX)
+                return false;
+            const Instruction &def = blk.insts()[out.def];
+            return def.op == Op::Li || def.op == Op::Mov ||
+                isBinary(def.op);
+        };
+
+        std::set<Reg> cand;
+        for (const Instruction &inst : fn.block(then_arm).insts())
+            if (inst.op == Op::Ckpt)
+                cand.insert(inst.src0);
+
+        for (Reg p : cand) {
+            ArmDef dthen, delse;
+            if (!find_arm(then_arm, p, dthen) ||
+                !find_arm(else_arm, p, delse))
+                continue;
+            const Instruction &then_def =
+                fn.block(then_arm).insts()[dthen.def];
+            const Instruction &else_def =
+                fn.block(else_arm).insts()[delse.def];
+
+            // Gather the sources plus the predicate; the predicate
+            // may not be the frame pointer either.
+            std::set<Reg> sources{cond};
+            for (const Instruction *d : {&then_def, &else_def}) {
+                if (d->op == Op::Li)
+                    continue;
+                sources.insert(d->src0);
+                if (isBinary(d->op) && d->src1 != kNoReg)
+                    sources.insert(d->src1);
+            }
+            bool ok = !sources.count(kFramePointer);
+            // Sources stable inside each arm between def and arm end
+            // (the join-onward part is covered by the value scan).
+            for (BlockId a : {then_arm, else_arm}) {
+                const BasicBlock &blk = fn.block(a);
+                for (size_t i = 0; i < blk.size() && ok; i++)
+                    if (blk.insts()[i].op != Op::Ckpt &&
+                        !blk.insts()[i].writes(p))
+                        for (Reg q : sources)
+                            if (blk.insts()[i].writes(q))
+                                ok = false;
+            }
+            if (!ok) {
+                result.rejected["diamond-unstable"]++;
+                continue;
+            }
+
+            // Value flow from the join entry.
+            std::set<uint32_t> reached;
+            if (!scanValueFlow(fn, live, p, sources, join, 0,
+                               reached) ||
+                reached.empty()) {
+                result.rejected["diamond-flow"]++;
+                continue;
+            }
+
+            // All sources (incl. the predicate) live at every
+            // governed boundary.
+            for (uint32_t s : reached) {
+                BlockId sb;
+                size_t si;
+                rmap.boundaryPos(s, sb, si);
+                RegSet at_boundary = live.liveBefore(sb, si);
+                for (Reg q : sources)
+                    if (!at_boundary.contains(q))
+                        ok = false;
+            }
+            if (!ok) {
+                result.rejected["diamond-source-dead"]++;
+                continue;
+            }
+
+            // Unique reaching defs: no third def of p may reach the
+            // governed boundaries.
+            bool unique = true;
+            for (auto [db, di] : defsOf(fn, p)) {
+                if ((db == then_arm && di == dthen.def) ||
+                    (db == else_arm && di == delse.def))
+                    continue;
+                std::set<uint32_t> other;
+                std::set<Reg> none;
+                scanValueFlow(fn, live, p, none, db, di + 1, other);
+                for (uint32_t s : other)
+                    if (reached.count(s))
+                        unique = false;
+            }
+            if (unique && live.liveIn(fn.entry()).contains(p)) {
+                std::set<uint32_t> other;
+                std::set<Reg> none;
+                scanValueFlow(fn, live, p, none, fn.entry(), 0, other);
+                for (uint32_t s : other)
+                    if (reached.count(s))
+                        unique = false;
+            }
+            if (!unique) {
+                result.rejected["diamond-multi-def"]++;
+                continue;
+            }
+
+            // Interference at region granularity.
+            bool collision = false;
+            for (uint32_t s : reached) {
+                if (result.governed.count({s, p}))
+                    collision = true;
+                auto sr = source_regions.find(p);
+                if (sr != source_regions.end() && sr->second.count(s))
+                    collision = true;
+                for (Reg q : sources)
+                    if (result.governed.count({s, q}))
+                        collision = true;
+            }
+            if (collision) {
+                result.rejected["interference"]++;
+                continue;
+            }
+
+            // Commit: record the branch-replaying recipe and erase
+            // both arm checkpoints.
+            RecoveryProgram recipe =
+                buildDiamondRecipe(cond, then_def, else_def);
+            for (uint32_t s : reached) {
+                result.governed[{s, p}] = recipe;
+                for (Reg q : sources)
+                    source_regions[q].insert(s);
+            }
+            fn.block(then_arm).eraseAt(dthen.ckpt);
+            fn.block(else_arm).eraseAt(delse.ckpt);
+            result.pruned += 2;
+            result.diamonds++;
+        }
+    }
+}
+
+} // namespace
+
+PruneResult
+runCheckpointPruning(Function &fn)
+{
+    PruneResult result;
+    Cfg cfg(fn);
+    Liveness live(cfg);
+    RegionMap rmap(fn);
+    DominatorTree dt(cfg);
+    LoopInfo li(cfg, dt);
+
+    // For each register, the regions whose recovery recipes read its
+    // checkpoint slot. Pruning a checkpoint of r is only unsafe when
+    // it governs one of those regions (the recipe would then read a
+    // stale slot); likewise a new recipe may not source ckpt[q] at a
+    // region where q's own checkpoint was pruned.
+    std::map<Reg, std::set<uint32_t>> source_regions;
+
+    // Diamonds first: they sit on hot paths (both checkpoints of a
+    // branch-defined register), and their recipes reserve the source
+    // slots before colder single-def prunes can take them.
+    pruneDiamonds(fn, cfg, live, rmap, source_regions, result);
+
+    // Candidates hottest-first: pruning one checkpoint of a register
+    // excludes other pruning decisions touching that register (the
+    // interference rule below), so deeply nested (frequently
+    // executed) checkpoints get first pick. Within a block, process
+    // bottom-up so erasures do not shift pending indices.
+    struct Candidate { int depth; BlockId b; size_t i; };
+    std::vector<Candidate> candidates;
+    for (BlockId b : cfg.rpo()) {
+        const BasicBlock &blk = fn.block(b);
+        for (size_t i = 0; i < blk.size(); i++)
+            if (blk.insts()[i].op == Op::Ckpt)
+                candidates.push_back({li.depth(b), b, i});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &c) {
+                  if (a.depth != c.depth)
+                      return a.depth > c.depth;
+                  if (a.b != c.b)
+                      return a.b < c.b;
+                  return a.i > c.i;
+              });
+
+    for (const Candidate &cand : candidates) {
+        BlockId b = cand.b;
+        size_t i = cand.i;
+        {
+            BasicBlock &blk = fn.block(b);
+            const Instruction &ck = blk.insts()[i];
+            TP_ASSERT(ck.op == Op::Ckpt, "pruning candidate moved");
+            Reg p = ck.src0;
+            // Find the reaching def: the nearest def of p above the
+            // checkpoint in this block (sinking may have separated
+            // them). Crossing a boundary or leaving the block gives
+            // up — entry-value and loop-sunk checkpoints are kept.
+            size_t def_idx = SIZE_MAX;
+            for (size_t j = i; j > 0; j--) {
+                const Instruction &cand = blk.insts()[j - 1];
+                if (cand.op == Op::Boundary)
+                    break;
+                if (cand.writes(p)) {
+                    def_idx = j - 1;
+                    break;
+                }
+            }
+            if (def_idx == SIZE_MAX) {
+                result.rejected["no-def"]++;
+                continue;
+            }
+            const Instruction &def = blk.insts()[def_idx];
+            // Only pure, replayable defs qualify.
+            bool pure = def.op == Op::Li || def.op == Op::Mov ||
+                isBinary(def.op);
+            if (!pure) {
+                result.rejected["impure-def"]++;
+                continue;
+            }
+
+            uint32_t region = rmap.regionBefore(b, i);
+            if (region == kNoRegion || region == kMixedRegion) {
+                result.rejected["mixed-region"]++;
+                continue;
+            }
+
+            // Collect register sources; each must still hold the
+            // def-time value wherever the recipe runs.
+            std::set<Reg> sources;
+            if (def.op != Op::Li) {
+                sources.insert(def.src0);
+                if (isBinary(def.op) && def.src1 != kNoReg)
+                    sources.insert(def.src1);
+            }
+            bool ok = true;
+            for (Reg q : sources) {
+                if (q == kFramePointer) {
+                    // fp is rematerialized, never checkpointed; a
+                    // recipe cannot LoadCkpt it.
+                    ok = false;
+                    break;
+                }
+                // No redefinition of q between the def and the
+                // checkpoint (the value-flow scan covers the rest of
+                // the way to the boundaries).
+                for (size_t w = def_idx + 1; w <= i && ok; w++)
+                    if (blk.insts()[w].writes(q))
+                        ok = false;
+                if (!ok)
+                    break;
+            }
+            if (!ok) {
+                result.rejected["unstable-source"]++;
+                continue;
+            }
+
+            // Value-flow scan from just after the checkpoint.
+            std::set<uint32_t> reached;
+            if (!scanValueFlow(fn, live, p, sources, b, i + 1,
+                               reached)) {
+                result.rejected["source-redefined"]++;
+                continue;
+            }
+            if (reached.empty()) {
+                result.rejected["no-boundary"]++;
+                continue;
+            }
+
+            // Every source must be live at every governed boundary:
+            // then it is a live-in of the recovering region, eager
+            // checkpointing guarantees its reaching definition was
+            // checkpointed, and ckpt[q] holds the def-time value.
+            for (uint32_t s : reached) {
+                BlockId sb;
+                size_t si;
+                rmap.boundaryPos(s, sb, si);
+                RegSet at_boundary = live.liveBefore(sb, si);
+                for (Reg q : sources)
+                    if (!at_boundary.contains(q))
+                        ok = false;
+            }
+            if (!ok) {
+                result.rejected["source-dead-at-recovery"]++;
+                continue;
+            }
+
+            // Unique-reaching-def: no other def of p may reach any
+            // of the same boundaries live.
+            bool unique = true;
+            for (auto [db, di] : defsOf(fn, p)) {
+                if (db == b && di == def_idx)
+                    continue;
+                std::set<uint32_t> other;
+                std::set<Reg> none;
+                // A failing scan only means some source was
+                // redefined; for uniqueness we only need the reached
+                // set, so pass an empty source set (always succeeds).
+                scanValueFlow(fn, live, p, none, db, di + 1, other);
+                for (uint32_t s : other) {
+                    if (reached.count(s)) {
+                        unique = false;
+                        break;
+                    }
+                }
+                if (!unique)
+                    break;
+            }
+            // The initial (zero) value of p acts as an extra
+            // reaching def when p is live-in at the entry.
+            if (unique && live.liveIn(fn.entry()).contains(p)) {
+                std::set<uint32_t> other;
+                std::set<Reg> none;
+                scanValueFlow(fn, live, p, none, fn.entry(), 0, other);
+                for (uint32_t s : other)
+                    if (reached.count(s))
+                        unique = false;
+            }
+            if (!unique) {
+                result.rejected["multi-def"]++;
+                continue;
+            }
+
+            // Interference, at region granularity:
+            //  - another recipe already governs (S, p);
+            //  - some recipe at S reads ckpt[p] (pruning here would
+            //    leave that recipe a stale slot);
+            //  - our recipe would read ckpt[q] at an S where q's own
+            //    checkpoint was pruned.
+            bool collision = false;
+            for (uint32_t s : reached) {
+                if (result.governed.count({s, p}))
+                    collision = true;
+                auto sr = source_regions.find(p);
+                if (sr != source_regions.end() && sr->second.count(s))
+                    collision = true;
+                for (Reg q : sources)
+                    if (result.governed.count({s, q}))
+                        collision = true;
+            }
+            if (collision) {
+                result.rejected["interference"]++;
+                continue;
+            }
+
+            // Commit the pruning decision.
+            RecoveryProgram recipe = buildRecipe(def);
+            for (uint32_t s : reached) {
+                result.governed[{s, p}] = recipe;
+                for (Reg q : sources)
+                    source_regions[q].insert(s);
+            }
+            blk.eraseAt(i);
+            result.pruned++;
+        }
+    }
+
+    return result;
+}
+
+} // namespace turnpike

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Optimal checkpoint pruning (paper §4.1.3, after Penny/PLDI'20):
+ * a checkpoint of register p may be removed when the checkpointed
+ * value can be reconstructed at recovery time from constants and the
+ * checkpoints of other registers. The pruned value's reconstruction
+ * recipe is recorded per affected region and later spliced into that
+ * region's recovery program by the lowering pass.
+ *
+ * Safety conditions implemented (see DESIGN.md):
+ *  - the defining instruction is a pure ALU op / move / constant
+ *    (never a load: memory may have been overwritten by fast-released
+ *    stores before recovery);
+ *  - every register source q is stable across the defining region
+ *    (no other def of q inside that static region), so ckpt[q] holds
+ *    q's value as seen by the def;
+ *  - on every forward path from the checkpoint to a boundary where p
+ *    is live, no source q is redefined (so ckpt[q] is still current
+ *    at every recovery point that will use the recipe);
+ *  - the pruned def is the unique reaching def of p at every such
+ *    boundary (otherwise a static recipe cannot be correct);
+ *  - global non-interference: a register with a pruned checkpoint is
+ *    never used as a recipe source, and vice versa.
+ */
+
+#ifndef TURNPIKE_PASSES_CHECKPOINT_PRUNING_HH_
+#define TURNPIKE_PASSES_CHECKPOINT_PRUNING_HH_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "ir/function.hh"
+#include "machine/mfunction.hh"
+
+namespace turnpike {
+
+/** Output of pruning, consumed by lowering. */
+struct PruneResult
+{
+    /**
+     * Reconstruction recipes: for region S's recovery, restore
+     * register p by running governed[{S, p}] instead of loading
+     * ckpt[p]. Recipes use temps numbered from 0 and end with a
+     * CommitReg of p.
+     */
+    std::map<std::pair<uint32_t, Reg>, RecoveryProgram> governed;
+    uint64_t pruned = 0;
+    /** Fig. 9 diamonds pruned (two checkpoints each). */
+    uint64_t diamonds = 0;
+    /** Why candidate checkpoints were kept (diagnostics). */
+    std::map<std::string, uint64_t> rejected;
+};
+
+/**
+ * Prune removable checkpoints from @p fn (physical-register form
+ * with regions and eager checkpoints). Must run while each
+ * checkpoint still directly follows its defining instruction.
+ */
+PruneResult runCheckpointPruning(Function &fn);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_PASSES_CHECKPOINT_PRUNING_HH_

@@ -1,0 +1,134 @@
+#include "passes/checkpoint_sinking.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/dominators.hh"
+#include "ir/loop_info.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+/** True when no block of @p loop contains a Boundary. */
+bool
+loopBoundaryFree(const Function &fn, const Loop &loop)
+{
+    for (BlockId b : loop.blocks)
+        for (const Instruction &inst : fn.block(b).insts())
+            if (inst.op == Op::Boundary)
+                return false;
+    return true;
+}
+
+} // namespace
+
+SinkStats
+runCheckpointSinking(Function &fn)
+{
+    SinkStats stats;
+
+    // --- Loop sinking -------------------------------------------------
+    {
+        Cfg cfg(fn);
+        DominatorTree dt(cfg);
+        LoopInfo li(cfg, dt);
+        // Outermost-first: sinking from an outer loop also removes
+        // checkpoints of its inner loops in one step.
+        std::vector<const Loop *> loops;
+        for (const Loop &loop : li.loops())
+            loops.push_back(&loop);
+        std::sort(loops.begin(), loops.end(),
+                  [](const Loop *a, const Loop *b) {
+                      return a->depth < b->depth;
+                  });
+        for (const Loop *loop : loops) {
+            if (loop->exit == kNoBlock)
+                continue;
+            if (!loopBoundaryFree(fn, *loop))
+                continue;
+            // Remove every checkpoint in the body, remembering the
+            // registers, then re-checkpoint once at the exit.
+            std::set<Reg> sunk;
+            for (BlockId b : loop->blocks) {
+                auto &insts = fn.block(b).insts();
+                std::vector<Instruction> out;
+                out.reserve(insts.size());
+                for (const Instruction &inst : insts) {
+                    if (inst.op == Op::Ckpt) {
+                        sunk.insert(inst.src0);
+                        stats.loopSunk++;
+                        continue;
+                    }
+                    out.push_back(inst);
+                }
+                insts = std::move(out);
+            }
+            size_t at = 0;
+            for (Reg r : sunk)
+                fn.block(loop->exit).insertAt(at++, makeCkpt(r));
+        }
+    }
+
+    // --- Block sinking ------------------------------------------------
+    for (BlockId b = 0; b < fn.numBlocks(); b++) {
+        auto &insts = fn.block(b).insts();
+        // Process checkpoints bottom-up so each sinks as far as the
+        // already-settled ones allow.
+        for (size_t i = insts.size(); i > 0; i--) {
+            size_t idx = i - 1;
+            if (insts[idx].op != Op::Ckpt)
+                continue;
+            Reg r = insts[idx].src0;
+            // Find the sink limit: before the next boundary, the
+            // terminator, a redefinition of r, or any other store-
+            // class instruction. Never crossing stores/checkpoints
+            // keeps the per-region store counts invariant (the
+            // budget repair relies on that) and avoids piling
+            // checkpoints into store-buffer-overflowing runs; a
+            // small distance cap is enough to open the data-hazard
+            // window (the scheduler does the rest).
+            size_t limit = idx;
+            for (size_t j = idx + 1;
+                 j < insts.size() && j <= idx + 6; j++) {
+                const Instruction &inst = insts[j];
+                if (inst.op == Op::Boundary || isTerminator(inst.op) ||
+                    inst.writes(r) || inst.op == Op::Ckpt ||
+                    inst.op == Op::Store) {
+                    break;
+                }
+                limit = j;
+            }
+            if (limit > idx) {
+                Instruction ck = insts[idx];
+                insts.erase(insts.begin() +
+                            static_cast<ptrdiff_t>(idx));
+                insts.insert(insts.begin() +
+                             static_cast<ptrdiff_t>(limit), ck);
+                stats.blockSunk++;
+            }
+        }
+        // Dedup: an earlier checkpoint of r is redundant when another
+        // checkpoint of r follows with no intervening def of r.
+        for (size_t i = 0; i < insts.size(); i++) {
+            if (insts[i].op != Op::Ckpt)
+                continue;
+            Reg r = insts[i].src0;
+            for (size_t j = i + 1; j < insts.size(); j++) {
+                if (insts[j].writes(r) || insts[j].op == Op::Boundary)
+                    break;
+                if (insts[j].op == Op::Ckpt && insts[j].src0 == r) {
+                    insts.erase(insts.begin() +
+                                static_cast<ptrdiff_t>(i));
+                    i--;
+                    stats.deduped++;
+                    break;
+                }
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace turnpike

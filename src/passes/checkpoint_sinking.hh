@@ -1,0 +1,40 @@
+/**
+ * @file
+ * LICM-style checkpoint sinking (paper §4.1.4): a checkpoint may be
+ * moved from its eager position down to any point before its
+ * region's boundary. Two effects:
+ *
+ *  1. Loop sinking: when a whole (store-free) loop lives inside one
+ *     region — region formation omitted the header boundary — every
+ *     per-iteration checkpoint in the loop body is replaced by one
+ *     checkpoint at the loop exit, removing it from the hot path
+ *     entirely (Fig. 10).
+ *  2. Block sinking: remaining checkpoints are pushed down within
+ *     their block towards the boundary/terminator, separating them
+ *     from their defining instruction (shrinking the data-hazard
+ *     window) and enabling duplicate elimination.
+ */
+
+#ifndef TURNPIKE_PASSES_CHECKPOINT_SINKING_HH_
+#define TURNPIKE_PASSES_CHECKPOINT_SINKING_HH_
+
+#include <cstdint>
+
+#include "ir/function.hh"
+
+namespace turnpike {
+
+/** Sinking statistics. */
+struct SinkStats
+{
+    uint64_t loopSunk = 0;   ///< checkpoints hoisted out of loops
+    uint64_t blockSunk = 0;  ///< checkpoints moved within blocks
+    uint64_t deduped = 0;    ///< redundant duplicates removed
+};
+
+/** Apply checkpoint sinking to @p fn. */
+SinkStats runCheckpointSinking(Function &fn);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_PASSES_CHECKPOINT_SINKING_HH_

@@ -1,0 +1,123 @@
+#include "passes/eager_checkpointing.hh"
+
+#include <vector>
+
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+#include "machine/minstr.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+/**
+ * Backward transfer of the NB set through one block, optionally
+ * recording the NB value immediately after each instruction.
+ */
+RegSet
+transferBlock(const Function &fn, const Liveness &live, BlockId b,
+              const RegSet &nb_out, std::vector<RegSet> *after)
+{
+    const BasicBlock &blk = fn.block(b);
+    RegSet nb = nb_out;
+    if (after)
+        after->assign(blk.size(), RegSet(fn.numRegs()));
+    for (size_t i = blk.size(); i > 0; i--) {
+        const Instruction &inst = blk.insts()[i - 1];
+        if (after)
+            (*after)[i - 1] = nb;
+        if (inst.op == Op::Boundary) {
+            // Everything live at the boundary must be recoverable
+            // there; defs before it feed this set.
+            nb = live.liveBefore(b, i - 1);
+        } else if (writesDst(inst.op) && inst.dst != kNoReg) {
+            nb.erase(inst.dst);
+        }
+    }
+    return nb;
+}
+
+} // namespace
+
+CkptStats
+runEagerCheckpointing(Function &fn)
+{
+    CkptStats stats;
+    Cfg cfg(fn);
+    Liveness live(cfg);
+    uint32_t n = fn.numRegs();
+
+    // Block-level fixpoint for NB-in of each block.
+    std::vector<RegSet> nb_in(fn.numBlocks(), RegSet(n));
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        const auto &rpo = cfg.rpo();
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            BlockId b = *it;
+            RegSet nb_out(n);
+            for (BlockId s : fn.block(b).succs())
+                nb_out.unionWith(nb_in[s]);
+            RegSet in = transferBlock(fn, live, b, nb_out, nullptr);
+            if (!(in == nb_in[b])) {
+                nb_in[b] = in;
+                changed = true;
+            }
+        }
+    }
+
+    // Insertion sweep: rebuild each block, appending a checkpoint
+    // after every def whose register is in NB at that point.
+    for (BlockId b : cfg.rpo()) {
+        BasicBlock &blk = fn.block(b);
+        RegSet nb_out(n);
+        for (BlockId s : blk.succs())
+            nb_out.unionWith(nb_in[s]);
+        std::vector<RegSet> after;
+        transferBlock(fn, live, b, nb_out, &after);
+
+        std::vector<Instruction> out;
+        out.reserve(blk.size() + 8);
+        for (size_t i = 0; i < blk.size(); i++) {
+            const Instruction &inst = blk.insts()[i];
+            out.push_back(inst);
+            if (writesDst(inst.op) && inst.dst != kNoReg &&
+                inst.dst != kFramePointer &&
+                after[i].contains(inst.dst)) {
+                out.push_back(makeCkpt(inst.dst));
+                stats.inserted++;
+            }
+            // Note: registers that are live-in at the function entry
+            // (read before any definition) need no explicit
+            // checkpoint: registers start at zero and so do their
+            // never-written checkpoint slots, so the recovery
+            // engine's LoadCkpt fallback restores the correct
+            // initial value for free.
+        }
+        blk.insts() = std::move(out);
+    }
+    return stats;
+}
+
+uint64_t
+removeAllCheckpoints(Function &fn)
+{
+    uint64_t removed = 0;
+    for (BlockId b = 0; b < fn.numBlocks(); b++) {
+        auto &insts = fn.block(b).insts();
+        std::vector<Instruction> out;
+        out.reserve(insts.size());
+        for (const Instruction &inst : insts) {
+            if (inst.op == Op::Ckpt) {
+                removed++;
+                continue;
+            }
+            out.push_back(inst);
+        }
+        insts = std::move(out);
+    }
+    return removed;
+}
+
+} // namespace turnpike

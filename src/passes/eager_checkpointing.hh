@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Eager checkpointing (Turnstile §2.2): after every register update
+ * whose value will be live at a future region boundary (i.e. the
+ * register is a live-out of its region), insert a checkpoint store.
+ * Runs on physical-register form, after region formation.
+ *
+ * The insertion criterion is the backward dataflow NB ("needed at
+ * boundary"): at a boundary, NB is the set of registers live there;
+ * through an instruction, the defined register is removed. A def of
+ * r gets a checkpoint iff r is in NB immediately after the def.
+ */
+
+#ifndef TURNPIKE_PASSES_EAGER_CHECKPOINTING_HH_
+#define TURNPIKE_PASSES_EAGER_CHECKPOINTING_HH_
+
+#include <cstdint>
+
+#include "ir/function.hh"
+
+namespace turnpike {
+
+/** Checkpoint insertion statistics. */
+struct CkptStats
+{
+    uint64_t inserted = 0; ///< checkpoints inserted after defs
+};
+
+/**
+ * Insert eager checkpoints into @p fn (which must already contain
+ * region boundaries and run on physical registers). The frame
+ * pointer is never checkpointed: recovery rematerializes it.
+ */
+CkptStats runEagerCheckpointing(Function &fn);
+
+/** Remove every Ckpt instruction (used by the repartition loop). */
+uint64_t removeAllCheckpoints(Function &fn);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_PASSES_EAGER_CHECKPOINTING_HH_

@@ -1,0 +1,189 @@
+#include "passes/induction_variable_merging.hh"
+
+#include <algorithm>
+
+#include "ir/dominators.hh"
+#include "ir/liveness.hh"
+#include "ir/loop_info.hh"
+#include "passes/loop_utils.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+/**
+ * Find one mergeable basic IV in @p fn and merge it. Returns true
+ * if a merge happened (analyses must then be rebuilt).
+ */
+bool
+mergeOneIv(Function &fn)
+{
+    Cfg cfg(fn);
+    DominatorTree dt(cfg);
+    LoopInfo li(cfg, dt);
+    Liveness live(cfg);
+
+    for (const Loop &loop : li.loops()) {
+        if (loop.preheader == kNoBlock)
+            continue;
+        auto ivs = findBasicIvs(fn, loop);
+        if (ivs.size() < 2)
+            continue;
+
+        for (const BasicIv &p : ivs) {
+            if (p.preheaderDef == SIZE_MAX)
+                continue;
+            // The merge target must be dead at every loop exit: after
+            // merging, the register keeps its pre-loop value.
+            bool dead_outside = true;
+            for (BlockId b : loop.blocks) {
+                for (BlockId s : fn.block(b).succs()) {
+                    bool inside = std::find(loop.blocks.begin(),
+                                            loop.blocks.end(), s) !=
+                        loop.blocks.end();
+                    if (!inside && live.liveIn(s).contains(p.reg))
+                        dead_outside = false;
+                }
+            }
+            if (!dead_outside)
+                continue;
+
+            // Find an anchor IV i with p.step == i.step << k and a
+            // statically known init (preheader Li).
+            for (const BasicIv &anchor : ivs) {
+                if (anchor.reg == p.reg)
+                    continue;
+                if (anchor.incBlock != p.incBlock)
+                    continue;
+                if (anchor.step == 0 || p.step % anchor.step != 0)
+                    continue;
+                int k = log2Exact(p.step / anchor.step);
+                if (k < 0)
+                    continue;
+                if (anchor.preheaderDef == SIZE_MAX)
+                    continue;
+                const Instruction &init =
+                    fn.block(loop.preheader).insts()[anchor.preheaderDef];
+                if (init.op != Op::Li)
+                    continue;
+                int64_t i_init = init.imm;
+
+                // All uses of p in the loop (besides its own
+                // increment) must see the same completed-iteration
+                // count for p and the anchor: uses in the increment
+                // block must precede both increments; uses in other
+                // blocks are fine when the increments sit in a latch.
+                size_t first_inc = std::min(p.incIndex, anchor.incIndex);
+                bool latch_incs =
+                    std::find(loop.latches.begin(), loop.latches.end(),
+                              p.incBlock) != loop.latches.end();
+                bool ok = true;
+                std::vector<std::pair<BlockId, size_t>> uses;
+                for (BlockId b : loop.blocks) {
+                    const BasicBlock &blk = fn.block(b);
+                    for (size_t idx = 0; idx < blk.size(); idx++) {
+                        const Instruction &inst = blk.insts()[idx];
+                        if (b == p.incBlock && idx == p.incIndex)
+                            continue; // p's own increment
+                        if (!inst.reads(p.reg))
+                            continue;
+                        if (b == p.incBlock) {
+                            if (idx >= first_inc) {
+                                ok = false;
+                                break;
+                            }
+                        } else if (!latch_incs) {
+                            ok = false;
+                            break;
+                        }
+                        // Also require the anchor to be unchanged
+                        // before this point within the use block.
+                        uses.push_back({b, idx});
+                    }
+                    if (!ok)
+                        break;
+                }
+                if (!ok || uses.empty())
+                    continue;
+
+                // Profitability: merging removes one checkpoint
+                // store (and the increment) per iteration but adds
+                // recomputation at every use. Only merge when the
+                // added ALU work stays small, as in Fig. 8 where the
+                // merged variable has a single use.
+                int per_use = 1 + (i_init != 0 ? 1 : 0);
+                int added = static_cast<int>(uses.size()) * per_use - 1;
+                if (added > 3)
+                    continue;
+
+                // Perform the merge: rewrite each use of p as
+                // p + ((anchor - i_init) << k), then delete p's
+                // increment. Process uses back-to-front per block so
+                // insertions do not shift pending indices.
+                std::sort(uses.begin(), uses.end(),
+                          [](const auto &a, const auto &b) {
+                              if (a.first != b.first)
+                                  return a.first > b.first;
+                              return a.second > b.second;
+                          });
+                for (auto [b, idx] : uses) {
+                    BasicBlock &blk = fn.block(b);
+                    Reg diff;
+                    size_t at = idx;
+                    if (i_init == 0) {
+                        diff = anchor.reg;
+                    } else {
+                        diff = fn.newReg();
+                        blk.insertAt(at++, makeBinImm(Op::Sub, diff,
+                                                      anchor.reg,
+                                                      i_init));
+                    }
+                    // ARM-style add with shifted operand: the whole
+                    // recompute is one single-cycle instruction, as
+                    // in the paper's Fig. 8(c).
+                    Reg sum = fn.newReg();
+                    Instruction addshl;
+                    addshl.op = Op::AddShl;
+                    addshl.dst = sum;
+                    addshl.src0 = p.reg;
+                    addshl.src1 = diff;
+                    addshl.imm = k;
+                    blk.insertAt(at++, addshl);
+                    Instruction &use = blk.insts()[at];
+                    if (use.src0 == p.reg)
+                        use.src0 = sum;
+                    if (use.src1 == p.reg)
+                        use.src1 = sum;
+                }
+                // Delete p's increment (indices in its block moved if
+                // uses were rewritten earlier in the same block).
+                BasicBlock &incb = fn.block(p.incBlock);
+                for (size_t idx = 0; idx < incb.size(); idx++) {
+                    const Instruction &inst = incb.insts()[idx];
+                    if (inst.op == Op::Add && inst.dst == p.reg &&
+                        inst.src0 == p.reg && inst.src1 == kNoReg &&
+                        inst.imm == p.step) {
+                        incb.eraseAt(idx);
+                        break;
+                    }
+                }
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+uint64_t
+runInductionVariableMerging(Function &fn)
+{
+    uint64_t merged = 0;
+    while (merged < 64 && mergeOneIv(fn))
+        merged++;
+    return merged;
+}
+
+} // namespace turnpike

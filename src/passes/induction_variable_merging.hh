@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Loop induction variable merging (LIVM, paper §4.1.2): turns a
+ * basic induction variable whose value is an affine function of
+ * another basic IV back into an induced (computed) variable. This
+ * removes the loop-carried dependence that made the variable
+ * live-out — and hence removed its per-iteration checkpoint —
+ * at the cost of recomputing the value at each use (Fig. 8(c)).
+ */
+
+#ifndef TURNPIKE_PASSES_INDUCTION_VARIABLE_MERGING_HH_
+#define TURNPIKE_PASSES_INDUCTION_VARIABLE_MERGING_HH_
+
+#include <cstdint>
+
+#include "ir/function.hh"
+
+namespace turnpike {
+
+/**
+ * Apply LIVM across all loops of @p fn. Returns the number of basic
+ * induction variables merged away.
+ */
+uint64_t runInductionVariableMerging(Function &fn);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_PASSES_INDUCTION_VARIABLE_MERGING_HH_

@@ -1,0 +1,170 @@
+#include "passes/instruction_scheduling.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+/** Result latency used for scheduling heuristics. */
+int
+resultLatency(const Instruction &inst)
+{
+    if (inst.op == Op::Load)
+        return 3; // L1 hit plus use penalty
+    return exLatency(inst.op);
+}
+
+/**
+ * Schedule one barrier-free segment [first, last) of @p insts in
+ * place. Returns true if any instruction moved.
+ */
+bool
+scheduleSegment(std::vector<Instruction> &insts, size_t first,
+                size_t last)
+{
+    size_t n = last - first;
+    if (n < 3)
+        return false;
+
+    // Dependence edges (indices relative to the segment).
+    std::vector<std::vector<int>> succs(n);
+    std::vector<int> npreds(n, 0);
+    std::vector<std::vector<int>> preds(n);
+    auto add_edge = [&](int a, int b) {
+        succs[a].push_back(b);
+        preds[b].push_back(a);
+        npreds[b]++;
+    };
+
+    for (size_t j = 0; j < n; j++) {
+        const Instruction &bj = insts[first + j];
+        for (size_t i = 0; i < j; i++) {
+            const Instruction &ai = insts[first + i];
+            bool dep = false;
+            // RAW
+            if (writesDst(ai.op) && ai.dst != kNoReg &&
+                bj.reads(ai.dst))
+                dep = true;
+            // Ckpt reads its register too (src0 covered by reads()).
+            // WAR
+            if (writesDst(bj.op) && bj.dst != kNoReg &&
+                (ai.reads(bj.dst) ||
+                 (writesDst(ai.op) && ai.dst == bj.dst)))
+                dep = true;
+            // Memory order: any pair involving a Store is ordered;
+            // checkpoints write disjoint slots, so only same-register
+            // checkpoint pairs are ordered.
+            bool a_store = ai.op == Op::Store;
+            bool b_store = bj.op == Op::Store;
+            bool a_mem = isMemOp(ai.op);
+            bool b_mem = isMemOp(bj.op);
+            if ((a_store && b_mem) || (b_store && a_mem))
+                dep = true;
+            if (ai.op == Op::Ckpt && bj.op == Op::Ckpt &&
+                ai.src0 == bj.src0)
+                dep = true;
+            if (dep)
+                add_edge(static_cast<int>(i), static_cast<int>(j));
+        }
+    }
+
+    // Critical-path heights.
+    std::vector<int> height(n, 0);
+    for (size_t j = n; j > 0; j--) {
+        int i = static_cast<int>(j - 1);
+        int h = resultLatency(insts[first + j - 1]);
+        int best = 0;
+        for (int s : succs[i])
+            best = std::max(best, height[s]);
+        height[i] = h + best;
+    }
+
+    // Cycle-driven list scheduling: prefer instructions whose
+    // operands are ready; among those, highest critical path; break
+    // ties toward original order for stability.
+    std::vector<int> ready_cycle(n, 0); // earliest data-ready cycle
+    std::vector<bool> scheduled(n, false);
+    std::vector<int> order;
+    order.reserve(n);
+    std::vector<int> remaining_preds = npreds;
+    int cycle = 0;
+    while (order.size() < n) {
+        int pick = -1;
+        bool pick_ready = false;
+        for (size_t i = 0; i < n; i++) {
+            if (scheduled[i] || remaining_preds[i] != 0)
+                continue;
+            bool is_ready = ready_cycle[i] <= cycle;
+            if (pick < 0) {
+                pick = static_cast<int>(i);
+                pick_ready = is_ready;
+                continue;
+            }
+            // Prefer data-ready over stalled; then taller critical
+            // path; then earlier original position.
+            if (is_ready != pick_ready) {
+                if (is_ready) {
+                    pick = static_cast<int>(i);
+                    pick_ready = true;
+                }
+                continue;
+            }
+            if (height[i] > height[pick])
+                pick = static_cast<int>(i);
+        }
+        TP_ASSERT(pick >= 0, "scheduler found no ready instruction");
+        scheduled[pick] = true;
+        order.push_back(pick);
+        int finish = std::max(cycle, ready_cycle[pick]) +
+            resultLatency(insts[first + pick]);
+        for (int s : succs[pick]) {
+            remaining_preds[s]--;
+            ready_cycle[s] = std::max(ready_cycle[s], finish);
+        }
+        cycle = std::max(cycle + 1, pick_ready ? cycle + 1
+                                               : ready_cycle[pick] + 1);
+    }
+
+    bool moved = false;
+    std::vector<Instruction> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+        if (order[i] != static_cast<int>(i))
+            moved = true;
+        out.push_back(insts[first + order[i]]);
+    }
+    if (moved)
+        std::copy(out.begin(), out.end(),
+                  insts.begin() + static_cast<ptrdiff_t>(first));
+    return moved;
+}
+
+} // namespace
+
+uint64_t
+runInstructionScheduling(Function &fn)
+{
+    uint64_t moved = 0;
+    for (BlockId b = 0; b < fn.numBlocks(); b++) {
+        auto &insts = fn.block(b).insts();
+        size_t seg_start = 0;
+        for (size_t i = 0; i <= insts.size(); i++) {
+            bool barrier = i == insts.size() ||
+                insts[i].op == Op::Boundary ||
+                isTerminator(insts[i].op);
+            if (!barrier)
+                continue;
+            if (i > seg_start &&
+                scheduleSegment(insts, seg_start, i))
+                moved++;
+            seg_start = i + 1;
+        }
+    }
+    return moved;
+}
+
+} // namespace turnpike

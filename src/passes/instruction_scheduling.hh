@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Checkpoint-aware local instruction scheduling (paper §4.2): list
+ * scheduling within each boundary-delimited segment of a basic
+ * block, modelling an in-order pipeline with full forwarding. The
+ * scheduler hoists independent instructions between a register
+ * update (especially a load) and its dependent checkpoint store so
+ * the store no longer stalls on the data hazard (Fig. 11).
+ */
+
+#ifndef TURNPIKE_PASSES_INSTRUCTION_SCHEDULING_HH_
+#define TURNPIKE_PASSES_INSTRUCTION_SCHEDULING_HH_
+
+#include <cstdint>
+
+#include "ir/function.hh"
+
+namespace turnpike {
+
+/**
+ * Schedule every block of @p fn. Returns the number of instructions
+ * that changed position.
+ */
+uint64_t runInstructionScheduling(Function &fn);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_PASSES_INSTRUCTION_SCHEDULING_HH_

@@ -1,0 +1,84 @@
+#include "passes/loop_utils.hh"
+
+#include <map>
+
+#include "machine/minstr.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+std::vector<BasicIv>
+findBasicIvs(const Function &fn, const Loop &loop)
+{
+    // Count in-loop definitions per register and remember the single
+    // increment candidate.
+    std::map<Reg, int> def_count;
+    std::map<Reg, BasicIv> candidates;
+    for (BlockId b : loop.blocks) {
+        const BasicBlock &blk = fn.block(b);
+        for (size_t i = 0; i < blk.size(); i++) {
+            const Instruction &inst = blk.insts()[i];
+            if (!writesDst(inst.op) || inst.dst == kNoReg)
+                continue;
+            def_count[inst.dst]++;
+            if (inst.op == Op::Add && inst.src0 == inst.dst &&
+                inst.src1 == kNoReg) {
+                BasicIv iv;
+                iv.reg = inst.dst;
+                iv.step = inst.imm;
+                iv.incBlock = b;
+                iv.incIndex = i;
+                candidates[inst.dst] = iv;
+            }
+        }
+    }
+
+    std::vector<BasicIv> out;
+    for (auto &[reg, iv] : candidates) {
+        if (def_count[reg] != 1 || reg == kFramePointer)
+            continue;
+        // Locate a unique preheader definition if one exists.
+        if (loop.preheader != kNoBlock) {
+            const BasicBlock &pre = fn.block(loop.preheader);
+            size_t found = SIZE_MAX;
+            int defs = 0;
+            for (size_t i = 0; i < pre.size(); i++) {
+                const Instruction &inst = pre.insts()[i];
+                if (writesDst(inst.op) && inst.dst == reg) {
+                    found = i;
+                    defs++;
+                }
+            }
+            if (defs == 1)
+                iv.preheaderDef = found;
+        }
+        out.push_back(iv);
+    }
+    return out;
+}
+
+bool
+isLoopInvariant(const Function &fn, const Loop &loop, Reg r)
+{
+    if (r == kNoReg)
+        return true;
+    for (BlockId b : loop.blocks) {
+        for (const Instruction &inst : fn.block(b).insts())
+            if (writesDst(inst.op) && inst.dst == r)
+                return false;
+    }
+    return true;
+}
+
+int
+log2Exact(int64_t v)
+{
+    if (v <= 0 || (v & (v - 1)) != 0)
+        return -1;
+    int k = 0;
+    while ((int64_t(1) << k) != v)
+        k++;
+    return k;
+}
+
+} // namespace turnpike

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared loop analyses for the induction-variable passes: basic
+ * induction variable detection and loop-invariance queries.
+ */
+
+#ifndef TURNPIKE_PASSES_LOOP_UTILS_HH_
+#define TURNPIKE_PASSES_LOOP_UTILS_HH_
+
+#include <vector>
+
+#include "ir/loop_info.hh"
+
+namespace turnpike {
+
+/**
+ * A basic induction variable of a loop: a register with exactly one
+ * in-loop definition of the form reg = reg + step (immediate step).
+ */
+struct BasicIv
+{
+    Reg reg = kNoReg;
+    int64_t step = 0;
+    BlockId incBlock = kNoBlock; ///< block holding the increment
+    size_t incIndex = 0;         ///< index of the increment there
+    /**
+     * Index (in the preheader) of the single defining instruction of
+     * reg in the loop preheader, or SIZE_MAX when the preheader does
+     * not define it exactly once.
+     */
+    size_t preheaderDef = SIZE_MAX;
+};
+
+/**
+ * Find the basic induction variables of @p loop. A register
+ * qualifies when its only definition inside the loop is a single
+ * `Add r, r, #imm` and it is not the frame pointer.
+ */
+std::vector<BasicIv> findBasicIvs(const Function &fn, const Loop &loop);
+
+/** True if @p r has no defining instruction inside @p loop. */
+bool isLoopInvariant(const Function &fn, const Loop &loop, Reg r);
+
+/** Return log2(@p v) when v is a power of two, else -1. */
+int log2Exact(int64_t v);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_PASSES_LOOP_UTILS_HH_

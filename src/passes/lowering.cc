@@ -1,0 +1,185 @@
+#include "passes/lowering.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+#include "machine/mverifier.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+/** Splice @p recipe into @p prog, renumbering temps by @p offset. */
+void
+spliceRecipe(RecoveryProgram &prog, const RecoveryProgram &recipe,
+             int offset)
+{
+    for (RecoveryOp op : recipe) {
+        op.t += offset;
+        op.a += offset;
+        if (op.kind == RecoveryOp::Kind::Bin && !op.bImm)
+            op.b += offset;
+        prog.push_back(op);
+    }
+}
+
+/** Largest temp index used by @p recipe, plus one. */
+int
+recipeTemps(const RecoveryProgram &recipe)
+{
+    int max_t = -1;
+    for (const RecoveryOp &op : recipe) {
+        max_t = std::max(max_t, op.t);
+        max_t = std::max(max_t, op.a);
+        if (op.kind == RecoveryOp::Kind::Bin && !op.bImm)
+            max_t = std::max(max_t, op.b);
+    }
+    return max_t + 1;
+}
+
+} // namespace
+
+MachineFunction
+lowerFunction(const Function &fn, const PruneResult &prune)
+{
+    MachineFunction mf(fn.name());
+    Cfg cfg(fn);
+    Liveness live(cfg);
+
+    // Layout blocks in RPO (entry first by construction of RPO).
+    const auto &layout_order = cfg.rpo();
+    std::map<BlockId, uint32_t> block_pc;
+
+    // First pass: assign PCs, emitting fall-through jumps where the
+    // layout breaks a Br's implicit fall-through or a Jmp's target
+    // adjacency.
+    struct Pending { size_t codeIndex; BlockId targetBlock; };
+    std::vector<Pending> fixups;
+    auto &code = mf.code();
+
+    for (size_t li = 0; li < layout_order.size(); li++) {
+        BlockId b = layout_order[li];
+        block_pc[b] = static_cast<uint32_t>(code.size());
+        const BasicBlock &blk = fn.block(b);
+        BlockId next_block =
+            li + 1 < layout_order.size() ? layout_order[li + 1]
+                                         : kNoBlock;
+        for (size_t i = 0; i < blk.size(); i++) {
+            const Instruction &inst = blk.insts()[i];
+            MInstr mi;
+            static_cast<Instruction &>(mi) = inst;
+            switch (inst.op) {
+              case Op::Br: {
+                TP_ASSERT(blk.succs().size() == 2,
+                          "br without two successors");
+                fixups.push_back({code.size(), blk.succs()[0]});
+                code.push_back(mi);
+                if (blk.succs()[1] != next_block) {
+                    MInstr j;
+                    j.op = Op::Jmp;
+                    fixups.push_back({code.size(), blk.succs()[1]});
+                    code.push_back(j);
+                }
+                break;
+              }
+              case Op::Jmp: {
+                TP_ASSERT(blk.succs().size() == 1,
+                          "jmp without one successor");
+                if (blk.succs()[0] != next_block) {
+                    fixups.push_back({code.size(), blk.succs()[0]});
+                    code.push_back(mi);
+                }
+                // Adjacent target: the jump disappears.
+                break;
+              }
+              default:
+                code.push_back(mi);
+                break;
+            }
+        }
+    }
+
+    for (const Pending &p : fixups)
+        code[p.codeIndex].target = block_pc.at(p.targetBlock);
+
+    // Region metadata. Region ids are dense (formation assigns them
+    // sequentially), so size by max id + 1.
+    uint32_t num_regions = 0;
+    for (const MInstr &mi : code)
+        if (mi.op == Op::Boundary)
+            num_regions = std::max(
+                num_regions, static_cast<uint32_t>(mi.imm) + 1);
+    mf.regions().resize(num_regions);
+
+    // Live-ins are computed on the CFG form; map boundaries back by
+    // walking blocks in the same order used for emission.
+    std::map<uint32_t, RegSet> region_live;
+    for (BlockId b : layout_order) {
+        const BasicBlock &blk = fn.block(b);
+        for (size_t i = 0; i < blk.size(); i++) {
+            const Instruction &inst = blk.insts()[i];
+            if (inst.op == Op::Boundary)
+                region_live.emplace(static_cast<uint32_t>(inst.imm),
+                                    live.liveBefore(b, i));
+        }
+    }
+    for (size_t pc = 0; pc < code.size(); pc++) {
+        if (code[pc].op != Op::Boundary)
+            continue;
+        uint32_t rid = static_cast<uint32_t>(code[pc].imm);
+        RegionMeta &rm = mf.regions()[rid];
+        rm.entryPc = static_cast<uint32_t>(pc);
+
+        auto live_it = region_live.find(rid);
+        TP_ASSERT(live_it != region_live.end(),
+                  "boundary %u lost its live set", rid);
+        RecoveryProgram &prog = rm.recovery;
+        int next_temp = 0;
+
+        // Rematerialize the frame pointer first.
+        {
+            RecoveryOp li_op;
+            li_op.kind = RecoveryOp::Kind::Li;
+            li_op.t = next_temp;
+            li_op.imm = static_cast<int64_t>(layout::kSpillBase);
+            prog.push_back(li_op);
+            RecoveryOp commit;
+            commit.kind = RecoveryOp::Kind::CommitReg;
+            commit.t = next_temp;
+            commit.reg = kFramePointer;
+            prog.push_back(commit);
+            next_temp++;
+        }
+
+        for (Reg r : live_it->second.toVector()) {
+            if (r == kFramePointer)
+                continue;
+            rm.liveIns.push_back(r);
+            auto g = prune.governed.find({rid, r});
+            if (g != prune.governed.end()) {
+                spliceRecipe(prog, g->second, next_temp);
+                next_temp += recipeTemps(g->second);
+            } else {
+                RecoveryOp ld;
+                ld.kind = RecoveryOp::Kind::LoadCkpt;
+                ld.t = next_temp;
+                ld.reg = r;
+                prog.push_back(ld);
+                RecoveryOp commit;
+                commit.kind = RecoveryOp::Kind::CommitReg;
+                commit.t = next_temp;
+                commit.reg = r;
+                prog.push_back(commit);
+                next_temp++;
+            }
+        }
+    }
+
+    verifyOrDie(mf);
+    return mf;
+}
+
+} // namespace turnpike

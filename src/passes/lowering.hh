@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Lowering: linearize a fully-compiled (physical-register, region-
+ * annotated) function into a MachineFunction, resolving branch
+ * targets and generating each region's recovery program from the
+ * live-in sets and the pruning recipes.
+ */
+
+#ifndef TURNPIKE_PASSES_LOWERING_HH_
+#define TURNPIKE_PASSES_LOWERING_HH_
+
+#include "ir/function.hh"
+#include "machine/mfunction.hh"
+#include "passes/checkpoint_pruning.hh"
+
+namespace turnpike {
+
+/**
+ * Lower @p fn. @p prune carries the reconstruction recipes recorded
+ * by checkpoint pruning (pass an empty result when pruning did not
+ * run).
+ */
+MachineFunction lowerFunction(const Function &fn,
+                              const PruneResult &prune);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_PASSES_LOWERING_HH_

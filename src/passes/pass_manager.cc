@@ -1,0 +1,67 @@
+#include "passes/pass_manager.hh"
+
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+#include "ir/verifier.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+void
+PassPipeline::add(const std::string &name, PassFn fn)
+{
+    steps_.push_back({name, std::move(fn)});
+}
+
+void
+PassPipeline::run(Function &fn)
+{
+    verifyOrDie(fn);
+    for (auto &step : steps_) {
+        step.fn(fn, stats_);
+        auto problems = verifyFunction(fn);
+        if (!problems.empty())
+            panic("pass '%s' broke function %s: %s", step.name.c_str(),
+                  fn.name().c_str(), problems.front().c_str());
+    }
+}
+
+uint64_t
+runDeadCodeElimination(Function &fn)
+{
+    uint64_t removed = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        Cfg cfg(fn);
+        Liveness live(cfg);
+        for (BlockId b = 0; b < fn.numBlocks(); b++) {
+            if (!cfg.reachable(b))
+                continue;
+            BasicBlock &blk = fn.block(b);
+            // Walk backward tracking liveness within the block so
+            // several dead instructions fall in one sweep.
+            RegSet live_now = live.liveOut(b);
+            for (size_t i = blk.size(); i > 0; i--) {
+                const Instruction &inst = blk.insts()[i - 1];
+                bool has_effect = inst.op == Op::Store ||
+                    inst.op == Op::Ckpt || inst.op == Op::Boundary ||
+                    isTerminator(inst.op);
+                bool dead = !has_effect && writesDst(inst.op) &&
+                    !live_now.contains(inst.dst);
+                if (dead) {
+                    blk.eraseAt(i - 1);
+                    removed++;
+                    changed = true;
+                    continue;
+                }
+                if (writesDst(inst.op) && inst.dst != kNoReg)
+                    live_now.erase(inst.dst);
+                addUses(inst, live_now);
+            }
+        }
+    }
+    return removed;
+}
+
+} // namespace turnpike

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Pass sequencing utilities: a tiny pipeline driver that verifies the
+ * IR between passes and collects per-pass statistics, plus a generic
+ * dead-code-elimination cleanup used by several transforms.
+ */
+
+#ifndef TURNPIKE_PASSES_PASS_MANAGER_HH_
+#define TURNPIKE_PASSES_PASS_MANAGER_HH_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+#include "util/stats.hh"
+
+namespace turnpike {
+
+/**
+ * Orders the passes applied to one function and records statistics.
+ * Each step is a named callable; after every step the IR verifier
+ * runs (panicking on structural damage) so a broken pass is caught
+ * at its source.
+ */
+class PassPipeline
+{
+  public:
+    using PassFn = std::function<void(Function &, StatSet &)>;
+
+    /** Append a named pass. */
+    void add(const std::string &name, PassFn fn);
+
+    /** Run all passes over @p fn in order. */
+    void run(Function &fn);
+
+    /** Statistics accumulated by the passes. */
+    const StatSet &stats() const { return stats_; }
+    StatSet &stats() { return stats_; }
+
+  private:
+    struct Step { std::string name; PassFn fn; };
+    std::vector<Step> steps_;
+    StatSet stats_;
+};
+
+/**
+ * Remove instructions whose destination is never read and that have
+ * no side effects (not stores, checkpoints, boundaries, or
+ * terminators). Iterates to a fixpoint. Returns the number of
+ * instructions removed.
+ */
+uint64_t runDeadCodeElimination(Function &fn);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_PASSES_PASS_MANAGER_HH_

@@ -1,0 +1,355 @@
+#include "passes/region_formation.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/dominators.hh"
+#include "ir/loop_info.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+/** True if any block of @p loop contains a regular store. */
+bool
+loopHasStores(const Function &fn, const Loop &loop)
+{
+    for (BlockId b : loop.blocks)
+        for (const Instruction &inst : fn.block(b).insts())
+            if (inst.op == Op::Store)
+                return true;
+    return false;
+}
+
+/**
+ * Forward max-dataflow of "stores on the worst path since the last
+ * boundary". Returns per-block entry counts; the caller walks blocks
+ * to find concrete cut points. Saturates at @p cap to guarantee a
+ * fixpoint even on (illegal) boundary-free cycles with stores.
+ */
+std::vector<uint32_t>
+storeCountsAtEntry(const Function &fn, const Cfg &cfg, uint32_t cap,
+                   bool count_ckpts)
+{
+    std::vector<uint32_t> entry(fn.numBlocks(), 0);
+    std::vector<uint32_t> exit(fn.numBlocks(), 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : cfg.rpo()) {
+            uint32_t in = 0;
+            for (BlockId p : cfg.preds(b))
+                if (cfg.reachable(p))
+                    in = std::max(in, exit[p]);
+            if (in != entry[b]) {
+                entry[b] = in;
+                changed = true;
+            }
+            uint32_t count = in;
+            for (const Instruction &inst : fn.block(b).insts()) {
+                if (inst.op == Op::Boundary) {
+                    count = 0;
+                } else if (inst.op == Op::Store ||
+                           (count_ckpts && inst.op == Op::Ckpt)) {
+                    count = std::min(count + 1, cap);
+                }
+            }
+            if (count != exit[b]) {
+                exit[b] = count;
+                changed = true;
+            }
+        }
+    }
+    return entry;
+}
+
+} // namespace
+
+uint32_t
+runRegionFormation(Function &fn, const RegionFormationOptions &opts)
+{
+    TP_ASSERT(opts.storeBudget >= 1, "store budget must be positive");
+    uint32_t next_region = 0;
+
+    // Region 0 starts at the function entry.
+    fn.block(fn.entry()).insertAt(0, makeBoundary(next_region++));
+
+    // Boundaries in loop headers (Turnstile rule), except store-free
+    // loops when the LICM enabler is on. A loop may only be kept
+    // whole when the number of registers its body defines that are
+    // live out of the loop (the future sunk-checkpoint cluster) is
+    // small enough that the cluster plus the regular-store budget
+    // still fits the store buffer.
+    {
+        Cfg cfg(fn);
+        DominatorTree dt(cfg);
+        LoopInfo li(cfg, dt);
+        Liveness live(cfg);
+        std::set<BlockId> headers;
+        for (const Loop &loop : li.loops()) {
+            if (opts.keepStoreFreeLoopsWhole &&
+                !loopHasStores(fn, loop) && loop.exit != kNoBlock) {
+                RegSet defined(fn.numRegs());
+                for (BlockId b : loop.blocks)
+                    for (const Instruction &inst : fn.block(b).insts())
+                        if (writesDst(inst.op) && inst.dst != kNoReg)
+                            defined.insert(inst.dst);
+                RegSet live_out = live.liveIn(loop.exit);
+                RegSet cluster = defined;
+                RegSet not_live = defined;
+                not_live.subtract(live_out);
+                cluster.subtract(not_live);
+                if (cluster.count() <= opts.storeBudget)
+                    continue; // keep the loop whole
+            }
+            headers.insert(loop.header);
+        }
+        for (BlockId h : headers) {
+            // Skip if the header already starts with a boundary
+            // (e.g. the entry block).
+            BasicBlock &blk = fn.block(h);
+            if (!blk.insts().empty() &&
+                blk.insts()[0].op == Op::Boundary)
+                continue;
+            blk.insertAt(0, makeBoundary(next_region++));
+        }
+    }
+
+    // Budget cuts: repeatedly find the first store on a path that
+    // would exceed the budget and place a boundary in front of it.
+    const uint32_t cap = opts.storeBudget + 2;
+    bool inserted = true;
+    while (inserted) {
+        inserted = false;
+        Cfg cfg(fn);
+        auto entry = storeCountsAtEntry(fn, cfg, cap, false);
+        for (BlockId b : cfg.rpo()) {
+            BasicBlock &blk = fn.block(b);
+            uint32_t count = entry[b];
+            for (size_t i = 0; i < blk.size(); i++) {
+                const Instruction &inst = blk.insts()[i];
+                if (inst.op == Op::Boundary) {
+                    count = 0;
+                } else if (inst.op == Op::Store) {
+                    if (count + 1 > opts.storeBudget) {
+                        // Cut right after the previous store when
+                        // one exists in this block segment: that
+                        // point carries the fewest live values, so
+                        // eager checkpointing adds the fewest
+                        // checkpoints for the cut.
+                        size_t at = i;
+                        for (size_t j = i; j > 0; j--) {
+                            const Instruction &cand =
+                                blk.insts()[j - 1];
+                            if (cand.op == Op::Boundary)
+                                break;
+                            if (cand.op == Op::Store) {
+                                at = j;
+                                break;
+                            }
+                        }
+                        blk.insertAt(at, makeBoundary(next_region++));
+                        inserted = true;
+                        break;
+                    }
+                    count++;
+                }
+            }
+            if (inserted)
+                break;
+        }
+    }
+
+    fn.setNumRegions(next_region);
+    return next_region;
+}
+
+bool
+repairRegionBudget(Function &fn, uint32_t hard_budget)
+{
+    Cfg cfg(fn);
+    auto entry = storeCountsAtEntry(fn, cfg, hard_budget + 2, true);
+    for (BlockId b : cfg.rpo()) {
+        BasicBlock &blk = fn.block(b);
+        uint32_t count = entry[b];
+        for (size_t i = 0; i < blk.size(); i++) {
+            const Instruction &inst = blk.insts()[i];
+            if (inst.op == Op::Boundary) {
+                count = 0;
+                continue;
+            }
+            if (inst.op != Op::Store && inst.op != Op::Ckpt)
+                continue;
+            if (count + 1 <= hard_budget) {
+                count++;
+                continue;
+            }
+            // Choose the split point. The best cut is right after
+            // the previous store-class instruction: the values of
+            // the offending store's computation chain then stay in
+            // one region and need no extra checkpoints.
+            size_t at = i;
+            for (size_t j = i; j > 0; j--) {
+                const Instruction &cand = blk.insts()[j - 1];
+                if (cand.op == Op::Boundary)
+                    break;
+                if (cand.op == Op::Store || cand.op == Op::Ckpt) {
+                    at = j;
+                    break;
+                }
+            }
+            if (at != i) {
+                uint32_t id = fn.numRegions();
+                blk.insertAt(at, makeBoundary(id));
+                fn.setNumRegions(id + 1);
+                return true;
+            }
+            // No previous store in this block segment: fall back to
+            // def-aware placement. A boundary straight in front of a
+            // checkpoint would separate it from its defining
+            // instruction, and re-running eager checkpointing would
+            // recreate the violation; cut before the def instead.
+            if (inst.op == Op::Ckpt) {
+                // Work out the segment (since the previous boundary
+                // in this block) and the checkpoints it holds; the
+                // cut goes before the latest of their defs so that
+                // re-running eager checkpointing + sinking splits
+                // the checkpoint run across the two regions.
+                size_t seg_start = 0;
+                for (size_t j = i; j > 0; j--) {
+                    if (blk.insts()[j - 1].op == Op::Boundary) {
+                        seg_start = j;
+                        break;
+                    }
+                }
+                size_t best_def = SIZE_MAX;
+                for (size_t c = seg_start; c <= i; c++) {
+                    const Instruction &ck = blk.insts()[c];
+                    if (ck.op != Op::Ckpt)
+                        continue;
+                    for (size_t j = c; j > seg_start; j--) {
+                        const Instruction &cand = blk.insts()[j - 1];
+                        if (cand.writes(ck.src0)) {
+                            if (best_def == SIZE_MAX ||
+                                j - 1 > best_def)
+                                best_def = j - 1;
+                            break;
+                        }
+                    }
+                }
+                if (best_def != SIZE_MAX) {
+                    at = best_def;
+                } else {
+                    // A loop-sunk checkpoint cluster: break up the
+                    // boundary-free loop that feeds this block by
+                    // giving its header a boundary (sinking then no
+                    // longer applies to it).
+                    DominatorTree dt(cfg);
+                    LoopInfo li(cfg, dt);
+                    for (const Loop &loop : li.loops()) {
+                        if (loop.exit != b)
+                            continue;
+                        bool has_boundary = false;
+                        for (BlockId lb : loop.blocks)
+                            for (const Instruction &x :
+                                     fn.block(lb).insts())
+                                if (x.op == Op::Boundary)
+                                    has_boundary = true;
+                        if (has_boundary)
+                            continue;
+                        uint32_t id = fn.numRegions();
+                        fn.block(loop.header)
+                            .insertAt(0, makeBoundary(id));
+                        fn.setNumRegions(id + 1);
+                        return true;
+                    }
+                }
+            }
+            uint32_t id = fn.numRegions();
+            blk.insertAt(at, makeBoundary(id));
+            fn.setNumRegions(id + 1);
+            return true;
+        }
+    }
+    return false;
+}
+
+RegionMap::RegionMap(const Function &fn)
+    : fn_(fn),
+      entry_(fn.numBlocks(), kNoRegion),
+      exit_(fn.numBlocks(), kNoRegion)
+{
+    Cfg cfg(fn);
+    uint32_t max_region = 0;
+    bool any_region = false;
+
+    auto meet = [](uint32_t a, uint32_t b) {
+        if (a == kNoRegion)
+            return b;
+        if (b == kNoRegion)
+            return a;
+        return a == b ? a : kMixedRegion;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : cfg.rpo()) {
+            uint32_t in = kNoRegion;
+            for (BlockId p : cfg.preds(b))
+                if (cfg.reachable(p))
+                    in = meet(in, exit_[p]);
+            if (in != entry_[b]) {
+                entry_[b] = in;
+                changed = true;
+            }
+            uint32_t cur = in;
+            for (const Instruction &inst : fn.block(b).insts()) {
+                if (inst.op == Op::Boundary) {
+                    cur = static_cast<uint32_t>(inst.imm);
+                    max_region = std::max(max_region, cur);
+                    any_region = true;
+                }
+            }
+            if (cur != exit_[b]) {
+                exit_[b] = cur;
+                changed = true;
+            }
+        }
+    }
+    num_regions_ = any_region ? max_region + 1 : 0;
+}
+
+uint32_t
+RegionMap::regionBefore(BlockId b, size_t index) const
+{
+    const BasicBlock &blk = fn_.block(b);
+    TP_ASSERT(index <= blk.size(), "regionBefore: bad index");
+    uint32_t cur = entry_[b];
+    for (size_t i = 0; i < index; i++)
+        if (blk.insts()[i].op == Op::Boundary)
+            cur = static_cast<uint32_t>(blk.insts()[i].imm);
+    return cur;
+}
+
+void
+RegionMap::boundaryPos(uint32_t region, BlockId &block,
+                       size_t &index) const
+{
+    for (BlockId b = 0; b < fn_.numBlocks(); b++) {
+        const BasicBlock &blk = fn_.block(b);
+        for (size_t i = 0; i < blk.size(); i++) {
+            const Instruction &inst = blk.insts()[i];
+            if (inst.op == Op::Boundary &&
+                static_cast<uint32_t>(inst.imm) == region) {
+                block = b;
+                index = i;
+                return;
+            }
+        }
+    }
+    panic("boundaryPos: region %u has no boundary", region);
+}
+
+} // namespace turnpike

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Store-buffer-aware region partitioning (Turnstile §2.1, Turnpike
+ * §4.3.1) and the RegionMap analysis that later passes use to map
+ * program points to static regions.
+ *
+ * Region formation inserts Boundary markers so that no path between
+ * two consecutive boundaries carries more than a store budget
+ * (SB size / 2 by default, so one region's verification can overlap
+ * the next region's execution). Boundaries are also placed in every
+ * loop header — except, when the LICM option is enabled, headers of
+ * loops whose bodies are store-free, which allows whole loops to
+ * live inside a single region (enabling checkpoint sinking out of
+ * loop bodies, §4.1.4).
+ */
+
+#ifndef TURNPIKE_PASSES_REGION_FORMATION_HH_
+#define TURNPIKE_PASSES_REGION_FORMATION_HH_
+
+#include <cstdint>
+
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+
+namespace turnpike {
+
+/** Region id assigned to program points reachable from multiple
+ *  regions (path-insensitive join). */
+constexpr uint32_t kMixedRegion = 0xfffffffeu;
+
+/** Options for region formation. */
+struct RegionFormationOptions
+{
+    /** Maximum regular stores per region on any path. */
+    uint32_t storeBudget = 2;
+    /**
+     * When true, loop headers of store-free loops get no boundary,
+     * letting the whole loop fall into one region (the enabler for
+     * LICM checkpoint sinking).
+     */
+    bool keepStoreFreeLoopsWhole = false;
+};
+
+/**
+ * Insert region boundaries into @p fn; returns the number of static
+ * regions created (boundary ids are 0..n-1, with region 0 starting
+ * at the function entry). Also records the count in
+ * fn.setNumRegions().
+ */
+uint32_t runRegionFormation(Function &fn,
+                            const RegionFormationOptions &opts);
+
+/**
+ * Post-checkpointing budget repair: if any path between boundaries
+ * carries more than @p hard_budget stores (checkpoints included) —
+ * which could deadlock a @p hard_budget-entry gated store buffer —
+ * insert one boundary before the offending store. Returns true when
+ * a boundary was inserted (caller re-runs checkpointing and calls
+ * again until clean).
+ */
+bool repairRegionBudget(Function &fn, uint32_t hard_budget);
+
+/**
+ * Static-region membership analysis: for each program point, which
+ * region is live there (the id of the last boundary crossed), or
+ * kMixedRegion when paths disagree. Built on demand after any pass
+ * that moves code.
+ */
+class RegionMap
+{
+  public:
+    explicit RegionMap(const Function &fn);
+
+    /** Region in effect at entry to block @p b (before its first
+     *  instruction). */
+    uint32_t regionAtEntry(BlockId b) const { return entry_[b]; }
+
+    /**
+     * Region in effect immediately before instruction @p index of
+     * block @p b.
+     */
+    uint32_t regionBefore(BlockId b, size_t index) const;
+
+    /** Region in effect after the last instruction of @p b. */
+    uint32_t regionAtExit(BlockId b) const { return exit_[b]; }
+
+    /**
+     * Position of the boundary instruction that starts @p region.
+     * Scanned fresh so it stays valid while instruction indices
+     * shift. Panics when the region does not exist.
+     */
+    void boundaryPos(uint32_t region, BlockId &block,
+                     size_t &index) const;
+
+    /** Number of boundary instructions found. */
+    uint32_t numRegions() const { return num_regions_; }
+
+  private:
+    const Function &fn_;
+    std::vector<uint32_t> entry_;
+    std::vector<uint32_t> exit_;
+    uint32_t num_regions_ = 0;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_PASSES_REGION_FORMATION_HH_

@@ -1,0 +1,225 @@
+#include "passes/register_allocation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "ir/dominators.hh"
+#include "ir/liveness.hh"
+#include "ir/loop_info.hh"
+#include "machine/minstr.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+/** First spill-reload scratch register. */
+constexpr Reg kScratch0 = 29;
+/** Second spill-reload scratch register. */
+constexpr Reg kScratch1 = 30;
+
+struct Interval
+{
+    Reg vreg = kNoReg;
+    int64_t start = INT64_MAX;
+    int64_t end = INT64_MIN;
+    double cost = 0.0;
+    Reg phys = kNoReg;   ///< assigned physical register
+    bool spilled = false;
+
+    bool live() const { return start <= end; }
+};
+
+} // namespace
+
+RaStats
+runRegisterAllocation(Function &fn, const RaOptions &opts)
+{
+    TP_ASSERT(opts.numAllocatable >= 2 &&
+              opts.numAllocatable <= kScratch0 - 1,
+              "allocatable register count %u out of range",
+              opts.numAllocatable);
+    RaStats stats;
+
+    Cfg cfg(fn);
+    DominatorTree dt(cfg);
+    LoopInfo li(cfg, dt);
+    Liveness live(cfg);
+
+    // Linear numbering of instructions in RPO block order.
+    std::vector<std::pair<BlockId, int64_t>> block_start;
+    int64_t pos = 0;
+    std::map<BlockId, std::pair<int64_t, int64_t>> block_range;
+    for (BlockId b : cfg.rpo()) {
+        int64_t s = pos;
+        pos += static_cast<int64_t>(fn.block(b).size());
+        block_range[b] = {s, pos - 1};
+    }
+
+    // Build intervals and spill costs.
+    std::vector<Interval> ivs(fn.numRegs());
+    for (Reg r = 0; r < fn.numRegs(); r++)
+        ivs[r].vreg = r;
+    auto extend = [&](Reg r, int64_t p) {
+        ivs[r].start = std::min(ivs[r].start, p);
+        ivs[r].end = std::max(ivs[r].end, p);
+    };
+    for (BlockId b : cfg.rpo()) {
+        auto [bs, be] = block_range[b];
+        double freq = std::pow(8.0, std::min(li.depth(b), 4));
+        for (Reg r : live.liveIn(b).toVector())
+            extend(r, bs);
+        for (Reg r : live.liveOut(b).toVector())
+            extend(r, be);
+        int64_t p = bs;
+        for (const Instruction &inst : fn.block(b).insts()) {
+            if (inst.src0 != kNoReg) {
+                extend(inst.src0, p);
+                ivs[inst.src0].cost += freq;
+            }
+            if (inst.src1 != kNoReg) {
+                extend(inst.src1, p);
+                ivs[inst.src1].cost += freq;
+            }
+            if (writesDst(inst.op) && inst.dst != kNoReg) {
+                extend(inst.dst, p);
+                ivs[inst.dst].cost += freq * opts.writeCostFactor;
+            }
+            p++;
+        }
+    }
+
+    // Linear scan (Poletto/Sarkar) with cost-aware spill choice.
+    std::vector<Interval *> order;
+    for (auto &iv : ivs)
+        if (iv.live())
+            order.push_back(&iv);
+    std::sort(order.begin(), order.end(),
+              [](const Interval *a, const Interval *b) {
+                  return a->start < b->start;
+              });
+
+    std::vector<Interval *> active;
+    std::vector<Reg> free_regs;
+    for (Reg r = 0; r < opts.numAllocatable; r++)
+        free_regs.push_back(opts.numAllocatable - 1 - r);
+
+    for (Interval *cur : order) {
+        // Expire finished intervals.
+        for (size_t i = active.size(); i > 0; i--) {
+            if (active[i - 1]->end < cur->start) {
+                free_regs.push_back(active[i - 1]->phys);
+                active.erase(active.begin() +
+                             static_cast<ptrdiff_t>(i - 1));
+            }
+        }
+        if (!free_regs.empty()) {
+            cur->phys = free_regs.back();
+            free_regs.pop_back();
+            active.push_back(cur);
+            continue;
+        }
+        // Pick the cheapest interval (current included) to spill.
+        Interval *victim = cur;
+        for (Interval *a : active)
+            if (a->cost < victim->cost ||
+                (a->cost == victim->cost && a->end > victim->end))
+                victim = a;
+        if (victim != cur) {
+            cur->phys = victim->phys;
+            victim->phys = kNoReg;
+            victim->spilled = true;
+            active.erase(std::find(active.begin(), active.end(),
+                                   victim));
+            active.push_back(cur);
+        } else {
+            cur->spilled = true;
+        }
+        stats.spilledVregs++;
+    }
+
+    // Assign spill slots.
+    std::map<Reg, uint32_t> slot_of;
+    uint32_t next_slot = 0;
+    for (const auto &iv : ivs)
+        if (iv.spilled)
+            slot_of[iv.vreg] = next_slot++;
+
+    // Rewrite every block: map operands to physical registers,
+    // insert reloads/spill stores around uses/defs of spilled vregs.
+    auto phys_of = [&](Reg v) -> Reg {
+        TP_ASSERT(v < fn.numRegs(), "RA: bad vreg %u", v);
+        TP_ASSERT(ivs[v].phys != kNoReg, "RA: vreg %u unassigned", v);
+        return ivs[v].phys;
+    };
+    for (BlockId b = 0; b < fn.numBlocks(); b++) {
+        BasicBlock &blk = fn.block(b);
+        std::vector<Instruction> out;
+        out.reserve(blk.size() + 8);
+        for (Instruction inst : blk.insts()) {
+            Reg scratch_for_dst = kScratch0;
+            // Reload spilled sources into scratch registers.
+            if (inst.src0 != kNoReg) {
+                if (ivs[inst.src0].spilled) {
+                    out.push_back(makeLoad(
+                        kScratch0, kFramePointer,
+                        static_cast<int64_t>(
+                            slot_of[inst.src0]) * 8));
+                    inst.src0 = kScratch0;
+                    scratch_for_dst = kScratch1;
+                    stats.spillLoads++;
+                } else {
+                    inst.src0 = phys_of(inst.src0);
+                }
+            }
+            if (inst.src1 != kNoReg) {
+                if (ivs[inst.src1].spilled) {
+                    Reg s = (inst.src0 == kScratch0) ? kScratch1
+                                                     : kScratch0;
+                    out.push_back(makeLoad(
+                        s, kFramePointer,
+                        static_cast<int64_t>(
+                            slot_of[inst.src1]) * 8));
+                    inst.src1 = s;
+                    if (s == kScratch0)
+                        scratch_for_dst = kScratch1;
+                    stats.spillLoads++;
+                } else {
+                    inst.src1 = phys_of(inst.src1);
+                }
+            }
+            bool spill_dst = false;
+            uint32_t dst_slot = 0;
+            if (writesDst(inst.op) && inst.dst != kNoReg) {
+                if (ivs[inst.dst].spilled) {
+                    dst_slot = slot_of[inst.dst];
+                    inst.dst = scratch_for_dst;
+                    spill_dst = true;
+                } else {
+                    inst.dst = phys_of(inst.dst);
+                }
+            }
+            out.push_back(inst);
+            if (spill_dst) {
+                out.push_back(makeStore(
+                    inst.dst, kFramePointer,
+                    static_cast<int64_t>(dst_slot) * 8,
+                    StoreKind::Spill));
+                stats.spillStores++;
+            }
+        }
+        blk.insts() = std::move(out);
+    }
+
+    // Materialize the frame pointer at the function entry.
+    fn.block(fn.entry()).insertAt(
+        0, makeLi(kFramePointer,
+                  static_cast<int64_t>(layout::kSpillBase)));
+
+    fn.setNumRegs(kNumPhysRegs);
+    return stats;
+}
+
+} // namespace turnpike

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Linear-scan register allocation with optional store-aware spill
+ * costs (paper §4.1.1). The classic allocator weighs reads and
+ * writes equally when picking spill victims; the store-aware variant
+ * multiplies the write frequency so frequently-written variables
+ * stay in registers, eliminating spill *stores* that would otherwise
+ * pressure the store buffer.
+ *
+ * After this pass the function operates on physical registers
+ * (ids < kNumPhysRegs): vregs are rewritten, spill code is inserted
+ * against the frame pointer (r31), and fn.numRegs() == 32.
+ */
+
+#ifndef TURNPIKE_PASSES_REGISTER_ALLOCATION_HH_
+#define TURNPIKE_PASSES_REGISTER_ALLOCATION_HH_
+
+#include <cstdint>
+
+#include "ir/function.hh"
+
+namespace turnpike {
+
+/** Options controlling allocation. */
+struct RaOptions
+{
+    /** Physical registers available to the allocator (r0..rN-1). */
+    uint32_t numAllocatable = 20;
+    /**
+     * Multiplier on the write-frequency term of the spill cost.
+     * 1.0 reproduces the classic allocator; Turnpike uses > 1.
+     */
+    double writeCostFactor = 1.0;
+};
+
+/** Allocation statistics. */
+struct RaStats
+{
+    uint64_t spilledVregs = 0;
+    uint64_t spillStores = 0; ///< static spill stores inserted
+    uint64_t spillLoads = 0;  ///< static reloads inserted
+};
+
+/**
+ * Allocate registers for @p fn in place. Requires virtual-register
+ * form (no Boundary/Ckpt instructions yet).
+ */
+RaStats runRegisterAllocation(Function &fn, const RaOptions &opts);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_PASSES_REGISTER_ALLOCATION_HH_

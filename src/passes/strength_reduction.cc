@@ -1,0 +1,205 @@
+#include "passes/strength_reduction.hh"
+
+#include <map>
+#include <tuple>
+
+#include "ir/dominators.hh"
+#include "ir/loop_info.hh"
+#include "passes/loop_utils.hh"
+#include "passes/pass_manager.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+/** One base + (iv << k) address computation feeding memory ops. */
+struct AddrPattern
+{
+    Reg iv = kNoReg;
+    int64_t shift = 0;
+    Reg base = kNoReg;
+    BlockId block = kNoBlock;
+    size_t memIndex = 0; ///< index of the memory op using the address
+};
+
+/**
+ * Try to match instruction @p mem_idx of @p blk as a memory access
+ * whose base register is an in-block Add of a loop-invariant base
+ * and a Shl of a basic IV. Returns true and fills @p out on success.
+ */
+bool
+matchAddrPattern(const Function &fn, const Loop &loop,
+                 const std::vector<BasicIv> &ivs, BlockId b,
+                 size_t mem_idx, AddrPattern &out)
+{
+    const BasicBlock &blk = fn.block(b);
+    const Instruction &mem = blk.insts()[mem_idx];
+    Reg addr = (mem.op == Op::Load) ? mem.src0 : mem.src1;
+    if (addr == kNoReg)
+        return false;
+
+    // Find the in-block def of the address register before the use.
+    size_t add_idx = SIZE_MAX;
+    for (size_t i = mem_idx; i > 0; i--) {
+        const Instruction &inst = blk.insts()[i - 1];
+        if (inst.writes(addr)) {
+            add_idx = i - 1;
+            break;
+        }
+    }
+    if (add_idx == SIZE_MAX)
+        return false;
+    const Instruction &add = blk.insts()[add_idx];
+    if (add.op != Op::Add || add.src1 == kNoReg)
+        return false;
+
+    // One operand loop-invariant (base), the other a Shl of an IV.
+    for (int swap = 0; swap < 2; swap++) {
+        Reg base = swap ? add.src1 : add.src0;
+        Reg shifted = swap ? add.src0 : add.src1;
+        if (!isLoopInvariant(fn, loop, base))
+            continue;
+        // Find shifted's def in the same block before the add.
+        size_t shl_idx = SIZE_MAX;
+        for (size_t i = add_idx; i > 0; i--) {
+            const Instruction &inst = blk.insts()[i - 1];
+            if (inst.writes(shifted)) {
+                shl_idx = i - 1;
+                break;
+            }
+        }
+        if (shl_idx == SIZE_MAX)
+            continue;
+        const Instruction &shl = blk.insts()[shl_idx];
+        if (shl.op != Op::Shl || shl.src1 != kNoReg)
+            continue;
+        const BasicIv *iv = nullptr;
+        for (const BasicIv &cand : ivs)
+            if (cand.reg == shl.src0)
+                iv = &cand;
+        if (!iv)
+            continue;
+        // The IV must not step between the shift and the memory op.
+        bool iv_stepped = false;
+        for (size_t i = shl_idx; i < mem_idx; i++)
+            if (blk.insts()[i].writes(iv->reg))
+                iv_stepped = true;
+        if (iv_stepped)
+            continue;
+        out.iv = iv->reg;
+        out.shift = shl.imm;
+        out.base = base;
+        out.block = b;
+        out.memIndex = mem_idx;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+uint64_t
+runStrengthReduction(Function &fn)
+{
+    uint64_t created = 0;
+    Cfg cfg(fn);
+    DominatorTree dt(cfg);
+    LoopInfo li(cfg, dt);
+
+    for (size_t loop_idx = 0; loop_idx < li.loops().size(); loop_idx++) {
+        const Loop &loop = li.loops()[loop_idx];
+        if (loop.preheader == kNoBlock)
+            continue;
+        auto ivs = findBasicIvs(fn, loop);
+        if (ivs.empty())
+            continue;
+
+        // Collect matches in blocks belonging innermost to this loop.
+        std::vector<AddrPattern> matches;
+        for (BlockId b : loop.blocks) {
+            if (li.innermostLoop(b) != static_cast<int>(loop_idx))
+                continue;
+            const BasicBlock &blk = fn.block(b);
+            for (size_t i = 0; i < blk.size(); i++) {
+                if (!isMemOp(blk.insts()[i].op))
+                    continue;
+                AddrPattern p;
+                if (matchAddrPattern(fn, loop, ivs, b, i, p))
+                    matches.push_back(p);
+            }
+        }
+        if (matches.empty())
+            continue;
+
+        // One pointer IV per distinct (iv, shift, base).
+        std::map<std::tuple<Reg, int64_t, Reg>, Reg> pointer_of;
+        for (const AddrPattern &m : matches) {
+            auto key = std::make_tuple(m.iv, m.shift, m.base);
+            auto it = pointer_of.find(key);
+            Reg p;
+            if (it != pointer_of.end()) {
+                p = it->second;
+            } else {
+                // Refresh the IV facts: earlier insertions in this
+                // loop shift instruction indices.
+                auto fresh_ivs = findBasicIvs(fn, loop);
+                const BasicIv *iv = nullptr;
+                for (const BasicIv &cand : fresh_ivs)
+                    if (cand.reg == m.iv)
+                        iv = &cand;
+                TP_ASSERT(iv, "matched IV disappeared");
+
+                p = fn.newReg();
+                Reg t = fn.newReg();
+                // Preheader: t = iv << shift; p = base + t.
+                BasicBlock &pre = fn.block(loop.preheader);
+                size_t at = pre.size();
+                if (pre.hasTerminator())
+                    at--;
+                pre.insertAt(at, makeBinImm(Op::Shl, t, m.iv, m.shift));
+                pre.insertAt(at + 1, makeBin(Op::Add, p, m.base, t));
+                // Step p right after the IV increment.
+                BasicBlock &incb = fn.block(iv->incBlock);
+                int64_t pstep = iv->step << m.shift;
+                incb.insertAt(iv->incIndex + 1,
+                              makeBinImm(Op::Add, p, p, pstep));
+                pointer_of[key] = p;
+                created++;
+            }
+        }
+        // Rewrite the memory ops to use the pointer IVs. Re-match
+        // because insertions above shifted indices.
+        for (BlockId b : loop.blocks) {
+            if (li.innermostLoop(b) != static_cast<int>(loop_idx))
+                continue;
+            BasicBlock &blk = fn.block(b);
+            for (size_t i = 0; i < blk.size(); i++) {
+                if (!isMemOp(blk.insts()[i].op))
+                    continue;
+                AddrPattern p;
+                if (!matchAddrPattern(fn, loop, ivs, b, i, p))
+                    continue;
+                auto key = std::make_tuple(p.iv, p.shift, p.base);
+                auto it = pointer_of.find(key);
+                if (it == pointer_of.end())
+                    continue;
+                Instruction &mem = blk.insts()[i];
+                if (mem.op == Op::Load)
+                    mem.src0 = it->second;
+                else
+                    mem.src1 = it->second;
+            }
+        }
+        // The IV analysis results (incIndex) are invalidated by the
+        // insertions; rebuild per loop iteration of the outer for by
+        // refreshing ivs would be needed if we kept going, so stop
+        // matching further patterns for this loop (one sweep per
+        // call is enough for the generated workloads).
+    }
+
+    runDeadCodeElimination(fn);
+    return created;
+}
+
+} // namespace turnpike

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Loop strength reduction: rewrites per-use address computations of
+ * the form base + (iv << k) inside loops into separate pointer
+ * induction variables, as traditional compilers do. This is the
+ * baseline codegen behaviour the paper's Fig. 8(b) shows — it
+ * introduces loop-carried dependences that force extra checkpoints,
+ * which loop-induction-variable merging (LIVM) later removes.
+ */
+
+#ifndef TURNPIKE_PASSES_STRENGTH_REDUCTION_HH_
+#define TURNPIKE_PASSES_STRENGTH_REDUCTION_HH_
+
+#include <cstdint>
+
+#include "ir/function.hh"
+
+namespace turnpike {
+
+/**
+ * Apply strength reduction to all innermost loops of @p fn.
+ * Returns the number of pointer induction variables created.
+ */
+uint64_t runStrengthReduction(Function &fn);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_PASSES_STRENGTH_REDUCTION_HH_

@@ -1,0 +1,92 @@
+#include "sim/cache.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+constexpr uint64_t kInvalid = ~uint64_t(0);
+
+} // namespace
+
+Cache::Cache(const CacheConfig &cfg)
+    : cfg_(cfg)
+{
+    TP_ASSERT(cfg.lineBytes > 0 && cfg.ways > 0, "bad cache geometry");
+    uint32_t lines = cfg.sizeBytes / cfg.lineBytes;
+    TP_ASSERT(lines >= cfg.ways, "cache smaller than one set");
+    num_sets_ = lines / cfg.ways;
+    tags_.assign(static_cast<size_t>(num_sets_) * cfg.ways, kInvalid);
+    stamps_.assign(tags_.size(), 0);
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    uint64_t line = lineOf(addr);
+    uint32_t set = static_cast<uint32_t>(line % num_sets_);
+    size_t base = static_cast<size_t>(set) * cfg_.ways;
+    tick_++;
+    for (uint32_t w = 0; w < cfg_.ways; w++) {
+        if (tags_[base + w] == line) {
+            stamps_[base + w] = tick_;
+            hits_++;
+            return true;
+        }
+    }
+    misses_++;
+    // Allocate into the LRU way.
+    size_t victim = base;
+    for (uint32_t w = 1; w < cfg_.ways; w++)
+        if (stamps_[base + w] < stamps_[victim])
+            victim = base + w;
+    tags_[victim] = line;
+    stamps_[victim] = tick_;
+    return false;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    uint64_t line = lineOf(addr);
+    uint32_t set = static_cast<uint32_t>(line % num_sets_);
+    size_t base = static_cast<size_t>(set) * cfg_.ways;
+    for (uint32_t w = 0; w < cfg_.ways; w++)
+        if (tags_[base + w] == line)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    std::fill(tags_.begin(), tags_.end(), kInvalid);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig &l1,
+                               const CacheConfig &l2, int mem_latency)
+    : l1_(l1), l2_(l2), mem_latency_(mem_latency)
+{}
+
+int
+CacheHierarchy::loadLatency(uint64_t addr)
+{
+    if (l1_.access(addr))
+        return l1_.hitLatency();
+    if (l2_.access(addr))
+        return l2_.hitLatency();
+    return mem_latency_;
+}
+
+void
+CacheHierarchy::storeTouch(uint64_t addr)
+{
+    // Write-allocate into both levels; write latency is absorbed by
+    // the store buffer and not charged to the pipeline.
+    if (!l1_.access(addr))
+        l2_.access(addr);
+}
+
+} // namespace turnpike

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Timing-only set-associative caches with LRU replacement. Data
+ * always lives in the authoritative MemoryImage (the paper's
+ * ECC-protected verified domain); caches model hit/miss latency and
+ * allocation, configured after the ARM Cortex-A53-like machine of
+ * the paper's gem5 setup.
+ */
+
+#ifndef TURNPIKE_SIM_CACHE_HH_
+#define TURNPIKE_SIM_CACHE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace turnpike {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    uint32_t sizeBytes = 64 * 1024;
+    uint32_t ways = 2;
+    uint32_t lineBytes = 64;
+    int hitLatency = 2;
+};
+
+/** One level of timing-only cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Look up @p addr; on miss the line is allocated (LRU victim).
+     * @return true on hit.
+     */
+    bool access(uint64_t addr);
+
+    /** Probe without allocating. */
+    bool probe(uint64_t addr) const;
+
+    int hitLatency() const { return cfg_.hitLatency; }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+    /** Forget all contents. */
+    void flush();
+
+  private:
+    uint64_t lineOf(uint64_t addr) const
+    {
+        return addr / cfg_.lineBytes;
+    }
+
+    CacheConfig cfg_;
+    uint32_t num_sets_;
+    /** tags_[set * ways + way]; kInvalid when empty. */
+    std::vector<uint64_t> tags_;
+    /** LRU stamps, parallel to tags_. */
+    std::vector<uint64_t> stamps_;
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** Two-level data-cache hierarchy backed by fixed-latency memory. */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const CacheConfig &l1, const CacheConfig &l2,
+                   int mem_latency);
+
+    /** Latency of a load at @p addr, allocating on misses. */
+    int loadLatency(uint64_t addr);
+
+    /** Account a store write (allocates; no pipeline latency). */
+    void storeTouch(uint64_t addr);
+
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+
+  private:
+    Cache l1_;
+    Cache l2_;
+    int mem_latency_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_SIM_CACHE_HH_

@@ -1,0 +1,80 @@
+#include "sim/clq.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+void
+Clq::insertLoad(uint64_t instance, uint64_t addr)
+{
+    if (!enabled_)
+        return;
+    Entry *e = nullptr;
+    if (!entries_.empty() && entries_.back().instance == instance) {
+        e = &entries_.back();
+    } else {
+        // A new region needs a fresh entry.
+        if (design_ == ClqDesign::Compact &&
+            entries_.size() >= capacity_) {
+            // Fig. 13: overflow disables fast release and wipes the
+            // queue; insertions stay blocked until re-enable.
+            enabled_ = false;
+            entries_.clear();
+            overflows_++;
+            return;
+        }
+        entries_.push_back({});
+        entries_.back().instance = instance;
+        e = &entries_.back();
+    }
+    e->minAddr = std::min(e->minAddr, addr);
+    e->maxAddr = std::max(e->maxAddr, addr);
+    if (design_ == ClqDesign::Ideal)
+        e->addrs.push_back(addr);
+    occupancy_.sample(static_cast<double>(entries_.size()));
+}
+
+bool
+Clq::isWarFree(uint64_t addr) const
+{
+    if (!enabled_)
+        return false;
+    for (const Entry &e : entries_) {
+        if (design_ == ClqDesign::Compact) {
+            if (addr >= e.minAddr && addr <= e.maxAddr)
+                return false;
+        } else {
+            if (std::find(e.addrs.begin(), e.addrs.end(), addr) !=
+                e.addrs.end())
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+Clq::onRegionVerified(uint64_t instance)
+{
+    while (!entries_.empty() && entries_.front().instance <= instance)
+        entries_.pop_front();
+}
+
+void
+Clq::onRegionStart(bool all_prior_verified)
+{
+    if (!enabled_ && all_prior_verified) {
+        enabled_ = true;
+        entries_.clear();
+    }
+}
+
+void
+Clq::reset()
+{
+    entries_.clear();
+    enabled_ = true;
+}
+
+} // namespace turnpike

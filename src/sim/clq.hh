@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The committed load queue (CLQ, paper §4.3.1): tracks the addresses
+ * loaded by each unverified region so a committing regular store can
+ * prove the absence of WAR dependences and be released to cache
+ * without verification.
+ *
+ * Two designs are modelled:
+ *  - Ideal: per-region exact address lists, unbounded (the paper's
+ *    100%-accurate CAM reference);
+ *  - Compact: one [min, max] range per region, bounded entry count
+ *    (Turnpike's 2-entry default), range check instead of CAM.
+ *
+ * Overflow follows the Fig. 13 automaton: fast release is disabled,
+ * insertions stop and the queue is wiped; it re-enables only at a
+ * region start when every prior region has been verified (so no
+ * unverified region has unrecorded loads).
+ */
+
+#ifndef TURNPIKE_SIM_CLQ_HH_
+#define TURNPIKE_SIM_CLQ_HH_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace turnpike {
+
+/** CLQ implementation choice. */
+enum class ClqDesign { Compact, Ideal };
+
+/** The committed load queue. */
+class Clq
+{
+  public:
+    Clq(ClqDesign design, uint32_t capacity)
+        : design_(design), capacity_(capacity)
+    {}
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Record a committed load of @p addr by region @p instance.
+     * May trip the overflow automaton (disabling fast release).
+     */
+    void insertLoad(uint64_t instance, uint64_t addr);
+
+    /**
+     * True when @p addr provably has no WAR dependence on any load
+     * of any unverified region. Always false while disabled.
+     */
+    bool isWarFree(uint64_t addr) const;
+
+    /** Drop the entry of a verified region. */
+    void onRegionVerified(uint64_t instance);
+
+    /**
+     * Region-start hook: re-enables fast release when the automaton
+     * is disabled and every earlier region is verified.
+     */
+    void onRegionStart(bool all_prior_verified);
+
+    /** Recovery squash: wipe and re-enable. */
+    void reset();
+
+    /** Current number of populated entries (regions tracked). */
+    size_t entriesUsed() const { return entries_.size(); }
+
+    uint64_t overflows() const { return overflows_; }
+
+    /** Occupancy distribution sampled at each load insertion. */
+    const Distribution &occupancy() const { return occupancy_; }
+
+  private:
+    struct Entry
+    {
+        uint64_t instance = 0;
+        uint64_t minAddr = ~uint64_t(0);
+        uint64_t maxAddr = 0;
+        std::vector<uint64_t> addrs; ///< ideal design only
+    };
+
+    ClqDesign design_;
+    uint32_t capacity_;
+    bool enabled_ = true;
+    std::deque<Entry> entries_;
+    uint64_t overflows_ = 0;
+    Distribution occupancy_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_SIM_CLQ_HH_

@@ -1,0 +1,59 @@
+#include "sim/color_maps.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+ColorMaps::ColorMaps()
+    : ac_(kNumPhysRegs,
+          static_cast<uint8_t>((1u << layout::kNumColors) - 1)),
+      vc_(kNumPhysRegs, layout::kQuarantineColor)
+{}
+
+int
+ColorMaps::tryAssign(Reg reg)
+{
+    TP_ASSERT(reg < kNumPhysRegs, "bad register %u", reg);
+    uint8_t mask = ac_[reg];
+    if (mask == 0)
+        return -1;
+    int color = __builtin_ctz(mask);
+    ac_[reg] = static_cast<uint8_t>(mask & (mask - 1));
+    return color;
+}
+
+void
+ColorMaps::freeColor(Reg reg, int color)
+{
+    if (color < 0 || color >= layout::kNumColors)
+        return; // quarantine slot is not pooled
+    ac_[reg] = static_cast<uint8_t>(ac_[reg] | (1u << color));
+}
+
+void
+ColorMaps::applyVerified(const std::vector<UsedColor> &used)
+{
+    for (const auto &[reg, slot] : used) {
+        int old = vc_[reg];
+        if (old != slot)
+            freeColor(reg, old);
+        vc_[reg] = slot;
+    }
+}
+
+void
+ColorMaps::recycleUnverified(const std::vector<UsedColor> &used)
+{
+    for (const auto &[reg, slot] : used)
+        if (slot != vc_[reg])
+            freeColor(reg, slot);
+}
+
+int
+ColorMaps::freeColors(Reg reg) const
+{
+    TP_ASSERT(reg < kNumPhysRegs, "bad register %u", reg);
+    return __builtin_popcount(ac_[reg]);
+}
+
+} // namespace turnpike

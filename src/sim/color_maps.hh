@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Hardware coloring (paper §4.3.2): per-register pools of checkpoint
+ * storage locations (colors) plus three maps — Available Colors
+ * (AC), Used Colors (UC, kept per region in the RBB) and Verified
+ * Colors (VC) — that let checkpoint stores bypass verification
+ * safely. The Fig. 16 overwrite hazard is avoided because an
+ * unverified checkpoint always writes a slot different from the
+ * verified one recovery would read.
+ */
+
+#ifndef TURNPIKE_SIM_COLOR_MAPS_HH_
+#define TURNPIKE_SIM_COLOR_MAPS_HH_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/function.hh"
+#include "machine/minstr.hh"
+
+namespace turnpike {
+
+/** A (register, slot) pair recorded in a region's used colors. */
+using UsedColor = std::pair<Reg, int>;
+
+/** The AC/VC register maps (UC lives in the RBB entries). */
+class ColorMaps
+{
+  public:
+    ColorMaps();
+
+    /**
+     * Try to take a free color for @p reg; returns the color or -1
+     * when the pool is exhausted (checkpoint must quarantine).
+     */
+    int tryAssign(Reg reg);
+
+    /** Verified color (slot index) recovery reads for @p reg. */
+    int verifiedSlot(Reg reg) const { return vc_[reg]; }
+
+    /**
+     * A region verified: apply its used colors in program order.
+     * The last slot per register becomes the verified color; every
+     * superseded color returns to the free pool.
+     */
+    void applyVerified(const std::vector<UsedColor> &used);
+
+    /** A region squashed: return its colors to the free pool. */
+    void recycleUnverified(const std::vector<UsedColor> &used);
+
+    /** Number of free colors for @p reg (for tests/stats). */
+    int freeColors(Reg reg) const;
+
+    /** Return an assigned-but-unused color to the pool. */
+    void giveBack(Reg reg, int color) { freeColor(reg, color); }
+
+  private:
+    void freeColor(Reg reg, int color);
+
+    /** Bitmask of free colors per register. */
+    std::vector<uint8_t> ac_;
+    /** Verified slot per register (color or the quarantine slot). */
+    std::vector<int> vc_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_SIM_COLOR_MAPS_HH_

@@ -1,0 +1,40 @@
+#include "sim/fault_injector.hh"
+
+#include <algorithm>
+
+#include "machine/minstr.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+std::vector<FaultEvent>
+makeFaultPlan(Rng &rng, uint64_t horizon, uint32_t wcdl, uint32_t count)
+{
+    TP_ASSERT(horizon > 1, "fault plan needs a horizon");
+    std::vector<FaultEvent> plan;
+    plan.reserve(count);
+    uint64_t min_gap = 4ull * wcdl + 16;
+    uint64_t last = 0;
+    for (uint32_t i = 0; i < count; i++) {
+        FaultEvent ev;
+        ev.cycle = 1 + rng.below(horizon - 1);
+        if (ev.cycle <= last + min_gap)
+            ev.cycle = last + min_gap + 1 + rng.below(16);
+        last = ev.cycle;
+        ev.target = rng.chance(0.7) ? FaultTarget::Register
+                                    : FaultTarget::SbEntry;
+        ev.index = static_cast<uint32_t>(
+            rng.below(ev.target == FaultTarget::Register
+                          ? kNumPhysRegs : 4));
+        ev.bit = static_cast<uint32_t>(rng.below(64));
+        ev.detectDelay = 1 + static_cast<uint32_t>(rng.below(wcdl));
+        plan.push_back(ev);
+    }
+    std::sort(plan.begin(), plan.end(),
+              [](const FaultEvent &a, const FaultEvent &b) {
+                  return a.cycle < b.cycle;
+              });
+    return plan;
+}
+
+} // namespace turnpike

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fault injection: schedules single-event upsets (bit flips) in
+ * architectural registers or store-buffer entries, with an acoustic
+ * detection delay bounded by the WCDL. Used by the resilience
+ * property tests and the fault-injection example.
+ */
+
+#ifndef TURNPIKE_SIM_FAULT_INJECTOR_HH_
+#define TURNPIKE_SIM_FAULT_INJECTOR_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace turnpike {
+
+/** Where a fault strikes. */
+enum class FaultTarget : uint8_t {
+    Register, ///< architectural register bit
+    SbEntry,  ///< data bits of a store-buffer entry
+};
+
+/** One scheduled single-event upset. */
+struct FaultEvent
+{
+    uint64_t cycle = 0;       ///< injection cycle
+    FaultTarget target = FaultTarget::Register;
+    uint32_t index = 0;       ///< register id / SB entry position
+    uint32_t bit = 0;         ///< bit to flip (0..63)
+    uint32_t detectDelay = 1; ///< sensor latency, in (0, WCDL]
+};
+
+/**
+ * Generate @p count fault events uniformly over (0, horizon) cycles
+ * with detection delays in [1, wcdl]. Events are sorted by cycle
+ * and spaced at least 4 * wcdl apart so recoveries do not overlap.
+ */
+std::vector<FaultEvent> makeFaultPlan(Rng &rng, uint64_t horizon,
+                                      uint32_t wcdl, uint32_t count);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_SIM_FAULT_INJECTOR_HH_

@@ -1,0 +1,507 @@
+#include "sim/pipeline.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "machine/minterp.hh"
+#include "sim/recovery.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+InOrderPipeline::InOrderPipeline(const Module &mod,
+                                 const MachineFunction &mf,
+                                 const PipelineConfig &cfg)
+    : mod_(mod),
+      mf_(mf),
+      cfg_(cfg),
+      sb_(cfg.sbSize),
+      rbb_(cfg.rbbEntries),
+      clq_(cfg.clqDesign, cfg.clqEntries),
+      caches_(cfg.l1d, cfg.l2, cfg.memLatency)
+{
+    memory_.loadModule(mod);
+}
+
+void
+InOrderPipeline::processVerification()
+{
+    RegionInstance ri;
+    while (rbb_.popVerified(cycle_, ri)) {
+        sb_.release(ri.id);
+        colors_.applyVerified(ri.usedColors);
+        clq_.onRegionVerified(ri.id);
+        if (cfg_.tracer && cfg_.tracer->wants(kTraceRegions))
+            cfg_.tracer->event(cycle_, "verify",
+                               strfmt("instance %llu (static %u) "
+                                      "verified; SB entries released",
+                                      (unsigned long long)ri.id,
+                                      ri.staticRegion));
+        stats_.regionCycles.sample(
+            static_cast<double>(ri.endCycle - ri.startCycle));
+        unrecorded_instances_.erase(
+            std::remove(unrecorded_instances_.begin(),
+                        unrecorded_instances_.end(), ri.id),
+            unrecorded_instances_.end());
+    }
+}
+
+void
+InOrderPipeline::drainStoreBuffer()
+{
+    if (!sb_.headReleasable())
+        return;
+    SbEntry e = sb_.pop();
+    memory_.write(e.addr, e.value);
+    caches_.storeTouch(e.addr);
+}
+
+bool
+InOrderPipeline::commitStore(const MInstr &mi)
+{
+    uint64_t addr = static_cast<uint64_t>(regs_[mi.src1] + mi.imm);
+    int64_t value = regs_[mi.src0];
+
+    if (!cfg_.resilience) {
+        if (sb_.full())
+            return false;
+        sb_.push({addr, value, 0, mi.skind, true});
+    } else {
+        bool fast = cfg_.warFreeRelease && clq_.isWarFree(addr) &&
+            sb_.youngestFor(addr) == nullptr;
+        if (fast) {
+            memory_.write(addr, value);
+            caches_.storeTouch(addr);
+            stats_.storesWarFree++;
+            if (cfg_.tracer && cfg_.tracer->wants(kTraceStores))
+                cfg_.tracer->event(cycle_, "store",
+                                   strfmt("WAR-free fast release "
+                                          "[0x%llx]",
+                                          (unsigned long long)addr));
+        } else {
+            if (sb_.full())
+                return false;
+            sb_.push({addr, value, rbb_.current().id, mi.skind,
+                      false});
+            stats_.storesQuarantined++;
+            if (cfg_.tracer && cfg_.tracer->wants(kTraceStores))
+                cfg_.tracer->event(cycle_, "store",
+                                   strfmt("quarantined [0x%llx] "
+                                          "region %llu",
+                                          (unsigned long long)addr,
+                                          (unsigned long long)
+                                              rbb_.current().id));
+        }
+    }
+    if (mi.skind == StoreKind::Spill)
+        stats_.storesSpill++;
+    else
+        stats_.storesApp++;
+    return true;
+}
+
+bool
+InOrderPipeline::commitCkpt(const MInstr &mi)
+{
+    Reg r = mi.src0;
+    int64_t value = regs_[r];
+    TP_ASSERT(cfg_.resilience, "checkpoint in non-resilient run");
+
+    if (cfg_.naiveCkptRelease) {
+        // Deliberately unsafe (Fig. 16): overwrite the single
+        // checkpoint slot without verification.
+        uint64_t addr = layout::ckptSlot(r, layout::kQuarantineColor);
+        memory_.write(addr, value);
+        caches_.storeTouch(addr);
+        rbb_.current().usedColors.push_back(
+            {r, layout::kQuarantineColor});
+        stats_.ckptColored++;
+        stats_.storesCkpt++;
+        return true;
+    }
+
+    if (cfg_.hwColoring) {
+        int color = colors_.tryAssign(r);
+        if (color >= 0) {
+            uint64_t addr = layout::ckptSlot(r, color);
+            if (sb_.youngestFor(addr) == nullptr) {
+                // Fast path: straight to the (ECC) cache.
+                memory_.write(addr, value);
+                caches_.storeTouch(addr);
+                rbb_.current().usedColors.push_back({r, color});
+                stats_.ckptColored++;
+                stats_.storesCkpt++;
+                if (cfg_.tracer && cfg_.tracer->wants(kTraceStores))
+                    cfg_.tracer->event(cycle_, "ckpt",
+                                       strfmt("r%u colored %d, fast "
+                                              "release", r, color));
+                return true;
+            }
+            // A stale entry for this slot is still draining; give
+            // the color back and quarantine instead.
+            colors_.giveBack(r, color);
+        }
+    }
+
+    if (sb_.full())
+        return false;
+    uint64_t addr = layout::ckptSlot(r, layout::kQuarantineColor);
+    sb_.push({addr, value, rbb_.current().id, StoreKind::Ckpt, false});
+    rbb_.current().usedColors.push_back(
+        {r, layout::kQuarantineColor});
+    stats_.storesQuarantined++;
+    stats_.storesCkpt++;
+    return true;
+}
+
+bool
+InOrderPipeline::commitBoundary(const MInstr &mi)
+{
+    if (!cfg_.resilience)
+        return true;
+    if (rbb_.full())
+        return false;
+    stats_.boundaries++;
+    if (cfg_.warFreeRelease)
+        clq_.onRegionStart(unrecorded_instances_.empty());
+    uint64_t inst_id = rbb_.beginRegion(static_cast<uint32_t>(mi.imm),
+                                        cycle_, cfg_.wcdl);
+    cur_static_region_ = static_cast<uint32_t>(mi.imm);
+    if (cfg_.tracer && cfg_.tracer->wants(kTraceRegions))
+        cfg_.tracer->event(cycle_, "region",
+                           strfmt("boundary: static %u, instance "
+                                  "%llu begins",
+                                  cur_static_region_,
+                                  (unsigned long long)inst_id));
+    return true;
+}
+
+bool
+InOrderPipeline::parityTriggered(const MInstr &mi)
+{
+    if (mi.src0 != kNoReg && reg_parity_bad_[mi.src0])
+        return true;
+    if (mi.src1 != kNoReg && reg_parity_bad_[mi.src1])
+        return true;
+    return false;
+}
+
+void
+InOrderPipeline::applyFault(const FaultEvent &ev)
+{
+    if (ev.target == FaultTarget::Register) {
+        Reg r = ev.index % kNumPhysRegs;
+        regs_[r] ^= int64_t(1) << (ev.bit & 63);
+        reg_parity_bad_[r] = true;
+        if (cfg_.tracer && cfg_.tracer->wants(kTraceRecovery))
+            cfg_.tracer->event(cycle_, "fault",
+                               strfmt("bit %u of r%u flipped; "
+                                      "detection in %u cycles",
+                                      ev.bit, r, ev.detectDelay));
+    } else {
+        // Corrupt a value in flight: modelled as flipping a store-
+        // buffer entry of the *current, still-running* region. Such
+        // an entry cannot verify before the strike is detected
+        // (verify = region end + WCDL >= detection time), so the
+        // quarantine guarantee holds. Entries of older regions are
+        // excluded: the SB array itself is hardened (§5), and their
+        // values were computed before the strike.
+        std::vector<SbEntry *> candidates;
+        if (cfg_.resilience && !rbb_.empty()) {
+            uint64_t cur = rbb_.current().id;
+            for (SbEntry &e : sb_.entries())
+                if (!e.releasable && e.regionInstance == cur)
+                    candidates.push_back(&e);
+        }
+        if (!candidates.empty()) {
+            SbEntry *e = candidates[ev.index % candidates.size()];
+            e->value ^= int64_t(1) << (ev.bit & 63);
+        }
+    }
+    // The sound wave is heard regardless of what was hit.
+    pending_detect_.push_back(cycle_ + ev.detectDelay);
+    std::sort(pending_detect_.begin(), pending_detect_.end());
+}
+
+void
+InOrderPipeline::doRecovery()
+{
+    stats_.recoveries++;
+    if (cfg_.tracer && cfg_.tracer->wants(kTraceRecovery))
+        cfg_.tracer->event(cycle_, "recover",
+                           "error detected; squashing unverified "
+                           "state");
+
+    // Verified (releasable) entries are error-free: flush them to
+    // the cache; everything else is discarded with the quarantine.
+    while (sb_.headReleasable()) {
+        SbEntry e = sb_.pop();
+        memory_.write(e.addr, e.value);
+        caches_.storeTouch(e.addr);
+    }
+    sb_.clear();
+
+    auto squashed = rbb_.squash();
+    if (squashed.empty() && halted_) {
+        // The strike landed after every region was verified and the
+        // program finished: all architectural work is already safe
+        // in the ECC-protected domain and no register will ever be
+        // read again. Re-executing verified history would repeat
+        // non-idempotent stores; recovery is a no-op.
+        return;
+    }
+    uint32_t restart = cur_static_region_;
+    if (!squashed.empty()) {
+        restart = squashed.front().staticRegion;
+        for (const RegionInstance &ri : squashed)
+            colors_.recycleUnverified(ri.usedColors);
+    }
+    cur_static_region_ = restart;
+    clq_.reset();
+    unrecorded_instances_.clear();
+
+    const RegionMeta &rm = mf_.region(restart);
+    if (std::getenv("TURNPIKE_DEBUG_RECOVERY")) {
+        std::fprintf(stderr, "recovery: cycle=%llu restart=%u "
+                     "pc=%u squashed=%zu\n",
+                     static_cast<unsigned long long>(cycle_), restart,
+                     rm.entryPc, squashed.size());
+    }
+    uint64_t cost = executeRecovery(rm.recovery, colors_, memory_,
+                                    regs_);
+    for (const RecoveryOp &op : rm.recovery)
+        if (op.kind == RecoveryOp::Kind::CommitReg)
+            reg_parity_bad_[op.reg] = false;
+
+    pc_ = rm.entryPc;
+    uint64_t penalty = 5 + cost;
+    cycle_ += penalty;
+    stats_.recoveryCycles += penalty;
+    for (Reg r = 0; r < kNumPhysRegs; r++)
+        reg_ready_[r] = cycle_;
+    fetch_stall_until_ = cycle_;
+    halted_ = false;
+}
+
+void
+InOrderPipeline::issueCycle()
+{
+    if (cycle_ < fetch_stall_until_)
+        return;
+
+    int issued = 0;
+    bool mem_used = false;
+    Reg group_dst[2] = {kNoReg, kNoReg};
+
+    while (issued < cfg_.issueWidth) {
+        TP_ASSERT(pc_ < mf_.code().size(), "pc %u out of range", pc_);
+        const MInstr &mi = mf_.code()[pc_];
+
+        if (mi.op == Op::Boundary) {
+            if (!commitBoundary(mi)) {
+                if (issued == 0)
+                    stats_.rbbFullStallCycles++;
+                break;
+            }
+            pc_++;
+            continue; // zero-width marker
+        }
+        if (mi.op == Op::Halt) {
+            stats_.insts++;
+            halted_ = true;
+            if (cfg_.resilience)
+                rbb_.endCurrent(cycle_, cfg_.wcdl);
+            break;
+        }
+
+        // Register parity check on every operand access (§5).
+        if (parityTriggered(mi)) {
+            stats_.detectedFaults++;
+            doRecovery();
+            return;
+        }
+
+        // Operand readiness (scoreboard with full forwarding). A
+        // store's data value is not needed until its MEM stage, two
+        // cycles after issue, so store-class instructions get a
+        // two-cycle grace on the data operand (the address operand
+        // is needed at EX as usual).
+        bool store_class = mi.op == Op::Store || mi.op == Op::Ckpt;
+        uint64_t ready = 0;
+        if (mi.src0 != kNoReg) {
+            uint64_t r = reg_ready_[mi.src0];
+            if (store_class)
+                r = r > 2 ? r - 2 : 0;
+            ready = std::max(ready, r);
+        }
+        if (mi.src1 != kNoReg)
+            ready = std::max(ready, reg_ready_[mi.src1]);
+        if (ready > cycle_) {
+            if (issued == 0)
+                stats_.dataHazardStallCycles++;
+            break;
+        }
+        // No same-cycle dependence inside a dual-issue pair.
+        if ((mi.src0 != kNoReg && (mi.src0 == group_dst[0] ||
+                                   mi.src0 == group_dst[1])) ||
+            (mi.src1 != kNoReg && (mi.src1 == group_dst[0] ||
+                                   mi.src1 == group_dst[1])))
+            break;
+
+        switch (mi.op) {
+          case Op::Load: {
+            if (mem_used)
+                goto group_done;
+            uint64_t addr =
+                static_cast<uint64_t>(regs_[mi.src0] + mi.imm);
+            const SbEntry *fwd = sb_.youngestFor(addr);
+            int64_t v;
+            int lat;
+            if (fwd) {
+                v = fwd->value;
+                lat = 2;
+            } else {
+                v = memory_.read(addr);
+                lat = caches_.loadLatency(addr);
+            }
+            regs_[mi.dst] = v;
+            reg_ready_[mi.dst] = cycle_ + static_cast<uint64_t>(lat);
+            reg_parity_bad_[mi.dst] = false;
+            stats_.loads++;
+            if (cfg_.resilience && cfg_.warFreeRelease) {
+                bool was_enabled = clq_.enabled();
+                clq_.insertLoad(rbb_.current().id, addr);
+                if (!clq_.enabled()) {
+                    if (was_enabled) {
+                        // Overflow: every live region's records died.
+                        stats_.clqOverflows++;
+                        for (const RegionInstance &ri :
+                                 rbb_.instances())
+                            unrecorded_instances_.push_back(ri.id);
+                    }
+                    uint64_t cur = rbb_.current().id;
+                    if (std::find(unrecorded_instances_.begin(),
+                                  unrecorded_instances_.end(), cur) ==
+                        unrecorded_instances_.end())
+                        unrecorded_instances_.push_back(cur);
+                }
+            }
+            mem_used = true;
+            break;
+          }
+          case Op::Store:
+            if (mem_used)
+                goto group_done;
+            if (!commitStore(mi)) {
+                if (issued == 0)
+                    stats_.sbFullStallCycles++;
+                goto group_done;
+            }
+            mem_used = true;
+            break;
+          case Op::Ckpt:
+            if (mem_used)
+                goto group_done;
+            if (!commitCkpt(mi)) {
+                if (issued == 0)
+                    stats_.sbFullStallCycles++;
+                goto group_done;
+            }
+            mem_used = true;
+            break;
+          case Op::Br: {
+            bool taken = regs_[mi.src0] != 0;
+            bool predict_taken = mi.target < pc_;
+            uint32_t next = taken ? mi.target : pc_ + 1;
+            if (taken != predict_taken) {
+                stats_.branchMispredicts++;
+                fetch_stall_until_ = cycle_ + 1 +
+                    static_cast<uint64_t>(
+                        cfg_.branchMispredictPenalty);
+            }
+            pc_ = next;
+            stats_.insts++;
+            issued++;
+            goto group_done; // redirect ends the fetch group
+          }
+          case Op::Jmp:
+            pc_ = mi.target;
+            stats_.insts++;
+            issued++;
+            goto group_done;
+          case Op::Nop:
+            break;
+          case Op::AddShl: {
+            int64_t v = regs_[mi.src0] +
+                static_cast<int64_t>(
+                    static_cast<uint64_t>(regs_[mi.src1])
+                    << (mi.imm & 63));
+            regs_[mi.dst] = v;
+            reg_ready_[mi.dst] = cycle_ + 1;
+            reg_parity_bad_[mi.dst] = false;
+            break;
+          }
+          default: {
+            int64_t b = mi.src1 == kNoReg ? mi.imm : regs_[mi.src1];
+            int64_t a = mi.op == Op::Li ? mi.imm : regs_[mi.src0];
+            int64_t v = mi.op == Op::Li ? a : evalAlu(mi.op, a, b);
+            regs_[mi.dst] = v;
+            reg_ready_[mi.dst] = cycle_ +
+                static_cast<uint64_t>(exLatency(mi.op));
+            reg_parity_bad_[mi.dst] = false;
+            break;
+          }
+        }
+        if (writesDst(mi.op))
+            group_dst[issued & 1] = mi.dst;
+        if (cfg_.tracer && cfg_.tracer->wants(kTraceIssue))
+            cfg_.tracer->event(cycle_, "issue",
+                               strfmt("pc %u: %s", pc_,
+                                      mi.toString().c_str()));
+        stats_.insts++;
+        issued++;
+        pc_++;
+    }
+  group_done:
+    stats_.sbOccupancy.sample(static_cast<double>(sb_.size()));
+}
+
+PipelineResult
+InOrderPipeline::run(const std::vector<FaultEvent> &faults)
+{
+    size_t fault_idx = 0;
+    while (cycle_ < cfg_.maxCycles) {
+        while (fault_idx < faults.size() &&
+               faults[fault_idx].cycle <= cycle_) {
+            applyFault(faults[fault_idx]);
+            fault_idx++;
+        }
+        while (!pending_detect_.empty() &&
+               pending_detect_.front() <= cycle_) {
+            pending_detect_.erase(pending_detect_.begin());
+            stats_.detectedFaults++;
+            doRecovery();
+        }
+        processVerification();
+        drainStoreBuffer();
+        if (!halted_) {
+            issueCycle();
+        } else if (sb_.empty() && rbb_.empty() &&
+                   pending_detect_.empty() &&
+                   fault_idx >= faults.size()) {
+            break; // fully drained, nothing pending
+        }
+        cycle_++;
+    }
+
+    PipelineResult result;
+    result.halted = halted_;
+    stats_.cycles = cycle_;
+    stats_.clqOccupancy = clq_.occupancy();
+    result.stats = stats_;
+    result.memory = memory_;
+    return result;
+}
+
+} // namespace turnpike

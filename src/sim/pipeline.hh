@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Cycle-level dual-issue in-order pipeline (ARM Cortex-A53-like)
+ * with the Turnstile/Turnpike resilience machinery: gated store
+ * buffer, region boundary buffer, committed load queue, hardware
+ * coloring, acoustic detection and region-level recovery.
+ *
+ * Execution is timing-directed but functionally exact: results are
+ * computed at issue, a scoreboard models operand readiness (full
+ * forwarding, load-use and long-op delays), and structural hazards
+ * (store-buffer-full, one memory port, RBB capacity) stall the
+ * in-order front end — the phenomena the paper measures.
+ */
+
+#ifndef TURNPIKE_SIM_PIPELINE_HH_
+#define TURNPIKE_SIM_PIPELINE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/interpreter.hh"
+#include "machine/mfunction.hh"
+#include "sim/cache.hh"
+#include "sim/clq.hh"
+#include "sim/color_maps.hh"
+#include "sim/fault_injector.hh"
+#include "sim/rbb.hh"
+#include "sim/store_buffer.hh"
+#include "sim/trace.hh"
+#include "util/stats.hh"
+
+namespace turnpike {
+
+/** Pipeline and resilience-scheme configuration. */
+struct PipelineConfig
+{
+    // -- resilience scheme ------------------------------------------
+    /** Gate stores for region verification (off = no resilience). */
+    bool resilience = true;
+    /** Fast release of WAR-free regular stores through the CLQ. */
+    bool warFreeRelease = false;
+    /** Fast release of checkpoint stores through hardware coloring. */
+    bool hwColoring = false;
+    /**
+     * Unsafe mode for the Fig. 16 negative test: release checkpoint
+     * stores immediately WITHOUT coloring. Breaks recovery; only for
+     * demonstrating why coloring is necessary.
+     */
+    bool naiveCkptRelease = false;
+    ClqDesign clqDesign = ClqDesign::Compact;
+    uint32_t clqEntries = 2;
+    uint32_t sbSize = 4;
+    uint32_t wcdl = 10;
+    uint32_t rbbEntries = 64;
+
+    // -- core ---------------------------------------------------------
+    int issueWidth = 2;
+    int branchMispredictPenalty = 6;
+    CacheConfig l1d{64 * 1024, 2, 64, 2};
+    CacheConfig l2{128 * 1024, 16, 64, 20};
+    int memLatency = 100;
+    uint64_t maxCycles = 2000000000ull;
+
+    /** Optional event tracer (not owned); null disables tracing. */
+    Tracer *tracer = nullptr;
+};
+
+/** Counters and distributions of one simulation. */
+struct PipelineStats
+{
+    uint64_t cycles = 0;
+    uint64_t insts = 0;   ///< committed instructions (no boundaries)
+    uint64_t loads = 0;
+    uint64_t storesApp = 0;
+    uint64_t storesSpill = 0;
+    uint64_t storesCkpt = 0;
+    uint64_t storesQuarantined = 0; ///< went through SB gating
+    uint64_t storesWarFree = 0;     ///< regular stores fast-released
+    uint64_t ckptColored = 0;       ///< checkpoints fast-released
+    uint64_t sbFullStallCycles = 0;
+    uint64_t dataHazardStallCycles = 0;
+    uint64_t rbbFullStallCycles = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t boundaries = 0;
+    uint64_t clqOverflows = 0;
+    Distribution clqOccupancy;
+    Distribution sbOccupancy;
+    Distribution regionCycles;
+    uint64_t detectedFaults = 0;
+    uint64_t recoveries = 0;
+    uint64_t recoveryCycles = 0;
+
+    uint64_t storesTotal() const
+    {
+        return storesApp + storesSpill + storesCkpt;
+    }
+};
+
+/** Outcome of a simulation. */
+struct PipelineResult
+{
+    bool halted = false;
+    PipelineStats stats;
+    MemoryImage memory;
+};
+
+/** The simulator. One instance runs one program once. */
+class InOrderPipeline
+{
+  public:
+    InOrderPipeline(const Module &mod, const MachineFunction &mf,
+                    const PipelineConfig &cfg);
+
+    /**
+     * Run to Halt (or maxCycles), optionally injecting the given
+     * fault plan. Returns final stats and the memory image.
+     */
+    PipelineResult run(const std::vector<FaultEvent> &faults = {});
+
+  private:
+    // One attempt to issue instructions this cycle.
+    void issueCycle();
+    // Commit helpers; return false when the pipeline must stall.
+    bool commitStore(const MInstr &mi);
+    bool commitCkpt(const MInstr &mi);
+    bool commitBoundary(const MInstr &mi);
+    void drainStoreBuffer();
+    void processVerification();
+    void applyFault(const FaultEvent &ev);
+    void doRecovery();
+    bool parityTriggered(const MInstr &mi);
+
+    const Module &mod_;
+    const MachineFunction &mf_;
+    PipelineConfig cfg_;
+
+    // Architectural + microarchitectural state.
+    MemoryImage memory_;
+    int64_t regs_[kNumPhysRegs] = {0};
+    uint64_t reg_ready_[kNumPhysRegs] = {0};
+    bool reg_parity_bad_[kNumPhysRegs] = {false};
+    uint32_t pc_ = 0;
+    uint64_t cycle_ = 0;
+    uint64_t fetch_stall_until_ = 0;
+    bool halted_ = false;
+    /**
+     * Static region currently executing. Needed when recovery hits
+     * while the RBB is empty (e.g. a second detection lands between
+     * a squash and the re-execution of the restart boundary): the
+     * restart must target this region, never region 0 — re-running
+     * verified history would repeat non-idempotent stores.
+     */
+    uint32_t cur_static_region_ = 0;
+
+    StoreBuffer sb_;
+    Rbb rbb_;
+    Clq clq_;
+    ColorMaps colors_;
+    CacheHierarchy caches_;
+
+    // Regions whose loads went unrecorded (CLQ disabled), keyed by
+    // instance id; blocks CLQ re-enable until all are verified.
+    std::vector<uint64_t> unrecorded_instances_;
+
+    // Pending acoustic detections (absolute cycles, sorted).
+    std::vector<uint64_t> pending_detect_;
+
+    PipelineStats stats_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_SIM_PIPELINE_HH_

@@ -1,0 +1,78 @@
+#include "sim/rbb.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+RegionInstance &
+Rbb::current()
+{
+    TP_ASSERT(!instances_.empty(), "RBB has no running instance");
+    return instances_.back();
+}
+
+const RegionInstance &
+Rbb::current() const
+{
+    TP_ASSERT(!instances_.empty(), "RBB has no running instance");
+    return instances_.back();
+}
+
+const RegionInstance &
+Rbb::oldest() const
+{
+    TP_ASSERT(!instances_.empty(), "RBB empty");
+    return instances_.front();
+}
+
+uint64_t
+Rbb::beginRegion(uint32_t static_region, uint64_t cycle, uint32_t wcdl)
+{
+    TP_ASSERT(!full(), "RBB overflow");
+    if (!instances_.empty() && !instances_.back().ended) {
+        RegionInstance &cur = instances_.back();
+        cur.ended = true;
+        cur.endCycle = cycle;
+        cur.verifyCycle = cycle + wcdl;
+    }
+    RegionInstance ri;
+    ri.id = next_id_++;
+    ri.staticRegion = static_region;
+    ri.startCycle = cycle;
+    instances_.push_back(ri);
+    return ri.id;
+}
+
+bool
+Rbb::popVerified(uint64_t cycle, RegionInstance &out)
+{
+    if (instances_.empty())
+        return false;
+    const RegionInstance &head = instances_.front();
+    if (!head.ended || head.verifyCycle > cycle)
+        return false;
+    out = head;
+    instances_.pop_front();
+    return true;
+}
+
+std::deque<RegionInstance>
+Rbb::squash()
+{
+    std::deque<RegionInstance> out;
+    out.swap(instances_);
+    return out;
+}
+
+void
+Rbb::endCurrent(uint64_t cycle, uint32_t wcdl)
+{
+    if (instances_.empty() || instances_.back().ended)
+        return;
+    RegionInstance &cur = instances_.back();
+    cur.ended = true;
+    cur.endCycle = cycle;
+    cur.verifyCycle = cycle + wcdl;
+}
+
+} // namespace turnpike

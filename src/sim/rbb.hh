@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Region boundary buffer (RBB): tracks in-flight (unverified)
+ * dynamic region instances, their verification deadlines, and the
+ * colors their checkpoints used. The oldest unverified instance's
+ * entry PC is the recovery PC.
+ */
+
+#ifndef TURNPIKE_SIM_RBB_HH_
+#define TURNPIKE_SIM_RBB_HH_
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/color_maps.hh"
+
+namespace turnpike {
+
+/** One in-flight dynamic region. */
+struct RegionInstance
+{
+    uint64_t id = 0;            ///< monotonically increasing
+    uint32_t staticRegion = 0;  ///< region id in the machine code
+    uint64_t startCycle = 0;
+    uint64_t endCycle = 0;      ///< set when the next boundary commits
+    bool ended = false;
+    uint64_t verifyCycle = 0;   ///< endCycle + WCDL, valid when ended
+    std::vector<UsedColor> usedColors; ///< UC entries of this region
+};
+
+/** The RBB: a FIFO of unverified region instances. */
+class Rbb
+{
+  public:
+    explicit Rbb(uint32_t capacity) : capacity_(capacity) {}
+
+    bool full() const { return instances_.size() >= capacity_; }
+    bool empty() const { return instances_.empty(); }
+    size_t size() const { return instances_.size(); }
+
+    /** The running (newest) instance. Panics when empty. */
+    RegionInstance &current();
+    const RegionInstance &current() const;
+
+    /** The oldest unverified instance (the recovery target). */
+    const RegionInstance &oldest() const;
+
+    /**
+     * Commit a region boundary at @p cycle: ends the current
+     * instance (arming its verification timer) and starts a new
+     * instance of @p static_region. Caller must check full().
+     * Returns the new instance's id.
+     */
+    uint64_t beginRegion(uint32_t static_region, uint64_t cycle,
+                         uint32_t wcdl);
+
+    /**
+     * Pop the oldest instance if it has ended and its verification
+     * deadline has passed. Returns true and fills @p out when an
+     * instance was verified.
+     */
+    bool popVerified(uint64_t cycle, RegionInstance &out);
+
+    /** Recovery squash: drop all instances. */
+    std::deque<RegionInstance> squash();
+
+    /** End the running instance (program halt) at @p cycle. */
+    void endCurrent(uint64_t cycle, uint32_t wcdl);
+
+    /** All unverified instances, oldest first. */
+    const std::deque<RegionInstance> &instances() const
+    {
+        return instances_;
+    }
+
+  private:
+    uint32_t capacity_;
+    uint64_t next_id_ = 0;
+    std::deque<RegionInstance> instances_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_SIM_RBB_HH_

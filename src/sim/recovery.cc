@@ -1,0 +1,54 @@
+#include "sim/recovery.hh"
+
+#include <vector>
+
+#include "machine/minterp.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+uint64_t
+executeRecovery(const RecoveryProgram &prog, const ColorMaps &colors,
+                const MemoryImage &mem, int64_t regs[kNumPhysRegs])
+{
+    std::vector<int64_t> temps;
+    auto temp_at = [&](int t) -> int64_t & {
+        if (static_cast<size_t>(t) >= temps.size())
+            temps.resize(static_cast<size_t>(t) + 1, 0);
+        return temps[static_cast<size_t>(t)];
+    };
+
+    uint64_t cost = 0;
+    for (size_t i = 0; i < prog.size(); i++) {
+        const RecoveryOp &op = prog[i];
+        cost++;
+        switch (op.kind) {
+          case RecoveryOp::Kind::LoadCkpt: {
+            int slot = colors.verifiedSlot(op.reg);
+            temp_at(op.t) = mem.read(layout::ckptSlot(op.reg, slot));
+            cost += 2; // L1 hit for the checkpoint load
+            break;
+          }
+          case RecoveryOp::Kind::Li:
+            temp_at(op.t) = op.imm;
+            break;
+          case RecoveryOp::Kind::Bin: {
+            int64_t a = temp_at(op.a);
+            int64_t b = op.bImm ? op.imm : temp_at(op.b);
+            temp_at(op.t) = evalAlu(op.op, a, b);
+            break;
+          }
+          case RecoveryOp::Kind::BrIfZero:
+            if (temp_at(op.a) == 0)
+                i += static_cast<size_t>(op.skip);
+            break;
+          case RecoveryOp::Kind::CommitReg:
+            TP_ASSERT(op.reg < kNumPhysRegs, "recovery: bad register");
+            regs[op.reg] = temp_at(op.t);
+            break;
+        }
+    }
+    return cost;
+}
+
+} // namespace turnpike

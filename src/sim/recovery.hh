@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Recovery engine: executes a region's recovery program against the
+ * verified memory image (checkpoint slots selected through the
+ * verified-color map) to restore the region's live-in registers
+ * after a detected soft error.
+ */
+
+#ifndef TURNPIKE_SIM_RECOVERY_HH_
+#define TURNPIKE_SIM_RECOVERY_HH_
+
+#include <cstdint>
+
+#include "ir/interpreter.hh"
+#include "machine/mfunction.hh"
+#include "sim/color_maps.hh"
+
+namespace turnpike {
+
+/**
+ * Run @p prog: LoadCkpt steps read ckptSlot(reg, VC[reg]) from
+ * @p mem; CommitReg steps write @p regs. Returns the modelled cycle
+ * cost (1 per op plus the cache hit latency per checkpoint load).
+ */
+uint64_t executeRecovery(const RecoveryProgram &prog,
+                         const ColorMaps &colors, const MemoryImage &mem,
+                         int64_t regs[kNumPhysRegs]);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_SIM_RECOVERY_HH_

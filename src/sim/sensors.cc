@@ -1,0 +1,39 @@
+#include "sim/sensors.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+uint32_t
+worstCaseDetectionLatency(const SensorConfig &cfg)
+{
+    TP_ASSERT(cfg.numSensors > 0, "need at least one sensor");
+    TP_ASSERT(cfg.clockGhz > 0 && cfg.dieAreaMm2 > 0,
+              "bad sensor configuration");
+    // The worst-case distance from a strike to the nearest sensor is
+    // ~ half the sensor pitch: 0.5 * sqrt(area / n). Sound travels
+    // at ~8433 m/s in silicon, i.e. 8.433 um/ns. Latency in cycles =
+    // distance / speed * clock.
+    double pitch_mm = std::sqrt(cfg.dieAreaMm2 /
+                                static_cast<double>(cfg.numSensors));
+    double dist_um = 0.5 * pitch_mm * 1000.0;
+    double time_ns = dist_um / 8.433;
+    double cycles = time_ns * cfg.clockGhz;
+    // Calibration factor so that (300 sensors, 2.5 GHz, 1 mm^2)
+    // yields the paper's default 10-cycle WCDL.
+    constexpr double kCalibration = 10.0 / 8.5566;
+    double v = cycles * kCalibration;
+    return v < 1.0 ? 1u : static_cast<uint32_t>(std::lround(v));
+}
+
+double
+sensorAreaOverhead(const SensorConfig &cfg)
+{
+    // ~1% of die area for 300 sensors (paper §1), linear in count.
+    return 0.01 * static_cast<double>(cfg.numSensors) / 300.0 /
+        cfg.dieAreaMm2;
+}
+
+} // namespace turnpike

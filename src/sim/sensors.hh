@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Analytical acoustic-sensor model (paper Fig. 18, after Upasani et
+ * al.): the worst-case detection latency (WCDL) of a particle-strike
+ * sound wave grows with the sensor spacing (sqrt(area / sensors))
+ * and with clock frequency. Calibrated so that 300 sensors on a
+ * 1 mm^2 die at 2.5 GHz give a 10-cycle WCDL, matching the paper's
+ * default configuration.
+ */
+
+#ifndef TURNPIKE_SIM_SENSORS_HH_
+#define TURNPIKE_SIM_SENSORS_HH_
+
+#include <cstdint>
+
+namespace turnpike {
+
+/** Acoustic sensor deployment. */
+struct SensorConfig
+{
+    uint32_t numSensors = 300;
+    double clockGhz = 2.5;
+    double dieAreaMm2 = 1.0;
+};
+
+/**
+ * Worst-case detection latency in cycles for @p cfg (at least 1).
+ */
+uint32_t worstCaseDetectionLatency(const SensorConfig &cfg);
+
+/**
+ * Approximate die-area overhead of the deployment as a fraction of
+ * the die (the paper cites ~1% for 300 sensors).
+ */
+double sensorAreaOverhead(const SensorConfig &cfg);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_SIM_SENSORS_HH_

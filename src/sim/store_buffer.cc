@@ -1,0 +1,40 @@
+#include "sim/store_buffer.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+void
+StoreBuffer::push(const SbEntry &e)
+{
+    TP_ASSERT(!full(), "store buffer overflow");
+    entries_.push_back(e);
+}
+
+SbEntry
+StoreBuffer::pop()
+{
+    TP_ASSERT(headReleasable(), "pop of unreleasable SB head");
+    SbEntry e = entries_.front();
+    entries_.pop_front();
+    return e;
+}
+
+void
+StoreBuffer::release(uint64_t instance)
+{
+    for (SbEntry &e : entries_)
+        if (e.regionInstance == instance)
+            e.releasable = true;
+}
+
+const SbEntry *
+StoreBuffer::youngestFor(uint64_t addr) const
+{
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it)
+        if (it->addr == addr)
+            return &*it;
+    return nullptr;
+}
+
+} // namespace turnpike

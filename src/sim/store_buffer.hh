@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The gated store buffer (GSB): quarantines committed stores until
+ * their region is verified error-free, then drains them to the
+ * cache in FIFO order. The small capacity of in-order cores (4
+ * entries on Cortex-A53) is the central bottleneck the paper
+ * attacks.
+ */
+
+#ifndef TURNPIKE_SIM_STORE_BUFFER_HH_
+#define TURNPIKE_SIM_STORE_BUFFER_HH_
+
+#include <cstdint>
+#include <deque>
+
+#include "ir/instruction.hh"
+
+namespace turnpike {
+
+/** One quarantined store. */
+struct SbEntry
+{
+    uint64_t addr = 0;
+    int64_t value = 0;
+    /** Dynamic region instance that issued the store. */
+    uint64_t regionInstance = 0;
+    StoreKind kind = StoreKind::App;
+    /** Set when the entry's region has been verified. */
+    bool releasable = false;
+};
+
+/** FIFO gated store buffer with bounded capacity. */
+class StoreBuffer
+{
+  public:
+    explicit StoreBuffer(uint32_t capacity) : capacity_(capacity) {}
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+    uint32_t capacity() const { return capacity_; }
+
+    /** Append an entry; caller must have checked full(). */
+    void push(const SbEntry &e);
+
+    /** Mark all entries of @p instance releasable. */
+    void release(uint64_t instance);
+
+    /** True when the head entry may drain. */
+    bool headReleasable() const
+    {
+        return !entries_.empty() && entries_.front().releasable;
+    }
+
+    /** Pop the head entry (must be releasable). */
+    SbEntry pop();
+
+    /**
+     * Youngest entry matching @p addr, for store-to-load forwarding
+     * and same-address release-order checks; nullptr if none.
+     */
+    const SbEntry *youngestFor(uint64_t addr) const;
+
+    /** Direct entry access (oldest first) for fault injection. */
+    std::deque<SbEntry> &entries() { return entries_; }
+    const std::deque<SbEntry> &entries() const { return entries_; }
+
+    /** Drop every entry (recovery squash of unverified data). */
+    void clear() { entries_.clear(); }
+
+  private:
+    uint32_t capacity_;
+    std::deque<SbEntry> entries_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_SIM_STORE_BUFFER_HH_

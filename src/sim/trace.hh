@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Optional cycle-level event tracing for the pipeline, in the spirit
+ * of gem5's DPRINTF categories. A Tracer is attached through the
+ * PipelineConfig; when absent, tracing costs one pointer test per
+ * event site.
+ */
+
+#ifndef TURNPIKE_SIM_TRACE_HH_
+#define TURNPIKE_SIM_TRACE_HH_
+
+#include <cstdint>
+#include <ostream>
+
+namespace turnpike {
+
+/** Event categories; combine with bitwise or. */
+enum TraceCategory : uint32_t {
+    kTraceIssue = 1u << 0,    ///< instruction issue
+    kTraceStores = 1u << 1,   ///< store commit & release decisions
+    kTraceRegions = 1u << 2,  ///< boundaries and verification
+    kTraceRecovery = 1u << 3, ///< faults, detections, recoveries
+    kTraceStalls = 1u << 4,   ///< stall-cycle causes
+    kTraceAll = 0xffffffffu,
+};
+
+/** Sink for pipeline trace events. */
+class Tracer
+{
+  public:
+    Tracer(std::ostream &out, uint32_t categories = kTraceAll)
+        : out_(out), categories_(categories)
+    {}
+
+    bool wants(TraceCategory c) const { return categories_ & c; }
+
+    /** Emit one line: "<cycle>: <tag>: <message>". */
+    void event(uint64_t cycle, const char *tag,
+               const std::string &message)
+    {
+        out_ << cycle << ": " << tag << ": " << message << '\n';
+    }
+
+  private:
+    std::ostream &out_;
+    uint32_t categories_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_SIM_TRACE_HH_

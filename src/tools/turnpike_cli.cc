@@ -1,0 +1,317 @@
+/**
+ * @file
+ * turnpike-cli: command-line driver for the simulator — the binary a
+ * downstream user runs to compile a workload under any resilience
+ * scheme, simulate it, inject faults, trace pipeline events, and
+ * inspect the generated code.
+ *
+ * Examples:
+ *   turnpike-cli --list
+ *   turnpike-cli --workload CPU2006/mcf --scheme turnpike --wcdl 30
+ *   turnpike-cli --workload SPLASH3/radix --scheme turnstile \
+ *                --faults 3 --fault-seed 7
+ *   turnpike-cli --workload CPU2006/gcc --trace regions,recovery
+ *   turnpike-cli --workload CPU2017/lbm --dump-asm
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/compiler.hh"
+#include "core/runner.hh"
+#include "machine/mprinter.hh"
+#include "machine/minterp.hh"
+#include "sim/pipeline.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+using namespace turnpike;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "turnpike-cli: Turnpike soft-error-resilience simulator\n\n"
+        "  --list                 list the 36 workloads and exit\n"
+        "  --workload SUITE/NAME  workload to run (default "
+        "CPU2006/hmmer)\n"
+        "  --scheme NAME          baseline | turnstile | war-free |\n"
+        "                         fast-release | turnpike | one of\n"
+        "                         the fig21 ablation steps "
+        "(default turnpike)\n"
+        "  --wcdl N               worst-case detection latency "
+        "(default 10)\n"
+        "  --sb N                 store buffer entries (default 4)\n"
+        "  --clq N                compact CLQ entries (default 2)\n"
+        "  --ideal-clq            use the exact-address CLQ\n"
+        "  --icount N             target dynamic instructions "
+        "(default 200000)\n"
+        "  --faults N             inject N single-event upsets\n"
+        "  --fault-seed S         fault plan seed (default 1)\n"
+        "  --trace CATS           comma list of issue,stores,"
+        "regions,recovery\n"
+        "  --trace-file PATH      trace destination (default "
+        "stderr)\n"
+        "  --dump-asm             print the lowered machine code\n"
+        "  --dump-regions         print per-region static store/"
+        "checkpoint composition\n"
+        "  --compare-baseline     also run the baseline and report "
+        "the slowdown\n");
+}
+
+ResilienceConfig
+schemeByName(const std::string &name, uint32_t wcdl)
+{
+    if (name == "baseline")
+        return ResilienceConfig::baseline();
+    if (name == "turnstile")
+        return ResilienceConfig::turnstile(wcdl);
+    if (name == "war-free")
+        return ResilienceConfig::warFreeOnly(wcdl);
+    if (name == "fast-release")
+        return ResilienceConfig::fastRelease(wcdl);
+    if (name == "fast-release+prune")
+        return ResilienceConfig::fastReleasePruning(wcdl);
+    if (name == "fast-release+prune+licm")
+        return ResilienceConfig::fastReleasePruningLicm(wcdl);
+    if (name == "fast-release+prune+licm+sched")
+        return ResilienceConfig::fastReleasePruningLicmSched(wcdl);
+    if (name == "fast-release+prune+licm+sched+ra")
+        return ResilienceConfig::fastReleasePruningLicmSchedRa(wcdl);
+    if (name == "turnpike")
+        return ResilienceConfig::turnpike(wcdl);
+    fatal("unknown scheme '%s' (try --help)", name.c_str());
+}
+
+uint32_t
+traceMask(const std::string &cats)
+{
+    uint32_t mask = 0;
+    size_t pos = 0;
+    while (pos < cats.size()) {
+        size_t comma = cats.find(',', pos);
+        std::string c = cats.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (c == "issue")
+            mask |= kTraceIssue;
+        else if (c == "stores")
+            mask |= kTraceStores;
+        else if (c == "regions")
+            mask |= kTraceRegions;
+        else if (c == "recovery")
+            mask |= kTraceRecovery;
+        else if (c == "stalls")
+            mask |= kTraceStalls;
+        else if (c == "all")
+            mask |= kTraceAll;
+        else
+            fatal("unknown trace category '%s'", c.c_str());
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return mask;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "CPU2006/hmmer";
+    std::string scheme = "turnpike";
+    uint32_t wcdl = 10;
+    uint32_t sb = 4;
+    uint32_t clq = 2;
+    bool ideal_clq = false;
+    uint64_t icount = 200000;
+    uint32_t faults = 0;
+    uint64_t fault_seed = 1;
+    std::string trace_cats;
+    std::string trace_file;
+    bool dump_asm = false;
+    bool dump_regions = false;
+    bool compare_baseline = false;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value for %s", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--list") {
+            for (const WorkloadSpec &s : workloadSuite())
+                std::printf("%s/%s\n", s.suite.c_str(),
+                            s.name.c_str());
+            return 0;
+        } else if (a == "--workload") {
+            workload = need(i);
+        } else if (a == "--scheme") {
+            scheme = need(i);
+        } else if (a == "--wcdl") {
+            wcdl = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (a == "--sb") {
+            sb = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (a == "--clq") {
+            clq = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (a == "--ideal-clq") {
+            ideal_clq = true;
+        } else if (a == "--icount") {
+            icount = static_cast<uint64_t>(std::atoll(need(i)));
+        } else if (a == "--faults") {
+            faults = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (a == "--fault-seed") {
+            fault_seed = static_cast<uint64_t>(std::atoll(need(i)));
+        } else if (a == "--trace") {
+            trace_cats = need(i);
+        } else if (a == "--trace-file") {
+            trace_file = need(i);
+        } else if (a == "--dump-asm") {
+            dump_asm = true;
+        } else if (a == "--dump-regions") {
+            dump_regions = true;
+        } else if (a == "--compare-baseline") {
+            compare_baseline = true;
+        } else {
+            fatal("unknown option '%s' (try --help)", a.c_str());
+        }
+    }
+
+    size_t slash = workload.find('/');
+    if (slash == std::string::npos)
+        fatal("--workload expects SUITE/NAME");
+    const WorkloadSpec &spec = findWorkload(
+        workload.substr(0, slash), workload.substr(slash + 1));
+
+    ResilienceConfig cfg = schemeByName(scheme, wcdl);
+    cfg.sbSize = sb;
+    cfg.clqEntries = clq;
+    if (ideal_clq)
+        cfg.clqDesign = ClqDesign::Ideal;
+
+    auto mod = buildWorkload(spec, icount);
+    CompiledProgram prog = compileWorkload(*mod, cfg);
+    if (dump_asm)
+        std::printf("%s\n", printMachineFunction(*prog.mf).c_str());
+    if (dump_regions) {
+        const auto &code = prog.mf->code();
+        Table rt({"region", "entry pc", "insts", "stores", "ckpts",
+                  "live-ins", "recovery ops"});
+        for (size_t rid = 0; rid < prog.mf->regions().size(); rid++) {
+            const RegionMeta &rm = prog.mf->region(
+                static_cast<uint32_t>(rid));
+            // Static extent: from the boundary to the next boundary
+            // in layout order (approximation for display).
+            uint64_t insts = 0, stores = 0, ckpts = 0;
+            for (size_t pc = rm.entryPc + 1; pc < code.size(); pc++) {
+                if (code[pc].op == Op::Boundary)
+                    break;
+                insts++;
+                if (code[pc].op == Op::Store)
+                    stores++;
+                if (code[pc].op == Op::Ckpt)
+                    ckpts++;
+            }
+            rt.addRow({cell(static_cast<uint64_t>(rid)),
+                       cell(static_cast<uint64_t>(rm.entryPc)),
+                       cell(insts), cell(stores), cell(ckpts),
+                       cell(static_cast<uint64_t>(rm.liveIns.size())),
+                       cell(static_cast<uint64_t>(
+                           rm.recovery.size()))});
+        }
+        std::printf("%s\n", rt.toText().c_str());
+    }
+
+    std::ofstream trace_stream;
+    std::unique_ptr<Tracer> tracer;
+    PipelineConfig pcfg = cfg.toPipelineConfig();
+    if (!trace_cats.empty()) {
+        if (!trace_file.empty()) {
+            trace_stream.open(trace_file);
+            if (!trace_stream)
+                fatal("cannot open trace file %s",
+                      trace_file.c_str());
+            tracer = std::make_unique<Tracer>(trace_stream,
+                                              traceMask(trace_cats));
+        } else {
+            tracer = std::make_unique<Tracer>(std::cerr,
+                                              traceMask(trace_cats));
+        }
+        pcfg.tracer = tracer.get();
+    }
+
+    std::vector<FaultEvent> plan;
+    if (faults > 0) {
+        // Estimate the horizon from a functional run.
+        InterpResult est = interpretMachine(*mod, *prog.mf);
+        Rng rng(fault_seed);
+        plan = makeFaultPlan(rng, est.stats.insts * 2, wcdl, faults);
+    }
+
+    InOrderPipeline pipe(*mod, *prog.mf, pcfg);
+    PipelineResult r = pipe.run(plan);
+    if (!r.halted)
+        fatal("simulation did not reach halt");
+
+    const PipelineStats &ps = r.stats;
+    Table table({"stat", "value"});
+    table.addRow({"scheme", cfg.label});
+    table.addRow({"cycles", cell(ps.cycles)});
+    table.addRow({"instructions", cell(ps.insts)});
+    table.addRow({"IPC", cell(static_cast<double>(ps.insts) /
+                                  static_cast<double>(ps.cycles), 3)});
+    table.addRow({"loads", cell(ps.loads)});
+    table.addRow({"stores (app/spill/ckpt)",
+                  cell(ps.storesApp) + "/" + cell(ps.storesSpill) +
+                      "/" + cell(ps.storesCkpt)});
+    table.addRow({"quarantined", cell(ps.storesQuarantined)});
+    table.addRow({"WAR-free released", cell(ps.storesWarFree)});
+    table.addRow({"colored released", cell(ps.ckptColored)});
+    table.addRow({"SB-full stall cycles", cell(ps.sbFullStallCycles)});
+    table.addRow({"data-hazard stall cycles",
+                  cell(ps.dataHazardStallCycles)});
+    table.addRow({"branch mispredicts", cell(ps.branchMispredicts)});
+    table.addRow({"regions executed", cell(ps.boundaries)});
+    table.addRow({"CLQ overflows", cell(ps.clqOverflows)});
+    table.addRow({"faults detected", cell(ps.detectedFaults)});
+    table.addRow({"recoveries", cell(ps.recoveries)});
+    table.addRow({"code bytes (+recovery)",
+                  cell(prog.mf->codeBytes()) + " (+" +
+                      cell(prog.mf->recoveryBytes()) + ")"});
+    std::printf("%s", table.toText().c_str());
+
+    if (faults > 0) {
+        InterpResult golden = interpretMachine(*mod, *prog.mf);
+        bool match = r.memory.dataHash(*mod) ==
+            golden.memory.dataHash(*mod);
+        std::printf("\nfault outcome: %s\n",
+                    match ? "recovered to the golden image"
+                          : "DIVERGED from the golden image");
+    }
+
+    if (compare_baseline) {
+        auto bmod = buildWorkload(spec, icount);
+        CompiledProgram bprog =
+            compileWorkload(*bmod, ResilienceConfig::baseline());
+        InOrderPipeline bpipe(
+            *bmod, *bprog.mf,
+            ResilienceConfig::baseline().toPipelineConfig());
+        PipelineResult br = bpipe.run();
+        std::printf("\nnormalized execution time vs baseline: %.3f\n",
+                    static_cast<double>(ps.cycles) /
+                        static_cast<double>(br.stats.cycles));
+    }
+    return 0;
+}

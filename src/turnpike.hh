@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Umbrella header: the public API surface of the Turnpike library.
+ *
+ * Most users only need this header plus the three-call flow:
+ *
+ *   const WorkloadSpec &spec = findWorkload("CPU2006", "mcf");
+ *   ResilienceConfig cfg = ResilienceConfig::turnpike(10);
+ *   RunResult r = runWorkload(spec, cfg, 200000);
+ *
+ * Lower layers (IR construction, individual passes, the pipeline
+ * simulator, fault injection) are exposed for tools, tests and
+ * research extensions; see DESIGN.md for the module map.
+ */
+
+#ifndef TURNPIKE_TURNPIKE_HH_
+#define TURNPIKE_TURNPIKE_HH_
+
+// End-to-end API: configurations, compile+simulate runner.
+#include "core/compiler.hh"
+#include "core/config.hh"
+#include "core/hwcost.hh"
+#include "core/runner.hh"
+
+// Workload suite.
+#include "workloads/kernels.hh"
+#include "workloads/suite.hh"
+
+// Compiler layers.
+#include "ir/builder.hh"
+#include "ir/interpreter.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "machine/minterp.hh"
+#include "machine/mprinter.hh"
+#include "machine/mverifier.hh"
+
+// Simulator layers.
+#include "sim/fault_injector.hh"
+#include "sim/pipeline.hh"
+#include "sim/sensors.hh"
+#include "sim/trace.hh"
+
+#endif // TURNPIKE_TURNPIKE_HH_

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Status and error reporting helpers in the spirit of gem5's
+ * base/logging.hh: panic() for internal invariant violations, fatal()
+ * for user-caused unrecoverable conditions, warn()/inform() for
+ * non-fatal notices.
+ */
+
+#ifndef TURNPIKE_UTIL_LOGGING_HH_
+#define TURNPIKE_UTIL_LOGGING_HH_
+
+#include <cstdarg>
+#include <string>
+
+namespace turnpike {
+
+/**
+ * Format a string printf-style into a std::string.
+ *
+ * @param fmt printf-compatible format string.
+ * @return the formatted text.
+ */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** strfmt() variant taking a va_list. */
+std::string vstrfmt(const char *fmt, va_list args);
+
+/**
+ * Report an internal invariant violation (a bug in this library) and
+ * abort. Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-caused condition (bad configuration,
+ * invalid arguments) and exit(1). Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort with a message if @p cond is false. Unlike assert(), always
+ * enabled; used for simulator invariants whose violation would
+ * silently corrupt results.
+ */
+#define TP_ASSERT(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::turnpike::panic("assertion '%s' failed at %s:%d: %s",     \
+                              #cond, __FILE__, __LINE__,                \
+                              ::turnpike::strfmt(__VA_ARGS__).c_str()); \
+    } while (0)
+
+} // namespace turnpike
+
+#endif // TURNPIKE_UTIL_LOGGING_HH_

@@ -1,0 +1,95 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        TP_ASSERT(x > 0.0, "geomean requires positive values, got %f", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_++;
+    sum_ += v;
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+Distribution::reset()
+{
+    *this = Distribution();
+}
+
+void
+StatSet::inc(const std::string &name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, uint64_t value)
+{
+    counters_[name] = value;
+}
+
+uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatSet::reset()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+} // namespace turnpike

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lightweight statistics primitives in the spirit of gem5's stats
+ * package: named scalar counters, distributions, and aggregate
+ * helpers (mean/geomean) used throughout the simulator and the
+ * benchmark harnesses.
+ */
+
+#ifndef TURNPIKE_UTIL_STATS_HH_
+#define TURNPIKE_UTIL_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace turnpike {
+
+/** Arithmetic mean of @p xs; 0 when empty. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean of @p xs; requires all values > 0; 1.0 when empty. */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * A running distribution: tracks count, sum, min, max and supports
+ * mean(). Used for per-run occupancy/latency measurements such as the
+ * dynamic CLQ entry counts of Fig. 24.
+ */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Merge another distribution into this one. */
+    void merge(const Distribution &other);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Arithmetic mean of the recorded samples; 0 when empty. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named scalar counter group. Simulator components register the
+ * counters they own; the runner snapshots them after a simulation.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta (default 1) to the counter named @p name. */
+    void inc(const std::string &name, uint64_t delta = 1);
+
+    /** Set counter @p name to @p value. */
+    void set(const std::string &name, uint64_t value);
+
+    /** Value of counter @p name; 0 if never touched. */
+    uint64_t get(const std::string &name) const;
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+    /** Reset all counters to zero (keeps names). */
+    void reset();
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_UTIL_STATS_HH_

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Column-aligned text table and CSV emission used by the benchmark
+ * harnesses to print the rows/series each paper figure reports.
+ */
+
+#ifndef TURNPIKE_UTIL_TABLE_HH_
+#define TURNPIKE_UTIL_TABLE_HH_
+
+#include <string>
+#include <vector>
+
+namespace turnpike {
+
+/**
+ * A simple table: a header row plus data rows of strings. Cells are
+ * produced by the caller (use cell() helpers for numbers) so the
+ * table itself stays format-agnostic.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render as a column-aligned text block. */
+    std::string toText() const;
+
+    /** Render as CSV (no quoting; cells must not contain commas). */
+    std::string toCsv() const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits fractional digits. */
+std::string cell(double v, int digits = 3);
+
+/** Format an integer cell. */
+std::string cell(uint64_t v);
+
+/** Format a ratio as a percentage string, e.g. 0.123 -> "12.3%". */
+std::string pct(double ratio, int digits = 1);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_UTIL_TABLE_HH_

@@ -1,0 +1,408 @@
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+namespace {
+
+/** Materialize an array base address in the current block. */
+Reg
+baseReg(KernelCtx &ctx, const DataObject &obj)
+{
+    return ctx.b.li(static_cast<int64_t>(obj.base));
+}
+
+/** Emit address = base + (i << 3) + off in the current block. */
+Reg
+elemAddr(KernelCtx &ctx, Reg base, Reg i)
+{
+    Reg t = ctx.b.binImm(Op::Shl, i, ctx.strideShift);
+    return ctx.b.add(base, t);
+}
+
+/**
+ * Dependent ALU chain mixing @p v with the loop-invariant @p k:
+ * models the arithmetic between memory operations in real kernels
+ * and calibrates the suite's store density to SPEC-like levels.
+ */
+Reg
+mix(KernelCtx &ctx, Reg v, Reg k, int rounds)
+{
+    for (int r = 0; r < rounds; r++) {
+        v = ctx.b.bin(Op::Xor, v, k);
+        v = ctx.b.binImm(Op::Add, v, 0x9e37 + r);
+    }
+    return v;
+}
+
+/** Open a do-while loop; returns (body, after) block ids and jumps
+ *  into the body. The caller emits the body, then closes it with
+ *  closeLoop(). */
+struct LoopShape
+{
+    BlockId body;
+    BlockId after;
+    Reg iv;
+};
+
+LoopShape
+openLoop(KernelCtx &ctx, const char *name)
+{
+    LoopShape ls;
+    ls.iv = ctx.b.reg();
+    ctx.b.liTo(ls.iv, 0);
+    ls.body = ctx.b.newBlock(std::string(name) + ".body");
+    ls.after = ctx.b.newBlock(std::string(name) + ".after");
+    ctx.b.jmp(ls.body);
+    ctx.b.setBlock(ls.body);
+    return ls;
+}
+
+/** Close the loop: iv += step; if (iv < trips) repeat. */
+void
+closeLoop(KernelCtx &ctx, const LoopShape &ls, int64_t trips,
+          int64_t step = 1)
+{
+    ctx.b.binImmTo(Op::Add, ls.iv, ls.iv, step);
+    Reg c = ctx.b.binImm(Op::CmpLt, ls.iv, trips);
+    ctx.b.br(c, ls.body, ls.after);
+    ctx.b.setBlock(ls.after);
+}
+
+} // namespace
+
+void
+emitStream(KernelCtx &ctx, const DataObject &a, const DataObject &b,
+           const DataObject &c, int64_t trips)
+{
+    constexpr int64_t unroll = 4;
+    trips = std::max<int64_t>(unroll, trips - (trips % unroll));
+    uint64_t words = static_cast<uint64_t>(trips)
+        << (ctx.strideShift - 3);
+    TP_ASSERT(words <= a.words && words <= b.words && words <= c.words,
+              "stream kernel exceeds its arrays");
+
+    Reg ra = baseReg(ctx, a);
+    Reg rb = baseReg(ctx, b);
+    Reg rc = baseReg(ctx, c);
+    Reg k = ctx.b.li(3 + static_cast<int64_t>(ctx.rng.below(5)));
+    // Loop-carried checksum: live across every mid-body region cut,
+    // so its checkpoint count scales with the store-buffer size
+    // (the paper's Fig. 3 effect).
+    Reg acc = ctx.b.reg();
+    ctx.b.liTo(acc, 0);
+
+    LoopShape ls = openLoop(ctx, "stream");
+    // Staging temps derived from loop-invariant registers; they are
+    // used across the mid-body region cut, making their checkpoints
+    // prunable (reconstructible from k's checkpoint).
+    Reg s1 = ctx.b.binImm(Op::Add, k, 100);
+    Reg s2 = ctx.b.binImm(Op::Shl, k, 2);
+    for (int64_t u = 0; u < unroll; u++) {
+        Reg iu = (u == 0) ? ls.iv : ctx.b.binImm(Op::Add, ls.iv, u);
+        Reg pb = elemAddr(ctx, rb, iu);
+        Reg vb = ctx.b.load(pb);
+        Reg pc = elemAddr(ctx, rc, iu);
+        Reg vc = ctx.b.load(pc);
+        Reg prod = ctx.b.mul(vc, k);
+        Reg sum = ctx.b.add(vb, prod);
+        // Fold in a staging temp on later elements (cross-cut use).
+        if (u == 2)
+            sum = ctx.b.add(sum, s1);
+        if (u == 3)
+            sum = ctx.b.add(sum, s2);
+        sum = mix(ctx, sum, k, 2);
+        ctx.b.binTo(Op::Add, acc, acc, sum);
+        Reg pa = elemAddr(ctx, ra, iu);
+        ctx.b.store(sum, pa);
+    }
+    closeLoop(ctx, ls, trips, unroll);
+    Reg rsum = baseReg(ctx, a);
+    ctx.b.store(acc, rsum, 0);
+}
+
+void
+emitCopy(KernelCtx &ctx, const DataObject &dst, const DataObject &src,
+         int64_t trips)
+{
+    TP_ASSERT((static_cast<uint64_t>(trips) << (ctx.strideShift - 3))
+                  <= dst.words &&
+              (static_cast<uint64_t>(trips) << (ctx.strideShift - 3))
+                  <= src.words,
+              "copy kernel exceeds its arrays");
+    Reg rd = baseReg(ctx, dst);
+    Reg rs = baseReg(ctx, src);
+    Reg k = ctx.b.li(41);
+    LoopShape ls = openLoop(ctx, "copy");
+    Reg ps = elemAddr(ctx, rs, ls.iv);
+    Reg v = ctx.b.load(ps);
+    v = mix(ctx, v, k, 2);
+    Reg pd = elemAddr(ctx, rd, ls.iv);
+    ctx.b.store(v, pd);
+    closeLoop(ctx, ls, trips);
+}
+
+void
+emitStencil(KernelCtx &ctx, const DataObject &a, const DataObject &b,
+            int64_t trips)
+{
+    int64_t max_elems = (static_cast<int64_t>(b.words) - 2) >>
+        (ctx.strideShift - 3);
+    trips = std::min<int64_t>(trips, max_elems);
+    TP_ASSERT(trips >= 1, "stencil needs at least 3 elements");
+    TP_ASSERT((static_cast<uint64_t>(trips) << (ctx.strideShift - 3))
+                  <= a.words,
+              "stencil kernel exceeds output array");
+    Reg ra = baseReg(ctx, a);
+    Reg rb = baseReg(ctx, b);
+    LoopShape ls = openLoop(ctx, "stencil");
+    Reg p = elemAddr(ctx, rb, ls.iv);
+    Reg left = ctx.b.load(p, 0);
+    Reg mid = ctx.b.load(p, 8);
+    Reg right = ctx.b.load(p, 16);
+    Reg s = ctx.b.add(left, mid);
+    Reg s2 = ctx.b.add(s, right);
+    s2 = mix(ctx, s2, rb, 2);
+    Reg pa = elemAddr(ctx, ra, ls.iv);
+    ctx.b.store(s2, pa);
+    closeLoop(ctx, ls, trips);
+}
+
+void
+emitReduce(KernelCtx &ctx, const DataObject &a, const DataObject &out,
+           int64_t slot, int64_t trips)
+{
+    TP_ASSERT((static_cast<uint64_t>(trips) << (ctx.strideShift - 3))
+                  <= a.words,
+              "reduce kernel exceeds its array");
+    Reg ra = baseReg(ctx, a);
+    Reg acc = ctx.b.reg();
+    ctx.b.liTo(acc, 0);
+    LoopShape ls = openLoop(ctx, "reduce");
+    Reg p = elemAddr(ctx, ra, ls.iv);
+    Reg v = ctx.b.load(p);
+    v = mix(ctx, v, ra, 2);
+    ctx.b.binTo(Op::Add, acc, acc, v);
+    closeLoop(ctx, ls, trips);
+    Reg ro = baseReg(ctx, out);
+    ctx.b.store(acc, ro, slot * 8);
+}
+
+void
+emitPtrChase(KernelCtx &ctx, const DataObject &next,
+             const DataObject &out, int64_t slot, int64_t trips)
+{
+    Reg rn = baseReg(ctx, next);
+    Reg idx = ctx.b.reg();
+    ctx.b.liTo(idx, 0);
+    Reg acc = ctx.b.reg();
+    ctx.b.liTo(acc, 0);
+    LoopShape ls = openLoop(ctx, "chase");
+    Reg t = ctx.b.binImm(Op::Shl, idx, 3);
+    Reg p = ctx.b.add(rn, t);
+    ctx.b.loadTo(idx, p); // serial dependent load
+    Reg h = ctx.b.binImm(Op::Mul, idx, 3);
+    ctx.b.binTo(Op::Add, acc, acc, h);
+    closeLoop(ctx, ls, trips);
+    Reg ro = baseReg(ctx, out);
+    ctx.b.store(idx, ro, slot * 8);
+    ctx.b.store(acc, ro, (slot + 8) * 8);
+}
+
+void
+emitBranchy(KernelCtx &ctx, const DataObject &a, const DataObject &d,
+            int64_t threshold, int64_t trips)
+{
+    TP_ASSERT((static_cast<uint64_t>(trips) << (ctx.strideShift - 3))
+                  <= a.words &&
+              (static_cast<uint64_t>(trips) << (ctx.strideShift - 3))
+                  <= d.words,
+              "branchy kernel exceeds its arrays");
+    Reg ra = baseReg(ctx, a);
+    Reg rd = baseReg(ctx, d);
+    Reg k = ctx.b.li(17);
+
+    Reg i = ctx.b.reg();
+    ctx.b.liTo(i, 0);
+    Reg r = ctx.b.reg(); // diamond-defined value, carried
+    ctx.b.liTo(r, 0);
+    // Loop-carried predicate (hysteresis): last iteration's branch
+    // outcome biases this iteration's threshold. Keeping the
+    // predicate live across the region boundary is what makes the
+    // diamond checkpoints reconstructible (Fig. 9).
+    Reg cond = ctx.b.reg();
+    ctx.b.liTo(cond, 0);
+    BlockId head = ctx.b.newBlock("branchy.head");
+    BlockId then_bb = ctx.b.newBlock("branchy.then");
+    BlockId else_bb = ctx.b.newBlock("branchy.else");
+    BlockId join = ctx.b.newBlock("branchy.join");
+    BlockId after = ctx.b.newBlock("branchy.after");
+    ctx.b.jmp(head);
+
+    ctx.b.setBlock(head);
+    Reg p = elemAddr(ctx, ra, i);
+    Reg v = ctx.b.load(p);
+    Reg teff = ctx.b.add(v, cond); // uses last iteration's predicate
+    teff = ctx.b.add(teff, r);     // ... and last iteration's value
+    ctx.b.binImmTo(Op::CmpLt, cond, teff, threshold);
+    ctx.b.br(cond, then_bb, else_bb);
+
+    // Arm values computed from the stable register k, as in Fig. 9.
+    ctx.b.setBlock(then_bb);
+    ctx.b.binImmTo(Op::Add, r, k, 9);
+    ctx.b.jmp(join);
+
+    ctx.b.setBlock(else_bb);
+    ctx.b.binImmTo(Op::Mul, r, k, 3);
+    ctx.b.jmp(join);
+
+    ctx.b.setBlock(join);
+    Reg sum = ctx.b.add(r, v);
+    sum = mix(ctx, sum, k, 2);
+    Reg pd = elemAddr(ctx, rd, i);
+    ctx.b.store(sum, pd);
+    ctx.b.binImmTo(Op::Add, i, i, 1);
+    Reg cc = ctx.b.binImm(Op::CmpLt, i, trips);
+    ctx.b.br(cc, head, after);
+    ctx.b.setBlock(after);
+}
+
+void
+emitHist(KernelCtx &ctx, const DataObject &a, const DataObject &h,
+         int64_t trips)
+{
+    TP_ASSERT((h.words & (h.words - 1)) == 0,
+              "histogram size must be a power of two");
+    TP_ASSERT((static_cast<uint64_t>(trips) << (ctx.strideShift - 3))
+                  <= a.words,
+              "hist kernel exceeds its input");
+    Reg ra = baseReg(ctx, a);
+    Reg rh = baseReg(ctx, h);
+    int64_t mask = static_cast<int64_t>(h.words) - 1;
+    LoopShape ls = openLoop(ctx, "hist");
+    Reg p = elemAddr(ctx, ra, ls.iv);
+    Reg v = ctx.b.load(p);
+    v = mix(ctx, v, rh, 2);
+    Reg idx = ctx.b.binImm(Op::And, v, mask);
+    Reg t = ctx.b.binImm(Op::Shl, idx, 3);
+    Reg ph = ctx.b.add(rh, t);
+    Reg old = ctx.b.load(ph);
+    Reg inc = ctx.b.binImm(Op::Add, old, 1);
+    ctx.b.store(inc, ph); // WAR with the load above
+    closeLoop(ctx, ls, trips);
+}
+
+void
+emitBigBody(KernelCtx &ctx, const DataObject &a, const DataObject &b,
+            const DataObject &c, const DataObject &out, int64_t slot,
+            int64_t trips)
+{
+    constexpr int64_t unroll = 8;
+    trips = std::max<int64_t>(unroll, trips - (trips % unroll));
+    uint64_t words = static_cast<uint64_t>(trips)
+        << (ctx.strideShift - 3);
+    TP_ASSERT(words <= a.words && words <= b.words && words <= c.words,
+              "bigbody kernel exceeds its arrays");
+
+    Reg ra = baseReg(ctx, a);
+    Reg rb = baseReg(ctx, b);
+    Reg rc = baseReg(ctx, c);
+    Reg k = ctx.b.li(5 + static_cast<int64_t>(ctx.rng.below(7)));
+
+    // Loop-carried accumulators: live across every mid-body cut.
+    Reg s0 = ctx.b.reg();
+    ctx.b.liTo(s0, 0);
+    Reg s1 = ctx.b.reg();
+    ctx.b.liTo(s1, 1);
+    Reg s2 = ctx.b.reg();
+    ctx.b.liTo(s2, 2);
+
+    LoopShape ls = openLoop(ctx, "bigbody");
+    // Staging temps recomputed from the loop-invariant k each
+    // iteration and used across the mid-body region cuts: their
+    // checkpoints are prunable (reconstructible from ckpt[k]).
+    Reg g0 = ctx.b.binImm(Op::Add, k, 64);
+    Reg g1 = ctx.b.binImm(Op::Shl, k, 1);
+    Reg g2 = ctx.b.binImm(Op::Xor, k, 0x55);
+    for (int64_t u = 0; u < unroll; u++) {
+        Reg iu = (u == 0) ? ls.iv : ctx.b.binImm(Op::Add, ls.iv, u);
+        Reg pb = elemAddr(ctx, rb, iu);
+        Reg vb = ctx.b.load(pb);
+        Reg pc = elemAddr(ctx, rc, iu);
+        Reg vc = ctx.b.load(pc);
+        Reg prod = ctx.b.mul(vc, k);
+        Reg sum = ctx.b.add(vb, prod);
+        if (u == 3)
+            sum = ctx.b.add(sum, g0);
+        if (u == 5)
+            sum = ctx.b.add(sum, g1);
+        if (u == 7)
+            sum = ctx.b.add(sum, g2);
+        ctx.b.binTo(Op::Add, s0, s0, sum);
+        ctx.b.binTo(Op::Xor, s1, s1, vb);
+        Reg w = ctx.b.binImm(Op::Mul, vc, 3);
+        ctx.b.binTo(Op::Add, s2, s2, w);
+        Reg mixed = mix(ctx, sum, k, 1);
+        Reg pa = elemAddr(ctx, ra, iu);
+        ctx.b.store(mixed, pa);
+    }
+    closeLoop(ctx, ls, trips, unroll);
+
+    Reg ro = baseReg(ctx, out);
+    ctx.b.store(s0, ro, slot * 8);
+    ctx.b.store(s1, ro, (slot + 1) * 8);
+    ctx.b.store(s2, ro, (slot + 2) * 8);
+}
+
+void
+emitSpillPressure(KernelCtx &ctx, const DataObject &a,
+                  const DataObject &out, int accs, int coeffs,
+                  int64_t trips)
+{
+    TP_ASSERT((static_cast<uint64_t>(trips) << (ctx.strideShift - 3))
+                  <= a.words,
+              "spill kernel exceeds its input");
+    TP_ASSERT(static_cast<uint64_t>(accs) <= out.words,
+              "spill kernel exceeds its output");
+    Reg ra = baseReg(ctx, a);
+
+    // Coefficients: loaded once, read three times per iteration.
+    std::vector<Reg> cs;
+    for (int j = 0; j < coeffs; j++) {
+        Reg addr = ctx.b.binImm(Op::Add, ra,
+                                8 * (j % static_cast<int>(a.words)));
+        cs.push_back(ctx.b.load(addr));
+    }
+    // Accumulators: written once and read once per iteration.
+    std::vector<Reg> as;
+    for (int j = 0; j < accs; j++) {
+        Reg acc = ctx.b.reg();
+        ctx.b.liTo(acc, j);
+        as.push_back(acc);
+    }
+
+    LoopShape ls = openLoop(ctx, "spill");
+    Reg p = elemAddr(ctx, ra, ls.iv);
+    Reg v = ctx.b.load(p);
+    for (int j = 0; j < accs; j++) {
+        Reg c0 = cs[static_cast<size_t>(j) % cs.size()];
+        Reg c1 = cs[static_cast<size_t>(j + 1) % cs.size()];
+        Reg c2 = cs[static_cast<size_t>(j + 2) % cs.size()];
+        Reg t0 = ctx.b.mul(v, c0);
+        Reg t1 = ctx.b.add(t0, c1);
+        Reg t2 = ctx.b.bin(Op::Sub, t1, c2);
+        ctx.b.binTo(Op::Add, as[static_cast<size_t>(j)],
+                    as[static_cast<size_t>(j)], t2);
+    }
+    closeLoop(ctx, ls, trips);
+
+    Reg ro = baseReg(ctx, out);
+    for (int j = 0; j < accs; j++)
+        ctx.b.store(as[static_cast<size_t>(j)], ro, 8 * j);
+}
+
+} // namespace turnpike

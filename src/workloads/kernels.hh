@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Parameterized IR kernels used to synthesize the 36 benchmark
+ * proxies. Each emitter appends a loop (or straight-line block) to
+ * the function under construction and leaves the builder positioned
+ * in a fresh open block. The kernels are chosen to exercise the
+ * code patterns the paper's evaluation depends on:
+ *
+ *  - stream/copy/stencil: array walks whose strength-reduced pointer
+ *    induction variables create the loop-carried checkpoints LIVM
+ *    removes (Fig. 8);
+ *  - reduce: store-free loops — the LICM checkpoint-sinking target
+ *    (Fig. 10);
+ *  - ptrchase: serial dependent loads with frequent cache misses —
+ *    the eager-checkpoint data-hazard worst case (Fig. 6);
+ *  - branchy: diamonds whose arm-defined values can be reconstructed
+ *    from stable registers — the checkpoint-pruning target (Fig. 9);
+ *  - hist: load-then-store to the same array — real WAR dependences
+ *    that the CLQ must detect (Fig. 12);
+ *  - spill: high register pressure with read-mostly coefficients vs
+ *    written accumulators — the store-aware RA target (§4.1.1).
+ */
+
+#ifndef TURNPIKE_WORKLOADS_KERNELS_HH_
+#define TURNPIKE_WORKLOADS_KERNELS_HH_
+
+#include "ir/builder.hh"
+#include "ir/module.hh"
+#include "util/rng.hh"
+
+namespace turnpike {
+
+/** Shared state while emitting one workload. */
+struct KernelCtx
+{
+    Module &mod;
+    IRBuilder &b;
+    Rng &rng;
+    /**
+     * log2 of the byte step between consecutive elements the array
+     * kernels touch: 3 walks every word (cache friendly), 6 walks
+     * one 64-byte line per element (streaming / capacity-miss
+     * behaviour for large working sets).
+     */
+    int strideShift = 3;
+};
+
+/** A[i] = B[i] + C[i] * k over @p trips elements. */
+void emitStream(KernelCtx &ctx, const DataObject &a,
+                const DataObject &b, const DataObject &c,
+                int64_t trips);
+
+/** B[i] = A[i] over @p trips elements. */
+void emitCopy(KernelCtx &ctx, const DataObject &dst,
+              const DataObject &src, int64_t trips);
+
+/** A[i] = B[i-1] + B[i] + B[i+1] over interior elements. */
+void emitStencil(KernelCtx &ctx, const DataObject &a,
+                 const DataObject &b, int64_t trips);
+
+/**
+ * sum += A[i] over @p trips elements; the final sum is stored to
+ * @p out[slot]. The loop body is store-free.
+ */
+void emitReduce(KernelCtx &ctx, const DataObject &a,
+                const DataObject &out, int64_t slot, int64_t trips);
+
+/**
+ * idx = Next[idx] pointer chase of @p trips steps; the final index
+ * is stored to @p out[slot]. @p next must hold a permutation.
+ */
+void emitPtrChase(KernelCtx &ctx, const DataObject &next,
+                  const DataObject &out, int64_t slot, int64_t trips);
+
+/**
+ * Branchy diamond: per element, r = (A[i] < t) ? base + i : base * 3
+ * stored into D[i] — arm values reconstructible from stable regs.
+ */
+void emitBranchy(KernelCtx &ctx, const DataObject &a,
+                 const DataObject &d, int64_t threshold,
+                 int64_t trips);
+
+/** H[A[i] & (hWords-1)] += 1 over @p trips elements. */
+void emitHist(KernelCtx &ctx, const DataObject &a, const DataObject &h,
+              int64_t trips);
+
+/**
+ * Long unrolled body (8 elements, ~110 instructions, 8 stores) with
+ * three loop-carried accumulators updated per element — the SPEC-like
+ * hot-loop shape whose checkpoint count is dominated by the
+ * store-budget cuts a small store buffer forces inside each
+ * iteration (paper Fig. 3/4): with SB=4 every cut checkpoints the
+ * live accumulators again; with SB=40 the iteration is one region.
+ */
+void emitBigBody(KernelCtx &ctx, const DataObject &a,
+                 const DataObject &b, const DataObject &c,
+                 const DataObject &out, int64_t slot, int64_t trips);
+
+/**
+ * Register-pressure loop: @p accs accumulators each updated from
+ * @p coeffs coefficient registers (read three times per iteration)
+ * and a streamed value; results stored to @p out afterwards.
+ */
+void emitSpillPressure(KernelCtx &ctx, const DataObject &a,
+                       const DataObject &out, int accs, int coeffs,
+                       int64_t trips);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_WORKLOADS_KERNELS_HH_

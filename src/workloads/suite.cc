@@ -1,0 +1,215 @@
+#include "workloads/suite.hh"
+
+#include <algorithm>
+
+#include "ir/builder.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "workloads/kernels.hh"
+
+namespace turnpike {
+
+namespace {
+
+/** Shorthand spec constructor. */
+WorkloadSpec
+spec(const char *name, const char *suite, uint64_t seed, uint32_t ws,
+     int stream, int copy, int stencil, int reduce, int ptrchase,
+     int branchy, int hist, int spill, int bigbody = 0)
+{
+    WorkloadSpec s;
+    s.name = name;
+    s.suite = suite;
+    s.seed = seed;
+    s.wsWords = ws;
+    s.stream = stream;
+    s.copy = copy;
+    s.stencil = stencil;
+    s.reduce = reduce;
+    s.ptrchase = ptrchase;
+    s.branchy = branchy;
+    s.hist = hist;
+    s.spill = spill;
+    s.bigbody = bigbody;
+    return s;
+}
+
+std::vector<WorkloadSpec>
+makeSuite()
+{
+    std::vector<WorkloadSpec> v;
+    // name          suite       seed  ws      str cp stn red ptr br  hi sp
+    v.push_back(spec("astar",     "CPU2006", 101, 8192,  0, 1, 0, 0, 1, 2, 0, 0));
+    v.push_back(spec("bwaves",    "CPU2006", 102, 16384, 1, 0, 1, 0, 0, 0, 0, 0, 2));
+    v.push_back(spec("bzip2",     "CPU2006", 103, 4096,  0, 1, 0, 0, 0, 1, 2, 0));
+    v.push_back(spec("gcc",       "CPU2006", 104, 2048,  0, 1, 0, 1, 0, 3, 1, 0));
+    v.push_back(spec("gemsfdtd",  "CPU2006", 105, 8192,  1, 0, 2, 0, 0, 0, 0, 2, 1));
+    v.push_back(spec("gobmk",     "CPU2006", 106, 2048,  0, 0, 0, 1, 0, 3, 0, 0));
+    v.push_back(spec("hmmer",     "CPU2006", 107, 4096,  1, 0, 0, 2, 0, 1, 0, 0));
+    v.push_back(spec("leslie3d",  "CPU2006", 108, 8192,  1, 0, 2, 0, 0, 0, 0, 0, 1));
+    v.push_back(spec("libquan",   "CPU2006", 109, 4096,  1, 0, 0, 2, 0, 0, 0, 0));
+    v.push_back(spec("mcf",       "CPU2006", 110, 16384, 0, 0, 0, 0, 3, 1, 0, 0));
+    v.push_back(spec("milc",      "CPU2006", 111, 16384, 1, 0, 1, 1, 0, 0, 0, 0, 2));
+    v.push_back(spec("omnetpp",   "CPU2006", 112, 8192,  0, 0, 0, 0, 2, 2, 0, 0));
+    v.push_back(spec("perlbench", "CPU2006", 113, 2048,  0, 1, 0, 0, 0, 2, 1, 0));
+    v.push_back(spec("soplex",    "CPU2006", 114, 8192,  1, 0, 0, 2, 0, 1, 0, 0));
+    v.push_back(spec("xalan",     "CPU2006", 115, 4096,  0, 1, 0, 0, 1, 2, 0, 0));
+    v.push_back(spec("zeusmp",    "CPU2006", 116, 8192,  1, 0, 2, 0, 0, 0, 0, 0, 1));
+
+    v.push_back(spec("bwaves",    "CPU2017", 201, 16384, 1, 0, 1, 0, 0, 0, 0, 0, 2));
+    v.push_back(spec("cactubssn", "CPU2017", 202, 8192,  0, 0, 2, 0, 0, 0, 0, 1, 1));
+    v.push_back(spec("deepsjeng", "CPU2017", 203, 2048,  0, 0, 0, 2, 0, 2, 1, 0));
+    v.push_back(spec("exchange2", "CPU2017", 204, 1024,  0, 3, 0, 0, 0, 1, 0, 0));
+    v.push_back(spec("fotonik3d", "CPU2017", 205, 8192,  0, 0, 2, 2, 0, 0, 0, 0));
+    v.push_back(spec("lbm",       "CPU2017", 206, 16384, 1, 0, 0, 0, 0, 0, 0, 2, 2));
+    v.push_back(spec("leela",     "CPU2017", 207, 2048,  0, 2, 0, 0, 0, 2, 0, 0));
+    v.push_back(spec("mcf",       "CPU2017", 208, 16384, 0, 0, 0, 0, 3, 1, 0, 0));
+    v.push_back(spec("nab",       "CPU2017", 209, 4096,  1, 0, 0, 2, 0, 1, 0, 0));
+    v.push_back(spec("roms",      "CPU2017", 210, 8192,  1, 0, 2, 0, 0, 0, 0, 0, 1));
+    v.push_back(spec("x264",      "CPU2017", 211, 4096,  0, 1, 0, 2, 0, 0, 1, 0));
+    v.push_back(spec("xalan",     "CPU2017", 212, 4096,  0, 1, 0, 0, 1, 2, 0, 0));
+    v.push_back(spec("xz",        "CPU2017", 213, 4096,  0, 1, 0, 0, 0, 1, 2, 0));
+
+    v.push_back(spec("cholesky",  "SPLASH3", 301, 4096,  1, 0, 0, 1, 0, 0, 0, 1));
+    v.push_back(spec("fft",       "SPLASH3", 302, 8192,  1, 0, 1, 0, 0, 0, 0, 0, 1));
+    v.push_back(spec("lu-cg",     "SPLASH3", 303, 4096,  1, 2, 0, 1, 0, 0, 0, 0));
+    v.push_back(spec("ocean-ng",  "SPLASH3", 304, 16384, 0, 0, 2, 0, 0, 0, 0, 0, 1));
+    v.push_back(spec("radiosity", "SPLASH3", 305, 4096,  0, 0, 0, 1, 1, 2, 0, 0));
+    v.push_back(spec("radix",     "SPLASH3", 306, 8192,  0, 2, 0, 0, 0, 0, 2, 0));
+    v.push_back(spec("water-sp",  "SPLASH3", 307, 4096,  1, 0, 0, 2, 0, 0, 0, 0));
+    return v;
+}
+
+/** Rough dynamic instructions per element for each kernel. */
+constexpr double kStreamCost = 12.5;  // per element (unroll 4)
+constexpr double kCopyCost = 11.0;
+constexpr double kStencilCost = 14.0;
+constexpr double kReduceCost = 10.0;
+constexpr double kChaseCost = 8.0;
+constexpr double kBranchyCost = 15.0;
+constexpr double kHistCost = 15.0;
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+workloadSuite()
+{
+    static const std::vector<WorkloadSpec> suite = makeSuite();
+    return suite;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &suite, const std::string &name)
+{
+    for (const WorkloadSpec &s : workloadSuite())
+        if (s.suite == suite && s.name == name)
+            return s;
+    fatal("unknown workload %s/%s", suite.c_str(), name.c_str());
+}
+
+std::unique_ptr<Module>
+buildWorkload(const WorkloadSpec &spec, uint64_t target_dyn_insts)
+{
+    auto mod = std::make_unique<Module>(spec.suite + "/" + spec.name);
+    Rng rng(spec.seed);
+    Rng data_rng(spec.seed ^ 0xabcdef12345678ull);
+
+    uint64_t ws = spec.wsWords;
+    auto rand_init = [&](uint64_t words) {
+        std::vector<int64_t> init(words);
+        for (auto &x : init)
+            x = static_cast<int64_t>(data_rng.below(1000));
+        return init;
+    };
+    DataObject &arr_a = mod->addData("A", ws, rand_init(ws));
+    DataObject &arr_b = mod->addData("B", ws, rand_init(ws));
+    DataObject &arr_c = mod->addData("C", ws, rand_init(ws));
+    DataObject &arr_d = mod->addData("D", ws);
+
+    // Pointer-chase permutation: one full cycle (Sattolo).
+    std::vector<int64_t> perm(ws);
+    for (uint64_t i = 0; i < ws; i++)
+        perm[i] = static_cast<int64_t>(i);
+    for (uint64_t i = ws - 1; i > 0; i--) {
+        uint64_t j = data_rng.below(i);
+        std::swap(perm[i], perm[j]);
+    }
+    DataObject &arr_next = mod->addData("Next", ws, std::move(perm));
+    DataObject &arr_hist = mod->addData("H", 256);
+    DataObject &arr_out = mod->addData("Out", 64);
+
+    // Large working sets are walked one cache line per element so
+    // their capacity misses show at modest instruction budgets.
+    int stride_shift = ws >= 8192 ? 6 : 3;
+    int64_t max_elems =
+        static_cast<int64_t>(ws >> (stride_shift - 3)) - 4;
+    int64_t trips = std::min<int64_t>(spec.kernelTrips, max_elems);
+
+    // Estimate the cost of one outer iteration to hit the target.
+    double per_iter =
+        spec.stream * kStreamCost * static_cast<double>(trips) +
+        spec.copy * kCopyCost * static_cast<double>(trips) +
+        spec.stencil * kStencilCost * static_cast<double>(trips) +
+        spec.reduce * kReduceCost * static_cast<double>(trips) +
+        spec.ptrchase * kChaseCost * static_cast<double>(trips) +
+        spec.branchy * kBranchyCost * static_cast<double>(trips) +
+        spec.hist * kHistCost * static_cast<double>(trips) +
+        spec.spill * (4.0 * 8 + 10) * static_cast<double>(trips) +
+        spec.bigbody * 14.0 * static_cast<double>(trips);
+    TP_ASSERT(per_iter > 0, "workload %s has no kernels",
+              spec.name.c_str());
+    int64_t outer = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               static_cast<double>(target_dyn_insts) / per_iter));
+
+    Function &fn = mod->addFunction("main");
+    IRBuilder b(fn);
+    KernelCtx ctx{*mod, b, rng, stride_shift};
+
+    BlockId entry = b.newBlock("entry");
+    b.setBlock(entry);
+    Reg oc = b.reg();
+    b.liTo(oc, 0);
+    BlockId outer_head = b.newBlock("outer.head");
+    b.jmp(outer_head);
+    b.setBlock(outer_head);
+
+    // Emit the kernel mix; interleave kinds for variety.
+    int out_slot = 0;
+    for (int k = 0; k < spec.stream; k++)
+        emitStream(ctx, arr_a, arr_b, arr_c, trips);
+    for (int k = 0; k < spec.copy; k++)
+        emitCopy(ctx, k % 2 ? arr_d : arr_b, k % 2 ? arr_c : arr_a,
+                 trips);
+    for (int k = 0; k < spec.stencil; k++)
+        emitStencil(ctx, arr_d, arr_b, trips);
+    for (int k = 0; k < spec.reduce; k++)
+        emitReduce(ctx, k % 2 ? arr_c : arr_a, arr_out, out_slot++,
+                   trips);
+    for (int k = 0; k < spec.ptrchase; k++)
+        emitPtrChase(ctx, arr_next, arr_out, out_slot++, trips);
+    for (int k = 0; k < spec.branchy; k++)
+        emitBranchy(ctx, arr_a, arr_d,
+                    250 + 100 * k, trips);
+    for (int k = 0; k < spec.hist; k++)
+        emitHist(ctx, k % 2 ? arr_b : arr_a, arr_hist, trips);
+    for (int k = 0; k < spec.spill; k++)
+        emitSpillPressure(ctx, arr_b, arr_out, 8, 13, trips);
+    for (int k = 0; k < spec.bigbody; k++) {
+        emitBigBody(ctx, arr_d, arr_b, arr_c, arr_out, out_slot,
+                    trips);
+        out_slot += 3;
+    }
+
+    // Close the outer loop.
+    b.binImmTo(Op::Add, oc, oc, 1);
+    Reg c = b.binImm(Op::CmpLt, oc, outer);
+    BlockId exit = b.newBlock("exit");
+    b.br(c, outer_head, exit);
+    b.setBlock(exit);
+    b.halt();
+
+    return mod;
+}
+
+} // namespace turnpike

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The 36-benchmark proxy suite: one synthetic workload per benchmark
+ * the paper evaluates (SPEC CPU2006, CPU2017, SPLASH-3), each built
+ * as a deterministic mix of the kernels in kernels.hh whose
+ * parameters reflect the benchmark's published character (working
+ * set, store density, pointer chasing, branchiness, register
+ * pressure). See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef TURNPIKE_WORKLOADS_SUITE_HH_
+#define TURNPIKE_WORKLOADS_SUITE_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace turnpike {
+
+/** Descriptor of one benchmark proxy. */
+struct WorkloadSpec
+{
+    std::string name;   ///< paper's benchmark name
+    std::string suite;  ///< "CPU2006", "CPU2017" or "SPLASH3"
+    uint64_t seed = 1;  ///< drives data initialization
+    uint32_t wsWords = 4096; ///< streaming-array working set (words)
+    /** Kernel instances per outer iteration. */
+    int stream = 0;
+    int copy = 0;
+    int stencil = 0;
+    int reduce = 0;
+    int ptrchase = 0;
+    int branchy = 0;
+    int hist = 0;
+    int spill = 0;
+    int bigbody = 0;
+    int64_t kernelTrips = 256; ///< inner trip count per kernel
+};
+
+/** All 36 benchmark descriptors, grouped by suite in paper order. */
+const std::vector<WorkloadSpec> &workloadSuite();
+
+/** Find a descriptor by suite and name; panics when absent. */
+const WorkloadSpec &findWorkload(const std::string &suite,
+                                 const std::string &name);
+
+/**
+ * Build the IR module for @p spec, scaled so a baseline run executes
+ * roughly @p target_dyn_insts dynamic instructions.
+ */
+std::unique_ptr<Module> buildWorkload(const WorkloadSpec &spec,
+                                      uint64_t target_dyn_insts);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_WORKLOADS_SUITE_HH_

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the core orchestration layer: the ResilienceConfig
+ * factory ladder, the compiler driver's pass statistics, the runner
+ * API (functional vs pipeline agreement, environment knobs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/compiler.hh"
+#include "core/runner.hh"
+
+namespace turnpike {
+namespace {
+
+TEST(Config, AblationLadderIsCumulative)
+{
+    auto ts = ResilienceConfig::turnstile(10);
+    EXPECT_TRUE(ts.resilience);
+    EXPECT_FALSE(ts.warFreeRelease);
+    EXPECT_FALSE(ts.hwColoring);
+    EXPECT_FALSE(ts.pruning || ts.licm || ts.scheduling ||
+                 ts.storeAwareRa || ts.livm);
+
+    auto war = ResilienceConfig::warFreeOnly(10);
+    EXPECT_TRUE(war.warFreeRelease);
+    EXPECT_FALSE(war.hwColoring);
+
+    auto fr = ResilienceConfig::fastRelease(10);
+    EXPECT_TRUE(fr.warFreeRelease && fr.hwColoring);
+    EXPECT_FALSE(fr.pruning);
+
+    auto pr = ResilienceConfig::fastReleasePruning(10);
+    EXPECT_TRUE(pr.pruning);
+    EXPECT_FALSE(pr.licm);
+
+    auto li = ResilienceConfig::fastReleasePruningLicm(10);
+    EXPECT_TRUE(li.pruning && li.licm);
+    EXPECT_FALSE(li.scheduling);
+
+    auto sc = ResilienceConfig::fastReleasePruningLicmSched(10);
+    EXPECT_TRUE(sc.scheduling);
+    EXPECT_FALSE(sc.storeAwareRa);
+
+    auto ra = ResilienceConfig::fastReleasePruningLicmSchedRa(10);
+    EXPECT_TRUE(ra.storeAwareRa);
+    EXPECT_FALSE(ra.livm);
+
+    auto tp = ResilienceConfig::turnpike(10);
+    EXPECT_TRUE(tp.warFreeRelease && tp.hwColoring && tp.pruning &&
+                tp.licm && tp.scheduling && tp.storeAwareRa &&
+                tp.livm);
+
+    auto base = ResilienceConfig::baseline();
+    EXPECT_FALSE(base.resilience);
+}
+
+TEST(Config, WcdlPropagatesToPipeline)
+{
+    auto cfg = ResilienceConfig::turnpike(37);
+    EXPECT_EQ(cfg.wcdl, 37u);
+    PipelineConfig p = cfg.toPipelineConfig();
+    EXPECT_EQ(p.wcdl, 37u);
+    EXPECT_TRUE(p.hwColoring);
+    EXPECT_EQ(p.sbSize, cfg.sbSize);
+    EXPECT_EQ(p.clqEntries, cfg.clqEntries);
+}
+
+TEST(Compiler, StatsReflectEnabledPasses)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "bwaves");
+    {
+        auto mod = buildWorkload(spec, 10000);
+        CompiledProgram p =
+            compileWorkload(*mod, ResilienceConfig::turnstile(10));
+        EXPECT_GT(p.stats.get("ckpt.inserted"), 0u);
+        EXPECT_EQ(p.stats.get("ckpt.pruned"), 0u);
+        EXPECT_EQ(p.stats.get("livm.merged"), 0u);
+        EXPECT_GT(p.stats.get("regions"), 1u);
+    }
+    {
+        auto mod = buildWorkload(spec, 10000);
+        CompiledProgram p =
+            compileWorkload(*mod, ResilienceConfig::turnpike(10));
+        EXPECT_GT(p.stats.get("ckpt.pruned"), 0u);
+        EXPECT_GT(p.stats.get("livm.merged"), 0u);
+        EXPECT_GT(p.stats.get("sr.pointer_ivs"), 0u);
+    }
+    {
+        auto mod = buildWorkload(spec, 10000);
+        CompiledProgram p =
+            compileWorkload(*mod, ResilienceConfig::baseline());
+        EXPECT_EQ(p.stats.get("ckpt.inserted"), 0u);
+        EXPECT_EQ(p.stats.get("regions"), 1u);
+    }
+}
+
+TEST(Runner, InterpretAgreesWithPipelineOnFunctionalFacts)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2017", "nab");
+    ResilienceConfig cfg = ResilienceConfig::turnpike(10);
+    RunResult fast = interpretWorkload(spec, cfg, 12000);
+    RunResult full = runWorkload(spec, cfg, 12000);
+    EXPECT_EQ(fast.goldenHash, full.goldenHash);
+    EXPECT_EQ(fast.dyn.insts, full.dyn.insts);
+    EXPECT_EQ(fast.dyn.storesTotal(), full.dyn.storesTotal());
+    EXPECT_EQ(full.dataHash, full.goldenHash);
+    // The functional run carries no pipeline stats.
+    EXPECT_EQ(fast.pipe.cycles, 0u);
+    EXPECT_GT(full.pipe.cycles, full.pipe.insts / 2);
+}
+
+TEST(Runner, CodeSizeFieldsConsistent)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "astar");
+    RunResult r = interpretWorkload(spec,
+                                    ResilienceConfig::turnpike(10),
+                                    8000);
+    EXPECT_GT(r.codeBytes, r.baselineBytes);
+    EXPECT_GT(r.recoveryBytes, 0u);
+    EXPECT_GE(r.codeBytes, r.recoveryBytes);
+    EXPECT_GT(r.regionSizeAvg, 1.0);
+}
+
+TEST(Runner, BenchBudgetEnvOverride)
+{
+    setenv("TURNPIKE_BENCH_ICOUNT", "54321", 1);
+    EXPECT_EQ(benchInstBudget(), 54321u);
+    setenv("TURNPIKE_BENCH_ICOUNT", "bogus", 1);
+    EXPECT_EQ(benchInstBudget(), 200000u);
+    unsetenv("TURNPIKE_BENCH_ICOUNT");
+    EXPECT_EQ(benchInstBudget(), 200000u);
+}
+
+TEST(Runner, FaultArgumentThreadsThrough)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "xalan");
+    ResilienceConfig cfg = ResilienceConfig::turnpike(20);
+    RunResult clean = runWorkload(spec, cfg, 10000);
+    std::vector<FaultEvent> plan;
+    FaultEvent ev;
+    ev.cycle = clean.pipe.cycles / 2;
+    ev.target = FaultTarget::Register;
+    ev.index = 3;
+    ev.bit = 11;
+    ev.detectDelay = 5;
+    plan.push_back(ev);
+    RunResult r = runWorkload(spec, cfg, 10000, plan);
+    EXPECT_GE(r.pipe.detectedFaults, 1u);
+    EXPECT_GE(r.pipe.recoveries, 1u);
+    EXPECT_EQ(r.dataHash, clean.goldenHash);
+}
+
+} // namespace
+} // namespace turnpike

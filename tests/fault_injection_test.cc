@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Resilience property tests — the paper's core guarantee: any
+ * single-event upset in an architectural register or an unverified
+ * store-buffer entry, detected within the WCDL, is recovered by
+ * region-level restart with the final data-segment image identical
+ * to the fault-free golden image.
+ *
+ * The sweeps cover Turnstile and Turnpike (fast release + coloring),
+ * several WCDLs, and many fault seeds per workload, validating in
+ * particular the WAR-free fast-release argument (§4.3.1) and the
+ * hardware-coloring corner case (§4.3.2). A negative test shows the
+ * naive checkpoint release of Fig. 16 can corrupt recovery, which is
+ * exactly why coloring exists.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "machine/mverifier.hh"
+#include "sim/pipeline.hh"
+#include "util/rng.hh"
+
+namespace turnpike {
+namespace {
+
+constexpr uint64_t kInsts = 12000;
+
+struct FaultCase
+{
+    std::string suite;
+    std::string name;
+    std::string scheme; ///< "turnstile" or "turnpike"
+    uint32_t wcdl;
+    uint64_t seed;
+};
+
+void
+PrintTo(const FaultCase &c, std::ostream *os)
+{
+    *os << c.suite << "/" << c.name << " " << c.scheme << " wcdl="
+        << c.wcdl << " seed=" << c.seed;
+}
+
+ResilienceConfig
+schemeFor(const FaultCase &c)
+{
+    if (c.scheme == "turnstile")
+        return ResilienceConfig::turnstile(c.wcdl);
+    if (c.scheme == "warfree")
+        return ResilienceConfig::warFreeOnly(c.wcdl);
+    if (c.scheme == "fastrelease")
+        return ResilienceConfig::fastRelease(c.wcdl);
+    if (c.scheme == "prune")
+        return ResilienceConfig::fastReleasePruning(c.wcdl);
+    if (c.scheme == "idealclq") {
+        ResilienceConfig cfg = ResilienceConfig::turnpike(c.wcdl);
+        cfg.clqDesign = ClqDesign::Ideal;
+        cfg.clqEntries = 1u << 20;
+        return cfg;
+    }
+    if (c.scheme == "bigsb") {
+        ResilienceConfig cfg = ResilienceConfig::turnpike(c.wcdl);
+        cfg.sbSize = 10;
+        return cfg;
+    }
+    if (c.scheme == "tinyclq") {
+        ResilienceConfig cfg = ResilienceConfig::turnpike(c.wcdl);
+        cfg.clqEntries = 1;
+        return cfg;
+    }
+    return ResilienceConfig::turnpike(c.wcdl);
+}
+
+class FaultRecovery : public ::testing::TestWithParam<FaultCase>
+{};
+
+TEST_P(FaultRecovery, RecoversToGoldenImage)
+{
+    const FaultCase &c = GetParam();
+    const WorkloadSpec &spec = findWorkload(c.suite, c.name);
+    ResilienceConfig cfg = schemeFor(c);
+
+    // Fault-free run for the golden hash and the cycle horizon.
+    RunResult clean = runWorkload(spec, cfg, kInsts);
+    ASSERT_TRUE(clean.halted);
+
+    // Inject several upsets spread over the run.
+    Rng rng(c.seed);
+    auto plan = makeFaultPlan(rng, clean.pipe.cycles, c.wcdl, 3);
+    RunResult faulty = runWorkload(spec, cfg, kInsts, plan);
+
+    EXPECT_TRUE(faulty.halted);
+    EXPECT_GT(faulty.pipe.recoveries, 0u)
+        << "no recovery was exercised";
+    EXPECT_EQ(faulty.dataHash, clean.goldenHash)
+        << "recovered run diverged from the golden image";
+    // Recovery costs cycles overall; tolerate small wins from the
+    // squash instantly draining verified SB entries.
+    EXPECT_GE(static_cast<double>(faulty.pipe.cycles),
+              0.99 * static_cast<double>(clean.pipe.cycles))
+        << "recovery should not make the program notably faster";
+}
+
+std::vector<FaultCase>
+faultCases()
+{
+    // A representative cross-section: pointer chasing (serial
+    // dependence), streaming (WAR-free fast release), histogram
+    // (real WAR dependences), spilling (RA interaction), branchy
+    // (pruned checkpoints with recovery recipes).
+    const std::vector<std::pair<std::string, std::string>> picks = {
+        {"CPU2006", "mcf"},      {"CPU2006", "bwaves"},
+        {"CPU2006", "gcc"},      {"CPU2006", "gemsfdtd"},
+        {"CPU2017", "x264"},     {"CPU2017", "deepsjeng"},
+        {"SPLASH3", "radix"},    {"SPLASH3", "water-sp"},
+    };
+    std::vector<FaultCase> cases;
+    uint64_t seed = 77;
+    for (const auto &[suite, name] : picks) {
+        for (const char *scheme : {"turnstile", "turnpike"}) {
+            for (uint32_t wcdl : {10u, 30u}) {
+                for (int rep = 0; rep < 3; rep++)
+                    cases.push_back({suite, name, scheme, wcdl,
+                                     seed++});
+            }
+        }
+        // Intermediate ablation steps and hardware variants: the
+        // recovery guarantee must hold for every configuration, not
+        // just the endpoints.
+        for (const char *scheme :
+             {"warfree", "fastrelease", "prune", "idealclq", "bigsb",
+              "tinyclq"}) {
+            cases.push_back({suite, name, scheme, 20u, seed++});
+            cases.push_back({suite, name, scheme, 40u, seed++});
+        }
+    }
+    return cases;
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<FaultCase> &info)
+{
+    const FaultCase &c = info.param;
+    std::string s = c.suite + "_" + c.name + "_" + c.scheme + "_w" +
+        std::to_string(c.wcdl) + "_s" + std::to_string(c.seed);
+    for (char &ch : s)
+        if (!isalnum(static_cast<unsigned char>(ch)))
+            ch = '_';
+    return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FaultRecovery,
+                         ::testing::ValuesIn(faultCases()), caseName);
+
+/**
+ * Negative test (Fig. 16): releasing checkpoint stores without
+ * coloring can overwrite the only valid checkpoint of a register
+ * with an unverified (possibly corrupt) value; recovery then
+ * restores garbage. We assert that the unsafe mode CAN diverge
+ * where safe Turnpike never does, over the same fault plans.
+ */
+TEST(NaiveCkptRelease, Fig16CornerCanCorruptRecovery)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "hmmer");
+
+    ResilienceConfig safe = ResilienceConfig::turnpike(20);
+    ResilienceConfig naive = safe;
+    naive.label = "naive";
+    naive.hwColoring = false;
+    naive.naiveCkptRelease = true;
+
+    RunResult clean = runWorkload(spec, safe, kInsts);
+    uint64_t naive_divergences = 0;
+    uint64_t safe_divergences = 0;
+    for (uint64_t seed = 1; seed <= 20; seed++) {
+        Rng rng(seed * 31337);
+        auto plan = makeFaultPlan(rng, clean.pipe.cycles, 20, 3);
+        RunResult fs = runWorkload(spec, safe, kInsts, plan);
+        if (fs.dataHash != clean.goldenHash)
+            safe_divergences++;
+        RunResult fn = runWorkload(spec, naive, kInsts, plan);
+        if (fn.dataHash != clean.goldenHash)
+            naive_divergences++;
+    }
+    EXPECT_EQ(safe_divergences, 0u)
+        << "safe Turnpike must always recover";
+    EXPECT_GT(naive_divergences, 0u)
+        << "expected the Fig. 16 hazard to bite without coloring";
+}
+
+} // namespace
+} // namespace turnpike

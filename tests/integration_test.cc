@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Integration tests: every workload of the 36-benchmark suite,
+ * compiled under every resilience scheme, must (a) pass IR and
+ * machine verification, (b) produce the golden data-segment image in
+ * the functional interpreter, and (c) produce the same image in the
+ * cycle-level pipeline. Also checks the first-order performance
+ * ordering the paper reports (Turnpike between baseline and
+ * Turnstile).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+
+namespace turnpike {
+namespace {
+
+constexpr uint64_t kInsts = 15000;
+
+std::vector<ResilienceConfig>
+allSchemes()
+{
+    return {
+        ResilienceConfig::baseline(),
+        ResilienceConfig::turnstile(10),
+        ResilienceConfig::warFreeOnly(10),
+        ResilienceConfig::fastRelease(10),
+        ResilienceConfig::fastReleasePruning(10),
+        ResilienceConfig::fastReleasePruningLicm(10),
+        ResilienceConfig::fastReleasePruningLicmSched(10),
+        ResilienceConfig::fastReleasePruningLicmSchedRa(10),
+        ResilienceConfig::turnpike(10),
+    };
+}
+
+class AllWorkloads : public ::testing::TestWithParam<WorkloadSpec>
+{};
+
+TEST_P(AllWorkloads, EverySchemeMatchesGolden)
+{
+    const WorkloadSpec &spec = GetParam();
+    RunResult base = runWorkload(spec, ResilienceConfig::baseline(),
+                                 kInsts);
+    ASSERT_TRUE(base.halted);
+    ASSERT_EQ(base.dataHash, base.goldenHash)
+        << "pipeline diverged from interpreter on baseline";
+
+    for (const ResilienceConfig &cfg : allSchemes()) {
+        RunResult r = runWorkload(spec, cfg, kInsts);
+        EXPECT_TRUE(r.halted) << cfg.label;
+        EXPECT_EQ(r.goldenHash, base.goldenHash)
+            << "compiler changed program semantics: " << cfg.label;
+        EXPECT_EQ(r.dataHash, base.goldenHash)
+            << "pipeline diverged from golden: " << cfg.label;
+    }
+}
+
+TEST_P(AllWorkloads, TurnpikeNoSlowerThanTurnstile)
+{
+    const WorkloadSpec &spec = GetParam();
+    RunResult ts = runWorkload(spec, ResilienceConfig::turnstile(30),
+                               kInsts);
+    RunResult tp = runWorkload(spec, ResilienceConfig::turnpike(30),
+                               kInsts);
+    // 3% tolerance: at small instruction budgets a store-light
+    // workload can land within noise of Turnstile.
+    EXPECT_LE(static_cast<double>(tp.pipe.cycles),
+              1.03 * static_cast<double>(ts.pipe.cycles))
+        << "Turnpike slower than Turnstile at WCDL=30";
+}
+
+std::string
+workloadName(const ::testing::TestParamInfo<WorkloadSpec> &info)
+{
+    std::string s = info.param.suite + "_" + info.param.name;
+    for (char &c : s)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AllWorkloads,
+                         ::testing::ValuesIn(workloadSuite()),
+                         workloadName);
+
+} // namespace
+} // namespace turnpike

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Whole-suite structural invariants on compiled machine code: the
+ * guarantees the runtime machinery depends on, checked statically
+ * for every workload under several schemes.
+ *
+ *  - Store budget: no path between two region boundaries carries
+ *    more stores (checkpoints included) than the store buffer can
+ *    hold — otherwise the gated SB could deadlock.
+ *  - Recovery completeness: every region's live-in registers are
+ *    restored by its recovery program, and recovery programs only
+ *    branch within bounds.
+ *  - Checkpoint reach: every Ckpt names a physical register; every
+ *    Boundary has metadata; every branch target is a valid PC.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/compiler.hh"
+#include "core/runner.hh"
+#include "machine/mverifier.hh"
+
+namespace turnpike {
+namespace {
+
+/**
+ * Max stores on any path since the last boundary, per PC, via
+ * forward max-dataflow over the machine CFG. Saturates at cap.
+ */
+uint32_t
+maxStoresPerRegion(const MachineFunction &mf, uint32_t cap)
+{
+    const auto &code = mf.code();
+    std::vector<uint32_t> in(code.size(), 0);
+    bool changed = true;
+    uint32_t worst = 0;
+    while (changed) {
+        changed = false;
+        for (size_t pc = 0; pc < code.size(); pc++) {
+            const MInstr &mi = code[pc];
+            uint32_t out = in[pc];
+            if (mi.op == Op::Boundary)
+                out = 0;
+            else if (mi.op == Op::Store || mi.op == Op::Ckpt)
+                out = std::min(out + 1, cap);
+            worst = std::max(worst, out);
+            auto push = [&](size_t to) {
+                if (to < code.size() && out > in[to]) {
+                    in[to] = out;
+                    changed = true;
+                }
+            };
+            switch (mi.op) {
+              case Op::Halt:
+                break;
+              case Op::Jmp:
+                push(mi.target);
+                break;
+              case Op::Br:
+                push(mi.target);
+                push(pc + 1);
+                break;
+              default:
+                push(pc + 1);
+                break;
+            }
+        }
+    }
+    return worst;
+}
+
+class CompiledInvariants
+    : public ::testing::TestWithParam<WorkloadSpec>
+{};
+
+TEST_P(CompiledInvariants, StoreBudgetHoldsOnEveryPath)
+{
+    const WorkloadSpec &spec = GetParam();
+    for (const ResilienceConfig &cfg :
+         {ResilienceConfig::turnstile(10),
+          ResilienceConfig::turnpike(10),
+          ResilienceConfig::turnpike(50)}) {
+        auto mod = buildWorkload(spec, 10000);
+        CompiledProgram prog = compileWorkload(*mod, cfg);
+        uint32_t worst = maxStoresPerRegion(*prog.mf, cfg.sbSize + 2);
+        EXPECT_LE(worst, cfg.sbSize)
+            << cfg.label << ": a region can overfill the "
+            << cfg.sbSize << "-entry store buffer";
+    }
+}
+
+TEST_P(CompiledInvariants, RecoveryRestoresEveryLiveIn)
+{
+    const WorkloadSpec &spec = GetParam();
+    auto mod = buildWorkload(spec, 10000);
+    CompiledProgram prog =
+        compileWorkload(*mod, ResilienceConfig::turnpike(10));
+    for (const RegionMeta &rm : prog.mf->regions()) {
+        std::set<Reg> committed;
+        for (size_t i = 0; i < rm.recovery.size(); i++) {
+            const RecoveryOp &op = rm.recovery[i];
+            if (op.kind == RecoveryOp::Kind::CommitReg)
+                committed.insert(op.reg);
+            if (op.kind == RecoveryOp::Kind::BrIfZero) {
+                EXPECT_LE(i + 1 + static_cast<size_t>(op.skip),
+                          rm.recovery.size());
+            }
+        }
+        EXPECT_TRUE(committed.count(kFramePointer));
+        for (Reg r : rm.liveIns)
+            EXPECT_TRUE(committed.count(r))
+                << "live-in r" << r << " not restored";
+    }
+}
+
+TEST_P(CompiledInvariants, MachineCodeVerifies)
+{
+    const WorkloadSpec &spec = GetParam();
+    for (const ResilienceConfig &cfg :
+         {ResilienceConfig::baseline(),
+          ResilienceConfig::fastReleasePruningLicm(10),
+          ResilienceConfig::turnpike(10)}) {
+        auto mod = buildWorkload(spec, 10000);
+        CompiledProgram prog = compileWorkload(*mod, cfg);
+        auto problems = verifyMachineFunction(*prog.mf);
+        EXPECT_TRUE(problems.empty())
+            << cfg.label << ": " << problems.front();
+    }
+}
+
+std::string
+workloadName(const ::testing::TestParamInfo<WorkloadSpec> &info)
+{
+    std::string s = info.param.suite + "_" + info.param.name;
+    for (char &c : s)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, CompiledInvariants,
+                         ::testing::ValuesIn(workloadSuite()),
+                         workloadName);
+
+} // namespace
+} // namespace turnpike

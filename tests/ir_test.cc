@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Unit tests for the mini-IR: instructions, blocks, builder,
+ * verifier, CFG analyses (RPO, dominators, loops, liveness) and the
+ * reference interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/cfg.hh"
+#include "ir/dominators.hh"
+#include "ir/interpreter.hh"
+#include "ir/liveness.hh"
+#include "ir/loop_info.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+
+namespace turnpike {
+namespace {
+
+/** Build: entry -> loop(sum += A[i], 10 iterations) -> exit. */
+std::unique_ptr<Module>
+makeSumModule()
+{
+    auto mod = std::make_unique<Module>("sum");
+    std::vector<int64_t> init;
+    for (int i = 1; i <= 10; i++)
+        init.push_back(i);
+    DataObject &arr = mod->addData("A", 10, std::move(init));
+    DataObject &out = mod->addData("Out", 1);
+
+    Function &fn = mod->addFunction("main");
+    IRBuilder b(fn);
+    BlockId entry = b.newBlock("entry");
+    BlockId body = b.newBlock("body");
+    BlockId exit = b.newBlock("exit");
+
+    b.setBlock(entry);
+    Reg i = b.reg();
+    b.liTo(i, 0);
+    Reg sum = b.reg();
+    b.liTo(sum, 0);
+    Reg base = b.li(static_cast<int64_t>(arr.base));
+    b.jmp(body);
+
+    b.setBlock(body);
+    Reg off = b.binImm(Op::Shl, i, 3);
+    Reg addr = b.add(base, off);
+    Reg v = b.load(addr);
+    b.binTo(Op::Add, sum, sum, v);
+    b.binImmTo(Op::Add, i, i, 1);
+    Reg c = b.binImm(Op::CmpLt, i, 10);
+    b.br(c, body, exit);
+
+    b.setBlock(exit);
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    b.store(sum, ob);
+    b.halt();
+    return mod;
+}
+
+TEST(Instruction, ReadsWritesAndPrinting)
+{
+    Instruction add = makeBin(Op::Add, 3, 1, 2);
+    EXPECT_TRUE(add.reads(1));
+    EXPECT_TRUE(add.reads(2));
+    EXPECT_FALSE(add.reads(3));
+    EXPECT_TRUE(add.writes(3));
+    EXPECT_EQ(add.numSrcs(), 2);
+    EXPECT_EQ(add.toString(), "v3 = add v1, v2");
+
+    Instruction st = makeStore(1, 2, 8);
+    EXPECT_FALSE(writesDst(st.op));
+    EXPECT_EQ(st.toString(), "st v1, [v2 + 8]");
+
+    Instruction ck = makeCkpt(5);
+    EXPECT_EQ(ck.skind, StoreKind::Ckpt);
+    EXPECT_EQ(ck.toString(), "ckpt v5");
+
+    EXPECT_EQ(makeBinImm(Op::Shl, 1, 0, 3).toString(),
+              "v1 = shl v0, 3");
+    EXPECT_EQ(makeBoundary(7).toString(), "rgn #7");
+}
+
+TEST(Opcode, Traits)
+{
+    EXPECT_TRUE(isBinary(Op::Add));
+    EXPECT_TRUE(isBinary(Op::CmpLe));
+    EXPECT_FALSE(isBinary(Op::Load));
+    EXPECT_TRUE(isTerminator(Op::Halt));
+    EXPECT_FALSE(isTerminator(Op::Store));
+    EXPECT_TRUE(writesDst(Op::Li));
+    EXPECT_FALSE(writesDst(Op::Ckpt));
+    EXPECT_TRUE(isMemOp(Op::Store));
+    EXPECT_FALSE(isMemOp(Op::Ckpt));
+    EXPECT_GT(exLatency(Op::Div), exLatency(Op::Mul));
+    EXPECT_GT(exLatency(Op::Mul), exLatency(Op::Add));
+}
+
+TEST(BasicBlock, InsertEraseTerminator)
+{
+    Function fn("f");
+    BlockId b = fn.addBlock("b");
+    BasicBlock &blk = fn.block(b);
+    EXPECT_FALSE(blk.hasTerminator());
+    blk.append(makeLi(fn.newReg(), 1));
+    blk.append(makeHalt());
+    EXPECT_TRUE(blk.hasTerminator());
+    EXPECT_EQ(blk.terminator().op, Op::Halt);
+    blk.insertAt(0, makeLi(fn.newReg(), 2));
+    EXPECT_EQ(blk.size(), 3u);
+    EXPECT_EQ(blk.insts()[0].imm, 2);
+    blk.eraseAt(0);
+    EXPECT_EQ(blk.insts()[0].imm, 1);
+}
+
+TEST(Layout, CheckpointSlots)
+{
+    EXPECT_EQ(layout::ckptSlot(0, 0), layout::kCkptBase);
+    EXPECT_EQ(layout::ckptSlot(0, 1), layout::kCkptBase + 8);
+    // Slots of different registers never collide.
+    EXPECT_GE(layout::ckptSlot(1, 0),
+              layout::ckptSlot(0, layout::kQuarantineColor) + 8);
+    EXPECT_EQ(layout::kSlotsPerReg, layout::kNumColors + 1);
+}
+
+TEST(Module, DataObjectsStableAndAligned)
+{
+    Module m("m");
+    DataObject &a = m.addData("a", 3, {1, 2, 3});
+    DataObject &b = m.addData("b", 100);
+    EXPECT_EQ(a.base % 64, 0u);
+    EXPECT_EQ(b.base % 64, 0u);
+    EXPECT_GE(b.base, a.base + 3 * 8);
+    // References must stay valid after more allocations.
+    for (int i = 0; i < 50; i++)
+        m.addData("x" + std::to_string(i), 8);
+    EXPECT_EQ(a.init.size(), 3u);
+    EXPECT_EQ(a.name, "a");
+}
+
+TEST(Verifier, AcceptsWellFormed)
+{
+    auto mod = makeSumModule();
+    EXPECT_TRUE(verifyFunction(*mod->functions()[0]).empty());
+}
+
+TEST(Verifier, CatchesMissingTerminator)
+{
+    Function fn("f");
+    BlockId b = fn.addBlock("b");
+    fn.block(b).append(makeLi(fn.newReg(), 1));
+    auto problems = verifyFunction(fn);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesBadSuccessorArity)
+{
+    Function fn("f");
+    BlockId b = fn.addBlock("b");
+    fn.block(b).append(makeJmp());
+    // Jmp with zero successors.
+    EXPECT_FALSE(verifyFunction(fn).empty());
+}
+
+TEST(Verifier, CatchesOutOfRangeRegister)
+{
+    Function fn("f");
+    BlockId b = fn.addBlock("b");
+    Reg r = fn.newReg();
+    fn.block(b).append(makeBin(Op::Add, r, 99, r));
+    fn.block(b).append(makeHalt());
+    EXPECT_FALSE(verifyFunction(fn).empty());
+}
+
+TEST(Cfg, RpoAndPreds)
+{
+    auto mod = makeSumModule();
+    const Function &fn = *mod->functions()[0];
+    Cfg cfg(fn);
+    ASSERT_EQ(cfg.rpo().size(), 3u);
+    EXPECT_EQ(cfg.rpo()[0], fn.entry());
+    // body has two preds: entry and itself.
+    EXPECT_EQ(cfg.preds(1).size(), 2u);
+    EXPECT_TRUE(cfg.reachable(2));
+}
+
+TEST(Cfg, UnreachableBlockExcluded)
+{
+    Function fn("f");
+    BlockId a = fn.addBlock("a");
+    BlockId dead = fn.addBlock("dead");
+    fn.block(a).append(makeHalt());
+    fn.block(dead).append(makeHalt());
+    Cfg cfg(fn);
+    EXPECT_TRUE(cfg.reachable(a));
+    EXPECT_FALSE(cfg.reachable(dead));
+    EXPECT_EQ(cfg.rpo().size(), 1u);
+}
+
+TEST(Dominators, LoopDominance)
+{
+    auto mod = makeSumModule();
+    const Function &fn = *mod->functions()[0];
+    Cfg cfg(fn);
+    DominatorTree dt(cfg);
+    EXPECT_EQ(dt.idom(0), 0u);
+    EXPECT_EQ(dt.idom(1), 0u);
+    EXPECT_EQ(dt.idom(2), 1u);
+    EXPECT_TRUE(dt.dominates(0, 2));
+    EXPECT_TRUE(dt.dominates(1, 1));
+    EXPECT_FALSE(dt.dominates(2, 1));
+}
+
+TEST(Dominators, Diamond)
+{
+    Function fn("f");
+    BlockId a = fn.addBlock("a");
+    BlockId l = fn.addBlock("l");
+    BlockId r = fn.addBlock("r");
+    BlockId j = fn.addBlock("j");
+    Reg c = fn.newReg();
+    fn.block(a).append(makeLi(c, 1));
+    fn.block(a).append(makeBr(c));
+    fn.block(a).succs() = {l, r};
+    fn.block(l).append(makeJmp());
+    fn.block(l).succs() = {j};
+    fn.block(r).append(makeJmp());
+    fn.block(r).succs() = {j};
+    fn.block(j).append(makeHalt());
+    Cfg cfg(fn);
+    DominatorTree dt(cfg);
+    EXPECT_EQ(dt.idom(j), a);
+    EXPECT_FALSE(dt.dominates(l, j));
+    EXPECT_FALSE(dt.dominates(r, j));
+}
+
+TEST(LoopInfo, FindsNaturalLoop)
+{
+    auto mod = makeSumModule();
+    const Function &fn = *mod->functions()[0];
+    Cfg cfg(fn);
+    DominatorTree dt(cfg);
+    LoopInfo li(cfg, dt);
+    ASSERT_EQ(li.loops().size(), 1u);
+    const Loop &loop = li.loops()[0];
+    EXPECT_EQ(loop.header, 1u);
+    EXPECT_EQ(loop.preheader, 0u);
+    EXPECT_EQ(loop.exit, 2u);
+    EXPECT_EQ(loop.depth, 1);
+    EXPECT_EQ(li.depth(1), 1);
+    EXPECT_EQ(li.depth(0), 0);
+    EXPECT_EQ(li.innermostLoop(1), 0);
+    EXPECT_EQ(li.innermostLoop(2), -1);
+}
+
+TEST(LoopInfo, NestedLoops)
+{
+    // entry -> outer(header) -> inner(header+latch) -> outer latch
+    Function fn("f");
+    BlockId e = fn.addBlock("e");
+    BlockId oh = fn.addBlock("oh");
+    BlockId ih = fn.addBlock("ih");
+    BlockId ol = fn.addBlock("ol");
+    BlockId x = fn.addBlock("x");
+    Reg c = fn.newReg();
+    fn.block(e).append(makeLi(c, 1));
+    fn.block(e).append(makeJmp());
+    fn.block(e).succs() = {oh};
+    fn.block(oh).append(makeJmp());
+    fn.block(oh).succs() = {ih};
+    fn.block(ih).append(makeBr(c));
+    fn.block(ih).succs() = {ih, ol};
+    fn.block(ol).append(makeBr(c));
+    fn.block(ol).succs() = {oh, x};
+    fn.block(x).append(makeHalt());
+
+    Cfg cfg(fn);
+    DominatorTree dt(cfg);
+    LoopInfo li(cfg, dt);
+    ASSERT_EQ(li.loops().size(), 2u);
+    EXPECT_EQ(li.depth(ih), 2);
+    EXPECT_EQ(li.depth(oh), 1);
+    int inner = li.innermostLoop(ih);
+    EXPECT_EQ(li.loops()[static_cast<size_t>(inner)].header, ih);
+}
+
+TEST(RegSet, BasicOps)
+{
+    RegSet s(100);
+    EXPECT_FALSE(s.contains(5));
+    s.insert(5);
+    s.insert(70);
+    EXPECT_TRUE(s.contains(5));
+    EXPECT_TRUE(s.contains(70));
+    EXPECT_EQ(s.count(), 2u);
+    s.erase(5);
+    EXPECT_FALSE(s.contains(5));
+    auto v = s.toVector();
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 70u);
+
+    RegSet t(100);
+    t.insert(3);
+    EXPECT_TRUE(s.unionWith(t));
+    EXPECT_FALSE(s.unionWith(t));
+    s.subtract(t);
+    EXPECT_FALSE(s.contains(3));
+}
+
+TEST(Liveness, LoopCarriedValues)
+{
+    auto mod = makeSumModule();
+    const Function &fn = *mod->functions()[0];
+    Cfg cfg(fn);
+    Liveness live(cfg);
+    // i(v0), sum(v1) and base(v2) are live around the loop.
+    EXPECT_TRUE(live.liveIn(1).contains(0));
+    EXPECT_TRUE(live.liveIn(1).contains(1));
+    EXPECT_TRUE(live.liveIn(1).contains(2));
+    // sum is live out of the loop (stored in exit); i is not.
+    EXPECT_TRUE(live.liveIn(2).contains(1));
+    EXPECT_FALSE(live.liveIn(2).contains(0));
+    // Nothing is live into the entry.
+    EXPECT_EQ(live.liveIn(0).count(), 0u);
+}
+
+TEST(Liveness, LiveBeforeWalksBackward)
+{
+    auto mod = makeSumModule();
+    const Function &fn = *mod->functions()[0];
+    Cfg cfg(fn);
+    Liveness live(cfg);
+    const BasicBlock &body = fn.block(1);
+    // Before the last instruction (br), the condition reg is live.
+    Reg cond = body.terminator().src0;
+    RegSet before_term = live.liveBefore(1, body.size() - 1);
+    EXPECT_TRUE(before_term.contains(cond));
+    // At index 0 the condition temp of this iteration is not yet
+    // defined and thus not live.
+    RegSet at_top = live.liveBefore(1, 0);
+    EXPECT_FALSE(at_top.contains(cond));
+}
+
+TEST(Interpreter, ComputesSum)
+{
+    auto mod = makeSumModule();
+    const Function &fn = *mod->functions()[0];
+    InterpResult r = interpret(*mod, fn);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    uint64_t out_base = mod->data()[1].base;
+    EXPECT_EQ(r.memory.read(out_base), 55);
+    EXPECT_EQ(r.stats.loads, 10u);
+    EXPECT_EQ(r.stats.storesApp, 1u);
+    EXPECT_EQ(r.stats.branches, 10u);
+}
+
+TEST(Interpreter, StepLimitStops)
+{
+    Function fn("spin");
+    BlockId b = fn.addBlock("b");
+    fn.block(b).append(makeJmp());
+    fn.block(b).succs() = {b};
+    Module m("m");
+    InterpResult r = interpret(m, fn, 100);
+    EXPECT_EQ(r.reason, StopReason::StepLimit);
+}
+
+TEST(Interpreter, AluSemantics)
+{
+    Module m("m");
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    DataObject &out = m.addData("out", 12);
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg x = b.li(-7);
+    Reg y = b.li(3);
+    int64_t slot = 0;
+    auto emit = [&](Op op) {
+        Reg d = b.bin(op, x, y);
+        b.store(d, ob, 8 * slot++);
+    };
+    emit(Op::Add);
+    emit(Op::Sub);
+    emit(Op::Mul);
+    emit(Op::Div);
+    emit(Op::Shr);
+    emit(Op::And);
+    emit(Op::Or);
+    emit(Op::Xor);
+    emit(Op::CmpEq);
+    emit(Op::CmpNe);
+    emit(Op::CmpLt);
+    emit(Op::CmpLe);
+    b.halt();
+
+    InterpResult r = interpret(m, fn);
+    int64_t expect[] = {-4, -10, -21, -2, -1, 1, -5, -6, 0, 1, 1, 1};
+    for (int i = 0; i < 12; i++)
+        EXPECT_EQ(r.memory.read(out.base + 8 * i), expect[i])
+            << "slot " << i;
+}
+
+TEST(Interpreter, DivByZeroYieldsZero)
+{
+    Module m("m");
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    DataObject &out = m.addData("out", 1);
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg x = b.li(5);
+    Reg z = b.li(0);
+    Reg d = b.bin(Op::Div, x, z);
+    b.store(d, ob);
+    b.halt();
+    InterpResult r = interpret(m, fn);
+    EXPECT_EQ(r.memory.read(out.base), 0);
+}
+
+TEST(Interpreter, RegionSizeAccounting)
+{
+    Module m("m");
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    fn.block(e).append(makeBoundary(0));
+    Reg x = b.li(1);
+    Reg y = b.binImm(Op::Add, x, 1);
+    fn.block(e).append(makeBoundary(1));
+    Reg z = b.binImm(Op::Add, y, 1);
+    (void)z;
+    b.halt();
+    InterpResult r = interpret(m, fn);
+    EXPECT_EQ(r.stats.boundaries, 2u);
+    // First region: li + add = 2 instructions.
+    EXPECT_DOUBLE_EQ(r.stats.regionSize.max(), 2.0);
+}
+
+TEST(MemoryImage, HashChangesWithContent)
+{
+    Module m("m");
+    m.addData("a", 2, {1, 2});
+    MemoryImage img1;
+    img1.loadModule(m);
+    MemoryImage img2;
+    img2.loadModule(m);
+    EXPECT_EQ(img1.dataHash(m), img2.dataHash(m));
+    img2.write(m.data()[0].base, 99);
+    EXPECT_NE(img1.dataHash(m), img2.dataHash(m));
+}
+
+TEST(MemoryImage, UnwrittenReadsZero)
+{
+    MemoryImage img;
+    EXPECT_EQ(img.read(0x1000), 0);
+    img.write(0x1000, 5);
+    EXPECT_EQ(img.read(0x1000), 5);
+    auto range = img.dumpRange(0x1000, 2);
+    EXPECT_EQ(range[0], 5);
+    EXPECT_EQ(range[1], 0);
+}
+
+TEST(Printer, DumpsFunctionAndModule)
+{
+    auto mod = makeSumModule();
+    std::string f = printFunction(*mod->functions()[0]);
+    EXPECT_NE(f.find("func main"), std::string::npos);
+    EXPECT_NE(f.find("ld ["), std::string::npos);
+    std::string m = printModule(*mod);
+    EXPECT_NE(m.find("data A"), std::string::npos);
+}
+
+} // namespace
+} // namespace turnpike

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for the machine layer: lowering (linearization, branch
+ * targets, region metadata, recovery programs), the machine
+ * verifier, the disassembler, and the functional interpreter —
+ * cross-checked against the IR interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/interpreter.hh"
+#include "machine/minterp.hh"
+#include "machine/mprinter.hh"
+#include "machine/mverifier.hh"
+#include "passes/checkpoint_pruning.hh"
+#include "passes/eager_checkpointing.hh"
+#include "passes/lowering.hh"
+#include "passes/region_formation.hh"
+#include "passes/register_allocation.hh"
+
+namespace turnpike {
+namespace {
+
+/** Post-RA diamond function with regions and checkpoints. */
+std::unique_ptr<Module>
+makeLoweredInput(Function **out_fn)
+{
+    auto mod = std::make_unique<Module>("m");
+    DataObject &out = mod->addData("out", 4, {});
+    Function &fn = mod->addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    BlockId l = b.newBlock("l");
+    BlockId r = b.newBlock("r");
+    BlockId j = b.newBlock("j");
+    b.setBlock(e);
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg x = b.li(7);
+    Reg c = b.binImm(Op::CmpLt, x, 5);
+    b.br(c, l, r);
+    b.setBlock(l);
+    Reg a1 = b.binImm(Op::Add, x, 100);
+    b.store(a1, ob);
+    b.jmp(j);
+    b.setBlock(r);
+    Reg a2 = b.binImm(Op::Mul, x, 3);
+    b.store(a2, ob, 8);
+    b.jmp(j);
+    b.setBlock(j);
+    Reg fin = b.binImm(Op::Add, x, 1);
+    b.store(fin, ob, 16);
+    b.halt();
+
+    RaOptions ra;
+    runRegisterAllocation(fn, ra);
+    RegionFormationOptions rf;
+    rf.storeBudget = 1;
+    runRegionFormation(fn, rf);
+    runEagerCheckpointing(fn);
+    *out_fn = &fn;
+    return mod;
+}
+
+TEST(Lowering, ProducesVerifiableMachineCode)
+{
+    Function *fn;
+    auto mod = makeLoweredInput(&fn);
+    MachineFunction mf = lowerFunction(*fn, PruneResult());
+    EXPECT_TRUE(verifyMachineFunction(mf).empty());
+    EXPECT_EQ(mf.code()[0].op, Op::Boundary);
+    EXPECT_GT(mf.regions().size(), 1u);
+}
+
+TEST(Lowering, MachineMatchesIrInterpreter)
+{
+    Function *fn;
+    auto mod = makeLoweredInput(&fn);
+    InterpResult ir = interpret(*mod, *fn);
+    MachineFunction mf = lowerFunction(*fn, PruneResult());
+    InterpResult mr = interpretMachine(*mod, mf);
+    EXPECT_EQ(mr.reason, StopReason::Halted);
+    EXPECT_EQ(ir.memory.dataHash(*mod), mr.memory.dataHash(*mod));
+    EXPECT_EQ(ir.stats.storesApp, mr.stats.storesApp);
+}
+
+TEST(Lowering, BranchTargetsResolve)
+{
+    Function *fn;
+    auto mod = makeLoweredInput(&fn);
+    MachineFunction mf = lowerFunction(*fn, PruneResult());
+    for (size_t pc = 0; pc < mf.code().size(); pc++) {
+        const MInstr &mi = mf.code()[pc];
+        if (mi.op == Op::Br || mi.op == Op::Jmp) {
+            EXPECT_LT(mi.target, mf.code().size());
+            EXPECT_NE(mi.target, pc);
+        }
+    }
+}
+
+TEST(Lowering, RegionMetadataConsistent)
+{
+    Function *fn;
+    auto mod = makeLoweredInput(&fn);
+    MachineFunction mf = lowerFunction(*fn, PruneResult());
+    for (size_t rid = 0; rid < mf.regions().size(); rid++) {
+        const RegionMeta &rm = mf.regions()[rid];
+        ASSERT_LT(rm.entryPc, mf.code().size());
+        EXPECT_EQ(mf.code()[rm.entryPc].op, Op::Boundary);
+        EXPECT_EQ(static_cast<uint32_t>(mf.code()[rm.entryPc].imm),
+                  rid);
+        // Every live-in is restored by some CommitReg (fp always).
+        for (Reg r : rm.liveIns) {
+            bool restored = false;
+            for (const RecoveryOp &op : rm.recovery)
+                if (op.kind == RecoveryOp::Kind::CommitReg &&
+                    op.reg == r)
+                    restored = true;
+            EXPECT_TRUE(restored) << "live-in r" << r
+                                  << " of region " << rid;
+        }
+        // fp is rematerialized first.
+        ASSERT_GE(rm.recovery.size(), 2u);
+        EXPECT_EQ(rm.recovery[0].kind, RecoveryOp::Kind::Li);
+        EXPECT_EQ(rm.recovery[1].kind, RecoveryOp::Kind::CommitReg);
+        EXPECT_EQ(rm.recovery[1].reg, kFramePointer);
+    }
+}
+
+TEST(Lowering, GovernedRecipeSplicedIntoRecovery)
+{
+    // Region 1's live-in d gets a reconstruction recipe instead of
+    // a checkpoint load.
+    Module m("m");
+    DataObject &out = m.addData("out", 2);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    fn.block(e).append(makeBoundary(0));
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg k = b.li(17);
+    Reg d = b.binImm(Op::Add, k, 9);
+    b.store(k, ob, 0);
+    fn.block(e).append(makeBoundary(1));
+    b.store(d, ob, 8);
+    Reg s = b.bin(Op::Add, k, d);
+    b.store(s, ob, 0);
+    b.halt();
+    fn.setNumRegions(2);
+    runEagerCheckpointing(fn);
+    PruneResult pr = runCheckpointPruning(fn);
+    ASSERT_GT(pr.governed.count({1u, d}), 0u);
+
+    MachineFunction mf = lowerFunction(fn, pr);
+    const RegionMeta &rm = mf.region(1);
+    bool has_bin = false;
+    for (const RecoveryOp &op : rm.recovery)
+        if (op.kind == RecoveryOp::Kind::Bin && op.op == Op::Add &&
+            op.bImm && op.imm == 9)
+            has_bin = true;
+    EXPECT_TRUE(has_bin) << "recipe not spliced";
+}
+
+TEST(Lowering, CodeSizeAccounting)
+{
+    Function *fn;
+    auto mod = makeLoweredInput(&fn);
+    MachineFunction mf = lowerFunction(*fn, PruneResult());
+    // Boundaries are free; everything else is 4 bytes.
+    uint64_t expect = 0;
+    uint64_t ckpt_bytes = 0;
+    for (const MInstr &mi : mf.code()) {
+        expect += mi.encodedBytes();
+        if (mi.op == Op::Ckpt)
+            ckpt_bytes += 4;
+    }
+    EXPECT_EQ(mf.codeBytes(), expect);
+    EXPECT_EQ(mf.baselineBytes(), expect - ckpt_bytes);
+    EXPECT_GT(mf.recoveryBytes(), 0u);
+}
+
+TEST(MachineVerifier, CatchesBadTargetAndMissingHalt)
+{
+    MachineFunction mf("bad");
+    MInstr boundary;
+    boundary.op = Op::Boundary;
+    boundary.imm = 0;
+    mf.code().push_back(boundary);
+    MInstr jmp;
+    jmp.op = Op::Jmp;
+    jmp.target = 99;
+    mf.code().push_back(jmp);
+    mf.regions().resize(1);
+    mf.regions()[0].entryPc = 0;
+    auto problems = verifyMachineFunction(mf);
+    EXPECT_GE(problems.size(), 2u); // bad target + no halt
+}
+
+TEST(MachineVerifier, RequiresLeadingBoundary)
+{
+    MachineFunction mf("bad");
+    MInstr halt;
+    halt.op = Op::Halt;
+    mf.code().push_back(halt);
+    auto problems = verifyMachineFunction(mf);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("boundary"), std::string::npos);
+}
+
+TEST(MachinePrinter, DisassemblesBranchesAndRecovery)
+{
+    Function *fn;
+    auto mod = makeLoweredInput(&fn);
+    MachineFunction mf = lowerFunction(*fn, PruneResult());
+    std::string text = printMachineFunction(mf);
+    EXPECT_NE(text.find("mfunc"), std::string::npos);
+    EXPECT_NE(text.find("->"), std::string::npos);
+    EXPECT_NE(text.find("region"), std::string::npos);
+    EXPECT_NE(text.find("commit"), std::string::npos);
+}
+
+TEST(EvalAlu, MatchesSemantics)
+{
+    EXPECT_EQ(evalAlu(Op::Add, 2, 3), 5);
+    EXPECT_EQ(evalAlu(Op::Sub, 2, 3), -1);
+    EXPECT_EQ(evalAlu(Op::Div, 7, 0), 0);
+    EXPECT_EQ(evalAlu(Op::Shl, 1, 65), 2); // shift masked to 6 bits
+    EXPECT_EQ(evalAlu(Op::Shr, -8, 1), -4);
+    EXPECT_EQ(evalAlu(Op::CmpLe, 3, 3), 1);
+    EXPECT_EQ(evalAlu(Op::Mov, 9, 1), 9);
+}
+
+TEST(MachineInterp, CountsBoundariesSeparately)
+{
+    Function *fn;
+    auto mod = makeLoweredInput(&fn);
+    MachineFunction mf = lowerFunction(*fn, PruneResult());
+    InterpResult r = interpretMachine(*mod, mf);
+    EXPECT_GT(r.stats.boundaries, 0u);
+    // Boundaries are not counted as instructions.
+    uint64_t real = 0;
+    for (const MInstr &mi : mf.code())
+        if (mi.op != Op::Boundary)
+            real++;
+    EXPECT_LE(r.stats.insts, real + 1);
+}
+
+} // namespace
+} // namespace turnpike

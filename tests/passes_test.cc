@@ -1,0 +1,964 @@
+/**
+ * @file
+ * Unit tests for the compiler passes: DCE, strength reduction, LIVM,
+ * region formation (+RegionMap and budget repair), register
+ * allocation, eager checkpointing, pruning, sinking, scheduling and
+ * lowering. Semantic preservation is checked against the reference
+ * interpreter throughout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/cfg.hh"
+#include "ir/interpreter.hh"
+#include "ir/liveness.hh"
+#include "ir/verifier.hh"
+#include "machine/minstr.hh"
+#include "passes/checkpoint_pruning.hh"
+#include "passes/checkpoint_sinking.hh"
+#include "passes/eager_checkpointing.hh"
+#include "passes/induction_variable_merging.hh"
+#include "passes/instruction_scheduling.hh"
+#include "passes/loop_utils.hh"
+#include "passes/pass_manager.hh"
+#include "passes/region_formation.hh"
+#include "passes/register_allocation.hh"
+#include "passes/strength_reduction.hh"
+
+namespace turnpike {
+namespace {
+
+/** Loop storing mixed values into A, as the workload generator
+ *  emits: per-use address computation base + (i << 3). */
+std::unique_ptr<Module>
+makeArrayLoop(int64_t trips = 20)
+{
+    auto mod = std::make_unique<Module>("arr");
+    DataObject &a = mod->addData("A", 64);
+    DataObject &src = mod->addData("B", 64, {5, 7, 9});
+    Function &fn = mod->addFunction("main");
+    IRBuilder b(fn);
+    BlockId entry = b.newBlock("entry");
+    BlockId body = b.newBlock("body");
+    BlockId exit = b.newBlock("exit");
+
+    b.setBlock(entry);
+    Reg i = b.reg();
+    b.liTo(i, 0);
+    Reg base_a = b.li(static_cast<int64_t>(a.base));
+    Reg base_b = b.li(static_cast<int64_t>(src.base));
+    b.jmp(body);
+
+    b.setBlock(body);
+    Reg t1 = b.binImm(Op::Shl, i, 3);
+    Reg addr_b = b.add(base_b, t1);
+    Reg v = b.load(addr_b);
+    Reg v2 = b.binImm(Op::Mul, v, 3);
+    Reg t2 = b.binImm(Op::Shl, i, 3);
+    Reg addr_a = b.add(base_a, t2);
+    b.store(v2, addr_a);
+    b.binImmTo(Op::Add, i, i, 1);
+    Reg c = b.binImm(Op::CmpLt, i, trips);
+    b.br(c, body, exit);
+
+    b.setBlock(exit);
+    b.halt();
+    return mod;
+}
+
+uint64_t
+goldenHash(const Module &mod)
+{
+    InterpResult r = interpret(mod, *mod.functions()[0]);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    return r.memory.dataHash(mod);
+}
+
+// ---------------------------------------------------------------- DCE
+
+TEST(Dce, RemovesDeadChainsKeepsEffects)
+{
+    Module m("m");
+    DataObject &out = m.addData("out", 1);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    Reg live = b.li(3);
+    Reg dead1 = b.li(4);
+    Reg dead2 = b.binImm(Op::Add, dead1, 1); // chain
+    (void)dead2;
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    b.store(live, ob);
+    b.halt();
+
+    uint64_t before = goldenHash(m);
+    uint64_t removed = runDeadCodeElimination(fn);
+    EXPECT_EQ(removed, 2u);
+    EXPECT_EQ(goldenHash(m), before);
+}
+
+TEST(Dce, KeepsCkptAndBoundary)
+{
+    Module m("m");
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    Reg x = b.li(3);
+    fn.block(e).append(makeCkpt(x));
+    fn.block(e).append(makeBoundary(0));
+    b.halt();
+    EXPECT_EQ(runDeadCodeElimination(fn), 0u);
+    EXPECT_EQ(fn.block(e).size(), 4u);
+}
+
+// --------------------------------------------- strength reduction
+
+TEST(StrengthReduction, CreatesPointerIv)
+{
+    auto mod = makeArrayLoop();
+    Function &fn = *mod->functions()[0];
+    uint64_t before = goldenHash(*mod);
+    uint64_t created = runStrengthReduction(fn);
+    EXPECT_EQ(created, 2u); // one pointer per array
+    verifyOrDie(fn);
+    EXPECT_EQ(goldenHash(*mod), before);
+
+    // The loop body must no longer compute shl for addressing.
+    int shl_count = 0;
+    for (const Instruction &inst : fn.block(1).insts())
+        if (inst.op == Op::Shl)
+            shl_count++;
+    EXPECT_EQ(shl_count, 0);
+    // And there are now pointer increments (add reg, reg, #8).
+    int ptr_incs = 0;
+    for (const Instruction &inst : fn.block(1).insts())
+        if (inst.op == Op::Add && inst.src0 == inst.dst &&
+            inst.src1 == kNoReg && inst.imm == 8)
+            ptr_incs++;
+    EXPECT_EQ(ptr_incs, 2);
+}
+
+TEST(StrengthReduction, IgnoresLoopsWithoutPattern)
+{
+    Module m("m");
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    BlockId body = b.newBlock("body");
+    BlockId x = b.newBlock("x");
+    b.setBlock(e);
+    Reg i = b.reg();
+    b.liTo(i, 0);
+    b.jmp(body);
+    b.setBlock(body);
+    b.binImmTo(Op::Add, i, i, 1);
+    Reg c = b.binImm(Op::CmpLt, i, 5);
+    b.br(c, body, x);
+    b.setBlock(x);
+    b.halt();
+    EXPECT_EQ(runStrengthReduction(fn), 0u);
+}
+
+// ------------------------------------------------------------- LIVM
+
+TEST(Livm, MergesDerivedPointerIv)
+{
+    auto mod = makeArrayLoop();
+    Function &fn = *mod->functions()[0];
+    runStrengthReduction(fn);
+    uint64_t before = goldenHash(*mod);
+
+    uint64_t merged = runInductionVariableMerging(fn);
+    runDeadCodeElimination(fn);
+    verifyOrDie(fn);
+    EXPECT_GE(merged, 1u);
+    EXPECT_EQ(goldenHash(*mod), before);
+}
+
+TEST(Livm, BasicIvAnalysis)
+{
+    auto mod = makeArrayLoop();
+    Function &fn = *mod->functions()[0];
+    runStrengthReduction(fn);
+    Cfg cfg(fn);
+    DominatorTree dt(cfg);
+    LoopInfo li(cfg, dt);
+    ASSERT_EQ(li.loops().size(), 1u);
+    auto ivs = findBasicIvs(fn, li.loops()[0]);
+    // i plus the two pointer IVs.
+    EXPECT_EQ(ivs.size(), 3u);
+    int step8 = 0;
+    for (const auto &iv : ivs)
+        if (iv.step == 8)
+            step8++;
+    EXPECT_EQ(step8, 2);
+}
+
+TEST(Livm, RespectsLiveOutIvs)
+{
+    // An IV whose final value is used after the loop must not merge.
+    Module m("m");
+    DataObject &out = m.addData("out", 1);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    BlockId body = b.newBlock("body");
+    BlockId x = b.newBlock("x");
+    b.setBlock(e);
+    Reg i = b.reg();
+    b.liTo(i, 0);
+    Reg p = b.reg();
+    b.liTo(p, 100);
+    b.jmp(body);
+    b.setBlock(body);
+    b.binImmTo(Op::Add, i, i, 1);
+    b.binImmTo(Op::Add, p, p, 2);
+    Reg c = b.binImm(Op::CmpLt, i, 5);
+    b.br(c, body, x);
+    b.setBlock(x);
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    b.store(p, ob); // p live out of the loop
+    b.halt();
+
+    uint64_t before = goldenHash(m);
+    runInductionVariableMerging(fn);
+    EXPECT_EQ(goldenHash(m), before);
+    // p's increment must still exist (merge rejected).
+    bool has_p_inc = false;
+    for (const Instruction &inst : fn.block(body).insts())
+        if (inst.op == Op::Add && inst.dst == p && inst.imm == 2)
+            has_p_inc = true;
+    EXPECT_TRUE(has_p_inc);
+}
+
+TEST(LoopUtils, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0);
+    EXPECT_EQ(log2Exact(8), 3);
+    EXPECT_EQ(log2Exact(6), -1);
+    EXPECT_EQ(log2Exact(0), -1);
+    EXPECT_EQ(log2Exact(-4), -1);
+}
+
+// -------------------------------------------------- region formation
+
+TEST(RegionFormation, EntryBoundaryAndLoopHeader)
+{
+    auto mod = makeArrayLoop();
+    Function &fn = *mod->functions()[0];
+    RegionFormationOptions opts;
+    opts.storeBudget = 2;
+    uint32_t n = runRegionFormation(fn, opts);
+    EXPECT_GE(n, 2u);
+    EXPECT_EQ(fn.block(fn.entry()).insts()[0].op, Op::Boundary);
+    EXPECT_EQ(fn.block(1).insts()[0].op, Op::Boundary);
+    EXPECT_EQ(fn.numRegions(), n);
+}
+
+TEST(RegionFormation, BudgetCutsStraightLine)
+{
+    Module m("m");
+    DataObject &out = m.addData("out", 8);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg v = b.li(1);
+    for (int i = 0; i < 6; i++)
+        b.store(v, ob, 8 * i);
+    b.halt();
+
+    RegionFormationOptions opts;
+    opts.storeBudget = 2;
+    runRegionFormation(fn, opts);
+
+    // No region segment may hold more than 2 stores.
+    uint32_t count = 0, max_count = 0;
+    for (const Instruction &inst : fn.block(e).insts()) {
+        if (inst.op == Op::Boundary)
+            count = 0;
+        else if (inst.op == Op::Store)
+            max_count = std::max(max_count, ++count);
+    }
+    EXPECT_LE(max_count, 2u);
+}
+
+TEST(RegionFormation, StoreFreeLoopKeptWholeOnlyWithFlag)
+{
+    // Reduction loop: body has no stores.
+    auto make = [] {
+        auto mod = std::make_unique<Module>("m");
+        DataObject &a = mod->addData("A", 32, {1, 2, 3});
+        DataObject &out = mod->addData("out", 1);
+        Function &fn = mod->addFunction("f");
+        IRBuilder b(fn);
+        BlockId e = b.newBlock("e");
+        BlockId body = b.newBlock("body");
+        BlockId x = b.newBlock("x");
+        b.setBlock(e);
+        Reg i = b.reg();
+        b.liTo(i, 0);
+        Reg acc = b.reg();
+        b.liTo(acc, 0);
+        Reg base = b.li(static_cast<int64_t>(a.base));
+        b.jmp(body);
+        b.setBlock(body);
+        Reg t = b.binImm(Op::Shl, i, 3);
+        Reg p = b.add(base, t);
+        Reg v = b.load(p);
+        b.binTo(Op::Add, acc, acc, v);
+        b.binImmTo(Op::Add, i, i, 1);
+        Reg c = b.binImm(Op::CmpLt, i, 8);
+        b.br(c, body, x);
+        b.setBlock(x);
+        Reg ob = b.li(static_cast<int64_t>(out.base));
+        b.store(acc, ob);
+        b.halt();
+        return mod;
+    };
+
+    auto with_flag = make();
+    RegionFormationOptions on;
+    on.storeBudget = 2;
+    on.keepStoreFreeLoopsWhole = true;
+    runRegionFormation(*with_flag->functions()[0], on);
+    EXPECT_NE(with_flag->functions()[0]->block(1).insts()[0].op,
+              Op::Boundary);
+
+    auto without_flag = make();
+    RegionFormationOptions off;
+    off.storeBudget = 2;
+    runRegionFormation(*without_flag->functions()[0], off);
+    EXPECT_EQ(without_flag->functions()[0]->block(1).insts()[0].op,
+              Op::Boundary);
+}
+
+TEST(RegionMap, TracksRegionsAndMixedJoins)
+{
+    Module m("m");
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId a = b.newBlock("a");
+    BlockId l = b.newBlock("l");
+    BlockId r = b.newBlock("r");
+    BlockId j = b.newBlock("j");
+    b.setBlock(a);
+    fn.block(a).append(makeBoundary(0));
+    Reg c = b.li(1);
+    b.br(c, l, r);
+    b.setBlock(l);
+    fn.block(l).append(makeBoundary(1));
+    b.jmp(j);
+    b.setBlock(r);
+    b.jmp(j);
+    b.setBlock(j);
+    b.halt();
+
+    RegionMap rmap(fn);
+    EXPECT_EQ(rmap.regionAtExit(a), 0u);
+    EXPECT_EQ(rmap.regionAtExit(l), 1u);
+    EXPECT_EQ(rmap.regionAtExit(r), 0u);
+    EXPECT_EQ(rmap.regionAtEntry(j), kMixedRegion);
+    EXPECT_EQ(rmap.numRegions(), 2u);
+
+    BlockId bb;
+    size_t idx;
+    rmap.boundaryPos(1, bb, idx);
+    EXPECT_EQ(bb, l);
+    EXPECT_EQ(idx, 0u);
+}
+
+TEST(RegionRepair, SplitsOverfullRegion)
+{
+    Module m("m");
+    DataObject &out = m.addData("out", 8);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    fn.block(e).append(makeBoundary(0));
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg v = b.li(1);
+    for (int i = 0; i < 6; i++)
+        b.store(v, ob, 8 * i);
+    b.halt();
+    fn.setNumRegions(1);
+
+    int repairs = 0;
+    while (repairRegionBudget(fn, 4) && repairs < 10)
+        repairs++;
+    EXPECT_GE(repairs, 1);
+
+    uint32_t count = 0, max_count = 0;
+    for (const Instruction &inst : fn.block(e).insts()) {
+        if (inst.op == Op::Boundary)
+            count = 0;
+        else if (inst.op == Op::Store)
+            max_count = std::max(max_count, ++count);
+    }
+    EXPECT_LE(max_count, 4u);
+}
+
+// -------------------------------------------------- register allocation
+
+TEST(RegisterAllocation, PreservesSemantics)
+{
+    auto mod = makeArrayLoop();
+    Function &fn = *mod->functions()[0];
+    uint64_t before = goldenHash(*mod);
+    RaOptions opts;
+    runRegisterAllocation(fn, opts);
+    verifyOrDie(fn);
+    EXPECT_EQ(fn.numRegs(), kNumPhysRegs);
+    EXPECT_EQ(goldenHash(*mod), before);
+    // All operands physical.
+    for (BlockId b = 0; b < fn.numBlocks(); b++)
+        for (const Instruction &inst : fn.block(b).insts()) {
+            if (inst.src0 != kNoReg) {
+                EXPECT_LT(inst.src0, kNumPhysRegs);
+            }
+            if (writesDst(inst.op)) {
+                EXPECT_LT(inst.dst, kNumPhysRegs);
+            }
+        }
+}
+
+TEST(RegisterAllocation, SpillsUnderPressure)
+{
+    // More simultaneously-live values than allocatable registers.
+    Module m("m");
+    DataObject &out = m.addData("out", 30);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    std::vector<Reg> vals;
+    for (int i = 0; i < 28; i++)
+        vals.push_back(b.li(i * 3 + 1));
+    for (int i = 0; i < 28; i++)
+        b.store(vals[static_cast<size_t>(i)], ob, 8 * i);
+    b.halt();
+
+    uint64_t before = goldenHash(m);
+    RaOptions opts;
+    opts.numAllocatable = 8;
+    RaStats stats = runRegisterAllocation(fn, opts);
+    EXPECT_GT(stats.spilledVregs, 0u);
+    EXPECT_GT(stats.spillStores, 0u);
+    verifyOrDie(fn);
+    EXPECT_EQ(goldenHash(m), before);
+    // Spill stores must be tagged.
+    bool saw_spill = false;
+    for (const Instruction &inst : fn.block(e).insts())
+        if (inst.op == Op::Store && inst.skind == StoreKind::Spill)
+            saw_spill = true;
+    EXPECT_TRUE(saw_spill);
+}
+
+TEST(RegisterAllocation, StoreAwareSpillsReadersNotWriters)
+{
+    // Loop where coefficients are read 3x and accumulators are
+    // written 1x + read 1x per iteration; under pressure the classic
+    // allocator spills accumulators (cheapest) while the store-aware
+    // one keeps them in registers.
+    auto make = [] {
+        auto mod = std::make_unique<Module>("m");
+        DataObject &a = mod->addData("A", 64, {3, 5, 7, 9, 11});
+        DataObject &out = mod->addData("out", 16);
+        Function &fn = mod->addFunction("f");
+        IRBuilder b(fn);
+        BlockId e = b.newBlock("e");
+        BlockId body = b.newBlock("body");
+        BlockId x = b.newBlock("x");
+        b.setBlock(e);
+        Reg base = b.li(static_cast<int64_t>(a.base));
+        std::vector<Reg> coeff, acc;
+        for (int j = 0; j < 6; j++)
+            coeff.push_back(b.load(base, 8 * j));
+        for (int j = 0; j < 5; j++) {
+            Reg r = b.reg();
+            b.liTo(r, j);
+            acc.push_back(r);
+        }
+        Reg i = b.reg();
+        b.liTo(i, 0);
+        b.jmp(body);
+        b.setBlock(body);
+        Reg t = b.binImm(Op::Shl, i, 3);
+        Reg p = b.add(base, t);
+        Reg v = b.load(p);
+        for (int j = 0; j < 5; j++) {
+            Reg c0 = coeff[static_cast<size_t>(j)];
+            Reg c1 = coeff[static_cast<size_t>(j + 1) % 6];
+            Reg c2 = coeff[static_cast<size_t>(j + 2) % 6];
+            Reg t0 = b.mul(v, c0);
+            Reg t1 = b.add(t0, c1);
+            Reg t2 = b.bin(Op::Sub, t1, c2);
+            b.binTo(Op::Add, acc[static_cast<size_t>(j)],
+                    acc[static_cast<size_t>(j)], t2);
+        }
+        b.binImmTo(Op::Add, i, i, 1);
+        Reg c = b.binImm(Op::CmpLt, i, 8);
+        b.br(c, body, x);
+        b.setBlock(x);
+        Reg ob = b.li(static_cast<int64_t>(out.base));
+        for (int j = 0; j < 5; j++)
+            b.store(acc[static_cast<size_t>(j)], ob, 8 * j);
+        b.halt();
+        return mod;
+    };
+
+    auto classic_mod = make();
+    uint64_t golden = goldenHash(*classic_mod);
+    RaOptions classic;
+    classic.numAllocatable = 10;
+    RaStats cs = runRegisterAllocation(*classic_mod->functions()[0],
+                                       classic);
+    EXPECT_EQ(goldenHash(*classic_mod), golden);
+
+    auto aware_mod = make();
+    RaOptions aware;
+    aware.numAllocatable = 10;
+    aware.writeCostFactor = 3.0;
+    RaStats as = runRegisterAllocation(*aware_mod->functions()[0],
+                                       aware);
+    EXPECT_EQ(goldenHash(*aware_mod), golden);
+
+    // Count dynamic spill stores through the interpreter.
+    InterpResult ci = interpret(*classic_mod,
+                                *classic_mod->functions()[0]);
+    InterpResult ai = interpret(*aware_mod,
+                                *aware_mod->functions()[0]);
+    EXPECT_LT(ai.stats.storesSpill, ci.stats.storesSpill)
+        << "store-aware RA should eliminate spill stores "
+        << "(classic static spills: " << cs.spillStores
+        << ", aware: " << as.spillStores << ")";
+}
+
+// ------------------------------------------------ eager checkpointing
+
+TEST(EagerCheckpointing, ChecksLiveOutDefsOnly)
+{
+    Module m("m");
+    DataObject &out = m.addData("out", 2);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    fn.block(e).append(makeBoundary(0));
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg dead_after = b.li(10);       // consumed before boundary
+    Reg live_across = b.li(20);      // used after next boundary
+    Reg stored = b.binImm(Op::Add, dead_after, 1);
+    b.store(stored, ob);
+    fn.block(e).append(makeBoundary(1));
+    b.store(live_across, ob, 8);
+    b.halt();
+    fn.setNumRegions(2);
+
+    CkptStats stats = runEagerCheckpointing(fn);
+    EXPECT_GT(stats.inserted, 0u);
+
+    // live_across must be checkpointed before boundary 1; dead_after
+    // must not be checkpointed.
+    bool ckpt_live = false, ckpt_dead = false;
+    for (const Instruction &inst : fn.block(e).insts()) {
+        if (inst.op == Op::Ckpt && inst.src0 == live_across)
+            ckpt_live = true;
+        if (inst.op == Op::Ckpt && inst.src0 == dead_after)
+            ckpt_dead = true;
+    }
+    EXPECT_TRUE(ckpt_live);
+    EXPECT_FALSE(ckpt_dead);
+}
+
+TEST(EagerCheckpointing, OnlyLastDefPerRegionCheckpointed)
+{
+    // Fig. 3(b): a register redefined inside a region is only
+    // checkpointed at its final (live-out) definition.
+    Module m("m");
+    DataObject &out = m.addData("out", 1);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    fn.block(e).append(makeBoundary(0));
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg r = b.reg();
+    b.liTo(r, 1); // overwritten below; not live-out
+    b.liTo(r, 2); // live-out definition
+    fn.block(e).append(makeBoundary(1));
+    b.store(r, ob);
+    b.halt();
+    fn.setNumRegions(2);
+
+    runEagerCheckpointing(fn);
+    int r_ckpts = 0;
+    for (const Instruction &inst : fn.block(e).insts())
+        if (inst.op == Op::Ckpt && inst.src0 == r)
+            r_ckpts++;
+    EXPECT_EQ(r_ckpts, 1);
+}
+
+TEST(EagerCheckpointing, RemoveAllCheckpoints)
+{
+    auto mod = makeArrayLoop();
+    Function &fn = *mod->functions()[0];
+    RaOptions ra;
+    runRegisterAllocation(fn, ra);
+    RegionFormationOptions rf;
+    runRegionFormation(fn, rf);
+    CkptStats stats = runEagerCheckpointing(fn);
+    EXPECT_GT(stats.inserted, 0u);
+    uint64_t removed = removeAllCheckpoints(fn);
+    EXPECT_EQ(removed, stats.inserted);
+    for (BlockId b = 0; b < fn.numBlocks(); b++)
+        for (const Instruction &inst : fn.block(b).insts())
+            EXPECT_NE(inst.op, Op::Ckpt);
+}
+
+// ------------------------------------------------------------ pruning
+
+TEST(CheckpointPruning, PrunesConstantAndAffineDefs)
+{
+    // Region 0 defines k (constant) and d = k + 9, both live into
+    // region 1: both checkpoints are reconstructible.
+    Module m("m");
+    DataObject &out = m.addData("out", 2);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    fn.block(e).append(makeBoundary(0));
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg k = b.li(17);
+    Reg d = b.binImm(Op::Add, k, 9);
+    b.store(k, ob, 0);
+    fn.block(e).append(makeBoundary(1));
+    b.store(d, ob, 8);
+    Reg sum = b.bin(Op::Add, k, d);
+    b.store(sum, ob, 0);
+    b.halt();
+    fn.setNumRegions(2);
+
+    runEagerCheckpointing(fn);
+    PruneResult pr = runCheckpointPruning(fn);
+    // d = k + 9 must be pruned with a recipe keyed to region 1.
+    bool d_pruned = pr.governed.count({1u, d}) > 0;
+    EXPECT_TRUE(d_pruned);
+    EXPECT_GE(pr.pruned, 1u);
+    // The recipe ends with a CommitReg of d.
+    if (d_pruned) {
+        const RecoveryProgram &prog = pr.governed.at({1u, d});
+        EXPECT_EQ(prog.back().kind, RecoveryOp::Kind::CommitReg);
+        EXPECT_EQ(prog.back().reg, d);
+    }
+}
+
+TEST(CheckpointPruning, KeepsLoadDefs)
+{
+    // Values produced by loads are never reconstructible.
+    Module m("m");
+    DataObject &a = m.addData("A", 2, {42});
+    DataObject &out = m.addData("out", 1);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    fn.block(e).append(makeBoundary(0));
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg base = b.li(static_cast<int64_t>(a.base));
+    Reg v = b.load(base);
+    b.store(v, ob);
+    fn.block(e).append(makeBoundary(1));
+    b.store(v, ob);
+    b.halt();
+    fn.setNumRegions(2);
+
+    runEagerCheckpointing(fn);
+    PruneResult pr = runCheckpointPruning(fn);
+    EXPECT_EQ(pr.governed.count({1u, v}), 0u);
+    bool v_ckpt_alive = false;
+    for (const Instruction &inst : fn.block(e).insts())
+        if (inst.op == Op::Ckpt && inst.src0 == v)
+            v_ckpt_alive = true;
+    EXPECT_TRUE(v_ckpt_alive);
+}
+
+TEST(CheckpointPruning, RejectsMultipleReachingDefs)
+{
+    // Diamond with a def of r in each arm: a single static recipe
+    // cannot be correct, so both checkpoints stay (until the Fig. 9
+    // branch-replay extension handles them).
+    Module m("m");
+    DataObject &out = m.addData("out", 1);
+    DataObject &in = m.addData("in", 1, {5});
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    BlockId l = b.newBlock("l");
+    BlockId r_bb = b.newBlock("r");
+    BlockId j = b.newBlock("j");
+    b.setBlock(e);
+    fn.block(e).append(makeBoundary(0));
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg ib = b.li(static_cast<int64_t>(in.base));
+    Reg k = b.load(ib); // load-defined: k itself is unprunable
+    Reg cond = b.binImm(Op::CmpLt, k, 10);
+    Reg r = fn.newReg();
+    b.br(cond, l, r_bb);
+    b.setBlock(l);
+    b.binImmTo(Op::Add, r, k, 1);
+    b.jmp(j);
+    b.setBlock(r_bb);
+    b.binImmTo(Op::Mul, r, k, 2);
+    b.jmp(j);
+    b.setBlock(j);
+    fn.block(j).append(makeBoundary(1));
+    b.store(r, ob);
+    b.store(k, ob); // keep k live at the recovery boundary
+    b.halt();
+    fn.setNumRegions(2);
+
+    runEagerCheckpointing(fn);
+    PruneResult pr = runCheckpointPruning(fn);
+    EXPECT_EQ(pr.governed.count({1u, r}), 0u);
+    EXPECT_GT(pr.rejected["multi-def"], 0u);
+}
+
+// ------------------------------------------------------------ sinking
+
+TEST(CheckpointSinking, LoopSinkMovesToExit)
+{
+    // Store-free loop kept whole: per-iteration checkpoints sink to
+    // the exit block (Fig. 10).
+    Module m("m");
+    DataObject &a = m.addData("A", 32, {1, 2, 3});
+    DataObject &out = m.addData("out", 1);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    BlockId body = b.newBlock("body");
+    BlockId x = b.newBlock("x");
+    b.setBlock(e);
+    Reg i = b.reg();
+    b.liTo(i, 0);
+    Reg acc = b.reg();
+    b.liTo(acc, 0);
+    Reg base = b.li(static_cast<int64_t>(a.base));
+    b.jmp(body);
+    b.setBlock(body);
+    Reg t = b.binImm(Op::Shl, i, 3);
+    Reg p = b.add(base, t);
+    Reg v = b.load(p);
+    b.binTo(Op::Add, acc, acc, v);
+    b.binImmTo(Op::Add, i, i, 1);
+    Reg c = b.binImm(Op::CmpLt, i, 8);
+    b.br(c, body, x);
+    b.setBlock(x);
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    b.store(acc, ob);
+    b.store(acc, ob);
+    b.store(acc, ob); // forces a budget cut => boundary after loop
+    b.halt();
+
+    RegionFormationOptions rf;
+    rf.storeBudget = 2;
+    rf.keepStoreFreeLoopsWhole = true;
+    runRegionFormation(fn, rf);
+    runEagerCheckpointing(fn);
+
+    // There are per-iteration checkpoints inside the loop now.
+    int in_loop = 0;
+    for (const Instruction &inst : fn.block(body).insts())
+        if (inst.op == Op::Ckpt)
+            in_loop++;
+    ASSERT_GT(in_loop, 0);
+
+    SinkStats ss = runCheckpointSinking(fn);
+    EXPECT_GT(ss.loopSunk, 0u);
+    for (const Instruction &inst : fn.block(body).insts())
+        EXPECT_NE(inst.op, Op::Ckpt) << "checkpoint left in loop";
+    int at_exit = 0;
+    for (const Instruction &inst : fn.block(x).insts())
+        if (inst.op == Op::Ckpt)
+            at_exit++;
+    EXPECT_GT(at_exit, 0);
+}
+
+TEST(CheckpointSinking, DedupRemovesRedundant)
+{
+    Module m("m");
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    Reg r = b.li(1);
+    fn.block(e).append(makeCkpt(r));
+    fn.block(e).append(makeCkpt(r)); // same value: redundant
+    b.halt();
+    SinkStats ss = runCheckpointSinking(fn);
+    EXPECT_EQ(ss.deduped, 1u);
+    int ckpts = 0;
+    for (const Instruction &inst : fn.block(e).insts())
+        if (inst.op == Op::Ckpt)
+            ckpts++;
+    EXPECT_EQ(ckpts, 1);
+}
+
+TEST(CheckpointSinking, NeverCrossesBoundaryOrRedef)
+{
+    Module m("m");
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    Reg r = b.reg();
+    b.liTo(r, 1);
+    fn.block(e).append(makeCkpt(r));
+    fn.block(e).append(makeBoundary(0));
+    b.liTo(r, 2);
+    b.halt();
+    runCheckpointSinking(fn);
+    // The checkpoint must still be before the boundary.
+    const auto &insts = fn.block(e).insts();
+    size_t ckpt_pos = 0, boundary_pos = 0;
+    for (size_t i = 0; i < insts.size(); i++) {
+        if (insts[i].op == Op::Ckpt)
+            ckpt_pos = i;
+        if (insts[i].op == Op::Boundary)
+            boundary_pos = i;
+    }
+    EXPECT_LT(ckpt_pos, boundary_pos);
+}
+
+// --------------------------------------------------------- scheduling
+
+TEST(InstructionScheduling, PreservesSemantics)
+{
+    auto mod = makeArrayLoop();
+    Function &fn = *mod->functions()[0];
+    uint64_t before = goldenHash(*mod);
+    runInstructionScheduling(fn);
+    verifyOrDie(fn);
+    EXPECT_EQ(goldenHash(*mod), before);
+}
+
+TEST(InstructionScheduling, SeparatesLoadFromCkpt)
+{
+    // Fig. 11: independent instructions move between a load and the
+    // dependent checkpoint store.
+    Module m("m");
+    DataObject &a = m.addData("A", 2, {42});
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    Reg base = b.li(static_cast<int64_t>(a.base));
+    Reg x = b.li(3);
+    Reg v = b.load(base);
+    fn.block(e).append(makeCkpt(v));
+    Reg y = b.binImm(Op::Add, x, 1);
+    Reg z = b.binImm(Op::Shl, x, 2);
+    (void)y;
+    (void)z;
+    b.halt();
+
+    runInstructionScheduling(fn);
+    const auto &insts = fn.block(e).insts();
+    size_t load_pos = 0, ckpt_pos = 0;
+    for (size_t i = 0; i < insts.size(); i++) {
+        if (insts[i].op == Op::Load)
+            load_pos = i;
+        if (insts[i].op == Op::Ckpt)
+            ckpt_pos = i;
+    }
+    EXPECT_GT(ckpt_pos, load_pos + 1)
+        << "scheduler should hoist independents above the checkpoint";
+}
+
+TEST(InstructionScheduling, KeepsStoreOrder)
+{
+    Module m("m");
+    DataObject &out = m.addData("out", 1);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg v1 = b.li(1);
+    Reg v2 = b.li(2);
+    b.store(v1, ob);
+    b.store(v2, ob); // same address: order matters
+    b.halt();
+    uint64_t before = goldenHash(m);
+    runInstructionScheduling(fn);
+    EXPECT_EQ(goldenHash(m), before);
+    InterpResult r = interpret(m, fn);
+    EXPECT_EQ(r.memory.read(out.base), 2);
+}
+
+} // namespace
+} // namespace turnpike
+
+namespace turnpike {
+namespace {
+
+TEST(CheckpointPruning, DiamondBranchReplay)
+{
+    // Fig. 9: r is defined in both arms from the stable register k;
+    // the predicate is live at the recovery boundary, so both arm
+    // checkpoints are pruned and the recipe replays the branch.
+    Module m("m");
+    DataObject &out = m.addData("out", 4);
+    Function &fn = m.addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    BlockId l = b.newBlock("l");
+    BlockId r_bb = b.newBlock("r");
+    BlockId j = b.newBlock("j");
+    b.setBlock(e);
+    fn.block(e).append(makeBoundary(0));
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg k = b.li(5);
+    Reg cond = b.binImm(Op::CmpLt, k, 10);
+    Reg r = fn.newReg();
+    b.br(cond, l, r_bb);
+    b.setBlock(l);
+    b.binImmTo(Op::Add, r, k, 9);
+    b.jmp(j);
+    b.setBlock(r_bb);
+    b.binImmTo(Op::Mul, r, k, 3);
+    b.jmp(j);
+    b.setBlock(j);
+    fn.block(j).append(makeBoundary(1));
+    b.store(r, ob, 0);
+    b.store(k, ob, 8);
+    b.store(cond, ob, 16); // predicate live at the boundary
+    b.halt();
+    fn.setNumRegions(2);
+
+    runEagerCheckpointing(fn);
+    PruneResult pr = runCheckpointPruning(fn);
+    EXPECT_GE(pr.diamonds, 1u);
+    ASSERT_GT(pr.governed.count({1u, r}), 0u);
+    // No checkpoint of r remains in either arm.
+    for (BlockId arm : {l, r_bb})
+        for (const Instruction &inst : fn.block(arm).insts())
+            EXPECT_FALSE(inst.op == Op::Ckpt && inst.src0 == r);
+    // The recipe replays the branch.
+    const RecoveryProgram &prog = pr.governed.at({1u, r});
+    bool has_branch = false;
+    for (const RecoveryOp &op : prog)
+        if (op.kind == RecoveryOp::Kind::BrIfZero)
+            has_branch = true;
+    EXPECT_TRUE(has_branch);
+}
+
+} // namespace
+} // namespace turnpike

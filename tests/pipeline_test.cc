@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Behavioral tests for the cycle-level pipeline: functional
+ * equivalence with the machine interpreter, hazard and gating
+ * behaviour, WCDL monotonicity, fast-release effects, and the
+ * paper's first-order phenomena (§3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.hh"
+#include "core/runner.hh"
+#include "machine/minterp.hh"
+#include "sim/pipeline.hh"
+
+namespace turnpike {
+namespace {
+
+constexpr uint64_t kInsts = 15000;
+
+PipelineResult
+runScheme(const WorkloadSpec &spec, const ResilienceConfig &cfg,
+          uint64_t target = kInsts)
+{
+    auto mod = buildWorkload(spec, target);
+    CompiledProgram prog = compileWorkload(*mod, cfg);
+    InOrderPipeline pipe(*mod, *prog.mf, cfg.toPipelineConfig());
+    return pipe.run();
+}
+
+TEST(Pipeline, MatchesFunctionalInterpreter)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "gobmk");
+    auto mod = buildWorkload(spec, kInsts);
+    CompiledProgram prog =
+        compileWorkload(*mod, ResilienceConfig::turnpike(10));
+    InterpResult golden = interpretMachine(*mod, *prog.mf);
+    InOrderPipeline pipe(*mod, *prog.mf,
+                         ResilienceConfig::turnpike(10)
+                             .toPipelineConfig());
+    PipelineResult pr = pipe.run();
+    ASSERT_TRUE(pr.halted);
+    EXPECT_EQ(pr.memory.dataHash(*mod),
+              golden.memory.dataHash(*mod));
+    EXPECT_EQ(pr.stats.insts, golden.stats.insts);
+    EXPECT_EQ(pr.stats.loads, golden.stats.loads);
+    EXPECT_EQ(pr.stats.storesTotal(), golden.stats.storesTotal());
+}
+
+TEST(Pipeline, IpcWithinPlausibleRange)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2017", "leela");
+    PipelineResult r = runScheme(spec, ResilienceConfig::baseline());
+    double ipc = static_cast<double>(r.stats.insts) /
+        static_cast<double>(r.stats.cycles);
+    EXPECT_GT(ipc, 0.2);
+    EXPECT_LT(ipc, 2.0); // dual issue bound
+}
+
+TEST(Pipeline, BaselineHasNoGatingStalls)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "milc");
+    PipelineResult r = runScheme(spec, ResilienceConfig::baseline());
+    EXPECT_EQ(r.stats.sbFullStallCycles, 0u);
+    EXPECT_EQ(r.stats.boundaries, 0u);
+    EXPECT_EQ(r.stats.storesQuarantined, 0u);
+}
+
+TEST(Pipeline, TurnstileGatingCausesSbStalls)
+{
+    // §3.2: verification keeps the SB pressure long.
+    const WorkloadSpec &spec = findWorkload("CPU2006", "libquan");
+    PipelineResult r = runScheme(spec, ResilienceConfig::turnstile(30));
+    EXPECT_GT(r.stats.sbFullStallCycles, 0u);
+    EXPECT_GT(r.stats.storesQuarantined, 0u);
+    EXPECT_GT(r.stats.boundaries, 0u);
+}
+
+TEST(Pipeline, TurnstileOverheadMonotonicInWcdl)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "hmmer");
+    uint64_t prev = 0;
+    for (uint32_t wcdl : {10u, 20u, 30u, 40u, 50u}) {
+        PipelineResult r =
+            runScheme(spec, ResilienceConfig::turnstile(wcdl));
+        EXPECT_GE(r.stats.cycles, prev)
+            << "Turnstile must not speed up with longer WCDL";
+        prev = r.stats.cycles;
+    }
+}
+
+TEST(Pipeline, FastReleaseReducesQuarantine)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "bwaves");
+    PipelineResult ts = runScheme(spec, ResilienceConfig::turnstile(10));
+    PipelineResult fr =
+        runScheme(spec, ResilienceConfig::fastRelease(10));
+    EXPECT_LT(fr.stats.storesQuarantined, ts.stats.storesQuarantined);
+    EXPECT_GT(fr.stats.storesWarFree + fr.stats.ckptColored, 0u);
+    EXPECT_LE(fr.stats.cycles, ts.stats.cycles);
+}
+
+TEST(Pipeline, HistogramStoresAreNotWarFree)
+{
+    // radix is histogram-heavy: its H[x] += 1 stores have real WAR
+    // dependences the CLQ must catch.
+    const WorkloadSpec &spec = findWorkload("SPLASH3", "radix");
+    PipelineResult r = runScheme(spec, ResilienceConfig::turnpike(10));
+    EXPECT_GT(r.stats.storesQuarantined, 0u)
+        << "WAR stores must stay quarantined";
+}
+
+TEST(Pipeline, ColoringReleasesCheckpoints)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "soplex");
+    ResilienceConfig no_color = ResilienceConfig::warFreeOnly(10);
+    ResilienceConfig with_color = ResilienceConfig::fastRelease(10);
+    PipelineResult a = runScheme(spec, no_color);
+    PipelineResult b = runScheme(spec, with_color);
+    EXPECT_EQ(a.stats.ckptColored, 0u);
+    EXPECT_GT(b.stats.ckptColored, 0u);
+    EXPECT_LE(b.stats.cycles, a.stats.cycles);
+}
+
+TEST(Pipeline, IdealClqAtLeastAsPreciseAsCompact)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "milc");
+    ResilienceConfig compact = ResilienceConfig::fastRelease(10);
+    ResilienceConfig ideal = compact;
+    ideal.clqDesign = ClqDesign::Ideal;
+    PipelineResult c = runScheme(spec, compact);
+    PipelineResult i = runScheme(spec, ideal);
+    EXPECT_GE(i.stats.storesWarFree, c.stats.storesWarFree);
+}
+
+TEST(Pipeline, LargerSbHelpsTurnstile)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "libquan");
+    ResilienceConfig small = ResilienceConfig::turnstile(30);
+    ResilienceConfig big = small;
+    big.sbSize = 40;
+    PipelineResult s = runScheme(spec, small);
+    PipelineResult b = runScheme(spec, big);
+    EXPECT_LT(b.stats.cycles, s.stats.cycles);
+    EXPECT_LT(b.stats.sbFullStallCycles, s.stats.sbFullStallCycles);
+}
+
+TEST(Pipeline, SbOccupancyBounded)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2017", "xz");
+    PipelineResult r = runScheme(spec, ResilienceConfig::turnstile(20));
+    EXPECT_LE(r.stats.sbOccupancy.max(), 4.0);
+}
+
+TEST(Pipeline, ClqOccupancyStaysSmall)
+{
+    // Fig. 24: on average about one populated CLQ entry.
+    const WorkloadSpec &spec = findWorkload("CPU2006", "milc");
+    ResilienceConfig cfg = ResilienceConfig::turnpike(10);
+    cfg.clqEntries = 4;
+    PipelineResult r = runScheme(spec, cfg);
+    EXPECT_GT(r.stats.clqOccupancy.count(), 0u);
+    EXPECT_LE(r.stats.clqOccupancy.mean(), 3.0);
+    EXPECT_LE(r.stats.clqOccupancy.max(), 4.0);
+}
+
+TEST(Pipeline, RegionCyclesTracked)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "gcc");
+    PipelineResult r = runScheme(spec, ResilienceConfig::turnstile(10));
+    EXPECT_GT(r.stats.regionCycles.count(), 10u);
+    EXPECT_GT(r.stats.regionCycles.mean(), 0.0);
+}
+
+TEST(Pipeline, RecoveryCountersStayZeroWithoutFaults)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "astar");
+    PipelineResult r = runScheme(spec, ResilienceConfig::turnpike(10));
+    EXPECT_EQ(r.stats.recoveries, 0u);
+    EXPECT_EQ(r.stats.detectedFaults, 0u);
+    EXPECT_EQ(r.stats.recoveryCycles, 0u);
+}
+
+TEST(Pipeline, WcdlTenBarelySlowsTurnpike)
+{
+    // The paper's headline: Turnpike at WCDL=10 is close to the
+    // baseline. Allow a generous bound; the suite geomean is
+    // tracked by the benches.
+    const WorkloadSpec &spec = findWorkload("CPU2006", "omnetpp");
+    PipelineResult base = runScheme(spec, ResilienceConfig::baseline());
+    PipelineResult tp = runScheme(spec, ResilienceConfig::turnpike(10));
+    double ratio = static_cast<double>(tp.stats.cycles) /
+        static_cast<double>(base.stats.cycles);
+    EXPECT_LT(ratio, 1.25);
+}
+
+} // namespace
+} // namespace turnpike

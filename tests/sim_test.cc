@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Unit tests for the simulator structures: caches, gated store
+ * buffer, RBB, CLQ (both designs and the Fig. 13 automaton), color
+ * maps (AC/UC/VC lifecycle including the Fig. 16/17 scenarios),
+ * sensor model (Fig. 18 trends), recovery engine and fault plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hwcost.hh"
+#include "sim/cache.hh"
+#include "sim/clq.hh"
+#include "sim/color_maps.hh"
+#include "sim/fault_injector.hh"
+#include "sim/rbb.hh"
+#include "sim/recovery.hh"
+#include "sim/sensors.hh"
+#include "sim/store_buffer.hh"
+
+namespace turnpike {
+namespace {
+
+// ------------------------------------------------------------- cache
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c({1024, 2, 64, 2});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1008)); // same line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64B lines, 2 sets (256B total).
+    Cache c({256, 2, 64, 2});
+    // Three lines mapping to set 0: 0, 128, 256.
+    c.access(0);
+    c.access(128);
+    c.access(0);      // refresh 0's recency
+    c.access(256);    // evicts 128
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(128));
+    EXPECT_TRUE(c.probe(256));
+}
+
+TEST(Cache, FlushForgets)
+{
+    Cache c({1024, 2, 64, 2});
+    c.access(0x40);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(CacheHierarchy, LatenciesEscalate)
+{
+    CacheHierarchy h({128, 2, 64, 2}, {256, 2, 64, 20}, 100);
+    int first = h.loadLatency(0x2000);
+    EXPECT_EQ(first, 100); // cold: misses both levels
+    int second = h.loadLatency(0x2000);
+    EXPECT_EQ(second, 2); // L1 hit
+}
+
+// ------------------------------------------------------- store buffer
+
+TEST(StoreBuffer, FifoGating)
+{
+    StoreBuffer sb(2);
+    EXPECT_TRUE(sb.empty());
+    sb.push({0x100, 1, 0, StoreKind::App, false});
+    sb.push({0x108, 2, 0, StoreKind::App, false});
+    EXPECT_TRUE(sb.full());
+    EXPECT_FALSE(sb.headReleasable());
+    sb.release(0);
+    ASSERT_TRUE(sb.headReleasable());
+    SbEntry e = sb.pop();
+    EXPECT_EQ(e.addr, 0x100u);
+    EXPECT_EQ(sb.size(), 1u);
+}
+
+TEST(StoreBuffer, ReleaseIsPerRegion)
+{
+    StoreBuffer sb(4);
+    sb.push({0x100, 1, 7, StoreKind::App, false});
+    sb.push({0x108, 2, 8, StoreKind::App, false});
+    sb.release(8);
+    // Head belongs to region 7, still gated.
+    EXPECT_FALSE(sb.headReleasable());
+    sb.release(7);
+    EXPECT_TRUE(sb.headReleasable());
+}
+
+TEST(StoreBuffer, YoungestForForwarding)
+{
+    StoreBuffer sb(4);
+    sb.push({0x100, 1, 0, StoreKind::App, false});
+    sb.push({0x100, 2, 1, StoreKind::App, false});
+    sb.push({0x200, 3, 1, StoreKind::App, false});
+    const SbEntry *e = sb.youngestFor(0x100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->value, 2);
+    EXPECT_EQ(sb.youngestFor(0x300), nullptr);
+}
+
+// ----------------------------------------------------------------- RBB
+
+TEST(Rbb, RegionLifecycle)
+{
+    Rbb rbb(8);
+    EXPECT_TRUE(rbb.empty());
+    uint64_t id0 = rbb.beginRegion(0, 100, 10);
+    EXPECT_EQ(rbb.current().id, id0);
+    EXPECT_FALSE(rbb.current().ended);
+    uint64_t id1 = rbb.beginRegion(1, 150, 10);
+    EXPECT_NE(id0, id1);
+    // Region 0 ended at 150, verifies at 160.
+    RegionInstance ri;
+    EXPECT_FALSE(rbb.popVerified(159, ri));
+    ASSERT_TRUE(rbb.popVerified(160, ri));
+    EXPECT_EQ(ri.id, id0);
+    EXPECT_EQ(ri.staticRegion, 0u);
+    EXPECT_EQ(ri.endCycle, 150u);
+    // The running instance never verifies.
+    EXPECT_FALSE(rbb.popVerified(100000, ri));
+}
+
+TEST(Rbb, SquashReturnsAll)
+{
+    Rbb rbb(8);
+    rbb.beginRegion(0, 0, 10);
+    rbb.beginRegion(1, 5, 10);
+    auto squashed = rbb.squash();
+    EXPECT_EQ(squashed.size(), 2u);
+    EXPECT_TRUE(rbb.empty());
+    EXPECT_EQ(squashed.front().staticRegion, 0u);
+}
+
+TEST(Rbb, EndCurrentArmsTimer)
+{
+    Rbb rbb(8);
+    rbb.beginRegion(0, 0, 10);
+    rbb.endCurrent(20, 10);
+    RegionInstance ri;
+    EXPECT_FALSE(rbb.popVerified(29, ri));
+    EXPECT_TRUE(rbb.popVerified(30, ri));
+}
+
+// ----------------------------------------------------------------- CLQ
+
+TEST(Clq, WarDetectionCompactRange)
+{
+    Clq clq(ClqDesign::Compact, 2);
+    clq.insertLoad(0, 0x100);
+    clq.insertLoad(0, 0x140);
+    // In range [0x100, 0x140]: conservative conflict.
+    EXPECT_FALSE(clq.isWarFree(0x120));
+    EXPECT_FALSE(clq.isWarFree(0x100));
+    EXPECT_TRUE(clq.isWarFree(0x080));
+    EXPECT_TRUE(clq.isWarFree(0x148));
+}
+
+TEST(Clq, IdealIsExact)
+{
+    Clq clq(ClqDesign::Ideal, 2);
+    clq.insertLoad(0, 0x100);
+    clq.insertLoad(0, 0x140);
+    // 0x120 was never loaded: the ideal design knows.
+    EXPECT_TRUE(clq.isWarFree(0x120));
+    EXPECT_FALSE(clq.isWarFree(0x140));
+}
+
+TEST(Clq, ChecksAllUnverifiedRegions)
+{
+    Clq clq(ClqDesign::Compact, 4);
+    clq.insertLoad(0, 0x100);
+    clq.insertLoad(1, 0x200);
+    EXPECT_FALSE(clq.isWarFree(0x100)); // older region's load
+    EXPECT_FALSE(clq.isWarFree(0x200));
+    clq.onRegionVerified(0);
+    EXPECT_TRUE(clq.isWarFree(0x100));
+    EXPECT_FALSE(clq.isWarFree(0x200));
+}
+
+TEST(Clq, OverflowAutomaton)
+{
+    Clq clq(ClqDesign::Compact, 2);
+    clq.insertLoad(0, 0x100);
+    clq.insertLoad(1, 0x200);
+    EXPECT_TRUE(clq.enabled());
+    // Third region overflows the 2-entry CLQ.
+    clq.insertLoad(2, 0x300);
+    EXPECT_FALSE(clq.enabled());
+    EXPECT_EQ(clq.overflows(), 1u);
+    EXPECT_FALSE(clq.isWarFree(0x999)); // disabled: cannot prove
+    // Re-enable requires a region start with all priors verified.
+    clq.onRegionStart(false);
+    EXPECT_FALSE(clq.enabled());
+    clq.onRegionStart(true);
+    EXPECT_TRUE(clq.enabled());
+    EXPECT_EQ(clq.entriesUsed(), 0u);
+}
+
+TEST(Clq, ResetReenables)
+{
+    Clq clq(ClqDesign::Compact, 1);
+    clq.insertLoad(0, 0x100);
+    clq.insertLoad(1, 0x200); // overflow
+    EXPECT_FALSE(clq.enabled());
+    clq.reset();
+    EXPECT_TRUE(clq.enabled());
+    EXPECT_TRUE(clq.isWarFree(0x100));
+}
+
+TEST(Clq, OccupancySampled)
+{
+    Clq clq(ClqDesign::Compact, 4);
+    clq.insertLoad(0, 0x100);
+    clq.insertLoad(1, 0x200);
+    clq.insertLoad(1, 0x208);
+    EXPECT_EQ(clq.occupancy().count(), 3u);
+    EXPECT_DOUBLE_EQ(clq.occupancy().max(), 2.0);
+}
+
+// --------------------------------------------------------- color maps
+
+TEST(ColorMaps, AssignExhaustRecycle)
+{
+    ColorMaps cm;
+    EXPECT_EQ(cm.freeColors(3), layout::kNumColors);
+    std::vector<int> got;
+    for (int i = 0; i < layout::kNumColors; i++) {
+        int c = cm.tryAssign(3);
+        ASSERT_GE(c, 0);
+        got.push_back(c);
+    }
+    EXPECT_EQ(cm.tryAssign(3), -1); // pool empty
+    // Other registers are unaffected.
+    EXPECT_GE(cm.tryAssign(4), 0);
+
+    // Verify a region that used color got[0]: it becomes VC and the
+    // *previous* VC (quarantine slot, unpooled) frees nothing.
+    cm.applyVerified({{3u, got[0]}});
+    EXPECT_EQ(cm.verifiedSlot(3), got[0]);
+    // Verify another: got[1] becomes VC, got[0] returns to the pool.
+    cm.applyVerified({{3u, got[1]}});
+    EXPECT_EQ(cm.verifiedSlot(3), got[1]);
+    EXPECT_EQ(cm.tryAssign(3), got[0]);
+}
+
+TEST(ColorMaps, Fig17Lifecycle)
+{
+    // Paper Fig. 17: two regions checkpoint r2 with different
+    // colors; the first verifies, VC points at its slot; the second
+    // is squashed, its color returns to the pool.
+    ColorMaps cm;
+    Reg r2 = 2;
+    int black = cm.tryAssign(r2);
+    int red = cm.tryAssign(r2);
+    ASSERT_NE(black, red);
+    EXPECT_EQ(cm.verifiedSlot(r2), layout::kQuarantineColor);
+    cm.applyVerified({{r2, black}});
+    EXPECT_EQ(cm.verifiedSlot(r2), black);
+    // R1 squashed before verification: red is reclaimed, VC stays.
+    cm.recycleUnverified({{r2, red}});
+    EXPECT_EQ(cm.verifiedSlot(r2), black);
+    EXPECT_EQ(cm.tryAssign(r2), red);
+}
+
+TEST(ColorMaps, QuarantineSlotVerification)
+{
+    ColorMaps cm;
+    cm.applyVerified({{5u, layout::kQuarantineColor}});
+    EXPECT_EQ(cm.verifiedSlot(5), layout::kQuarantineColor);
+    EXPECT_EQ(cm.freeColors(5), layout::kNumColors);
+}
+
+TEST(ColorMaps, MultipleCheckpointsSameRegionLastWins)
+{
+    ColorMaps cm;
+    int c0 = cm.tryAssign(1);
+    int c1 = cm.tryAssign(1);
+    cm.applyVerified({{1u, c0}, {1u, c1}});
+    EXPECT_EQ(cm.verifiedSlot(1), c1);
+    // c0 was superseded inside the same region: reclaimed.
+    EXPECT_EQ(cm.tryAssign(1), c0);
+}
+
+// -------------------------------------------------------------- sensors
+
+TEST(Sensors, PaperCalibrationPoint)
+{
+    // 300 sensors / 2.5 GHz / 1 mm^2 -> 10-cycle WCDL (paper §6.1).
+    EXPECT_EQ(worstCaseDetectionLatency({300, 2.5, 1.0}), 10u);
+}
+
+TEST(Sensors, FewerSensorsLongerLatency)
+{
+    uint32_t w300 = worstCaseDetectionLatency({300, 2.5, 1.0});
+    uint32_t w100 = worstCaseDetectionLatency({100, 2.5, 1.0});
+    uint32_t w30 = worstCaseDetectionLatency({30, 2.5, 1.0});
+    EXPECT_LT(w300, w100);
+    EXPECT_LT(w100, w30);
+    // Paper: 30 sensors give ~30 cycles.
+    EXPECT_NEAR(w30, 30.0, 4.0);
+}
+
+TEST(Sensors, HigherClockLongerLatency)
+{
+    uint32_t w20 = worstCaseDetectionLatency({100, 2.0, 1.0});
+    uint32_t w30 = worstCaseDetectionLatency({100, 3.0, 1.0});
+    EXPECT_LT(w20, w30);
+}
+
+TEST(Sensors, AreaOverheadScale)
+{
+    EXPECT_NEAR(sensorAreaOverhead({300, 2.5, 1.0}), 0.01, 1e-9);
+    EXPECT_NEAR(sensorAreaOverhead({30, 2.5, 1.0}), 0.001, 1e-9);
+}
+
+// ------------------------------------------------------------ recovery
+
+TEST(RecoveryEngine, RestoresFromVerifiedColors)
+{
+    ColorMaps cm;
+    int color = cm.tryAssign(5);
+    cm.applyVerified({{5u, color}});
+
+    MemoryImage mem;
+    mem.write(layout::ckptSlot(5, color), 1234);
+
+    RecoveryProgram prog;
+    RecoveryOp ld;
+    ld.kind = RecoveryOp::Kind::LoadCkpt;
+    ld.t = 0;
+    ld.reg = 5;
+    prog.push_back(ld);
+    RecoveryOp commit;
+    commit.kind = RecoveryOp::Kind::CommitReg;
+    commit.t = 0;
+    commit.reg = 5;
+    prog.push_back(commit);
+
+    int64_t regs[kNumPhysRegs] = {0};
+    uint64_t cost = executeRecovery(prog, cm, mem, regs);
+    EXPECT_EQ(regs[5], 1234);
+    EXPECT_GT(cost, 0u);
+}
+
+TEST(RecoveryEngine, BranchReplaySkips)
+{
+    // t0 = 0; if (t0 == 0) skip the bogus Li; commit 7.
+    ColorMaps cm;
+    MemoryImage mem;
+    RecoveryProgram prog;
+    RecoveryOp li0;
+    li0.kind = RecoveryOp::Kind::Li;
+    li0.t = 0;
+    li0.imm = 0;
+    prog.push_back(li0);
+    RecoveryOp li7;
+    li7.kind = RecoveryOp::Kind::Li;
+    li7.t = 1;
+    li7.imm = 7;
+    prog.push_back(li7);
+    RecoveryOp br;
+    br.kind = RecoveryOp::Kind::BrIfZero;
+    br.a = 0;
+    br.skip = 1;
+    prog.push_back(br);
+    RecoveryOp bogus;
+    bogus.kind = RecoveryOp::Kind::Li;
+    bogus.t = 1;
+    bogus.imm = 999;
+    prog.push_back(bogus);
+    RecoveryOp commit;
+    commit.kind = RecoveryOp::Kind::CommitReg;
+    commit.t = 1;
+    commit.reg = 3;
+    prog.push_back(commit);
+
+    int64_t regs[kNumPhysRegs] = {0};
+    executeRecovery(prog, cm, mem, regs);
+    EXPECT_EQ(regs[3], 7);
+}
+
+// --------------------------------------------------------- fault plans
+
+TEST(FaultPlan, SortedSpacedAndBounded)
+{
+    Rng rng(5);
+    auto plan = makeFaultPlan(rng, 100000, 20, 8);
+    ASSERT_EQ(plan.size(), 8u);
+    for (size_t i = 1; i < plan.size(); i++) {
+        EXPECT_GT(plan[i].cycle, plan[i - 1].cycle);
+        EXPECT_GT(plan[i].cycle - plan[i - 1].cycle, 4ull * 20);
+    }
+    for (const FaultEvent &ev : plan) {
+        EXPECT_GE(ev.detectDelay, 1u);
+        EXPECT_LE(ev.detectDelay, 20u);
+        EXPECT_LT(ev.bit, 64u);
+    }
+}
+
+// ------------------------------------------------------------- hw cost
+
+TEST(HwCost, MatchesTable1Anchors)
+{
+    HwCost sb4 = camStoreBufferCost(4);
+    EXPECT_NEAR(sb4.areaUm2, 621.28, 0.5);
+    EXPECT_NEAR(sb4.accessEnergyPj, 0.43099, 0.001);
+    HwCost sb40 = camStoreBufferCost(40);
+    EXPECT_NEAR(sb40.areaUm2, 3132.50, 1.0);
+    EXPECT_NEAR(sb40.accessEnergyPj, 2.11525, 0.002);
+    HwCost maps = colorMapsCost(32, 4);
+    EXPECT_NEAR(maps.areaUm2, 36.651, 0.2);
+    HwCost clq = clqCost(2);
+    EXPECT_NEAR(clq.areaUm2, 24.434, 0.2);
+}
+
+TEST(HwCost, PaperRatios)
+{
+    HwCost sb4 = camStoreBufferCost(4);
+    HwCost sb40 = camStoreBufferCost(40);
+    HwCost tp = turnpikeCost(32, 4, 2);
+    // Turnpike additions ~9.8% of the 4-entry SB (Table 1).
+    EXPECT_NEAR(tp.areaUm2 / sb4.areaUm2, 0.098, 0.005);
+    EXPECT_NEAR(tp.accessEnergyPj / sb4.accessEnergyPj, 0.097, 0.005);
+    // A 40-entry SB is ~5x the area of the 4-entry one.
+    EXPECT_NEAR(sb40.areaUm2 / sb4.areaUm2, 5.04, 0.05);
+}
+
+} // namespace
+} // namespace turnpike

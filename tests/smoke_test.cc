@@ -1,0 +1,50 @@
+/**
+ * @file
+ * End-to-end smoke tests: a small workload compiles under every
+ * scheme, the compiled code computes the same result as the golden
+ * interpreter, and the pipeline agrees.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+
+namespace turnpike {
+namespace {
+
+TEST(Smoke, BaselineCompilesAndRuns)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "hmmer");
+    RunResult r = runWorkload(spec, ResilienceConfig::baseline(),
+                              20000);
+    EXPECT_TRUE(r.halted);
+    EXPECT_GT(r.pipe.cycles, 0u);
+    EXPECT_EQ(r.dataHash, r.goldenHash);
+}
+
+TEST(Smoke, TurnstileMatchesGolden)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "hmmer");
+    RunResult base = runWorkload(spec, ResilienceConfig::baseline(),
+                                 20000);
+    RunResult ts = runWorkload(spec, ResilienceConfig::turnstile(10),
+                               20000);
+    EXPECT_EQ(ts.dataHash, base.dataHash);
+    EXPECT_GT(ts.pipe.cycles, base.pipe.cycles);
+}
+
+TEST(Smoke, TurnpikeMatchesGoldenAndBeatsTurnstile)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "hmmer");
+    RunResult base = runWorkload(spec, ResilienceConfig::baseline(),
+                                 20000);
+    RunResult ts = runWorkload(spec, ResilienceConfig::turnstile(10),
+                               20000);
+    RunResult tp = runWorkload(spec, ResilienceConfig::turnpike(10),
+                               20000);
+    EXPECT_EQ(tp.dataHash, base.dataHash);
+    EXPECT_LT(tp.pipe.cycles, ts.pipe.cycles);
+}
+
+} // namespace
+} // namespace turnpike

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Randomized invariant tests for the hardware structures: the color
+ * maps' slot accounting (no slot ever double-allocated; verified
+ * slot always readable), the store buffer's FIFO/gating discipline,
+ * and the CLQ's conservative-detection guarantee (the compact range
+ * design never claims WAR-freedom that the exact design would deny).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ir/function.hh"
+#include "sim/clq.hh"
+#include "sim/color_maps.hh"
+#include "sim/store_buffer.hh"
+#include "util/rng.hh"
+
+namespace turnpike {
+namespace {
+
+class ColorMapProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ColorMapProperty, SlotsNeverDoubleAllocated)
+{
+    Rng rng(GetParam());
+    ColorMaps cm;
+    // Per register: colors currently held by unverified regions.
+    std::map<Reg, std::multiset<int>> held;
+    // Simulated in-flight regions: list of (reg, slot) batches.
+    std::vector<std::vector<UsedColor>> inflight;
+
+    for (int step = 0; step < 2000; step++) {
+        double roll = rng.real();
+        if (roll < 0.55) {
+            // A region checkpoints a few registers.
+            std::vector<UsedColor> used;
+            int n = static_cast<int>(rng.range(1, 4));
+            for (int i = 0; i < n; i++) {
+                Reg r = static_cast<Reg>(rng.below(8));
+                int c = cm.tryAssign(r);
+                if (c < 0) {
+                    // Pool empty: quarantine slot, always available.
+                    used.push_back({r, layout::kQuarantineColor});
+                    continue;
+                }
+                // The color must not already be held or be the
+                // verified slot.
+                EXPECT_EQ(held[r].count(c), 0u)
+                    << "color double-allocated";
+                EXPECT_NE(cm.verifiedSlot(r), c)
+                    << "allocated the verified slot";
+                held[r].insert(c);
+                used.push_back({r, c});
+            }
+            inflight.push_back(std::move(used));
+        } else if (roll < 0.85 && !inflight.empty()) {
+            // Oldest region verifies.
+            auto used = inflight.front();
+            inflight.erase(inflight.begin());
+            cm.applyVerified(used);
+            for (auto &[r, c] : used)
+                if (c != layout::kQuarantineColor)
+                    held[r].erase(held[r].find(c));
+            // VC must now point at the last slot of each register in
+            // this batch.
+            std::map<Reg, int> last;
+            for (auto &[r, c] : used)
+                last[r] = c;
+            for (auto &[r, c] : last)
+                EXPECT_EQ(cm.verifiedSlot(r), c);
+        } else if (!inflight.empty()) {
+            // Squash everything (recovery).
+            for (auto &used : inflight) {
+                cm.recycleUnverified(used);
+                for (auto &[r, c] : used)
+                    if (c != layout::kQuarantineColor)
+                        held[r].erase(held[r].find(c));
+            }
+            inflight.clear();
+        }
+        // Conservation: held + free <= number of colors.
+        for (Reg r = 0; r < 8; r++) {
+            EXPECT_LE(static_cast<int>(held[r].size()) +
+                          cm.freeColors(r),
+                      layout::kNumColors)
+                << "color conservation violated for r" << r;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColorMapProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+class SbProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(SbProperty, FifoGatingDiscipline)
+{
+    Rng rng(GetParam());
+    StoreBuffer sb(4);
+    uint64_t next_region = 0;
+    uint64_t oldest_unreleased = 0;
+    std::vector<SbEntry> shadow; // expected FIFO content
+
+    for (int step = 0; step < 3000; step++) {
+        double roll = rng.real();
+        if (roll < 0.4 && !sb.full()) {
+            SbEntry e{rng.below(64) * 8, rng.range(-9, 9),
+                      next_region, StoreKind::App, false};
+            sb.push(e);
+            shadow.push_back(e);
+        } else if (roll < 0.55) {
+            next_region++;
+        } else if (roll < 0.75 &&
+                   oldest_unreleased < next_region) {
+            sb.release(oldest_unreleased);
+            for (auto &e : shadow)
+                if (e.regionInstance == oldest_unreleased)
+                    e.releasable = true;
+            oldest_unreleased++;
+        } else {
+            while (sb.headReleasable()) {
+                SbEntry got = sb.pop();
+                ASSERT_FALSE(shadow.empty());
+                EXPECT_EQ(got.addr, shadow.front().addr);
+                EXPECT_EQ(got.value, shadow.front().value);
+                EXPECT_TRUE(shadow.front().releasable);
+                shadow.erase(shadow.begin());
+            }
+        }
+        EXPECT_EQ(sb.size(), shadow.size());
+        // youngestFor must return the LAST matching entry.
+        if (!shadow.empty()) {
+            uint64_t probe = shadow[rng.below(shadow.size())].addr;
+            const SbEntry *got = sb.youngestFor(probe);
+            ASSERT_NE(got, nullptr);
+            const SbEntry *want = nullptr;
+            for (auto &e : shadow)
+                if (e.addr == probe)
+                    want = &e;
+            EXPECT_EQ(got->value, want->value);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SbProperty,
+                         ::testing::Values(7, 17, 27));
+
+class ClqProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ClqProperty, CompactIsConservativeVsIdeal)
+{
+    // Whenever the compact design says "WAR-free", the ideal design
+    // must agree (ranges only over-approximate). And a disabled CLQ
+    // never claims WAR-freedom.
+    Rng rng(GetParam());
+    Clq compact(ClqDesign::Compact, 3);
+    Clq ideal(ClqDesign::Ideal, 1u << 20);
+    uint64_t region = 0;
+
+    for (int step = 0; step < 3000; step++) {
+        double roll = rng.real();
+        if (roll < 0.5) {
+            uint64_t addr = rng.below(256) * 8;
+            compact.insertLoad(region, addr);
+            ideal.insertLoad(region, addr);
+        } else if (roll < 0.7) {
+            region++;
+        } else if (roll < 0.85 && region > 0) {
+            uint64_t v = rng.below(region);
+            compact.onRegionVerified(v);
+            ideal.onRegionVerified(v);
+        } else {
+            uint64_t addr = rng.below(256) * 8;
+            if (compact.enabled() && compact.isWarFree(addr)) {
+                EXPECT_TRUE(ideal.isWarFree(addr))
+                    << "compact claimed WAR-free where ideal "
+                    << "sees a conflict at 0x" << std::hex << addr;
+            }
+            if (!compact.enabled()) {
+                EXPECT_FALSE(compact.isWarFree(addr));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClqProperty,
+                         ::testing::Values(3, 13, 23, 43));
+
+} // namespace
+} // namespace turnpike

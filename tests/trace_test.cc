@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the pipeline event tracer and the remaining pipeline
+ * corner behaviours: category filtering, recovery events appearing
+ * under fault injection, equivalence of results with tracing on/off,
+ * and cross-CLQ-design functional equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/compiler.hh"
+#include "core/runner.hh"
+#include "machine/minterp.hh"
+#include "sim/pipeline.hh"
+#include "sim/trace.hh"
+#include "util/rng.hh"
+
+namespace turnpike {
+namespace {
+
+PipelineResult
+runTraced(const WorkloadSpec &spec, const ResilienceConfig &cfg,
+          std::ostream *sink, uint32_t mask,
+          const std::vector<FaultEvent> &faults = {})
+{
+    auto mod = buildWorkload(spec, 6000);
+    CompiledProgram prog = compileWorkload(*mod, cfg);
+    PipelineConfig pcfg = cfg.toPipelineConfig();
+    std::unique_ptr<Tracer> tracer;
+    if (sink) {
+        tracer = std::make_unique<Tracer>(*sink, mask);
+        pcfg.tracer = tracer.get();
+    }
+    InOrderPipeline pipe(*mod, *prog.mf, pcfg);
+    return pipe.run(faults);
+}
+
+TEST(Trace, RegionEventsAppear)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "gcc");
+    std::ostringstream out;
+    runTraced(spec, ResilienceConfig::turnpike(10), &out,
+              kTraceRegions);
+    std::string text = out.str();
+    EXPECT_NE(text.find("boundary"), std::string::npos);
+    EXPECT_NE(text.find("verified"), std::string::npos);
+    // Filtered categories stay silent.
+    EXPECT_EQ(text.find("issue"), std::string::npos);
+}
+
+TEST(Trace, CategoryFilterSelectsStores)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "milc");
+    std::ostringstream out;
+    runTraced(spec, ResilienceConfig::turnpike(10), &out,
+              kTraceStores);
+    std::string text = out.str();
+    EXPECT_NE(text.find("fast release"), std::string::npos);
+    EXPECT_EQ(text.find("boundary"), std::string::npos);
+}
+
+TEST(Trace, RecoveryEventsUnderFaults)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "gcc");
+    ResilienceConfig cfg = ResilienceConfig::turnpike(20);
+    PipelineResult clean = runTraced(spec, cfg, nullptr, 0);
+    Rng rng(3);
+    auto plan = makeFaultPlan(rng, clean.stats.cycles, 20, 2);
+    std::ostringstream out;
+    PipelineResult r = runTraced(spec, cfg, &out, kTraceRecovery,
+                                 plan);
+    EXPECT_GT(r.stats.recoveries, 0u);
+    std::string text = out.str();
+    EXPECT_NE(text.find("flipped"), std::string::npos);
+    EXPECT_NE(text.find("squashing"), std::string::npos);
+}
+
+TEST(Trace, TracingDoesNotChangeResults)
+{
+    const WorkloadSpec &spec = findWorkload("SPLASH3", "water-sp");
+    ResilienceConfig cfg = ResilienceConfig::turnpike(10);
+    std::ostringstream out;
+    PipelineResult traced = runTraced(spec, cfg, &out, kTraceAll);
+    PipelineResult plain = runTraced(spec, cfg, nullptr, 0);
+    EXPECT_EQ(traced.stats.cycles, plain.stats.cycles);
+    EXPECT_EQ(traced.stats.insts, plain.stats.insts);
+    auto mod = buildWorkload(spec, 6000);
+    EXPECT_EQ(traced.memory.dataHash(*mod),
+              plain.memory.dataHash(*mod));
+    EXPECT_GT(out.str().size(), 1000u);
+}
+
+TEST(Pipeline, ClqDesignsFunctionallyEquivalent)
+{
+    // Ideal vs compact CLQ may differ in timing but never in the
+    // final memory image.
+    for (const char *name : {"milc", "gcc", "mcf"}) {
+        const WorkloadSpec &spec = findWorkload("CPU2006", name);
+        ResilienceConfig compact = ResilienceConfig::turnpike(10);
+        ResilienceConfig ideal = compact;
+        ideal.clqDesign = ClqDesign::Ideal;
+        ideal.clqEntries = 4096;
+        RunResult rc = runWorkload(spec, compact, 8000);
+        RunResult ri = runWorkload(spec, ideal, 8000);
+        EXPECT_EQ(rc.dataHash, ri.dataHash) << name;
+    }
+}
+
+TEST(Pipeline, TinyRbbStallsButStaysCorrect)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "gcc");
+    ResilienceConfig cfg = ResilienceConfig::turnstile(50);
+    auto mod = buildWorkload(spec, 8000);
+    CompiledProgram prog = compileWorkload(*mod, cfg);
+    PipelineConfig pcfg = cfg.toPipelineConfig();
+    pcfg.rbbEntries = 2; // force boundary stalls
+    InOrderPipeline pipe(*mod, *prog.mf, pcfg);
+    PipelineResult r = pipe.run();
+    ASSERT_TRUE(r.halted);
+    EXPECT_GT(r.stats.rbbFullStallCycles, 0u);
+    InterpResult golden = interpretMachine(*mod, *prog.mf);
+    EXPECT_EQ(r.memory.dataHash(*mod),
+              golden.memory.dataHash(*mod));
+}
+
+TEST(Pipeline, ColorPoolExhaustionFallsBackSafely)
+{
+    // At a long WCDL many regions are in flight; per-register colors
+    // run out and checkpoints quarantine — results must still match.
+    const WorkloadSpec &spec = findWorkload("CPU2006", "libquan");
+    ResilienceConfig cfg = ResilienceConfig::turnpike(50);
+    RunResult r = runWorkload(spec, cfg, 8000);
+    EXPECT_EQ(r.dataHash, r.goldenHash);
+    // Some checkpoints should have fallen back to the quarantine.
+    EXPECT_GT(r.pipe.storesQuarantined, 0u);
+}
+
+} // namespace
+} // namespace turnpike

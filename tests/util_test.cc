@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the utility substrate: formatting, RNG, statistics
+ * and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace turnpike {
+namespace {
+
+TEST(Strfmt, FormatsLikePrintf)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+    EXPECT_EQ(strfmt("%.2f", 1.2345), "1.23");
+    EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Strfmt, HandlesLongStrings)
+{
+    std::string big(5000, 'a');
+    EXPECT_EQ(strfmt("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; i++)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversSmallRange)
+{
+    Rng r(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 200; i++)
+        seen.insert(r.below(4));
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(11);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 500; i++) {
+        int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        lo |= v == -3;
+        hi |= v == 3;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(13);
+    for (int i = 0; i < 500; i++) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(15);
+    for (int i = 0; i < 50; i++) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+}
+
+TEST(Distribution, TracksMinMaxMeanCount)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.sample(2);
+    d.sample(8);
+    d.sample(5);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 8.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+}
+
+TEST(Distribution, MergeCombines)
+{
+    Distribution a, b;
+    a.sample(1);
+    b.sample(9);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    Distribution empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(StatSet, IncSetGet)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("x"), 0u);
+    s.inc("x");
+    s.inc("x", 4);
+    EXPECT_EQ(s.get("x"), 5u);
+    s.set("x", 2);
+    EXPECT_EQ(s.get("x"), 2u);
+    s.reset();
+    EXPECT_EQ(s.get("x"), 0u);
+    EXPECT_EQ(s.all().size(), 1u);
+}
+
+TEST(Table, AlignedTextAndCsv)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::string text = t.toText();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("longer"), std::string::npos);
+    EXPECT_EQ(t.toCsv(), "name,value\na,1\nlonger,22\n");
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CellFormatting)
+{
+    EXPECT_EQ(cell(1.23456, 2), "1.23");
+    EXPECT_EQ(cell(uint64_t(42)), "42");
+    EXPECT_EQ(pct(0.1234), "12.3%");
+    EXPECT_EQ(pct(0.5, 0), "50%");
+}
+
+} // namespace
+} // namespace turnpike

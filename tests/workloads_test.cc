@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the workload suite: completeness (the paper's 36
+ * benchmarks), determinism, scaling, and per-kernel semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/interpreter.hh"
+#include "ir/verifier.hh"
+#include "workloads/kernels.hh"
+#include "workloads/suite.hh"
+
+namespace turnpike {
+namespace {
+
+TEST(Suite, ThirtySixBenchmarksInPaperSuites)
+{
+    const auto &suite = workloadSuite();
+    EXPECT_EQ(suite.size(), 36u);
+    int cpu2006 = 0, cpu2017 = 0, splash = 0;
+    std::set<std::string> keys;
+    for (const WorkloadSpec &s : suite) {
+        if (s.suite == "CPU2006")
+            cpu2006++;
+        else if (s.suite == "CPU2017")
+            cpu2017++;
+        else if (s.suite == "SPLASH3")
+            splash++;
+        EXPECT_TRUE(keys.insert(s.suite + "/" + s.name).second)
+            << "duplicate " << s.name;
+        EXPECT_GT(s.stream + s.copy + s.stencil + s.reduce +
+                      s.ptrchase + s.branchy + s.hist + s.spill,
+                  0)
+            << s.name << " has no kernels";
+    }
+    EXPECT_EQ(cpu2006, 16);
+    EXPECT_EQ(cpu2017, 13);
+    EXPECT_EQ(splash, 7);
+}
+
+TEST(Suite, FindWorkloadLocatesAll)
+{
+    for (const WorkloadSpec &s : workloadSuite()) {
+        const WorkloadSpec &found = findWorkload(s.suite, s.name);
+        EXPECT_EQ(&found, &s);
+    }
+}
+
+TEST(Suite, BuildsVerifiableModules)
+{
+    for (const WorkloadSpec &s : workloadSuite()) {
+        auto mod = buildWorkload(s, 5000);
+        ASSERT_EQ(mod->functions().size(), 1u);
+        EXPECT_TRUE(verifyFunction(*mod->functions()[0]).empty())
+            << s.name;
+        EXPECT_GE(mod->data().size(), 4u);
+    }
+}
+
+TEST(Suite, DeterministicConstruction)
+{
+    const WorkloadSpec &s = findWorkload("CPU2006", "gcc");
+    auto a = buildWorkload(s, 8000);
+    auto b = buildWorkload(s, 8000);
+    InterpResult ra = interpret(*a, *a->functions()[0]);
+    InterpResult rb = interpret(*b, *b->functions()[0]);
+    EXPECT_EQ(ra.memory.dataHash(*a), rb.memory.dataHash(*b));
+    EXPECT_EQ(ra.stats.insts, rb.stats.insts);
+}
+
+TEST(Suite, DifferentSeedsGiveDifferentData)
+{
+    WorkloadSpec a = findWorkload("CPU2006", "gcc");
+    WorkloadSpec b = a;
+    b.seed += 1;
+    auto ma = buildWorkload(a, 8000);
+    auto mb = buildWorkload(b, 8000);
+    InterpResult ra = interpret(*ma, *ma->functions()[0]);
+    InterpResult rb = interpret(*mb, *mb->functions()[0]);
+    EXPECT_NE(ra.memory.dataHash(*ma), rb.memory.dataHash(*mb));
+}
+
+TEST(Suite, ScalesTowardInstructionTarget)
+{
+    const WorkloadSpec &s = findWorkload("CPU2006", "hmmer");
+    auto small = buildWorkload(s, 10000);
+    auto big = buildWorkload(s, 80000);
+    InterpResult rs = interpret(*small, *small->functions()[0]);
+    InterpResult rb = interpret(*big, *big->functions()[0]);
+    EXPECT_GT(rb.stats.insts, 3 * rs.stats.insts);
+    // Within a factor of ~4 of the request.
+    EXPECT_GT(rb.stats.insts, 20000u);
+    EXPECT_LT(rb.stats.insts, 320000u);
+}
+
+TEST(Suite, AllWorkloadsHaltFunctionally)
+{
+    for (const WorkloadSpec &s : workloadSuite()) {
+        auto mod = buildWorkload(s, 4000);
+        InterpResult r = interpret(*mod, *mod->functions()[0],
+                                   5000000);
+        EXPECT_EQ(r.reason, StopReason::Halted) << s.name;
+        EXPECT_GT(r.stats.insts, 1000u) << s.name;
+        EXPECT_GT(r.stats.storesApp, 0u) << s.name;
+    }
+}
+
+TEST(Suite, PermutationIsFullCycle)
+{
+    // The pointer-chase Next array must be one cycle so the chase
+    // visits distinct elements (miss-heavy behaviour).
+    const WorkloadSpec &s = findWorkload("CPU2006", "mcf");
+    auto mod = buildWorkload(s, 4000);
+    const DataObject *next = nullptr;
+    for (const DataObject &d : mod->data())
+        if (d.name == "Next")
+            next = &d;
+    ASSERT_NE(next, nullptr);
+    // Follow the permutation from 0; it must not revisit 0 early.
+    std::set<int64_t> seen;
+    int64_t idx = 0;
+    for (uint64_t i = 0; i < next->words; i++) {
+        ASSERT_GE(idx, 0);
+        ASSERT_LT(static_cast<uint64_t>(idx), next->words);
+        EXPECT_TRUE(seen.insert(idx).second)
+            << "cycle shorter than the array";
+        idx = next->init[static_cast<size_t>(idx)];
+    }
+    EXPECT_EQ(idx, 0); // closes the full cycle
+}
+
+TEST(Kernels, StoreDensityInSpecRange)
+{
+    // Calibration guard: across the suite, stores (without
+    // checkpoints) should be roughly 5-20% of instructions, like the
+    // paper's benchmarks.
+    std::vector<double> densities;
+    for (const WorkloadSpec &s : workloadSuite()) {
+        auto mod = buildWorkload(s, 6000);
+        InterpResult r = interpret(*mod, *mod->functions()[0]);
+        densities.push_back(
+            static_cast<double>(r.stats.storesTotal()) /
+            static_cast<double>(r.stats.insts));
+    }
+    double avg = mean(densities);
+    EXPECT_GT(avg, 0.04);
+    EXPECT_LT(avg, 0.22);
+}
+
+} // namespace
+} // namespace turnpike
