@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fault_rate.dir/ext_fault_rate.cc.o"
+  "CMakeFiles/ext_fault_rate.dir/ext_fault_rate.cc.o.d"
+  "ext_fault_rate"
+  "ext_fault_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fault_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_region_budget.dir/ext_region_budget.cc.o"
+  "CMakeFiles/ext_region_budget.dir/ext_region_budget.cc.o.d"
+  "ext_region_budget"
+  "ext_region_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_region_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_checkpoint_ratio.dir/fig04_checkpoint_ratio.cc.o"
+  "CMakeFiles/fig04_checkpoint_ratio.dir/fig04_checkpoint_ratio.cc.o.d"
+  "fig04_checkpoint_ratio"
+  "fig04_checkpoint_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_checkpoint_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_clq_designs.dir/fig14_clq_designs.cc.o"
+  "CMakeFiles/fig14_clq_designs.dir/fig14_clq_designs.cc.o.d"
+  "fig14_clq_designs"
+  "fig14_clq_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_clq_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_warfree_ratio.dir/fig15_warfree_ratio.cc.o"
+  "CMakeFiles/fig15_warfree_ratio.dir/fig15_warfree_ratio.cc.o.d"
+  "fig15_warfree_ratio"
+  "fig15_warfree_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_warfree_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

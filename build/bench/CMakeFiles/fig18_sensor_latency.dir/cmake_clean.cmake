@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_sensor_latency.dir/fig18_sensor_latency.cc.o"
+  "CMakeFiles/fig18_sensor_latency.dir/fig18_sensor_latency.cc.o.d"
+  "fig18_sensor_latency"
+  "fig18_sensor_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_sensor_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

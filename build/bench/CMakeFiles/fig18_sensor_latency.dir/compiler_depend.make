@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_sensor_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_sensor_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_turnpike_wcdl.dir/fig19_turnpike_wcdl.cc.o"
+  "CMakeFiles/fig19_turnpike_wcdl.dir/fig19_turnpike_wcdl.cc.o.d"
+  "fig19_turnpike_wcdl"
+  "fig19_turnpike_wcdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_turnpike_wcdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_turnstile_wcdl.dir/fig20_turnstile_wcdl.cc.o"
+  "CMakeFiles/fig20_turnstile_wcdl.dir/fig20_turnstile_wcdl.cc.o.d"
+  "fig20_turnstile_wcdl"
+  "fig20_turnstile_wcdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_turnstile_wcdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_ablation.dir/fig21_ablation.cc.o"
+  "CMakeFiles/fig21_ablation.dir/fig21_ablation.cc.o.d"
+  "fig21_ablation"
+  "fig21_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_store_breakdown.dir/fig23_store_breakdown.cc.o"
+  "CMakeFiles/fig23_store_breakdown.dir/fig23_store_breakdown.cc.o.d"
+  "fig23_store_breakdown"
+  "fig23_store_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_store_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

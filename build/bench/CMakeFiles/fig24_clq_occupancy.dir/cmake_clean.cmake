@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_clq_occupancy.dir/fig24_clq_occupancy.cc.o"
+  "CMakeFiles/fig24_clq_occupancy.dir/fig24_clq_occupancy.cc.o.d"
+  "fig24_clq_occupancy"
+  "fig24_clq_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_clq_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_clq_sizing.dir/fig25_clq_sizing.cc.o"
+  "CMakeFiles/fig25_clq_sizing.dir/fig25_clq_sizing.cc.o.d"
+  "fig25_clq_sizing"
+  "fig25_clq_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_clq_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

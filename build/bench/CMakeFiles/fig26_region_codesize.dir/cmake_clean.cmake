@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_region_codesize.dir/fig26_region_codesize.cc.o"
+  "CMakeFiles/fig26_region_codesize.dir/fig26_region_codesize.cc.o.d"
+  "fig26_region_codesize"
+  "fig26_region_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_region_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcdl_tradeoff.dir/wcdl_tradeoff.cpp.o"
+  "CMakeFiles/wcdl_tradeoff.dir/wcdl_tradeoff.cpp.o.d"
+  "wcdl_tradeoff"
+  "wcdl_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcdl_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

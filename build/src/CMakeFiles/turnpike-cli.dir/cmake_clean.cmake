@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnpike-cli.dir/tools/turnpike_cli.cc.o"
+  "CMakeFiles/turnpike-cli.dir/tools/turnpike_cli.cc.o.d"
+  "turnpike-cli"
+  "turnpike-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnpike-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

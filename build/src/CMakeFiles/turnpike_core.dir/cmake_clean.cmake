@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnpike_core.dir/core/compiler.cc.o"
+  "CMakeFiles/turnpike_core.dir/core/compiler.cc.o.d"
+  "CMakeFiles/turnpike_core.dir/core/config.cc.o"
+  "CMakeFiles/turnpike_core.dir/core/config.cc.o.d"
+  "CMakeFiles/turnpike_core.dir/core/hwcost.cc.o"
+  "CMakeFiles/turnpike_core.dir/core/hwcost.cc.o.d"
+  "CMakeFiles/turnpike_core.dir/core/runner.cc.o"
+  "CMakeFiles/turnpike_core.dir/core/runner.cc.o.d"
+  "libturnpike_core.a"
+  "libturnpike_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnpike_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/basic_block.cc" "src/CMakeFiles/turnpike_ir.dir/ir/basic_block.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/basic_block.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/turnpike_ir.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/cfg.cc" "src/CMakeFiles/turnpike_ir.dir/ir/cfg.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/cfg.cc.o.d"
+  "/root/repo/src/ir/dominators.cc" "src/CMakeFiles/turnpike_ir.dir/ir/dominators.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/dominators.cc.o.d"
+  "/root/repo/src/ir/function.cc" "src/CMakeFiles/turnpike_ir.dir/ir/function.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/function.cc.o.d"
+  "/root/repo/src/ir/instruction.cc" "src/CMakeFiles/turnpike_ir.dir/ir/instruction.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/instruction.cc.o.d"
+  "/root/repo/src/ir/interpreter.cc" "src/CMakeFiles/turnpike_ir.dir/ir/interpreter.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/interpreter.cc.o.d"
+  "/root/repo/src/ir/liveness.cc" "src/CMakeFiles/turnpike_ir.dir/ir/liveness.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/liveness.cc.o.d"
+  "/root/repo/src/ir/loop_info.cc" "src/CMakeFiles/turnpike_ir.dir/ir/loop_info.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/loop_info.cc.o.d"
+  "/root/repo/src/ir/module.cc" "src/CMakeFiles/turnpike_ir.dir/ir/module.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/module.cc.o.d"
+  "/root/repo/src/ir/opcode.cc" "src/CMakeFiles/turnpike_ir.dir/ir/opcode.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/opcode.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/turnpike_ir.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/CMakeFiles/turnpike_ir.dir/ir/verifier.cc.o" "gcc" "src/CMakeFiles/turnpike_ir.dir/ir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/turnpike_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

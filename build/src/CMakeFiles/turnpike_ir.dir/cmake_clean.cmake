@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnpike_ir.dir/ir/basic_block.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/basic_block.cc.o.d"
+  "CMakeFiles/turnpike_ir.dir/ir/builder.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/builder.cc.o.d"
+  "CMakeFiles/turnpike_ir.dir/ir/cfg.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/cfg.cc.o.d"
+  "CMakeFiles/turnpike_ir.dir/ir/dominators.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/dominators.cc.o.d"
+  "CMakeFiles/turnpike_ir.dir/ir/function.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/function.cc.o.d"
+  "CMakeFiles/turnpike_ir.dir/ir/instruction.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/instruction.cc.o.d"
+  "CMakeFiles/turnpike_ir.dir/ir/interpreter.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/interpreter.cc.o.d"
+  "CMakeFiles/turnpike_ir.dir/ir/liveness.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/liveness.cc.o.d"
+  "CMakeFiles/turnpike_ir.dir/ir/loop_info.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/loop_info.cc.o.d"
+  "CMakeFiles/turnpike_ir.dir/ir/module.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/module.cc.o.d"
+  "CMakeFiles/turnpike_ir.dir/ir/opcode.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/opcode.cc.o.d"
+  "CMakeFiles/turnpike_ir.dir/ir/printer.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/printer.cc.o.d"
+  "CMakeFiles/turnpike_ir.dir/ir/verifier.cc.o"
+  "CMakeFiles/turnpike_ir.dir/ir/verifier.cc.o.d"
+  "libturnpike_ir.a"
+  "libturnpike_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnpike_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/mfunction.cc" "src/CMakeFiles/turnpike_machine.dir/machine/mfunction.cc.o" "gcc" "src/CMakeFiles/turnpike_machine.dir/machine/mfunction.cc.o.d"
+  "/root/repo/src/machine/minstr.cc" "src/CMakeFiles/turnpike_machine.dir/machine/minstr.cc.o" "gcc" "src/CMakeFiles/turnpike_machine.dir/machine/minstr.cc.o.d"
+  "/root/repo/src/machine/minterp.cc" "src/CMakeFiles/turnpike_machine.dir/machine/minterp.cc.o" "gcc" "src/CMakeFiles/turnpike_machine.dir/machine/minterp.cc.o.d"
+  "/root/repo/src/machine/mprinter.cc" "src/CMakeFiles/turnpike_machine.dir/machine/mprinter.cc.o" "gcc" "src/CMakeFiles/turnpike_machine.dir/machine/mprinter.cc.o.d"
+  "/root/repo/src/machine/mverifier.cc" "src/CMakeFiles/turnpike_machine.dir/machine/mverifier.cc.o" "gcc" "src/CMakeFiles/turnpike_machine.dir/machine/mverifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/turnpike_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turnpike_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnpike_machine.dir/machine/mfunction.cc.o"
+  "CMakeFiles/turnpike_machine.dir/machine/mfunction.cc.o.d"
+  "CMakeFiles/turnpike_machine.dir/machine/minstr.cc.o"
+  "CMakeFiles/turnpike_machine.dir/machine/minstr.cc.o.d"
+  "CMakeFiles/turnpike_machine.dir/machine/minterp.cc.o"
+  "CMakeFiles/turnpike_machine.dir/machine/minterp.cc.o.d"
+  "CMakeFiles/turnpike_machine.dir/machine/mprinter.cc.o"
+  "CMakeFiles/turnpike_machine.dir/machine/mprinter.cc.o.d"
+  "CMakeFiles/turnpike_machine.dir/machine/mverifier.cc.o"
+  "CMakeFiles/turnpike_machine.dir/machine/mverifier.cc.o.d"
+  "libturnpike_machine.a"
+  "libturnpike_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnpike_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

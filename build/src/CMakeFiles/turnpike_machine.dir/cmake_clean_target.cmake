@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libturnpike_machine.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/checkpoint_pruning.cc" "src/CMakeFiles/turnpike_passes.dir/passes/checkpoint_pruning.cc.o" "gcc" "src/CMakeFiles/turnpike_passes.dir/passes/checkpoint_pruning.cc.o.d"
+  "/root/repo/src/passes/checkpoint_sinking.cc" "src/CMakeFiles/turnpike_passes.dir/passes/checkpoint_sinking.cc.o" "gcc" "src/CMakeFiles/turnpike_passes.dir/passes/checkpoint_sinking.cc.o.d"
+  "/root/repo/src/passes/eager_checkpointing.cc" "src/CMakeFiles/turnpike_passes.dir/passes/eager_checkpointing.cc.o" "gcc" "src/CMakeFiles/turnpike_passes.dir/passes/eager_checkpointing.cc.o.d"
+  "/root/repo/src/passes/induction_variable_merging.cc" "src/CMakeFiles/turnpike_passes.dir/passes/induction_variable_merging.cc.o" "gcc" "src/CMakeFiles/turnpike_passes.dir/passes/induction_variable_merging.cc.o.d"
+  "/root/repo/src/passes/instruction_scheduling.cc" "src/CMakeFiles/turnpike_passes.dir/passes/instruction_scheduling.cc.o" "gcc" "src/CMakeFiles/turnpike_passes.dir/passes/instruction_scheduling.cc.o.d"
+  "/root/repo/src/passes/loop_utils.cc" "src/CMakeFiles/turnpike_passes.dir/passes/loop_utils.cc.o" "gcc" "src/CMakeFiles/turnpike_passes.dir/passes/loop_utils.cc.o.d"
+  "/root/repo/src/passes/lowering.cc" "src/CMakeFiles/turnpike_passes.dir/passes/lowering.cc.o" "gcc" "src/CMakeFiles/turnpike_passes.dir/passes/lowering.cc.o.d"
+  "/root/repo/src/passes/pass_manager.cc" "src/CMakeFiles/turnpike_passes.dir/passes/pass_manager.cc.o" "gcc" "src/CMakeFiles/turnpike_passes.dir/passes/pass_manager.cc.o.d"
+  "/root/repo/src/passes/region_formation.cc" "src/CMakeFiles/turnpike_passes.dir/passes/region_formation.cc.o" "gcc" "src/CMakeFiles/turnpike_passes.dir/passes/region_formation.cc.o.d"
+  "/root/repo/src/passes/register_allocation.cc" "src/CMakeFiles/turnpike_passes.dir/passes/register_allocation.cc.o" "gcc" "src/CMakeFiles/turnpike_passes.dir/passes/register_allocation.cc.o.d"
+  "/root/repo/src/passes/strength_reduction.cc" "src/CMakeFiles/turnpike_passes.dir/passes/strength_reduction.cc.o" "gcc" "src/CMakeFiles/turnpike_passes.dir/passes/strength_reduction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/turnpike_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turnpike_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turnpike_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnpike_passes.dir/passes/checkpoint_pruning.cc.o"
+  "CMakeFiles/turnpike_passes.dir/passes/checkpoint_pruning.cc.o.d"
+  "CMakeFiles/turnpike_passes.dir/passes/checkpoint_sinking.cc.o"
+  "CMakeFiles/turnpike_passes.dir/passes/checkpoint_sinking.cc.o.d"
+  "CMakeFiles/turnpike_passes.dir/passes/eager_checkpointing.cc.o"
+  "CMakeFiles/turnpike_passes.dir/passes/eager_checkpointing.cc.o.d"
+  "CMakeFiles/turnpike_passes.dir/passes/induction_variable_merging.cc.o"
+  "CMakeFiles/turnpike_passes.dir/passes/induction_variable_merging.cc.o.d"
+  "CMakeFiles/turnpike_passes.dir/passes/instruction_scheduling.cc.o"
+  "CMakeFiles/turnpike_passes.dir/passes/instruction_scheduling.cc.o.d"
+  "CMakeFiles/turnpike_passes.dir/passes/loop_utils.cc.o"
+  "CMakeFiles/turnpike_passes.dir/passes/loop_utils.cc.o.d"
+  "CMakeFiles/turnpike_passes.dir/passes/lowering.cc.o"
+  "CMakeFiles/turnpike_passes.dir/passes/lowering.cc.o.d"
+  "CMakeFiles/turnpike_passes.dir/passes/pass_manager.cc.o"
+  "CMakeFiles/turnpike_passes.dir/passes/pass_manager.cc.o.d"
+  "CMakeFiles/turnpike_passes.dir/passes/region_formation.cc.o"
+  "CMakeFiles/turnpike_passes.dir/passes/region_formation.cc.o.d"
+  "CMakeFiles/turnpike_passes.dir/passes/register_allocation.cc.o"
+  "CMakeFiles/turnpike_passes.dir/passes/register_allocation.cc.o.d"
+  "CMakeFiles/turnpike_passes.dir/passes/strength_reduction.cc.o"
+  "CMakeFiles/turnpike_passes.dir/passes/strength_reduction.cc.o.d"
+  "libturnpike_passes.a"
+  "libturnpike_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnpike_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/turnpike_sim.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/turnpike_sim.dir/sim/cache.cc.o.d"
+  "/root/repo/src/sim/clq.cc" "src/CMakeFiles/turnpike_sim.dir/sim/clq.cc.o" "gcc" "src/CMakeFiles/turnpike_sim.dir/sim/clq.cc.o.d"
+  "/root/repo/src/sim/color_maps.cc" "src/CMakeFiles/turnpike_sim.dir/sim/color_maps.cc.o" "gcc" "src/CMakeFiles/turnpike_sim.dir/sim/color_maps.cc.o.d"
+  "/root/repo/src/sim/fault_injector.cc" "src/CMakeFiles/turnpike_sim.dir/sim/fault_injector.cc.o" "gcc" "src/CMakeFiles/turnpike_sim.dir/sim/fault_injector.cc.o.d"
+  "/root/repo/src/sim/pipeline.cc" "src/CMakeFiles/turnpike_sim.dir/sim/pipeline.cc.o" "gcc" "src/CMakeFiles/turnpike_sim.dir/sim/pipeline.cc.o.d"
+  "/root/repo/src/sim/rbb.cc" "src/CMakeFiles/turnpike_sim.dir/sim/rbb.cc.o" "gcc" "src/CMakeFiles/turnpike_sim.dir/sim/rbb.cc.o.d"
+  "/root/repo/src/sim/recovery.cc" "src/CMakeFiles/turnpike_sim.dir/sim/recovery.cc.o" "gcc" "src/CMakeFiles/turnpike_sim.dir/sim/recovery.cc.o.d"
+  "/root/repo/src/sim/sensors.cc" "src/CMakeFiles/turnpike_sim.dir/sim/sensors.cc.o" "gcc" "src/CMakeFiles/turnpike_sim.dir/sim/sensors.cc.o.d"
+  "/root/repo/src/sim/store_buffer.cc" "src/CMakeFiles/turnpike_sim.dir/sim/store_buffer.cc.o" "gcc" "src/CMakeFiles/turnpike_sim.dir/sim/store_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/turnpike_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turnpike_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turnpike_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

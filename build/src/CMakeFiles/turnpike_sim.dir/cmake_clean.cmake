@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnpike_sim.dir/sim/cache.cc.o"
+  "CMakeFiles/turnpike_sim.dir/sim/cache.cc.o.d"
+  "CMakeFiles/turnpike_sim.dir/sim/clq.cc.o"
+  "CMakeFiles/turnpike_sim.dir/sim/clq.cc.o.d"
+  "CMakeFiles/turnpike_sim.dir/sim/color_maps.cc.o"
+  "CMakeFiles/turnpike_sim.dir/sim/color_maps.cc.o.d"
+  "CMakeFiles/turnpike_sim.dir/sim/fault_injector.cc.o"
+  "CMakeFiles/turnpike_sim.dir/sim/fault_injector.cc.o.d"
+  "CMakeFiles/turnpike_sim.dir/sim/pipeline.cc.o"
+  "CMakeFiles/turnpike_sim.dir/sim/pipeline.cc.o.d"
+  "CMakeFiles/turnpike_sim.dir/sim/rbb.cc.o"
+  "CMakeFiles/turnpike_sim.dir/sim/rbb.cc.o.d"
+  "CMakeFiles/turnpike_sim.dir/sim/recovery.cc.o"
+  "CMakeFiles/turnpike_sim.dir/sim/recovery.cc.o.d"
+  "CMakeFiles/turnpike_sim.dir/sim/sensors.cc.o"
+  "CMakeFiles/turnpike_sim.dir/sim/sensors.cc.o.d"
+  "CMakeFiles/turnpike_sim.dir/sim/store_buffer.cc.o"
+  "CMakeFiles/turnpike_sim.dir/sim/store_buffer.cc.o.d"
+  "libturnpike_sim.a"
+  "libturnpike_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnpike_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libturnpike_sim.a"
+)

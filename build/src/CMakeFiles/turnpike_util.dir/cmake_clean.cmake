@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnpike_util.dir/util/logging.cc.o"
+  "CMakeFiles/turnpike_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/turnpike_util.dir/util/rng.cc.o"
+  "CMakeFiles/turnpike_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/turnpike_util.dir/util/stats.cc.o"
+  "CMakeFiles/turnpike_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/turnpike_util.dir/util/table.cc.o"
+  "CMakeFiles/turnpike_util.dir/util/table.cc.o.d"
+  "libturnpike_util.a"
+  "libturnpike_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnpike_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernels.cc" "src/CMakeFiles/turnpike_workloads.dir/workloads/kernels.cc.o" "gcc" "src/CMakeFiles/turnpike_workloads.dir/workloads/kernels.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/turnpike_workloads.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/turnpike_workloads.dir/workloads/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/turnpike_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turnpike_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnpike_workloads.dir/workloads/kernels.cc.o"
+  "CMakeFiles/turnpike_workloads.dir/workloads/kernels.cc.o.d"
+  "CMakeFiles/turnpike_workloads.dir/workloads/suite.cc.o"
+  "CMakeFiles/turnpike_workloads.dir/workloads/suite.cc.o.d"
+  "libturnpike_workloads.a"
+  "libturnpike_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnpike_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

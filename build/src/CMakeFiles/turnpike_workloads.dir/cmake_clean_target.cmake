@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libturnpike_workloads.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/structures_property_test.cc" "tests/CMakeFiles/structures_property_test.dir/structures_property_test.cc.o" "gcc" "tests/CMakeFiles/structures_property_test.dir/structures_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/turnpike_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turnpike_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turnpike_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turnpike_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turnpike_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turnpike_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turnpike_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
