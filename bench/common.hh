@@ -2,7 +2,7 @@
  * @file
  * Shared helpers for the per-figure benchmark harnesses: suite
  * iteration in the paper's order, per-suite geometric means, and a
- * small cache of baseline runs.
+ * cache of baseline runs that is safe to hit from campaign workers.
  */
 
 #ifndef TURNPIKE_BENCH_COMMON_HH_
@@ -10,10 +10,14 @@
 
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/parallel.hh"
 #include "core/runner.hh"
+#include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -43,7 +47,12 @@ class GeoMeans
     double suite(const std::string &s) const
     {
         auto it = per_suite_.find(s);
-        return it == per_suite_.end() ? 1.0 : geomean(it->second);
+        // A typo'd suite name would otherwise print a perfect 1.0
+        // geomean; that must never pass silently.
+        TP_ASSERT(it != per_suite_.end(),
+                  "GeoMeans::suite: suite '%s' was never add()ed",
+                  s.c_str());
+        return geomean(it->second);
     }
 
     double all() const { return geomean(all_); }
@@ -53,7 +62,13 @@ class GeoMeans
     std::vector<double> all_;
 };
 
-/** Cache of baseline runs keyed by workload. */
+/**
+ * Cache of baseline runs keyed by workload. Thread-safe: concurrent
+ * get() calls for the same workload simulate the baseline exactly
+ * once (the losers block on the winner's once-flag), so campaign
+ * workers may share one instance. prewarm() fills the cache for a
+ * whole spec list with a parallel campaign up front.
+ */
 class BaselineCache
 {
   public:
@@ -61,22 +76,51 @@ class BaselineCache
 
     const RunResult &get(const WorkloadSpec &spec)
     {
-        std::string key = spec.suite + "/" + spec.name;
-        auto it = cache_.find(key);
-        if (it == cache_.end()) {
-            it = cache_.emplace(key,
-                                runWorkload(spec,
-                                            ResilienceConfig::baseline(),
-                                            insts_)).first;
+        Slot &s = slot(spec.suite + "/" + spec.name);
+        std::call_once(s.once, [&] {
+            s.result = runWorkload(spec,
+                                   ResilienceConfig::baseline(),
+                                   insts_);
+        });
+        return s.result;
+    }
+
+    /** Run every missing baseline as one parallel campaign. */
+    void prewarm(const std::vector<WorkloadSpec> &specs)
+    {
+        std::vector<RunRequest> reqs;
+        for (const WorkloadSpec &spec : specs)
+            reqs.push_back({spec, ResilienceConfig::baseline(),
+                            insts_, {}, false});
+        std::vector<RunResult> results = runCampaign(reqs);
+        for (size_t i = 0; i < specs.size(); i++) {
+            Slot &s = slot(specs[i].suite + "/" + specs[i].name);
+            std::call_once(s.once, [&] {
+                s.result = std::move(results[i]);
+            });
         }
-        return it->second;
     }
 
     uint64_t insts() const { return insts_; }
 
   private:
+    struct Slot
+    {
+        std::once_flag once;
+        RunResult result;
+    };
+
+    Slot &slot(const std::string &key)
+    {
+        // std::map nodes are address-stable, so the reference
+        // stays valid while other threads insert.
+        std::lock_guard<std::mutex> lock(mu_);
+        return cache_[key];
+    }
+
     uint64_t insts_;
-    std::map<std::string, RunResult> cache_;
+    std::mutex mu_;
+    std::map<std::string, Slot> cache_;
 };
 
 /** Standard harness banner. */

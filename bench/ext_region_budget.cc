@@ -21,7 +21,24 @@ main()
     banner("Extension", "region store-budget sweep (SB=4)");
     const std::vector<uint32_t> budgets = {1, 2, 3, 4};
     BaselineCache base(benchInstBudget());
+    base.prewarm(workloadSuite());
 
+    std::vector<RunRequest> reqs;
+    for (uint32_t wcdl : {10u, 30u})
+        for (const char *scheme : {"turnstile", "turnpike"})
+            for (uint32_t budget : budgets)
+                for (const WorkloadSpec &spec : workloadSuite()) {
+                    ResilienceConfig cfg =
+                        scheme == std::string("turnstile")
+                            ? ResilienceConfig::turnstile(wcdl)
+                            : ResilienceConfig::turnpike(wcdl);
+                    cfg.regionStoreBudget = budget;
+                    reqs.push_back({spec, cfg, base.insts(), {},
+                                    false});
+                }
+    std::vector<RunResult> results = runCampaign(reqs);
+
+    size_t k = 0;
     for (uint32_t wcdl : {10u, 30u}) {
         Table table({"scheme", "budget=1", "budget=2 (paper)",
                      "budget=3", "budget=4"});
@@ -29,15 +46,10 @@ main()
             std::vector<std::string> row{std::string(scheme) + " @DL" +
                                          std::to_string(wcdl)};
             for (uint32_t budget : budgets) {
+                (void)budget;
                 GeoMeans g;
                 for (const WorkloadSpec &spec : workloadSuite()) {
-                    ResilienceConfig cfg =
-                        scheme == std::string("turnstile")
-                            ? ResilienceConfig::turnstile(wcdl)
-                            : ResilienceConfig::turnpike(wcdl);
-                    cfg.regionStoreBudget = budget;
-                    RunResult r = runWorkload(spec, cfg,
-                                              base.insts());
+                    const RunResult &r = results[k++];
                     g.add(spec.suite,
                           static_cast<double>(r.pipe.cycles) /
                               static_cast<double>(

@@ -21,6 +21,7 @@ main()
     Table table({"suite", "workload", "ckpt% (SB=40)",
                  "ckpt% (SB=4)"});
     GeoMeans g40, g4;
+    std::vector<RunRequest> reqs;
     for (const WorkloadSpec &spec : workloadSuite()) {
         if (spec.suite == "SPLASH3")
             continue; // the paper's Fig. 4 covers SPEC only
@@ -28,8 +29,17 @@ main()
         big.sbSize = 40;
         ResilienceConfig small = ResilienceConfig::turnstile(10);
         small.sbSize = 4;
-        RunResult rb = interpretWorkload(spec, big, insts);
-        RunResult rs = interpretWorkload(spec, small, insts);
+        reqs.push_back({spec, big, insts, {}, true});
+        reqs.push_back({spec, small, insts, {}, true});
+    }
+    std::vector<RunResult> results = runCampaign(reqs);
+
+    size_t k = 0;
+    for (const WorkloadSpec &spec : workloadSuite()) {
+        if (spec.suite == "SPLASH3")
+            continue;
+        const RunResult &rb = results[k++];
+        const RunResult &rs = results[k++];
         double ratio40 = static_cast<double>(rb.dyn.storesCkpt) /
             static_cast<double>(rb.dyn.insts);
         double ratio4 = static_cast<double>(rs.dyn.storesCkpt) /

@@ -23,13 +23,22 @@ main()
     ideal.clqDesign = ClqDesign::Ideal;
     ideal.clqEntries = 1u << 20; // effectively infinite
     BaselineCache base(benchInstBudget());
+    base.prewarm(workloadSuite());
 
     Table table({"suite", "workload", "ideal CLQ", "compact CLQ"});
     GeoMeans gi, gc;
+    std::vector<RunRequest> reqs;
+    for (const WorkloadSpec &spec : workloadSuite()) {
+        reqs.push_back({spec, ideal, base.insts(), {}, false});
+        reqs.push_back({spec, compact, base.insts(), {}, false});
+    }
+    std::vector<RunResult> results = runCampaign(reqs);
+
+    size_t k = 0;
     for (const WorkloadSpec &spec : workloadSuite()) {
         double b = static_cast<double>(base.get(spec).pipe.cycles);
-        RunResult ri = runWorkload(spec, ideal, base.insts());
-        RunResult rc = runWorkload(spec, compact, base.insts());
+        const RunResult &ri = results[k++];
+        const RunResult &rc = results[k++];
         double ni = static_cast<double>(ri.pipe.cycles) / b;
         double nc = static_cast<double>(rc.pipe.cycles) / b;
         table.addRow({spec.suite, spec.name, cell(ni), cell(nc)});

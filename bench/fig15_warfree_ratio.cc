@@ -39,9 +39,17 @@ main()
 
     Table table({"suite", "workload", "ideal CLQ", "compact CLQ"});
     std::vector<double> vi, vc;
+    std::vector<RunRequest> reqs;
     for (const WorkloadSpec &spec : workloadSuite()) {
-        RunResult ri = runWorkload(spec, ideal, insts);
-        RunResult rc = runWorkload(spec, compact, insts);
+        reqs.push_back({spec, ideal, insts, {}, false});
+        reqs.push_back({spec, compact, insts, {}, false});
+    }
+    std::vector<RunResult> results = runCampaign(reqs);
+
+    size_t k = 0;
+    for (const WorkloadSpec &spec : workloadSuite()) {
+        const RunResult &ri = results[k++];
+        const RunResult &rc = results[k++];
         table.addRow({spec.suite, spec.name, pct(warFreeRatio(ri)),
                       pct(warFreeRatio(rc))});
         vi.push_back(warFreeRatio(ri));

@@ -27,6 +27,7 @@ main()
         {"TP", ResilienceConfig::turnpike(10)},
     };
     BaselineCache base(benchInstBudget());
+    base.prewarm(workloadSuite());
 
     std::vector<std::string> headers{"suite", "workload"};
     for (const auto &[label, cfg] : steps)
@@ -34,11 +35,18 @@ main()
     Table table(headers);
     std::map<std::string, GeoMeans> geo;
 
+    std::vector<RunRequest> reqs;
+    for (const WorkloadSpec &spec : workloadSuite())
+        for (const auto &[label, cfg] : steps)
+            reqs.push_back({spec, cfg, base.insts(), {}, false});
+    std::vector<RunResult> results = runCampaign(reqs);
+
+    size_t k = 0;
     for (const WorkloadSpec &spec : workloadSuite()) {
         std::vector<std::string> row{spec.suite, spec.name};
         double b = static_cast<double>(base.get(spec).pipe.cycles);
         for (const auto &[label, cfg] : steps) {
-            RunResult r = runWorkload(spec, cfg, base.insts());
+            const RunResult &r = results[k++];
             double norm = static_cast<double>(r.pipe.cycles) / b;
             row.push_back(cell(norm));
             geo[label].add(spec.suite, norm);

@@ -38,6 +38,7 @@ main()
         {"TS(40)", withSb(ResilienceConfig::turnstile(10), 40)},
     };
     BaselineCache base(benchInstBudget());
+    base.prewarm(workloadSuite());
 
     std::vector<std::string> headers{"suite", "workload"};
     for (const auto &[label, cfg] : cols)
@@ -45,11 +46,18 @@ main()
     Table table(headers);
     std::map<std::string, GeoMeans> geo;
 
+    std::vector<RunRequest> reqs;
+    for (const WorkloadSpec &spec : workloadSuite())
+        for (const auto &[label, cfg] : cols)
+            reqs.push_back({spec, cfg, base.insts(), {}, false});
+    std::vector<RunResult> results = runCampaign(reqs);
+
+    size_t k = 0;
     for (const WorkloadSpec &spec : workloadSuite()) {
         std::vector<std::string> row{spec.suite, spec.name};
         double b = static_cast<double>(base.get(spec).pipe.cycles);
         for (const auto &[label, cfg] : cols) {
-            RunResult r = runWorkload(spec, cfg, base.insts());
+            const RunResult &r = results[k++];
             double norm = static_cast<double>(r.pipe.cycles) / b;
             row.push_back(cell(norm));
             geo[label].add(spec.suite, norm);

@@ -23,22 +23,32 @@ main()
                  "Colored", "WAR-free", "Others"});
     std::vector<double> sp, sl, sr, si, sc, sw, so;
 
+    std::vector<RunRequest> reqs;
     for (const WorkloadSpec &spec : workloadSuite()) {
         // Compiler removal chain (functional runs are enough).
-        RunResult ts = interpretWorkload(
-            spec, ResilienceConfig::fastRelease(10), insts);
-        RunResult pruned = interpretWorkload(
-            spec, ResilienceConfig::fastReleasePruning(10), insts);
-        RunResult licm = interpretWorkload(
-            spec, ResilienceConfig::fastReleasePruningLicm(10),
-            insts);
-        RunResult ra = interpretWorkload(
-            spec, ResilienceConfig::fastReleasePruningLicmSchedRa(10),
-            insts);
+        reqs.push_back({spec, ResilienceConfig::fastRelease(10),
+                        insts, {}, true});
+        reqs.push_back({spec, ResilienceConfig::fastReleasePruning(10),
+                        insts, {}, true});
+        reqs.push_back(
+            {spec, ResilienceConfig::fastReleasePruningLicm(10),
+             insts, {}, true});
+        reqs.push_back(
+            {spec, ResilienceConfig::fastReleasePruningLicmSchedRa(10),
+             insts, {}, true});
         // Full Turnpike on the pipeline for the release categories.
-        RunResult tp = runWorkload(spec,
-                                   ResilienceConfig::turnpike(10),
-                                   insts);
+        reqs.push_back({spec, ResilienceConfig::turnpike(10), insts,
+                        {}, false});
+    }
+    std::vector<RunResult> results = runCampaign(reqs);
+
+    size_t k = 0;
+    for (const WorkloadSpec &spec : workloadSuite()) {
+        const RunResult &ts = results[k++];
+        const RunResult &pruned = results[k++];
+        const RunResult &licm = results[k++];
+        const RunResult &ra = results[k++];
+        const RunResult &tp = results[k++];
 
         double total = static_cast<double>(ts.dyn.storesTotal());
         if (total <= 0)

@@ -22,8 +22,14 @@ main()
 
     Table table({"suite", "workload", "average", "maximum"});
     std::vector<double> avgs, maxes;
+    std::vector<RunRequest> reqs;
+    for (const WorkloadSpec &spec : workloadSuite())
+        reqs.push_back({spec, cfg, insts, {}, false});
+    std::vector<RunResult> results = runCampaign(reqs);
+
+    size_t k = 0;
     for (const WorkloadSpec &spec : workloadSuite()) {
-        RunResult r = runWorkload(spec, cfg, insts);
+        const RunResult &r = results[k++];
         double avg = r.pipe.clqOccupancy.mean();
         double mx = r.pipe.clqOccupancy.max();
         table.addRow({spec.suite, spec.name, cell(avg, 2),

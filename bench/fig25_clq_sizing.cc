@@ -21,13 +21,22 @@ main()
     clq4.clqEntries = 4;
     clq4.label = "turnpike-clq4";
     BaselineCache base(benchInstBudget());
+    base.prewarm(workloadSuite());
 
     Table table({"suite", "workload", "CLQ-2", "CLQ-4"});
     GeoMeans g2, g4;
+    std::vector<RunRequest> reqs;
+    for (const WorkloadSpec &spec : workloadSuite()) {
+        reqs.push_back({spec, clq2, base.insts(), {}, false});
+        reqs.push_back({spec, clq4, base.insts(), {}, false});
+    }
+    std::vector<RunResult> results = runCampaign(reqs);
+
+    size_t k = 0;
     for (const WorkloadSpec &spec : workloadSuite()) {
         double b = static_cast<double>(base.get(spec).pipe.cycles);
-        RunResult r2 = runWorkload(spec, clq2, base.insts());
-        RunResult r4 = runWorkload(spec, clq4, base.insts());
+        const RunResult &r2 = results[k++];
+        const RunResult &r4 = results[k++];
         double n2 = static_cast<double>(r2.pipe.cycles) / b;
         double n4 = static_cast<double>(r4.pipe.cycles) / b;
         table.addRow({spec.suite, spec.name, cell(n2), cell(n4)});

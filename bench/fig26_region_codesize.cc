@@ -21,11 +21,19 @@ main()
     Table table({"suite", "workload", "insts/region",
                  "ckpt code increase", "with recovery blocks"});
     std::vector<double> sizes, increases, full_increases;
+    std::vector<RunRequest> reqs;
     for (const WorkloadSpec &spec : workloadSuite()) {
-        RunResult base = interpretWorkload(
-            spec, ResilienceConfig::baseline(), insts);
-        RunResult tp = interpretWorkload(
-            spec, ResilienceConfig::turnpike(10), insts);
+        reqs.push_back({spec, ResilienceConfig::baseline(), insts,
+                        {}, true});
+        reqs.push_back({spec, ResilienceConfig::turnpike(10), insts,
+                        {}, true});
+    }
+    std::vector<RunResult> results = runCampaign(reqs);
+
+    size_t k = 0;
+    for (const WorkloadSpec &spec : workloadSuite()) {
+        const RunResult &base = results[k++];
+        const RunResult &tp = results[k++];
         double instr_bytes =
             static_cast<double>(tp.codeBytes - tp.recoveryBytes);
         double inc =

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/compiler.hh"
+#include "core/parallel.hh"
 #include "core/runner.hh"
 #include "machine/minterp.hh"
 #include "sim/clq.hh"
@@ -121,6 +122,29 @@ BM_PipelineSimulation(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(cycles));
 }
 BENCHMARK(BM_PipelineSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_ParallelCampaign(benchmark::State &state)
+{
+    // End-to-end campaign throughput: 8 independent cells, spread
+    // over the TURNPIKE_JOBS worker pool by runCampaign().
+    std::vector<RunRequest> reqs;
+    for (const char *name : {"mcf", "milc", "hmmer", "astar"}) {
+        const WorkloadSpec &spec = findWorkload("CPU2006", name);
+        reqs.push_back({spec, ResilienceConfig::turnstile(10), 20000,
+                        {}, false});
+        reqs.push_back({spec, ResilienceConfig::turnpike(10), 20000,
+                        {}, false});
+    }
+    uint64_t cells = 0;
+    for (auto _ : state) {
+        std::vector<RunResult> results = runCampaign(reqs);
+        cells += results.size();
+        benchmark::DoNotOptimize(results.front().pipe.cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(cells));
+}
+BENCHMARK(BM_ParallelCampaign)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace turnpike

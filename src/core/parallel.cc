@@ -1,0 +1,119 @@
+#include "core/parallel.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+unsigned
+campaignJobs()
+{
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const char *env = std::getenv("TURNPIKE_JOBS");
+    if (!env)
+        return hw;
+    char *end = nullptr;
+    errno = 0;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || v < 1) {
+        warn("TURNPIKE_JOBS='%s' is not a positive thread count; "
+             "using %u", env, hw);
+        return hw;
+    }
+    return static_cast<unsigned>(std::min(v, 1024l));
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    threads = std::max(1u, threads);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        TP_ASSERT(!stop_, "ThreadPool::submit after shutdown");
+        queue_.push_back(std::move(job));
+        pending_++;
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this] {
+                return stop_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            pending_--;
+            if (pending_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+std::vector<RunResult>
+runCampaign(const std::vector<RunRequest> &requests)
+{
+    std::vector<RunResult> results(requests.size());
+    auto runOne = [&](size_t i) {
+        const RunRequest &q = requests[i];
+        results[i] = q.interpretOnly
+            ? interpretWorkload(q.spec, q.cfg, q.targetDynInsts)
+            : runWorkload(q.spec, q.cfg, q.targetDynInsts, q.faults);
+    };
+
+    size_t jobs = std::min<size_t>(campaignJobs(), requests.size());
+    if (jobs <= 1) {
+        // Serial debug path: same results, one thread, no pool.
+        for (size_t i = 0; i < requests.size(); i++)
+            runOne(i);
+        return results;
+    }
+
+    ThreadPool pool(static_cast<unsigned>(jobs));
+    for (size_t i = 0; i < requests.size(); i++)
+        pool.submit([&runOne, i] { runOne(i); });
+    pool.wait();
+    return results;
+}
+
+} // namespace turnpike

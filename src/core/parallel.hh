@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Parallel campaign engine: a small fixed-size thread pool plus a
+ * runCampaign() API that executes many independent
+ * runWorkload()/interpretWorkload() jobs concurrently. Every paper
+ * figure is a grid of (workload, scheme) cells and every
+ * fault-injection study is thousands of independent simulations;
+ * each InOrderPipeline instance is self-contained state, so the
+ * grid is embarrassingly parallel.
+ *
+ * Results are keyed by submission index, never by completion order,
+ * so tables and geomeans computed from a campaign are bit-identical
+ * to a serial run. The worker count honors the TURNPIKE_JOBS
+ * environment variable (default: hardware_concurrency(); 1 forces
+ * the serial path for debugging).
+ */
+
+#ifndef TURNPIKE_CORE_PARALLEL_HH_
+#define TURNPIKE_CORE_PARALLEL_HH_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace turnpike {
+
+/** One cell of a campaign grid: everything one run needs. */
+struct RunRequest
+{
+    WorkloadSpec spec;
+    ResilienceConfig cfg;
+    uint64_t targetDynInsts = 0;
+    /** Fault plan for the pipeline run; ignored by functional runs. */
+    std::vector<FaultEvent> faults;
+    /** Use interpretWorkload() (no timing) instead of the pipeline. */
+    bool interpretOnly = false;
+};
+
+/**
+ * Worker count for runCampaign(): TURNPIKE_JOBS when set to a
+ * positive integer (a malformed value is warned about and ignored),
+ * otherwise hardware_concurrency(). Always at least 1.
+ */
+unsigned campaignJobs();
+
+/**
+ * Execute every request, spreading the work over campaignJobs()
+ * threads, and return the results in submission order: result[i]
+ * always corresponds to requests[i], whatever order the cells
+ * finished in. With one job (or one request) no threads are spawned
+ * and the requests run serially on the caller's thread.
+ */
+std::vector<RunResult> runCampaign(
+    const std::vector<RunRequest> &requests);
+
+/**
+ * A fixed-size pool of worker threads draining a FIFO job queue.
+ * runCampaign() is the intended front end; the pool is exposed for
+ * harnesses that need to parallelize work that is not shaped like a
+ * RunRequest (and for the unit tests).
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (clamped to at least 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p job; it runs on some worker, FIFO order. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every job submitted so far has finished. The
+     * mutex handoff makes the workers' writes visible to the
+     * caller.
+     */
+    void wait();
+
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable work_cv_;  ///< signals queued work / stop
+    std::condition_variable idle_cv_;  ///< signals pending_ hitting 0
+    std::deque<std::function<void()>> queue_;
+    uint64_t pending_ = 0; ///< queued + currently executing jobs
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_CORE_PARALLEL_HH_

@@ -1,5 +1,6 @@
 #include "core/runner.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "machine/minterp.hh"
@@ -76,11 +77,20 @@ interpretWorkload(const WorkloadSpec &spec, const ResilienceConfig &cfg,
 uint64_t
 benchInstBudget()
 {
+    constexpr uint64_t kDefault = 200000;
     const char *env = std::getenv("TURNPIKE_BENCH_ICOUNT");
     if (!env)
-        return 200000;
-    long long v = std::atoll(env);
-    return v > 1000 ? static_cast<uint64_t>(v) : 200000;
+        return kDefault;
+    char *end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || v < 1) {
+        warn("TURNPIKE_BENCH_ICOUNT='%s' is not a positive "
+             "instruction count; using the default %llu", env,
+             static_cast<unsigned long long>(kDefault));
+        return kDefault;
+    }
+    return static_cast<uint64_t>(v);
 }
 
 } // namespace turnpike

@@ -57,6 +57,8 @@ RunResult interpretWorkload(const WorkloadSpec &spec,
 /**
  * Default dynamic-instruction budget for benches; reads the
  * TURNPIKE_BENCH_ICOUNT environment variable (default 200000).
+ * Any value >= 1 is honored; a set-but-unparseable value earns a
+ * one-line stderr warning and falls back to the default.
  */
 uint64_t benchInstBudget();
 

@@ -69,7 +69,13 @@ struct PipelineConfig
 struct PipelineStats
 {
     uint64_t cycles = 0;
-    uint64_t insts = 0;   ///< committed instructions (no boundaries)
+    /**
+     * Committed instructions, the final Halt included; Boundary
+     * markers are zero-width and never counted. Matches
+     * InterpStats::insts exactly (pinned by
+     * Pipeline.InstCountIncludesHaltExcludesBoundaries).
+     */
+    uint64_t insts = 0;
     uint64_t loads = 0;
     uint64_t storesApp = 0;
     uint64_t storesSpill = 0;

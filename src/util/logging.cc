@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace turnpike {
@@ -35,7 +36,10 @@ namespace {
 void
 emit(const char *prefix, const char *fmt, va_list args)
 {
+    // Campaign workers report concurrently; keep lines whole.
+    static std::mutex mu;
     std::string msg = vstrfmt(fmt, args);
+    std::lock_guard<std::mutex> lock(mu);
     std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
 }
 

@@ -128,10 +128,35 @@ TEST(Runner, BenchBudgetEnvOverride)
 {
     setenv("TURNPIKE_BENCH_ICOUNT", "54321", 1);
     EXPECT_EQ(benchInstBudget(), 54321u);
-    setenv("TURNPIKE_BENCH_ICOUNT", "bogus", 1);
-    EXPECT_EQ(benchInstBudget(), 200000u);
+    // Any value >= 1 is honored — small budgets used to be
+    // silently discarded in favor of the 200000 default.
+    setenv("TURNPIKE_BENCH_ICOUNT", "500", 1);
+    EXPECT_EQ(benchInstBudget(), 500u);
+    setenv("TURNPIKE_BENCH_ICOUNT", "1", 1);
+    EXPECT_EQ(benchInstBudget(), 1u);
     unsetenv("TURNPIKE_BENCH_ICOUNT");
     EXPECT_EQ(benchInstBudget(), 200000u);
+}
+
+TEST(Runner, BenchBudgetWarnsOnUnparseableEnv)
+{
+    // A set-but-unusable value falls back to the default WITH a
+    // diagnostic on stderr (it used to be silent).
+    for (const char *bad : {"bogus", "12x", "0", "-5", ""}) {
+        setenv("TURNPIKE_BENCH_ICOUNT", bad, 1);
+        testing::internal::CaptureStderr();
+        EXPECT_EQ(benchInstBudget(), 200000u) << "value '" << bad
+                                              << "'";
+        std::string err = testing::internal::GetCapturedStderr();
+        EXPECT_NE(err.find("TURNPIKE_BENCH_ICOUNT"),
+                  std::string::npos)
+            << "no warning for value '" << bad << "'";
+    }
+    // Unset stays the silent default path.
+    unsetenv("TURNPIKE_BENCH_ICOUNT");
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(benchInstBudget(), 200000u);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
 }
 
 TEST(Runner, FaultArgumentThreadsThrough)

@@ -12,10 +12,18 @@
  * hardware-coloring corner case (§4.3.2). A negative test shows the
  * naive checkpoint release of Fig. 16 can corrupt recovery, which is
  * exactly why coloring exists.
+ *
+ * Each case is an independent simulation, so the whole grid is
+ * executed as runCampaign() request vectors (clean runs first, then
+ * the faulted runs derived from them) and only the assertions run
+ * serially; TURNPIKE_JOBS=1 reproduces the old one-at-a-time order.
  */
 
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "core/parallel.hh"
 #include "core/runner.hh"
 #include "machine/mverifier.hh"
 #include "sim/pipeline.hh"
@@ -35,11 +43,19 @@ struct FaultCase
     uint64_t seed;
 };
 
-void
-PrintTo(const FaultCase &c, std::ostream *os)
+std::string
+describe(const FaultCase &c)
 {
-    *os << c.suite << "/" << c.name << " " << c.scheme << " wcdl="
-        << c.wcdl << " seed=" << c.seed;
+    return c.suite + "/" + c.name + " " + c.scheme + " wcdl=" +
+        std::to_string(c.wcdl) + " seed=" + std::to_string(c.seed);
+}
+
+/** Clean runs are shared by every seed of the same configuration. */
+std::string
+cleanKey(const FaultCase &c)
+{
+    return c.suite + "/" + c.name + "/" + c.scheme + "/" +
+        std::to_string(c.wcdl);
 }
 
 ResilienceConfig
@@ -70,36 +86,6 @@ schemeFor(const FaultCase &c)
         return cfg;
     }
     return ResilienceConfig::turnpike(c.wcdl);
-}
-
-class FaultRecovery : public ::testing::TestWithParam<FaultCase>
-{};
-
-TEST_P(FaultRecovery, RecoversToGoldenImage)
-{
-    const FaultCase &c = GetParam();
-    const WorkloadSpec &spec = findWorkload(c.suite, c.name);
-    ResilienceConfig cfg = schemeFor(c);
-
-    // Fault-free run for the golden hash and the cycle horizon.
-    RunResult clean = runWorkload(spec, cfg, kInsts);
-    ASSERT_TRUE(clean.halted);
-
-    // Inject several upsets spread over the run.
-    Rng rng(c.seed);
-    auto plan = makeFaultPlan(rng, clean.pipe.cycles, c.wcdl, 3);
-    RunResult faulty = runWorkload(spec, cfg, kInsts, plan);
-
-    EXPECT_TRUE(faulty.halted);
-    EXPECT_GT(faulty.pipe.recoveries, 0u)
-        << "no recovery was exercised";
-    EXPECT_EQ(faulty.dataHash, clean.goldenHash)
-        << "recovered run diverged from the golden image";
-    // Recovery costs cycles overall; tolerate small wins from the
-    // squash instantly draining verified SB entries.
-    EXPECT_GE(static_cast<double>(faulty.pipe.cycles),
-              0.99 * static_cast<double>(clean.pipe.cycles))
-        << "recovery should not make the program notably faster";
 }
 
 std::vector<FaultCase>
@@ -138,20 +124,53 @@ faultCases()
     return cases;
 }
 
-std::string
-caseName(const ::testing::TestParamInfo<FaultCase> &info)
+TEST(FaultRecoverySweep, RecoversToGoldenImageAcrossGrid)
 {
-    const FaultCase &c = info.param;
-    std::string s = c.suite + "_" + c.name + "_" + c.scheme + "_w" +
-        std::to_string(c.wcdl) + "_s" + std::to_string(c.seed);
-    for (char &ch : s)
-        if (!isalnum(static_cast<unsigned char>(ch)))
-            ch = '_';
-    return s;
-}
+    const std::vector<FaultCase> cases = faultCases();
 
-INSTANTIATE_TEST_SUITE_P(Sweep, FaultRecovery,
-                         ::testing::ValuesIn(faultCases()), caseName);
+    // Phase 1: one fault-free run per unique configuration, for the
+    // golden hash and the cycle horizon of the fault plans.
+    std::map<std::string, size_t> clean_index;
+    std::vector<RunRequest> clean_reqs;
+    for (const FaultCase &c : cases) {
+        if (clean_index.emplace(cleanKey(c), clean_reqs.size())
+                .second)
+            clean_reqs.push_back({findWorkload(c.suite, c.name),
+                                  schemeFor(c), kInsts, {}, false});
+    }
+    std::vector<RunResult> cleans = runCampaign(clean_reqs);
+    for (size_t i = 0; i < cleans.size(); i++)
+        ASSERT_TRUE(cleans[i].halted) << cleans[i].workload;
+
+    // Phase 2: several upsets spread over each case's run.
+    std::vector<RunRequest> fault_reqs;
+    for (const FaultCase &c : cases) {
+        const RunResult &clean = cleans[clean_index.at(cleanKey(c))];
+        Rng rng(c.seed);
+        RunRequest q{findWorkload(c.suite, c.name), schemeFor(c),
+                     kInsts, {}, false};
+        q.faults = makeFaultPlan(rng, clean.pipe.cycles, c.wcdl, 3);
+        fault_reqs.push_back(std::move(q));
+    }
+    std::vector<RunResult> faulted = runCampaign(fault_reqs);
+
+    for (size_t i = 0; i < cases.size(); i++) {
+        SCOPED_TRACE(describe(cases[i]));
+        const RunResult &clean =
+            cleans[clean_index.at(cleanKey(cases[i]))];
+        const RunResult &faulty = faulted[i];
+        EXPECT_TRUE(faulty.halted);
+        EXPECT_GT(faulty.pipe.recoveries, 0u)
+            << "no recovery was exercised";
+        EXPECT_EQ(faulty.dataHash, clean.goldenHash)
+            << "recovered run diverged from the golden image";
+        // Recovery costs cycles overall; tolerate small wins from
+        // the squash instantly draining verified SB entries.
+        EXPECT_GE(static_cast<double>(faulty.pipe.cycles),
+                  0.99 * static_cast<double>(clean.pipe.cycles))
+            << "recovery should not make the program notably faster";
+    }
+}
 
 /**
  * Negative test (Fig. 16): releasing checkpoint stores without
@@ -171,16 +190,21 @@ TEST(NaiveCkptRelease, Fig16CornerCanCorruptRecovery)
     naive.naiveCkptRelease = true;
 
     RunResult clean = runWorkload(spec, safe, kInsts);
-    uint64_t naive_divergences = 0;
-    uint64_t safe_divergences = 0;
+    std::vector<RunRequest> reqs;
     for (uint64_t seed = 1; seed <= 20; seed++) {
         Rng rng(seed * 31337);
         auto plan = makeFaultPlan(rng, clean.pipe.cycles, 20, 3);
-        RunResult fs = runWorkload(spec, safe, kInsts, plan);
-        if (fs.dataHash != clean.goldenHash)
+        reqs.push_back({spec, safe, kInsts, plan, false});
+        reqs.push_back({spec, naive, kInsts, plan, false});
+    }
+    std::vector<RunResult> results = runCampaign(reqs);
+
+    uint64_t safe_divergences = 0;
+    uint64_t naive_divergences = 0;
+    for (size_t i = 0; i < results.size(); i += 2) {
+        if (results[i].dataHash != clean.goldenHash)
             safe_divergences++;
-        RunResult fn = runWorkload(spec, naive, kInsts, plan);
-        if (fn.dataHash != clean.goldenHash)
+        if (results[i + 1].dataHash != clean.goldenHash)
             naive_divergences++;
     }
     EXPECT_EQ(safe_divergences, 0u)

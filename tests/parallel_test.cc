@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the parallel campaign engine: the thread pool itself,
+ * TURNPIKE_JOBS parsing, the determinism contract (parallel results
+ * are hash-identical to the serial path, in submission order), and
+ * the thread-safe bench helpers (BaselineCache once-semantics,
+ * GeoMeans unknown-suite guard).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "bench/common.hh"
+#include "core/parallel.hh"
+#include "util/rng.hh"
+
+namespace turnpike {
+namespace {
+
+/** Restores the previous TURNPIKE_JOBS value on scope exit. */
+class ScopedJobs
+{
+  public:
+    explicit ScopedJobs(const char *value)
+    {
+        const char *old = std::getenv("TURNPIKE_JOBS");
+        had_ = old != nullptr;
+        if (had_)
+            old_ = old;
+        if (value)
+            setenv("TURNPIKE_JOBS", value, 1);
+        else
+            unsetenv("TURNPIKE_JOBS");
+    }
+
+    ~ScopedJobs()
+    {
+        if (had_)
+            setenv("TURNPIKE_JOBS", old_.c_str(), 1);
+        else
+            unsetenv("TURNPIKE_JOBS");
+    }
+
+  private:
+    bool had_;
+    std::string old_;
+};
+
+/** A small mixed grid: schemes, functional runs, and a faulted run. */
+std::vector<RunRequest>
+mixedGrid()
+{
+    constexpr uint64_t kInsts = 6000;
+    std::vector<RunRequest> reqs;
+    for (const char *name : {"mcf", "milc", "hmmer"}) {
+        const WorkloadSpec &spec = findWorkload("CPU2006", name);
+        reqs.push_back({spec, ResilienceConfig::baseline(), kInsts,
+                        {}, false});
+        reqs.push_back({spec, ResilienceConfig::turnstile(10),
+                        kInsts, {}, false});
+        reqs.push_back({spec, ResilienceConfig::turnpike(10), kInsts,
+                        {}, false});
+        reqs.push_back({spec, ResilienceConfig::fastRelease(20),
+                        kInsts, {}, true});
+    }
+    // One faulted cell: the plan must thread through unchanged.
+    Rng rng(4242);
+    RunRequest faulted{findWorkload("SPLASH3", "radix"),
+                       ResilienceConfig::turnpike(20), kInsts, {},
+                       false};
+    faulted.faults = makeFaultPlan(rng, 20000, 20, 2);
+    reqs.push_back(std::move(faulted));
+    return reqs;
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; i++)
+        pool.submit([&count] { count++; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+    // The pool must survive a second batch after going idle.
+    for (int i = 0; i < 10; i++)
+        pool.submit([&count] { count++; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 110);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait(); // nothing submitted: must not hang
+    SUCCEED();
+}
+
+TEST(CampaignJobs, EnvParsing)
+{
+    {
+        ScopedJobs env("3");
+        EXPECT_EQ(campaignJobs(), 3u);
+    }
+    {
+        ScopedJobs env("1");
+        EXPECT_EQ(campaignJobs(), 1u);
+    }
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    {
+        ScopedJobs env(nullptr);
+        EXPECT_EQ(campaignJobs(), hw);
+    }
+    for (const char *bad : {"bogus", "0", "-2", "4x"}) {
+        ScopedJobs env(bad);
+        testing::internal::CaptureStderr();
+        EXPECT_EQ(campaignJobs(), hw) << "value '" << bad << "'";
+        EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                      "TURNPIKE_JOBS"),
+                  std::string::npos)
+            << "no warning for value '" << bad << "'";
+    }
+}
+
+TEST(ParallelRunner, ParallelHashEqualsSerialOnMixedGrid)
+{
+    std::vector<RunRequest> reqs = mixedGrid();
+
+    std::vector<RunResult> serial, parallel;
+    {
+        ScopedJobs env("1");
+        serial = runCampaign(reqs);
+    }
+    {
+        ScopedJobs env("4");
+        parallel = runCampaign(reqs);
+    }
+
+    ASSERT_EQ(serial.size(), reqs.size());
+    ASSERT_EQ(parallel.size(), reqs.size());
+    for (size_t i = 0; i < reqs.size(); i++) {
+        SCOPED_TRACE("request " + std::to_string(i) + ": " +
+                     serial[i].workload + " / " + serial[i].scheme);
+        // Submission-order keying: result i is request i.
+        EXPECT_EQ(parallel[i].workload, reqs[i].spec.suite + "/" +
+                                            reqs[i].spec.name);
+        EXPECT_EQ(parallel[i].scheme, reqs[i].cfg.label);
+        // Bit-identical outcomes, hashes first.
+        EXPECT_EQ(parallel[i].dataHash, serial[i].dataHash);
+        EXPECT_EQ(parallel[i].goldenHash, serial[i].goldenHash);
+        EXPECT_EQ(parallel[i].halted, serial[i].halted);
+        EXPECT_EQ(parallel[i].pipe.cycles, serial[i].pipe.cycles);
+        EXPECT_EQ(parallel[i].pipe.insts, serial[i].pipe.insts);
+        EXPECT_EQ(parallel[i].pipe.recoveries,
+                  serial[i].pipe.recoveries);
+        EXPECT_EQ(parallel[i].dyn.insts, serial[i].dyn.insts);
+        EXPECT_EQ(parallel[i].codeBytes, serial[i].codeBytes);
+        EXPECT_DOUBLE_EQ(parallel[i].regionSizeAvg,
+                         serial[i].regionSizeAvg);
+    }
+}
+
+TEST(ParallelRunner, MoreJobsThanRequests)
+{
+    ScopedJobs env("16");
+    std::vector<RunRequest> reqs = {
+        {findWorkload("CPU2006", "mcf"), ResilienceConfig::turnpike(10),
+         5000, {}, false},
+        {findWorkload("CPU2006", "mcf"), ResilienceConfig::baseline(),
+         5000, {}, true},
+    };
+    std::vector<RunResult> results = runCampaign(reqs);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].halted);
+    EXPECT_EQ(results[0].dataHash, results[0].goldenHash);
+    EXPECT_EQ(results[1].scheme, "baseline");
+}
+
+TEST(ParallelRunner, EmptyCampaign)
+{
+    EXPECT_TRUE(runCampaign({}).empty());
+}
+
+TEST(BaselineCache, ConcurrentGetsYieldOneResult)
+{
+    ScopedJobs env("4");
+    bench::BaselineCache cache(5000);
+    const WorkloadSpec &spec = findWorkload("CPU2006", "astar");
+
+    // Hammer the same key from several threads: the once-semantics
+    // must hand every caller the same slot (one simulation, stable
+    // address), not one run per racing thread.
+    constexpr int kThreads = 8;
+    const RunResult *seen[kThreads] = {nullptr};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++)
+        threads.emplace_back(
+            [&, t] { seen[t] = &cache.get(spec); });
+    for (std::thread &t : threads)
+        t.join();
+    for (int t = 1; t < kThreads; t++)
+        EXPECT_EQ(seen[t], seen[0]);
+    EXPECT_TRUE(seen[0]->halted);
+    EXPECT_EQ(seen[0]->scheme, "baseline");
+}
+
+TEST(BaselineCache, PrewarmMatchesGet)
+{
+    std::vector<WorkloadSpec> specs = {
+        findWorkload("CPU2006", "mcf"),
+        findWorkload("CPU2017", "leela"),
+    };
+    bench::BaselineCache warmed(5000);
+    warmed.prewarm(specs);
+    bench::BaselineCache lazy(5000);
+    for (const WorkloadSpec &spec : specs) {
+        const RunResult &w = warmed.get(spec);
+        const RunResult &l = lazy.get(spec);
+        EXPECT_EQ(w.dataHash, l.dataHash);
+        EXPECT_EQ(w.pipe.cycles, l.pipe.cycles);
+        // prewarm() filled the slot: get() must reuse it.
+        EXPECT_EQ(&warmed.get(spec), &w);
+    }
+}
+
+TEST(GeoMeans, KnownSuitesAndUnknownSuiteGuard)
+{
+    bench::GeoMeans g;
+    g.add("CPU2006", 2.0);
+    g.add("CPU2006", 8.0);
+    EXPECT_DOUBLE_EQ(g.suite("CPU2006"), 4.0);
+    EXPECT_DOUBLE_EQ(g.all(), 4.0);
+    // A typo'd suite used to return a perfect 1.0 silently.
+    EXPECT_DEATH(g.suite("CPU206"), "never add");
+}
+
+} // namespace
+} // namespace turnpike

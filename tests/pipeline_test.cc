@@ -10,7 +10,12 @@
 
 #include "core/compiler.hh"
 #include "core/runner.hh"
+#include "ir/builder.hh"
 #include "machine/minterp.hh"
+#include "passes/eager_checkpointing.hh"
+#include "passes/lowering.hh"
+#include "passes/region_formation.hh"
+#include "passes/register_allocation.hh"
 #include "sim/pipeline.hh"
 
 namespace turnpike {
@@ -45,6 +50,50 @@ TEST(Pipeline, MatchesFunctionalInterpreter)
     EXPECT_EQ(pr.stats.insts, golden.stats.insts);
     EXPECT_EQ(pr.stats.loads, golden.stats.loads);
     EXPECT_EQ(pr.stats.storesTotal(), golden.stats.storesTotal());
+}
+
+TEST(Pipeline, InstCountIncludesHaltExcludesBoundaries)
+{
+    // Pins the PipelineStats::insts contract: every committed
+    // instruction counts, the final Halt included, while Boundary
+    // markers never do — in exact agreement with InterpStats::insts.
+    auto mod = std::make_unique<Module>("m");
+    DataObject &out = mod->addData("out", 2, {});
+    Function &fn = mod->addFunction("f");
+    IRBuilder b(fn);
+    BlockId e = b.newBlock("e");
+    b.setBlock(e);
+    Reg ob = b.li(static_cast<int64_t>(out.base));
+    Reg x = b.li(7);
+    Reg y = b.binImm(Op::Add, x, 1);
+    b.store(y, ob);
+    b.halt();
+
+    RaOptions ra;
+    runRegisterAllocation(fn, ra);
+    RegionFormationOptions rf;
+    runRegionFormation(fn, rf);
+    runEagerCheckpointing(fn);
+    MachineFunction mf = lowerFunction(fn, PruneResult());
+
+    // Straight-line code: every instruction commits exactly once.
+    ASSERT_EQ(mf.code().back().op, Op::Halt);
+    uint64_t expected = 0;
+    for (const MInstr &mi : mf.code())
+        if (mi.op != Op::Boundary)
+            expected++;
+    ASSERT_GE(expected, 5u); // li, li, add, store, halt at least
+
+    InOrderPipeline pipe(*mod, mf,
+                         ResilienceConfig::turnstile(10)
+                             .toPipelineConfig());
+    PipelineResult pr = pipe.run();
+    ASSERT_TRUE(pr.halted);
+    EXPECT_EQ(pr.stats.insts, expected);
+
+    InterpResult ir = interpretMachine(*mod, mf);
+    ASSERT_EQ(ir.reason, StopReason::Halted);
+    EXPECT_EQ(ir.stats.insts, expected);
 }
 
 TEST(Pipeline, IpcWithinPlausibleRange)

@@ -224,6 +224,72 @@ TEST(Clq, OccupancySampled)
     EXPECT_DOUBLE_EQ(clq.occupancy().max(), 2.0);
 }
 
+TEST(Clq, OverflowWipesEntriesAndBlocksInsertions)
+{
+    // Fig. 13 regression: the overflow must wipe the queue
+    // immediately (no stale ranges survive) and insertions must
+    // stay blocked while disabled — including for regions that had
+    // an entry before the overflow.
+    Clq clq(ClqDesign::Compact, 2);
+    clq.insertLoad(0, 0x100);
+    clq.insertLoad(1, 0x200);
+    EXPECT_EQ(clq.entriesUsed(), 2u);
+    clq.insertLoad(2, 0x300); // overflow
+    EXPECT_FALSE(clq.enabled());
+    EXPECT_EQ(clq.entriesUsed(), 0u);
+    clq.insertLoad(0, 0x108); // existing-region insert: still blocked
+    clq.insertLoad(3, 0x400); // new-region insert: still blocked
+    EXPECT_EQ(clq.entriesUsed(), 0u);
+    EXPECT_EQ(clq.overflows(), 1u) << "blocked inserts are not "
+                                      "fresh overflows";
+}
+
+TEST(Clq, ReenableStartsFromEmptyAndTracksAgain)
+{
+    Clq clq(ClqDesign::Compact, 2);
+    clq.insertLoad(0, 0x100);
+    clq.insertLoad(1, 0x200);
+    clq.insertLoad(2, 0x300); // overflow
+    clq.onRegionStart(true);  // all priors verified: re-enabled
+    EXPECT_TRUE(clq.enabled());
+    EXPECT_EQ(clq.entriesUsed(), 0u);
+    // Pre-overflow history must be gone: 0x100 is provably WAR-free
+    // again, and new loads are tracked from scratch.
+    EXPECT_TRUE(clq.isWarFree(0x100));
+    clq.insertLoad(3, 0x500);
+    EXPECT_FALSE(clq.isWarFree(0x500));
+    EXPECT_EQ(clq.entriesUsed(), 1u);
+}
+
+TEST(Clq, CompactRangeVsIdealExactListSemantics)
+{
+    // The same crafted address pattern, both designs: two loads at
+    // the ends of a hole. Compact's [min, max] range conservatively
+    // swallows the hole; Ideal's exact list does not. Outside the
+    // range both agree.
+    Clq compact(ClqDesign::Compact, 2);
+    Clq ideal(ClqDesign::Ideal, 2);
+    for (Clq *clq : {&compact, &ideal}) {
+        clq->insertLoad(0, 0x1000);
+        clq->insertLoad(0, 0x1040);
+    }
+    // Loaded addresses: both designs must flag them.
+    EXPECT_FALSE(compact.isWarFree(0x1000));
+    EXPECT_FALSE(ideal.isWarFree(0x1000));
+    EXPECT_FALSE(compact.isWarFree(0x1040));
+    EXPECT_FALSE(ideal.isWarFree(0x1040));
+    // The hole: only the range check is (conservatively) wrong.
+    EXPECT_FALSE(compact.isWarFree(0x1008));
+    EXPECT_TRUE(ideal.isWarFree(0x1008));
+    EXPECT_FALSE(compact.isWarFree(0x103f));
+    EXPECT_TRUE(ideal.isWarFree(0x103f));
+    // Outside [min, max]: both prove WAR-freedom.
+    EXPECT_TRUE(compact.isWarFree(0x0ff8));
+    EXPECT_TRUE(ideal.isWarFree(0x0ff8));
+    EXPECT_TRUE(compact.isWarFree(0x1048));
+    EXPECT_TRUE(ideal.isWarFree(0x1048));
+}
+
 // --------------------------------------------------------- color maps
 
 TEST(ColorMaps, AssignExhaustRecycle)
