@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: wall-clock simulated MIPS (million
+ * committed instructions per second of host time) and MCPS (million
+ * simulated cycles per second) per resilience scheme across the
+ * Fig. 19 workload suite. Unlike the figure harnesses this measures
+ * the *simulator*, not the simulated machine: it is the perf
+ * trajectory every hot-path PR is judged against.
+ *
+ * Only the pipeline run is timed; workload construction, compilation
+ * and the functional golden run are excluded. Results are printed as
+ * a table and written to BENCH_sim_throughput.json in the working
+ * directory.
+ *
+ * Environment:
+ *  - TURNPIKE_BENCH_ICOUNT: per-run instruction budget (as usual);
+ *  - TURNPIKE_PERF_WORKLOADS: cap on workloads per scheme (all 36
+ *    when unset; the ctest smoke uses a small cap).
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.hh"
+
+using namespace turnpike;
+using namespace turnpike::bench;
+
+namespace {
+
+size_t
+perfWorkloadCap()
+{
+    const char *env = std::getenv("TURNPIKE_PERF_WORKLOADS");
+    if (!env)
+        return ~size_t(0);
+    char *end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || v < 1) {
+        warn("TURNPIKE_PERF_WORKLOADS='%s' is not a positive count; "
+             "benchmarking the full suite", env);
+        return ~size_t(0);
+    }
+    return static_cast<size_t>(v);
+}
+
+struct SchemeTotals
+{
+    std::string label;
+    uint64_t runs = 0;
+    uint64_t insts = 0;
+    uint64_t cycles = 0;
+    double seconds = 0.0;
+
+    double mips() const
+    {
+        return seconds > 0.0
+            ? static_cast<double>(insts) / seconds / 1e6 : 0.0;
+    }
+    double mcps() const
+    {
+        return seconds > 0.0
+            ? static_cast<double>(cycles) / seconds / 1e6 : 0.0;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Simulator throughput: simulated MIPS per scheme "
+                "==\n");
+    uint64_t budget = benchInstBudget();
+    size_t cap = perfWorkloadCap();
+    std::printf("   (pipeline run only; icount budget %llu per run, "
+                "override with TURNPIKE_BENCH_ICOUNT)\n\n",
+                static_cast<unsigned long long>(budget));
+
+    const std::vector<ResilienceConfig> schemes = {
+        ResilienceConfig::baseline(),
+        ResilienceConfig::turnstile(10),
+        ResilienceConfig::turnpike(10),
+    };
+
+    std::vector<SchemeTotals> totals;
+    for (const ResilienceConfig &cfg : schemes) {
+        SchemeTotals t;
+        t.label = cfg.label;
+        size_t done = 0;
+        for (const WorkloadSpec &spec : workloadSuite()) {
+            if (done >= cap)
+                break;
+            auto mod = buildWorkload(spec, budget);
+            CompiledProgram prog = compileWorkload(*mod, cfg);
+            InOrderPipeline pipe(*mod, *prog.mf,
+                                 cfg.toPipelineConfig());
+            auto t0 = std::chrono::steady_clock::now();
+            PipelineResult r = pipe.run();
+            auto t1 = std::chrono::steady_clock::now();
+            TP_ASSERT(r.halted, "%s/%s did not halt under %s",
+                      spec.suite.c_str(), spec.name.c_str(),
+                      cfg.label.c_str());
+            t.runs++;
+            t.insts += r.stats.insts;
+            t.cycles += r.stats.cycles;
+            t.seconds +=
+                std::chrono::duration<double>(t1 - t0).count();
+            done++;
+        }
+        totals.push_back(std::move(t));
+    }
+
+    Table table({"scheme", "runs", "Minsts", "Mcycles", "seconds",
+                 "sim MIPS", "sim MCPS"});
+    for (const SchemeTotals &t : totals)
+        table.addRow({t.label, cell(static_cast<uint64_t>(t.runs)),
+                      cell(static_cast<double>(t.insts) / 1e6, 2),
+                      cell(static_cast<double>(t.cycles) / 1e6, 2),
+                      cell(t.seconds, 3), cell(t.mips(), 2),
+                      cell(t.mcps(), 2)});
+    std::printf("%s\n", table.toText().c_str());
+
+    const char *path = "BENCH_sim_throughput.json";
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        warn("cannot write %s", path);
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"icount\": %llu,\n  \"schemes\": [\n",
+                 static_cast<unsigned long long>(budget));
+    for (size_t i = 0; i < totals.size(); i++) {
+        const SchemeTotals &t = totals[i];
+        std::fprintf(f,
+                     "    {\"label\": \"%s\", \"runs\": %llu, "
+                     "\"insts\": %llu, \"cycles\": %llu, "
+                     "\"seconds\": %.6f, \"mips\": %.3f, "
+                     "\"mcps\": %.3f}%s\n",
+                     t.label.c_str(),
+                     static_cast<unsigned long long>(t.runs),
+                     static_cast<unsigned long long>(t.insts),
+                     static_cast<unsigned long long>(t.cycles),
+                     t.seconds, t.mips(), t.mcps(),
+                     i + 1 < totals.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+    return 0;
+}

@@ -34,7 +34,7 @@ prepare(const WorkloadSpec &spec, const ResilienceConfig &cfg,
               "workload %s did not halt functionally",
               r.workload.c_str());
     r.goldenHash = golden.memory.dataHash(*mod);
-    r.dyn = golden.stats;
+    r.dyn = std::move(golden.stats);
     if (r.dyn.regionSize.count() > 0)
         r.regionSizeAvg = r.dyn.regionSize.sum() /
             static_cast<double>(r.dyn.regionSize.count());
@@ -57,7 +57,7 @@ runWorkload(const WorkloadSpec &spec, const ResilienceConfig &cfg,
     TP_ASSERT(pr.halted, "workload %s did not halt in the pipeline "
               "(scheme %s)", r.workload.c_str(), cfg.label.c_str());
     r.halted = pr.halted;
-    r.pipe = pr.stats;
+    r.pipe = std::move(pr.stats);
     r.dataHash = pr.memory.dataHash(*mod);
     return r;
 }

@@ -4,21 +4,35 @@
 
 namespace turnpike {
 
-int64_t
-MemoryImage::read(uint64_t addr) const
+const int64_t *
+MemoryImage::farPageIfPresent(uint64_t num) const
 {
-    TP_ASSERT((addr & 7) == 0, "unaligned read at 0x%llx",
-              static_cast<unsigned long long>(addr));
-    auto it = words_.find(addr);
-    return it == words_.end() ? 0 : it->second;
+    auto it = far_.find(num);
+    return it == far_.end() ? nullptr : pages_[it->second].data();
 }
 
-void
-MemoryImage::write(uint64_t addr, int64_t value)
+int64_t *
+MemoryImage::pageFor(uint64_t num)
 {
-    TP_ASSERT((addr & 7) == 0, "unaligned write at 0x%llx",
-              static_cast<unsigned long long>(addr));
-    words_[addr] = value;
+    TP_ASSERT(pages_.size() < ~uint32_t(0) - 1, "memory image: too "
+              "many pages");
+    if (num < kDirectPages) {
+        if (num >= direct_.size())
+            direct_.resize(static_cast<size_t>(num) + 1, 0);
+        uint32_t &slot = direct_[num];
+        if (slot == 0) {
+            pages_.emplace_back(kPageWords, 0);
+            slot = static_cast<uint32_t>(pages_.size());
+        }
+        return pages_[slot - 1].data();
+    }
+    auto it = far_.find(num);
+    if (it == far_.end()) {
+        it = far_.emplace(num, static_cast<uint32_t>(pages_.size()))
+                 .first;
+        pages_.emplace_back(kPageWords, 0);
+    }
+    return pages_[it->second].data();
 }
 
 void
@@ -26,7 +40,7 @@ MemoryImage::loadModule(const Module &mod)
 {
     for (const DataObject &obj : mod.data())
         for (size_t i = 0; i < obj.init.size(); i++)
-            words_[obj.base + i * 8] = obj.init[i];
+            write(obj.base + i * 8, obj.init[i]);
 }
 
 std::vector<int64_t>

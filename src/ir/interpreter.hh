@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ir/module.hh"
+#include "util/logging.hh"
 #include "util/stats.hh"
 
 namespace turnpike {
@@ -21,15 +22,56 @@ namespace turnpike {
 /**
  * Sparse 64-bit-word memory keyed by byte address. Accesses must be
  * 8-byte aligned; unwritten words read as zero.
+ *
+ * Storage is a page table of contiguous 512-word (4 KiB) pages,
+ * allocated on first write. The first 64 Ki page numbers (a 256 MiB
+ * address space covering the entire compiler layout: data, spill
+ * and checkpoint segments) are mapped through a flat direct table,
+ * so the hot read/write path is a shift, a mask and two dependent
+ * loads — no hashing; a hash map backs the (never used in practice)
+ * far tail of the address space.
  */
 class MemoryImage
 {
   public:
+    /** Words per page; a power of two (4 KiB pages). */
+    static constexpr uint64_t kPageWords = 512;
+
+    // read()/write() are inline: they run for every load, store
+    // drain and hash word of a simulation, and the page-cache hit
+    // path is only a compare plus an indexed access.
+
     /** Read the word at @p addr (must be 8-byte aligned). */
-    int64_t read(uint64_t addr) const;
+    int64_t read(uint64_t addr) const
+    {
+        TP_ASSERT((addr & 7) == 0, "unaligned read at 0x%llx",
+                  static_cast<unsigned long long>(addr));
+        uint64_t word = addr >> 3;
+        uint64_t num = word >> kPageShift;
+        if (num < direct_.size()) {
+            uint32_t slot = direct_[num];
+            return slot ? pages_[slot - 1][word & kOffsetMask] : 0;
+        }
+        if (num < kDirectPages)
+            return 0; // in direct range but never written
+        const int64_t *page = farPageIfPresent(num);
+        return page ? page[word & kOffsetMask] : 0;
+    }
 
     /** Write the word at @p addr (must be 8-byte aligned). */
-    void write(uint64_t addr, int64_t value);
+    void write(uint64_t addr, int64_t value)
+    {
+        TP_ASSERT((addr & 7) == 0, "unaligned write at 0x%llx",
+                  static_cast<unsigned long long>(addr));
+        uint64_t word = addr >> 3;
+        uint64_t num = word >> kPageShift;
+        int64_t *page;
+        if (num < direct_.size() && direct_[num] != 0)
+            page = pages_[direct_[num] - 1].data();
+        else
+            page = pageFor(num);
+        page[word & kOffsetMask] = value;
+    }
 
     /** Load all data objects of @p mod as the initial image. */
     void loadModule(const Module &mod);
@@ -44,13 +86,31 @@ class MemoryImage
      */
     uint64_t dataHash(const Module &mod) const;
 
-    const std::unordered_map<uint64_t, int64_t> &words() const
-    {
-        return words_;
-    }
+    /** Pages materialized by writes (sparsity introspection). */
+    size_t pagesAllocated() const { return pages_.size(); }
 
   private:
-    std::unordered_map<uint64_t, int64_t> words_;
+    static constexpr uint64_t kPageShift = 9; // log2(kPageWords)
+    static constexpr uint64_t kOffsetMask = kPageWords - 1;
+    /** Page numbers below this go through the direct table. */
+    static constexpr uint64_t kDirectPages = uint64_t(1) << 16;
+
+    /** Page of word-index page @p num, allocated zeroed on demand. */
+    int64_t *pageFor(uint64_t num);
+
+    /** Far (hash-mapped) page of @p num; nullptr if never written. */
+    const int64_t *farPageIfPresent(uint64_t num) const;
+
+    /**
+     * Page num -> (index into pages_) + 1 for nums < kDirectPages;
+     * 0 marks an unallocated page. Grown on demand, bounded at
+     * kDirectPages entries (256 KiB).
+     */
+    std::vector<uint32_t> direct_;
+    /** Same mapping for the far tail (nums >= kDirectPages). */
+    std::unordered_map<uint64_t, uint32_t> far_;
+    /** Page storage; indices stay valid across copies and moves. */
+    std::vector<std::vector<int64_t>> pages_;
 };
 
 /** Why the interpreter stopped. */

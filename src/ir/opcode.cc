@@ -36,52 +36,4 @@ opName(Op op)
     }
 }
 
-bool
-isBinary(Op op)
-{
-    switch (op) {
-      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
-      case Op::Shl: case Op::Shr: case Op::And: case Op::Or:
-      case Op::Xor: case Op::CmpEq: case Op::CmpNe: case Op::CmpLt:
-      case Op::CmpLe:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isTerminator(Op op)
-{
-    return op == Op::Br || op == Op::Jmp || op == Op::Halt;
-}
-
-bool
-writesDst(Op op)
-{
-    if (isBinary(op))
-        return true;
-    return op == Op::Li || op == Op::Mov || op == Op::Load ||
-        op == Op::AddShl;
-}
-
-bool
-isMemOp(Op op)
-{
-    return op == Op::Load || op == Op::Store;
-}
-
-int
-exLatency(Op op)
-{
-    switch (op) {
-      case Op::Mul:
-        return 3;
-      case Op::Div:
-        return 12;
-      default:
-        return 1;
-    }
-}
-
 } // namespace turnpike

@@ -50,23 +50,49 @@ enum class Op : uint8_t {
 /** Human-readable mnemonic, e.g. "add". */
 const char *opName(Op op);
 
+// The trait predicates below are queried for every issued
+// instruction of a simulation, so they are inline constexpr; the
+// enumerators Add..CmpLe are declared contiguously and pinned by
+// Opcode.BinaryRangeContiguous.
+
 /** True for the two-operand arithmetic/compare ops (Add..CmpLe). */
-bool isBinary(Op op);
+constexpr bool
+isBinary(Op op)
+{
+    return op >= Op::Add && op <= Op::CmpLe;
+}
 
 /** True for Br/Jmp/Halt — the only legal block terminators. */
-bool isTerminator(Op op);
+constexpr bool
+isTerminator(Op op)
+{
+    return op == Op::Br || op == Op::Jmp || op == Op::Halt;
+}
 
 /** True if the op writes a destination register. */
-bool writesDst(Op op);
+constexpr bool
+writesDst(Op op)
+{
+    return isBinary(op) || op == Op::Li || op == Op::Mov ||
+        op == Op::Load || op == Op::AddShl;
+}
 
 /** True for ops that access data memory (Load/Store; not Ckpt). */
-bool isMemOp(Op op);
+constexpr bool
+isMemOp(Op op)
+{
+    return op == Op::Load || op == Op::Store;
+}
 
 /**
  * Execute-stage latency of the op in cycles for the in-order
  * pipeline model (Loads additionally pay the cache access).
  */
-int exLatency(Op op);
+constexpr int
+exLatency(Op op)
+{
+    return op == Op::Mul ? 3 : op == Op::Div ? 12 : 1;
+}
 
 } // namespace turnpike
 

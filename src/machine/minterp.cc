@@ -4,44 +4,6 @@
 
 namespace turnpike {
 
-int64_t
-evalAlu(Op op, int64_t a, int64_t b)
-{
-    switch (op) {
-      case Op::Mov:
-        return a;
-      case Op::Add:
-        return a + b;
-      case Op::Sub:
-        return a - b;
-      case Op::Mul:
-        return a * b;
-      case Op::Div:
-        return b == 0 ? 0 : a / b;
-      case Op::Shl:
-        return static_cast<int64_t>(static_cast<uint64_t>(a)
-                                    << (b & 63));
-      case Op::Shr:
-        return a >> (b & 63);
-      case Op::And:
-        return a & b;
-      case Op::Or:
-        return a | b;
-      case Op::Xor:
-        return a ^ b;
-      case Op::CmpEq:
-        return a == b;
-      case Op::CmpNe:
-        return a != b;
-      case Op::CmpLt:
-        return a < b;
-      case Op::CmpLe:
-        return a <= b;
-      default:
-        panic("evalAlu: %s is not an ALU op", opName(op));
-    }
-}
-
 InterpResult
 interpretMachine(const Module &mod, const MachineFunction &mf,
                  uint64_t step_limit)

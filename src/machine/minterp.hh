@@ -24,9 +24,46 @@ InterpResult interpretMachine(const Module &mod, const MachineFunction &mf,
 /**
  * Evaluate one ALU-class machine op over resolved operand values.
  * Shared by the functional interpreter and the pipeline's execute
- * stage so semantics can never diverge.
+ * stage so semantics can never diverge. Inline: runs once per
+ * simulated ALU instruction.
  */
-int64_t evalAlu(Op op, int64_t a, int64_t b);
+inline int64_t
+evalAlu(Op op, int64_t a, int64_t b)
+{
+    switch (op) {
+      case Op::Mov:
+        return a;
+      case Op::Add:
+        return a + b;
+      case Op::Sub:
+        return a - b;
+      case Op::Mul:
+        return a * b;
+      case Op::Div:
+        return b == 0 ? 0 : a / b;
+      case Op::Shl:
+        return static_cast<int64_t>(static_cast<uint64_t>(a)
+                                    << (b & 63));
+      case Op::Shr:
+        return a >> (b & 63);
+      case Op::And:
+        return a & b;
+      case Op::Or:
+        return a | b;
+      case Op::Xor:
+        return a ^ b;
+      case Op::CmpEq:
+        return a == b;
+      case Op::CmpNe:
+        return a != b;
+      case Op::CmpLt:
+        return a < b;
+      case Op::CmpLe:
+        return a <= b;
+      default:
+        panic("evalAlu: %s is not an ALU op", opName(op));
+    }
+}
 
 } // namespace turnpike
 

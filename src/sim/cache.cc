@@ -19,39 +19,21 @@ Cache::Cache(const CacheConfig &cfg)
     num_sets_ = lines / cfg.ways;
     tags_.assign(static_cast<size_t>(num_sets_) * cfg.ways, kInvalid);
     stamps_.assign(tags_.size(), 0);
-}
 
-bool
-Cache::access(uint64_t addr)
-{
-    uint64_t line = lineOf(addr);
-    uint32_t set = static_cast<uint32_t>(line % num_sets_);
-    size_t base = static_cast<size_t>(set) * cfg_.ways;
-    tick_++;
-    for (uint32_t w = 0; w < cfg_.ways; w++) {
-        if (tags_[base + w] == line) {
-            stamps_[base + w] = tick_;
-            hits_++;
-            return true;
-        }
+    auto pow2 = [](uint64_t v) { return v && (v & (v - 1)) == 0; };
+    if (pow2(cfg_.lineBytes) && pow2(num_sets_)) {
+        pow2_geometry_ = true;
+        while ((uint64_t(1) << line_shift_) < cfg_.lineBytes)
+            line_shift_++;
+        set_mask_ = num_sets_ - 1;
     }
-    misses_++;
-    // Allocate into the LRU way.
-    size_t victim = base;
-    for (uint32_t w = 1; w < cfg_.ways; w++)
-        if (stamps_[base + w] < stamps_[victim])
-            victim = base + w;
-    tags_[victim] = line;
-    stamps_[victim] = tick_;
-    return false;
 }
 
 bool
 Cache::probe(uint64_t addr) const
 {
     uint64_t line = lineOf(addr);
-    uint32_t set = static_cast<uint32_t>(line % num_sets_);
-    size_t base = static_cast<size_t>(set) * cfg_.ways;
+    size_t base = static_cast<size_t>(setOf(line)) * cfg_.ways;
     for (uint32_t w = 0; w < cfg_.ways; w++)
         if (tags_[base + w] == line)
             return true;
@@ -69,24 +51,5 @@ CacheHierarchy::CacheHierarchy(const CacheConfig &l1,
                                const CacheConfig &l2, int mem_latency)
     : l1_(l1), l2_(l2), mem_latency_(mem_latency)
 {}
-
-int
-CacheHierarchy::loadLatency(uint64_t addr)
-{
-    if (l1_.access(addr))
-        return l1_.hitLatency();
-    if (l2_.access(addr))
-        return l2_.hitLatency();
-    return mem_latency_;
-}
-
-void
-CacheHierarchy::storeTouch(uint64_t addr)
-{
-    // Write-allocate into both levels; write latency is absorbed by
-    // the store buffer and not charged to the pipeline.
-    if (!l1_.access(addr))
-        l2_.access(addr);
-}
 
 } // namespace turnpike

@@ -34,9 +34,31 @@ class Cache
 
     /**
      * Look up @p addr; on miss the line is allocated (LRU victim).
+     * Inline: runs for every load and store drain of a simulation.
      * @return true on hit.
      */
-    bool access(uint64_t addr);
+    bool access(uint64_t addr)
+    {
+        uint64_t line = lineOf(addr);
+        size_t base = static_cast<size_t>(setOf(line)) * cfg_.ways;
+        tick_++;
+        for (uint32_t w = 0; w < cfg_.ways; w++) {
+            if (tags_[base + w] == line) {
+                stamps_[base + w] = tick_;
+                hits_++;
+                return true;
+            }
+        }
+        misses_++;
+        // Allocate into the LRU way.
+        size_t victim = base;
+        for (uint32_t w = 1; w < cfg_.ways; w++)
+            if (stamps_[base + w] < stamps_[victim])
+                victim = base + w;
+        tags_[victim] = line;
+        stamps_[victim] = tick_;
+        return false;
+    }
 
     /** Probe without allocating. */
     bool probe(uint64_t addr) const;
@@ -50,13 +72,28 @@ class Cache
     void flush();
 
   private:
+    /**
+     * Line/set extraction. Real geometries (and every config in the
+     * repo) have power-of-two line size and set count, so the
+     * constructor precomputes a shift and mask; the divide/modulo
+     * path survives only for odd test geometries.
+     */
     uint64_t lineOf(uint64_t addr) const
     {
-        return addr / cfg_.lineBytes;
+        return pow2_geometry_ ? addr >> line_shift_
+                              : addr / cfg_.lineBytes;
+    }
+    uint32_t setOf(uint64_t line) const
+    {
+        return static_cast<uint32_t>(
+            pow2_geometry_ ? line & set_mask_ : line % num_sets_);
     }
 
     CacheConfig cfg_;
     uint32_t num_sets_;
+    bool pow2_geometry_ = false;
+    uint32_t line_shift_ = 0;
+    uint64_t set_mask_ = 0;
     /** tags_[set * ways + way]; kInvalid when empty. */
     std::vector<uint64_t> tags_;
     /** LRU stamps, parallel to tags_. */
@@ -74,10 +111,23 @@ class CacheHierarchy
                    int mem_latency);
 
     /** Latency of a load at @p addr, allocating on misses. */
-    int loadLatency(uint64_t addr);
+    int loadLatency(uint64_t addr)
+    {
+        if (l1_.access(addr))
+            return l1_.hitLatency();
+        if (l2_.access(addr))
+            return l2_.hitLatency();
+        return mem_latency_;
+    }
 
     /** Account a store write (allocates; no pipeline latency). */
-    void storeTouch(uint64_t addr);
+    void storeTouch(uint64_t addr)
+    {
+        // Write-allocate into both levels; write latency is absorbed
+        // by the store buffer and not charged to the pipeline.
+        if (!l1_.access(addr))
+            l2_.access(addr);
+    }
 
     const Cache &l1() const { return l1_; }
     const Cache &l2() const { return l2_; }

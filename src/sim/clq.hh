@@ -20,6 +20,7 @@
 #ifndef TURNPIKE_SIM_CLQ_HH_
 #define TURNPIKE_SIM_CLQ_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -41,29 +42,92 @@ class Clq
 
     bool enabled() const { return enabled_; }
 
+    // All CLQ operations are inline: the pipeline queries the queue
+    // on every committed load and regular store of a fast-release
+    // simulation.
+
     /**
      * Record a committed load of @p addr by region @p instance.
      * May trip the overflow automaton (disabling fast release).
      */
-    void insertLoad(uint64_t instance, uint64_t addr);
+    void insertLoad(uint64_t instance, uint64_t addr)
+    {
+        if (!enabled_)
+            return;
+        Entry *e = nullptr;
+        if (!entries_.empty() &&
+            entries_.back().instance == instance) {
+            e = &entries_.back();
+        } else {
+            // A new region needs a fresh entry.
+            if (design_ == ClqDesign::Compact &&
+                entries_.size() >= capacity_) {
+                // Fig. 13: overflow disables fast release and wipes
+                // the queue; insertions stay blocked until
+                // re-enable.
+                enabled_ = false;
+                entries_.clear();
+                overflows_++;
+                return;
+            }
+            entries_.push_back({});
+            entries_.back().instance = instance;
+            e = &entries_.back();
+        }
+        e->minAddr = std::min(e->minAddr, addr);
+        e->maxAddr = std::max(e->maxAddr, addr);
+        if (design_ == ClqDesign::Ideal)
+            e->addrs.push_back(addr);
+        occupancy_.sample(static_cast<double>(entries_.size()));
+    }
 
     /**
      * True when @p addr provably has no WAR dependence on any load
      * of any unverified region. Always false while disabled.
      */
-    bool isWarFree(uint64_t addr) const;
+    bool isWarFree(uint64_t addr) const
+    {
+        if (!enabled_)
+            return false;
+        for (const Entry &e : entries_) {
+            if (design_ == ClqDesign::Compact) {
+                if (addr >= e.minAddr && addr <= e.maxAddr)
+                    return false;
+            } else {
+                if (std::find(e.addrs.begin(), e.addrs.end(),
+                              addr) != e.addrs.end())
+                    return false;
+            }
+        }
+        return true;
+    }
 
     /** Drop the entry of a verified region. */
-    void onRegionVerified(uint64_t instance);
+    void onRegionVerified(uint64_t instance)
+    {
+        while (!entries_.empty() &&
+               entries_.front().instance <= instance)
+            entries_.pop_front();
+    }
 
     /**
      * Region-start hook: re-enables fast release when the automaton
      * is disabled and every earlier region is verified.
      */
-    void onRegionStart(bool all_prior_verified);
+    void onRegionStart(bool all_prior_verified)
+    {
+        if (!enabled_ && all_prior_verified) {
+            enabled_ = true;
+            entries_.clear();
+        }
+    }
 
     /** Recovery squash: wipe and re-enable. */
-    void reset();
+    void reset()
+    {
+        entries_.clear();
+        enabled_ = true;
+    }
 
     /** Current number of populated entries (regions tracked). */
     size_t entriesUsed() const { return entries_.size(); }

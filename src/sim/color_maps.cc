@@ -10,26 +10,6 @@ ColorMaps::ColorMaps()
       vc_(kNumPhysRegs, layout::kQuarantineColor)
 {}
 
-int
-ColorMaps::tryAssign(Reg reg)
-{
-    TP_ASSERT(reg < kNumPhysRegs, "bad register %u", reg);
-    uint8_t mask = ac_[reg];
-    if (mask == 0)
-        return -1;
-    int color = __builtin_ctz(mask);
-    ac_[reg] = static_cast<uint8_t>(mask & (mask - 1));
-    return color;
-}
-
-void
-ColorMaps::freeColor(Reg reg, int color)
-{
-    if (color < 0 || color >= layout::kNumColors)
-        return; // quarantine slot is not pooled
-    ac_[reg] = static_cast<uint8_t>(ac_[reg] | (1u << color));
-}
-
 void
 ColorMaps::applyVerified(const std::vector<UsedColor> &used)
 {

@@ -18,6 +18,7 @@
 
 #include "ir/function.hh"
 #include "machine/minstr.hh"
+#include "util/logging.hh"
 
 namespace turnpike {
 
@@ -33,8 +34,19 @@ class ColorMaps
     /**
      * Try to take a free color for @p reg; returns the color or -1
      * when the pool is exhausted (checkpoint must quarantine).
+     * Inline: runs for every committed checkpoint store under
+     * hardware coloring.
      */
-    int tryAssign(Reg reg);
+    int tryAssign(Reg reg)
+    {
+        TP_ASSERT(reg < kNumPhysRegs, "bad register %u", reg);
+        uint8_t mask = ac_[reg];
+        if (mask == 0)
+            return -1;
+        int color = __builtin_ctz(mask);
+        ac_[reg] = static_cast<uint8_t>(mask & (mask - 1));
+        return color;
+    }
 
     /** Verified color (slot index) recovery reads for @p reg. */
     int verifiedSlot(Reg reg) const { return vc_[reg]; }
@@ -56,7 +68,12 @@ class ColorMaps
     void giveBack(Reg reg, int color) { freeColor(reg, color); }
 
   private:
-    void freeColor(Reg reg, int color);
+    void freeColor(Reg reg, int color)
+    {
+        if (color < 0 || color >= layout::kNumColors)
+            return; // quarantine slot is not pooled
+        ac_[reg] = static_cast<uint8_t>(ac_[reg] | (1u << color));
+    }
 
     /** Bitmask of free colors per register. */
     std::vector<uint8_t> ac_;

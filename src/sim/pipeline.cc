@@ -22,6 +22,8 @@ InOrderPipeline::InOrderPipeline(const Module &mod,
       caches_(cfg.l1d, cfg.l2, cfg.memLatency)
 {
     memory_.loadModule(mod);
+    fastforward_ = std::getenv("TURNPIKE_NO_FASTFORWARD") == nullptr;
+    debug_recovery_ = std::getenv("TURNPIKE_DEBUG_RECOVERY") != nullptr;
 }
 
 void
@@ -40,10 +42,7 @@ InOrderPipeline::processVerification()
                                       ri.staticRegion));
         stats_.regionCycles.sample(
             static_cast<double>(ri.endCycle - ri.startCycle));
-        unrecorded_instances_.erase(
-            std::remove(unrecorded_instances_.begin(),
-                        unrecorded_instances_.end(), ri.id),
-            unrecorded_instances_.end());
+        unrecorded_instances_.erase(ri.id);
     }
 }
 
@@ -194,6 +193,7 @@ InOrderPipeline::applyFault(const FaultEvent &ev)
         Reg r = ev.index % kNumPhysRegs;
         regs_[r] ^= int64_t(1) << (ev.bit & 63);
         reg_parity_bad_[r] = true;
+        any_parity_bad_ = true;
         if (cfg_.tracer && cfg_.tracer->wants(kTraceRecovery))
             cfg_.tracer->event(cycle_, "fault",
                                strfmt("bit %u of r%u flipped; "
@@ -210,9 +210,11 @@ InOrderPipeline::applyFault(const FaultEvent &ev)
         std::vector<SbEntry *> candidates;
         if (cfg_.resilience && !rbb_.empty()) {
             uint64_t cur = rbb_.current().id;
-            for (SbEntry &e : sb_.entries())
+            for (size_t i = 0; i < sb_.size(); i++) {
+                SbEntry &e = sb_.at(i);
                 if (!e.releasable && e.regionInstance == cur)
                     candidates.push_back(&e);
+            }
         }
         if (!candidates.empty()) {
             SbEntry *e = candidates[ev.index % candidates.size()];
@@ -220,8 +222,7 @@ InOrderPipeline::applyFault(const FaultEvent &ev)
         }
     }
     // The sound wave is heard regardless of what was hit.
-    pending_detect_.push_back(cycle_ + ev.detectDelay);
-    std::sort(pending_detect_.begin(), pending_detect_.end());
+    pending_detect_.push(cycle_ + ev.detectDelay);
 }
 
 void
@@ -262,7 +263,7 @@ InOrderPipeline::doRecovery()
     unrecorded_instances_.clear();
 
     const RegionMeta &rm = mf_.region(restart);
-    if (std::getenv("TURNPIKE_DEBUG_RECOVERY")) {
+    if (debug_recovery_) {
         std::fprintf(stderr, "recovery: cycle=%llu restart=%u "
                      "pc=%u squashed=%zu\n",
                      static_cast<unsigned long long>(cycle_), restart,
@@ -282,26 +283,44 @@ InOrderPipeline::doRecovery()
         reg_ready_[r] = cycle_;
     fetch_stall_until_ = cycle_;
     halted_ = false;
+
+    any_parity_bad_ = false;
+    for (Reg r = 0; r < kNumPhysRegs; r++)
+        if (reg_parity_bad_[r])
+            any_parity_bad_ = true;
 }
 
 void
 InOrderPipeline::issueCycle()
 {
-    if (cycle_ < fetch_stall_until_)
+    stall_kind_ = StallKind::None;
+    if (cycle_ < fetch_stall_until_) {
+        stall_kind_ = StallKind::Fetch;
+        stall_until_ = fetch_stall_until_;
         return;
+    }
 
     int issued = 0;
     bool mem_used = false;
     Reg group_dst[2] = {kNoReg, kNoReg};
 
+    // Hoisted per-instruction invariants: the code array and the
+    // tracer decision do not change within a cycle.
+    const MInstr *code = mf_.code().data();
+    const size_t code_size = mf_.code().size();
+    Tracer *const tracer = cfg_.tracer;
+    const bool trace_issue = tracer && tracer->wants(kTraceIssue);
+
     while (issued < cfg_.issueWidth) {
-        TP_ASSERT(pc_ < mf_.code().size(), "pc %u out of range", pc_);
-        const MInstr &mi = mf_.code()[pc_];
+        TP_ASSERT(pc_ < code_size, "pc %u out of range", pc_);
+        const MInstr &mi = code[pc_];
 
         if (mi.op == Op::Boundary) {
             if (!commitBoundary(mi)) {
-                if (issued == 0)
+                if (issued == 0) {
                     stats_.rbbFullStallCycles++;
+                    stall_kind_ = StallKind::RbbFull;
+                }
                 break;
             }
             pc_++;
@@ -315,8 +334,10 @@ InOrderPipeline::issueCycle()
             break;
         }
 
-        // Register parity check on every operand access (§5).
-        if (parityTriggered(mi)) {
+        // Register parity check on every operand access (§5). The
+        // any_parity_bad_ guard keeps the fault-free fast path from
+        // probing the per-register flags.
+        if (any_parity_bad_ && parityTriggered(mi)) {
             stats_.detectedFaults++;
             doRecovery();
             return;
@@ -338,8 +359,11 @@ InOrderPipeline::issueCycle()
         if (mi.src1 != kNoReg)
             ready = std::max(ready, reg_ready_[mi.src1]);
         if (ready > cycle_) {
-            if (issued == 0)
+            if (issued == 0) {
                 stats_.dataHazardStallCycles++;
+                stall_kind_ = StallKind::DataHazard;
+                stall_until_ = ready;
+            }
             break;
         }
         // No same-cycle dependence inside a dual-issue pair.
@@ -378,13 +402,9 @@ InOrderPipeline::issueCycle()
                         stats_.clqOverflows++;
                         for (const RegionInstance &ri :
                                  rbb_.instances())
-                            unrecorded_instances_.push_back(ri.id);
+                            unrecorded_instances_.insert(ri.id);
                     }
-                    uint64_t cur = rbb_.current().id;
-                    if (std::find(unrecorded_instances_.begin(),
-                                  unrecorded_instances_.end(), cur) ==
-                        unrecorded_instances_.end())
-                        unrecorded_instances_.push_back(cur);
+                    unrecorded_instances_.insert(rbb_.current().id);
                 }
             }
             mem_used = true;
@@ -394,8 +414,10 @@ InOrderPipeline::issueCycle()
             if (mem_used)
                 goto group_done;
             if (!commitStore(mi)) {
-                if (issued == 0)
+                if (issued == 0) {
                     stats_.sbFullStallCycles++;
+                    stall_kind_ = StallKind::SbFull;
+                }
                 goto group_done;
             }
             mem_used = true;
@@ -404,8 +426,10 @@ InOrderPipeline::issueCycle()
             if (mem_used)
                 goto group_done;
             if (!commitCkpt(mi)) {
-                if (issued == 0)
+                if (issued == 0) {
                     stats_.sbFullStallCycles++;
+                    stall_kind_ = StallKind::SbFull;
+                }
                 goto group_done;
             }
             mem_used = true;
@@ -420,12 +444,23 @@ InOrderPipeline::issueCycle()
                     static_cast<uint64_t>(
                         cfg_.branchMispredictPenalty);
             }
+            // Control flow skips the shared issue bookkeeping below,
+            // so emit the issue event here (before the redirect, so
+            // the branch's own pc is reported).
+            if (trace_issue)
+                tracer->event(cycle_, "issue",
+                              strfmt("pc %u: %s", pc_,
+                                     mi.toString().c_str()));
             pc_ = next;
             stats_.insts++;
             issued++;
             goto group_done; // redirect ends the fetch group
           }
           case Op::Jmp:
+            if (trace_issue)
+                tracer->event(cycle_, "issue",
+                              strfmt("pc %u: %s", pc_,
+                                     mi.toString().c_str()));
             pc_ = mi.target;
             stats_.insts++;
             issued++;
@@ -455,10 +490,10 @@ InOrderPipeline::issueCycle()
         }
         if (writesDst(mi.op))
             group_dst[issued & 1] = mi.dst;
-        if (cfg_.tracer && cfg_.tracer->wants(kTraceIssue))
-            cfg_.tracer->event(cycle_, "issue",
-                               strfmt("pc %u: %s", pc_,
-                                      mi.toString().c_str()));
+        if (trace_issue)
+            tracer->event(cycle_, "issue",
+                          strfmt("pc %u: %s", pc_,
+                                 mi.toString().c_str()));
         stats_.insts++;
         issued++;
         pc_++;
@@ -467,30 +502,113 @@ InOrderPipeline::issueCycle()
     stats_.sbOccupancy.sample(static_cast<double>(sb_.size()));
 }
 
+uint64_t
+InOrderPipeline::quiesceHorizon(const std::vector<FaultEvent> &faults,
+                                size_t fault_idx) const
+{
+    // Issue makes progress next cycle: no skip. (A parity-triggered
+    // recovery, a Halt commit, or any issued instruction all land
+    // here as StallKind::None.)
+    if (!halted_ && stall_kind_ == StallKind::None)
+        return cycle_ + 1;
+    // A releasable head drains one entry per cycle: no skip.
+    if (sb_.headReleasable())
+        return cycle_ + 1;
+    // Fully drained after halt: the next iteration breaks out.
+    if (halted_ && sb_.empty() && rbb_.empty() &&
+        pending_detect_.empty() && fault_idx >= faults.size())
+        return cycle_ + 1;
+
+    uint64_t h = cfg_.maxCycles;
+    if (!halted_ && (stall_kind_ == StallKind::Fetch ||
+                     stall_kind_ == StallKind::DataHazard))
+        h = std::min(h, stall_until_);
+    // SbFull/RbbFull (and the post-halt drain) only unblock through
+    // one of the events below.
+    if (fault_idx < faults.size())
+        h = std::min(h, faults[fault_idx].cycle);
+    if (!pending_detect_.empty())
+        h = std::min(h, pending_detect_.front());
+    if (!rbb_.empty() && rbb_.oldest().ended)
+        h = std::min(h, rbb_.oldest().verifyCycle);
+    return std::max(h, cycle_ + 1);
+}
+
+void
+InOrderPipeline::bookSkippedCycles(uint64_t n)
+{
+    // Replays exactly what n more iterations of the stalled
+    // issueCycle() would have recorded. When halted (or in a fetch
+    // stall) issueCycle records nothing.
+    if (halted_ || stall_kind_ == StallKind::Fetch)
+        return;
+    switch (stall_kind_) {
+      case StallKind::DataHazard:
+        stats_.dataHazardStallCycles += n;
+        break;
+      case StallKind::SbFull:
+        stats_.sbFullStallCycles += n;
+        break;
+      case StallKind::RbbFull:
+        stats_.rbbFullStallCycles += n;
+        break;
+      default:
+        panic("bookSkippedCycles: unexpected stall kind %d",
+              static_cast<int>(stall_kind_));
+    }
+    stats_.sbOccupancy.sample(static_cast<double>(sb_.size()), n);
+}
+
 PipelineResult
 InOrderPipeline::run(const std::vector<FaultEvent> &faults)
 {
     size_t fault_idx = 0;
-    while (cycle_ < cfg_.maxCycles) {
-        while (fault_idx < faults.size() &&
-               faults[fault_idx].cycle <= cycle_) {
-            applyFault(faults[fault_idx]);
+    // Hoisted loop invariants, plus the next fault's cycle as a
+    // single register-resident compare (campaigns mostly run with no
+    // or few faults, so the common case is one compare per cycle).
+    const FaultEvent *const fe = faults.data();
+    const size_t nfaults = faults.size();
+    const uint64_t max_cycles = cfg_.maxCycles;
+    uint64_t next_fault =
+        fault_idx < nfaults ? fe[fault_idx].cycle : ~uint64_t(0);
+    while (cycle_ < max_cycles) {
+        while (cycle_ >= next_fault) {
+            applyFault(fe[fault_idx]);
             fault_idx++;
+            next_fault = fault_idx < nfaults ? fe[fault_idx].cycle
+                                             : ~uint64_t(0);
         }
         while (!pending_detect_.empty() &&
                pending_detect_.front() <= cycle_) {
-            pending_detect_.erase(pending_detect_.begin());
+            pending_detect_.popFront();
             stats_.detectedFaults++;
             doRecovery();
         }
-        processVerification();
-        drainStoreBuffer();
+        // The helpers are gated on inline checks so the common
+        // nothing-to-do cycle pays no out-of-line call.
+        if (rbb_.hasVerified(cycle_))
+            processVerification();
+        if (sb_.headReleasable())
+            drainStoreBuffer();
         if (!halted_) {
             issueCycle();
         } else if (sb_.empty() && rbb_.empty() &&
                    pending_detect_.empty() &&
                    fault_idx >= faults.size()) {
             break; // fully drained, nothing pending
+        }
+        if (fastforward_ &&
+            (halted_ || stall_kind_ != StallKind::None)) {
+            // Jump over cycles where provably nothing happens:
+            // multi-cycle hazard stalls, branch penalties, waits for
+            // a verification deadline, and the post-halt drain. When
+            // issue made progress the horizon is always cycle_ + 1,
+            // so that case skips the computation entirely.
+            uint64_t horizon = quiesceHorizon(faults, fault_idx);
+            if (horizon > cycle_ + 1) {
+                bookSkippedCycles(horizon - cycle_ - 1);
+                cycle_ = horizon - 1;
+            }
         }
         cycle_++;
     }
@@ -500,7 +618,7 @@ InOrderPipeline::run(const std::vector<FaultEvent> &faults)
     stats_.cycles = cycle_;
     stats_.clqOccupancy = clq_.occupancy();
     result.stats = stats_;
-    result.memory = memory_;
+    result.memory = std::move(memory_);
     return result;
 }
 

@@ -27,6 +27,7 @@
 #include "sim/rbb.hh"
 #include "sim/store_buffer.hh"
 #include "sim/trace.hh"
+#include "util/sorted_ring.hh"
 #include "util/stats.hh"
 
 namespace turnpike {
@@ -119,13 +120,39 @@ class InOrderPipeline
 
     /**
      * Run to Halt (or maxCycles), optionally injecting the given
-     * fault plan. Returns final stats and the memory image.
+     * fault plan. Returns final stats and the memory image (moved
+     * out of the pipeline — run() is single-shot).
      */
     PipelineResult run(const std::vector<FaultEvent> &faults = {});
 
   private:
+    /**
+     * Why issueCycle() made no progress, recorded so run() can
+     * fast-forward over provably quiescent cycles. Fetch and
+     * DataHazard stalls clear at a known cycle (stall_until_);
+     * SbFull/RbbFull clear only through a verification event.
+     */
+    enum class StallKind : uint8_t {
+        None,       ///< issued, redirected, halted or recovered
+        Fetch,      ///< branch/recovery fetch stall (no stats)
+        DataHazard, ///< operand not ready until stall_until_
+        SbFull,     ///< store buffer full, head not releasable
+        RbbFull,    ///< RBB full at a boundary
+    };
+
     // One attempt to issue instructions this cycle.
     void issueCycle();
+    /**
+     * First cycle > cycle_ at which anything observable can happen:
+     * a fault injection, an acoustic detection, a region
+     * verification, an SB drain, or issue progress. Every cycle in
+     * (cycle_, horizon) is a byte-identical replay of this one's
+     * stall bookkeeping, so run() jumps over them.
+     */
+    uint64_t quiesceHorizon(const std::vector<FaultEvent> &faults,
+                            size_t fault_idx) const;
+    /** Book the per-cycle stats of @p n skipped quiescent cycles. */
+    void bookSkippedCycles(uint64_t n);
     // Commit helpers; return false when the pipeline must stall.
     bool commitStore(const MInstr &mi);
     bool commitCkpt(const MInstr &mi);
@@ -150,6 +177,12 @@ class InOrderPipeline
     uint64_t fetch_stall_until_ = 0;
     bool halted_ = false;
     /**
+     * Conservatively true while any reg_parity_bad_ flag might be
+     * set; lets the fault-free issue path (every instruction) skip
+     * the per-operand parity probe. Recomputed after each recovery.
+     */
+    bool any_parity_bad_ = false;
+    /**
      * Static region currently executing. Needed when recovery hits
      * while the RBB is empty (e.g. a second detection lands between
      * a squash and the re-execution of the restart boundary): the
@@ -166,10 +199,20 @@ class InOrderPipeline
 
     // Regions whose loads went unrecorded (CLQ disabled), keyed by
     // instance id; blocks CLQ re-enable until all are verified.
-    std::vector<uint64_t> unrecorded_instances_;
+    SmallSortedSet unrecorded_instances_;
 
-    // Pending acoustic detections (absolute cycles, sorted).
-    std::vector<uint64_t> pending_detect_;
+    // Pending acoustic detections (absolute cycles, ascending).
+    SortedEventRing pending_detect_;
+
+    // Fast-forward state: what stalled issue this cycle and (for
+    // Fetch/DataHazard) until when. TURNPIKE_NO_FASTFORWARD=1 pins
+    // the cycle-by-cycle loop for equivalence testing.
+    StallKind stall_kind_ = StallKind::None;
+    uint64_t stall_until_ = 0;
+    bool fastforward_ = true;
+    // TURNPIKE_DEBUG_RECOVERY, read once at construction (getenv on
+    // every recovery is not thread-safe under campaign workers).
+    bool debug_recovery_ = false;
 
     PipelineStats stats_;
 };

@@ -4,27 +4,6 @@
 
 namespace turnpike {
 
-RegionInstance &
-Rbb::current()
-{
-    TP_ASSERT(!instances_.empty(), "RBB has no running instance");
-    return instances_.back();
-}
-
-const RegionInstance &
-Rbb::current() const
-{
-    TP_ASSERT(!instances_.empty(), "RBB has no running instance");
-    return instances_.back();
-}
-
-const RegionInstance &
-Rbb::oldest() const
-{
-    TP_ASSERT(!instances_.empty(), "RBB empty");
-    return instances_.front();
-}
-
 uint64_t
 Rbb::beginRegion(uint32_t static_region, uint64_t cycle, uint32_t wcdl)
 {
@@ -41,19 +20,6 @@ Rbb::beginRegion(uint32_t static_region, uint64_t cycle, uint32_t wcdl)
     ri.startCycle = cycle;
     instances_.push_back(ri);
     return ri.id;
-}
-
-bool
-Rbb::popVerified(uint64_t cycle, RegionInstance &out)
-{
-    if (instances_.empty())
-        return false;
-    const RegionInstance &head = instances_.front();
-    if (!head.ended || head.verifyCycle > cycle)
-        return false;
-    out = head;
-    instances_.pop_front();
-    return true;
 }
 
 std::deque<RegionInstance>

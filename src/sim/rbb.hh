@@ -11,8 +11,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 
 #include "sim/color_maps.hh"
+#include "util/logging.hh"
 
 namespace turnpike {
 
@@ -38,12 +40,27 @@ class Rbb
     bool empty() const { return instances_.empty(); }
     size_t size() const { return instances_.size(); }
 
+    // current()/hasVerified()/popVerified() are inline: the pipeline
+    // consults them every committed store and every simulated cycle.
+
     /** The running (newest) instance. Panics when empty. */
-    RegionInstance &current();
-    const RegionInstance &current() const;
+    RegionInstance &current()
+    {
+        TP_ASSERT(!instances_.empty(), "RBB has no running instance");
+        return instances_.back();
+    }
+    const RegionInstance &current() const
+    {
+        TP_ASSERT(!instances_.empty(), "RBB has no running instance");
+        return instances_.back();
+    }
 
     /** The oldest unverified instance (the recovery target). */
-    const RegionInstance &oldest() const;
+    const RegionInstance &oldest() const
+    {
+        TP_ASSERT(!instances_.empty(), "RBB empty");
+        return instances_.front();
+    }
 
     /**
      * Commit a region boundary at @p cycle: ends the current
@@ -55,11 +72,29 @@ class Rbb
                          uint32_t wcdl);
 
     /**
+     * True when the oldest instance has ended and its verification
+     * deadline has passed at @p cycle (i.e. popVerified() would
+     * succeed).
+     */
+    bool hasVerified(uint64_t cycle) const
+    {
+        return !instances_.empty() && instances_.front().ended &&
+            instances_.front().verifyCycle <= cycle;
+    }
+
+    /**
      * Pop the oldest instance if it has ended and its verification
      * deadline has passed. Returns true and fills @p out when an
      * instance was verified.
      */
-    bool popVerified(uint64_t cycle, RegionInstance &out);
+    bool popVerified(uint64_t cycle, RegionInstance &out)
+    {
+        if (!hasVerified(cycle))
+            return false;
+        out = std::move(instances_.front());
+        instances_.pop_front();
+        return true;
+    }
 
     /** Recovery squash: drop all instances. */
     std::deque<RegionInstance> squash();

@@ -5,15 +5,21 @@
  * cache in FIFO order. The small capacity of in-order cores (4
  * entries on Cortex-A53) is the central bottleneck the paper
  * attacks.
+ *
+ * Storage is a fixed ring over a flat array sized at construction;
+ * every operation is inline because the pipeline touches the buffer
+ * on each committed store, each forwarding lookup and each drain
+ * cycle.
  */
 
 #ifndef TURNPIKE_SIM_STORE_BUFFER_HH_
 #define TURNPIKE_SIM_STORE_BUFFER_HH_
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "ir/instruction.hh"
+#include "util/logging.hh"
 
 namespace turnpike {
 
@@ -33,44 +39,89 @@ struct SbEntry
 class StoreBuffer
 {
   public:
-    explicit StoreBuffer(uint32_t capacity) : capacity_(capacity) {}
+    explicit StoreBuffer(uint32_t capacity)
+        : capacity_(capacity), ring_(capacity)
+    {}
 
-    bool full() const { return entries_.size() >= capacity_; }
-    bool empty() const { return entries_.empty(); }
-    size_t size() const { return entries_.size(); }
+    bool full() const { return size_ >= capacity_; }
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
     uint32_t capacity() const { return capacity_; }
 
     /** Append an entry; caller must have checked full(). */
-    void push(const SbEntry &e);
+    void push(const SbEntry &e)
+    {
+        TP_ASSERT(!full(), "store buffer overflow");
+        ring_[slot(size_)] = e;
+        size_++;
+    }
 
     /** Mark all entries of @p instance releasable. */
-    void release(uint64_t instance);
+    void release(uint64_t instance)
+    {
+        for (size_t i = 0; i < size_; i++) {
+            SbEntry &e = ring_[slot(i)];
+            if (e.regionInstance == instance)
+                e.releasable = true;
+        }
+    }
 
     /** True when the head entry may drain. */
     bool headReleasable() const
     {
-        return !entries_.empty() && entries_.front().releasable;
+        return size_ != 0 && ring_[head_].releasable;
     }
 
     /** Pop the head entry (must be releasable). */
-    SbEntry pop();
+    SbEntry pop()
+    {
+        TP_ASSERT(headReleasable(), "pop of unreleasable SB head");
+        SbEntry e = ring_[head_];
+        head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+        size_--;
+        return e;
+    }
 
     /**
      * Youngest entry matching @p addr, for store-to-load forwarding
      * and same-address release-order checks; nullptr if none.
      */
-    const SbEntry *youngestFor(uint64_t addr) const;
+    const SbEntry *youngestFor(uint64_t addr) const
+    {
+        for (size_t i = size_; i > 0; i--) {
+            const SbEntry &e = ring_[slot(i - 1)];
+            if (e.addr == addr)
+                return &e;
+        }
+        return nullptr;
+    }
 
-    /** Direct entry access (oldest first) for fault injection. */
-    std::deque<SbEntry> &entries() { return entries_; }
-    const std::deque<SbEntry> &entries() const { return entries_; }
+    /** Entry @p i (0 = oldest) for fault injection. */
+    SbEntry &at(size_t i)
+    {
+        TP_ASSERT(i < size_, "SB index %zu out of range", i);
+        return ring_[slot(i)];
+    }
 
     /** Drop every entry (recovery squash of unverified data). */
-    void clear() { entries_.clear(); }
+    void clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
 
   private:
+    /** Ring slot of logical position @p i (0 = oldest). */
+    size_t slot(size_t i) const
+    {
+        size_t s = head_ + i;
+        return s >= capacity_ ? s - capacity_ : s;
+    }
+
     uint32_t capacity_;
-    std::deque<SbEntry> entries_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+    std::vector<SbEntry> ring_;
 };
 
 } // namespace turnpike

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tiny ordered containers for the simulator hot path: a sorted ring
+ * buffer of event times (pending acoustic detections) and a small
+ * sorted id set (regions with unrecorded loads). Both replace
+ * patterns that were O(n log n) or O(n) per cycle — std::sort after
+ * every insertion, erase(begin()) per pop, linear std::find — with
+ * binary-searched inserts and O(1) pops; element counts are tiny, so
+ * a flat array beats any node-based structure.
+ */
+
+#ifndef TURNPIKE_UTIL_SORTED_RING_HH_
+#define TURNPIKE_UTIL_SORTED_RING_HH_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+/**
+ * A ring buffer of uint64_t event times kept in ascending order:
+ * sorted insertion (binary search + shift within the ring), O(1)
+ * front()/popFront(). Capacity grows by doubling and is always a
+ * power of two so logical indices wrap with a mask.
+ */
+class SortedEventRing
+{
+  public:
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+
+    /** Smallest queued time. */
+    uint64_t front() const
+    {
+        TP_ASSERT(size_ > 0, "front() on empty ring");
+        return buf_[head_];
+    }
+
+    /** Drop the smallest queued time. */
+    void popFront()
+    {
+        TP_ASSERT(size_ > 0, "popFront() on empty ring");
+        head_ = (head_ + 1) & mask();
+        size_--;
+    }
+
+    /** Insert @p v, keeping ascending order. */
+    void push(uint64_t v)
+    {
+        if (size_ == buf_.size())
+            grow();
+        size_t lo = 0;
+        size_t hi = size_;
+        while (lo < hi) {
+            size_t mid = (lo + hi) / 2;
+            if (at(mid) <= v)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        for (size_t i = size_; i > lo; i--)
+            at(i) = at(i - 1);
+        at(lo) = v;
+        size_++;
+    }
+
+    void clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    size_t mask() const { return buf_.size() - 1; }
+
+    uint64_t &at(size_t logical)
+    {
+        return buf_[(head_ + logical) & mask()];
+    }
+    uint64_t at(size_t logical) const
+    {
+        return buf_[(head_ + logical) & mask()];
+    }
+
+    void grow()
+    {
+        std::vector<uint64_t> bigger(buf_.empty() ? 8
+                                                  : buf_.size() * 2);
+        for (size_t i = 0; i < size_; i++)
+            bigger[i] = at(i);
+        buf_.swap(bigger);
+        head_ = 0;
+    }
+
+    std::vector<uint64_t> buf_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+};
+
+/**
+ * A set of uint64_t ids as a sorted flat vector: binary-searched
+ * membership, duplicate-free insertion, erase by value.
+ */
+class SmallSortedSet
+{
+  public:
+    bool empty() const { return ids_.empty(); }
+    size_t size() const { return ids_.size(); }
+
+    bool contains(uint64_t v) const
+    {
+        auto it = std::lower_bound(ids_.begin(), ids_.end(), v);
+        return it != ids_.end() && *it == v;
+    }
+
+    /** Insert @p v if absent. */
+    void insert(uint64_t v)
+    {
+        auto it = std::lower_bound(ids_.begin(), ids_.end(), v);
+        if (it == ids_.end() || *it != v)
+            ids_.insert(it, v);
+    }
+
+    /** Remove @p v if present. */
+    void erase(uint64_t v)
+    {
+        auto it = std::lower_bound(ids_.begin(), ids_.end(), v);
+        if (it != ids_.end() && *it == v)
+            ids_.erase(it);
+    }
+
+    void clear() { ids_.clear(); }
+
+  private:
+    std::vector<uint64_t> ids_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_UTIL_SORTED_RING_HH_

@@ -32,20 +32,6 @@ geomean(const std::vector<double> &xs)
 }
 
 void
-Distribution::sample(double v)
-{
-    if (count_ == 0) {
-        min_ = v;
-        max_ = v;
-    } else {
-        min_ = std::min(min_, v);
-        max_ = std::max(max_, v);
-    }
-    count_++;
-    sum_ += v;
-}
-
-void
 Distribution::merge(const Distribution &other)
 {
     if (other.count_ == 0)

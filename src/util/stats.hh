@@ -30,8 +30,45 @@ double geomean(const std::vector<double> &xs);
 class Distribution
 {
   public:
+    // Both sample() overloads are inline: the pipeline records an
+    // occupancy sample every issue cycle, so an out-of-line call
+    // would dominate the cost of the four arithmetic ops here.
+
     /** Record one sample. */
-    void sample(double v);
+    void sample(double v)
+    {
+        if (count_ == 0) {
+            min_ = v;
+            max_ = v;
+        } else {
+            min_ = v < min_ ? v : min_;
+            max_ = v > max_ ? v : max_;
+        }
+        count_++;
+        sum_ += v;
+    }
+
+    /**
+     * Record @p n identical samples of @p v, exactly as n sample(v)
+     * calls would. For integer-valued v (every distribution in the
+     * simulator) the accumulated sum is bit-identical to n repeated
+     * additions, which the fast-forwarded pipeline relies on when it
+     * books skipped stall cycles in bulk.
+     */
+    void sample(double v, uint64_t n)
+    {
+        if (n == 0)
+            return;
+        if (count_ == 0) {
+            min_ = v;
+            max_ = v;
+        } else {
+            min_ = v < min_ ? v : min_;
+            max_ = v > max_ ? v : max_;
+        }
+        count_ += n;
+        sum_ += v * static_cast<double>(n);
+    }
 
     /** Merge another distribution into this one. */
     void merge(const Distribution &other);

@@ -98,6 +98,29 @@ TEST(Opcode, Traits)
     EXPECT_GT(exLatency(Op::Mul), exLatency(Op::Add));
 }
 
+TEST(Opcode, BinaryRangeContiguous)
+{
+    // isBinary() is a range check over Add..CmpLe; this pins that
+    // exactly the two-operand arithmetic/compare ops fall inside the
+    // range, so reordering the Op enum cannot silently change it.
+    const Op binary[] = {Op::Add, Op::Sub, Op::Mul, Op::Div, Op::Shl,
+                         Op::Shr, Op::And, Op::Or, Op::Xor, Op::CmpEq,
+                         Op::CmpNe, Op::CmpLt, Op::CmpLe};
+    uint32_t n = 0;
+    for (uint32_t i = 0; i < static_cast<uint32_t>(Op::NumOps); i++) {
+        Op op = static_cast<Op>(i);
+        bool expect = false;
+        for (Op b : binary)
+            expect |= op == b;
+        EXPECT_EQ(isBinary(op), expect) << opName(op);
+        n += isBinary(op);
+    }
+    EXPECT_EQ(n, std::size(binary));
+    EXPECT_EQ(static_cast<uint32_t>(Op::CmpLe) -
+                  static_cast<uint32_t>(Op::Add) + 1,
+              std::size(binary));
+}
+
 TEST(BasicBlock, InsertEraseTerminator)
 {
     Function fn("f");

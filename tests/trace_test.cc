@@ -125,6 +125,31 @@ TEST(Pipeline, TinyRbbStallsButStaysCorrect)
               golden.memory.dataHash(*mod));
 }
 
+TEST(Trace, ControlFlowIssueEventsAppear)
+{
+    // Br and Jmp leave issueCycle through an early redirect that
+    // skips the shared bookkeeping, so their issue events are
+    // emitted separately; this pins that they appear (with the
+    // branch's own pc) and that every committed instruction except
+    // the final Halt produces exactly one issue line.
+    const WorkloadSpec &spec = findWorkload("CPU2006", "gcc");
+    std::ostringstream out;
+    PipelineResult r = runTraced(spec, ResilienceConfig::baseline(),
+                                 &out, kTraceIssue);
+    std::string text = out.str();
+    EXPECT_NE(text.find(": br v"), std::string::npos);
+    EXPECT_NE(text.find(": jmp ->"), std::string::npos);
+
+    size_t issue_lines = 0;
+    for (size_t pos = text.find(": issue: ");
+         pos != std::string::npos;
+         pos = text.find(": issue: ", pos + 1))
+        issue_lines++;
+    // Halt commits without a trace event; Boundary markers are
+    // zero-width and never issue.
+    EXPECT_EQ(issue_lines, r.stats.insts - 1);
+}
+
 TEST(Pipeline, ColorPoolExhaustionFallsBackSafely)
 {
     // At a long WCDL many regions are in flight; per-register colors

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Measure simulator throughput (simulated MIPS per scheme) the way
+# perf PRs are judged: a Release build (with LTO, see the top-level
+# CMakeLists.txt) of bench/perf_throughput over the full workload
+# suite, repeated to expose run-to-run noise. Writes
+# BENCH_sim_throughput.json (from the last repetition) into the repo
+# root and prints each repetition's table.
+#
+# Usage: tools/bench_perf.sh [repetitions]
+#   TURNPIKE_BENCH_ICOUNT   per-run instruction budget
+#                           (default here: 1000000 for stable numbers)
+#   TURNPIKE_PERF_WORKLOADS cap on workloads per scheme (default: all)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+reps="${1:-3}"
+build="$repo/build-perf"
+
+cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" -j"$(nproc)" --target perf_throughput
+
+export TURNPIKE_BENCH_ICOUNT="${TURNPIKE_BENCH_ICOUNT:-1000000}"
+cd "$repo"
+for ((i = 1; i <= reps; i++)); do
+    echo "== repetition $i/$reps =="
+    "$build/bench/perf_throughput"
+done
