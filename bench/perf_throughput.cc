@@ -22,8 +22,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "bench/common.hh"
+#include "util/json.hh"
+#include "util/phase_timer.hh"
 
 using namespace turnpike;
 using namespace turnpike::bench;
@@ -87,6 +90,7 @@ main()
     };
 
     std::vector<SchemeTotals> totals;
+    PhaseProfile profile; // self-profiling across all schemes
     for (const ResilienceConfig &cfg : schemes) {
         SchemeTotals t;
         t.label = cfg.label;
@@ -94,8 +98,18 @@ main()
         for (const WorkloadSpec &spec : workloadSuite()) {
             if (done >= cap)
                 break;
-            auto mod = buildWorkload(spec, budget);
-            CompiledProgram prog = compileWorkload(*mod, cfg);
+            std::unique_ptr<Module> mod;
+            CompiledProgram prog;
+            {
+                ScopedPhaseTimer pt(&profile,
+                                    "host.build_workload");
+                mod = buildWorkload(spec, budget);
+            }
+            {
+                ScopedPhaseTimer pt(&profile, "host.compile");
+                prog = compileWorkload(*mod, cfg);
+            }
+            profile.merge(prog.profile);
             InOrderPipeline pipe(*mod, *prog.mf,
                                  cfg.toPipelineConfig());
             auto t0 = std::chrono::steady_clock::now();
@@ -107,8 +121,10 @@ main()
             t.runs++;
             t.insts += r.stats.insts;
             t.cycles += r.stats.cycles;
-            t.seconds +=
+            double secs =
                 std::chrono::duration<double>(t1 - t0).count();
+            t.seconds += secs;
+            profile.add("host.simulate", secs);
             done++;
         }
         totals.push_back(std::move(t));
@@ -125,29 +141,40 @@ main()
     std::printf("%s\n", table.toText().c_str());
 
     const char *path = "BENCH_sim_throughput.json";
-    std::FILE *f = std::fopen(path, "w");
+    std::ofstream f(path);
     if (!f) {
         warn("cannot write %s", path);
         return 1;
     }
-    std::fprintf(f, "{\n  \"icount\": %llu,\n  \"schemes\": [\n",
-                 static_cast<unsigned long long>(budget));
-    for (size_t i = 0; i < totals.size(); i++) {
-        const SchemeTotals &t = totals[i];
-        std::fprintf(f,
-                     "    {\"label\": \"%s\", \"runs\": %llu, "
-                     "\"insts\": %llu, \"cycles\": %llu, "
-                     "\"seconds\": %.6f, \"mips\": %.3f, "
-                     "\"mcps\": %.3f}%s\n",
-                     t.label.c_str(),
-                     static_cast<unsigned long long>(t.runs),
-                     static_cast<unsigned long long>(t.insts),
-                     static_cast<unsigned long long>(t.cycles),
-                     t.seconds, t.mips(), t.mcps(),
-                     i + 1 < totals.size() ? "," : "");
+    JsonWriter jw(f);
+    jw.beginObject();
+    jw.field("icount", budget);
+    jw.key("schemes");
+    jw.beginArray();
+    for (const SchemeTotals &t : totals) {
+        jw.beginObject();
+        jw.field("label", t.label);
+        jw.field("runs", t.runs);
+        jw.field("insts", t.insts);
+        jw.field("cycles", t.cycles);
+        jw.field("seconds", t.seconds);
+        jw.field("mips", t.mips());
+        jw.field("mcps", t.mcps());
+        jw.endObject();
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    jw.endArray();
+    jw.key("phases");
+    jw.beginArray();
+    for (const auto &kv : profile.entries()) {
+        jw.beginObject();
+        jw.field("phase", kv.first);
+        jw.field("seconds", kv.second.seconds);
+        jw.field("calls", kv.second.calls);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    f << '\n';
     std::printf("wrote %s\n", path);
     return 0;
 }

@@ -23,31 +23,42 @@ compileWorkload(Module &mod, const ResilienceConfig &cfg)
     Function &fn = *mod.functions()[0];
     CompiledProgram out;
     StatSet &st = out.stats;
+    PhaseProfile *prof = &out.profile;
     verifyOrDie(fn);
 
     // Baseline codegen: strength reduction models the -O3 pointer
     // induction variables of a traditional compiler (Fig. 8b).
-    st.set("sr.pointer_ivs", runStrengthReduction(fn));
+    {
+        ScopedPhaseTimer t(prof, "compile.strength_reduction");
+        st.set("sr.pointer_ivs", runStrengthReduction(fn));
+    }
     verifyOrDie(fn);
 
     if (cfg.livm) {
+        ScopedPhaseTimer t(prof, "compile.livm");
         st.set("livm.merged", runInductionVariableMerging(fn));
         runDeadCodeElimination(fn);
         verifyOrDie(fn);
     }
 
-    RaOptions ra;
-    ra.writeCostFactor = cfg.storeAwareRa ? 3.0 : 1.0;
-    RaStats ras = runRegisterAllocation(fn, ra);
-    st.set("ra.spilled_vregs", ras.spilledVregs);
-    st.set("ra.spill_stores", ras.spillStores);
-    st.set("ra.spill_loads", ras.spillLoads);
+    {
+        ScopedPhaseTimer t(prof, "compile.register_allocation");
+        RaOptions ra;
+        ra.writeCostFactor = cfg.storeAwareRa ? 3.0 : 1.0;
+        RaStats ras = runRegisterAllocation(fn, ra);
+        st.set("ra.spilled_vregs", ras.spilledVregs);
+        st.set("ra.spill_stores", ras.spillStores);
+        st.set("ra.spill_loads", ras.spillLoads);
+    }
     verifyOrDie(fn);
 
     // Generic post-RA scheduling: every configuration gets it (it is
     // part of -O3); the checkpoint-aware rerun below is Turnpike's
     // addition.
-    runInstructionScheduling(fn);
+    {
+        ScopedPhaseTimer t(prof, "compile.scheduling_generic");
+        runInstructionScheduling(fn);
+    }
     verifyOrDie(fn);
 
     PruneResult prune;
@@ -57,12 +68,15 @@ compileWorkload(Module &mod, const ResilienceConfig &cfg)
         fn.block(fn.entry()).insertAt(0, makeBoundary(0));
         fn.setNumRegions(1);
     } else {
-        RegionFormationOptions rf;
-        rf.storeBudget = cfg.regionStoreBudget > 0
-            ? cfg.regionStoreBudget
-            : std::max(1u, cfg.sbSize / 2);
-        rf.keepStoreFreeLoopsWhole = cfg.licm;
-        runRegionFormation(fn, rf);
+        {
+            ScopedPhaseTimer t(prof, "compile.region_formation");
+            RegionFormationOptions rf;
+            rf.storeBudget = cfg.regionStoreBudget > 0
+                ? cfg.regionStoreBudget
+                : std::max(1u, cfg.sbSize / 2);
+            rf.keepStoreFreeLoopsWhole = cfg.licm;
+            runRegionFormation(fn, rf);
+        }
         verifyOrDie(fn);
 
         // Checkpoint insertion (+ sinking) with budget repair: a
@@ -74,36 +88,46 @@ compileWorkload(Module &mod, const ResilienceConfig &cfg)
         // partitions once), keeping the Fig. 21 ablation apples to
         // apples. Pruning runs last, after the boundaries are final,
         // so its recovery recipes stay valid.
-        for (int attempt = 0; ; attempt++) {
-            TP_ASSERT(attempt < 1000, "region budget repair diverged "
-                      "for %s", mod.name().c_str());
-            removeAllCheckpoints(fn);
-            CkptStats cs = runEagerCheckpointing(fn);
-            st.set("ckpt.inserted", cs.inserted);
-            if (cfg.licm) {
-                SinkStats ss = runCheckpointSinking(fn);
-                st.set("ckpt.loop_sunk", ss.loopSunk);
-                st.set("ckpt.block_sunk", ss.blockSunk);
-                st.set("ckpt.deduped", ss.deduped);
+        {
+            ScopedPhaseTimer t(prof, "compile.checkpointing");
+            for (int attempt = 0; ; attempt++) {
+                TP_ASSERT(attempt < 1000, "region budget repair "
+                          "diverged for %s", mod.name().c_str());
+                removeAllCheckpoints(fn);
+                CkptStats cs = runEagerCheckpointing(fn);
+                st.set("ckpt.inserted", cs.inserted);
+                if (cfg.licm) {
+                    SinkStats ss = runCheckpointSinking(fn);
+                    st.set("ckpt.loop_sunk", ss.loopSunk);
+                    st.set("ckpt.block_sunk", ss.blockSunk);
+                    st.set("ckpt.deduped", ss.deduped);
+                }
+                if (!repairRegionBudget(fn, cfg.sbSize))
+                    break;
             }
-            if (!repairRegionBudget(fn, cfg.sbSize))
-                break;
         }
         verifyOrDie(fn);
 
         if (cfg.pruning) {
+            ScopedPhaseTimer t(prof, "compile.checkpoint_pruning");
             prune = runCheckpointPruning(fn);
             st.set("ckpt.pruned", prune.pruned);
             verifyOrDie(fn);
         }
         if (cfg.scheduling) {
-            st.set("sched.blocks_moved", runInstructionScheduling(fn));
+            ScopedPhaseTimer t(prof, "compile.scheduling_ckpt");
+            st.set("sched.blocks_moved",
+                   runInstructionScheduling(fn));
             verifyOrDie(fn);
         }
     }
 
     st.set("regions", fn.numRegions());
-    out.mf = std::make_unique<MachineFunction>(lowerFunction(fn, prune));
+    {
+        ScopedPhaseTimer t(prof, "compile.lowering");
+        out.mf = std::make_unique<MachineFunction>(
+            lowerFunction(fn, prune));
+    }
     return out;
 }
 

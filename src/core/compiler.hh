@@ -13,6 +13,7 @@
 #include "core/config.hh"
 #include "ir/module.hh"
 #include "machine/mfunction.hh"
+#include "util/phase_timer.hh"
 #include "util/stats.hh"
 
 namespace turnpike {
@@ -28,6 +29,11 @@ struct CompiledProgram
      * "regions".
      */
     StatSet stats;
+    /**
+     * Host wall-clock time per compiler pass ("compile.<pass>"),
+     * reported in the stats registry's host section.
+     */
+    PhaseProfile profile;
 };
 
 /**

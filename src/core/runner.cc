@@ -17,11 +17,18 @@ prepare(const WorkloadSpec &spec, const ResilienceConfig &cfg,
         uint64_t target, std::unique_ptr<Module> &mod,
         CompiledProgram &prog)
 {
-    mod = buildWorkload(spec, target);
-    prog = compileWorkload(*mod, cfg);
-    verifyOrDie(*prog.mf);
-
     RunResult r;
+    {
+        ScopedPhaseTimer t(&r.profile, "host.build_workload");
+        mod = buildWorkload(spec, target);
+    }
+    {
+        ScopedPhaseTimer t(&r.profile, "host.compile");
+        prog = compileWorkload(*mod, cfg);
+        verifyOrDie(*prog.mf);
+    }
+    r.profile.merge(prog.profile);
+
     r.workload = spec.suite + "/" + spec.name;
     r.scheme = cfg.label;
     r.compileStats = prog.stats;
@@ -29,12 +36,15 @@ prepare(const WorkloadSpec &spec, const ResilienceConfig &cfg,
     r.baselineBytes = prog.mf->baselineBytes();
     r.recoveryBytes = prog.mf->recoveryBytes();
 
-    InterpResult golden = interpretMachine(*mod, *prog.mf);
-    TP_ASSERT(golden.reason == StopReason::Halted,
-              "workload %s did not halt functionally",
-              r.workload.c_str());
-    r.goldenHash = golden.memory.dataHash(*mod);
-    r.dyn = std::move(golden.stats);
+    {
+        ScopedPhaseTimer t(&r.profile, "host.interpret");
+        InterpResult golden = interpretMachine(*mod, *prog.mf);
+        TP_ASSERT(golden.reason == StopReason::Halted,
+                  "workload %s did not halt functionally",
+                  r.workload.c_str());
+        r.goldenHash = golden.memory.dataHash(*mod);
+        r.dyn = std::move(golden.stats);
+    }
     if (r.dyn.regionSize.count() > 0)
         r.regionSizeAvg = r.dyn.regionSize.sum() /
             static_cast<double>(r.dyn.regionSize.count());
@@ -52,13 +62,17 @@ runWorkload(const WorkloadSpec &spec, const ResilienceConfig &cfg,
     CompiledProgram prog;
     RunResult r = prepare(spec, cfg, target_dyn_insts, mod, prog);
 
-    InOrderPipeline pipe(*mod, *prog.mf, cfg.toPipelineConfig());
-    PipelineResult pr = pipe.run(faults);
-    TP_ASSERT(pr.halted, "workload %s did not halt in the pipeline "
-              "(scheme %s)", r.workload.c_str(), cfg.label.c_str());
-    r.halted = pr.halted;
-    r.pipe = std::move(pr.stats);
-    r.dataHash = pr.memory.dataHash(*mod);
+    {
+        ScopedPhaseTimer t(&r.profile, "host.simulate");
+        InOrderPipeline pipe(*mod, *prog.mf, cfg.toPipelineConfig());
+        PipelineResult pr = pipe.run(faults);
+        TP_ASSERT(pr.halted, "workload %s did not halt in the "
+                  "pipeline (scheme %s)", r.workload.c_str(),
+                  cfg.label.c_str());
+        r.halted = pr.halted;
+        r.pipe = std::move(pr.stats);
+        r.dataHash = pr.memory.dataHash(*mod);
+    }
     return r;
 }
 

@@ -32,6 +32,12 @@ struct RunResult
     uint64_t baselineBytes = 0;
     uint64_t recoveryBytes = 0;
     double regionSizeAvg = 0;  ///< dynamic instructions per region
+    /**
+     * Host wall-clock phase profile: "host.build_workload",
+     * "host.compile", "host.interpret", "host.simulate", plus the
+     * per-pass "compile.*" entries from the compiler.
+     */
+    PhaseProfile profile;
 };
 
 /**

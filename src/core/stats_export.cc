@@ -1,0 +1,193 @@
+#include "core/stats_export.hh"
+
+namespace turnpike {
+
+void
+exportPipelineStats(StatRegistry &reg, const PipelineStats &ps)
+{
+    reg.addScalar("sim.cycles", ps.cycles,
+                  "simulated clock cycles", "cycle");
+    reg.addScalar("sim.insts", ps.insts,
+                  "committed instructions (Halt included, Boundary "
+                  "markers excluded)", "inst");
+    const uint64_t cycles = ps.cycles, insts = ps.insts;
+    reg.addFormula("sim.ipc", "sim.insts / sim.cycles",
+                   [cycles, insts] {
+                       return cycles
+                           ? static_cast<double>(insts) /
+                                 static_cast<double>(cycles)
+                           : 0.0;
+                   },
+                   "committed instructions per cycle", "inst/cycle");
+    reg.addScalar("sim.loads", ps.loads, "committed loads", "inst");
+    reg.addScalar("sim.branch_mispredicts", ps.branchMispredicts,
+                  "mispredicted branches");
+    reg.addScalar("sim.stall.sb_full_cycles", ps.sbFullStallCycles,
+                  "cycles issue stalled on a full gated store buffer",
+                  "cycle");
+    reg.addScalar("sim.stall.data_hazard_cycles",
+                  ps.dataHazardStallCycles,
+                  "cycles issue stalled on operand readiness",
+                  "cycle");
+    reg.addScalar("sim.stall.rbb_full_cycles", ps.rbbFullStallCycles,
+                  "cycles a boundary stalled on a full RBB", "cycle");
+
+    reg.addScalar("sb.stores.app", ps.storesApp,
+                  "application stores", "inst");
+    reg.addScalar("sb.stores.spill", ps.storesSpill,
+                  "register-spill stores", "inst");
+    reg.addScalar("sb.stores.ckpt", ps.storesCkpt,
+                  "checkpoint stores", "inst");
+    reg.addScalar("sb.stores.quarantined", ps.storesQuarantined,
+                  "stores gated in the SB until verification",
+                  "inst");
+    reg.addScalar("sb.stores.war_free_released", ps.storesWarFree,
+                  "regular stores fast-released via the CLQ "
+                  "WAR-free check", "inst");
+    reg.addDistribution("sb.occupancy", ps.sbOccupancy,
+                        "store buffer entries in use, sampled per "
+                        "issue cycle", "entry");
+
+    reg.addScalar("colors.fast_released", ps.ckptColored,
+                  "checkpoint stores fast-released via hardware "
+                  "coloring", "inst");
+    reg.addScalar("colors.exhausted", ps.colorExhausted,
+                  "checkpoints quarantined because the color pool "
+                  "was empty", "inst");
+
+    reg.addScalar("clq.overflows", ps.clqOverflows,
+                  "CLQ capacity overflows (disables WAR-free "
+                  "release until re-verified)");
+    reg.addDistribution("clq.occupancy", ps.clqOccupancy,
+                        "committed load queue entries in use",
+                        "entry");
+
+    reg.addScalar("rbb.regions_executed", ps.boundaries,
+                  "region boundaries committed", "region");
+    reg.addDistribution("rbb.occupancy", ps.rbbOccupancy,
+                        "RBB entries in flight, sampled at each "
+                        "boundary commit", "entry");
+
+    reg.addDistribution("region.cycles", ps.regionCycles,
+                        "dynamic region length", "cycle");
+    reg.addHistogram("region.cycles_hist", ps.regionCyclesHist,
+                     "dynamic region length (log2 buckets)", "cycle");
+
+    reg.addScalar("cache.l1d.hits", ps.l1dHits, "L1D hits",
+                  "access");
+    reg.addScalar("cache.l1d.misses", ps.l1dMisses, "L1D misses",
+                  "access");
+    const uint64_t l1h = ps.l1dHits, l1m = ps.l1dMisses;
+    reg.addFormula("cache.l1d.miss_rate",
+                   "cache.l1d.misses / (hits + misses)",
+                   [l1h, l1m] {
+                       return l1h + l1m
+                           ? static_cast<double>(l1m) /
+                                 static_cast<double>(l1h + l1m)
+                           : 0.0;
+                   },
+                   "L1D miss rate");
+    reg.addScalar("cache.l2.hits", ps.l2Hits, "L2 hits", "access");
+    reg.addScalar("cache.l2.misses", ps.l2Misses, "L2 misses",
+                  "access");
+    const uint64_t l2h = ps.l2Hits, l2m = ps.l2Misses;
+    reg.addFormula("cache.l2.miss_rate",
+                   "cache.l2.misses / (hits + misses)",
+                   [l2h, l2m] {
+                       return l2h + l2m
+                           ? static_cast<double>(l2m) /
+                                 static_cast<double>(l2h + l2m)
+                           : 0.0;
+                   },
+                   "L2 miss rate");
+
+    reg.addScalar("recovery.detected_faults", ps.detectedFaults,
+                  "acoustic detections delivered", "fault");
+    reg.addScalar("recovery.recoveries", ps.recoveries,
+                  "region-level recoveries executed");
+    reg.addScalar("recovery.cycles", ps.recoveryCycles,
+                  "cycles spent squashing and re-executing",
+                  "cycle");
+}
+
+namespace {
+
+/** Human description for a known compile counter; name otherwise. */
+const char *
+compileStatDesc(const std::string &name)
+{
+    if (name == "sr.pointer_ivs")
+        return "pointer induction variables strength-reduced";
+    if (name == "livm.merged")
+        return "induction variables merged by LIVM";
+    if (name == "ra.spilled_vregs")
+        return "virtual registers spilled";
+    if (name == "ra.spill_stores")
+        return "spill stores inserted";
+    if (name == "ra.spill_loads")
+        return "spill reloads inserted";
+    if (name == "ckpt.inserted")
+        return "checkpoints inserted eagerly";
+    if (name == "ckpt.loop_sunk")
+        return "checkpoints sunk out of loops";
+    if (name == "ckpt.block_sunk")
+        return "checkpoints sunk within blocks";
+    if (name == "ckpt.deduped")
+        return "duplicate checkpoints removed";
+    if (name == "ckpt.pruned")
+        return "checkpoints pruned as redundant";
+    if (name == "sched.blocks_moved")
+        return "blocks reordered by scheduling";
+    if (name == "regions")
+        return "static regions formed";
+    return "compiler pass counter";
+}
+
+} // namespace
+
+void
+exportCompileStats(StatRegistry &reg, const StatSet &cs)
+{
+    for (const auto &kv : cs.all())
+        reg.addScalar("compile." + kv.first, kv.second,
+                      compileStatDesc(kv.first));
+}
+
+void
+exportIntervals(StatRegistry &reg, const PipelineStats &ps)
+{
+    if (ps.intervals.empty())
+        return;
+    TimeSeries ts;
+    ts.name = "pipeline.intervals";
+    ts.desc = "interval samples: cumulative counters plus "
+              "instantaneous occupancies";
+    ts.columns = {"cycle", "insts", "sb_full_stall_cycles",
+                  "data_hazard_stall_cycles", "rbb_full_stall_cycles",
+                  "boundaries", "sb_occ", "rbb_occ", "clq_occ"};
+    ts.rows.reserve(ps.intervals.size());
+    for (const IntervalSample &s : ps.intervals)
+        ts.rows.push_back({s.cycle, s.insts, s.sbFullStallCycles,
+                           s.dataHazardStallCycles,
+                           s.rbbFullStallCycles, s.boundaries,
+                           s.sbOcc, s.rbbOcc, s.clqOcc});
+    reg.addTimeSeries(std::move(ts));
+}
+
+void
+exportRunStats(StatRegistry &reg, const RunResult &r)
+{
+    reg.setMeta("workload", r.workload);
+    reg.setMeta("scheme", r.scheme);
+    exportPipelineStats(reg, r.pipe);
+    exportCompileStats(reg, r.compileStats);
+    exportIntervals(reg, r.pipe);
+    reg.addScalar("code.bytes", r.codeBytes,
+                  "lowered code size including recovery blocks",
+                  "byte");
+    reg.addScalar("code.recovery_bytes", r.recoveryBytes,
+                  "recovery block size", "byte");
+    reg.setHostProfile(r.profile);
+}
+
+} // namespace turnpike

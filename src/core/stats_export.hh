@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Exporters that snapshot a finished run's plain stat structs
+ * (PipelineStats, InterpStats, compile StatSet, PhaseProfile) into a
+ * StatRegistry with stable names, descriptions and units. The
+ * simulator never touches the registry on the hot path; export
+ * happens once, after run() returns.
+ */
+
+#ifndef TURNPIKE_CORE_STATS_EXPORT_HH_
+#define TURNPIKE_CORE_STATS_EXPORT_HH_
+
+#include "core/runner.hh"
+#include "util/stat_registry.hh"
+
+namespace turnpike {
+
+/** Register every pipeline counter/distribution/histogram of @p ps. */
+void exportPipelineStats(StatRegistry &reg, const PipelineStats &ps);
+
+/** Register the per-pass compile statistics of @p cs. */
+void exportCompileStats(StatRegistry &reg, const StatSet &cs);
+
+/** Register the interval time series of @p ps (no-op when empty). */
+void exportIntervals(StatRegistry &reg, const PipelineStats &ps);
+
+/**
+ * Everything at once: pipeline + compile stats, interval series, and
+ * the host phase profile of @p r. The one call the CLI and benches
+ * need.
+ */
+void exportRunStats(StatRegistry &reg, const RunResult &r);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_CORE_STATS_EXPORT_HH_

@@ -35,13 +35,16 @@ InOrderPipeline::processVerification()
         colors_.applyVerified(ri.usedColors);
         clq_.onRegionVerified(ri.id);
         if (cfg_.tracer && cfg_.tracer->wants(kTraceRegions))
-            cfg_.tracer->event(cycle_, "verify",
+            cfg_.tracer->event(cycle_, kTraceRegions, "verify",
                                strfmt("instance %llu (static %u) "
                                       "verified; SB entries released",
                                       (unsigned long long)ri.id,
-                                      ri.staticRegion));
+                                      ri.staticRegion),
+                               kNoTracePc, kNoTraceOp, ri.id,
+                               ri.staticRegion);
         stats_.regionCycles.sample(
             static_cast<double>(ri.endCycle - ri.startCycle));
+        stats_.regionCyclesHist.sample(ri.endCycle - ri.startCycle);
         unrecorded_instances_.erase(ri.id);
     }
 }
@@ -74,10 +77,13 @@ InOrderPipeline::commitStore(const MInstr &mi)
             caches_.storeTouch(addr);
             stats_.storesWarFree++;
             if (cfg_.tracer && cfg_.tracer->wants(kTraceStores))
-                cfg_.tracer->event(cycle_, "store",
+                cfg_.tracer->event(cycle_, kTraceStores, "store",
                                    strfmt("WAR-free fast release "
                                           "[0x%llx]",
-                                          (unsigned long long)addr));
+                                          (unsigned long long)addr),
+                                   pc_,
+                                   static_cast<uint16_t>(mi.op),
+                                   addr);
         } else {
             if (sb_.full())
                 return false;
@@ -85,12 +91,15 @@ InOrderPipeline::commitStore(const MInstr &mi)
                       false});
             stats_.storesQuarantined++;
             if (cfg_.tracer && cfg_.tracer->wants(kTraceStores))
-                cfg_.tracer->event(cycle_, "store",
+                cfg_.tracer->event(cycle_, kTraceStores, "store",
                                    strfmt("quarantined [0x%llx] "
                                           "region %llu",
                                           (unsigned long long)addr,
                                           (unsigned long long)
-                                              rbb_.current().id));
+                                              rbb_.current().id),
+                                   pc_,
+                                   static_cast<uint16_t>(mi.op),
+                                   addr, rbb_.current().id);
         }
     }
     if (mi.skind == StoreKind::Spill)
@@ -132,14 +141,20 @@ InOrderPipeline::commitCkpt(const MInstr &mi)
                 stats_.ckptColored++;
                 stats_.storesCkpt++;
                 if (cfg_.tracer && cfg_.tracer->wants(kTraceStores))
-                    cfg_.tracer->event(cycle_, "ckpt",
+                    cfg_.tracer->event(cycle_, kTraceStores, "ckpt",
                                        strfmt("r%u colored %d, fast "
-                                              "release", r, color));
+                                              "release", r, color),
+                                       pc_,
+                                       static_cast<uint16_t>(mi.op),
+                                       r,
+                                       static_cast<uint64_t>(color));
                 return true;
             }
             // A stale entry for this slot is still draining; give
             // the color back and quarantine instead.
             colors_.giveBack(r, color);
+        } else {
+            stats_.colorExhausted++;
         }
     }
 
@@ -167,12 +182,18 @@ InOrderPipeline::commitBoundary(const MInstr &mi)
     uint64_t inst_id = rbb_.beginRegion(static_cast<uint32_t>(mi.imm),
                                         cycle_, cfg_.wcdl);
     cur_static_region_ = static_cast<uint32_t>(mi.imm);
+    stats_.rbbOccupancy.sample(static_cast<double>(rbb_.size()));
+    if (cfg_.statsInterval != 0 && cfg_.intervalPerRegion &&
+        stats_.boundaries % cfg_.statsInterval == 0)
+        recordIntervalSample();
     if (cfg_.tracer && cfg_.tracer->wants(kTraceRegions))
-        cfg_.tracer->event(cycle_, "region",
+        cfg_.tracer->event(cycle_, kTraceRegions, "region",
                            strfmt("boundary: static %u, instance "
                                   "%llu begins",
                                   cur_static_region_,
-                                  (unsigned long long)inst_id));
+                                  (unsigned long long)inst_id),
+                           pc_, static_cast<uint16_t>(mi.op),
+                           inst_id, cur_static_region_);
     return true;
 }
 
@@ -195,10 +216,11 @@ InOrderPipeline::applyFault(const FaultEvent &ev)
         reg_parity_bad_[r] = true;
         any_parity_bad_ = true;
         if (cfg_.tracer && cfg_.tracer->wants(kTraceRecovery))
-            cfg_.tracer->event(cycle_, "fault",
+            cfg_.tracer->event(cycle_, kTraceRecovery, "fault",
                                strfmt("bit %u of r%u flipped; "
                                       "detection in %u cycles",
-                                      ev.bit, r, ev.detectDelay));
+                                      ev.bit, r, ev.detectDelay),
+                               pc_, kNoTraceOp, r, ev.bit);
     } else {
         // Corrupt a value in flight: modelled as flipping a store-
         // buffer entry of the *current, still-running* region. Such
@@ -229,10 +251,14 @@ void
 InOrderPipeline::doRecovery()
 {
     stats_.recoveries++;
-    if (cfg_.tracer && cfg_.tracer->wants(kTraceRecovery))
-        cfg_.tracer->event(cycle_, "recover",
+    if (cfg_.tracer && cfg_.tracer->wants(kTraceRecovery)) {
+        cfg_.tracer->event(cycle_, kTraceRecovery, "recover",
                            "error detected; squashing unverified "
                            "state");
+        // Post-mortem: the ring holds the events leading into this
+        // recovery — exactly the window a debugging session needs.
+        cfg_.tracer->dumpPostmortem("recovery");
+    }
 
     // Verified (releasable) entries are error-free: flush them to
     // the cache; everything else is discarded with the quarantine.
@@ -310,6 +336,7 @@ InOrderPipeline::issueCycle()
     const size_t code_size = mf_.code().size();
     Tracer *const tracer = cfg_.tracer;
     const bool trace_issue = tracer && tracer->wants(kTraceIssue);
+    const bool trace_stalls = tracer && tracer->wants(kTraceStalls);
 
     while (issued < cfg_.issueWidth) {
         TP_ASSERT(pc_ < code_size, "pc %u out of range", pc_);
@@ -320,6 +347,14 @@ InOrderPipeline::issueCycle()
                 if (issued == 0) {
                     stats_.rbbFullStallCycles++;
                     stall_kind_ = StallKind::RbbFull;
+                    if (trace_stalls)
+                        tracer->event(
+                            cycle_, kTraceStalls, "stall",
+                            strfmt("rbb-full: boundary at pc %u "
+                                   "waits for verification (%zu in "
+                                   "flight)", pc_, rbb_.size()),
+                            pc_, static_cast<uint16_t>(mi.op),
+                            rbb_.size());
                 }
                 break;
             }
@@ -363,6 +398,13 @@ InOrderPipeline::issueCycle()
                 stats_.dataHazardStallCycles++;
                 stall_kind_ = StallKind::DataHazard;
                 stall_until_ = ready;
+                if (trace_stalls)
+                    tracer->event(
+                        cycle_, kTraceStalls, "stall",
+                        strfmt("data-hazard: pc %u waits until "
+                               "cycle %llu", pc_,
+                               (unsigned long long)ready),
+                        pc_, static_cast<uint16_t>(mi.op), ready);
             }
             break;
         }
@@ -417,6 +459,13 @@ InOrderPipeline::issueCycle()
                 if (issued == 0) {
                     stats_.sbFullStallCycles++;
                     stall_kind_ = StallKind::SbFull;
+                    if (trace_stalls)
+                        tracer->event(
+                            cycle_, kTraceStalls, "stall",
+                            strfmt("sb-full: store at pc %u waits "
+                                   "for verification", pc_),
+                            pc_, static_cast<uint16_t>(mi.op),
+                            sb_.size());
                 }
                 goto group_done;
             }
@@ -429,6 +478,13 @@ InOrderPipeline::issueCycle()
                 if (issued == 0) {
                     stats_.sbFullStallCycles++;
                     stall_kind_ = StallKind::SbFull;
+                    if (trace_stalls)
+                        tracer->event(
+                            cycle_, kTraceStalls, "stall",
+                            strfmt("sb-full: checkpoint at pc %u "
+                                   "waits for verification", pc_),
+                            pc_, static_cast<uint16_t>(mi.op),
+                            sb_.size());
                 }
                 goto group_done;
             }
@@ -448,9 +504,11 @@ InOrderPipeline::issueCycle()
             // so emit the issue event here (before the redirect, so
             // the branch's own pc is reported).
             if (trace_issue)
-                tracer->event(cycle_, "issue",
+                tracer->event(cycle_, kTraceIssue, "issue",
                               strfmt("pc %u: %s", pc_,
-                                     mi.toString().c_str()));
+                                     mi.toString().c_str()),
+                              pc_, static_cast<uint16_t>(mi.op),
+                              next, taken);
             pc_ = next;
             stats_.insts++;
             issued++;
@@ -458,9 +516,11 @@ InOrderPipeline::issueCycle()
           }
           case Op::Jmp:
             if (trace_issue)
-                tracer->event(cycle_, "issue",
+                tracer->event(cycle_, kTraceIssue, "issue",
                               strfmt("pc %u: %s", pc_,
-                                     mi.toString().c_str()));
+                                     mi.toString().c_str()),
+                              pc_, static_cast<uint16_t>(mi.op),
+                              mi.target);
             pc_ = mi.target;
             stats_.insts++;
             issued++;
@@ -491,9 +551,10 @@ InOrderPipeline::issueCycle()
         if (writesDst(mi.op))
             group_dst[issued & 1] = mi.dst;
         if (trace_issue)
-            tracer->event(cycle_, "issue",
+            tracer->event(cycle_, kTraceIssue, "issue",
                           strfmt("pc %u: %s", pc_,
-                                 mi.toString().c_str()));
+                                 mi.toString().c_str()),
+                          pc_, static_cast<uint16_t>(mi.op));
         stats_.insts++;
         issued++;
         pc_++;
@@ -559,6 +620,22 @@ InOrderPipeline::bookSkippedCycles(uint64_t n)
     stats_.sbOccupancy.sample(static_cast<double>(sb_.size()), n);
 }
 
+void
+InOrderPipeline::recordIntervalSample()
+{
+    IntervalSample s;
+    s.cycle = cycle_;
+    s.insts = stats_.insts;
+    s.sbFullStallCycles = stats_.sbFullStallCycles;
+    s.dataHazardStallCycles = stats_.dataHazardStallCycles;
+    s.rbbFullStallCycles = stats_.rbbFullStallCycles;
+    s.boundaries = stats_.boundaries;
+    s.sbOcc = static_cast<uint32_t>(sb_.size());
+    s.rbbOcc = static_cast<uint32_t>(rbb_.size());
+    s.clqOcc = static_cast<uint32_t>(clq_.entriesUsed());
+    stats_.intervals.push_back(s);
+}
+
 PipelineResult
 InOrderPipeline::run(const std::vector<FaultEvent> &faults)
 {
@@ -571,7 +648,18 @@ InOrderPipeline::run(const std::vector<FaultEvent> &faults)
     const uint64_t max_cycles = cfg_.maxCycles;
     uint64_t next_fault =
         fault_idx < nfaults ? fe[fault_idx].cycle : ~uint64_t(0);
+    // Cycle-interval sampling: disabled (the default) costs one
+    // always-false compare per loop iteration. With fast-forward the
+    // loop can jump several periods at once; one sample is taken per
+    // crossing, stamped with the actual cycle.
+    const uint64_t interval =
+        cfg_.intervalPerRegion ? 0 : cfg_.statsInterval;
+    uint64_t next_sample = interval ? interval : ~uint64_t(0);
     while (cycle_ < max_cycles) {
+        if (cycle_ >= next_sample) {
+            recordIntervalSample();
+            next_sample = (cycle_ / interval + 1) * interval;
+        }
         while (cycle_ >= next_fault) {
             applyFault(fe[fault_idx]);
             fault_idx++;
@@ -617,6 +705,10 @@ InOrderPipeline::run(const std::vector<FaultEvent> &faults)
     result.halted = halted_;
     stats_.cycles = cycle_;
     stats_.clqOccupancy = clq_.occupancy();
+    stats_.l1dHits = caches_.l1().hits();
+    stats_.l1dMisses = caches_.l1().misses();
+    stats_.l2Hits = caches_.l2().hits();
+    stats_.l2Misses = caches_.l2().misses();
     result.stats = stats_;
     result.memory = std::move(memory_);
     return result;

@@ -62,8 +62,38 @@ struct PipelineConfig
     int memLatency = 100;
     uint64_t maxCycles = 2000000000ull;
 
+    // -- observability ------------------------------------------------
+    /**
+     * Interval time-series sampling period: every N cycles (or every
+     * N region commits with intervalPerRegion) one IntervalSample is
+     * appended to PipelineStats::intervals. 0 disables sampling (the
+     * default; benches and campaigns run with it off, so the hot
+     * loop pays one always-false compare).
+     */
+    uint64_t statsInterval = 0;
+    /** Sample every statsInterval region commits instead of cycles. */
+    bool intervalPerRegion = false;
+
     /** Optional event tracer (not owned); null disables tracing. */
     Tracer *tracer = nullptr;
+};
+
+/**
+ * One interval time-series sample: cumulative counters plus
+ * instantaneous structure occupancies at the sampled cycle. Consumers
+ * difference neighbouring samples for per-interval rates.
+ */
+struct IntervalSample
+{
+    uint64_t cycle = 0;
+    uint64_t insts = 0;               ///< cumulative
+    uint64_t sbFullStallCycles = 0;   ///< cumulative
+    uint64_t dataHazardStallCycles = 0; ///< cumulative
+    uint64_t rbbFullStallCycles = 0;  ///< cumulative
+    uint64_t boundaries = 0;          ///< cumulative
+    uint32_t sbOcc = 0;               ///< instantaneous SB entries
+    uint32_t rbbOcc = 0;              ///< instantaneous RBB entries
+    uint32_t clqOcc = 0;              ///< instantaneous CLQ entries
 };
 
 /** Counters and distributions of one simulation. */
@@ -90,12 +120,26 @@ struct PipelineStats
     uint64_t branchMispredicts = 0;
     uint64_t boundaries = 0;
     uint64_t clqOverflows = 0;
+    /** Checkpoints quarantined because the color pool was empty. */
+    uint64_t colorExhausted = 0;
     Distribution clqOccupancy;
     Distribution sbOccupancy;
+    /** RBB entries in flight, sampled at each boundary commit. */
+    Distribution rbbOccupancy;
     Distribution regionCycles;
+    /** Log2 histogram of the same region-length samples. */
+    Histogram regionCyclesHist;
     uint64_t detectedFaults = 0;
     uint64_t recoveries = 0;
     uint64_t recoveryCycles = 0;
+    // Cache hit/miss totals, copied out of the hierarchy at the end
+    // of run() (the caches keep their own counters on the hot path).
+    uint64_t l1dHits = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l2Hits = 0;
+    uint64_t l2Misses = 0;
+    /** Interval time series; empty unless statsInterval > 0. */
+    std::vector<IntervalSample> intervals;
 
     uint64_t storesTotal() const
     {
@@ -153,6 +197,8 @@ class InOrderPipeline
                             size_t fault_idx) const;
     /** Book the per-cycle stats of @p n skipped quiescent cycles. */
     void bookSkippedCycles(uint64_t n);
+    /** Append one interval sample at the current cycle. */
+    void recordIntervalSample();
     // Commit helpers; return false when the pipeline must stall.
     bool commitStore(const MInstr &mi);
     bool commitCkpt(const MInstr &mi);

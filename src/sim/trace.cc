@@ -1,0 +1,147 @@
+#include "sim/trace.hh"
+
+#include "ir/opcode.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+const char *
+traceCategoryName(TraceCategory c)
+{
+    switch (c) {
+      case kTraceIssue: return "issue";
+      case kTraceStores: return "stores";
+      case kTraceRegions: return "regions";
+      case kTraceRecovery: return "recovery";
+      case kTraceStalls: return "stalls";
+      default: return "unknown";
+    }
+}
+
+void
+Tracer::event(uint64_t cycle, TraceCategory cat, const char *tag,
+              const std::string &message, uint32_t pc,
+              uint16_t opcode, uint64_t a, uint64_t b)
+{
+    TraceEvent ev;
+    ev.cycle = cycle;
+    ev.a = a;
+    ev.b = b;
+    ev.tag = tag;
+    ev.category = cat;
+    ev.pc = pc;
+    ev.opcode = opcode;
+    record(ev);
+    render(ev, message);
+}
+
+void
+Tracer::record(const TraceEvent &ev)
+{
+    if (ring_.empty())
+        return;
+    size_t slot = ring_head_ + ring_size_;
+    if (slot >= ring_.size())
+        slot -= ring_.size();
+    ring_[slot] = ev;
+    if (ring_size_ < ring_.size()) {
+        ring_size_++;
+    } else {
+        // Full: the write just overwrote the oldest slot.
+        ring_head_ = ring_head_ + 1 == ring_.size() ? 0
+                                                    : ring_head_ + 1;
+    }
+}
+
+const TraceEvent &
+Tracer::ringAt(size_t i) const
+{
+    TP_ASSERT(i < ring_size_, "trace ring index %zu out of %zu", i,
+              ring_size_);
+    size_t slot = ring_head_ + i;
+    if (slot >= ring_.size())
+        slot -= ring_.size();
+    return ring_[slot];
+}
+
+namespace {
+
+/** Shared field rendering of one binary record as a JSON object. */
+void
+writeEventFields(JsonWriter &jw, const TraceEvent &ev)
+{
+    jw.field("cycle", ev.cycle);
+    jw.field("cat", traceCategoryName(
+                        static_cast<TraceCategory>(ev.category)));
+    jw.field("tag", ev.tag);
+    if (ev.pc != kNoTracePc)
+        jw.field("pc", ev.pc);
+    if (ev.opcode != kNoTraceOp)
+        jw.field("op", opName(static_cast<Op>(ev.opcode)));
+    jw.field("a", ev.a);
+    jw.field("b", ev.b);
+}
+
+} // namespace
+
+void
+Tracer::render(const TraceEvent &ev, const std::string &message)
+{
+    if (format_ == TraceFormat::Text) {
+        // Byte-identical to the pre-structured tracer's line format.
+        out_ << ev.cycle << ": " << ev.tag << ": " << message << '\n';
+        return;
+    }
+    JsonWriter jw(out_, 0);
+    jw.beginObject();
+    writeEventFields(jw, ev);
+    jw.field("msg", message);
+    jw.endObject();
+    jw.newline();
+}
+
+void
+Tracer::dumpPostmortem(const char *reason)
+{
+    if (format_ == TraceFormat::Text) {
+        out_ << "== postmortem (" << reason << "): last "
+             << ring_size_ << " events ==\n";
+        for (size_t i = 0; i < ring_size_; i++) {
+            const TraceEvent &ev = ringAt(i);
+            out_ << "  " << ev.cycle << ": "
+                 << traceCategoryName(
+                        static_cast<TraceCategory>(ev.category))
+                 << "/" << ev.tag;
+            if (ev.pc != kNoTracePc)
+                out_ << " pc=" << ev.pc;
+            if (ev.opcode != kNoTraceOp)
+                out_ << " op=" << opName(static_cast<Op>(ev.opcode));
+            out_ << " a=" << ev.a << " b=" << ev.b << '\n';
+        }
+        out_.flush();
+        return;
+    }
+    for (size_t i = 0; i < ring_size_; i++) {
+        JsonWriter jw(out_, 0);
+        jw.beginObject();
+        jw.field("postmortem", true);
+        jw.field("reason", reason);
+        writeEventFields(jw, ringAt(i));
+        jw.endObject();
+        jw.newline();
+    }
+    out_.flush();
+}
+
+void
+installTracerPanicDump(Tracer *tracer)
+{
+    if (!tracer) {
+        setPanicHook({});
+        return;
+    }
+    setPanicHook([tracer] { tracer->dumpPostmortem("panic"); });
+}
+
+} // namespace turnpike

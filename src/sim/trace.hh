@@ -1,9 +1,27 @@
 /**
  * @file
- * Optional cycle-level event tracing for the pipeline, in the spirit
- * of gem5's DPRINTF categories. A Tracer is attached through the
- * PipelineConfig; when absent, tracing costs one pointer test per
- * event site.
+ * Structured cycle-level event tracing for the pipeline, in the
+ * spirit of gem5's DPRINTF categories. A Tracer is attached through
+ * the PipelineConfig; when absent, tracing costs one pointer test
+ * per event site.
+ *
+ * Every event carries a compact binary record (cycle, category,
+ * pc/opcode, two payload words) alongside its human-readable
+ * message. The record feeds two consumers:
+ *  - the selectable sink — `text` renders the classic
+ *    "<cycle>: <tag>: <message>" line (byte-identical to the
+ *    pre-structured tracer), `jsonl` renders one JSON object per
+ *    event for machine consumption;
+ *  - a bounded post-mortem ring of the most recent records, dumped
+ *    on panic() (via installTracerPanicDump) and on fault recovery,
+ *    so the events leading into a crash or recovery are on record
+ *    even when the interesting window was not known in advance.
+ *
+ * Contract for event sites: the message argument is a formatted
+ * std::string, so every site MUST test wants(category) before
+ * building it — an unguarded site would pay the formatting cost on
+ * every simulated event even for filtered categories. All sites in
+ * src/sim follow this pattern (audited; pinned by the trace tests).
  */
 
 #ifndef TURNPIKE_SIM_TRACE_HH_
@@ -11,6 +29,8 @@
 
 #include <cstdint>
 #include <ostream>
+#include <string>
+#include <vector>
 
 namespace turnpike {
 
@@ -24,27 +44,93 @@ enum TraceCategory : uint32_t {
     kTraceAll = 0xffffffffu,
 };
 
+/** Short name of a single category bit ("issue", "stalls", ...). */
+const char *traceCategoryName(TraceCategory c);
+
+/** Sentinel: event has no associated program counter. */
+constexpr uint32_t kNoTracePc = 0xffffffffu;
+/** Sentinel: event has no associated opcode. */
+constexpr uint16_t kNoTraceOp = 0xffffu;
+
+/**
+ * Compact binary trace record (32 bytes + tag pointer). The tag must
+ * be a string literal (the ring stores the pointer, not a copy).
+ */
+struct TraceEvent
+{
+    uint64_t cycle = 0;
+    uint64_t a = 0;              ///< event-specific payload
+    uint64_t b = 0;              ///< event-specific payload
+    const char *tag = "";        ///< static string, e.g. "store"
+    uint32_t category = 0;       ///< single TraceCategory bit
+    uint32_t pc = kNoTracePc;    ///< machine pc, if any
+    uint16_t opcode = kNoTraceOp; ///< raw Op, if any
+};
+
+/** Rendering of the trace sink. */
+enum class TraceFormat { Text, Jsonl };
+
 /** Sink for pipeline trace events. */
 class Tracer
 {
   public:
-    Tracer(std::ostream &out, uint32_t categories = kTraceAll)
-        : out_(out), categories_(categories)
+    Tracer(std::ostream &out, uint32_t categories = kTraceAll,
+           TraceFormat format = TraceFormat::Text,
+           size_t ring_capacity = 256)
+        : out_(out),
+          categories_(categories),
+          format_(format),
+          ring_(ring_capacity)
     {}
 
+    /** The one-pointer-test fast path companion: category filter. */
     bool wants(TraceCategory c) const { return categories_ & c; }
 
-    /** Emit one line: "<cycle>: <tag>: <message>". */
-    void event(uint64_t cycle, const char *tag,
-               const std::string &message)
-    {
-        out_ << cycle << ": " << tag << ": " << message << '\n';
-    }
+    TraceFormat format() const { return format_; }
+
+    /**
+     * Emit one event: records the binary part in the post-mortem
+     * ring and renders it to the sink. Callers must already have
+     * passed wants(cat) — see the file comment.
+     *
+     * @param pc machine pc, or kNoTracePc
+     * @param opcode raw Op value, or kNoTraceOp
+     * @param a,b event-specific payload words (addresses, ids)
+     */
+    void event(uint64_t cycle, TraceCategory cat, const char *tag,
+               const std::string &message, uint32_t pc = kNoTracePc,
+               uint16_t opcode = kNoTraceOp, uint64_t a = 0,
+               uint64_t b = 0);
+
+    /**
+     * Dump the post-mortem ring (oldest first) to the sink,
+     * annotated with @p reason ("recovery", "panic"). The ring holds
+     * only events whose category passed the filter when emitted.
+     */
+    void dumpPostmortem(const char *reason);
+
+    /** Events currently held in the ring. */
+    size_t ringSize() const { return ring_size_; }
+    /** Ring event @p i, 0 = oldest. */
+    const TraceEvent &ringAt(size_t i) const;
 
   private:
+    void record(const TraceEvent &ev);
+    void render(const TraceEvent &ev, const std::string &message);
+
     std::ostream &out_;
     uint32_t categories_;
+    TraceFormat format_;
+    std::vector<TraceEvent> ring_; ///< fixed-capacity ring storage
+    size_t ring_head_ = 0;         ///< slot of the oldest event
+    size_t ring_size_ = 0;
 };
+
+/**
+ * Route panic() through @p tracer's post-mortem dump (see
+ * setPanicHook for the threading caveats). Pass nullptr to clear.
+ */
+void installTracerPanicDump(Tracer *tracer);
 
 } // namespace turnpike
 

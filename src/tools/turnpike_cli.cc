@@ -23,11 +23,14 @@
 
 #include "core/compiler.hh"
 #include "core/runner.hh"
+#include "core/stats_export.hh"
 #include "machine/mprinter.hh"
 #include "machine/minterp.hh"
 #include "sim/pipeline.hh"
 #include "util/logging.hh"
+#include "util/phase_timer.hh"
 #include "util/rng.hh"
+#include "util/stat_registry.hh"
 #include "util/table.hh"
 
 using namespace turnpike;
@@ -56,9 +59,17 @@ usage()
         "  --faults N             inject N single-event upsets\n"
         "  --fault-seed S         fault plan seed (default 1)\n"
         "  --trace CATS           comma list of issue,stores,"
-        "regions,recovery\n"
+        "regions,recovery,stalls\n"
         "  --trace-file PATH      trace destination (default "
         "stderr)\n"
+        "  --trace-format FMT     text | jsonl (default text)\n"
+        "  --stats-file PATH      dump a stats registry after the "
+        "run\n"
+        "  --stats-format FMT     text | json (default text)\n"
+        "  --interval N           sample interval time series every "
+        "N cycles\n"
+        "  --interval-per-region  sample every N region commits "
+        "instead\n"
         "  --dump-asm             print the lowered machine code\n"
         "  --dump-regions         print per-region static store/"
         "checkpoint composition\n"
@@ -137,6 +148,11 @@ main(int argc, char **argv)
     uint64_t fault_seed = 1;
     std::string trace_cats;
     std::string trace_file;
+    std::string trace_format = "text";
+    std::string stats_file;
+    std::string stats_format = "text";
+    uint64_t interval = 0;
+    bool interval_per_region = false;
     bool dump_asm = false;
     bool dump_regions = false;
     bool compare_baseline = false;
@@ -178,6 +194,16 @@ main(int argc, char **argv)
             trace_cats = need(i);
         } else if (a == "--trace-file") {
             trace_file = need(i);
+        } else if (a == "--trace-format") {
+            trace_format = need(i);
+        } else if (a == "--stats-file") {
+            stats_file = need(i);
+        } else if (a == "--stats-format") {
+            stats_format = need(i);
+        } else if (a == "--interval") {
+            interval = static_cast<uint64_t>(std::atoll(need(i)));
+        } else if (a == "--interval-per-region") {
+            interval_per_region = true;
         } else if (a == "--dump-asm") {
             dump_asm = true;
         } else if (a == "--dump-regions") {
@@ -195,14 +221,31 @@ main(int argc, char **argv)
     const WorkloadSpec &spec = findWorkload(
         workload.substr(0, slash), workload.substr(slash + 1));
 
+    if (trace_format != "text" && trace_format != "jsonl")
+        fatal("--trace-format expects text or jsonl, got '%s'",
+              trace_format.c_str());
+    if (stats_format != "text" && stats_format != "json")
+        fatal("--stats-format expects text or json, got '%s'",
+              stats_format.c_str());
+
     ResilienceConfig cfg = schemeByName(scheme, wcdl);
     cfg.sbSize = sb;
     cfg.clqEntries = clq;
     if (ideal_clq)
         cfg.clqDesign = ClqDesign::Ideal;
 
-    auto mod = buildWorkload(spec, icount);
-    CompiledProgram prog = compileWorkload(*mod, cfg);
+    PhaseProfile profile;
+    std::unique_ptr<Module> mod;
+    CompiledProgram prog;
+    {
+        ScopedPhaseTimer t(&profile, "host.build_workload");
+        mod = buildWorkload(spec, icount);
+    }
+    {
+        ScopedPhaseTimer t(&profile, "host.compile");
+        prog = compileWorkload(*mod, cfg);
+    }
+    profile.merge(prog.profile);
     if (dump_asm)
         std::printf("%s\n", printMachineFunction(*prog.mf).c_str());
     if (dump_regions) {
@@ -237,19 +280,26 @@ main(int argc, char **argv)
     std::ofstream trace_stream;
     std::unique_ptr<Tracer> tracer;
     PipelineConfig pcfg = cfg.toPipelineConfig();
+    pcfg.statsInterval = interval;
+    pcfg.intervalPerRegion = interval_per_region;
     if (!trace_cats.empty()) {
+        TraceFormat fmt = trace_format == "jsonl"
+            ? TraceFormat::Jsonl
+            : TraceFormat::Text;
         if (!trace_file.empty()) {
             trace_stream.open(trace_file);
             if (!trace_stream)
                 fatal("cannot open trace file %s",
                       trace_file.c_str());
-            tracer = std::make_unique<Tracer>(trace_stream,
-                                              traceMask(trace_cats));
+            tracer = std::make_unique<Tracer>(
+                trace_stream, traceMask(trace_cats), fmt);
         } else {
-            tracer = std::make_unique<Tracer>(std::cerr,
-                                              traceMask(trace_cats));
+            tracer = std::make_unique<Tracer>(
+                std::cerr, traceMask(trace_cats), fmt);
         }
         pcfg.tracer = tracer.get();
+        // Post-mortem: a panic() dumps the last events of the ring.
+        installTracerPanicDump(tracer.get());
     }
 
     std::vector<FaultEvent> plan;
@@ -260,8 +310,12 @@ main(int argc, char **argv)
         plan = makeFaultPlan(rng, est.stats.insts * 2, wcdl, faults);
     }
 
-    InOrderPipeline pipe(*mod, *prog.mf, pcfg);
-    PipelineResult r = pipe.run(plan);
+    PipelineResult r;
+    {
+        ScopedPhaseTimer t(&profile, "host.simulate");
+        InOrderPipeline pipe(*mod, *prog.mf, pcfg);
+        r = pipe.run(plan);
+    }
     if (!r.halted)
         fatal("simulation did not reach halt");
 
@@ -291,6 +345,33 @@ main(int argc, char **argv)
                   cell(prog.mf->codeBytes()) + " (+" +
                       cell(prog.mf->recoveryBytes()) + ")"});
     std::printf("%s", table.toText().c_str());
+
+    if (!stats_file.empty()) {
+        StatRegistry reg;
+        reg.setMeta("workload", workload);
+        reg.setMeta("scheme", cfg.label);
+        reg.setMeta("icount", std::to_string(icount));
+        reg.setMeta("interval", std::to_string(interval));
+        exportPipelineStats(reg, ps);
+        exportCompileStats(reg, prog.stats);
+        exportIntervals(reg, ps);
+        reg.addScalar("code.bytes",
+                      prog.mf->codeBytes() + prog.mf->recoveryBytes(),
+                      "lowered code size including recovery blocks",
+                      "byte");
+        reg.addScalar("code.recovery_bytes", prog.mf->recoveryBytes(),
+                      "recovery block size", "byte");
+        reg.setHostProfile(profile);
+        std::ofstream sf(stats_file);
+        if (!sf)
+            fatal("cannot open stats file %s", stats_file.c_str());
+        if (stats_format == "json")
+            reg.dumpJson(sf);
+        else
+            reg.dumpText(sf);
+        std::printf("\nwrote %s stats to %s\n", stats_format.c_str(),
+                    stats_file.c_str());
+    }
 
     if (faults > 0) {
         InterpResult golden = interpretMachine(*mod, *prog.mf);

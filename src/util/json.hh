@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Deterministic streaming JSON writer shared by the stats registry,
+ * the JSONL tracer sink and the benchmark harnesses. Replaces the
+ * ad-hoc fprintf emitters: one implementation owns escaping, number
+ * formatting and comma/indent bookkeeping, so every dump in the repo
+ * is valid JSON and byte-identical across runs with equal inputs.
+ *
+ * No DOM, no parsing: the writer streams tokens in caller order.
+ * Doubles are formatted with "%.12g" (enough digits to round-trip
+ * every value the simulator produces while keeping dumps readable);
+ * identical inputs always produce identical bytes.
+ */
+
+#ifndef TURNPIKE_UTIL_JSON_HH_
+#define TURNPIKE_UTIL_JSON_HH_
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Streaming JSON writer with optional pretty-printing. Containers
+ * are opened/closed explicitly; the writer tracks nesting to place
+ * commas, newlines and indentation. With indent_step = 0 the output
+ * is a single line (the JSONL trace sink uses this).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out, int indent_step = 2)
+        : out_(out), indent_step_(indent_step)
+    {}
+
+    ~JsonWriter()
+    {
+        TP_ASSERT(stack_.empty(),
+                  "JsonWriter destroyed with %zu open containers",
+                  stack_.size());
+    }
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject() { open('{', false); }
+    void endObject() { close('}'); }
+    void beginArray() { open('[', true); }
+    void endArray() { close(']'); }
+
+    /** Emit an object key; the next value/container belongs to it. */
+    void key(const std::string &k)
+    {
+        TP_ASSERT(!stack_.empty() && !stack_.back().isArray,
+                  "JSON key '%s' outside an object", k.c_str());
+        separate();
+        out_ << '"' << jsonEscape(k) << "\":";
+        if (indent_step_ > 0)
+            out_ << ' ';
+        have_key_ = true;
+    }
+
+    void value(const std::string &v)
+    {
+        separate();
+        out_ << '"' << jsonEscape(v) << '"';
+    }
+    void value(const char *v) { value(std::string(v)); }
+    void value(bool v)
+    {
+        separate();
+        out_ << (v ? "true" : "false");
+    }
+    void value(uint64_t v)
+    {
+        separate();
+        out_ << v;
+    }
+    void value(int64_t v)
+    {
+        separate();
+        out_ << v;
+    }
+    void value(int v) { value(static_cast<int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<uint64_t>(v)); }
+    void value(double v)
+    {
+        separate();
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+        out_ << buf;
+    }
+    void null()
+    {
+        separate();
+        out_ << "null";
+    }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void field(const std::string &k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Finish the line of a one-line document (JSONL record). */
+    void newline() { out_ << '\n'; }
+
+  private:
+    struct Frame
+    {
+        bool isArray;
+        uint64_t items;
+    };
+
+    void separate()
+    {
+        if (have_key_) {
+            // Value directly follows its key; no comma or newline.
+            have_key_ = false;
+            return;
+        }
+        if (stack_.empty())
+            return;
+        if (stack_.back().items > 0)
+            out_ << ',';
+        stack_.back().items++;
+        indentNewline();
+    }
+
+    void open(char c, bool is_array)
+    {
+        separate();
+        out_ << c;
+        stack_.push_back({is_array, 0});
+    }
+
+    void close(char c)
+    {
+        TP_ASSERT(!stack_.empty(), "unbalanced JSON close '%c'", c);
+        bool had_items = stack_.back().items > 0;
+        stack_.pop_back();
+        if (had_items)
+            indentNewline();
+        out_ << c;
+    }
+
+    void indentNewline()
+    {
+        if (indent_step_ <= 0)
+            return;
+        out_ << '\n';
+        for (size_t i = 0; i < stack_.size(); i++)
+            for (int j = 0; j < indent_step_; j++)
+                out_ << ' ';
+    }
+
+    std::ostream &out_;
+    int indent_step_;
+    bool have_key_ = false;
+    std::vector<Frame> stack_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_UTIL_JSON_HH_

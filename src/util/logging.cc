@@ -43,11 +43,29 @@ emit(const char *prefix, const char *fmt, va_list args)
     std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
 }
 
+// Set once at startup by a single-threaded driver (see the header),
+// so the unsynchronized read in panic() is benign.
+std::function<void()> panic_hook;
+
 } // namespace
+
+void
+setPanicHook(std::function<void()> hook)
+{
+    panic_hook = std::move(hook);
+}
 
 void
 panic(const char *fmt, ...)
 {
+    // Run the post-mortem hook first (it may write a trace dump);
+    // guard against a panic inside the hook re-entering it.
+    static thread_local bool in_hook = false;
+    if (panic_hook && !in_hook) {
+        in_hook = true;
+        panic_hook();
+        in_hook = false;
+    }
     va_list args;
     va_start(args, fmt);
     emit("panic", fmt, args);

@@ -10,9 +10,20 @@
 #define TURNPIKE_UTIL_LOGGING_HH_
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace turnpike {
+
+/**
+ * Install a hook that runs once at the start of panic(), before the
+ * message is printed and the process aborts — the tracer uses it to
+ * dump its post-mortem event ring so a crash leaves the last events
+ * on record. Pass an empty function to clear. Not thread-safe:
+ * intended for single-threaded drivers (the CLI), set once at
+ * startup; campaign workers never install hooks.
+ */
+void setPanicHook(std::function<void()> hook);
 
 /**
  * Format a string printf-style into a std::string.

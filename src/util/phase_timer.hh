@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Host-side self-profiling: named wall-clock phase accumulators and
+ * an RAII scope timer. The compiler driver wraps each pass, and the
+ * runner wraps the simulate/interpret phases, so every stats dump
+ * carries a built-in host-performance baseline for perf work.
+ *
+ * Phase times are *host* observations: they never feed back into
+ * simulated behaviour, and the stats registry keeps them in a
+ * separate section so deterministic dumps can exclude them.
+ */
+
+#ifndef TURNPIKE_UTIL_PHASE_TIMER_HH_
+#define TURNPIKE_UTIL_PHASE_TIMER_HH_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace turnpike {
+
+/** Accumulated wall-clock time of one named phase. */
+struct PhaseEntry
+{
+    double seconds = 0.0;
+    uint64_t calls = 0;
+};
+
+/** A set of named phase accumulators (deterministic name order). */
+class PhaseProfile
+{
+  public:
+    /** Account one completed execution of @p name. */
+    void add(const std::string &name, double seconds)
+    {
+        PhaseEntry &e = entries_[name];
+        e.seconds += seconds;
+        e.calls++;
+    }
+
+    /** Fold another profile into this one. */
+    void merge(const PhaseProfile &other)
+    {
+        for (const auto &kv : other.entries_) {
+            PhaseEntry &e = entries_[kv.first];
+            e.seconds += kv.second.seconds;
+            e.calls += kv.second.calls;
+        }
+    }
+
+    bool empty() const { return entries_.empty(); }
+
+    const std::map<std::string, PhaseEntry> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::map<std::string, PhaseEntry> entries_;
+};
+
+/**
+ * RAII timer: measures from construction to destruction and books
+ * the elapsed wall-clock time into a PhaseProfile. A null profile
+ * disables the timer (so call sites need no branches).
+ */
+class ScopedPhaseTimer
+{
+  public:
+    ScopedPhaseTimer(PhaseProfile *profile, const char *name)
+        : profile_(profile), name_(name)
+    {
+        if (profile_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedPhaseTimer()
+    {
+        if (!profile_)
+            return;
+        auto end = std::chrono::steady_clock::now();
+        profile_->add(name_,
+                      std::chrono::duration<double>(end - start_)
+                          .count());
+    }
+
+    ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+    ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+  private:
+    PhaseProfile *profile_;
+    const char *name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_UTIL_PHASE_TIMER_HH_

@@ -1,0 +1,343 @@
+#include "util/stat_registry.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace turnpike {
+
+void
+StatRegistry::setMeta(const std::string &key, const std::string &value)
+{
+    for (auto &kv : meta_) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    meta_.push_back({key, value});
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    for (const Entry &e : entries_)
+        if (e.name == name)
+            return true;
+    return false;
+}
+
+void
+StatRegistry::addEntry(Entry e)
+{
+    TP_ASSERT(!has(e.name), "duplicate stat '%s'", e.name.c_str());
+    entries_.push_back(std::move(e));
+}
+
+void
+StatRegistry::addScalar(const std::string &name, uint64_t value,
+                        const std::string &desc,
+                        const std::string &unit)
+{
+    Entry e;
+    e.kind = Kind::Scalar;
+    e.name = name;
+    e.desc = desc;
+    e.unit = unit;
+    e.integral = true;
+    e.uvalue = value;
+    addEntry(std::move(e));
+}
+
+void
+StatRegistry::addScalar(const std::string &name, double value,
+                        const std::string &desc,
+                        const std::string &unit)
+{
+    Entry e;
+    e.kind = Kind::Scalar;
+    e.name = name;
+    e.desc = desc;
+    e.unit = unit;
+    e.integral = false;
+    e.dvalue = value;
+    addEntry(std::move(e));
+}
+
+void
+StatRegistry::addFormula(const std::string &name,
+                         const std::string &expr,
+                         std::function<double()> fn,
+                         const std::string &desc,
+                         const std::string &unit)
+{
+    Entry e;
+    e.kind = Kind::Formula;
+    e.name = name;
+    e.desc = desc;
+    e.unit = unit;
+    e.expr = expr;
+    e.fn = std::move(fn);
+    addEntry(std::move(e));
+}
+
+void
+StatRegistry::addDistribution(const std::string &name,
+                              const Distribution &d,
+                              const std::string &desc,
+                              const std::string &unit)
+{
+    Entry e;
+    e.kind = Kind::Dist;
+    e.name = name;
+    e.desc = desc;
+    e.unit = unit;
+    e.dist = d;
+    addEntry(std::move(e));
+}
+
+void
+StatRegistry::addHistogram(const std::string &name, const Histogram &h,
+                           const std::string &desc,
+                           const std::string &unit)
+{
+    Entry e;
+    e.kind = Kind::Hist;
+    e.name = name;
+    e.desc = desc;
+    e.unit = unit;
+    e.hist = h;
+    addEntry(std::move(e));
+}
+
+void
+StatRegistry::addTimeSeries(TimeSeries series)
+{
+    for (const std::vector<uint64_t> &row : series.rows)
+        TP_ASSERT(row.size() == series.columns.size(),
+                  "time series '%s': row arity %zu != %zu columns",
+                  series.name.c_str(), row.size(),
+                  series.columns.size());
+    series_.push_back(std::move(series));
+}
+
+void
+StatRegistry::setHostProfile(const PhaseProfile &profile)
+{
+    host_ = profile;
+}
+
+namespace {
+
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+void
+textLine(std::ostream &out, const std::string &name,
+         const std::string &value, const std::string &desc,
+         const std::string &unit)
+{
+    // gem5 layout: name, value, then "# desc (unit)".
+    char buf[41];
+    std::snprintf(buf, sizeof(buf), "%-36s", name.c_str());
+    out << buf << ' ';
+    std::snprintf(buf, sizeof(buf), "%16s", value.c_str());
+    out << buf << "  # " << desc << " (" << unit << ")\n";
+}
+
+} // namespace
+
+void
+StatRegistry::dumpText(std::ostream &out, bool include_host) const
+{
+    for (const auto &kv : meta_)
+        out << kv.first << ": " << kv.second << '\n';
+    if (!meta_.empty())
+        out << '\n';
+
+    for (const Entry &e : entries_) {
+        switch (e.kind) {
+          case Kind::Scalar:
+            textLine(out, e.name,
+                     e.integral ? std::to_string(e.uvalue)
+                                : fmtDouble(e.dvalue),
+                     e.desc, e.unit);
+            break;
+          case Kind::Formula:
+            textLine(out, e.name, fmtDouble(e.fn ? e.fn() : 0.0),
+                     e.desc + " [" + e.expr + "]", e.unit);
+            break;
+          case Kind::Dist:
+            textLine(out, e.name + ".count",
+                     std::to_string(e.dist.count()), e.desc,
+                     "samples");
+            textLine(out, e.name + ".mean", fmtDouble(e.dist.mean()),
+                     e.desc, e.unit);
+            textLine(out, e.name + ".min", fmtDouble(e.dist.min()),
+                     e.desc, e.unit);
+            textLine(out, e.name + ".max", fmtDouble(e.dist.max()),
+                     e.desc, e.unit);
+            break;
+          case Kind::Hist:
+            textLine(out, e.name + ".count",
+                     std::to_string(e.hist.count()), e.desc,
+                     "samples");
+            for (size_t i = 0; i < Histogram::kNumBuckets; i++) {
+                if (e.hist.bucketCount(i) == 0)
+                    continue;
+                std::string lo = std::to_string(Histogram::bucketLo(i));
+                std::string hi = i >= 64
+                    ? std::string("inf")
+                    : std::to_string(Histogram::bucketHi(i));
+                textLine(out, e.name + "[" + lo + "," + hi + ")",
+                         std::to_string(e.hist.bucketCount(i)),
+                         e.desc, e.unit);
+            }
+            break;
+        }
+    }
+
+    for (const TimeSeries &ts : series_) {
+        out << '\n' << ts.name << ": " << ts.desc << '\n';
+        for (size_t c = 0; c < ts.columns.size(); c++)
+            out << (c ? " " : "  ") << ts.columns[c];
+        out << '\n';
+        for (const auto &row : ts.rows) {
+            out << " ";
+            for (uint64_t v : row)
+                out << ' ' << v;
+            out << '\n';
+        }
+    }
+
+    if (include_host && !host_.empty()) {
+        out << "\nhost phase profile:\n";
+        for (const auto &kv : host_.entries()) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%12.6f s  %6llu calls",
+                          kv.second.seconds,
+                          static_cast<unsigned long long>(
+                              kv.second.calls));
+            std::string v = buf;
+            char name[41];
+            std::snprintf(name, sizeof(name), "%-36s",
+                          kv.first.c_str());
+            out << name << ' ' << v << '\n';
+        }
+    }
+}
+
+void
+StatRegistry::dumpJson(std::ostream &out, bool include_host) const
+{
+    JsonWriter jw(out);
+    jw.beginObject();
+    jw.field("schema", kStatsSchemaVersion);
+
+    jw.key("meta");
+    jw.beginObject();
+    for (const auto &kv : meta_)
+        jw.field(kv.first, kv.second);
+    jw.endObject();
+
+    jw.key("stats");
+    jw.beginArray();
+    for (const Entry &e : entries_) {
+        jw.beginObject();
+        jw.field("name", e.name);
+        jw.field("desc", e.desc);
+        jw.field("unit", e.unit);
+        switch (e.kind) {
+          case Kind::Scalar:
+            jw.field("kind", "scalar");
+            if (e.integral)
+                jw.field("value", e.uvalue);
+            else
+                jw.field("value", e.dvalue);
+            break;
+          case Kind::Formula:
+            jw.field("kind", "formula");
+            jw.field("expr", e.expr);
+            jw.field("value", e.fn ? e.fn() : 0.0);
+            break;
+          case Kind::Dist:
+            jw.field("kind", "distribution");
+            jw.field("count", e.dist.count());
+            jw.field("sum", e.dist.sum());
+            jw.field("min", e.dist.min());
+            jw.field("max", e.dist.max());
+            jw.field("mean", e.dist.mean());
+            break;
+          case Kind::Hist:
+            jw.field("kind", "histogram");
+            jw.field("count", e.hist.count());
+            jw.key("buckets");
+            jw.beginArray();
+            for (size_t i = 0; i < Histogram::kNumBuckets; i++) {
+                if (e.hist.bucketCount(i) == 0)
+                    continue;
+                jw.beginObject();
+                jw.field("lo", Histogram::bucketLo(i));
+                if (i < 64)
+                    jw.field("hi", Histogram::bucketHi(i));
+                else
+                    jw.field("hi", std::string("inf"));
+                jw.field("n", e.hist.bucketCount(i));
+                jw.endObject();
+            }
+            jw.endArray();
+            break;
+        }
+        jw.endObject();
+    }
+    jw.endArray();
+
+    jw.key("intervals");
+    jw.beginArray();
+    for (const TimeSeries &ts : series_) {
+        jw.beginObject();
+        jw.field("name", ts.name);
+        jw.field("desc", ts.desc);
+        jw.key("columns");
+        jw.beginArray();
+        for (const std::string &c : ts.columns)
+            jw.value(c);
+        jw.endArray();
+        jw.key("rows");
+        jw.beginArray();
+        for (const auto &row : ts.rows) {
+            jw.beginArray();
+            for (uint64_t v : row)
+                jw.value(v);
+            jw.endArray();
+        }
+        jw.endArray();
+        jw.endObject();
+    }
+    jw.endArray();
+
+    jw.key("host");
+    jw.beginArray();
+    if (include_host) {
+        for (const auto &kv : host_.entries()) {
+            jw.beginObject();
+            jw.field("phase", kv.first);
+            jw.field("seconds", kv.second.seconds);
+            jw.field("calls", kv.second.calls);
+            jw.endObject();
+        }
+    }
+    jw.endArray();
+
+    jw.endObject();
+    out << '\n';
+}
+
+} // namespace turnpike

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * A gem5-style statistics registry: named stats with descriptions
+ * and units — scalars, formulas (evaluated at dump time), running
+ * distributions and log2 histograms — plus interval time series and
+ * a host-side phase profile, with deterministic text-table and JSON
+ * dumps.
+ *
+ * The simulator's components keep accumulating into their plain
+ * structs on the hot path (a map lookup per increment would be
+ * ruinous); after a run the exporters in core/stats_export.hh
+ * snapshot those structs into a registry, which owns naming,
+ * description and serialization. Identical runs therefore produce
+ * byte-identical dumps — pinned by the observability tests — except
+ * for the host-profile section, which dumps wall-clock times and can
+ * be excluded.
+ */
+
+#ifndef TURNPIKE_UTIL_STAT_REGISTRY_HH_
+#define TURNPIKE_UTIL_STAT_REGISTRY_HH_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/phase_timer.hh"
+#include "util/stats.hh"
+
+namespace turnpike {
+
+/** The serialized-schema version tag of JSON dumps. */
+constexpr const char *kStatsSchemaVersion = "turnpike-stats-v1";
+
+/**
+ * A named time series: one row of values per sample, a fixed column
+ * set. The pipeline's interval sampler produces one of these.
+ */
+struct TimeSeries
+{
+    std::string name;
+    std::string desc;
+    std::vector<std::string> columns;
+    std::vector<std::vector<uint64_t>> rows;
+};
+
+/** Registry of named stats; see the file comment. */
+class StatRegistry
+{
+  public:
+    /** Identification fields dumped into the "meta" section. */
+    void setMeta(const std::string &key, const std::string &value);
+
+    void addScalar(const std::string &name, uint64_t value,
+                   const std::string &desc,
+                   const std::string &unit = "count");
+    void addScalar(const std::string &name, double value,
+                   const std::string &desc,
+                   const std::string &unit = "count");
+
+    /**
+     * A derived stat: @p expr documents the formula (e.g.
+     * "sim.insts / sim.cycles"); @p fn computes the value at dump
+     * time, so late additions to the registry are reflected.
+     */
+    void addFormula(const std::string &name, const std::string &expr,
+                    std::function<double()> fn,
+                    const std::string &desc,
+                    const std::string &unit = "ratio");
+
+    void addDistribution(const std::string &name,
+                         const Distribution &d,
+                         const std::string &desc,
+                         const std::string &unit = "count");
+
+    void addHistogram(const std::string &name, const Histogram &h,
+                      const std::string &desc,
+                      const std::string &unit = "count");
+
+    void addTimeSeries(TimeSeries series);
+
+    /** Host wall-clock phases (kept apart; see file comment). */
+    void setHostProfile(const PhaseProfile &profile);
+
+    /** Number of registered stats (all kinds, series excluded). */
+    size_t size() const { return entries_.size(); }
+
+    /** True when a stat of @p name is registered. */
+    bool has(const std::string &name) const;
+
+    /**
+     * Aligned gem5-style text dump: one line per scalar/formula,
+     * expanded lines for distributions/histograms, then time series
+     * and (unless excluded) the host profile.
+     */
+    void dumpText(std::ostream &out, bool include_host = true) const;
+
+    /**
+     * JSON dump (schema kStatsSchemaVersion, validated by
+     * tools/stats_schema_check.py). Deterministic given equal
+     * registered values when @p include_host is false.
+     */
+    void dumpJson(std::ostream &out, bool include_host = true) const;
+
+  private:
+    enum class Kind { Scalar, Formula, Dist, Hist };
+
+    struct Entry
+    {
+        Kind kind;
+        std::string name;
+        std::string desc;
+        std::string unit;
+        std::string expr;            ///< Formula only
+        bool integral = false;       ///< Scalar: uint64 vs double
+        uint64_t uvalue = 0;
+        double dvalue = 0.0;
+        std::function<double()> fn;  ///< Formula only
+        Distribution dist;           ///< Dist only
+        Histogram hist;              ///< Hist only
+    };
+
+    void addEntry(Entry e);
+
+    std::vector<std::pair<std::string, std::string>> meta_;
+    std::vector<Entry> entries_;
+    std::vector<TimeSeries> series_;
+    PhaseProfile host_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_UTIL_STAT_REGISTRY_HH_

@@ -53,6 +53,20 @@ Distribution::reset()
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    for (size_t i = 0; i < kNumBuckets; i++)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+}
+
+void
+Histogram::reset()
+{
+    *this = Histogram();
+}
+
+void
 StatSet::inc(const std::string &name, uint64_t delta)
 {
     counters_[name] += delta;

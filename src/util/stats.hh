@@ -9,6 +9,7 @@
 #ifndef TURNPIKE_UTIL_STATS_HH_
 #define TURNPIKE_UTIL_STATS_HH_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -89,6 +90,59 @@ class Distribution
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+};
+
+/**
+ * A power-of-two (log2) bucketed histogram over non-negative integer
+ * samples. Bucket 0 holds the value 0; bucket k >= 1 holds values in
+ * [2^(k-1), 2^k). The fixed geometry needs no configuration, covers
+ * the full uint64_t range, and makes sample() two instructions —
+ * cheap enough for per-region events (e.g. dynamic region length in
+ * cycles for the stats registry's histogram dumps).
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t kNumBuckets = 65;
+
+    /** Record @p n samples of value @p v. */
+    void sample(uint64_t v, uint64_t n = 1)
+    {
+        buckets_[bucketOf(v)] += n;
+        count_ += n;
+    }
+
+    /** Bucket index of value @p v. */
+    static size_t bucketOf(uint64_t v)
+    {
+        return v == 0 ? 0 : 64 - static_cast<size_t>(
+                                 __builtin_clzll(v));
+    }
+
+    /** Inclusive lower bound of bucket @p i. */
+    static uint64_t bucketLo(size_t i)
+    {
+        return i == 0 ? 0 : uint64_t(1) << (i - 1);
+    }
+
+    /** Exclusive upper bound of bucket @p i (0 means "2^64"). */
+    static uint64_t bucketHi(size_t i)
+    {
+        return i == 0 ? 1 : i >= 64 ? 0 : uint64_t(1) << i;
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t bucketCount(size_t i) const { return buckets_[i]; }
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::array<uint64_t, kNumBuckets> buckets_{};
+    uint64_t count_ = 0;
 };
 
 /**

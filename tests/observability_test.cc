@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Tests for the observability layer: the JSON writer, the log2
+ * histogram, the structured tracer (text and JSONL sinks, post-mortem
+ * ring), interval time-series sampling, the stats registry and its
+ * deterministic dumps, and the host phase profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/compiler.hh"
+#include "core/parallel.hh"
+#include "core/runner.hh"
+#include "core/stats_export.hh"
+#include "sim/pipeline.hh"
+#include "sim/trace.hh"
+#include "util/json.hh"
+#include "util/phase_timer.hh"
+#include "util/rng.hh"
+#include "util/stat_registry.hh"
+
+namespace turnpike {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("x\ny\tz"), "x\\ny\\tz");
+    EXPECT_EQ(jsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, SingleLineObjectGolden)
+{
+    std::ostringstream out;
+    {
+        JsonWriter jw(out, 0);
+        jw.beginObject();
+        jw.field("name", "x");
+        jw.field("n", uint64_t(7));
+        jw.field("ok", true);
+        jw.key("xs");
+        jw.beginArray();
+        jw.value(uint64_t(1));
+        jw.value(uint64_t(2));
+        jw.endArray();
+        jw.endObject();
+    }
+    EXPECT_EQ(out.str(), "{\"name\":\"x\",\"n\":7,\"ok\":true,"
+                         "\"xs\":[1,2]}");
+}
+
+TEST(Json, PrettyNestingIndents)
+{
+    std::ostringstream out;
+    {
+        JsonWriter jw(out);
+        jw.beginObject();
+        jw.key("inner");
+        jw.beginObject();
+        jw.field("a", uint64_t(1));
+        jw.endObject();
+        jw.endObject();
+    }
+    EXPECT_EQ(out.str(),
+              "{\n  \"inner\": {\n    \"a\": 1\n  }\n}");
+}
+
+TEST(Json, DoubleUsesTwelveSignificantDigits)
+{
+    std::ostringstream out;
+    {
+        JsonWriter jw(out, 0);
+        jw.beginArray();
+        jw.value(0.5);
+        jw.value(1.0 / 3.0);
+        jw.endArray();
+    }
+    EXPECT_EQ(out.str(), "[0.5,0.333333333333]");
+}
+
+// ----------------------------------------------------------- Histogram
+
+TEST(Histogram, Log2BucketGeometry)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(1023), 10u);
+    EXPECT_EQ(Histogram::bucketOf(1024), 11u);
+    EXPECT_EQ(Histogram::bucketOf(~uint64_t(0)), 64u);
+    // Bucket bounds partition the value space: lo(i+1) == hi(i).
+    for (size_t i = 0; i + 1 < Histogram::kNumBuckets; i++)
+        EXPECT_EQ(Histogram::bucketLo(i + 1), Histogram::bucketHi(i))
+            << i;
+}
+
+TEST(Histogram, SampleMergeReset)
+{
+    Histogram h;
+    h.sample(0);
+    h.sample(5, 3);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(Histogram::bucketOf(5)), 3u);
+
+    Histogram other;
+    other.sample(5);
+    h.merge(other);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucketCount(Histogram::bucketOf(5)), 4u);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+}
+
+// -------------------------------------------------------------- Tracer
+
+TEST(Tracer, TextSinkGolden)
+{
+    std::ostringstream out;
+    Tracer t(out, kTraceAll, TraceFormat::Text);
+    t.event(7, kTraceStores, "store", "quarantined [0x10]", 12,
+            static_cast<uint16_t>(Op::Store), 16, 3);
+    EXPECT_EQ(out.str(), "7: store: quarantined [0x10]\n");
+}
+
+TEST(Tracer, JsonlSinkGolden)
+{
+    std::ostringstream out;
+    Tracer t(out, kTraceAll, TraceFormat::Jsonl);
+    t.event(7, kTraceStores, "store", "quarantined [0x10]", 12,
+            static_cast<uint16_t>(Op::Store), 16, 3);
+    EXPECT_EQ(out.str(),
+              "{\"cycle\":7,\"cat\":\"stores\",\"tag\":\"store\","
+              "\"pc\":12,\"op\":\"st\",\"a\":16,\"b\":3,"
+              "\"msg\":\"quarantined [0x10]\"}\n");
+}
+
+TEST(Tracer, JsonlOmitsSentinelPcAndOpcode)
+{
+    std::ostringstream out;
+    Tracer t(out, kTraceAll, TraceFormat::Jsonl);
+    t.event(3, kTraceRegions, "verify", "instance 1 verified");
+    EXPECT_EQ(out.str(),
+              "{\"cycle\":3,\"cat\":\"regions\",\"tag\":\"verify\","
+              "\"a\":0,\"b\":0,\"msg\":\"instance 1 verified\"}\n");
+}
+
+TEST(Tracer, RingKeepsNewestEvents)
+{
+    std::ostringstream out;
+    Tracer t(out, kTraceAll, TraceFormat::Text, 4);
+    for (uint64_t c = 0; c < 6; c++)
+        t.event(c, kTraceIssue, "issue", "x");
+    ASSERT_EQ(t.ringSize(), 4u);
+    EXPECT_EQ(t.ringAt(0).cycle, 2u); // oldest surviving
+    EXPECT_EQ(t.ringAt(3).cycle, 5u); // newest
+}
+
+TEST(Tracer, PostmortemDumpsRingOldestFirst)
+{
+    std::ostringstream out;
+    Tracer t(out, kTraceAll, TraceFormat::Text, 8);
+    t.event(1, kTraceStores, "store", "a", 5,
+            static_cast<uint16_t>(Op::Store), 64, 0);
+    t.event(2, kTraceRegions, "region", "b");
+    out.str(""); // only interested in the post-mortem rendering
+    t.dumpPostmortem("panic");
+    std::string text = out.str();
+    EXPECT_NE(text.find("== postmortem (panic): last 2 events =="),
+              std::string::npos);
+    size_t first = text.find("1: stores/store pc=5 op=st a=64 b=0");
+    size_t second = text.find("2: regions/region a=0 b=0");
+    ASSERT_NE(first, std::string::npos) << text;
+    ASSERT_NE(second, std::string::npos) << text;
+    EXPECT_LT(first, second);
+}
+
+TEST(Tracer, CategoryNames)
+{
+    EXPECT_STREQ(traceCategoryName(kTraceIssue), "issue");
+    EXPECT_STREQ(traceCategoryName(kTraceStalls), "stalls");
+    EXPECT_STREQ(traceCategoryName(kTraceRecovery), "recovery");
+}
+
+// -------------------------------------------- stall events (satellite)
+
+PipelineResult
+runTraced(const char *suite, const char *name,
+          const ResilienceConfig &cfg, std::ostream *sink,
+          uint32_t mask, TraceFormat fmt = TraceFormat::Text,
+          uint64_t interval = 0, bool per_region = false,
+          const std::vector<FaultEvent> &faults = {})
+{
+    const WorkloadSpec &spec = findWorkload(suite, name);
+    auto mod = buildWorkload(spec, 6000);
+    CompiledProgram prog = compileWorkload(*mod, cfg);
+    PipelineConfig pcfg = cfg.toPipelineConfig();
+    pcfg.statsInterval = interval;
+    pcfg.intervalPerRegion = per_region;
+    std::unique_ptr<Tracer> tracer;
+    if (sink) {
+        tracer = std::make_unique<Tracer>(*sink, mask, fmt);
+        pcfg.tracer = tracer.get();
+    }
+    InOrderPipeline pipe(*mod, *prog.mf, pcfg);
+    return pipe.run(faults);
+}
+
+TEST(Trace, StallEventsAppear)
+{
+    // Turnstile quarantines every store: with the default tiny SB the
+    // gated buffer fills and sb-full stall events must be emitted.
+    std::ostringstream out;
+    PipelineResult r = runTraced("CPU2006", "milc",
+                                 ResilienceConfig::turnstile(10),
+                                 &out, kTraceStalls);
+    ASSERT_TRUE(r.halted);
+    ASSERT_GT(r.stats.sbFullStallCycles, 0u);
+    std::string text = out.str();
+    EXPECT_NE(text.find(": stall: sb-full:"), std::string::npos);
+    EXPECT_NE(text.find("waits for verification"),
+              std::string::npos);
+    // Filtered categories stay silent under the stalls mask.
+    EXPECT_EQ(text.find(": issue: "), std::string::npos);
+}
+
+TEST(Trace, StallEventsJsonlParseable)
+{
+    std::ostringstream out;
+    PipelineResult r = runTraced("CPU2006", "milc",
+                                 ResilienceConfig::turnstile(10),
+                                 &out, kTraceStalls,
+                                 TraceFormat::Jsonl);
+    ASSERT_TRUE(r.halted);
+    std::istringstream in(out.str());
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(in, line)) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{') << line;
+        EXPECT_EQ(line.back(), '}') << line;
+        EXPECT_NE(line.find("\"cat\":\"stalls\""),
+                  std::string::npos) << line;
+        lines++;
+    }
+    EXPECT_GT(lines, 0u);
+}
+
+TEST(Trace, StallEventsDoNotChangeResults)
+{
+    ResilienceConfig cfg = ResilienceConfig::turnstile(10);
+    std::ostringstream out;
+    PipelineResult traced = runTraced("CPU2006", "milc", cfg, &out,
+                                      kTraceStalls);
+    PipelineResult plain = runTraced("CPU2006", "milc", cfg, nullptr,
+                                     0);
+    EXPECT_EQ(traced.stats.cycles, plain.stats.cycles);
+    EXPECT_EQ(traced.stats.sbFullStallCycles,
+              plain.stats.sbFullStallCycles);
+}
+
+TEST(Trace, PostmortemDumpedOnRecovery)
+{
+    ResilienceConfig cfg = ResilienceConfig::turnpike(20);
+    PipelineResult clean = runTraced("CPU2006", "gcc", cfg, nullptr,
+                                     0);
+    Rng rng(3);
+    auto plan = makeFaultPlan(rng, clean.stats.cycles, 20, 2);
+    std::ostringstream out;
+    PipelineResult r = runTraced("CPU2006", "gcc", cfg, &out,
+                                 kTraceRecovery, TraceFormat::Text,
+                                 0, false, plan);
+    ASSERT_GT(r.stats.recoveries, 0u);
+    EXPECT_NE(out.str().find("== postmortem (recovery):"),
+              std::string::npos);
+}
+
+// ----------------------------------------------------------- intervals
+
+TEST(Intervals, CycleSamplingIsMonotone)
+{
+    PipelineResult r = runTraced("CPU2006", "mcf",
+                                 ResilienceConfig::turnpike(10),
+                                 nullptr, 0, TraceFormat::Text, 500);
+    ASSERT_TRUE(r.halted);
+    const auto &iv = r.stats.intervals;
+    ASSERT_GT(iv.size(), 2u);
+    for (size_t i = 1; i < iv.size(); i++) {
+        EXPECT_GT(iv[i].cycle, iv[i - 1].cycle);
+        EXPECT_GE(iv[i].insts, iv[i - 1].insts);
+        EXPECT_GE(iv[i].sbFullStallCycles,
+                  iv[i - 1].sbFullStallCycles);
+        EXPECT_GE(iv[i].boundaries, iv[i - 1].boundaries);
+    }
+    EXPECT_LE(iv.back().insts, r.stats.insts);
+}
+
+TEST(Intervals, SamplingOffByDefault)
+{
+    PipelineResult r = runTraced("CPU2006", "mcf",
+                                 ResilienceConfig::turnpike(10),
+                                 nullptr, 0);
+    EXPECT_TRUE(r.stats.intervals.empty());
+}
+
+TEST(Intervals, SamplingDoesNotChangeTiming)
+{
+    ResilienceConfig cfg = ResilienceConfig::turnpike(10);
+    PipelineResult sampled = runTraced("CPU2006", "mcf", cfg, nullptr,
+                                       0, TraceFormat::Text, 250);
+    PipelineResult plain = runTraced("CPU2006", "mcf", cfg, nullptr,
+                                     0);
+    EXPECT_EQ(sampled.stats.cycles, plain.stats.cycles);
+    EXPECT_EQ(sampled.stats.insts, plain.stats.insts);
+}
+
+TEST(Intervals, PerRegionSampling)
+{
+    PipelineResult r = runTraced("CPU2006", "mcf",
+                                 ResilienceConfig::turnpike(10),
+                                 nullptr, 0, TraceFormat::Text, 10,
+                                 /*per_region=*/true);
+    ASSERT_TRUE(r.halted);
+    const auto &iv = r.stats.intervals;
+    ASSERT_GT(iv.size(), 0u);
+    // Every sample lands on a multiple of 10 committed boundaries.
+    for (const IntervalSample &s : iv)
+        EXPECT_EQ(s.boundaries % 10, 0u) << s.cycle;
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(StatRegistry, TextAndJsonDumpScalars)
+{
+    StatRegistry reg;
+    reg.setMeta("workload", "unit/test");
+    reg.addScalar("sim.cycles", uint64_t(100), "cycles", "cycle");
+    reg.addFormula("sim.ipc", "insts / cycles", [] { return 0.5; },
+                   "ipc", "inst/cycle");
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_TRUE(reg.has("sim.cycles"));
+    EXPECT_FALSE(reg.has("sim.insts"));
+
+    std::ostringstream text;
+    reg.dumpText(text);
+    EXPECT_NE(text.str().find("sim.cycles"), std::string::npos);
+    EXPECT_NE(text.str().find("# cycles (cycle)"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("0.5"), std::string::npos);
+
+    std::ostringstream json;
+    reg.dumpJson(json);
+    EXPECT_NE(json.str().find("\"schema\": \"turnpike-stats-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"name\": \"sim.ipc\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"expr\": \"insts / cycles\""),
+              std::string::npos);
+}
+
+TEST(StatRegistry, TimeSeriesRowArityIsChecked)
+{
+    StatRegistry reg;
+    TimeSeries ts;
+    ts.name = "x";
+    ts.columns = {"a", "b"};
+    ts.rows = {{1, 2}, {3, 4}};
+    reg.addTimeSeries(std::move(ts));
+    std::ostringstream json;
+    reg.dumpJson(json);
+    EXPECT_NE(json.str().find("\"rows\""), std::string::npos);
+}
+
+TEST(StatRegistry, ExportCoversAllSubsystems)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "mcf");
+    RunResult r = runWorkload(spec, ResilienceConfig::turnpike(10),
+                              8000);
+    StatRegistry reg;
+    exportRunStats(reg, r);
+    for (const char *name :
+         {"sim.cycles", "sim.insts", "sim.ipc",
+          "sim.stall.sb_full_cycles", "sb.stores.app",
+          "sb.stores.quarantined", "sb.occupancy",
+          "colors.fast_released", "clq.overflows", "clq.occupancy",
+          "rbb.regions_executed", "rbb.occupancy", "region.cycles",
+          "region.cycles_hist", "cache.l1d.hits",
+          "cache.l1d.miss_rate", "cache.l2.misses",
+          "recovery.recoveries", "compile.regions",
+          "compile.ckpt.inserted", "code.bytes"})
+        EXPECT_TRUE(reg.has(name)) << name;
+}
+
+TEST(StatRegistry, DumpsAreDeterministicAcrossRuns)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "hmmer");
+    ResilienceConfig cfg = ResilienceConfig::turnpike(10);
+    auto dump = [&] {
+        RunResult r = runWorkload(spec, cfg, 8000);
+        StatRegistry reg;
+        exportRunStats(reg, r);
+        std::ostringstream out;
+        reg.dumpJson(out, /*include_host=*/false);
+        return out.str();
+    };
+    std::string first = dump();
+    std::string second = dump();
+    EXPECT_GT(first.size(), 1000u);
+    EXPECT_EQ(first, second);
+}
+
+TEST(StatRegistry, CampaignDumpsMatchSerialRuns)
+{
+    // The registry dump of a campaign cell is byte-identical to the
+    // same run executed serially, including under parallel workers.
+    setenv("TURNPIKE_JOBS", "3", 1);
+    std::vector<RunRequest> reqs;
+    for (const char *name : {"mcf", "milc", "gcc"}) {
+        RunRequest rq;
+        rq.spec = findWorkload("CPU2006", name);
+        rq.cfg = ResilienceConfig::turnpike(10);
+        rq.targetDynInsts = 6000;
+        reqs.push_back(std::move(rq));
+    }
+    std::vector<RunResult> par = runCampaign(reqs);
+    setenv("TURNPIKE_JOBS", "1", 1);
+    std::vector<RunResult> ser = runCampaign(reqs);
+    unsetenv("TURNPIKE_JOBS");
+    ASSERT_EQ(par.size(), ser.size());
+    for (size_t i = 0; i < par.size(); i++) {
+        StatRegistry a, b;
+        exportRunStats(a, par[i]);
+        exportRunStats(b, ser[i]);
+        std::ostringstream oa, ob;
+        a.dumpJson(oa, false);
+        b.dumpJson(ob, false);
+        EXPECT_EQ(oa.str(), ob.str()) << reqs[i].spec.name;
+    }
+}
+
+// -------------------------------------------------------- host profile
+
+TEST(PhaseProfile, ScopedTimerAccumulates)
+{
+    PhaseProfile p;
+    {
+        ScopedPhaseTimer t(&p, "x");
+    }
+    {
+        ScopedPhaseTimer t(&p, "x");
+    }
+    ASSERT_FALSE(p.empty());
+    const PhaseEntry &e = p.entries().at("x");
+    EXPECT_EQ(e.calls, 2u);
+    EXPECT_GE(e.seconds, 0.0);
+    // Null profile: the timer is a no-op.
+    ScopedPhaseTimer noop(nullptr, "y");
+}
+
+TEST(PhaseProfile, RunnerRecordsCompileAndSimulatePhases)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "mcf");
+    RunResult r = runWorkload(spec, ResilienceConfig::turnpike(10),
+                              6000);
+    const auto &e = r.profile.entries();
+    for (const char *phase :
+         {"host.build_workload", "host.compile", "host.interpret",
+          "host.simulate", "compile.register_allocation",
+          "compile.checkpointing", "compile.lowering"})
+        EXPECT_TRUE(e.count(phase)) << phase;
+    // Turnpike enables pruning, so that pass must be timed too.
+    EXPECT_TRUE(e.count("compile.checkpoint_pruning"));
+}
+
+} // namespace
+} // namespace turnpike

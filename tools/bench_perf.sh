@@ -25,3 +25,17 @@ for ((i = 1; i <= reps; i++)); do
     echo "== repetition $i/$reps =="
     "$build/bench/perf_throughput"
 done
+
+# Host-phase self-profile of the last repetition, from the JSON the
+# bench now embeds (build/compile/simulate and per-pass times).
+python3 - <<'EOF'
+import json
+with open("BENCH_sim_throughput.json") as f:
+    doc = json.load(f)
+phases = doc.get("phases", [])
+if phases:
+    print("\n== host phase profile (last repetition) ==")
+    for p in sorted(phases, key=lambda p: -p["seconds"]):
+        print(f"  {p['phase']:<36} {p['seconds']:>10.3f} s"
+              f"  {p['calls']:>8} calls")
+EOF

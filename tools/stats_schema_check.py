@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validate a turnpike-stats-v1 JSON dump (stdlib only).
+
+Usage: stats_schema_check.py FILE.json [FILE.json ...]
+
+Exits 0 when every file conforms to the schema written by
+StatRegistry::dumpJson, 1 otherwise with one diagnostic per problem.
+Wired into ctest as `stats_schema_check` against the stats_smoke
+dump; also handy standalone against any --stats-file output.
+"""
+
+import json
+import sys
+
+SCHEMA = "turnpike-stats-v1"
+KINDS = {"scalar", "formula", "distribution", "histogram"}
+
+
+def err(path, msg, problems):
+    problems.append(f"{path}: {msg}")
+
+
+def check_stat(i, s, problems):
+    where = f"stats[{i}]"
+    if not isinstance(s, dict):
+        err(where, "not an object", problems)
+        return
+    for field in ("name", "desc", "unit", "kind"):
+        if not isinstance(s.get(field), str):
+            err(where, f"missing/str '{field}'", problems)
+            return
+    kind = s["kind"]
+    where = f"stats[{i}] ({s['name']})"
+    if kind not in KINDS:
+        err(where, f"unknown kind '{kind}'", problems)
+        return
+    if kind == "scalar":
+        if not isinstance(s.get("value"), (int, float)):
+            err(where, "scalar without numeric 'value'", problems)
+    elif kind == "formula":
+        if not isinstance(s.get("expr"), str):
+            err(where, "formula without 'expr'", problems)
+        if not isinstance(s.get("value"), (int, float)):
+            err(where, "formula without numeric 'value'", problems)
+    elif kind == "distribution":
+        for field in ("count", "sum", "min", "max", "mean"):
+            if not isinstance(s.get(field), (int, float)):
+                err(where, f"distribution without '{field}'", problems)
+    elif kind == "histogram":
+        if not isinstance(s.get("count"), int):
+            err(where, "histogram without integer 'count'", problems)
+        buckets = s.get("buckets")
+        if not isinstance(buckets, list):
+            err(where, "histogram without 'buckets' array", problems)
+            return
+        total = 0
+        for j, b in enumerate(buckets):
+            if not isinstance(b, dict) or \
+               not isinstance(b.get("lo"), int) or \
+               "hi" not in b or not isinstance(b.get("n"), int):
+                err(where, f"bucket[{j}] malformed", problems)
+                return
+            total += b["n"]
+        if total != s["count"]:
+            err(where, f"bucket sum {total} != count {s['count']}",
+                problems)
+
+
+def check_series(i, ts, problems):
+    where = f"intervals[{i}]"
+    if not isinstance(ts, dict):
+        err(where, "not an object", problems)
+        return
+    for field in ("name", "desc"):
+        if not isinstance(ts.get(field), str):
+            err(where, f"missing/str '{field}'", problems)
+            return
+    where = f"intervals[{i}] ({ts['name']})"
+    cols = ts.get("columns")
+    rows = ts.get("rows")
+    if not isinstance(cols, list) or \
+       not all(isinstance(c, str) for c in cols):
+        err(where, "'columns' is not a string array", problems)
+        return
+    if not isinstance(rows, list):
+        err(where, "'rows' is not an array", problems)
+        return
+    for j, row in enumerate(rows):
+        if not isinstance(row, list) or len(row) != len(cols):
+            err(where, f"row[{j}] arity != {len(cols)} columns",
+                problems)
+            return
+        if not all(isinstance(v, int) for v in row):
+            err(where, f"row[{j}] has non-integer values", problems)
+            return
+
+
+def check_host(i, h, problems):
+    where = f"host[{i}]"
+    if not isinstance(h, dict) or \
+       not isinstance(h.get("phase"), str) or \
+       not isinstance(h.get("seconds"), (int, float)) or \
+       not isinstance(h.get("calls"), int):
+        err(where, "needs phase/seconds/calls", problems)
+
+
+def check_file(path):
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"{path}: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+    if doc.get("schema") != SCHEMA:
+        err("schema", f"expected '{SCHEMA}', got {doc.get('schema')!r}",
+            problems)
+    if not isinstance(doc.get("meta"), dict) or \
+       not all(isinstance(v, str) for v in doc["meta"].values()):
+        err("meta", "not an object of strings", problems)
+
+    stats = doc.get("stats")
+    if not isinstance(stats, list):
+        err("stats", "not an array", problems)
+    else:
+        names = set()
+        for i, s in enumerate(stats):
+            check_stat(i, s, problems)
+            if isinstance(s, dict) and isinstance(s.get("name"), str):
+                if s["name"] in names:
+                    err(f"stats[{i}]", f"duplicate name '{s['name']}'",
+                        problems)
+                names.add(s["name"])
+
+    intervals = doc.get("intervals")
+    if not isinstance(intervals, list):
+        err("intervals", "not an array", problems)
+    else:
+        for i, ts in enumerate(intervals):
+            check_series(i, ts, problems)
+
+    host = doc.get("host")
+    if not isinstance(host, list):
+        err("host", "not an array", problems)
+    else:
+        for i, h in enumerate(host):
+            check_host(i, h, problems)
+
+    return [f"{path}: {p}" for p in problems]
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    problems = []
+    for path in argv[1:]:
+        problems += check_file(path)
+    for p in problems:
+        print(p, file=sys.stderr)
+    if not problems:
+        print(f"{len(argv) - 1} file(s) conform to {SCHEMA}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
