@@ -1,0 +1,210 @@
+#include "core/avf.hh"
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace turnpike {
+
+const char *
+faultOutcomeName(FaultOutcome o)
+{
+    switch (o) {
+      case FaultOutcome::Masked:    return "masked";
+      case FaultOutcome::Recovered: return "recovered";
+      case FaultOutcome::Sdc:       return "sdc";
+      case FaultOutcome::Hang:      return "hang";
+    }
+    return "unknown";
+}
+
+uint64_t
+AvfReport::outcomeTotal(FaultOutcome o) const
+{
+    uint64_t total = 0;
+    for (int t = 0; t < kNumFaultTargets; t++)
+        total += counts[t][static_cast<int>(o)];
+    return total;
+}
+
+double
+AvfReport::rate(FaultOutcome o) const
+{
+    return trials ? static_cast<double>(outcomeTotal(o)) /
+                        static_cast<double>(trials)
+                  : 0.0;
+}
+
+double
+AvfReport::vulnerability() const
+{
+    return rate(FaultOutcome::Sdc) + rate(FaultOutcome::Hang);
+}
+
+void
+AvfReport::merge(const AvfReport &other)
+{
+    TP_ASSERT(scheme.empty() || other.scheme.empty() ||
+              scheme == other.scheme,
+              "merging AVF reports of different schemes (%s vs %s)",
+              scheme.c_str(), other.scheme.c_str());
+    if (scheme.empty())
+        scheme = other.scheme;
+    trials += other.trials;
+    for (int t = 0; t < kNumFaultTargets; t++) {
+        injected[t] += other.injected[t];
+        for (int o = 0; o < kNumFaultOutcomes; o++)
+            counts[t][o] += other.counts[t][o];
+    }
+}
+
+FaultOutcome
+classifyOutcome(const RunResult &golden, const RunResult &faulty)
+{
+    if (!faulty.halted)
+        return FaultOutcome::Hang;
+    if (faulty.pipe.recoveries > 0)
+        return faulty.dataHash == golden.dataHash
+            ? FaultOutcome::Recovered
+            : FaultOutcome::Sdc;
+    return faulty.dataHash == golden.dataHash &&
+            faulty.archHash == golden.archHash
+        ? FaultOutcome::Masked
+        : FaultOutcome::Sdc;
+}
+
+AvfReport
+runAvfCampaign(const AvfCampaignConfig &cfg)
+{
+    const std::vector<FaultTarget> &targets =
+        cfg.targets.empty() ? allFaultTargets() : cfg.targets;
+
+    // The fault-free golden run: reference image/arch state, and the
+    // horizon the strike cycles are drawn from.
+    RunResult golden = runWorkload(cfg.spec, cfg.scheme, cfg.icount);
+
+    AvfReport rep;
+    rep.workload = golden.workload;
+    rep.scheme = golden.scheme;
+    rep.trials = cfg.trials;
+    rep.sensorMissRate = cfg.sensorMissRate;
+    rep.goldenCycles = golden.pipe.cycles;
+    // Recovery storms legitimately multiply the runtime; only budget
+    // exhaustion far beyond that is a hang. The fixed slack keeps
+    // tiny workloads from flagging spurious hangs.
+    rep.cycleBudget = cfg.hangFactor * golden.pipe.cycles + 100000;
+
+    std::vector<RunRequest> reqs;
+    reqs.reserve(cfg.trials);
+    for (uint32_t t = 0; t < cfg.trials; t++) {
+        RunRequest q{cfg.spec, cfg.scheme, cfg.icount, {}, false,
+                     {rep.cycleBudget, true}};
+        q.faults.push_back(makeTrialFault(cfg.seed, t,
+                                          golden.pipe.cycles,
+                                          cfg.scheme.wcdl, targets,
+                                          cfg.sensorMissRate));
+        reqs.push_back(std::move(q));
+    }
+    std::vector<RunResult> runs = runCampaign(reqs);
+
+    rep.perTrial.reserve(cfg.trials);
+    for (uint32_t t = 0; t < cfg.trials; t++) {
+        AvfTrial trial;
+        trial.fault = reqs[t].faults[0];
+        trial.outcome = classifyOutcome(golden, runs[t]);
+        trial.cycles = runs[t].pipe.cycles;
+        trial.recoveries = runs[t].pipe.recoveries;
+        trial.detections = runs[t].pipe.detectedFaults;
+        int ti = static_cast<int>(trial.fault.target);
+        rep.injected[ti]++;
+        rep.counts[ti][static_cast<int>(trial.outcome)]++;
+        rep.perTrial.push_back(trial);
+    }
+    return rep;
+}
+
+void
+exportAvfStats(StatRegistry &reg, const AvfReport &rep)
+{
+    reg.addScalar("avf.trials", static_cast<uint64_t>(rep.trials),
+                  "Monte Carlo injection trials", "trial");
+    reg.addScalar("avf.golden_cycles", rep.goldenCycles,
+                  "fault-free run length", "cycle");
+    reg.addScalar("avf.cycle_budget", rep.cycleBudget,
+                  "per-trial cycle budget before Hang", "cycle");
+    reg.addScalar("avf.sensor_miss_rate", rep.sensorMissRate,
+                  "probability a strike escapes the acoustic "
+                  "sensors", "ratio");
+
+    const uint64_t trials = rep.trials;
+    for (int o = 0; o < kNumFaultOutcomes; o++) {
+        FaultOutcome oc = static_cast<FaultOutcome>(o);
+        std::string name = faultOutcomeName(oc);
+        const uint64_t n = rep.outcomeTotal(oc);
+        reg.addScalar("avf.outcome." + name, n,
+                      "trials classified " + name, "trial");
+        reg.addFormula("avf.rate." + name,
+                       "avf.outcome." + name + " / avf.trials",
+                       [n, trials] {
+                           return trials
+                               ? static_cast<double>(n) /
+                                     static_cast<double>(trials)
+                               : 0.0;
+                       },
+                       "fraction of trials classified " + name);
+    }
+    const uint64_t bad = rep.outcomeTotal(FaultOutcome::Sdc) +
+        rep.outcomeTotal(FaultOutcome::Hang);
+    reg.addFormula("avf.vulnerability",
+                   "(avf.outcome.sdc + avf.outcome.hang) / avf.trials",
+                   [bad, trials] {
+                       return trials
+                           ? static_cast<double>(bad) /
+                                 static_cast<double>(trials)
+                           : 0.0;
+                   },
+                   "probability a random strike corrupts or loses "
+                   "the architectural result");
+
+    for (int t = 0; t < kNumFaultTargets; t++) {
+        std::string base = std::string("avf.target.") +
+            faultTargetName(static_cast<FaultTarget>(t));
+        reg.addScalar(base + ".injected", rep.injected[t],
+                      "strikes injected into this structure",
+                      "trial");
+        for (int o = 0; o < kNumFaultOutcomes; o++)
+            reg.addScalar(
+                base + "." +
+                    faultOutcomeName(static_cast<FaultOutcome>(o)),
+                rep.counts[t][o],
+                std::string("strikes on this structure classified ") +
+                    faultOutcomeName(static_cast<FaultOutcome>(o)),
+                "trial");
+    }
+}
+
+std::string
+avfReportTable(const AvfReport &rep)
+{
+    Table table({"target", "injected", "masked", "recovered", "sdc",
+                 "hang", "sdc rate"});
+    for (int t = 0; t < kNumFaultTargets; t++) {
+        if (rep.injected[t] == 0)
+            continue;
+        const uint64_t *row = rep.counts[t];
+        table.addRow(
+            {faultTargetName(static_cast<FaultTarget>(t)),
+             cell(rep.injected[t]), cell(row[0]), cell(row[1]),
+             cell(row[2]), cell(row[3]),
+             cell(static_cast<double>(row[2]) /
+                      static_cast<double>(rep.injected[t]), 3)});
+    }
+    table.addRow({"TOTAL", cell(static_cast<uint64_t>(rep.trials)),
+                  cell(rep.outcomeTotal(FaultOutcome::Masked)),
+                  cell(rep.outcomeTotal(FaultOutcome::Recovered)),
+                  cell(rep.outcomeTotal(FaultOutcome::Sdc)),
+                  cell(rep.outcomeTotal(FaultOutcome::Hang)),
+                  cell(rep.rate(FaultOutcome::Sdc), 3)});
+    return table.toText();
+}
+
+} // namespace turnpike

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Monte Carlo soft-error vulnerability campaign engine. Each trial
+ * injects one single-event upset at a random cycle into a random
+ * vulnerable structure (sim/fault_injector.hh's FaultTarget set),
+ * optionally as an undetected sensor miss, and classifies the run by
+ * differential comparison against the fault-free golden run:
+ *
+ *  - Masked:    final memory image and architectural registers both
+ *               match the golden run with no recovery fired;
+ *  - Recovered: detection fired, rollback ran, and the memory image
+ *               matches (the paper's DUE-turned-harmless case);
+ *  - SDC:       the run completed but the image or the architectural
+ *               state silently differs — the outcome the scheme is
+ *               supposed to make impossible for detected faults;
+ *  - Hang:      the cycle budget was exhausted before Halt.
+ *
+ * Trials fan out over the parallel campaign runner (runCampaign) and
+ * every trial's fault is derived from (seed, trial index) alone, so
+ * outcome counts are identical at any TURNPIKE_JOBS. Results export
+ * through the StatRegistry under the avf.* namespace.
+ */
+
+#ifndef TURNPIKE_CORE_AVF_HH_
+#define TURNPIKE_CORE_AVF_HH_
+
+#include <string>
+#include <vector>
+
+#include "core/parallel.hh"
+#include "util/stat_registry.hh"
+
+namespace turnpike {
+
+/** How one injection trial ended. */
+enum class FaultOutcome : uint8_t {
+    Masked,    ///< no recovery, image + arch state match golden
+    Recovered, ///< detection + rollback fired, image matches golden
+    Sdc,       ///< run completed, image or arch state differs
+    Hang,      ///< cycle budget exhausted
+};
+
+/** Number of FaultOutcome enumerators (for counting tables). */
+constexpr int kNumFaultOutcomes = 4;
+
+/** Stable lower-case name of @p o ("masked", "recovered", ...). */
+const char *faultOutcomeName(FaultOutcome o);
+
+/** Everything one vulnerability campaign needs. */
+struct AvfCampaignConfig
+{
+    WorkloadSpec spec;
+    ResilienceConfig scheme;
+    /** Target dynamic instructions of the workload build. */
+    uint64_t icount = 20000;
+    /** Monte Carlo trials (one upset each). */
+    uint32_t trials = 64;
+    /** Base seed; trial t's fault is makeTrialFault(seed, t, ...). */
+    uint64_t seed = 1;
+    /** Probability a strike escapes the acoustic sensors. */
+    double sensorMissRate = 0.0;
+    /** Structures to strike; empty selects allFaultTargets(). */
+    std::vector<FaultTarget> targets;
+    /**
+     * Hang budget: a trial is cut off (and classified Hang) after
+     * hangFactor * golden cycles + a fixed slack.
+     */
+    uint64_t hangFactor = 8;
+};
+
+/** One classified injection trial. */
+struct AvfTrial
+{
+    FaultEvent fault;
+    FaultOutcome outcome = FaultOutcome::Masked;
+    uint64_t cycles = 0;
+    uint64_t recoveries = 0;
+    uint64_t detections = 0;
+};
+
+/** Aggregated campaign results: per-target outcome counts. */
+struct AvfReport
+{
+    std::string workload;
+    std::string scheme;
+    uint32_t trials = 0;
+    double sensorMissRate = 0.0;
+    uint64_t goldenCycles = 0;
+    uint64_t cycleBudget = 0;
+    /** counts[target][outcome], enumerator-indexed. */
+    uint64_t counts[kNumFaultTargets][kNumFaultOutcomes] = {};
+    /** Strikes per target (row sums of counts). */
+    uint64_t injected[kNumFaultTargets] = {};
+    /** Every trial in submission order (diagnostics, tests). */
+    std::vector<AvfTrial> perTrial;
+
+    /** Campaign-wide count of @p o across all targets. */
+    uint64_t outcomeTotal(FaultOutcome o) const;
+    /** outcomeTotal(o) / trials; 0 when the report is empty. */
+    double rate(FaultOutcome o) const;
+    /**
+     * AVF-style vulnerability: the probability a random strike
+     * corrupts or loses the architectural result, (SDC + Hang) /
+     * trials. Masked and Recovered strikes are harmless.
+     */
+    double vulnerability() const;
+    /**
+     * Fold @p other's counts into this report (per-target outcome
+     * counts, injections and trial totals; per-trial detail is not
+     * merged). Used to aggregate one scheme across workloads.
+     */
+    void merge(const AvfReport &other);
+};
+
+/**
+ * Classify one faulted run against the fault-free golden run of the
+ * same (workload, scheme): the differential-comparison core of the
+ * campaign, exposed for the unit tests.
+ */
+FaultOutcome classifyOutcome(const RunResult &golden,
+                             const RunResult &faulty);
+
+/** Run the campaign: golden run, then cfg.trials faulted runs. */
+AvfReport runAvfCampaign(const AvfCampaignConfig &cfg);
+
+/** Register the report under the avf.* namespace. */
+void exportAvfStats(StatRegistry &reg, const AvfReport &rep);
+
+/** Render the per-target outcome table (bench/CLI output). */
+std::string avfReportTable(const AvfReport &rep);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_CORE_AVF_HH_

@@ -98,7 +98,8 @@ runCampaign(const std::vector<RunRequest> &requests)
         const RunRequest &q = requests[i];
         results[i] = q.interpretOnly
             ? interpretWorkload(q.spec, q.cfg, q.targetDynInsts)
-            : runWorkload(q.spec, q.cfg, q.targetDynInsts, q.faults);
+            : runWorkload(q.spec, q.cfg, q.targetDynInsts, q.faults,
+                          q.opts);
     };
 
     size_t jobs = std::min<size_t>(campaignJobs(), requests.size());

@@ -33,6 +33,15 @@ namespace turnpike {
 /** One cell of a campaign grid: everything one run needs. */
 struct RunRequest
 {
+    RunRequest() = default;
+    RunRequest(WorkloadSpec spec_, ResilienceConfig cfg_,
+               uint64_t insts_, std::vector<FaultEvent> faults_ = {},
+               bool interpret_only = false, RunOptions opts_ = {})
+        : spec(std::move(spec_)), cfg(std::move(cfg_)),
+          targetDynInsts(insts_), faults(std::move(faults_)),
+          interpretOnly(interpret_only), opts(opts_)
+    {}
+
     WorkloadSpec spec;
     ResilienceConfig cfg;
     uint64_t targetDynInsts = 0;
@@ -40,6 +49,8 @@ struct RunRequest
     std::vector<FaultEvent> faults;
     /** Use interpretWorkload() (no timing) instead of the pipeline. */
     bool interpretOnly = false;
+    /** Cycle budget / hang tolerance (vulnerability campaigns). */
+    RunOptions opts;
 };
 
 /**

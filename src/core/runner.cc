@@ -56,7 +56,8 @@ prepare(const WorkloadSpec &spec, const ResilienceConfig &cfg,
 RunResult
 runWorkload(const WorkloadSpec &spec, const ResilienceConfig &cfg,
             uint64_t target_dyn_insts,
-            const std::vector<FaultEvent> &faults)
+            const std::vector<FaultEvent> &faults,
+            const RunOptions &opts)
 {
     std::unique_ptr<Module> mod;
     CompiledProgram prog;
@@ -64,14 +65,19 @@ runWorkload(const WorkloadSpec &spec, const ResilienceConfig &cfg,
 
     {
         ScopedPhaseTimer t(&r.profile, "host.simulate");
-        InOrderPipeline pipe(*mod, *prog.mf, cfg.toPipelineConfig());
+        PipelineConfig pcfg = cfg.toPipelineConfig();
+        if (opts.maxCycles != 0)
+            pcfg.maxCycles = opts.maxCycles;
+        InOrderPipeline pipe(*mod, *prog.mf, pcfg);
         PipelineResult pr = pipe.run(faults);
-        TP_ASSERT(pr.halted, "workload %s did not halt in the "
+        TP_ASSERT(pr.halted || opts.allowNoHalt,
+                  "workload %s did not halt in the "
                   "pipeline (scheme %s)", r.workload.c_str(),
                   cfg.label.c_str());
         r.halted = pr.halted;
         r.pipe = std::move(pr.stats);
         r.dataHash = pr.memory.dataHash(*mod);
+        r.archHash = pr.archHash;
     }
     return r;
 }

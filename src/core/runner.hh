@@ -28,6 +28,7 @@ struct RunResult
     StatSet compileStats;      ///< per-pass statistics
     uint64_t dataHash = 0;     ///< final data-segment hash (pipeline)
     uint64_t goldenHash = 0;   ///< functional-interpreter hash
+    uint64_t archHash = 0;     ///< final register-file hash (pipeline)
     uint64_t codeBytes = 0;
     uint64_t baselineBytes = 0;
     uint64_t recoveryBytes = 0;
@@ -41,6 +42,20 @@ struct RunResult
 };
 
 /**
+ * Knobs a vulnerability campaign needs beyond the defaults: a
+ * bounded cycle budget (for hang detection) and permission for the
+ * simulation not to halt (the bread and butter of fault studies;
+ * the default strict mode still treats a non-halting run as a bug).
+ */
+struct RunOptions
+{
+    /** Override PipelineConfig::maxCycles when nonzero. */
+    uint64_t maxCycles = 0;
+    /** Return halted=false instead of asserting on a hung run. */
+    bool allowNoHalt = false;
+};
+
+/**
  * Full run: compile @p spec under @p cfg, simulate with the
  * pipeline (injecting @p faults if given) and functionally
  * interpret for the golden hash and dynamic counts.
@@ -50,7 +65,8 @@ struct RunResult
 RunResult runWorkload(const WorkloadSpec &spec,
                       const ResilienceConfig &cfg,
                       uint64_t target_dyn_insts,
-                      const std::vector<FaultEvent> &faults = {});
+                      const std::vector<FaultEvent> &faults = {},
+                      const RunOptions &opts = {});
 
 /**
  * Compile-and-interpret only (no timing): much faster; fills dyn,

@@ -8,6 +8,8 @@
 #ifndef TURNPIKE_MACHINE_MINTERP_HH_
 #define TURNPIKE_MACHINE_MINTERP_HH_
 
+#include <cstdint>
+
 #include "ir/interpreter.hh"
 #include "machine/mfunction.hh"
 
@@ -40,7 +42,11 @@ evalAlu(Op op, int64_t a, int64_t b)
       case Op::Mul:
         return a * b;
       case Op::Div:
-        return b == 0 ? 0 : a / b;
+        // Both guards define away host UB: divide-by-zero, and the
+        // INT64_MIN / -1 overflow a fault-corrupted operand can hit.
+        if (b == 0 || (a == INT64_MIN && b == -1))
+            return 0;
+        return a / b;
       case Op::Shl:
         return static_cast<int64_t>(static_cast<uint64_t>(a)
                                     << (b & 63));

@@ -132,6 +132,29 @@ class Clq
     /** Current number of populated entries (regions tracked). */
     size_t entriesUsed() const { return entries_.size(); }
 
+    /**
+     * Fault injection: flip @p bit of one address word of entry
+     * @p sel (modded into range). For the compact design this
+     * corrupts the [min, max] range (bit 0 of @p sel picks which
+     * bound), silently widening or narrowing the WAR-free check; for
+     * the ideal design one recorded address is corrupted. Returns
+     * false when the queue holds no entries to strike.
+     */
+    bool corruptEntry(uint32_t sel, uint32_t bit)
+    {
+        if (entries_.empty())
+            return false;
+        Entry &e = entries_[sel % entries_.size()];
+        uint64_t flip = uint64_t(1) << (bit & 63);
+        if (design_ == ClqDesign::Ideal && !e.addrs.empty())
+            e.addrs[sel % e.addrs.size()] ^= flip;
+        else if (sel & 1)
+            e.maxAddr ^= flip;
+        else
+            e.minAddr ^= flip;
+        return true;
+    }
+
     uint64_t overflows() const { return overflows_; }
 
     /** Occupancy distribution sampled at each load insertion. */

@@ -67,6 +67,19 @@ class ColorMaps
     /** Return an assigned-but-unused color to the pool. */
     void giveBack(Reg reg, int color) { freeColor(reg, color); }
 
+    /**
+     * Fault injection: flip a low bit of the verified-color entry of
+     * @p reg. Recovery then reads the wrong checkpoint slot for that
+     * register — the scheme has no defense against VC corruption
+     * (the map is assumed hardened in the paper), so a subsequent
+     * recovery restores stale or zero data.
+     */
+    void corruptVerified(Reg reg, uint32_t bit)
+    {
+        TP_ASSERT(reg < kNumPhysRegs, "bad register %u", reg);
+        vc_[reg] ^= 1 << (bit % 3);
+    }
+
   private:
     void freeColor(Reg reg, int color)
     {

@@ -7,11 +7,40 @@
 
 namespace turnpike {
 
+const char *
+faultTargetName(FaultTarget t)
+{
+    switch (t) {
+      case FaultTarget::Register:  return "register";
+      case FaultTarget::SbEntry:   return "sb-entry";
+      case FaultTarget::Pc:        return "pc";
+      case FaultTarget::Latch:     return "latch";
+      case FaultTarget::RbbEntry:  return "rbb-entry";
+      case FaultTarget::ClqEntry:  return "clq-entry";
+      case FaultTarget::ColorMap:  return "color-map";
+      case FaultTarget::CacheData: return "cache-data";
+    }
+    return "unknown";
+}
+
+const std::vector<FaultTarget> &
+allFaultTargets()
+{
+    static const std::vector<FaultTarget> all = {
+        FaultTarget::Register,  FaultTarget::SbEntry,
+        FaultTarget::Pc,        FaultTarget::Latch,
+        FaultTarget::RbbEntry,  FaultTarget::ClqEntry,
+        FaultTarget::ColorMap,  FaultTarget::CacheData,
+    };
+    return all;
+}
+
 std::vector<FaultEvent>
 makeFaultPlan(Rng &rng, uint64_t horizon, uint32_t wcdl, uint32_t count)
 {
-    TP_ASSERT(horizon > 1, "fault plan needs a horizon");
     std::vector<FaultEvent> plan;
+    if (horizon <= 1 || count == 0)
+        return plan;
     plan.reserve(count);
     uint64_t min_gap = 4ull * wcdl + 16;
     uint64_t last = 0;
@@ -20,7 +49,9 @@ makeFaultPlan(Rng &rng, uint64_t horizon, uint32_t wcdl, uint32_t count)
         ev.cycle = 1 + rng.below(horizon - 1);
         if (ev.cycle <= last + min_gap)
             ev.cycle = last + min_gap + 1 + rng.below(16);
-        last = ev.cycle;
+        // Burn the remaining draws even when the event is dropped so
+        // the sequence of accepted events depends only on the seed,
+        // not on how crowded the horizon is.
         ev.target = rng.chance(0.7) ? FaultTarget::Register
                                     : FaultTarget::SbEntry;
         ev.index = static_cast<uint32_t>(
@@ -28,6 +59,9 @@ makeFaultPlan(Rng &rng, uint64_t horizon, uint32_t wcdl, uint32_t count)
                           ? kNumPhysRegs : 4));
         ev.bit = static_cast<uint32_t>(rng.below(64));
         ev.detectDelay = 1 + static_cast<uint32_t>(rng.below(wcdl));
+        if (ev.cycle >= horizon)
+            continue; // spacing pushed it past the horizon: drop
+        last = ev.cycle;
         plan.push_back(ev);
     }
     std::sort(plan.begin(), plan.end(),
@@ -35,6 +69,28 @@ makeFaultPlan(Rng &rng, uint64_t horizon, uint32_t wcdl, uint32_t count)
                   return a.cycle < b.cycle;
               });
     return plan;
+}
+
+FaultEvent
+makeTrialFault(uint64_t seed, uint32_t trial, uint64_t horizon,
+               uint32_t wcdl, const std::vector<FaultTarget> &targets,
+               double sensor_miss_rate)
+{
+    TP_ASSERT(horizon > 1, "trial fault needs a horizon");
+    TP_ASSERT(!targets.empty(), "trial fault needs a target set");
+    TP_ASSERT(wcdl >= 1, "trial fault needs a positive WCDL");
+    // Seed-per-trial: mix (seed, trial) through two odd constants so
+    // nearby trials get unrelated streams whatever the base seed.
+    Rng rng((seed + 1) * 0x9e3779b97f4a7c15ull ^
+            (static_cast<uint64_t>(trial) + 1) * 0xbf58476d1ce4e5b9ull);
+    FaultEvent ev;
+    ev.cycle = 1 + rng.below(horizon - 1);
+    ev.target = targets[rng.below(targets.size())];
+    ev.index = static_cast<uint32_t>(rng.below(1u << 30));
+    ev.bit = static_cast<uint32_t>(rng.below(64));
+    ev.detectDelay = 1 + static_cast<uint32_t>(rng.below(wcdl));
+    ev.detected = !rng.chance(sensor_miss_rate);
+    return ev;
 }
 
 } // namespace turnpike

@@ -1,9 +1,12 @@
 /**
  * @file
- * Fault injection: schedules single-event upsets (bit flips) in
- * architectural registers or store-buffer entries, with an acoustic
- * detection delay bounded by the WCDL. Used by the resilience
- * property tests and the fault-injection example.
+ * Fault injection: schedules single-event upsets (bit flips) in the
+ * pipeline's vulnerable state, with an acoustic detection delay
+ * bounded by the WCDL — or, for the vulnerability campaigns, an
+ * explicit sensor-miss mode in which the strike is never detected
+ * and must be caught (or not) by the scheme's own machinery. Used by
+ * the resilience property tests, the fault-injection example and the
+ * Monte Carlo AVF campaign engine (core/avf.hh).
  */
 
 #ifndef TURNPIKE_SIM_FAULT_INJECTOR_HH_
@@ -16,29 +19,72 @@
 
 namespace turnpike {
 
-/** Where a fault strikes. */
+/**
+ * Where a fault strikes. The first two are the classic recovery-
+ * property targets; the rest cover the remaining vulnerable state of
+ * the paper's microarchitecture for the AVF campaign.
+ */
 enum class FaultTarget : uint8_t {
-    Register, ///< architectural register bit
-    SbEntry,  ///< data bits of a store-buffer entry
+    Register,  ///< architectural register bit (parity-protected)
+    SbEntry,   ///< data bits of an unverified store-buffer entry
+    Pc,        ///< program counter latch
+    Latch,     ///< pipeline latch (a register value in flight, no parity)
+    RbbEntry,  ///< RBB metadata: verification deadline / restart region
+    ClqEntry,  ///< CLQ address-range bits (WAR-free check input)
+    ColorMap,  ///< verified-color map entry (recovery slot selector)
+    CacheData, ///< data word of a dirty cache line (ECC assumed absent)
 };
+
+/** Number of FaultTarget enumerators (for per-target tables). */
+constexpr int kNumFaultTargets = 8;
+
+/** Stable lower-case name of @p t ("register", "sb-entry", ...). */
+const char *faultTargetName(FaultTarget t);
+
+/** All targets, in enumerator order (campaign default). */
+const std::vector<FaultTarget> &allFaultTargets();
 
 /** One scheduled single-event upset. */
 struct FaultEvent
 {
     uint64_t cycle = 0;       ///< injection cycle
     FaultTarget target = FaultTarget::Register;
-    uint32_t index = 0;       ///< register id / SB entry position
+    uint32_t index = 0;       ///< structure-entry selector (modded per target)
     uint32_t bit = 0;         ///< bit to flip (0..63)
     uint32_t detectDelay = 1; ///< sensor latency, in (0, WCDL]
+    /**
+     * False models a sensor miss: the strike still corrupts state
+     * but no acoustic detection is ever delivered, so only parity
+     * (registers) or nothing at all stands between the fault and
+     * the architectural results.
+     */
+    bool detected = true;
 };
 
 /**
- * Generate @p count fault events uniformly over (0, horizon) cycles
- * with detection delays in [1, wcdl]. Events are sorted by cycle
- * and spaced at least 4 * wcdl apart so recoveries do not overlap.
+ * Generate up to @p count fault events uniformly over (0, horizon)
+ * cycles with detection delays in [1, wcdl]. Events are sorted by
+ * cycle and spaced at least 4 * wcdl apart so recoveries do not
+ * overlap; an event that cannot satisfy both the spacing and the
+ * horizon is dropped, so every returned cycle is < horizon (the
+ * result may hold fewer than @p count events when the horizon is
+ * crowded). A horizon <= 1 or count == 0 yields an empty plan.
  */
 std::vector<FaultEvent> makeFaultPlan(Rng &rng, uint64_t horizon,
                                       uint32_t wcdl, uint32_t count);
+
+/**
+ * The single upset of Monte Carlo trial @p trial of a campaign
+ * seeded with @p seed: strike cycle uniform over (0, horizon),
+ * target uniform over @p targets, random entry/bit, detection delay
+ * in [1, wcdl], and detected = false with probability
+ * @p sensor_miss_rate. Deterministic in (seed, trial) alone, so a
+ * campaign's trial set is identical at any worker count.
+ */
+FaultEvent makeTrialFault(uint64_t seed, uint32_t trial,
+                          uint64_t horizon, uint32_t wcdl,
+                          const std::vector<FaultTarget> &targets,
+                          double sensor_miss_rate);
 
 } // namespace turnpike
 

@@ -62,7 +62,13 @@ InOrderPipeline::drainStoreBuffer()
 bool
 InOrderPipeline::commitStore(const MInstr &mi)
 {
-    uint64_t addr = static_cast<uint64_t>(regs_[mi.src1] + mi.imm);
+    // The memory system ignores the low address bits (word-aligned
+    // accesses only). Compiled code always computes aligned
+    // addresses, but a fault-corrupted base register must not take
+    // down the simulator, so alignment is enforced rather than
+    // asserted here.
+    uint64_t addr =
+        static_cast<uint64_t>(regs_[mi.src1] + mi.imm) & ~7ull;
     int64_t value = regs_[mi.src0];
 
     if (!cfg_.resilience) {
@@ -210,7 +216,8 @@ InOrderPipeline::parityTriggered(const MInstr &mi)
 void
 InOrderPipeline::applyFault(const FaultEvent &ev)
 {
-    if (ev.target == FaultTarget::Register) {
+    switch (ev.target) {
+      case FaultTarget::Register: {
         Reg r = ev.index % kNumPhysRegs;
         regs_[r] ^= int64_t(1) << (ev.bit & 63);
         reg_parity_bad_[r] = true;
@@ -221,7 +228,9 @@ InOrderPipeline::applyFault(const FaultEvent &ev)
                                       "detection in %u cycles",
                                       ev.bit, r, ev.detectDelay),
                                pc_, kNoTraceOp, r, ev.bit);
-    } else {
+        break;
+      }
+      case FaultTarget::SbEntry: {
         // Corrupt a value in flight: modelled as flipping a store-
         // buffer entry of the *current, still-running* region. Such
         // an entry cannot verify before the strike is detected
@@ -242,9 +251,84 @@ InOrderPipeline::applyFault(const FaultEvent &ev)
             SbEntry *e = candidates[ev.index % candidates.size()];
             e->value ^= int64_t(1) << (ev.bit & 63);
         }
+        break;
+      }
+      case FaultTarget::Pc: {
+        // A strike on the PC latch redirects fetch to an arbitrary
+        // (but decodable) location; the modulo models the width of
+        // the physical latch.
+        uint32_t width_bit = ev.bit % 32;
+        pc_ = (pc_ ^ (1u << width_bit)) %
+            static_cast<uint32_t>(mf_.code().size());
+        break;
+      }
+      case FaultTarget::Latch: {
+        // A pipeline latch holds a register value in flight; the
+        // writeback lands in the register file *without* tripping
+        // parity (the latch itself has no parity bits), so only the
+        // acoustic sensor can catch this one.
+        Reg r = ev.index % kNumPhysRegs;
+        regs_[r] ^= int64_t(1) << (ev.bit & 63);
+        break;
+      }
+      case FaultTarget::RbbEntry: {
+        // RBB metadata corruption: an even selector strikes the
+        // verification-deadline timer (premature release of an
+        // unverified region, or a deadline pushed out far enough to
+        // wedge the pipeline); an odd one strikes the restart-region
+        // field the recovery handler jumps through.
+        if (!rbb_.empty()) {
+            RegionInstance &ri = rbb_.at(ev.index % rbb_.size());
+            if ((ev.index & 1) == 0) {
+                // Keep the flip in the timer's low bits so deadlines
+                // move by bounded amounts in both directions.
+                ri.verifyCycle ^= uint64_t(1) << (ev.bit % 20);
+            } else {
+                ri.staticRegion =
+                    (ri.staticRegion ^ (1u << (ev.bit % 8))) %
+                    static_cast<uint32_t>(mf_.regions().size());
+            }
+        }
+        break;
+      }
+      case FaultTarget::ClqEntry:
+        clq_.corruptEntry(ev.index, ev.bit);
+        break;
+      case FaultTarget::ColorMap:
+        colors_.corruptVerified(ev.index % kNumPhysRegs, ev.bit);
+        break;
+      case FaultTarget::CacheData: {
+        // A dirty line in the (assumed ECC-less for this study) data
+        // cache: authoritative data lives in memory_, so flip a word
+        // of the module's data segment directly.
+        uint64_t total = 0;
+        for (const DataObject &obj : mod_.data())
+            total += obj.words;
+        if (total != 0) {
+            uint64_t k = ev.index % total;
+            for (const DataObject &obj : mod_.data()) {
+                if (k < obj.words) {
+                    uint64_t addr = obj.base + k * 8;
+                    memory_.write(addr,
+                                  memory_.read(addr) ^
+                                      (int64_t(1) << (ev.bit & 63)));
+                    break;
+                }
+                k -= obj.words;
+            }
+        }
+        break;
+      }
     }
-    // The sound wave is heard regardless of what was hit.
-    pending_detect_.push(cycle_ + ev.detectDelay);
+    // The sound wave is heard regardless of what was hit — unless
+    // this trial models a sensor miss.
+    if (ev.detected)
+        pending_detect_.push(cycle_ + ev.detectDelay);
+    else if (cfg_.tracer && cfg_.tracer->wants(kTraceRecovery))
+        cfg_.tracer->event(cycle_, kTraceRecovery, "fault",
+                           strfmt("undetected %s strike (sensor "
+                                  "miss)", faultTargetName(ev.target)),
+                           pc_, kNoTraceOp, ev.index, ev.bit);
 }
 
 void
@@ -419,8 +503,11 @@ InOrderPipeline::issueCycle()
           case Op::Load: {
             if (mem_used)
                 goto group_done;
+            // Force alignment like commitStore(): a load through a
+            // fault-corrupted base register must not panic.
             uint64_t addr =
-                static_cast<uint64_t>(regs_[mi.src0] + mi.imm);
+                static_cast<uint64_t>(regs_[mi.src0] + mi.imm) &
+                ~7ull;
             const SbEntry *fwd = sb_.youngestFor(addr);
             int64_t v;
             int lat;
@@ -703,6 +790,15 @@ InOrderPipeline::run(const std::vector<FaultEvent> &faults)
 
     PipelineResult result;
     result.halted = halted_;
+    uint64_t ah = 1469598103934665603ull; // FNV offset basis
+    for (Reg r = 0; r < kNumPhysRegs; r++) {
+        uint64_t v = static_cast<uint64_t>(regs_[r]);
+        for (int i = 0; i < 8; i++) {
+            ah ^= (v >> (i * 8)) & 0xff;
+            ah *= 1099511628211ull;
+        }
+    }
+    result.archHash = ah;
     stats_.cycles = cycle_;
     stats_.clqOccupancy = clq_.occupancy();
     stats_.l1dHits = caches_.l1().hits();

@@ -153,6 +153,13 @@ struct PipelineResult
     bool halted = false;
     PipelineStats stats;
     MemoryImage memory;
+    /**
+     * FNV-1a hash of the final architectural register file. Together
+     * with the memory image this is the architectural state the AVF
+     * campaign compares against the golden run: a fault that leaves
+     * both intact is masked.
+     */
+    uint64_t archHash = 0;
 };
 
 /** The simulator. One instance runs one program once. */

@@ -108,6 +108,14 @@ class Rbb
         return instances_;
     }
 
+    /** Instance @p i (0 = oldest), mutable for fault injection. */
+    RegionInstance &at(size_t i)
+    {
+        TP_ASSERT(i < instances_.size(), "RBB index %zu out of range",
+                  i);
+        return instances_[i];
+    }
+
   private:
     uint32_t capacity_;
     uint64_t next_id_ = 0;

@@ -21,6 +21,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/avf.hh"
 #include "core/compiler.hh"
 #include "core/runner.hh"
 #include "core/stats_export.hh"
@@ -58,6 +59,17 @@ usage()
         "(default 200000)\n"
         "  --faults N             inject N single-event upsets\n"
         "  --fault-seed S         fault plan seed (default 1)\n"
+        "  --avf                  run a Monte Carlo vulnerability\n"
+        "                         campaign instead of a single "
+        "simulation\n"
+        "  --trials N             campaign injection trials "
+        "(default 64)\n"
+        "  --miss-rate F          probability a strike escapes the "
+        "sensors\n"
+        "                         (default 0)\n"
+        "  --hang-factor N        Hang budget multiple of the golden "
+        "run\n"
+        "                         (default 8)\n"
         "  --trace CATS           comma list of issue,stores,"
         "regions,recovery,stalls\n"
         "  --trace-file PATH      trace destination (default "
@@ -146,6 +158,10 @@ main(int argc, char **argv)
     uint64_t icount = 200000;
     uint32_t faults = 0;
     uint64_t fault_seed = 1;
+    bool avf = false;
+    uint32_t trials = 64;
+    double miss_rate = 0.0;
+    uint64_t hang_factor = 8;
     std::string trace_cats;
     std::string trace_file;
     std::string trace_format = "text";
@@ -190,6 +206,14 @@ main(int argc, char **argv)
             faults = static_cast<uint32_t>(std::atoi(need(i)));
         } else if (a == "--fault-seed") {
             fault_seed = static_cast<uint64_t>(std::atoll(need(i)));
+        } else if (a == "--avf") {
+            avf = true;
+        } else if (a == "--trials") {
+            trials = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (a == "--miss-rate") {
+            miss_rate = std::atof(need(i));
+        } else if (a == "--hang-factor") {
+            hang_factor = static_cast<uint64_t>(std::atoll(need(i)));
         } else if (a == "--trace") {
             trace_cats = need(i);
         } else if (a == "--trace-file") {
@@ -233,6 +257,51 @@ main(int argc, char **argv)
     cfg.clqEntries = clq;
     if (ideal_clq)
         cfg.clqDesign = ClqDesign::Ideal;
+
+    if (avf) {
+        if (trials == 0)
+            fatal("--avf needs --trials >= 1");
+        if (miss_rate < 0.0 || miss_rate > 1.0)
+            fatal("--miss-rate expects a probability in [0, 1]");
+        AvfCampaignConfig acfg;
+        acfg.spec = spec;
+        acfg.scheme = cfg;
+        acfg.icount = icount;
+        acfg.trials = trials;
+        acfg.seed = fault_seed;
+        acfg.sensorMissRate = miss_rate;
+        acfg.hangFactor = hang_factor;
+        AvfReport rep = runAvfCampaign(acfg);
+        std::printf("AVF campaign: %s under %s, %u trials, "
+                    "miss rate %.2f\n"
+                    "golden run %llu cycles, hang budget %llu\n\n%s\n"
+                    "vulnerability (SDC+hang rate): %.3f\n",
+                    workload.c_str(), cfg.label.c_str(), trials,
+                    miss_rate,
+                    static_cast<unsigned long long>(rep.goldenCycles),
+                    static_cast<unsigned long long>(rep.cycleBudget),
+                    avfReportTable(rep).c_str(),
+                    rep.vulnerability());
+        if (!stats_file.empty()) {
+            StatRegistry reg;
+            reg.setMeta("workload", workload);
+            reg.setMeta("scheme", cfg.label);
+            reg.setMeta("icount", std::to_string(icount));
+            reg.setMeta("fault_seed", std::to_string(fault_seed));
+            exportAvfStats(reg, rep);
+            std::ofstream sf(stats_file);
+            if (!sf)
+                fatal("cannot open stats file %s",
+                      stats_file.c_str());
+            if (stats_format == "json")
+                reg.dumpJson(sf);
+            else
+                reg.dumpText(sf);
+            std::printf("\nwrote %s stats to %s\n",
+                        stats_format.c_str(), stats_file.c_str());
+        }
+        return 0;
+    }
 
     PhaseProfile profile;
     std::unique_ptr<Module> mod;

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the Monte Carlo vulnerability campaign engine
+ * (core/avf.hh) and the fault-plan generators feeding it:
+ *
+ *  - property tests over many seeds for makeFaultPlan's contract
+ *    (sorted, spaced, strictly inside the horizon, bounded delays),
+ *    including the degenerate inputs that used to escape it;
+ *  - makeTrialFault determinism and field ranges, sensor-miss mode;
+ *  - unit tests of the outcome classifier on hand-built run pairs;
+ *  - an injection smoke over every FaultTarget (no crashes, with and
+ *    without detection);
+ *  - campaign determinism: identical outcome counts at
+ *    TURNPIKE_JOBS=1 and TURNPIKE_JOBS=3 for a fixed seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/avf.hh"
+#include "util/rng.hh"
+
+namespace turnpike {
+namespace {
+
+TEST(FaultPlanProperty, InvariantsAcrossSeeds)
+{
+    for (uint64_t seed = 1; seed <= 120; seed++) {
+        for (uint64_t horizon : {2ull, 10ull, 500ull, 60000ull}) {
+            for (uint32_t wcdl : {1u, 10u, 30u}) {
+                Rng rng(seed * 977 + horizon + wcdl);
+                auto plan = makeFaultPlan(rng, horizon, wcdl, 6);
+                SCOPED_TRACE("seed=" + std::to_string(seed) +
+                             " horizon=" + std::to_string(horizon) +
+                             " wcdl=" + std::to_string(wcdl));
+                ASSERT_LE(plan.size(), 6u);
+                const uint64_t min_gap = 4ull * wcdl + 16;
+                for (size_t i = 0; i < plan.size(); i++) {
+                    EXPECT_GT(plan[i].cycle, 0u);
+                    EXPECT_LT(plan[i].cycle, horizon);
+                    EXPECT_GE(plan[i].detectDelay, 1u);
+                    EXPECT_LE(plan[i].detectDelay, wcdl);
+                    EXPECT_TRUE(plan[i].detected);
+                    if (i > 0) {
+                        EXPECT_GT(plan[i].cycle,
+                                  plan[i - 1].cycle + min_gap)
+                            << "events must be sorted and spaced";
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(FaultPlanRegression, DegenerateInputsYieldEmptyPlans)
+{
+    Rng rng(42);
+    EXPECT_TRUE(makeFaultPlan(rng, 0, 10, 5).empty());
+    EXPECT_TRUE(makeFaultPlan(rng, 1, 10, 5).empty());
+    EXPECT_TRUE(makeFaultPlan(rng, 100000, 10, 0).empty());
+}
+
+/**
+ * Regression: the spacing bump used to push events past the horizon,
+ * so a crowded plan could schedule strikes after the program halted
+ * (and past the cycle budget of a campaign trial). Every returned
+ * cycle must now be < horizon, at the cost of a shorter plan.
+ */
+TEST(FaultPlanRegression, CrowdedHorizonNeverExceeded)
+{
+    for (uint64_t seed = 1; seed <= 300; seed++) {
+        for (uint64_t horizon : {2ull, 5ull, 40ull, 200ull}) {
+            Rng rng(seed);
+            auto plan = makeFaultPlan(rng, horizon, 10, 8);
+            for (const FaultEvent &ev : plan)
+                EXPECT_LT(ev.cycle, horizon)
+                    << "seed " << seed << " horizon " << horizon;
+        }
+    }
+}
+
+TEST(FaultPlanProperty, AmpleHorizonKeepsAllEvents)
+{
+    // The historic property tests rely on full-size plans; the drop
+    // logic must not shrink plans when the horizon has plenty of
+    // room for the spacing.
+    Rng rng(7);
+    auto plan = makeFaultPlan(rng, 100000, 10, 8);
+    EXPECT_EQ(plan.size(), 8u);
+}
+
+TEST(TrialFault, DeterministicInSeedAndTrial)
+{
+    const auto &targets = allFaultTargets();
+    for (uint32_t trial = 0; trial < 50; trial++) {
+        FaultEvent a = makeTrialFault(9, trial, 5000, 20, targets,
+                                      0.3);
+        FaultEvent b = makeTrialFault(9, trial, 5000, 20, targets,
+                                      0.3);
+        EXPECT_EQ(a.cycle, b.cycle);
+        EXPECT_EQ(a.target, b.target);
+        EXPECT_EQ(a.index, b.index);
+        EXPECT_EQ(a.bit, b.bit);
+        EXPECT_EQ(a.detectDelay, b.detectDelay);
+        EXPECT_EQ(a.detected, b.detected);
+
+        EXPECT_GT(a.cycle, 0u);
+        EXPECT_LT(a.cycle, 5000u);
+        EXPECT_GE(a.detectDelay, 1u);
+        EXPECT_LE(a.detectDelay, 20u);
+        EXPECT_LT(a.bit, 64u);
+    }
+}
+
+TEST(TrialFault, StreamsVaryAndMissRateBites)
+{
+    const auto &targets = allFaultTargets();
+    bool any_cycle_differs = false;
+    uint32_t missed = 0, caught = 0;
+    bool target_seen[kNumFaultTargets] = {};
+    FaultEvent first = makeTrialFault(3, 0, 100000, 20, targets, 0.5);
+    for (uint32_t trial = 0; trial < 400; trial++) {
+        FaultEvent ev = makeTrialFault(3, trial, 100000, 20, targets,
+                                       0.5);
+        any_cycle_differs |= ev.cycle != first.cycle;
+        target_seen[static_cast<int>(ev.target)] = true;
+        (ev.detected ? caught : missed)++;
+        // Miss rate zero must never produce an undetected strike.
+        EXPECT_TRUE(makeTrialFault(3, trial, 100000, 20, targets, 0.0)
+                        .detected);
+    }
+    EXPECT_TRUE(any_cycle_differs);
+    EXPECT_GT(missed, 0u);
+    EXPECT_GT(caught, 0u);
+    for (int t = 0; t < kNumFaultTargets; t++)
+        EXPECT_TRUE(target_seen[t])
+            << "target " << faultTargetName(static_cast<FaultTarget>(t))
+            << " never drawn in 400 trials";
+}
+
+RunResult
+madeResult(bool halted, uint64_t recoveries, uint64_t data,
+           uint64_t arch)
+{
+    RunResult r;
+    r.halted = halted;
+    r.pipe.recoveries = recoveries;
+    r.dataHash = data;
+    r.archHash = arch;
+    return r;
+}
+
+TEST(OutcomeClassifier, AllScenarios)
+{
+    RunResult golden = madeResult(true, 0, 0xAAAA, 0xBBBB);
+
+    // Budget exhausted: Hang, whatever the hashes say.
+    EXPECT_EQ(classifyOutcome(golden,
+                              madeResult(false, 2, 0xAAAA, 0xBBBB)),
+              FaultOutcome::Hang);
+    // Rollback fired and the image matches: Recovered. The register
+    // file may legitimately differ (dead registers are not restored),
+    // so arch state is deliberately not compared here.
+    EXPECT_EQ(classifyOutcome(golden,
+                              madeResult(true, 1, 0xAAAA, 0x1234)),
+              FaultOutcome::Recovered);
+    // Rollback fired but the image diverged: detected-but-corrupted.
+    EXPECT_EQ(classifyOutcome(golden,
+                              madeResult(true, 1, 0xDEAD, 0xBBBB)),
+              FaultOutcome::Sdc);
+    // No recovery, image and arch state both match: Masked.
+    EXPECT_EQ(classifyOutcome(golden,
+                              madeResult(true, 0, 0xAAAA, 0xBBBB)),
+              FaultOutcome::Masked);
+    // No recovery, silent image corruption: SDC.
+    EXPECT_EQ(classifyOutcome(golden,
+                              madeResult(true, 0, 0xDEAD, 0xBBBB)),
+              FaultOutcome::Sdc);
+    // No recovery, silent register corruption: SDC.
+    EXPECT_EQ(classifyOutcome(golden,
+                              madeResult(true, 0, 0xAAAA, 0x1234)),
+              FaultOutcome::Sdc);
+}
+
+TEST(FaultTargets, EveryTargetInjectsWithoutCrashing)
+{
+    const WorkloadSpec &spec = findWorkload("SPLASH3", "radix");
+    ResilienceConfig cfg = ResilienceConfig::turnpike(20);
+    RunResult golden = runWorkload(spec, cfg, 8000);
+    ASSERT_TRUE(golden.halted);
+    const uint64_t budget = 8 * golden.pipe.cycles + 100000;
+
+    std::vector<RunRequest> reqs;
+    for (FaultTarget t : allFaultTargets()) {
+        for (bool detected : {true, false}) {
+            FaultEvent ev;
+            ev.cycle = golden.pipe.cycles / 2 + 1;
+            ev.target = t;
+            ev.index = 123456789;
+            ev.bit = 17;
+            ev.detectDelay = 5;
+            ev.detected = detected;
+            RunRequest q{spec, cfg, 8000, {ev}, false,
+                         {budget, true}};
+            reqs.push_back(std::move(q));
+        }
+    }
+    std::vector<RunResult> runs = runCampaign(reqs);
+    for (size_t i = 0; i < runs.size(); i++) {
+        SCOPED_TRACE(faultTargetName(reqs[i].faults[0].target));
+        // A hung run is a legitimate outcome; a crash is not (the
+        // campaign must survive any strike), and a finished run must
+        // stay within the budget.
+        if (runs[i].halted) {
+            EXPECT_LE(runs[i].pipe.cycles, budget);
+        }
+        // Detected strikes must actually reach the recovery path.
+        if (reqs[i].faults[0].detected && runs[i].halted) {
+            EXPECT_GT(runs[i].pipe.detectedFaults, 0u);
+        }
+    }
+}
+
+TEST(AvfCampaign, CountsAreConsistent)
+{
+    AvfCampaignConfig cfg;
+    cfg.spec = findWorkload("CPU2006", "mcf");
+    cfg.scheme = ResilienceConfig::turnpike(20);
+    cfg.icount = 8000;
+    cfg.trials = 16;
+    cfg.seed = 5;
+    cfg.sensorMissRate = 0.3;
+    AvfReport rep = runAvfCampaign(cfg);
+
+    EXPECT_EQ(rep.trials, 16u);
+    EXPECT_EQ(rep.perTrial.size(), 16u);
+    uint64_t outcome_total = 0, injected_total = 0;
+    for (int o = 0; o < kNumFaultOutcomes; o++)
+        outcome_total +=
+            rep.outcomeTotal(static_cast<FaultOutcome>(o));
+    for (int t = 0; t < kNumFaultTargets; t++)
+        injected_total += rep.injected[t];
+    EXPECT_EQ(outcome_total, 16u);
+    EXPECT_EQ(injected_total, 16u);
+    EXPECT_GE(rep.vulnerability(), 0.0);
+    EXPECT_LE(rep.vulnerability(), 1.0);
+    EXPECT_GT(rep.cycleBudget, rep.goldenCycles);
+
+    // Detected register/SB strikes are the paper's guarantee: never
+    // silent corruption.
+    for (const AvfTrial &trial : rep.perTrial) {
+        bool classic = trial.fault.target == FaultTarget::Register ||
+            trial.fault.target == FaultTarget::SbEntry;
+        if (classic && trial.fault.detected) {
+            EXPECT_NE(trial.outcome, FaultOutcome::Sdc)
+                << "detected " << faultTargetName(trial.fault.target)
+                << " strike at cycle " << trial.fault.cycle
+                << " must recover";
+        }
+    }
+}
+
+TEST(AvfCampaign, DeterministicAcrossWorkerCounts)
+{
+    AvfCampaignConfig cfg;
+    cfg.spec = findWorkload("SPLASH3", "radix");
+    cfg.scheme = ResilienceConfig::turnstile(20);
+    cfg.icount = 8000;
+    cfg.trials = 12;
+    cfg.seed = 11;
+    cfg.sensorMissRate = 0.25;
+
+    const char *saved = std::getenv("TURNPIKE_JOBS");
+    std::string saved_val = saved ? saved : "";
+
+    setenv("TURNPIKE_JOBS", "1", 1);
+    AvfReport serial = runAvfCampaign(cfg);
+    setenv("TURNPIKE_JOBS", "3", 1);
+    AvfReport parallel = runAvfCampaign(cfg);
+
+    if (saved)
+        setenv("TURNPIKE_JOBS", saved_val.c_str(), 1);
+    else
+        unsetenv("TURNPIKE_JOBS");
+
+    for (int t = 0; t < kNumFaultTargets; t++) {
+        EXPECT_EQ(serial.injected[t], parallel.injected[t]);
+        for (int o = 0; o < kNumFaultOutcomes; o++)
+            EXPECT_EQ(serial.counts[t][o], parallel.counts[t][o])
+                << faultTargetName(static_cast<FaultTarget>(t)) << "/"
+                << faultOutcomeName(static_cast<FaultOutcome>(o));
+    }
+    ASSERT_EQ(serial.perTrial.size(), parallel.perTrial.size());
+    for (size_t i = 0; i < serial.perTrial.size(); i++) {
+        EXPECT_EQ(serial.perTrial[i].outcome,
+                  parallel.perTrial[i].outcome);
+        EXPECT_EQ(serial.perTrial[i].cycles,
+                  parallel.perTrial[i].cycles);
+    }
+    EXPECT_EQ(avfReportTable(serial), avfReportTable(parallel));
+}
+
+TEST(AvfReportMerging, AddsCountsAndTrials)
+{
+    AvfReport a, b;
+    a.scheme = "turnpike";
+    a.trials = 10;
+    a.counts[0][0] = 4;
+    a.counts[1][2] = 6;
+    a.injected[0] = 4;
+    a.injected[1] = 6;
+    b.scheme = "turnpike";
+    b.trials = 5;
+    b.counts[0][0] = 1;
+    b.counts[1][3] = 4;
+    b.injected[0] = 1;
+    b.injected[1] = 4;
+
+    a.merge(b);
+    EXPECT_EQ(a.trials, 15u);
+    EXPECT_EQ(a.counts[0][0], 5u);
+    EXPECT_EQ(a.counts[1][2], 6u);
+    EXPECT_EQ(a.counts[1][3], 4u);
+    EXPECT_EQ(a.outcomeTotal(FaultOutcome::Masked), 5u);
+    EXPECT_EQ(a.outcomeTotal(FaultOutcome::Sdc), 6u);
+    EXPECT_EQ(a.outcomeTotal(FaultOutcome::Hang), 4u);
+    EXPECT_DOUBLE_EQ(a.vulnerability(), 10.0 / 15.0);
+}
+
+} // namespace
+} // namespace turnpike
