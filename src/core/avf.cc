@@ -57,6 +57,25 @@ AvfReport::merge(const AvfReport &other)
     }
 }
 
+uint64_t
+avfCycleBudget(uint64_t hangFactor, uint64_t goldenCycles)
+{
+    TP_ASSERT(hangFactor >= 1,
+              "hang factor must be >= 1 (0 would classify every "
+              "trial as Hang)");
+    // Saturating multiply: a huge factor must clamp, not wrap into a
+    // tiny budget that flags every trial as a hang.
+    uint64_t budget;
+    if (goldenCycles != 0 &&
+        hangFactor > kMaxTrialCycleBudget / goldenCycles)
+        budget = kMaxTrialCycleBudget;
+    else
+        budget = hangFactor * goldenCycles;
+    if (budget > kMaxTrialCycleBudget - 100000)
+        return kMaxTrialCycleBudget;
+    return budget + 100000;
+}
+
 FaultOutcome
 classifyOutcome(const RunResult &golden, const RunResult &faulty)
 {
@@ -66,8 +85,14 @@ classifyOutcome(const RunResult &golden, const RunResult &faulty)
         return faulty.dataHash == golden.dataHash
             ? FaultOutcome::Recovered
             : FaultOutcome::Sdc;
+    // A recovery-free run must also commit exactly as many
+    // instructions as the golden run: a strike that warps the PC to
+    // an early Halt can leave both hashes untouched (nothing more was
+    // written) yet silently drop the tail of the computation — that
+    // truncation is an SDC, not a masked strike.
     return faulty.dataHash == golden.dataHash &&
-            faulty.archHash == golden.archHash
+            faulty.archHash == golden.archHash &&
+            faulty.pipe.insts == golden.pipe.insts
         ? FaultOutcome::Masked
         : FaultOutcome::Sdc;
 }
@@ -89,9 +114,9 @@ runAvfCampaign(const AvfCampaignConfig &cfg)
     rep.sensorMissRate = cfg.sensorMissRate;
     rep.goldenCycles = golden.pipe.cycles;
     // Recovery storms legitimately multiply the runtime; only budget
-    // exhaustion far beyond that is a hang. The fixed slack keeps
-    // tiny workloads from flagging spurious hangs.
-    rep.cycleBudget = cfg.hangFactor * golden.pipe.cycles + 100000;
+    // exhaustion far beyond that is a hang.
+    rep.cycleBudget = avfCycleBudget(cfg.hangFactor,
+                                     golden.pipe.cycles);
 
     std::vector<RunRequest> reqs;
     reqs.reserve(cfg.trials);

@@ -113,9 +113,31 @@ struct AvfReport
 };
 
 /**
+ * Hard ceiling on a trial's cycle budget: the pipeline's own default
+ * maxCycles cap. A budget beyond it could never be spent anyway, and
+ * clamping here keeps a huge --hang-factor from overflowing the
+ * hangFactor * goldenCycles product into a tiny wrapped budget that
+ * would misclassify every trial as Hang.
+ */
+constexpr uint64_t kMaxTrialCycleBudget = 2000000000ull;
+
+/**
+ * The campaign's per-trial cycle budget: hangFactor * goldenCycles
+ * plus a fixed 100000-cycle slack (recovery storms legitimately
+ * multiply the runtime; the slack keeps tiny workloads from flagging
+ * spurious hangs), saturated at kMaxTrialCycleBudget. hangFactor
+ * must be >= 1 — a zero factor would classify every trial as Hang,
+ * so runAvfCampaign rejects it (and the CLI errors out before that).
+ */
+uint64_t avfCycleBudget(uint64_t hangFactor, uint64_t goldenCycles);
+
+/**
  * Classify one faulted run against the fault-free golden run of the
  * same (workload, scheme): the differential-comparison core of the
- * campaign, exposed for the unit tests.
+ * campaign, exposed for the unit tests. Masked additionally requires
+ * the committed-instruction counts to match: a run that silently
+ * truncated or warped its execution path but stumbled into matching
+ * hashes is an SDC, not a masked strike.
  */
 FaultOutcome classifyOutcome(const RunResult &golden,
                              const RunResult &faulty);

@@ -1,0 +1,64 @@
+#include "core/replay.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+TrialReplayer::TrialReplayer(const AvfCampaignConfig &cfg)
+    : cfg_(cfg),
+      targets_(cfg.targets.empty() ? allFaultTargets() : cfg.targets)
+{
+    golden_ = runWorkload(cfg_.spec, cfg_.scheme, cfg_.icount);
+    cycleBudget_ = avfCycleBudget(cfg_.hangFactor,
+                                  golden_.pipe.cycles);
+}
+
+FaultEvent
+TrialReplayer::trialFault(uint32_t trial) const
+{
+    // The campaign's exact keying: seed, trial index, golden-run
+    // horizon, detection deadline and target set. Any drift here
+    // breaks the replay contract, which is why replay_test.cc pins
+    // byte-for-byte equality against live campaign trials.
+    return makeTrialFault(cfg_.seed, trial, golden_.pipe.cycles,
+                          cfg_.scheme.wcdl, targets_,
+                          cfg_.sensorMissRate);
+}
+
+ReplayedTrial
+TrialReplayer::replay(uint32_t trial, Tracer *tracer,
+                      CommitCapture *capture) const
+{
+    ReplayedTrial rt;
+    rt.trial = trial;
+    rt.fault = trialFault(trial);
+    rt.cycleBudget = cycleBudget_;
+
+    RunOptions opts(cycleBudget_, /*allow_no_halt=*/true);
+    opts.tracer = tracer;
+    opts.capture = capture;
+    opts.skipInterpret = capture != nullptr;
+    rt.run = runWorkload(cfg_.spec, cfg_.scheme, cfg_.icount,
+                         {rt.fault}, opts);
+    rt.outcome = classifyOutcome(golden_, rt.run);
+    return rt;
+}
+
+RunResult
+TrialReplayer::goldenProbe(CommitCapture *capture) const
+{
+    RunOptions opts(cycleBudget_, /*allow_no_halt=*/true);
+    opts.capture = capture;
+    opts.skipInterpret = true;
+    return runWorkload(cfg_.spec, cfg_.scheme, cfg_.icount, {}, opts);
+}
+
+ReplayedTrial
+replayTrial(const AvfCampaignConfig &cfg, uint32_t trial,
+            Tracer *tracer)
+{
+    TrialReplayer replayer(cfg);
+    return replayer.replay(trial, tracer);
+}
+
+} // namespace turnpike

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic record/replay for AVF campaign trials. A campaign
+ * never stores traces: every trial's fault plan is a pure function
+ * of (seed, trial index, golden horizon, wcdl, target set, miss
+ * rate), so any trial can be reconstructed after the fact from the
+ * campaign configuration and its trial number alone — with full
+ * event tracing or commit-stream capture attached on demand.
+ *
+ * The replay contract (pinned by tests/replay_test.cc): a replayed
+ * trial reproduces the original trial's outcome class, archHash and
+ * dataHash byte-for-byte, at any TURNPIKE_JOBS.
+ */
+
+#ifndef TURNPIKE_CORE_REPLAY_HH_
+#define TURNPIKE_CORE_REPLAY_HH_
+
+#include "core/avf.hh"
+
+namespace turnpike {
+
+/** One re-executed campaign trial, with its reconstructed inputs. */
+struct ReplayedTrial
+{
+    uint32_t trial = 0;
+    /** The reconstructed fault plan (identical to the original). */
+    FaultEvent fault;
+    /** The reconstructed per-trial cycle budget. */
+    uint64_t cycleBudget = 0;
+    /** Differential classification against the golden run. */
+    FaultOutcome outcome = FaultOutcome::Masked;
+    /** The full faulted run result. */
+    RunResult run;
+};
+
+/**
+ * Replays individual trials of one campaign. Construction performs
+ * the fault-free golden run once (the horizon the fault plans are
+ * keyed on, and the reference for classification); each replay()
+ * then re-runs one trial. Replays through one instance are
+ * independent, so concurrent replay() calls from a thread pool are
+ * safe: the replayer's own state is read-only after construction.
+ */
+class TrialReplayer
+{
+  public:
+    explicit TrialReplayer(const AvfCampaignConfig &cfg);
+
+    const AvfCampaignConfig &config() const { return cfg_; }
+    const RunResult &golden() const { return golden_; }
+    uint64_t cycleBudget() const { return cycleBudget_; }
+
+    /** Reconstruct trial @p trial's fault plan (pure function). */
+    FaultEvent trialFault(uint32_t trial) const;
+
+    /**
+     * Re-run trial @p trial, optionally with a tracer and/or a
+     * commit-stream capture attached. When a capture is attached the
+     * functional golden-hash interpretation is skipped (probes only
+     * need the pipeline's results) and, if the capture carries a
+     * commit limit, the run may stop early — in that case the
+     * returned outcome classification is meaningless and callers
+     * should only read the capture.
+     */
+    ReplayedTrial replay(uint32_t trial, Tracer *tracer = nullptr,
+                         CommitCapture *capture = nullptr) const;
+
+    /**
+     * Fault-free probe run with @p capture attached (and the
+     * interpreter skipped): the golden half of a prefix-equality
+     * query during divergence bisection.
+     */
+    RunResult goldenProbe(CommitCapture *capture) const;
+
+  private:
+    AvfCampaignConfig cfg_;
+    std::vector<FaultTarget> targets_;
+    RunResult golden_;
+    uint64_t cycleBudget_ = 0;
+};
+
+/**
+ * One-shot convenience: golden run plus one replayed trial.
+ * Re-running a trial this way costs two simulations; use a
+ * TrialReplayer to amortize the golden run over many trials.
+ */
+ReplayedTrial replayTrial(const AvfCampaignConfig &cfg,
+                          uint32_t trial, Tracer *tracer = nullptr);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_CORE_REPLAY_HH_

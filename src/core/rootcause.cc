@@ -1,0 +1,349 @@
+#include "core/rootcause.hh"
+
+#include <algorithm>
+
+#include "ir/opcode.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace turnpike {
+
+const char *
+divergenceKindName(DivergenceKind k)
+{
+    switch (k) {
+      case DivergenceKind::Commit:    return "commit";
+      case DivergenceKind::Truncated: return "truncated";
+      case DivergenceKind::Extended:  return "extended";
+      case DivergenceKind::StateOnly: return "state_only";
+    }
+    return "unknown";
+}
+
+std::pair<uint64_t, uint64_t>
+GoldenPrefixCache::probe(const TrialReplayer &replayer, uint64_t limit)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(limit);
+        if (it != cache_.end())
+            return it->second;
+    }
+    // Compute outside the lock: probes are pure functions of the
+    // limit, so two threads racing on the same limit just do the
+    // same work twice and insert identical values.
+    CommitCapture cap;
+    cap.limit = limit;
+    replayer.goldenProbe(&cap);
+    std::pair<uint64_t, uint64_t> result{cap.hash, cap.committed};
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.emplace(limit, result);
+    return result;
+}
+
+namespace {
+
+/** Faulty-stream prefix probe: (hash, commits) at @p limit. */
+std::pair<uint64_t, uint64_t>
+faultyProbe(const TrialReplayer &replayer, uint32_t trial,
+            uint64_t limit)
+{
+    CommitCapture cap;
+    cap.limit = limit;
+    replayer.replay(trial, nullptr, &cap);
+    return {cap.hash, cap.committed};
+}
+
+/** Windowed golden probe capturing the record at commit @p index. */
+CommitRecord
+goldenRecordAt(const TrialReplayer &replayer, uint64_t index)
+{
+    CommitCapture cap;
+    cap.limit = index + 1;
+    cap.windowLo = index;
+    cap.windowHi = index + 1;
+    replayer.goldenProbe(&cap);
+    TP_ASSERT(!cap.window.empty(),
+              "golden stream ended before commit %llu",
+              static_cast<unsigned long long>(index));
+    return cap.window.front();
+}
+
+/** Windowed faulty probe capturing the record at commit @p index. */
+CommitRecord
+faultyRecordAt(const TrialReplayer &replayer, uint32_t trial,
+               uint64_t index)
+{
+    CommitCapture cap;
+    cap.limit = index + 1;
+    cap.windowLo = index;
+    cap.windowHi = index + 1;
+    replayer.replay(trial, nullptr, &cap);
+    TP_ASSERT(!cap.window.empty(),
+              "faulty stream of trial %u ended before commit %llu",
+              trial, static_cast<unsigned long long>(index));
+    return cap.window.front();
+}
+
+} // namespace
+
+DivergencePoint
+bisectDivergence(const TrialReplayer &replayer, uint32_t trial,
+                 GoldenPrefixCache &goldenCache)
+{
+    DivergencePoint dp;
+
+    // Stream lengths. The golden length is the golden run's commit
+    // count; the faulty length needs one unlimited probe (an AVF
+    // screen does not record per-trial commit counts).
+    const uint64_t ng = replayer.golden().pipe.insts;
+    const uint64_t nf =
+        faultyProbe(replayer, trial, ~0ull).second;
+    const uint64_t m = std::min(ng, nf);
+
+    // E(i): "the first i commits of both streams are identical".
+    // Monotone in i — once the streams diverge they never re-sync
+    // into the same prefix hash — which is what makes the binary
+    // search sound.
+    auto equalPrefix = [&](uint64_t i) {
+        dp.probes++;
+        return goldenCache.probe(replayer, i) ==
+            faultyProbe(replayer, trial, i);
+    };
+
+    if (equalPrefix(m)) {
+        // No divergence within the shared prefix: classify by
+        // relative length.
+        dp.index = m;
+        if (nf == ng) {
+            dp.kind = DivergenceKind::StateOnly;
+        } else if (nf < ng) {
+            dp.kind = DivergenceKind::Truncated;
+            dp.golden = goldenRecordAt(replayer, m);
+        } else {
+            dp.kind = DivergenceKind::Extended;
+            dp.faulty = faultyRecordAt(replayer, trial, m);
+        }
+        return dp;
+    }
+
+    // Largest L with E(L) true: E(0) is trivially true (empty
+    // prefixes), E(m) just tested false.
+    uint64_t lo = 0, hi = m;
+    while (hi - lo > 1) {
+        uint64_t mid = lo + (hi - lo) / 2;
+        if (equalPrefix(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    dp.kind = DivergenceKind::Commit;
+    dp.index = lo;
+    dp.golden = goldenRecordAt(replayer, lo);
+    dp.faulty = faultyRecordAt(replayer, trial, lo);
+    return dp;
+}
+
+uint64_t
+RootCauseReport::attributed() const
+{
+    return kindCounts[static_cast<int>(DivergenceKind::Commit)] +
+        kindCounts[static_cast<int>(DivergenceKind::Truncated)] +
+        kindCounts[static_cast<int>(DivergenceKind::Extended)];
+}
+
+void
+RootCauseReport::merge(const RootCauseReport &other)
+{
+    TP_ASSERT(scheme.empty() || other.scheme.empty() ||
+              scheme == other.scheme,
+              "merging root-cause reports of different schemes "
+              "(%s vs %s)", scheme.c_str(), other.scheme.c_str());
+    if (scheme.empty()) {
+        scheme = other.scheme;
+        schemePruning = other.schemePruning;
+        schemeLivm = other.schemeLivm;
+    }
+    trials += other.trials;
+    analyzed += other.analyzed;
+    for (int k = 0; k < kNumDivergenceKinds; k++)
+        kindCounts[k] += other.kindCounts[k];
+    for (const auto &kv : other.byOpcode)
+        byOpcode[kv.first] += kv.second;
+    inPrunedRegion += other.inPrunedRegion;
+    inUnprunedRegion += other.inUnprunedRegion;
+    totalProbes += other.totalProbes;
+    screen.merge(other.screen);
+}
+
+RootCauseReport
+runRootCauseAnalysis(const AvfCampaignConfig &cfg)
+{
+    // 1. Screen: the campaign itself, deterministic at any worker
+    //    count, picks out the harmful trials.
+    AvfReport campaign = runAvfCampaign(cfg);
+
+    RootCauseReport rep;
+    rep.workload = campaign.workload;
+    rep.scheme = campaign.scheme;
+    rep.schemePruning = cfg.scheme.pruning;
+    rep.schemeLivm = cfg.scheme.livm;
+    rep.trials = campaign.trials;
+
+    std::vector<uint32_t> harmful;
+    for (uint32_t t = 0; t < campaign.trials; t++) {
+        FaultOutcome o = campaign.perTrial[t].outcome;
+        if (o == FaultOutcome::Sdc || o == FaultOutcome::Hang)
+            harmful.push_back(t);
+    }
+    rep.analyzed = static_cast<uint32_t>(harmful.size());
+    if (harmful.empty()) {
+        rep.screen = std::move(campaign);
+        return rep;
+    }
+
+    // 2. Region snapshot: one compile of the same (workload, scheme)
+    //    exposes the per-region pass decisions the attribution maps
+    //    divergence PCs onto.
+    std::vector<uint32_t> regionPruned;
+    {
+        std::unique_ptr<Module> mod = buildWorkload(cfg.spec,
+                                                    cfg.icount);
+        CompiledProgram prog = compileWorkload(*mod, cfg.scheme);
+        for (const RegionMeta &rm : prog.mf->regions())
+            regionPruned.push_back(rm.prunedLiveIns);
+    }
+
+    // 3. Bisect every harmful trial. Results are keyed by the
+    //    trial's slot, never completion order, so the report is
+    //    identical at any TURNPIKE_JOBS.
+    TrialReplayer replayer(cfg);
+    GoldenPrefixCache goldenCache;
+    std::vector<DivergencePoint> points(harmful.size());
+    {
+        ThreadPool pool(std::min<unsigned>(
+            campaignJobs(),
+            static_cast<unsigned>(harmful.size())));
+        for (size_t i = 0; i < harmful.size(); i++)
+            pool.submit([&, i] {
+                points[i] = bisectDivergence(replayer, harmful[i],
+                                             goldenCache);
+            });
+        pool.wait();
+    }
+
+    // 4. Aggregate in trial order.
+    rep.attributions.reserve(harmful.size());
+    for (size_t i = 0; i < harmful.size(); i++) {
+        const DivergencePoint &dp = points[i];
+        RootCauseAttribution a;
+        a.trial = harmful[i];
+        a.fault = campaign.perTrial[harmful[i]].fault;
+        a.outcome = campaign.perTrial[harmful[i]].outcome;
+        a.kind = dp.kind;
+        a.divergeIndex = dp.index;
+        a.probes = dp.probes;
+        rep.kindCounts[static_cast<int>(dp.kind)]++;
+        rep.totalProbes += dp.probes;
+        if (dp.kind != DivergenceKind::StateOnly) {
+            // Attribute to the golden-side record where one exists
+            // (the program point the fault robbed); an Extended
+            // divergence has no golden record, so the first extra
+            // faulty commit stands in.
+            const CommitRecord &rec =
+                dp.kind == DivergenceKind::Extended ? dp.faulty
+                                                    : dp.golden;
+            a.pc = rec.pc;
+            a.opcode = rec.opcode;
+            a.opcodeName = opName(static_cast<Op>(rec.opcode));
+            a.region = rec.region;
+            if (a.region < regionPruned.size())
+                a.regionPrunedLiveIns = regionPruned[a.region];
+            a.inPrunedRegion = a.regionPrunedLiveIns > 0;
+            rep.byOpcode[a.opcodeName]++;
+            rep.byRegion[a.region]++;
+            if (a.inPrunedRegion)
+                rep.inPrunedRegion++;
+            else
+                rep.inUnprunedRegion++;
+        }
+        rep.attributions.push_back(std::move(a));
+    }
+    rep.screen = std::move(campaign);
+    return rep;
+}
+
+void
+exportRootCauseStats(StatRegistry &reg, const RootCauseReport &rep)
+{
+    reg.addScalar("rootcause.trials",
+                  static_cast<uint64_t>(rep.trials),
+                  "campaign trials screened", "trial");
+    reg.addScalar("rootcause.analyzed",
+                  static_cast<uint64_t>(rep.analyzed),
+                  "harmful (SDC/Hang) trials bisected", "trial");
+    const uint64_t attributed = rep.attributed();
+    reg.addScalar("rootcause.attributed", attributed,
+                  "harmful trials attributed to a specific "
+                  "committed instruction", "trial");
+    reg.addScalar("rootcause.state_only",
+                  rep.kindCounts[static_cast<int>(
+                      DivergenceKind::StateOnly)],
+                  "harmful trials with identical commit streams "
+                  "(pure state corruption)", "trial");
+    for (int k = 0; k < kNumDivergenceKinds; k++)
+        reg.addScalar(std::string("rootcause.kind.") +
+                          divergenceKindName(
+                              static_cast<DivergenceKind>(k)),
+                      rep.kindCounts[k],
+                      std::string("harmful trials with a ") +
+                          divergenceKindName(
+                              static_cast<DivergenceKind>(k)) +
+                          " divergence", "trial");
+    for (const auto &kv : rep.byOpcode)
+        reg.addScalar("rootcause.opcode." + kv.first, kv.second,
+                      "harmful trials attributed to this opcode",
+                      "trial");
+    reg.addScalar("rootcause.pruned_region", rep.inPrunedRegion,
+                  "attributed trials whose region had checkpoint "
+                  "stores pruned", "trial");
+    reg.addScalar("rootcause.unpruned_region", rep.inUnprunedRegion,
+                  "attributed trials whose region kept every "
+                  "checkpoint store", "trial");
+    reg.addScalar("rootcause.probes", rep.totalProbes,
+                  "prefix-equality queries across all bisections",
+                  "probe");
+    const uint64_t analyzed = rep.analyzed;
+    reg.addFormula("rootcause.rate.attributed",
+                   "rootcause.attributed / rootcause.analyzed",
+                   [attributed, analyzed] {
+                       return analyzed
+                           ? static_cast<double>(attributed) /
+                                 static_cast<double>(analyzed)
+                           : 0.0;
+                   },
+                   "fraction of harmful trials pinned to a "
+                   "specific committed instruction");
+}
+
+std::string
+rootCauseTable(const RootCauseReport &rep)
+{
+    Table table({"trial", "outcome", "kind", "commit", "pc",
+                 "opcode", "region", "pruned", "probes"});
+    for (const RootCauseAttribution &a : rep.attributions) {
+        bool attributed = a.kind != DivergenceKind::StateOnly;
+        table.addRow(
+            {cell(static_cast<uint64_t>(a.trial)),
+             faultOutcomeName(a.outcome), divergenceKindName(a.kind),
+             cell(a.divergeIndex),
+             attributed ? cell(static_cast<uint64_t>(a.pc)) : "-",
+             attributed ? a.opcodeName : "-",
+             attributed ? cell(static_cast<uint64_t>(a.region)) : "-",
+             attributed ? (a.inPrunedRegion ? "yes" : "no") : "-",
+             cell(static_cast<uint64_t>(a.probes))});
+    }
+    return table.toText();
+}
+
+} // namespace turnpike

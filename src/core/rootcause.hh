@@ -1,0 +1,181 @@
+/**
+ * @file
+ * SDC/Hang root-cause bisection on top of deterministic replay.
+ *
+ * For every harmful trial of a campaign (SDC or Hang), the analysis
+ * finds the first architecturally-divergent committed instruction by
+ * binary search over commit-stream prefixes — no full trace is ever
+ * held in memory. A probe run re-executes the trial (or the golden
+ * run) with a CommitCapture that accumulates an FNV-1a prefix hash
+ * and stops after a commit limit; prefix equality of length i is one
+ * golden probe plus one faulty probe. The predicate "prefixes of
+ * length i are equal" is monotone in i, so the largest equal prefix
+ * is found in ~log2(commits) probe pairs, and a final windowed probe
+ * captures the one divergent record.
+ *
+ * Each harmful trial is attributed to a PC, opcode and static
+ * region, and — through the compiled program's region metadata — to
+ * the compiler-pass decisions (checkpoint pruning) covering that
+ * region. Aggregates export under the rootcause.* stats namespace
+ * (turnpike-stats-v1) and are deterministic at any TURNPIKE_JOBS.
+ */
+
+#ifndef TURNPIKE_CORE_ROOTCAUSE_HH_
+#define TURNPIKE_CORE_ROOTCAUSE_HH_
+
+#include <map>
+#include <mutex>
+
+#include "core/replay.hh"
+
+namespace turnpike {
+
+/** How a harmful trial's commit stream relates to the golden one. */
+enum class DivergenceKind : uint8_t {
+    /** Streams share a proper prefix, then commit differently. */
+    Commit,
+    /** Faulty stream is a proper prefix of golden: early halt/wedge. */
+    Truncated,
+    /** Golden is a proper prefix of faulty: post-halt/recovery storm. */
+    Extended,
+    /**
+     * Identical streams, corrupt state: the strike damaged memory or
+     * a register no later commit ever touched (e.g. a CacheData hit
+     * on a line never reloaded). No single instruction to blame.
+     */
+    StateOnly,
+};
+
+/** Number of DivergenceKind enumerators (for counting tables). */
+constexpr int kNumDivergenceKinds = 4;
+
+/** Stable lower-case name of @p k ("commit", "truncated", ...). */
+const char *divergenceKindName(DivergenceKind k);
+
+/** The bisection result for one harmful trial. */
+struct DivergencePoint
+{
+    DivergenceKind kind = DivergenceKind::StateOnly;
+    /**
+     * Commit index of the divergence: the first index at which the
+     * streams differ (Commit), the length of the shorter stream
+     * (Truncated/Extended), or min(lengths) for StateOnly.
+     */
+    uint64_t index = 0;
+    /** Golden-stream record at index (valid unless Extended). */
+    CommitRecord golden;
+    /** Faulty-stream record at index (valid unless Truncated). */
+    CommitRecord faulty;
+    /**
+     * Prefix-equality queries issued (each is one golden plus one
+     * faulty probe before caching). Deterministic: counts logical
+     * queries, not cache misses, so TURNPIKE_JOBS cannot change it.
+     */
+    uint32_t probes = 0;
+};
+
+/**
+ * Memoizes golden prefix probes (limit -> (hash, committed)) across
+ * the trials of one campaign: the golden stream is the same for
+ * every trial, and bisections keep asking about the same prefix
+ * lengths. Thread-safe; purely a performance cache — probe results
+ * are pure functions of the limit, so sharing cannot perturb
+ * determinism.
+ */
+class GoldenPrefixCache
+{
+  public:
+    /** (prefix hash, commits actually made) for a probe at @p limit. */
+    std::pair<uint64_t, uint64_t> probe(const TrialReplayer &replayer,
+                                        uint64_t limit);
+
+  private:
+    std::mutex mu_;
+    std::map<uint64_t, std::pair<uint64_t, uint64_t>> cache_;
+};
+
+/**
+ * Bisect the divergence point of harmful trial @p trial. The trial
+ * should classify as Sdc or Hang under @p replayer's campaign; a
+ * harmless trial comes back StateOnly with index = stream length.
+ */
+DivergencePoint bisectDivergence(const TrialReplayer &replayer,
+                                 uint32_t trial,
+                                 GoldenPrefixCache &goldenCache);
+
+/** One harmful trial attributed to its first divergent commit. */
+struct RootCauseAttribution
+{
+    uint32_t trial = 0;
+    FaultEvent fault;
+    FaultOutcome outcome = FaultOutcome::Sdc;
+    DivergenceKind kind = DivergenceKind::StateOnly;
+    uint64_t divergeIndex = 0;
+    /** Attributed instruction; kNoTracePc/kNoTraceOp for StateOnly. */
+    uint32_t pc = kNoTracePc;
+    uint16_t opcode = kNoTraceOp;
+    std::string opcodeName;
+    /** Static region the attributed instruction commits in. */
+    uint32_t region = 0;
+    /** Checkpoint stores pruned out of that region's live-ins. */
+    uint32_t regionPrunedLiveIns = 0;
+    /** True when the region had at least one pruned live-in. */
+    bool inPrunedRegion = false;
+    uint32_t probes = 0;
+};
+
+/** Aggregated root-cause results for one (workload, scheme). */
+struct RootCauseReport
+{
+    std::string workload;
+    std::string scheme;
+    /** Scheme pass decisions the attribution cross-references. */
+    bool schemePruning = false;
+    bool schemeLivm = false;
+    uint32_t trials = 0;   ///< campaign trials screened
+    uint32_t analyzed = 0; ///< harmful (SDC/Hang) trials bisected
+    /** kindCounts[kind], enumerator-indexed. */
+    uint64_t kindCounts[kNumDivergenceKinds] = {};
+    /** Attributed trials per opcode name. */
+    std::map<std::string, uint64_t> byOpcode;
+    /** Attributed trials per static region (single workload only). */
+    std::map<uint32_t, uint64_t> byRegion;
+    uint64_t inPrunedRegion = 0;   ///< attributed, region had pruning
+    uint64_t inUnprunedRegion = 0; ///< attributed, region had none
+    uint64_t totalProbes = 0;
+    /** Per-trial detail in trial order (diagnostics, tests). */
+    std::vector<RootCauseAttribution> attributions;
+    /** The screening campaign's full AVF report (avf.* export). */
+    AvfReport screen;
+
+    /** Trials attributed to a specific commit (all but StateOnly). */
+    uint64_t attributed() const;
+    /**
+     * Fold @p other's aggregate counts into this report (kind,
+     * opcode and pruning counts, trial totals, probe counts and the
+     * screening AVF report; per-trial attributions and the
+     * per-region map are not merged — region ids are not comparable
+     * across workloads). Used to aggregate one scheme across
+     * workloads.
+     */
+    void merge(const RootCauseReport &other);
+};
+
+/**
+ * The full analysis: run the campaign (deterministic at any
+ * TURNPIKE_JOBS), bisect every SDC/Hang trial in parallel, and
+ * attribute each to a PC, opcode, region and the region's pruning
+ * decisions.
+ */
+RootCauseReport runRootCauseAnalysis(const AvfCampaignConfig &cfg);
+
+/** Register the report under the rootcause.* namespace. */
+void exportRootCauseStats(StatRegistry &reg,
+                          const RootCauseReport &rep);
+
+/** Render the per-trial attribution table (bench/CLI output). */
+std::string rootCauseTable(const RootCauseReport &rep);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_CORE_ROOTCAUSE_HH_

@@ -15,7 +15,7 @@ namespace {
 RunResult
 prepare(const WorkloadSpec &spec, const ResilienceConfig &cfg,
         uint64_t target, std::unique_ptr<Module> &mod,
-        CompiledProgram &prog)
+        CompiledProgram &prog, bool skip_interpret = false)
 {
     RunResult r;
     {
@@ -36,7 +36,7 @@ prepare(const WorkloadSpec &spec, const ResilienceConfig &cfg,
     r.baselineBytes = prog.mf->baselineBytes();
     r.recoveryBytes = prog.mf->recoveryBytes();
 
-    {
+    if (!skip_interpret) {
         ScopedPhaseTimer t(&r.profile, "host.interpret");
         InterpResult golden = interpretMachine(*mod, *prog.mf);
         TP_ASSERT(golden.reason == StopReason::Halted,
@@ -61,13 +61,16 @@ runWorkload(const WorkloadSpec &spec, const ResilienceConfig &cfg,
 {
     std::unique_ptr<Module> mod;
     CompiledProgram prog;
-    RunResult r = prepare(spec, cfg, target_dyn_insts, mod, prog);
+    RunResult r = prepare(spec, cfg, target_dyn_insts, mod, prog,
+                          opts.skipInterpret);
 
     {
         ScopedPhaseTimer t(&r.profile, "host.simulate");
         PipelineConfig pcfg = cfg.toPipelineConfig();
         if (opts.maxCycles != 0)
             pcfg.maxCycles = opts.maxCycles;
+        pcfg.tracer = opts.tracer;
+        pcfg.capture = opts.capture;
         InOrderPipeline pipe(*mod, *prog.mf, pcfg);
         PipelineResult pr = pipe.run(faults);
         TP_ASSERT(pr.halted || opts.allowNoHalt,

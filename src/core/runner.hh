@@ -49,10 +49,26 @@ struct RunResult
  */
 struct RunOptions
 {
+    RunOptions() = default;
+    RunOptions(uint64_t max_cycles, bool allow_no_halt)
+        : maxCycles(max_cycles), allowNoHalt(allow_no_halt)
+    {}
+
     /** Override PipelineConfig::maxCycles when nonzero. */
     uint64_t maxCycles = 0;
     /** Return halted=false instead of asserting on a hung run. */
     bool allowNoHalt = false;
+    /**
+     * Skip the functional (golden-hash) interpretation: replay
+     * probes only need the pipeline's architectural results, and a
+     * divergence bisection runs dozens of probes per trial.
+     * goldenHash/dyn/regionSizeAvg stay zero when set.
+     */
+    bool skipInterpret = false;
+    /** Attach an event tracer to the pipeline run (not owned). */
+    Tracer *tracer = nullptr;
+    /** Attach a commit-stream capture to the run (not owned). */
+    CommitCapture *capture = nullptr;
 };
 
 /**

@@ -54,6 +54,13 @@ struct RegionMeta
     uint32_t entryPc = kNoPc;
     /** Live-in physical registers at the region entry. */
     std::vector<Reg> liveIns;
+    /**
+     * Live-ins whose checkpoint store was pruned (Fig. 9): their
+     * recovery re-derives the value from a recipe instead of a
+     * checkpoint load. Root-cause attribution uses this to tell
+     * whether a divergence sits in a pruned region.
+     */
+    uint32_t prunedLiveIns = 0;
     /** Restores liveIns from checkpoint storage after an error. */
     RecoveryProgram recovery;
 };

@@ -160,6 +160,7 @@ lowerFunction(const Function &fn, const PruneResult &prune)
             rm.liveIns.push_back(r);
             auto g = prune.governed.find({rid, r});
             if (g != prune.governed.end()) {
+                rm.prunedLiveIns++;
                 spliceRecipe(prog, g->second, next_temp);
                 next_temp += recipeTemps(g->second);
             } else {

@@ -10,6 +10,41 @@
 
 namespace turnpike {
 
+void
+CommitCapture::commit(uint64_t cycle, uint32_t pc, uint16_t opcode,
+                      uint32_t region, uint64_t a, uint64_t b)
+{
+    if (committed >= limit)
+        return;
+    // FNV-1a over the fields that define the architectural history.
+    // The cycle is deliberately excluded: two runs with identical
+    // architectural work but different stall timing (e.g. a corrupted
+    // RBB deadline) must still hash equal, so timing-only faults
+    // surface as truncation, not as a bogus early divergence.
+    auto mix = [this](uint64_t v) {
+        for (int i = 0; i < 8; i++) {
+            hash ^= (v >> (i * 8)) & 0xff;
+            hash *= 1099511628211ull;
+        }
+    };
+    mix(pc);
+    mix(opcode);
+    mix(a);
+    mix(b);
+    if (committed >= windowLo && committed < windowHi) {
+        CommitRecord rec;
+        rec.index = committed;
+        rec.cycle = cycle;
+        rec.pc = pc;
+        rec.region = region;
+        rec.opcode = opcode;
+        rec.a = a;
+        rec.b = b;
+        window.push_back(rec);
+    }
+    committed++;
+}
+
 InOrderPipeline::InOrderPipeline(const Module &mod,
                                  const MachineFunction &mf,
                                  const PipelineConfig &cfg)
@@ -201,6 +236,40 @@ InOrderPipeline::commitBoundary(const MInstr &mi)
                            pc_, static_cast<uint16_t>(mi.op),
                            inst_id, cur_static_region_);
     return true;
+}
+
+void
+InOrderPipeline::captureCommit(const MInstr &mi, uint32_t pc)
+{
+    // The architectural effect, recomputed from state the commit
+    // left intact (register operands are never clobbered by their
+    // own store/checkpoint commit).
+    uint64_t a = 0, b = 0;
+    switch (mi.op) {
+      case Op::Store:
+        a = static_cast<uint64_t>(regs_[mi.src1] + mi.imm) & ~7ull;
+        b = static_cast<uint64_t>(regs_[mi.src0]);
+        break;
+      case Op::Ckpt:
+        a = mi.src0;
+        b = static_cast<uint64_t>(regs_[mi.src0]);
+        break;
+      case Op::Br:
+      case Op::Jmp:
+        a = pc_; // already redirected: the committed next pc
+        break;
+      case Op::Halt:
+      case Op::Nop:
+        break;
+      default:
+        if (writesDst(mi.op) && mi.dst != kNoReg) {
+            a = mi.dst;
+            b = static_cast<uint64_t>(regs_[mi.dst]);
+        }
+        break;
+    }
+    cfg_.capture->commit(cycle_, pc, static_cast<uint16_t>(mi.op),
+                         cur_static_region_, a, b);
 }
 
 bool
@@ -447,6 +516,8 @@ InOrderPipeline::issueCycle()
         }
         if (mi.op == Op::Halt) {
             stats_.insts++;
+            if (cfg_.capture)
+                captureCommit(mi, pc_);
             halted_ = true;
             if (cfg_.resilience)
                 rbb_.endCurrent(cycle_, cfg_.wcdl);
@@ -596,8 +667,11 @@ InOrderPipeline::issueCycle()
                                      mi.toString().c_str()),
                               pc_, static_cast<uint16_t>(mi.op),
                               next, taken);
+            uint32_t br_pc = pc_;
             pc_ = next;
             stats_.insts++;
+            if (cfg_.capture)
+                captureCommit(mi, br_pc);
             issued++;
             goto group_done; // redirect ends the fetch group
           }
@@ -608,8 +682,13 @@ InOrderPipeline::issueCycle()
                                      mi.toString().c_str()),
                               pc_, static_cast<uint16_t>(mi.op),
                               mi.target);
-            pc_ = mi.target;
-            stats_.insts++;
+            {
+                uint32_t jmp_pc = pc_;
+                pc_ = mi.target;
+                stats_.insts++;
+                if (cfg_.capture)
+                    captureCommit(mi, jmp_pc);
+            }
             issued++;
             goto group_done;
           case Op::Nop:
@@ -643,6 +722,8 @@ InOrderPipeline::issueCycle()
                                  mi.toString().c_str()),
                           pc_, static_cast<uint16_t>(mi.op));
         stats_.insts++;
+        if (cfg_.capture)
+            captureCommit(mi, pc_);
         issued++;
         pc_++;
     }
@@ -743,6 +824,10 @@ InOrderPipeline::run(const std::vector<FaultEvent> &faults)
         cfg_.intervalPerRegion ? 0 : cfg_.statsInterval;
     uint64_t next_sample = interval ? interval : ~uint64_t(0);
     while (cycle_ < max_cycles) {
+        // A prefix probe stops as soon as its capture is satisfied;
+        // plain runs (capture null or unlimited) never take this.
+        if (cfg_.capture && cfg_.capture->done())
+            break;
         if (cycle_ >= next_sample) {
             recordIntervalSample();
             next_sample = (cycle_ / interval + 1) * interval;

@@ -32,6 +32,58 @@
 
 namespace turnpike {
 
+/**
+ * One committed instruction as seen by the record/replay machinery:
+ * where it committed (pc, opcode, static region, cycle) and its
+ * architectural effect (@p a / @p b are opcode-specific: dst register
+ * and value written for register-writing ops, word address and value
+ * for stores, checkpointed register and value for Ckpt, redirect
+ * target for control flow). Two runs whose records match index for
+ * index executed the same architectural history.
+ */
+struct CommitRecord
+{
+    uint64_t index = 0;  ///< position in the committed stream, from 0
+    uint64_t cycle = 0;  ///< commit cycle
+    uint64_t a = 0;      ///< architectural effect, opcode-specific
+    uint64_t b = 0;      ///< architectural effect, opcode-specific
+    uint32_t pc = kNoTracePc;
+    uint32_t region = 0; ///< static region executing at commit
+    uint16_t opcode = kNoTraceOp;
+};
+
+/**
+ * Commit-stream capture for deterministic replay and divergence
+ * bisection (core/rootcause.hh). Attached through PipelineConfig; the
+ * pipeline then folds every committed instruction (up to @p limit)
+ * into a running FNV-1a hash, keeps full CommitRecords for the
+ * index window [windowLo, windowHi), and stops the simulation once
+ * @p limit commits were seen — so a prefix probe never runs (or
+ * stores) more than it needs. Comparing (hash, committed) of two
+ * captures with the same limit compares the two architectural
+ * commit-stream prefixes without either trace ever being held in
+ * memory.
+ */
+struct CommitCapture
+{
+    /** Stop the run after this many commits (~0 = run to the end). */
+    uint64_t limit = ~0ull;
+    /** Record full CommitRecords for indices in [windowLo, windowHi). */
+    uint64_t windowLo = 0;
+    uint64_t windowHi = 0;
+
+    uint64_t committed = 0;             ///< commits seen (<= limit)
+    uint64_t hash = 1469598103934665603ull; ///< FNV-1a over records
+    std::vector<CommitRecord> window;   ///< records in the window
+
+    /** True once the capture saw everything it was asked for. */
+    bool done() const { return committed >= limit; }
+
+    /** Fold one committed instruction in (called by the pipeline). */
+    void commit(uint64_t cycle, uint32_t pc, uint16_t opcode,
+                uint32_t region, uint64_t a, uint64_t b);
+};
+
 /** Pipeline and resilience-scheme configuration. */
 struct PipelineConfig
 {
@@ -76,6 +128,13 @@ struct PipelineConfig
 
     /** Optional event tracer (not owned); null disables tracing. */
     Tracer *tracer = nullptr;
+    /**
+     * Optional commit-stream capture (not owned); null disables it.
+     * When attached, run() returns early (halted = false) as soon as
+     * capture->done() — callers doing prefix probes must therefore
+     * tolerate non-halting results.
+     */
+    CommitCapture *capture = nullptr;
 };
 
 /**
@@ -212,6 +271,12 @@ class InOrderPipeline
     bool commitBoundary(const MInstr &mi);
     void drainStoreBuffer();
     void processVerification();
+    /**
+     * Record the architectural effect of the instruction just
+     * committed at @p pc into cfg_.capture. Callers must already
+     * have tested cfg_.capture (same contract as the tracer sites).
+     */
+    void captureCommit(const MInstr &mi, uint32_t pc);
     void applyFault(const FaultEvent &ev);
     void doRecovery();
     bool parityTriggered(const MInstr &mi);

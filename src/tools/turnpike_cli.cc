@@ -14,6 +14,7 @@
  *   turnpike-cli --workload CPU2017/lbm --dump-asm
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +24,8 @@
 
 #include "core/avf.hh"
 #include "core/compiler.hh"
+#include "core/replay.hh"
+#include "core/rootcause.hh"
 #include "core/runner.hh"
 #include "core/stats_export.hh"
 #include "machine/mprinter.hh"
@@ -62,6 +65,13 @@ usage()
         "  --avf                  run a Monte Carlo vulnerability\n"
         "                         campaign instead of a single "
         "simulation\n"
+        "  --replay TRIAL         deterministically re-run one "
+        "campaign trial\n"
+        "                         (honors --trace; same keying as "
+        "--avf)\n"
+        "  --root-cause           bisect every SDC/Hang trial of the\n"
+        "                         campaign to its first divergent "
+        "commit\n"
         "  --trials N             campaign injection trials "
         "(default 64)\n"
         "  --miss-rate F          probability a strike escapes the "
@@ -87,6 +97,47 @@ usage()
         "checkpoint composition\n"
         "  --compare-baseline     also run the baseline and report "
         "the slowdown\n");
+}
+
+/**
+ * Strict numeric flag parsing: garbage, trailing junk, overflow and
+ * values below @p min_v are all hard errors. The old atoi/atoll
+ * parsing silently accepted "--trials -1" (wrapping to ~4.29 billion
+ * trials) and treated "--wcdl banana" as 0.
+ */
+uint64_t
+parseU64(const char *flag, const char *s, long long min_v)
+{
+    char *end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE || v < min_v)
+        fatal("%s expects an integer >= %lld, got '%s'", flag,
+              min_v, s);
+    return static_cast<uint64_t>(v);
+}
+
+uint32_t
+parseU32(const char *flag, const char *s, long long min_v)
+{
+    uint64_t v = parseU64(flag, s, min_v);
+    if (v > 0xffffffffull)
+        fatal("%s value %llu is out of range", flag,
+              static_cast<unsigned long long>(v));
+    return static_cast<uint32_t>(v);
+}
+
+double
+parseProb(const char *flag, const char *s)
+{
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || errno == ERANGE || v < 0.0 ||
+        v > 1.0)
+        fatal("%s expects a probability in [0, 1], got '%s'", flag,
+              s);
+    return v;
 }
 
 ResilienceConfig
@@ -159,6 +210,8 @@ main(int argc, char **argv)
     uint32_t faults = 0;
     uint64_t fault_seed = 1;
     bool avf = false;
+    bool root_cause = false;
+    long long replay_trial = -1;
     uint32_t trials = 64;
     double miss_rate = 0.0;
     uint64_t hang_factor = 8;
@@ -193,27 +246,34 @@ main(int argc, char **argv)
         } else if (a == "--scheme") {
             scheme = need(i);
         } else if (a == "--wcdl") {
-            wcdl = static_cast<uint32_t>(std::atoi(need(i)));
+            wcdl = parseU32("--wcdl", need(i), 0);
         } else if (a == "--sb") {
-            sb = static_cast<uint32_t>(std::atoi(need(i)));
+            sb = parseU32("--sb", need(i), 1);
         } else if (a == "--clq") {
-            clq = static_cast<uint32_t>(std::atoi(need(i)));
+            clq = parseU32("--clq", need(i), 0);
         } else if (a == "--ideal-clq") {
             ideal_clq = true;
         } else if (a == "--icount") {
-            icount = static_cast<uint64_t>(std::atoll(need(i)));
+            icount = parseU64("--icount", need(i), 1);
         } else if (a == "--faults") {
-            faults = static_cast<uint32_t>(std::atoi(need(i)));
+            faults = parseU32("--faults", need(i), 0);
         } else if (a == "--fault-seed") {
-            fault_seed = static_cast<uint64_t>(std::atoll(need(i)));
+            fault_seed = parseU64("--fault-seed", need(i), 0);
         } else if (a == "--avf") {
             avf = true;
+        } else if (a == "--replay") {
+            replay_trial =
+                static_cast<long long>(parseU64("--replay",
+                                                need(i), 0));
+        } else if (a == "--root-cause") {
+            root_cause = true;
         } else if (a == "--trials") {
-            trials = static_cast<uint32_t>(std::atoi(need(i)));
+            trials = parseU32("--trials", need(i), 1);
         } else if (a == "--miss-rate") {
-            miss_rate = std::atof(need(i));
+            miss_rate = parseProb("--miss-rate", need(i));
         } else if (a == "--hang-factor") {
-            hang_factor = static_cast<uint64_t>(std::atoll(need(i)));
+            // 0 would classify every trial as a hang; hard error.
+            hang_factor = parseU64("--hang-factor", need(i), 1);
         } else if (a == "--trace") {
             trace_cats = need(i);
         } else if (a == "--trace-file") {
@@ -225,7 +285,7 @@ main(int argc, char **argv)
         } else if (a == "--stats-format") {
             stats_format = need(i);
         } else if (a == "--interval") {
-            interval = static_cast<uint64_t>(std::atoll(need(i)));
+            interval = parseU64("--interval", need(i), 0);
         } else if (a == "--interval-per-region") {
             interval_per_region = true;
         } else if (a == "--dump-asm") {
@@ -258,19 +318,134 @@ main(int argc, char **argv)
     if (ideal_clq)
         cfg.clqDesign = ClqDesign::Ideal;
 
+    if (static_cast<int>(avf) + static_cast<int>(root_cause) +
+            static_cast<int>(replay_trial >= 0) > 1)
+        fatal("--avf, --replay and --root-cause are mutually "
+              "exclusive");
+
+    // Shared tracer setup (single runs and --replay).
+    std::ofstream trace_stream;
+    std::unique_ptr<Tracer> tracer;
+    auto makeTracer = [&] {
+        if (trace_cats.empty())
+            return;
+        TraceFormat fmt = trace_format == "jsonl"
+            ? TraceFormat::Jsonl
+            : TraceFormat::Text;
+        if (!trace_file.empty()) {
+            trace_stream.open(trace_file);
+            if (!trace_stream)
+                fatal("cannot open trace file %s",
+                      trace_file.c_str());
+            tracer = std::make_unique<Tracer>(
+                trace_stream, traceMask(trace_cats), fmt);
+        } else {
+            tracer = std::make_unique<Tracer>(
+                std::cerr, traceMask(trace_cats), fmt);
+        }
+        // Post-mortem: a panic() dumps the last events of the ring.
+        installTracerPanicDump(tracer.get());
+    };
+
+    AvfCampaignConfig acfg;
+    acfg.spec = spec;
+    acfg.scheme = cfg;
+    acfg.icount = icount;
+    acfg.trials = trials;
+    acfg.seed = fault_seed;
+    acfg.sensorMissRate = miss_rate;
+    acfg.hangFactor = hang_factor;
+
+    if (replay_trial >= 0) {
+        if (static_cast<uint64_t>(replay_trial) >= trials)
+            fatal("--replay trial %lld is out of range (campaign "
+                  "has %u trials; raise --trials)", replay_trial,
+                  trials);
+        makeTracer();
+        TrialReplayer replayer(acfg);
+        ReplayedTrial rt = replayer.replay(
+            static_cast<uint32_t>(replay_trial), tracer.get());
+        const RunResult &g = replayer.golden();
+        std::printf(
+            "replay: %s under %s, trial %u of %u (seed %llu)\n"
+            "fault: %s[%llu] bit %u at cycle %llu%s\n"
+            "outcome: %s\n"
+            "cycles %llu (golden %llu, budget %llu), recoveries "
+            "%llu, detections %llu\n"
+            "dataHash %016llx (golden %016llx)\n"
+            "archHash %016llx (golden %016llx)\n",
+            workload.c_str(), cfg.label.c_str(), rt.trial, trials,
+            static_cast<unsigned long long>(fault_seed),
+            faultTargetName(rt.fault.target),
+            static_cast<unsigned long long>(rt.fault.index),
+            rt.fault.bit,
+            static_cast<unsigned long long>(rt.fault.cycle),
+            rt.fault.detected ? "" : " (escapes the sensors)",
+            faultOutcomeName(rt.outcome),
+            static_cast<unsigned long long>(rt.run.pipe.cycles),
+            static_cast<unsigned long long>(g.pipe.cycles),
+            static_cast<unsigned long long>(rt.cycleBudget),
+            static_cast<unsigned long long>(rt.run.pipe.recoveries),
+            static_cast<unsigned long long>(
+                rt.run.pipe.detectedFaults),
+            static_cast<unsigned long long>(rt.run.dataHash),
+            static_cast<unsigned long long>(g.dataHash),
+            static_cast<unsigned long long>(rt.run.archHash),
+            static_cast<unsigned long long>(g.archHash));
+        return 0;
+    }
+
+    if (root_cause) {
+        RootCauseReport rep = runRootCauseAnalysis(acfg);
+        std::printf("root-cause: %s under %s, %u trials "
+                    "(seed %llu)\n"
+                    "harmful trials analyzed: %u (attributed %llu, "
+                    "state-only %llu), %llu probes\n\n",
+                    workload.c_str(), cfg.label.c_str(), rep.trials,
+                    static_cast<unsigned long long>(fault_seed),
+                    rep.analyzed,
+                    static_cast<unsigned long long>(
+                        rep.attributed()),
+                    static_cast<unsigned long long>(
+                        rep.kindCounts[static_cast<int>(
+                            DivergenceKind::StateOnly)]),
+                    static_cast<unsigned long long>(
+                        rep.totalProbes));
+        if (!rep.attributions.empty())
+            std::printf("%s\n", rootCauseTable(rep).c_str());
+        else
+            std::printf("no SDC or Hang trials in this campaign — "
+                        "nothing to bisect\n");
+        if (rep.inPrunedRegion + rep.inUnprunedRegion > 0)
+            std::printf("\nattributed divergences in pruned "
+                        "regions: %llu, unpruned: %llu\n",
+                        static_cast<unsigned long long>(
+                            rep.inPrunedRegion),
+                        static_cast<unsigned long long>(
+                            rep.inUnprunedRegion));
+        if (!stats_file.empty()) {
+            StatRegistry reg;
+            reg.setMeta("workload", workload);
+            reg.setMeta("scheme", cfg.label);
+            reg.setMeta("icount", std::to_string(icount));
+            reg.setMeta("fault_seed", std::to_string(fault_seed));
+            exportAvfStats(reg, rep.screen);
+            exportRootCauseStats(reg, rep);
+            std::ofstream sf(stats_file);
+            if (!sf)
+                fatal("cannot open stats file %s",
+                      stats_file.c_str());
+            if (stats_format == "json")
+                reg.dumpJson(sf);
+            else
+                reg.dumpText(sf);
+            std::printf("\nwrote %s stats to %s\n",
+                        stats_format.c_str(), stats_file.c_str());
+        }
+        return 0;
+    }
+
     if (avf) {
-        if (trials == 0)
-            fatal("--avf needs --trials >= 1");
-        if (miss_rate < 0.0 || miss_rate > 1.0)
-            fatal("--miss-rate expects a probability in [0, 1]");
-        AvfCampaignConfig acfg;
-        acfg.spec = spec;
-        acfg.scheme = cfg;
-        acfg.icount = icount;
-        acfg.trials = trials;
-        acfg.seed = fault_seed;
-        acfg.sensorMissRate = miss_rate;
-        acfg.hangFactor = hang_factor;
         AvfReport rep = runAvfCampaign(acfg);
         std::printf("AVF campaign: %s under %s, %u trials, "
                     "miss rate %.2f\n"
@@ -346,30 +521,11 @@ main(int argc, char **argv)
         std::printf("%s\n", rt.toText().c_str());
     }
 
-    std::ofstream trace_stream;
-    std::unique_ptr<Tracer> tracer;
     PipelineConfig pcfg = cfg.toPipelineConfig();
     pcfg.statsInterval = interval;
     pcfg.intervalPerRegion = interval_per_region;
-    if (!trace_cats.empty()) {
-        TraceFormat fmt = trace_format == "jsonl"
-            ? TraceFormat::Jsonl
-            : TraceFormat::Text;
-        if (!trace_file.empty()) {
-            trace_stream.open(trace_file);
-            if (!trace_stream)
-                fatal("cannot open trace file %s",
-                      trace_file.c_str());
-            tracer = std::make_unique<Tracer>(
-                trace_stream, traceMask(trace_cats), fmt);
-        } else {
-            tracer = std::make_unique<Tracer>(
-                std::cerr, traceMask(trace_cats), fmt);
-        }
-        pcfg.tracer = tracer.get();
-        // Post-mortem: a panic() dumps the last events of the ring.
-        installTracerPanicDump(tracer.get());
-    }
+    makeTracer();
+    pcfg.tracer = tracer.get();
 
     std::vector<FaultEvent> plan;
     if (faults > 0) {

@@ -141,13 +141,14 @@ TEST(TrialFault, StreamsVaryAndMissRateBites)
 
 RunResult
 madeResult(bool halted, uint64_t recoveries, uint64_t data,
-           uint64_t arch)
+           uint64_t arch, uint64_t insts = 0)
 {
     RunResult r;
     r.halted = halted;
     r.pipe.recoveries = recoveries;
     r.dataHash = data;
     r.archHash = arch;
+    r.pipe.insts = insts;
     return r;
 }
 
@@ -181,6 +182,53 @@ TEST(OutcomeClassifier, AllScenarios)
     EXPECT_EQ(classifyOutcome(golden,
                               madeResult(true, 0, 0xAAAA, 0x1234)),
               FaultOutcome::Sdc);
+}
+
+/**
+ * Regression: a strike that warps the PC to an early Halt can leave
+ * both hashes matching (nothing more was written) while silently
+ * dropping the tail of the computation. Matching hashes with a
+ * different committed-instruction count must classify SDC, never
+ * Masked.
+ */
+TEST(OutcomeClassifier, EarlyHaltWithMatchingHashesIsSdc)
+{
+    RunResult golden = madeResult(true, 0, 0xAAAA, 0xBBBB, 5000);
+
+    EXPECT_EQ(classifyOutcome(golden, madeResult(true, 0, 0xAAAA,
+                                                 0xBBBB, 1200)),
+              FaultOutcome::Sdc);
+    // An inflated count without recovery is just as truncated a
+    // computation (re-execution without a logged recovery).
+    EXPECT_EQ(classifyOutcome(golden, madeResult(true, 0, 0xAAAA,
+                                                 0xBBBB, 9000)),
+              FaultOutcome::Sdc);
+    // Equal counts stay Masked...
+    EXPECT_EQ(classifyOutcome(golden, madeResult(true, 0, 0xAAAA,
+                                                 0xBBBB, 5000)),
+              FaultOutcome::Masked);
+    // ...and the recovery path is untouched: rollback re-execution
+    // legitimately inflates the commit count.
+    EXPECT_EQ(classifyOutcome(golden, madeResult(true, 2, 0xAAAA,
+                                                 0xBBBB, 9000)),
+              FaultOutcome::Recovered);
+}
+
+TEST(CycleBudget, SaturatesInsteadOfWrapping)
+{
+    // Normal case: factor * golden + slack.
+    EXPECT_EQ(avfCycleBudget(8, 1000), 8 * 1000u + 100000u);
+    // A factor that would overflow 64 bits clamps to the pipeline's
+    // own maxCycles ceiling instead of wrapping to a tiny budget.
+    EXPECT_EQ(avfCycleBudget(~0ull, 123456), kMaxTrialCycleBudget);
+    EXPECT_EQ(avfCycleBudget(1ull << 40, 1ull << 40),
+              kMaxTrialCycleBudget);
+    // Saturation also applies near the ceiling (slack must not push
+    // past it).
+    EXPECT_EQ(avfCycleBudget(1, kMaxTrialCycleBudget - 1),
+              kMaxTrialCycleBudget);
+    // Zero-length golden run is fine.
+    EXPECT_EQ(avfCycleBudget(8, 0), 100000u);
 }
 
 TEST(FaultTargets, EveryTargetInjectsWithoutCrashing)

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for deterministic trial replay (core/replay.hh) and the
+ * commit-stream capture underneath it (sim/pipeline.hh):
+ *
+ *  - the replay contract, per fault target: every harmful (SDC or
+ *    Hang) trial of a campaign, replayed from its (seed, trial) key
+ *    alone, reproduces the original outcome class, archHash and
+ *    dataHash byte-for-byte;
+ *  - reconstructed fault plans match the campaign's trial faults
+ *    field-for-field;
+ *  - commit-capture semantics: prefix hashes are prefix-consistent,
+ *    the limit stops the run early, and windows capture the exact
+ *    records a full capture sees.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/replay.hh"
+
+namespace turnpike {
+namespace {
+
+AvfCampaignConfig
+smallCampaign(FaultTarget target)
+{
+    AvfCampaignConfig cfg;
+    cfg.spec = findWorkload("SPLASH3", "radix");
+    cfg.scheme = ResilienceConfig::turnstile(20);
+    cfg.icount = 8000;
+    cfg.trials = 24;
+    cfg.seed = 301 + static_cast<uint64_t>(target);
+    cfg.sensorMissRate = 0.5; // escaped strikes produce SDC/Hang
+    cfg.targets = {target};
+    return cfg;
+}
+
+/**
+ * The heart of the replay contract: for every fault target, every
+ * harmful trial of a live campaign must be reproducible from its
+ * trial number alone — same outcome, same final memory image hash,
+ * same final register-file hash.
+ */
+TEST(ReplayDeterminism, EveryTargetEveryHarmfulTrial)
+{
+    for (FaultTarget target : allFaultTargets()) {
+        SCOPED_TRACE(faultTargetName(target));
+        AvfCampaignConfig cfg = smallCampaign(target);
+        AvfReport rep = runAvfCampaign(cfg);
+        TrialReplayer replayer(cfg);
+
+        EXPECT_EQ(replayer.cycleBudget(), rep.cycleBudget);
+        ASSERT_EQ(rep.perTrial.size(), cfg.trials);
+
+        uint32_t replayed = 0;
+        for (uint32_t t = 0; t < cfg.trials; t++) {
+            const AvfTrial &orig = rep.perTrial[t];
+            bool harmful = orig.outcome == FaultOutcome::Sdc ||
+                orig.outcome == FaultOutcome::Hang;
+            // Replay a few harmless trials too (cheap extra cover),
+            // but every harmful one.
+            if (!harmful && t % 8 != 0)
+                continue;
+            SCOPED_TRACE("trial " + std::to_string(t));
+            ReplayedTrial rt = replayer.replay(t);
+            EXPECT_EQ(rt.outcome, orig.outcome);
+            EXPECT_EQ(rt.run.pipe.cycles, orig.cycles);
+            EXPECT_EQ(rt.run.pipe.recoveries, orig.recoveries);
+            EXPECT_EQ(rt.run.pipe.detectedFaults, orig.detections);
+            replayed++;
+        }
+        EXPECT_GT(replayed, 0u);
+    }
+}
+
+TEST(ReplayDeterminism, ReconstructedFaultsMatchCampaign)
+{
+    AvfCampaignConfig cfg = smallCampaign(FaultTarget::Register);
+    cfg.targets.clear(); // all targets, the common configuration
+    AvfReport rep = runAvfCampaign(cfg);
+    TrialReplayer replayer(cfg);
+    for (uint32_t t = 0; t < cfg.trials; t++) {
+        FaultEvent a = rep.perTrial[t].fault;
+        FaultEvent b = replayer.trialFault(t);
+        EXPECT_EQ(a.cycle, b.cycle);
+        EXPECT_EQ(a.target, b.target);
+        EXPECT_EQ(a.index, b.index);
+        EXPECT_EQ(a.bit, b.bit);
+        EXPECT_EQ(a.detectDelay, b.detectDelay);
+        EXPECT_EQ(a.detected, b.detected);
+    }
+}
+
+TEST(ReplayDeterminism, BackToBackReplaysAreByteIdentical)
+{
+    AvfCampaignConfig cfg = smallCampaign(FaultTarget::CacheData);
+    TrialReplayer replayer(cfg);
+    for (uint32_t t : {0u, 5u, 13u}) {
+        ReplayedTrial a = replayer.replay(t);
+        ReplayedTrial b = replayer.replay(t);
+        EXPECT_EQ(a.outcome, b.outcome);
+        EXPECT_EQ(a.run.dataHash, b.run.dataHash);
+        EXPECT_EQ(a.run.archHash, b.run.archHash);
+        EXPECT_EQ(a.run.pipe.cycles, b.run.pipe.cycles);
+        EXPECT_EQ(a.run.pipe.insts, b.run.pipe.insts);
+    }
+}
+
+TEST(CommitCapture, FullRunHashMatchesGoldenAndCountsCommits)
+{
+    AvfCampaignConfig cfg = smallCampaign(FaultTarget::Register);
+    TrialReplayer replayer(cfg);
+
+    CommitCapture a, b;
+    replayer.goldenProbe(&a);
+    replayer.goldenProbe(&b);
+    EXPECT_EQ(a.committed, replayer.golden().pipe.insts);
+    EXPECT_EQ(a.hash, b.hash);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_NE(a.hash, 0u);
+}
+
+TEST(CommitCapture, LimitStopsEarlyAndPrefixesAreConsistent)
+{
+    AvfCampaignConfig cfg = smallCampaign(FaultTarget::Register);
+    TrialReplayer replayer(cfg);
+    const uint64_t n = replayer.golden().pipe.insts;
+    ASSERT_GT(n, 100u);
+
+    // A limited probe stops at exactly the limit...
+    CommitCapture half;
+    half.limit = n / 2;
+    RunResult hr = replayer.goldenProbe(&half);
+    EXPECT_EQ(half.committed, n / 2);
+    EXPECT_FALSE(hr.halted); // stopped, not halted
+    EXPECT_LT(hr.pipe.cycles, replayer.golden().pipe.cycles);
+
+    // ...and two probes at the same limit agree, while a longer
+    // prefix hashes differently.
+    CommitCapture again;
+    again.limit = n / 2;
+    replayer.goldenProbe(&again);
+    EXPECT_EQ(half.hash, again.hash);
+    CommitCapture longer;
+    longer.limit = n / 2 + 1;
+    replayer.goldenProbe(&longer);
+    EXPECT_NE(half.hash, longer.hash);
+}
+
+TEST(CommitCapture, WindowMatchesFullStream)
+{
+    AvfCampaignConfig cfg = smallCampaign(FaultTarget::Register);
+    TrialReplayer replayer(cfg);
+    const uint64_t n = replayer.golden().pipe.insts;
+
+    CommitCapture full;
+    full.windowLo = 0;
+    full.windowHi = n;
+    replayer.goldenProbe(&full);
+    ASSERT_EQ(full.window.size(), n);
+
+    const uint64_t lo = n / 3, hi = n / 3 + 5;
+    CommitCapture windowed;
+    windowed.limit = hi;
+    windowed.windowLo = lo;
+    windowed.windowHi = hi;
+    replayer.goldenProbe(&windowed);
+    ASSERT_EQ(windowed.window.size(), hi - lo);
+    for (uint64_t i = 0; i < hi - lo; i++) {
+        const CommitRecord &w = windowed.window[i];
+        const CommitRecord &f = full.window[lo + i];
+        EXPECT_EQ(w.index, f.index);
+        EXPECT_EQ(w.cycle, f.cycle);
+        EXPECT_EQ(w.pc, f.pc);
+        EXPECT_EQ(w.opcode, f.opcode);
+        EXPECT_EQ(w.region, f.region);
+        EXPECT_EQ(w.a, f.a);
+        EXPECT_EQ(w.b, f.b);
+        EXPECT_EQ(w.index, lo + i);
+    }
+}
+
+TEST(ReplayConvenience, OneShotMatchesReplayer)
+{
+    AvfCampaignConfig cfg = smallCampaign(FaultTarget::Pc);
+    TrialReplayer replayer(cfg);
+    ReplayedTrial a = replayer.replay(3);
+    ReplayedTrial b = replayTrial(cfg, 3);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.run.dataHash, b.run.dataHash);
+    EXPECT_EQ(a.run.archHash, b.run.archHash);
+    EXPECT_EQ(a.fault.cycle, b.fault.cycle);
+    EXPECT_EQ(a.cycleBudget, b.cycleBudget);
+}
+
+} // namespace
+} // namespace turnpike

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for SDC/Hang root-cause bisection (core/rootcause.hh):
+ *
+ *  - ground truth: a linear scan over fully captured commit streams
+ *    must agree with the binary-search bisection on the divergence
+ *    kind and index for every harmful trial of a campaign;
+ *  - causality golden test: an undetected register strike at cycle c
+ *    can only diverge at a commit at cycle >= c, and the analysis
+ *    must attribute a concrete PC/opcode/region for Commit kinds;
+ *  - full-report determinism at TURNPIKE_JOBS=1 vs 3, including the
+ *    logical probe counts;
+ *  - stats export: the rootcause.* namespace invariant
+ *    attributed + state_only == analyzed, and report merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/rootcause.hh"
+
+namespace turnpike {
+namespace {
+
+AvfCampaignConfig
+harmfulCampaign()
+{
+    AvfCampaignConfig cfg;
+    cfg.spec = findWorkload("SPLASH3", "radix");
+    cfg.scheme = ResilienceConfig::turnstile(20);
+    cfg.icount = 8000;
+    cfg.trials = 16;
+    cfg.seed = 77;
+    cfg.sensorMissRate = 0.5;
+    return cfg;
+}
+
+/** Full faulty commit stream of one trial. */
+std::vector<CommitRecord>
+fullFaultyStream(const TrialReplayer &replayer, uint32_t trial)
+{
+    CommitCapture cap;
+    cap.windowLo = 0;
+    cap.windowHi = ~0ull;
+    replayer.replay(trial, nullptr, &cap);
+    return cap.window;
+}
+
+/** Architectural equality (cycle excluded, like the prefix hash). */
+bool
+sameCommit(const CommitRecord &x, const CommitRecord &y)
+{
+    return x.pc == y.pc && x.opcode == y.opcode && x.a == y.a &&
+        x.b == y.b;
+}
+
+/**
+ * The bisection's ground truth: capture both streams whole, scan
+ * linearly for the first divergent commit, and demand the binary
+ * search lands on exactly the same (kind, index) — for every
+ * harmful trial of a live campaign.
+ */
+TEST(Bisection, MatchesLinearScanReference)
+{
+    AvfCampaignConfig cfg = harmfulCampaign();
+    AvfReport rep = runAvfCampaign(cfg);
+    TrialReplayer replayer(cfg);
+    GoldenPrefixCache cache;
+
+    std::vector<CommitRecord> golden;
+    {
+        CommitCapture cap;
+        cap.windowLo = 0;
+        cap.windowHi = ~0ull;
+        replayer.goldenProbe(&cap);
+        golden = std::move(cap.window);
+    }
+    ASSERT_EQ(golden.size(), replayer.golden().pipe.insts);
+
+    uint32_t harmful = 0;
+    for (uint32_t t = 0; t < cfg.trials; t++) {
+        FaultOutcome o = rep.perTrial[t].outcome;
+        if (o != FaultOutcome::Sdc && o != FaultOutcome::Hang)
+            continue;
+        harmful++;
+        SCOPED_TRACE("trial " + std::to_string(t));
+
+        std::vector<CommitRecord> faulty =
+            fullFaultyStream(replayer, t);
+        const uint64_t m = std::min(golden.size(), faulty.size());
+        uint64_t ref_index = m;
+        DivergenceKind ref_kind;
+        for (uint64_t i = 0; i < m; i++) {
+            if (!sameCommit(golden[i], faulty[i])) {
+                ref_index = i;
+                break;
+            }
+        }
+        if (ref_index < m)
+            ref_kind = DivergenceKind::Commit;
+        else if (faulty.size() == golden.size())
+            ref_kind = DivergenceKind::StateOnly;
+        else if (faulty.size() < golden.size())
+            ref_kind = DivergenceKind::Truncated;
+        else
+            ref_kind = DivergenceKind::Extended;
+
+        DivergencePoint dp = bisectDivergence(replayer, t, cache);
+        EXPECT_EQ(dp.kind, ref_kind)
+            << divergenceKindName(dp.kind) << " vs reference "
+            << divergenceKindName(ref_kind);
+        EXPECT_EQ(dp.index, ref_index);
+        if (dp.kind == DivergenceKind::Commit) {
+            EXPECT_TRUE(sameCommit(dp.golden, golden[ref_index]));
+            EXPECT_TRUE(sameCommit(dp.faulty, faulty[ref_index]));
+            EXPECT_FALSE(sameCommit(dp.golden, dp.faulty));
+        }
+        // log2(m) + the initial E(m) query bounds the probe count.
+        uint32_t log2m = 0;
+        while ((1ull << log2m) < m)
+            log2m++;
+        EXPECT_LE(dp.probes, log2m + 2);
+    }
+    ASSERT_GT(harmful, 0u) << "campaign produced nothing to bisect; "
+                              "retune the test seed";
+}
+
+/**
+ * Causality golden test: the faulted machine is bit-identical to
+ * the golden run until its strike lands, so a strike at cycle c can
+ * only diverge at a commit whose golden-side cycle is >= c —
+ * whatever structure was hit. This pins the capture's cycle
+ * bookkeeping and the attribution's use of the golden-side record.
+ * (Register strikes can't serve here: they always set a parity bit,
+ * so they are always caught and recovered, never SDC.)
+ */
+TEST(Bisection, DivergenceNeverPrecedesTheStrike)
+{
+    AvfCampaignConfig cfg = harmfulCampaign();
+    AvfReport rep = runAvfCampaign(cfg);
+    TrialReplayer replayer(cfg);
+    GoldenPrefixCache cache;
+
+    uint32_t commits_seen = 0;
+    for (uint32_t t = 0; t < cfg.trials; t++) {
+        FaultOutcome o = rep.perTrial[t].outcome;
+        if (o != FaultOutcome::Sdc && o != FaultOutcome::Hang)
+            continue;
+        DivergencePoint dp = bisectDivergence(replayer, t, cache);
+        if (dp.kind != DivergenceKind::Commit)
+            continue;
+        commits_seen++;
+        EXPECT_GE(dp.golden.cycle, rep.perTrial[t].fault.cycle)
+            << "trial " << t << " diverged before its own strike";
+        EXPECT_NE(dp.golden.pc, kNoTracePc);
+        EXPECT_NE(dp.golden.opcode, kNoTraceOp);
+    }
+    ASSERT_GT(commits_seen, 0u)
+        << "no commit-kind divergence in the campaign; retune the "
+           "test seed";
+}
+
+TEST(RootCauseAnalysis, AttributesEveryHarmfulTrial)
+{
+    AvfCampaignConfig cfg = harmfulCampaign();
+    RootCauseReport rep = runRootCauseAnalysis(cfg);
+
+    EXPECT_EQ(rep.trials, cfg.trials);
+    EXPECT_EQ(rep.screen.trials, cfg.trials);
+    EXPECT_EQ(rep.analyzed,
+              rep.screen.outcomeTotal(FaultOutcome::Sdc) +
+                  rep.screen.outcomeTotal(FaultOutcome::Hang));
+    ASSERT_GT(rep.analyzed, 0u);
+    EXPECT_EQ(rep.attributions.size(), rep.analyzed);
+
+    uint64_t kind_total = 0;
+    for (int k = 0; k < kNumDivergenceKinds; k++)
+        kind_total += rep.kindCounts[k];
+    EXPECT_EQ(kind_total, rep.analyzed);
+    EXPECT_EQ(rep.attributed() +
+                  rep.kindCounts[static_cast<int>(
+                      DivergenceKind::StateOnly)],
+              rep.analyzed);
+    EXPECT_EQ(rep.inPrunedRegion + rep.inUnprunedRegion,
+              rep.attributed());
+
+    for (const RootCauseAttribution &a : rep.attributions) {
+        EXPECT_TRUE(a.outcome == FaultOutcome::Sdc ||
+                    a.outcome == FaultOutcome::Hang);
+        if (a.kind != DivergenceKind::StateOnly) {
+            // Every attributed trial names a concrete instruction.
+            EXPECT_NE(a.pc, kNoTracePc);
+            EXPECT_NE(a.opcode, kNoTraceOp);
+            EXPECT_FALSE(a.opcodeName.empty());
+            EXPECT_EQ(a.inPrunedRegion, a.regionPrunedLiveIns > 0);
+        } else {
+            EXPECT_EQ(a.pc, kNoTracePc);
+        }
+        EXPECT_GT(a.probes, 0u);
+    }
+}
+
+TEST(RootCauseAnalysis, DeterministicAcrossWorkerCounts)
+{
+    AvfCampaignConfig cfg = harmfulCampaign();
+
+    const char *saved = std::getenv("TURNPIKE_JOBS");
+    std::string saved_val = saved ? saved : "";
+
+    setenv("TURNPIKE_JOBS", "1", 1);
+    RootCauseReport serial = runRootCauseAnalysis(cfg);
+    setenv("TURNPIKE_JOBS", "3", 1);
+    RootCauseReport parallel = runRootCauseAnalysis(cfg);
+
+    if (saved)
+        setenv("TURNPIKE_JOBS", saved_val.c_str(), 1);
+    else
+        unsetenv("TURNPIKE_JOBS");
+
+    EXPECT_EQ(serial.analyzed, parallel.analyzed);
+    EXPECT_EQ(serial.totalProbes, parallel.totalProbes);
+    for (int k = 0; k < kNumDivergenceKinds; k++)
+        EXPECT_EQ(serial.kindCounts[k], parallel.kindCounts[k]);
+    EXPECT_EQ(serial.byOpcode, parallel.byOpcode);
+    EXPECT_EQ(serial.byRegion, parallel.byRegion);
+    ASSERT_EQ(serial.attributions.size(),
+              parallel.attributions.size());
+    for (size_t i = 0; i < serial.attributions.size(); i++) {
+        const RootCauseAttribution &a = serial.attributions[i];
+        const RootCauseAttribution &b = parallel.attributions[i];
+        EXPECT_EQ(a.trial, b.trial);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.divergeIndex, b.divergeIndex);
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(a.opcode, b.opcode);
+        EXPECT_EQ(a.region, b.region);
+        EXPECT_EQ(a.probes, b.probes);
+    }
+    EXPECT_EQ(rootCauseTable(serial), rootCauseTable(parallel));
+}
+
+TEST(RootCauseStats, ExportInvariantsAndSchema)
+{
+    AvfCampaignConfig cfg = harmfulCampaign();
+    RootCauseReport rep = runRootCauseAnalysis(cfg);
+
+    StatRegistry reg;
+    reg.setMeta("workload", rep.workload);
+    reg.setMeta("scheme", rep.scheme);
+    exportAvfStats(reg, rep.screen);
+    exportRootCauseStats(reg, rep);
+    std::ostringstream out;
+    reg.dumpJson(out, /*include_host=*/false);
+    const std::string json = out.str();
+
+    for (const char *key :
+         {"rootcause.trials", "rootcause.analyzed",
+          "rootcause.attributed", "rootcause.state_only",
+          "rootcause.kind.commit", "rootcause.kind.truncated",
+          "rootcause.kind.extended", "rootcause.kind.state_only",
+          "rootcause.pruned_region", "rootcause.unpruned_region",
+          "rootcause.probes", "rootcause.rate.attributed",
+          "avf.trials"})
+        EXPECT_NE(json.find(key), std::string::npos)
+            << "missing " << key;
+}
+
+TEST(RootCauseReportMerging, AddsAggregates)
+{
+    RootCauseReport a, b;
+    a.scheme = "turnpike";
+    a.trials = 10;
+    a.analyzed = 3;
+    a.kindCounts[static_cast<int>(DivergenceKind::Commit)] = 2;
+    a.kindCounts[static_cast<int>(DivergenceKind::StateOnly)] = 1;
+    a.byOpcode["add"] = 2;
+    a.inPrunedRegion = 1;
+    a.inUnprunedRegion = 1;
+    a.totalProbes = 30;
+    a.screen.scheme = "turnpike";
+    a.screen.trials = 10;
+    b.scheme = "turnpike";
+    b.trials = 8;
+    b.analyzed = 2;
+    b.kindCounts[static_cast<int>(DivergenceKind::Truncated)] = 2;
+    b.byOpcode["add"] = 1;
+    b.byOpcode["xor"] = 1;
+    b.inPrunedRegion = 2;
+    b.totalProbes = 25;
+    b.screen.scheme = "turnpike";
+    b.screen.trials = 8;
+
+    a.merge(b);
+    EXPECT_EQ(a.trials, 18u);
+    EXPECT_EQ(a.analyzed, 5u);
+    EXPECT_EQ(a.attributed(), 4u);
+    EXPECT_EQ(a.byOpcode["add"], 3u);
+    EXPECT_EQ(a.byOpcode["xor"], 1u);
+    EXPECT_EQ(a.inPrunedRegion, 3u);
+    EXPECT_EQ(a.totalProbes, 55u);
+    EXPECT_EQ(a.screen.trials, 18u);
+}
+
+} // namespace
+} // namespace turnpike

@@ -104,6 +104,42 @@ def check_host(i, h, problems):
         err(where, "needs phase/seconds/calls", problems)
 
 
+def check_rootcause(stats, problems):
+    """Namespace invariants for rootcause.* dumps.
+
+    A dump carrying any rootcause.* stat must carry the core trio
+    (analyzed, attributed, state_only) and satisfy
+    attributed + state_only == analyzed: every bisected trial either
+    names a divergent commit or was pure state corruption.
+    """
+    by_name = {s["name"]: s for s in stats
+               if isinstance(s, dict) and isinstance(s.get("name"), str)}
+    if not any(n.startswith("rootcause.") for n in by_name):
+        return
+    required = ("rootcause.analyzed", "rootcause.attributed",
+                "rootcause.state_only")
+    values = {}
+    for name in required:
+        s = by_name.get(name)
+        if s is None or not isinstance(s.get("value"), (int, float)):
+            err("rootcause", f"namespace present but '{name}' "
+                "missing or non-numeric", problems)
+            return
+        values[name] = s["value"]
+    if values["rootcause.attributed"] + values["rootcause.state_only"] \
+            != values["rootcause.analyzed"]:
+        err("rootcause",
+            f"attributed {values['rootcause.attributed']} + "
+            f"state_only {values['rootcause.state_only']} != "
+            f"analyzed {values['rootcause.analyzed']}", problems)
+    kinds = [n for n in by_name if n.startswith("rootcause.kind.")]
+    if kinds:
+        total = sum(by_name[n].get("value", 0) for n in kinds)
+        if total != values["rootcause.analyzed"]:
+            err("rootcause", f"kind counts sum to {total}, expected "
+                f"analyzed {values['rootcause.analyzed']}", problems)
+
+
 def check_file(path):
     problems = []
     try:
@@ -133,6 +169,7 @@ def check_file(path):
                     err(f"stats[{i}]", f"duplicate name '{s['name']}'",
                         problems)
                 names.add(s["name"])
+        check_rootcause(stats, problems)
 
     intervals = doc.get("intervals")
     if not isinstance(intervals, list):
