@@ -9,14 +9,20 @@
 #define TURNPIKE_BENCH_COMMON_HH_
 
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/parallel.hh"
 #include "core/runner.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -131,6 +137,82 @@ banner(const char *figure, const char *description)
     std::printf("   (synthetic benchmark proxies; icount budget %llu"
                 " per run, override with TURNPIKE_BENCH_ICOUNT)\n\n",
                 static_cast<unsigned long long>(benchInstBudget()));
+}
+
+/**
+ * Best-effort git revision for history records: GITHUB_SHA when CI
+ * exported it, otherwise `git rev-parse HEAD`, otherwise "unknown"
+ * (running from a tarball must not fail the bench).
+ */
+inline std::string
+gitRevision()
+{
+    if (const char *sha = std::getenv("GITHUB_SHA"))
+        return sha;
+    std::string out;
+    if (FILE *p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+        char buf[80];
+        if (std::fgets(buf, sizeof(buf), p))
+            out = buf;
+        ::pclose(p);
+    }
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out.empty() ? "unknown" : out;
+}
+
+/**
+ * Append one run record to the perf-trajectory log. Every harness
+ * that writes a BENCH_*.json artifact also appends a JSONL line here
+ * (git sha, UTC timestamp, host, icount budget, headline metrics) so
+ * plotting throughput over the PR history is one file read, not an
+ * archaeology dig through CI artifacts.
+ *
+ * TURNPIKE_BENCH_HISTORY overrides the path; "0" or the empty string
+ * disables the record (the determinism CI diff uses this). Failures
+ * warn and return — history is telemetry, never a bench failure.
+ */
+inline void
+appendHistory(const std::string &bench, const std::string &artifact,
+              const std::vector<std::pair<std::string, double>> &metrics)
+{
+    std::string path = "BENCH_history.jsonl";
+    if (const char *env = std::getenv("TURNPIKE_BENCH_HISTORY")) {
+        path = env;
+        if (path.empty() || path == "0")
+            return;
+    }
+    std::ofstream f(path, std::ios::app);
+    if (!f) {
+        warn("cannot append to %s", path.c_str());
+        return;
+    }
+    char stamp[32] = "unknown";
+    std::time_t now = std::time(nullptr);
+    if (std::tm tm_utc; gmtime_r(&now, &tm_utc))
+        std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+    char host[256] = "unknown";
+    if (::gethostname(host, sizeof(host)) != 0)
+        std::snprintf(host, sizeof(host), "unknown");
+    host[sizeof(host) - 1] = '\0';
+
+    JsonWriter jw(f, /*indent_step=*/0);
+    jw.beginObject();
+    jw.field("schema", "turnpike-bench-history-v1");
+    jw.field("bench", bench);
+    jw.field("artifact", artifact);
+    jw.field("git_sha", gitRevision());
+    jw.field("timestamp_utc", std::string(stamp));
+    jw.field("host", std::string(host));
+    jw.field("icount", benchInstBudget());
+    jw.key("metrics");
+    jw.beginObject();
+    for (const auto &[name, v] : metrics)
+        jw.field(name, v);
+    jw.endObject();
+    jw.endObject();
+    jw.newline();
 }
 
 } // namespace bench

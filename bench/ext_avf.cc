@@ -111,6 +111,13 @@ main()
             fatal("cannot open %s", path.c_str());
         reg.dumpJson(f, /*include_host=*/false);
         std::printf("wrote %s\n\n", path.c_str());
+        appendHistory(std::string("ext_avf.") + scheme, path,
+                      {{"vulnerability", aggregate.vulnerability()},
+                       {"sdc_rate",
+                        aggregate.rate(FaultOutcome::Sdc)},
+                       {"hang_rate",
+                        aggregate.rate(FaultOutcome::Hang)},
+                       {"trials", double(aggregate.trials)}});
     }
     std::printf("Detected strikes must never produce SDC (the "
                 "paper's guarantee); undetected ones\nexpose the "

@@ -135,6 +135,11 @@ main()
             fatal("cannot open %s", path.c_str());
         srg.dumpJson(f, /*include_host=*/false);
         std::printf("wrote %s\n\n", path.c_str());
+        appendHistory(std::string("ext_rootcause.") + scheme, path,
+                      {{"analyzed", double(aggregate.analyzed)},
+                       {"attributed", double(aggregate.attributed())},
+                       {"total_probes",
+                        double(aggregate.totalProbes)}});
         if (scheme == std::string("turnpike")) {
             exportAvfStats(reg, aggregate.screen);
             exportRootCauseStats(reg, aggregate);

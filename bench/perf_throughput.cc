@@ -169,6 +169,7 @@ main()
         jw.beginObject();
         jw.field("phase", kv.first);
         jw.field("seconds", kv.second.seconds);
+        jw.field("exclusive_seconds", kv.second.exclusiveSeconds);
         jw.field("calls", kv.second.calls);
         jw.endObject();
     }
@@ -176,5 +177,13 @@ main()
     jw.endObject();
     f << '\n';
     std::printf("wrote %s\n", path);
+
+    std::vector<std::pair<std::string, double>> hist;
+    for (const SchemeTotals &t : totals) {
+        hist.emplace_back(t.label + ".mips", t.mips());
+        hist.emplace_back(t.label + ".mcps", t.mcps());
+        hist.emplace_back(t.label + ".seconds", t.seconds);
+    }
+    appendHistory("perf_throughput", path, hist);
     return 0;
 }

@@ -1,7 +1,9 @@
 #include "core/avf.hh"
 
+#include "util/chrome_trace.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 namespace turnpike {
 
@@ -105,7 +107,10 @@ runAvfCampaign(const AvfCampaignConfig &cfg)
 
     // The fault-free golden run: reference image/arch state, and the
     // horizon the strike cycles are drawn from.
-    RunResult golden = runWorkload(cfg.spec, cfg.scheme, cfg.icount);
+    RunOptions goldenOpts;
+    goldenOpts.tracer = cfg.goldenTracer;
+    RunResult golden =
+        runWorkload(cfg.spec, cfg.scheme, cfg.icount, {}, goldenOpts);
 
     AvfReport rep;
     rep.workload = golden.workload;
@@ -129,7 +134,50 @@ runAvfCampaign(const AvfCampaignConfig &cfg)
                                           cfg.sensorMissRate));
         reqs.push_back(std::move(q));
     }
-    std::vector<RunResult> runs = runCampaign(reqs);
+
+    // Observation only: live progress tallies and chrome trial
+    // spans. Classification here is the same pure function applied
+    // again below for the authoritative (submission-ordered) report,
+    // so the hooks cannot change any result.
+    CampaignTelemetry *tel = telemetryForCampaign();
+    ChromeTraceWriter *chrome = activeChromeTrace();
+    CampaignObserver obs;
+    std::vector<uint64_t> spanStartUs;
+    if (tel) {
+        tel->beginCampaign("avf:" + rep.workload + ":" + rep.scheme,
+                           cfg.trials,
+                           {"masked", "recovered", "sdc", "hang"});
+    }
+    if (tel || chrome) {
+        spanStartUs.assign(256, 0);
+        obs.onStart = [&](unsigned w, size_t i) {
+            if (tel)
+                tel->itemStarted(w, i);
+            if (chrome && w < spanStartUs.size())
+                spanStartUs[w] = chrome->nowUs();
+        };
+        obs.onFinish = [&](unsigned w, size_t i,
+                           const RunResult &r) {
+            FaultOutcome o = classifyOutcome(golden, r);
+            if (tel)
+                tel->itemFinished(w, static_cast<int>(o));
+            if (chrome && w < spanStartUs.size()) {
+                uint64_t ts = spanStartUs[w];
+                uint64_t end = chrome->nowUs();
+                chrome->completeEvent(
+                    "trial " + std::to_string(i), "trial",
+                    kChromePidHost, threadChromeTid(), ts,
+                    end > ts ? end - ts : 0,
+                    "\"trial\":" + std::to_string(i) +
+                        ",\"outcome\":\"" + faultOutcomeName(o) +
+                        "\"");
+            }
+        };
+    }
+
+    std::vector<RunResult> runs = runCampaign(reqs, obs);
+    if (tel)
+        tel->endCampaign();
 
     rep.perTrial.reserve(cfg.trials);
     for (uint32_t t = 0; t < cfg.trials; t++) {

@@ -66,6 +66,15 @@ struct AvfCampaignConfig
      * hangFactor * golden cycles + a fixed slack.
      */
     uint64_t hangFactor = 8;
+    /**
+     * Optional tracer attached to the fault-free golden run (not
+     * owned, not used by trials). The golden run executes on the
+     * calling thread before any trial fans out, so a single-stream
+     * sink — including the chrome timeline, where its pipeline
+     * events land beside the campaign's trial spans — needs no
+     * locking against trial runs.
+     */
+    Tracer *goldenTracer = nullptr;
 };
 
 /** One classified injection trial. */

@@ -4,9 +4,21 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "util/chrome_trace.hh"
 #include "util/logging.hh"
 
 namespace turnpike {
+
+namespace {
+/** See currentCampaignWorker(): 0 on any non-pool thread. */
+thread_local unsigned t_workerIndex = 0;
+} // namespace
+
+unsigned
+currentCampaignWorker()
+{
+    return t_workerIndex;
+}
 
 unsigned
 campaignJobs()
@@ -31,7 +43,7 @@ ThreadPool::ThreadPool(unsigned threads)
     threads = std::max(1u, threads);
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; i++)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -66,8 +78,12 @@ ThreadPool::wait()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned index)
 {
+    t_workerIndex = index;
+    // Host-side spans from this thread (trial spans, phase timers
+    // inside a trial) land on the worker's own chrome track.
+    setThreadChromeTid(chromeWorkerTid(index));
     for (;;) {
         std::function<void()> job;
         {
@@ -93,13 +109,25 @@ ThreadPool::workerLoop()
 std::vector<RunResult>
 runCampaign(const std::vector<RunRequest> &requests)
 {
+    return runCampaign(requests, CampaignObserver{});
+}
+
+std::vector<RunResult>
+runCampaign(const std::vector<RunRequest> &requests,
+            const CampaignObserver &observer)
+{
     std::vector<RunResult> results(requests.size());
     auto runOne = [&](size_t i) {
+        unsigned w = currentCampaignWorker();
+        if (observer.onStart)
+            observer.onStart(w, i);
         const RunRequest &q = requests[i];
         results[i] = q.interpretOnly
             ? interpretWorkload(q.spec, q.cfg, q.targetDynInsts)
             : runWorkload(q.spec, q.cfg, q.targetDynInsts, q.faults,
                           q.opts);
+        if (observer.onFinish)
+            observer.onFinish(w, i, results[i]);
     };
 
     size_t jobs = std::min<size_t>(campaignJobs(), requests.size());

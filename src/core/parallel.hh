@@ -61,6 +61,31 @@ struct RunRequest
 unsigned campaignJobs();
 
 /**
+ * The 0-based pool-worker index of the calling thread: 0 on the
+ * main thread (and thus on the serial campaign path), i for the
+ * i-th worker of the innermost ThreadPool the thread belongs to.
+ * Stable for a thread's whole lifetime — telemetry and the chrome
+ * trace use it as the per-worker track id, so track assignment is
+ * identical between runs at equal TURNPIKE_JOBS.
+ */
+unsigned currentCampaignWorker();
+
+/**
+ * Observation hooks for runCampaign(): both run on the worker
+ * thread executing the cell, before/after the run. They must be
+ * observational — results are keyed by submission index regardless,
+ * and the hooks see each index exactly once. Used by the telemetry
+ * layer (progress counters) and the chrome trace (trial spans);
+ * empty functions are skipped, so the plain overload pays nothing.
+ */
+struct CampaignObserver
+{
+    std::function<void(unsigned worker, size_t index)> onStart;
+    std::function<void(unsigned worker, size_t index,
+                       const RunResult &result)> onFinish;
+};
+
+/**
  * Execute every request, spreading the work over campaignJobs()
  * threads, and return the results in submission order: result[i]
  * always corresponds to requests[i], whatever order the cells
@@ -69,6 +94,11 @@ unsigned campaignJobs();
  */
 std::vector<RunResult> runCampaign(
     const std::vector<RunRequest> &requests);
+
+/** runCampaign() with per-cell observation hooks. */
+std::vector<RunResult> runCampaign(
+    const std::vector<RunRequest> &requests,
+    const CampaignObserver &observer);
 
 /**
  * A fixed-size pool of worker threads draining a FIFO job queue.
@@ -104,7 +134,7 @@ class ThreadPool
     }
 
   private:
-    void workerLoop();
+    void workerLoop(unsigned index);
 
     std::mutex mu_;
     std::condition_variable work_cv_;  ///< signals queued work / stop

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "ir/opcode.hh"
+#include "util/chrome_trace.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 namespace turnpike {
 
@@ -221,15 +223,48 @@ runRootCauseAnalysis(const AvfCampaignConfig &cfg)
     GoldenPrefixCache goldenCache;
     std::vector<DivergencePoint> points(harmful.size());
     {
+        // Observation only: the bisection sweep is its own
+        // telemetry campaign (classes = divergence kinds) and each
+        // bisection is a span on its worker's chrome track.
+        CampaignTelemetry *tel = telemetryForCampaign();
+        ChromeTraceWriter *chrome = activeChromeTrace();
+        if (tel) {
+            tel->beginCampaign(
+                "rootcause:" + rep.workload + ":" + rep.scheme,
+                harmful.size(),
+                {"commit", "truncated", "extended", "state_only"});
+        }
         ThreadPool pool(std::min<unsigned>(
             campaignJobs(),
             static_cast<unsigned>(harmful.size())));
         for (size_t i = 0; i < harmful.size(); i++)
-            pool.submit([&, i] {
+            pool.submit([&, i, tel, chrome] {
+                unsigned w = currentCampaignWorker();
+                if (tel)
+                    tel->itemStarted(w, i);
+                uint64_t ts = chrome ? chrome->nowUs() : 0;
                 points[i] = bisectDivergence(replayer, harmful[i],
                                              goldenCache);
+                if (tel)
+                    tel->itemFinished(
+                        w, static_cast<int>(points[i].kind));
+                if (chrome) {
+                    uint64_t end = chrome->nowUs();
+                    chrome->completeEvent(
+                        "bisect trial " +
+                            std::to_string(harmful[i]),
+                        "bisect", kChromePidHost, threadChromeTid(),
+                        ts, end > ts ? end - ts : 0,
+                        "\"kind\":\"" +
+                            std::string(divergenceKindName(
+                                points[i].kind)) +
+                            "\",\"probes\":" +
+                            std::to_string(points[i].probes));
+                }
             });
         pool.wait();
+        if (tel)
+            tel->endCampaign();
     }
 
     // 4. Aggregate in trial order.

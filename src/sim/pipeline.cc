@@ -866,7 +866,16 @@ InOrderPipeline::run(const std::vector<FaultEvent> &faults)
             // so that case skips the computation entirely.
             uint64_t horizon = quiesceHorizon(faults, fault_idx);
             if (horizon > cycle_ + 1) {
-                bookSkippedCycles(horizon - cycle_ - 1);
+                uint64_t skipped = horizon - cycle_ - 1;
+                if (cfg_.tracer && cfg_.tracer->wants(kTraceFf)) {
+                    cfg_.tracer->event(
+                        cycle_, kTraceFf, "ff_window",
+                        "fast-forward " + std::to_string(skipped) +
+                            " quiescent cycles to " +
+                            std::to_string(horizon),
+                        kNoTracePc, kNoTraceOp, cycle_ + 1, skipped);
+                }
+                bookSkippedCycles(skipped);
                 cycle_ = horizon - 1;
             }
         }

@@ -1,6 +1,7 @@
 #include "sim/trace.hh"
 
 #include "ir/opcode.hh"
+#include "util/chrome_trace.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -15,6 +16,7 @@ traceCategoryName(TraceCategory c)
       case kTraceRegions: return "regions";
       case kTraceRecovery: return "recovery";
       case kTraceStalls: return "stalls";
+      case kTraceFf: return "ff";
       default: return "unknown";
     }
 }
@@ -86,8 +88,34 @@ writeEventFields(JsonWriter &jw, const TraceEvent &ev)
 } // namespace
 
 void
+Tracer::renderChrome(const TraceEvent &ev, const std::string &message)
+{
+    ChromeTraceWriter *ct = chrome_ ? chrome_ : activeChromeTrace();
+    if (!ct)
+        return;
+    const char *cat =
+        traceCategoryName(static_cast<TraceCategory>(ev.category));
+    // The simulated timeline maps 1 cycle = 1 us on the sim process
+    // track. Duration-carrying events (fast-forward windows: a =
+    // first skipped cycle, b = window length) become spans; all
+    // other pipeline events are instant marks at their cycle.
+    std::string args = "\"msg\":\"" + jsonEscape(message) + "\"";
+    if (ev.category == kTraceFf && ev.b > 0) {
+        ct->completeEvent(ev.tag, cat, kChromePidSim, kChromeTidMain,
+                          ev.a, ev.b, args);
+        return;
+    }
+    ct->instantEvent(ev.tag, cat, kChromePidSim, kChromeTidMain,
+                     ev.cycle, args);
+}
+
+void
 Tracer::render(const TraceEvent &ev, const std::string &message)
 {
+    if (format_ == TraceFormat::Chrome) {
+        renderChrome(ev, message);
+        return;
+    }
     if (format_ == TraceFormat::Text) {
         // Byte-identical to the pre-structured tracer's line format.
         out_ << ev.cycle << ": " << ev.tag << ": " << message << '\n';
@@ -104,6 +132,26 @@ Tracer::render(const TraceEvent &ev, const std::string &message)
 void
 Tracer::dumpPostmortem(const char *reason)
 {
+    if (format_ == TraceFormat::Chrome) {
+        // Replay the ring as instant marks on the sim track; the
+        // reason rides in args so panic/recovery dumps are
+        // distinguishable in the viewer.
+        ChromeTraceWriter *ct = chrome_ ? chrome_
+                                        : activeChromeTrace();
+        if (!ct)
+            return;
+        std::string args =
+            "\"postmortem\":\"" + jsonEscape(reason) + "\"";
+        for (size_t i = 0; i < ring_size_; i++) {
+            const TraceEvent &ev = ringAt(i);
+            ct->instantEvent(
+                ev.tag,
+                traceCategoryName(
+                    static_cast<TraceCategory>(ev.category)),
+                kChromePidSim, kChromeTidMain, ev.cycle, args);
+        }
+        return;
+    }
     if (format_ == TraceFormat::Text) {
         out_ << "== postmortem (" << reason << "): last "
              << ring_size_ << " events ==\n";

@@ -34,6 +34,8 @@
 
 namespace turnpike {
 
+class ChromeTraceWriter;
+
 /** Event categories; combine with bitwise or. */
 enum TraceCategory : uint32_t {
     kTraceIssue = 1u << 0,    ///< instruction issue
@@ -41,6 +43,7 @@ enum TraceCategory : uint32_t {
     kTraceRegions = 1u << 2,  ///< boundaries and verification
     kTraceRecovery = 1u << 3, ///< faults, detections, recoveries
     kTraceStalls = 1u << 4,   ///< stall-cycle causes
+    kTraceFf = 1u << 5,       ///< quiescent fast-forward windows
     kTraceAll = 0xffffffffu,
 };
 
@@ -67,8 +70,14 @@ struct TraceEvent
     uint16_t opcode = kNoTraceOp; ///< raw Op, if any
 };
 
-/** Rendering of the trace sink. */
-enum class TraceFormat { Text, Jsonl };
+/**
+ * Rendering of the trace sink. Chrome routes events into a
+ * ChromeTraceWriter (the unified timeline document) instead of the
+ * tracer's own stream: simulated events become instant marks — or
+ * spans, for duration-carrying tags like fast-forward windows — on
+ * the "turnpike sim" process track, beside the host phases.
+ */
+enum class TraceFormat { Text, Jsonl, Chrome };
 
 /** Sink for pipeline trace events. */
 class Tracer
@@ -87,6 +96,15 @@ class Tracer
     bool wants(TraceCategory c) const { return categories_ & c; }
 
     TraceFormat format() const { return format_; }
+
+    /**
+     * The chrome document this tracer's events render into when
+     * format() == Chrome. Falls back to the process-wide
+     * activeChromeTrace() when unset; events are dropped if neither
+     * exists. The tracer's own stream is never written in chrome
+     * mode — one writer owns the whole JSON document.
+     */
+    void setChromeSink(ChromeTraceWriter *w) { chrome_ = w; }
 
     /**
      * Emit one event: records the binary part in the post-mortem
@@ -117,10 +135,13 @@ class Tracer
   private:
     void record(const TraceEvent &ev);
     void render(const TraceEvent &ev, const std::string &message);
+    void renderChrome(const TraceEvent &ev,
+                      const std::string &message);
 
     std::ostream &out_;
     uint32_t categories_;
     TraceFormat format_;
+    ChromeTraceWriter *chrome_ = nullptr;
     std::vector<TraceEvent> ring_; ///< fixed-capacity ring storage
     size_t ring_head_ = 0;         ///< slot of the oldest event
     size_t ring_size_ = 0;

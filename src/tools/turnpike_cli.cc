@@ -31,11 +31,13 @@
 #include "machine/mprinter.hh"
 #include "machine/minterp.hh"
 #include "sim/pipeline.hh"
+#include "util/chrome_trace.hh"
 #include "util/logging.hh"
 #include "util/phase_timer.hh"
 #include "util/rng.hh"
 #include "util/stat_registry.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 using namespace turnpike;
 
@@ -80,11 +82,21 @@ usage()
         "  --hang-factor N        Hang budget multiple of the golden "
         "run\n"
         "                         (default 8)\n"
+        "  --progress[=FILE]      live campaign progress: a TTY\n"
+        "                         line on stderr, or heartbeat JSONL "
+        "to FILE\n"
+        "                         (interval: TURNPIKE_PROGRESS_MS, "
+        "default 500)\n"
         "  --trace CATS           comma list of issue,stores,"
-        "regions,recovery,stalls\n"
+        "regions,recovery,stalls,ff\n"
         "  --trace-file PATH      trace destination (default "
         "stderr)\n"
-        "  --trace-format FMT     text | jsonl (default text)\n"
+        "  --trace-format FMT     text | jsonl | chrome "
+        "(default text;\n"
+        "                         chrome requires --trace-file and "
+        "writes a\n"
+        "                         ui.perfetto.dev-loadable "
+        "timeline)\n"
         "  --stats-file PATH      dump a stats registry after the "
         "run\n"
         "  --stats-format FMT     text | json (default text)\n"
@@ -184,6 +196,8 @@ traceMask(const std::string &cats)
             mask |= kTraceRecovery;
         else if (c == "stalls")
             mask |= kTraceStalls;
+        else if (c == "ff")
+            mask |= kTraceFf;
         else if (c == "all")
             mask |= kTraceAll;
         else
@@ -222,6 +236,8 @@ main(int argc, char **argv)
     std::string stats_format = "text";
     uint64_t interval = 0;
     bool interval_per_region = false;
+    bool progress = false;
+    std::string progress_file;
     bool dump_asm = false;
     bool dump_regions = false;
     bool compare_baseline = false;
@@ -288,6 +304,13 @@ main(int argc, char **argv)
             interval = parseU64("--interval", need(i), 0);
         } else if (a == "--interval-per-region") {
             interval_per_region = true;
+        } else if (a == "--progress") {
+            progress = true;
+        } else if (a.rfind("--progress=", 0) == 0) {
+            progress = true;
+            progress_file = a.substr(std::strlen("--progress="));
+            if (progress_file.empty())
+                fatal("--progress= expects a file path");
         } else if (a == "--dump-asm") {
             dump_asm = true;
         } else if (a == "--dump-regions") {
@@ -305,9 +328,13 @@ main(int argc, char **argv)
     const WorkloadSpec &spec = findWorkload(
         workload.substr(0, slash), workload.substr(slash + 1));
 
-    if (trace_format != "text" && trace_format != "jsonl")
-        fatal("--trace-format expects text or jsonl, got '%s'",
-              trace_format.c_str());
+    if (trace_format != "text" && trace_format != "jsonl" &&
+        trace_format != "chrome")
+        fatal("--trace-format expects text, jsonl or chrome, "
+              "got '%s'", trace_format.c_str());
+    if (trace_format == "chrome" && trace_file.empty())
+        fatal("--trace-format chrome requires --trace-file (the "
+              "timeline is a standalone JSON document)");
     if (stats_format != "text" && stats_format != "json")
         fatal("--stats-format expects text or json, got '%s'",
               stats_format.c_str());
@@ -323,29 +350,64 @@ main(int argc, char **argv)
         fatal("--avf, --replay and --root-cause are mutually "
               "exclusive");
 
-    // Shared tracer setup (single runs and --replay).
+    // Shared tracer setup (all run modes). In chrome mode one
+    // ChromeTraceWriter owns the whole timeline document: host
+    // phase timers and campaign trial spans feed it through the
+    // process-wide hook, the pipeline tracer (if --trace was given)
+    // through its chrome sink. Declared after trace_stream so the
+    // document is closed before the stream is.
     std::ofstream trace_stream;
+    std::unique_ptr<ChromeTraceWriter> chrome_writer;
     std::unique_ptr<Tracer> tracer;
     auto makeTracer = [&] {
-        if (trace_cats.empty())
+        bool is_chrome = trace_format == "chrome";
+        if (trace_cats.empty() && !is_chrome)
             return;
-        TraceFormat fmt = trace_format == "jsonl"
-            ? TraceFormat::Jsonl
-            : TraceFormat::Text;
+        TraceFormat fmt = is_chrome ? TraceFormat::Chrome
+            : trace_format == "jsonl" ? TraceFormat::Jsonl
+                                      : TraceFormat::Text;
+        std::ostream *sink = &std::cerr;
         if (!trace_file.empty()) {
             trace_stream.open(trace_file);
             if (!trace_stream)
                 fatal("cannot open trace file %s",
                       trace_file.c_str());
-            tracer = std::make_unique<Tracer>(
-                trace_stream, traceMask(trace_cats), fmt);
-        } else {
-            tracer = std::make_unique<Tracer>(
-                std::cerr, traceMask(trace_cats), fmt);
+            sink = &trace_stream;
         }
-        // Post-mortem: a panic() dumps the last events of the ring.
-        installTracerPanicDump(tracer.get());
+        if (is_chrome) {
+            chrome_writer =
+                std::make_unique<ChromeTraceWriter>(trace_stream);
+            chrome_writer->processName(kChromePidHost,
+                                       "turnpike host");
+            chrome_writer->processName(kChromePidSim,
+                                       "turnpike sim");
+            chrome_writer->threadName(kChromePidHost, kChromeTidMain,
+                                      "main");
+            chrome_writer->threadName(kChromePidSim, kChromeTidMain,
+                                      "pipeline (1 cycle = 1 us)");
+            for (unsigned w = 0; w < campaignJobs(); w++)
+                chrome_writer->threadName(
+                    kChromePidHost, chromeWorkerTid(w),
+                    "worker " + std::to_string(w));
+            setActiveChromeTrace(chrome_writer.get());
+        }
+        if (!trace_cats.empty()) {
+            tracer = std::make_unique<Tracer>(
+                *sink, traceMask(trace_cats), fmt);
+            if (is_chrome)
+                tracer->setChromeSink(chrome_writer.get());
+            // Post-mortem: panic() dumps the last ring events.
+            installTracerPanicDump(tracer.get());
+        }
     };
+
+    if (progress) {
+        uint64_t progress_ms = 500;
+        if (const char *ms = std::getenv("TURNPIKE_PROGRESS_MS"))
+            progress_ms = parseU64("TURNPIKE_PROGRESS_MS", ms, 1);
+        CampaignTelemetry::instance().enable(progress_file,
+                                             progress_ms);
+    }
 
     AvfCampaignConfig acfg;
     acfg.spec = spec;
@@ -395,7 +457,28 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Campaign modes honor the tracer too: it attaches to the
+    // deterministic golden run (main thread), so a chrome timeline
+    // shows pipeline events beside the trial/bisect spans. A ^C
+    // mid-campaign flushes the post-mortem ring and closes the
+    // chrome document before exiting.
+    auto installFlushHooks = [&] {
+        if (!CampaignTelemetry::instance().enabled())
+            return;
+        Tracer *tr = tracer.get();
+        ChromeTraceWriter *cw = chrome_writer.get();
+        CampaignTelemetry::instance().addInterruptFlush([tr, cw] {
+            if (tr)
+                tr->dumpPostmortem("interrupt");
+            if (cw)
+                cw->finish();
+        });
+    };
+
     if (root_cause) {
+        makeTracer();
+        acfg.goldenTracer = tracer.get();
+        installFlushHooks();
         RootCauseReport rep = runRootCauseAnalysis(acfg);
         std::printf("root-cause: %s under %s, %u trials "
                     "(seed %llu)\n"
@@ -431,6 +514,7 @@ main(int argc, char **argv)
             reg.setMeta("fault_seed", std::to_string(fault_seed));
             exportAvfStats(reg, rep.screen);
             exportRootCauseStats(reg, rep);
+            reg.setHostResources(captureHostResources());
             std::ofstream sf(stats_file);
             if (!sf)
                 fatal("cannot open stats file %s",
@@ -446,6 +530,9 @@ main(int argc, char **argv)
     }
 
     if (avf) {
+        makeTracer();
+        acfg.goldenTracer = tracer.get();
+        installFlushHooks();
         AvfReport rep = runAvfCampaign(acfg);
         std::printf("AVF campaign: %s under %s, %u trials, "
                     "miss rate %.2f\n"
@@ -464,6 +551,7 @@ main(int argc, char **argv)
             reg.setMeta("icount", std::to_string(icount));
             reg.setMeta("fault_seed", std::to_string(fault_seed));
             exportAvfStats(reg, rep);
+            reg.setHostResources(captureHostResources());
             std::ofstream sf(stats_file);
             if (!sf)
                 fatal("cannot open stats file %s",
@@ -477,6 +565,10 @@ main(int argc, char **argv)
         }
         return 0;
     }
+
+    // Tracer before the first phase timer: in chrome mode the
+    // build/compile spans must land in the timeline too.
+    makeTracer();
 
     PhaseProfile profile;
     std::unique_ptr<Module> mod;
@@ -524,7 +616,6 @@ main(int argc, char **argv)
     PipelineConfig pcfg = cfg.toPipelineConfig();
     pcfg.statsInterval = interval;
     pcfg.intervalPerRegion = interval_per_region;
-    makeTracer();
     pcfg.tracer = tracer.get();
 
     std::vector<FaultEvent> plan;
@@ -587,6 +678,7 @@ main(int argc, char **argv)
         reg.addScalar("code.recovery_bytes", prog.mf->recoveryBytes(),
                       "recovery block size", "byte");
         reg.setHostProfile(profile);
+        reg.setHostResources(captureHostResources());
         std::ofstream sf(stats_file);
         if (!sf)
             fatal("cannot open stats file %s", stats_file.c_str());

@@ -1,0 +1,141 @@
+#include "util/chrome_trace.hh"
+
+#include <atomic>
+
+#include "util/json.hh"
+
+namespace turnpike {
+
+namespace {
+std::atomic<ChromeTraceWriter *> g_chrome{nullptr};
+thread_local uint64_t t_chromeTid = kChromeTidMain;
+} // namespace
+
+uint64_t
+threadChromeTid()
+{
+    return t_chromeTid;
+}
+
+void
+setThreadChromeTid(uint64_t tid)
+{
+    t_chromeTid = tid;
+}
+
+void
+setActiveChromeTrace(ChromeTraceWriter *w)
+{
+    g_chrome.store(w, std::memory_order_relaxed);
+}
+
+ChromeTraceWriter *
+activeChromeTrace()
+{
+    return g_chrome.load(std::memory_order_relaxed);
+}
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream &out)
+    : out_(out), t0_(std::chrono::steady_clock::now())
+{
+    out_ << "{\"traceEvents\":[\n";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    finish();
+}
+
+uint64_t
+ChromeTraceWriter::nowUs() const
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count());
+}
+
+void
+ChromeTraceWriter::emitCommon(const char *ph, const std::string &name,
+                              const std::string &cat, uint64_t pid,
+                              uint64_t tid, uint64_t ts_us,
+                              const uint64_t *dur_us,
+                              const std::string &args_json)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (finished_)
+        return;
+    if (events_ > 0)
+        out_ << ",\n";
+    out_ << "{\"ph\":\"" << ph << "\",\"name\":\"" << jsonEscape(name)
+         << "\",\"cat\":\"" << jsonEscape(cat) << "\",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"ts\":" << ts_us;
+    if (dur_us)
+        out_ << ",\"dur\":" << *dur_us;
+    if (ph[0] == 'i')
+        out_ << ",\"s\":\"t\"";
+    if (!args_json.empty())
+        out_ << ",\"args\":{" << args_json << "}";
+    out_ << "}";
+    events_++;
+}
+
+void
+ChromeTraceWriter::completeEvent(const std::string &name,
+                                 const std::string &cat, uint64_t pid,
+                                 uint64_t tid, uint64_t ts_us,
+                                 uint64_t dur_us,
+                                 const std::string &args_json)
+{
+    emitCommon("X", name, cat, pid, tid, ts_us, &dur_us, args_json);
+}
+
+void
+ChromeTraceWriter::instantEvent(const std::string &name,
+                                const std::string &cat, uint64_t pid,
+                                uint64_t tid, uint64_t ts_us,
+                                const std::string &args_json)
+{
+    emitCommon("i", name, cat, pid, tid, ts_us, nullptr, args_json);
+}
+
+void
+ChromeTraceWriter::processName(uint64_t pid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (finished_)
+        return;
+    if (events_ > 0)
+        out_ << ",\n";
+    out_ << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":\"" << jsonEscape(name)
+         << "\"}}";
+    events_++;
+}
+
+void
+ChromeTraceWriter::threadName(uint64_t pid, uint64_t tid,
+                              const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (finished_)
+        return;
+    if (events_ > 0)
+        out_ << ",\n";
+    out_ << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+         << jsonEscape(name) << "\"}}";
+    events_++;
+}
+
+void
+ChromeTraceWriter::finish()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (finished_)
+        return;
+    finished_ = true;
+    out_ << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    out_.flush();
+}
+
+} // namespace turnpike

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Chrome trace_event JSON export: one timeline combining host
+ * compiler/simulator phases, campaign trial spans (one track per
+ * worker) and simulated pipeline events, loadable in
+ * ui.perfetto.dev or chrome://tracing.
+ *
+ * Format: the "JSON object format" — {"traceEvents": [...]} — with
+ * the subset of the trace_event spec every viewer supports:
+ *   - "X" complete events (ts + dur, both in microseconds),
+ *   - "i" instant events,
+ *   - "M" metadata events (process_name / thread_name).
+ * Track layout: pid 1 = "turnpike host" (tid 0 main thread, tid w+1
+ * campaign worker w), pid 2 = "turnpike sim" (simulated pipeline
+ * events on a virtual timebase of 1 cycle = 1 us).
+ *
+ * Writes are serialized by an internal mutex: events arrive from
+ * the main thread (phases), campaign workers (trial spans) and the
+ * traced simulation, and interleaved emission must still be one
+ * valid JSON document. Event order in the file is arrival order —
+ * viewers sort by ts, so cross-thread ordering does not matter.
+ *
+ * A process-wide active writer (setActiveChromeTrace) mirrors the
+ * telemetry pattern: phase timers and campaign hooks check a relaxed
+ * atomic pointer and do nothing when no chrome sink is configured.
+ */
+
+#ifndef TURNPIKE_UTIL_CHROME_TRACE_HH_
+#define TURNPIKE_UTIL_CHROME_TRACE_HH_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace turnpike {
+
+/** Track constants: see file comment. */
+constexpr uint64_t kChromePidHost = 1;
+constexpr uint64_t kChromePidSim = 2;
+constexpr uint64_t kChromeTidMain = 0;
+
+/** tid of campaign worker @p w (0-based) on the host process. */
+inline uint64_t
+chromeWorkerTid(unsigned w)
+{
+    return uint64_t(w) + 1;
+}
+
+class ChromeTraceWriter
+{
+  public:
+    /** Starts the document; @p out must outlive the writer. */
+    explicit ChromeTraceWriter(std::ostream &out);
+    ~ChromeTraceWriter();
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    /** Microseconds since this writer was constructed. */
+    uint64_t nowUs() const;
+
+    /**
+     * An "X" span. @p ts_us/@p dur_us are explicit so both host
+     * wall-clock spans (nowUs-based) and simulated cycle spans can
+     * use the same call. @p args_json, when non-empty, must be the
+     * inner text of a JSON object ("\"k\": 1, ...").
+     */
+    void completeEvent(const std::string &name, const std::string &cat,
+                       uint64_t pid, uint64_t tid, uint64_t ts_us,
+                       uint64_t dur_us,
+                       const std::string &args_json = "");
+
+    /** An "i" thread-scoped instant event. */
+    void instantEvent(const std::string &name, const std::string &cat,
+                      uint64_t pid, uint64_t tid, uint64_t ts_us,
+                      const std::string &args_json = "");
+
+    /** "M" process_name / thread_name metadata. */
+    void processName(uint64_t pid, const std::string &name);
+    void threadName(uint64_t pid, uint64_t tid, const std::string &name);
+
+    /** Close the JSON document (idempotent; also run by the dtor). */
+    void finish();
+
+    uint64_t eventsWritten() const { return events_; }
+
+  private:
+    void emitCommon(const char *ph, const std::string &name,
+                    const std::string &cat, uint64_t pid, uint64_t tid,
+                    uint64_t ts_us, const uint64_t *dur_us,
+                    const std::string &args_json);
+
+    std::ostream &out_;
+    std::mutex mu_;
+    uint64_t events_ = 0;
+    bool finished_ = false;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+/** Install/clear the process-wide chrome sink (main thread only). */
+void setActiveChromeTrace(ChromeTraceWriter *w);
+
+/** The active sink, or nullptr — one relaxed load, hook fast path. */
+ChromeTraceWriter *activeChromeTrace();
+
+/**
+ * The chrome tid host-side spans from this thread belong to:
+ * kChromeTidMain by default; the campaign thread pool assigns
+ * chromeWorkerTid(w) to worker w so trial spans and the phase
+ * timers that fire inside a trial land on that worker's track.
+ */
+uint64_t threadChromeTid();
+void setThreadChromeTid(uint64_t tid);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_UTIL_CHROME_TRACE_HH_

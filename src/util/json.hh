@@ -25,27 +25,79 @@
 
 namespace turnpike {
 
-/** Escape @p s for inclusion inside a JSON string literal. */
+/**
+ * Escape @p s for inclusion inside a JSON string literal.
+ *
+ * Control characters get \uXXXX (or the short \n/\t/\r forms);
+ * well-formed UTF-8 multi-byte sequences pass through verbatim; any
+ * byte that is not part of a valid sequence (stray continuation
+ * bytes, overlong encodings, surrogate halves, truncated tails,
+ * Latin-1 high bytes) is replaced with U+FFFD so every emitter in
+ * the repo — stats, JSONL trace, chrome trace — produces valid
+ * JSON no matter what ends up in a name or description.
+ */
 inline std::string
 jsonEscape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
-    for (unsigned char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (c < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += static_cast<char>(c);
+    size_t i = 0;
+    const size_t n = s.size();
+    while (i < n) {
+        unsigned char c = static_cast<unsigned char>(s[i]);
+        if (c < 0x80) {
+            switch (c) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n"; break;
+              case '\t': out += "\\t"; break;
+              case '\r': out += "\\r"; break;
+              default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
             }
+            i++;
+            continue;
+        }
+        // Multi-byte lead: how many continuation bytes, and the
+        // valid range of the first one (catches overlong encodings,
+        // UTF-16 surrogates and > U+10FFFF).
+        size_t len = 0;
+        unsigned char lo = 0x80, hi = 0xbf;
+        if (c >= 0xc2 && c <= 0xdf) {
+            len = 1;
+        } else if (c >= 0xe0 && c <= 0xef) {
+            len = 2;
+            if (c == 0xe0)
+                lo = 0xa0;
+            else if (c == 0xed)
+                hi = 0x9f;
+        } else if (c >= 0xf0 && c <= 0xf4) {
+            len = 3;
+            if (c == 0xf0)
+                lo = 0x90;
+            else if (c == 0xf4)
+                hi = 0x8f;
+        }
+        bool ok = len > 0 && i + len < n;
+        for (size_t k = 1; k <= len && ok; k++) {
+            unsigned char cc = static_cast<unsigned char>(s[i + k]);
+            unsigned char klo = (k == 1) ? lo : 0x80;
+            unsigned char khi = (k == 1) ? hi : 0xbf;
+            if (cc < klo || cc > khi)
+                ok = false;
+        }
+        if (ok) {
+            out.append(s, i, len + 1);
+            i += len + 1;
+        } else {
+            out += "\\ufffd";
+            i++;
         }
     }
     return out;

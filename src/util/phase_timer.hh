@@ -5,37 +5,107 @@
  * runner wraps the simulate/interpret phases, so every stats dump
  * carries a built-in host-performance baseline for perf work.
  *
+ * Each phase records both *inclusive* wall time (construction to
+ * destruction) and *exclusive* wall time (inclusive minus time spent
+ * in nested ScopedPhaseTimers on the same thread): a parent phase
+ * like host.compile that wraps every compile.* pass no longer
+ * double-counts its children in totals. Nesting is tracked with a
+ * per-thread timer stack, so it works even when parent and child
+ * book into different PhaseProfiles that are merged later (exactly
+ * what the runner/compiler pair does).
+ *
+ * Per-phase host resources ride along: getrusage(RUSAGE_THREAD)
+ * user/sys CPU deltas and the max-RSS high-water mark observed at
+ * phase end, so campaign memory growth shows up phase by phase.
+ *
  * Phase times are *host* observations: they never feed back into
  * simulated behaviour, and the stats registry keeps them in a
- * separate section so deterministic dumps can exclude them.
+ * separate section so deterministic dumps can exclude them. When a
+ * chrome trace sink is active (util/chrome_trace.hh) each completed
+ * phase additionally emits an "X" span on this thread's track.
  */
 
 #ifndef TURNPIKE_UTIL_PHASE_TIMER_HH_
 #define TURNPIKE_UTIL_PHASE_TIMER_HH_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
 
+#include <sys/resource.h>
+
+#include "util/chrome_trace.hh"
+
 namespace turnpike {
 
-/** Accumulated wall-clock time of one named phase. */
+/** Accumulated wall-clock time and resources of one named phase. */
 struct PhaseEntry
 {
+    /** Inclusive wall seconds (contains nested phases). */
     double seconds = 0.0;
+    /** Exclusive wall seconds (nested phase time subtracted). */
+    double exclusiveSeconds = 0.0;
+    /** getrusage(RUSAGE_THREAD) CPU deltas across the phase. */
+    double userSeconds = 0.0;
+    double sysSeconds = 0.0;
+    /** Process max RSS (KiB) high-water mark seen at phase end. */
+    uint64_t maxRssKb = 0;
     uint64_t calls = 0;
 };
+
+/** Process-wide getrusage(RUSAGE_SELF) totals for stats dumps. */
+struct HostResources
+{
+    double userSeconds = 0.0;
+    double sysSeconds = 0.0;
+    uint64_t maxRssKb = 0;
+};
+
+inline HostResources
+captureHostResources()
+{
+    HostResources r;
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+        r.userSeconds = double(ru.ru_utime.tv_sec) +
+                        double(ru.ru_utime.tv_usec) * 1e-6;
+        r.sysSeconds = double(ru.ru_stime.tv_sec) +
+                       double(ru.ru_stime.tv_usec) * 1e-6;
+        r.maxRssKb = uint64_t(ru.ru_maxrss);
+    }
+    return r;
+}
 
 /** A set of named phase accumulators (deterministic name order). */
 class PhaseProfile
 {
   public:
-    /** Account one completed execution of @p name. */
+    /**
+     * Account one completed execution of @p name with wall time
+     * only (manual call sites that time a region by hand; treated
+     * as a leaf, so exclusive == inclusive).
+     */
     void add(const std::string &name, double seconds)
     {
         PhaseEntry &e = entries_[name];
         e.seconds += seconds;
+        e.exclusiveSeconds += seconds;
+        e.calls++;
+    }
+
+    /** Account one completed execution with the full sample. */
+    void addSample(const std::string &name, double inclusive,
+                   double exclusive, double user, double sys,
+                   uint64_t rss_kb)
+    {
+        PhaseEntry &e = entries_[name];
+        e.seconds += inclusive;
+        e.exclusiveSeconds += exclusive;
+        e.userSeconds += user;
+        e.sysSeconds += sys;
+        e.maxRssKb = std::max(e.maxRssKb, rss_kb);
         e.calls++;
     }
 
@@ -45,6 +115,10 @@ class PhaseProfile
         for (const auto &kv : other.entries_) {
             PhaseEntry &e = entries_[kv.first];
             e.seconds += kv.second.seconds;
+            e.exclusiveSeconds += kv.second.exclusiveSeconds;
+            e.userSeconds += kv.second.userSeconds;
+            e.sysSeconds += kv.second.sysSeconds;
+            e.maxRssKb = std::max(e.maxRssKb, kv.second.maxRssKb);
             e.calls += kv.second.calls;
         }
     }
@@ -71,8 +145,18 @@ class ScopedPhaseTimer
     ScopedPhaseTimer(PhaseProfile *profile, const char *name)
         : profile_(profile), name_(name)
     {
-        if (profile_)
-            start_ = std::chrono::steady_clock::now();
+        if (!profile_)
+            return;
+        start_ = std::chrono::steady_clock::now();
+        struct rusage ru;
+        if (getrusage(RUSAGE_THREAD, &ru) == 0) {
+            startUser_ = double(ru.ru_utime.tv_sec) +
+                         double(ru.ru_utime.tv_usec) * 1e-6;
+            startSys_ = double(ru.ru_stime.tv_sec) +
+                        double(ru.ru_stime.tv_usec) * 1e-6;
+        }
+        parent_ = t_stack_;
+        t_stack_ = this;
     }
 
     ~ScopedPhaseTimer()
@@ -80,9 +164,36 @@ class ScopedPhaseTimer
         if (!profile_)
             return;
         auto end = std::chrono::steady_clock::now();
-        profile_->add(name_,
-                      std::chrono::duration<double>(end - start_)
-                          .count());
+        double incl =
+            std::chrono::duration<double>(end - start_).count();
+        double excl = incl - childSeconds_;
+        if (excl < 0.0)
+            excl = 0.0;
+        double user = 0.0, sys = 0.0;
+        uint64_t rssKb = 0;
+        struct rusage ru;
+        if (getrusage(RUSAGE_THREAD, &ru) == 0) {
+            user = double(ru.ru_utime.tv_sec) +
+                   double(ru.ru_utime.tv_usec) * 1e-6 - startUser_;
+            sys = double(ru.ru_stime.tv_sec) +
+                  double(ru.ru_stime.tv_usec) * 1e-6 - startSys_;
+            if (user < 0.0)
+                user = 0.0;
+            if (sys < 0.0)
+                sys = 0.0;
+            rssKb = uint64_t(ru.ru_maxrss);
+        }
+        profile_->addSample(name_, incl, excl, user, sys, rssKb);
+        t_stack_ = parent_;
+        if (parent_)
+            parent_->childSeconds_ += incl;
+        if (ChromeTraceWriter *ct = activeChromeTrace()) {
+            uint64_t durUs = uint64_t(incl * 1e6);
+            uint64_t endUs = ct->nowUs();
+            uint64_t tsUs = endUs > durUs ? endUs - durUs : 0;
+            ct->completeEvent(name_, "phase", kChromePidHost,
+                              threadChromeTid(), tsUs, durUs);
+        }
     }
 
     ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
@@ -92,6 +203,13 @@ class ScopedPhaseTimer
     PhaseProfile *profile_;
     const char *name_;
     std::chrono::steady_clock::time_point start_;
+    double startUser_ = 0.0;
+    double startSys_ = 0.0;
+    /** Inclusive seconds of directly nested timers (this thread). */
+    double childSeconds_ = 0.0;
+    ScopedPhaseTimer *parent_ = nullptr;
+    /** Innermost active timer on this thread. */
+    static inline thread_local ScopedPhaseTimer *t_stack_ = nullptr;
 };
 
 } // namespace turnpike

@@ -129,6 +129,13 @@ StatRegistry::setHostProfile(const PhaseProfile &profile)
     host_ = profile;
 }
 
+void
+StatRegistry::setHostResources(const HostResources &res)
+{
+    hostRes_ = res;
+    hasHostRes_ = true;
+}
+
 namespace {
 
 std::string
@@ -218,19 +225,36 @@ StatRegistry::dumpText(std::ostream &out, bool include_host) const
     }
 
     if (include_host && !host_.empty()) {
-        out << "\nhost phase profile:\n";
+        out << "\nhost phase profile (incl / excl):\n";
         for (const auto &kv : host_.entries()) {
-            char buf[64];
-            std::snprintf(buf, sizeof(buf), "%12.6f s  %6llu calls",
+            char buf[128];
+            std::snprintf(buf, sizeof(buf),
+                          "%12.6f s %12.6f s  %6llu calls"
+                          "  u %.3f s  s %.3f s  rss %llu KiB",
                           kv.second.seconds,
+                          kv.second.exclusiveSeconds,
                           static_cast<unsigned long long>(
-                              kv.second.calls));
+                              kv.second.calls),
+                          kv.second.userSeconds,
+                          kv.second.sysSeconds,
+                          static_cast<unsigned long long>(
+                              kv.second.maxRssKb));
             std::string v = buf;
             char name[41];
             std::snprintf(name, sizeof(name), "%-36s",
                           kv.first.c_str());
             out << name << ' ' << v << '\n';
         }
+    }
+    if (include_host && hasHostRes_) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "\nhost resources: max rss %llu KiB, "
+                      "user %.3f s, sys %.3f s\n",
+                      static_cast<unsigned long long>(
+                          hostRes_.maxRssKb),
+                      hostRes_.userSeconds, hostRes_.sysSeconds);
+        out << buf;
     }
 }
 
@@ -330,11 +354,25 @@ StatRegistry::dumpJson(std::ostream &out, bool include_host) const
             jw.beginObject();
             jw.field("phase", kv.first);
             jw.field("seconds", kv.second.seconds);
+            jw.field("exclusive_seconds",
+                     kv.second.exclusiveSeconds);
+            jw.field("user_seconds", kv.second.userSeconds);
+            jw.field("sys_seconds", kv.second.sysSeconds);
+            jw.field("max_rss_kb", kv.second.maxRssKb);
             jw.field("calls", kv.second.calls);
             jw.endObject();
         }
     }
     jw.endArray();
+
+    if (include_host && hasHostRes_) {
+        jw.key("host_resources");
+        jw.beginObject();
+        jw.field("max_rss_kb", hostRes_.maxRssKb);
+        jw.field("user_seconds", hostRes_.userSeconds);
+        jw.field("sys_seconds", hostRes_.sysSeconds);
+        jw.endObject();
+    }
 
     jw.endObject();
     out << '\n';

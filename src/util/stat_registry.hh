@@ -84,6 +84,13 @@ class StatRegistry
     /** Host wall-clock phases (kept apart; see file comment). */
     void setHostProfile(const PhaseProfile &profile);
 
+    /**
+     * Process-wide getrusage totals (max RSS, user/sys CPU). Dumped
+     * in the host section only — like the phase profile, they are
+     * wall-clock observations excluded from deterministic dumps.
+     */
+    void setHostResources(const HostResources &res);
+
     /** Number of registered stats (all kinds, series excluded). */
     size_t size() const { return entries_.size(); }
 
@@ -128,6 +135,8 @@ class StatRegistry
     std::vector<Entry> entries_;
     std::vector<TimeSeries> series_;
     PhaseProfile host_;
+    HostResources hostRes_;
+    bool hasHostRes_ = false;
 };
 
 } // namespace turnpike

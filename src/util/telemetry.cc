@@ -1,0 +1,443 @@
+#include "util/telemetry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <unistd.h>
+
+#include "util/json.hh"
+
+namespace turnpike {
+
+namespace {
+
+/**
+ * The globally visible instance pointer. Campaign hooks load this
+ * with relaxed ordering; it is only ever set while no campaign is
+ * running, and the campaign start/join edges provide the needed
+ * synchronization for everything else.
+ */
+std::atomic<CampaignTelemetry *> g_active{nullptr};
+
+// Async-signal-safe handlers only set flags; the monitor thread
+// polls them. volatile sig_atomic_t is the only type the C standard
+// guarantees for this.
+volatile std::sig_atomic_t g_snapshotRequested = 0;
+volatile std::sig_atomic_t g_interruptRequested = 0;
+
+void
+onSigusr1(int)
+{
+    g_snapshotRequested = 1;
+}
+
+void
+onSigint(int)
+{
+    // First ^C: request a flush. Second ^C before the monitor gets
+    // to it: die immediately with the default disposition so a hung
+    // flush can't trap the user.
+    if (g_interruptRequested) {
+        std::signal(SIGINT, SIG_DFL);
+        std::raise(SIGINT);
+        return;
+    }
+    g_interruptRequested = 1;
+}
+
+} // namespace
+
+CampaignTelemetry &
+CampaignTelemetry::instance()
+{
+    // Leaked on purpose: the monitor thread may outlive main()'s
+    // statics during abnormal exits, and a process-lifetime object
+    // sidesteps destruction-order hazards entirely.
+    static CampaignTelemetry *inst = new CampaignTelemetry();
+    return *inst;
+}
+
+CampaignTelemetry *
+activeTelemetry()
+{
+    return g_active.load(std::memory_order_relaxed);
+}
+
+CampaignTelemetry *
+telemetryForCampaign()
+{
+    if (CampaignTelemetry *t = activeTelemetry())
+        return t;
+    // One-shot environment probe so bench harnesses and library
+    // users get telemetry from TURNPIKE_PROGRESS without plumbing.
+    static bool probed = false;
+    if (probed)
+        return nullptr;
+    probed = true;
+    const char *spec = std::getenv("TURNPIKE_PROGRESS");
+    if (!spec || !*spec)
+        return nullptr;
+    uint64_t ms = 500;
+    if (const char *msEnv = std::getenv("TURNPIKE_PROGRESS_MS")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(msEnv, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            ms = v;
+    }
+    std::string path = std::strcmp(spec, "tty") == 0 ? "" : spec;
+    CampaignTelemetry &t = CampaignTelemetry::instance();
+    t.enable(path, ms);
+    return &t;
+}
+
+void
+CampaignTelemetry::enable(const std::string &path, uint64_t interval_ms)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (path.empty()) {
+        file_.reset();
+    } else {
+        auto f = std::make_unique<std::ofstream>(path,
+                                                 std::ios::trunc);
+        if (!*f) {
+            std::fprintf(stderr,
+                         "turnpike: cannot open progress file %s\n",
+                         path.c_str());
+            return;
+        }
+        file_ = std::move(f);
+    }
+    intervalMs_ = std::max<uint64_t>(1, interval_ms);
+    enabled_.store(true);
+    g_active.store(this, std::memory_order_relaxed);
+    installSignalHandlers();
+}
+
+void
+CampaignTelemetry::disable()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopMonitor_ = true;
+    }
+    cv_.notify_all();
+    if (monitor_.joinable())
+        monitor_.join();
+    std::lock_guard<std::mutex> lk(mu_);
+    stopMonitor_ = false;
+    file_.reset();
+    enabled_.store(false);
+    g_active.store(nullptr, std::memory_order_relaxed);
+}
+
+void
+CampaignTelemetry::installSignalHandlers()
+{
+    std::signal(SIGUSR1, onSigusr1);
+    std::signal(SIGINT, onSigint);
+}
+
+void
+CampaignTelemetry::addInterruptFlush(std::function<void()> fn)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    interruptFlush_.push_back(std::move(fn));
+}
+
+void
+CampaignTelemetry::beginCampaign(const std::string &name,
+                                 uint64_t total_items,
+                                 const std::vector<std::string> &class_names)
+{
+    if (!enabled_.load())
+        return;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        campaign_ = name;
+        totalItems_ = total_items;
+        classNames_ = class_names;
+        if (classNames_.size() > size_t(kMaxProgressClasses))
+            classNames_.resize(kMaxProgressClasses);
+        // Enough slots for any plausible worker count; slots are
+        // tiny and growing mid-campaign would race the monitor.
+        if (workers_.size() < 64)
+            while (workers_.size() < 64)
+                workers_.push_back(std::make_unique<WorkerProgress>());
+        for (auto &w : workers_) {
+            w->started.store(0, std::memory_order_relaxed);
+            w->completed.store(0, std::memory_order_relaxed);
+            for (auto &c : w->classes)
+                c.store(0, std::memory_order_relaxed);
+            w->currentItem.store(0, std::memory_order_relaxed);
+            w->busy.store(0, std::memory_order_relaxed);
+        }
+        campaignStart_ = std::chrono::steady_clock::now();
+        lastTick_ = campaignStart_;
+        rate_ = 0.0;
+        lastCompleted_ = 0;
+        campaignActive_.store(true);
+    }
+    tick("heartbeat");
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!monitor_.joinable())
+            monitor_ = std::thread([this] { monitorLoop(); });
+    }
+}
+
+void
+CampaignTelemetry::endCampaign()
+{
+    if (!enabled_.load() || !campaignActive_.load())
+        return;
+    // tick("final") clears campaignActive_ under tickMu_, so a
+    // monitor heartbeat racing this call either lands before the
+    // final record or is dropped — the final record is always last.
+    tick("final");
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!file_) {
+        // Leave the TTY progress line behind instead of overwriting
+        // it with the next shell prompt.
+        std::fputc('\n', stderr);
+    } else {
+        file_->flush();
+    }
+}
+
+void
+CampaignTelemetry::itemStarted(unsigned worker, uint64_t item)
+{
+    if (worker >= workers_.size())
+        return;
+    WorkerProgress &w = *workers_[worker];
+    w.currentItem.store(item, std::memory_order_relaxed);
+    w.busy.store(1, std::memory_order_relaxed);
+    w.started.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+CampaignTelemetry::itemFinished(unsigned worker, int klass)
+{
+    if (worker >= workers_.size())
+        return;
+    WorkerProgress &w = *workers_[worker];
+    if (klass >= 0 && klass < kMaxProgressClasses)
+        w.classes[klass].fetch_add(1, std::memory_order_relaxed);
+    w.busy.store(0, std::memory_order_relaxed);
+    // completed is bumped last: a monitor snapshot that sees the
+    // completion also sees the class tally (same-thread ordering,
+    // and readers only ever sum these monotone counters).
+    w.completed.fetch_add(1, std::memory_order_relaxed);
+}
+
+ProgressSnapshot
+CampaignTelemetry::snapshot()
+{
+    ProgressSnapshot snap;
+    std::lock_guard<std::mutex> lk(mu_);
+    snap.campaign = campaign_;
+    snap.totalItems = totalItems_;
+    snap.classNames = classNames_;
+    auto now = std::chrono::steady_clock::now();
+    snap.elapsedSeconds =
+        std::chrono::duration<double>(now - campaignStart_).count();
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        const WorkerProgress &w = *workers_[i];
+        // Read completed before classes so the per-class sum can
+        // only exceed, never trail, what we report as completed...
+        // then clamp the other way: totals stay self-consistent.
+        uint64_t done = w.completed.load(std::memory_order_relaxed);
+        uint64_t started = w.started.load(std::memory_order_relaxed);
+        snap.started += started;
+        snap.completed += done;
+        for (int c = 0; c < kMaxProgressClasses; ++c)
+            snap.classCounts[c] +=
+                w.classes[c].load(std::memory_order_relaxed);
+        if (started > 0 || done > 0) {
+            ProgressSnapshot::Worker ws;
+            ws.id = unsigned(i);
+            ws.completed = done;
+            ws.currentItem =
+                w.currentItem.load(std::memory_order_relaxed);
+            ws.busy = w.busy.load(std::memory_order_relaxed) != 0;
+            snap.workers.push_back(ws);
+        }
+    }
+    uint64_t classSum = 0;
+    for (int c = 0; c < kMaxProgressClasses; ++c)
+        classSum += snap.classCounts[c];
+    if (classSum > snap.completed)
+        snap.completed = classSum;
+    if (snap.started < snap.completed)
+        snap.started = snap.completed;
+    snap.ratePerSecond = rate_;
+    if (rate_ > 0.0 && snap.totalItems > snap.completed)
+        snap.etaSeconds = double(snap.totalItems - snap.completed) / rate_;
+    return snap;
+}
+
+void
+CampaignTelemetry::tick(const char *type)
+{
+    std::lock_guard<std::mutex> tg(tickMu_);
+    bool isFinal = std::strcmp(type, "final") == 0;
+    // A monitor tick that raced endCampaign() gets dropped here
+    // instead of writing a record after the final one.
+    if (!isFinal && !campaignActive_.load())
+        return;
+    ProgressSnapshot snap = snapshot();
+    {
+        // Fold this tick's observed progress into the decaying rate
+        // estimate: new_rate = a*instant + (1-a)*old, a=0.3. The
+        // first observation seeds the estimate directly.
+        std::lock_guard<std::mutex> lk(mu_);
+        auto now = std::chrono::steady_clock::now();
+        double dt =
+            std::chrono::duration<double>(now - lastTick_).count();
+        if (dt > 1e-6 && snap.completed >= lastCompleted_) {
+            double instant =
+                double(snap.completed - lastCompleted_) / dt;
+            rate_ = rate_ <= 0.0 ? instant
+                                 : 0.3 * instant + 0.7 * rate_;
+            lastTick_ = now;
+            lastCompleted_ = snap.completed;
+        }
+        snap.ratePerSecond = rate_;
+        snap.etaSeconds =
+            (rate_ > 0.0 && snap.totalItems > snap.completed)
+                ? double(snap.totalItems - snap.completed) / rate_
+                : 0.0;
+    }
+    emitRecord(snap, type);
+    if (isFinal)
+        campaignActive_.store(false);
+}
+
+void
+CampaignTelemetry::emitRecord(const ProgressSnapshot &snap,
+                              const char *type)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    uint64_t seq = seq_.fetch_add(1);
+    if (!file_) {
+        emitTty(snap, std::strcmp(type, "final") == 0);
+        return;
+    }
+    JsonWriter jw(*file_, /*indent_step=*/0);
+    jw.beginObject();
+    jw.field("schema", kProgressSchemaVersion);
+    jw.field("type", type);
+    jw.field("seq", seq);
+    jw.field("elapsed_ms", uint64_t(snap.elapsedSeconds * 1000.0));
+    jw.field("campaign", snap.campaign);
+    jw.field("total", snap.totalItems);
+    jw.field("started", snap.started);
+    jw.field("completed", snap.completed);
+    jw.key("classes");
+    jw.beginObject();
+    for (size_t c = 0; c < snap.classNames.size(); ++c)
+        jw.field(snap.classNames[c], snap.classCounts[c]);
+    jw.endObject();
+    jw.field("rate_per_s", snap.ratePerSecond);
+    jw.field("eta_s", snap.etaSeconds);
+    jw.key("workers");
+    jw.beginArray();
+    for (const auto &w : snap.workers) {
+        jw.beginObject();
+        jw.field("id", uint64_t(w.id));
+        jw.field("completed", w.completed);
+        jw.field("busy", w.busy);
+        jw.field("current_item", w.currentItem);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    jw.newline();
+    file_->flush();
+}
+
+void
+CampaignTelemetry::emitTty(const ProgressSnapshot &snap, bool final_line)
+{
+    // One \r-rewritten line; fits in 80 columns for typical counts.
+    char buf[256];
+    char classes[128] = "";
+    size_t off = 0;
+    for (size_t c = 0;
+         c < snap.classNames.size() && off + 32 < sizeof(classes);
+         ++c) {
+        off += std::snprintf(classes + off, sizeof(classes) - off,
+                             "%s%s=%" PRIu64, c ? " " : "",
+                             snap.classNames[c].c_str(),
+                             snap.classCounts[c]);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\r[%s] %" PRIu64 "/%" PRIu64
+                  " (%.0f%%) %s | %.1f/s eta %.0fs   ",
+                  snap.campaign.c_str(), snap.completed,
+                  snap.totalItems,
+                  snap.totalItems
+                      ? 100.0 * double(snap.completed) /
+                            double(snap.totalItems)
+                      : 100.0,
+                  classes, snap.ratePerSecond, snap.etaSeconds);
+    std::fputs(buf, stderr);
+    if (final_line)
+        std::fflush(stderr);
+}
+
+void
+CampaignTelemetry::monitorLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stopMonitor_) {
+        // Wait in bounded chunks so signal flags set between
+        // heartbeats are serviced within ~200 ms even with a long
+        // TURNPIKE_PROGRESS_MS.
+        uint64_t remaining = intervalMs_;
+        bool woke = false;
+        while (remaining > 0 && !stopMonitor_ && !woke) {
+            uint64_t chunk = std::min<uint64_t>(remaining, 200);
+            cv_.wait_for(lk, std::chrono::milliseconds(chunk));
+            remaining -= chunk;
+            if (g_snapshotRequested || g_interruptRequested)
+                woke = true;
+        }
+        if (stopMonitor_)
+            break;
+        bool wantSnapshot = g_snapshotRequested != 0;
+        bool wantInterrupt = g_interruptRequested != 0;
+        g_snapshotRequested = 0;
+        bool active = campaignActive_.load();
+        lk.unlock();
+        if (wantInterrupt) {
+            if (active)
+                tick("interrupt");
+            std::vector<std::function<void()>> hooks;
+            {
+                std::lock_guard<std::mutex> g(mu_);
+                hooks = interruptFlush_;
+            }
+            for (auto &fn : hooks)
+                fn();
+            std::fputs("\nturnpike: interrupted, partial telemetry "
+                       "flushed\n",
+                       stderr);
+            std::signal(SIGINT, SIG_DFL);
+            std::raise(SIGINT);
+            // Unreachable in practice; keep the loop well-formed.
+            lk.lock();
+            continue;
+        }
+        if (active)
+            tick(wantSnapshot ? "snapshot" : "heartbeat");
+        lk.lock();
+    }
+}
+
+} // namespace turnpike

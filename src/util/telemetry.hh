@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Live campaign telemetry: lock-free per-worker progress counters, a
+ * monitor thread that periodically snapshots them into either a TTY
+ * progress line or machine-readable heartbeat JSONL, an ETA from a
+ * decaying trial-rate estimate, and signal handlers (SIGUSR1 dumps an
+ * on-demand snapshot, SIGINT flushes registered sinks before exit).
+ *
+ * Strictly observational: workers bump relaxed atomics that nothing
+ * in the simulation ever reads back, so enabling telemetry cannot
+ * perturb any deterministic output — campaign results, stats dumps,
+ * traces and bench JSON stay byte-identical with telemetry off or
+ * on (pinned by tests/telemetry_test.cc). Off is the default and
+ * costs one relaxed pointer load per trial (activeTelemetry()).
+ *
+ * The layer is generic so core/avf and core/rootcause can both use
+ * it: a campaign is N items, each finishing in one of up to
+ * kMaxProgressClasses named outcome classes ("masked"/"sdc"/... for
+ * an AVF campaign, divergence kinds for a bisection sweep).
+ *
+ * Enabling:
+ *  - programmatically (the CLI's --progress[=FILE] flag calls
+ *    enable()), or
+ *  - lazily from the environment on the first beginCampaign():
+ *    TURNPIKE_PROGRESS=FILE|tty turns it on inside any campaign
+ *    user (the bench harnesses included) without code changes.
+ *  - TURNPIKE_PROGRESS_MS sets the monitor period (default 500).
+ */
+
+#ifndef TURNPIKE_UTIL_TELEMETRY_HH_
+#define TURNPIKE_UTIL_TELEMETRY_HH_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace turnpike {
+
+/** Outcome classes a campaign may tally (AVF uses 4, rootcause 4). */
+constexpr int kMaxProgressClasses = 8;
+
+/**
+ * One worker's progress slot. Written with relaxed atomics by
+ * exactly one worker thread; read (racily but coherently, counter by
+ * counter) by the monitor thread. Padded so two workers never share
+ * a cache line — the hooks must not create false sharing between
+ * otherwise independent trial simulations.
+ */
+struct alignas(64) WorkerProgress
+{
+    std::atomic<uint64_t> started{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> classes[kMaxProgressClasses] = {};
+    /** Item index currently being executed (valid while busy). */
+    std::atomic<uint64_t> currentItem{0};
+    /** 1 while a trial is in flight on this worker. */
+    std::atomic<uint32_t> busy{0};
+};
+
+/** A coherent-enough snapshot the monitor assembles every tick. */
+struct ProgressSnapshot
+{
+    std::string campaign;
+    uint64_t totalItems = 0;
+    uint64_t started = 0;
+    uint64_t completed = 0;
+    uint64_t classCounts[kMaxProgressClasses] = {};
+    std::vector<std::string> classNames;
+    double elapsedSeconds = 0.0;
+    /** Decayed trials/second estimate (0 until the first progress). */
+    double ratePerSecond = 0.0;
+    /** Remaining / rate; 0 when the rate is still unknown. */
+    double etaSeconds = 0.0;
+    struct Worker
+    {
+        unsigned id = 0;
+        uint64_t completed = 0;
+        uint64_t currentItem = 0;
+        bool busy = false;
+    };
+    std::vector<Worker> workers;
+};
+
+/** The heartbeat JSONL schema version tag. */
+constexpr const char *kProgressSchemaVersion = "turnpike-progress-v1";
+
+/** See the file comment. One instance per process (instance()). */
+class CampaignTelemetry
+{
+  public:
+    /**
+     * Turn telemetry on: heartbeat JSONL to @p path, or a TTY
+     * progress line on stderr when @p path is empty. @p interval_ms
+     * is clamped to >= 1. Idempotent reconfiguration is allowed
+     * between campaigns, not during one.
+     */
+    void enable(const std::string &path, uint64_t interval_ms);
+
+    /** Stop the monitor thread and close the sink. */
+    void disable();
+
+    bool enabled() const { return enabled_.load(); }
+
+    /**
+     * Start a campaign of @p total_items items whose outcomes fall
+     * into @p class_names (at most kMaxProgressClasses). Resets all
+     * worker slots, emits an immediate seq-0 heartbeat, and starts
+     * the monitor if needed. Campaigns never nest; sequential
+     * campaigns in one process are fine.
+     */
+    void beginCampaign(const std::string &name, uint64_t total_items,
+                       const std::vector<std::string> &class_names);
+
+    /**
+     * Finish the campaign: emits the final record, whose counts are
+     * exact campaign totals (every itemFinished happened-before this
+     * call — the campaign runner joins its workers first).
+     */
+    void endCampaign();
+
+    // -- worker hooks (any thread, lock-free) ----------------------
+    void itemStarted(unsigned worker, uint64_t item);
+    /** @p klass indexes the class_names of the current campaign. */
+    void itemFinished(unsigned worker, int klass);
+
+    // -- signals ---------------------------------------------------
+    /**
+     * Install the SIGUSR1 (on-demand snapshot) and SIGINT (flush
+     * sinks, then re-raise) handlers. Called by enable(); safe to
+     * call more than once.
+     */
+    void installSignalHandlers();
+
+    /**
+     * Register a sink-flush hook run (on the monitor thread) when
+     * SIGINT arrives mid-campaign: the CLI registers the tracer's
+     * post-mortem dump and the chrome-trace close here so a ^C'd
+     * multi-hour campaign still leaves usable artifacts behind.
+     */
+    void addInterruptFlush(std::function<void()> fn);
+
+    /** Assemble a snapshot now (monitor thread and tests). */
+    ProgressSnapshot snapshot();
+
+    /** Heartbeat/TTY records emitted so far (tests). */
+    uint64_t recordsEmitted() const { return seq_.load(); }
+
+    /** The process-wide instance (never destroyed). */
+    static CampaignTelemetry &instance();
+
+    CampaignTelemetry() = default;
+    CampaignTelemetry(const CampaignTelemetry &) = delete;
+    CampaignTelemetry &operator=(const CampaignTelemetry &) = delete;
+
+  private:
+    void monitorLoop();
+    void emitRecord(const ProgressSnapshot &snap, const char *type);
+    void emitTty(const ProgressSnapshot &snap, bool final_line);
+    /** Emit one record of @p type under lock; updates the rate. */
+    void tick(const char *type);
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> seq_{0};
+
+    std::mutex mu_;                ///< sink + campaign metadata
+    std::mutex tickMu_;            ///< serializes whole ticks
+    std::condition_variable cv_;   ///< wakes/stops the monitor
+    std::unique_ptr<std::ostream> file_; ///< null = TTY mode
+    uint64_t intervalMs_ = 500;
+    bool stopMonitor_ = false;
+    std::thread monitor_;
+
+    // Campaign metadata (written in beginCampaign under mu_).
+    std::string campaign_;
+    uint64_t totalItems_ = 0;
+    std::vector<std::string> classNames_;
+    std::atomic<bool> campaignActive_{false};
+    std::chrono::steady_clock::time_point campaignStart_;
+
+    // Decaying rate estimate state (monitor thread only).
+    double rate_ = 0.0;
+    uint64_t lastCompleted_ = 0;
+    std::chrono::steady_clock::time_point lastTick_;
+
+    std::vector<std::unique_ptr<WorkerProgress>> workers_;
+    std::vector<std::function<void()>> interruptFlush_;
+};
+
+/**
+ * The process telemetry instance when enabled, nullptr otherwise:
+ * the one-relaxed-load fast path the campaign hooks test. Campaign
+ * entry points (beginCampaign callers) should use
+ * telemetryForCampaign() instead, which also honors the environment.
+ */
+CampaignTelemetry *activeTelemetry();
+
+/**
+ * activeTelemetry(), but on first use also consults
+ * TURNPIKE_PROGRESS/TURNPIKE_PROGRESS_MS so campaigns inside bench
+ * harnesses can be watched without CLI plumbing. Returns nullptr
+ * when telemetry is off everywhere.
+ */
+CampaignTelemetry *telemetryForCampaign();
+
+} // namespace turnpike
+
+#endif // TURNPIKE_UTIL_TELEMETRY_HH_

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Observability-layer tests: phase-timer inclusive/exclusive nesting,
+ * the chrome trace_event writer, campaign heartbeat telemetry (file
+ * contract + final-equals-totals), telemetry perturbation-freedom,
+ * and the jsonEscape UTF-8 torture cases.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/avf.hh"
+#include "util/chrome_trace.hh"
+#include "util/json.hh"
+#include "util/phase_timer.hh"
+#include "util/telemetry.hh"
+#include "workloads/suite.hh"
+
+using namespace turnpike;
+
+namespace {
+
+void
+spin(std::chrono::milliseconds d)
+{
+    // Busy-wait: sleep_for can oversleep by whole scheduler quanta,
+    // which would swamp the nesting arithmetic the tests check.
+    auto until = std::chrono::steady_clock::now() + d;
+    while (std::chrono::steady_clock::now() < until) {
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Phase-timer nesting: exclusive time must exclude children.
+// ---------------------------------------------------------------
+
+TEST(PhaseNesting, ExclusiveExcludesChildren)
+{
+    PhaseProfile p;
+    {
+        ScopedPhaseTimer parent(&p, "parent");
+        spin(std::chrono::milliseconds(5));
+        {
+            ScopedPhaseTimer child(&p, "child");
+            spin(std::chrono::milliseconds(10));
+        }
+        {
+            ScopedPhaseTimer child(&p, "child");
+            spin(std::chrono::milliseconds(10));
+        }
+        spin(std::chrono::milliseconds(5));
+    }
+    const auto &e = p.entries();
+    ASSERT_EQ(e.count("parent"), 1u);
+    ASSERT_EQ(e.count("child"), 1u);
+    const PhaseEntry &parent = e.at("parent");
+    const PhaseEntry &child = e.at("child");
+    EXPECT_EQ(parent.calls, 1u);
+    EXPECT_EQ(child.calls, 2u);
+    // Children are leaves: exclusive == inclusive.
+    EXPECT_DOUBLE_EQ(child.seconds, child.exclusiveSeconds);
+    EXPECT_GE(child.seconds, 0.020 * 0.9);
+    // Parent inclusive covers everything; exclusive subtracts the
+    // children exactly (same-thread stack accounting, no sampling).
+    EXPECT_GE(parent.seconds, parent.exclusiveSeconds);
+    EXPECT_NEAR(parent.seconds - parent.exclusiveSeconds,
+                child.seconds, 1e-9);
+    EXPECT_GE(parent.exclusiveSeconds, 0.010 * 0.9);
+    EXPECT_LT(parent.exclusiveSeconds, parent.seconds);
+}
+
+TEST(PhaseNesting, CrossProfileNestingStillSubtracts)
+{
+    // The runner/compiler shape: parent books into one profile, the
+    // nested child into another that is merged afterwards. The
+    // per-thread timer stack is what links them, not the profile.
+    PhaseProfile outer, inner;
+    {
+        ScopedPhaseTimer parent(&outer, "host.compile");
+        ScopedPhaseTimer child(&inner, "compile.pass");
+        spin(std::chrono::milliseconds(8));
+    }
+    outer.merge(inner);
+    const PhaseEntry &parent = outer.entries().at("host.compile");
+    const PhaseEntry &child = outer.entries().at("compile.pass");
+    EXPECT_NEAR(parent.seconds - parent.exclusiveSeconds,
+                child.seconds, 1e-9);
+    EXPECT_LT(parent.exclusiveSeconds, parent.seconds * 0.5);
+}
+
+TEST(PhaseNesting, ManualAddIsLeaf)
+{
+    PhaseProfile p;
+    p.add("host.simulate", 1.5);
+    p.add("host.simulate", 0.5);
+    const PhaseEntry &e = p.entries().at("host.simulate");
+    EXPECT_DOUBLE_EQ(e.seconds, 2.0);
+    EXPECT_DOUBLE_EQ(e.exclusiveSeconds, 2.0);
+    EXPECT_EQ(e.calls, 2u);
+}
+
+TEST(PhaseNesting, NullProfileIsNoop)
+{
+    ScopedPhaseTimer t(nullptr, "ignored");
+    // Nothing to assert beyond "does not crash / does not touch the
+    // thread stack": a following nested timer must still pair up.
+    PhaseProfile p;
+    {
+        ScopedPhaseTimer real(&p, "real");
+    }
+    EXPECT_DOUBLE_EQ(p.entries().at("real").seconds,
+                     p.entries().at("real").exclusiveSeconds);
+}
+
+// ---------------------------------------------------------------
+// Chrome trace writer.
+// ---------------------------------------------------------------
+
+TEST(ChromeTrace, DocumentStructure)
+{
+    std::ostringstream os;
+    {
+        ChromeTraceWriter w(os);
+        w.processName(kChromePidHost, "turnpike host");
+        w.threadName(kChromePidHost, kChromeTidMain, "main");
+        w.completeEvent("trial 0", "trial", kChromePidHost,
+                        chromeWorkerTid(0), 100, 250,
+                        "\"outcome\": \"sdc\"");
+        w.instantEvent("ff_window", "ff", kChromePidSim,
+                       kChromeTidMain, 4242);
+        EXPECT_EQ(w.eventsWritten(), 4u);
+        w.finish();
+        w.finish(); // idempotent
+        EXPECT_EQ(w.eventsWritten(), 4u);
+    }
+    std::string doc = os.str();
+    EXPECT_EQ(doc.rfind("{\"traceEvents\":[", 0), 0u) << doc;
+    EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(doc.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(doc.find("\"dur\":250"), std::string::npos);
+    EXPECT_NE(doc.find("\"outcome\": \"sdc\""), std::string::npos);
+    // Exactly one document: finish() twice must not re-emit the
+    // closing bracket.
+    size_t first = doc.find("]");
+    EXPECT_EQ(doc.find("]", first + 1), std::string::npos);
+}
+
+TEST(ChromeTrace, PhaseTimerEmitsSpanWhenActive)
+{
+    std::ostringstream os;
+    ChromeTraceWriter w(os);
+    setActiveChromeTrace(&w);
+    PhaseProfile p;
+    {
+        ScopedPhaseTimer t(&p, "host.unit_phase");
+        spin(std::chrono::milliseconds(1));
+    }
+    setActiveChromeTrace(nullptr);
+    w.finish();
+    EXPECT_EQ(w.eventsWritten(), 1u);
+    EXPECT_NE(os.str().find("\"name\":\"host.unit_phase\""),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"cat\":\"phase\""), std::string::npos);
+}
+
+TEST(ChromeTrace, WorkerTidMapping)
+{
+    EXPECT_EQ(chromeWorkerTid(0), 1u);
+    EXPECT_EQ(chromeWorkerTid(7), 8u);
+    uint64_t before = threadChromeTid();
+    setThreadChromeTid(chromeWorkerTid(3));
+    EXPECT_EQ(threadChromeTid(), 4u);
+    setThreadChromeTid(before);
+}
+
+// ---------------------------------------------------------------
+// Campaign telemetry heartbeats.
+// ---------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream f(path);
+    std::vector<std::string> lines;
+    for (std::string l; std::getline(f, l);)
+        if (!l.empty())
+            lines.push_back(l);
+    return lines;
+}
+
+long
+extractInt(const std::string &line, const std::string &key)
+{
+    size_t pos = line.find("\"" + key + "\":");
+    if (pos == std::string::npos)
+        return -1;
+    return std::strtol(line.c_str() + pos + key.size() + 3, nullptr,
+                       10);
+}
+
+} // namespace
+
+TEST(Telemetry, HeartbeatFileContract)
+{
+    const char *path = "telemetry_test_prog.jsonl";
+    std::remove(path);
+    CampaignTelemetry &tel = CampaignTelemetry::instance();
+    tel.enable(path, /*interval_ms=*/10);
+    tel.beginCampaign("unit", 6, {"alpha", "beta"});
+    for (int i = 0; i < 6; i++) {
+        tel.itemStarted(0, uint64_t(i));
+        spin(std::chrono::milliseconds(8));
+        tel.itemFinished(0, i < 4 ? 0 : 1);
+    }
+    tel.endCampaign();
+    tel.disable();
+
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_GE(lines.size(), 2u) << "need seq-0 heartbeat + final";
+    long prevSeq = -1, prevDone = -1;
+    for (const std::string &l : lines) {
+        EXPECT_EQ(l.rfind("{\"schema\":\"turnpike-progress-v1\"", 0),
+                  0u)
+            << l;
+        long seq = extractInt(l, "seq");
+        long done = extractInt(l, "completed");
+        EXPECT_GT(seq, prevSeq) << "seq must strictly increase: " << l;
+        EXPECT_GE(done, prevDone) << "completed went backwards: " << l;
+        EXPECT_GE(extractInt(l, "started"), done) << l;
+        prevSeq = seq;
+        prevDone = done;
+    }
+    // Final record carries the exact campaign totals.
+    const std::string &last = lines.back();
+    EXPECT_NE(last.find("\"type\":\"final\""), std::string::npos);
+    EXPECT_EQ(extractInt(last, "completed"), 6);
+    EXPECT_EQ(extractInt(last, "total"), 6);
+    EXPECT_EQ(extractInt(last, "alpha"), 4);
+    EXPECT_EQ(extractInt(last, "beta"), 2);
+    std::remove(path);
+}
+
+TEST(Telemetry, DisabledIsNullAndHooksAreSafe)
+{
+    EXPECT_EQ(activeTelemetry(), nullptr);
+    // Hook calls with telemetry disabled must be harmless (the
+    // campaign code calls through a nullptr check, but the methods
+    // themselves also tolerate a dead campaign).
+    CampaignTelemetry &tel = CampaignTelemetry::instance();
+    tel.itemStarted(0, 0);
+    tel.itemFinished(0, 0);
+}
+
+TEST(Telemetry, CampaignResultsIdenticalOnOrOff)
+{
+    AvfCampaignConfig cfg;
+    cfg.spec = findWorkload("SPLASH3", "radix");
+    cfg.scheme = ResilienceConfig::turnpike(20);
+    cfg.icount = 5000;
+    cfg.trials = 4;
+    cfg.seed = 99;
+    cfg.sensorMissRate = 0.25;
+
+    AvfReport off = runAvfCampaign(cfg);
+
+    const char *path = "telemetry_test_avf_prog.jsonl";
+    std::remove(path);
+    CampaignTelemetry &tel = CampaignTelemetry::instance();
+    tel.enable(path, 25);
+    AvfReport on = runAvfCampaign(cfg);
+    tel.disable();
+
+    // Telemetry is observational: identical classification, counts
+    // and cycle numbers with the hooks live.
+    EXPECT_EQ(off.goldenCycles, on.goldenCycles);
+    ASSERT_EQ(off.perTrial.size(), on.perTrial.size());
+    for (size_t i = 0; i < off.perTrial.size(); i++) {
+        EXPECT_EQ(off.perTrial[i].outcome, on.perTrial[i].outcome);
+        EXPECT_EQ(off.perTrial[i].cycles, on.perTrial[i].cycles);
+    }
+    for (int t = 0; t < kNumFaultTargets; t++)
+        for (int o = 0; o < kNumFaultOutcomes; o++)
+            EXPECT_EQ(off.counts[t][o], on.counts[t][o]);
+
+    // And the heartbeat final record matched the campaign size.
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_GE(lines.size(), 2u);
+    EXPECT_EQ(extractInt(lines.back(), "completed"), 4);
+    std::remove(path);
+}
+
+// ---------------------------------------------------------------
+// jsonEscape UTF-8 torture.
+// ---------------------------------------------------------------
+
+TEST(JsonEscape, AsciiAndControlChars)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("\n\t\r"), "\\n\\t\\r");
+    EXPECT_EQ(jsonEscape(std::string("\x01\x1f", 2)),
+              "\\u0001\\u001f");
+    EXPECT_EQ(jsonEscape(std::string("\0", 1)), "\\u0000");
+}
+
+TEST(JsonEscape, ValidUtf8PassesThrough)
+{
+    EXPECT_EQ(jsonEscape("\xc3\xa9"), "\xc3\xa9");          // é
+    EXPECT_EQ(jsonEscape("\xe2\x82\xac"), "\xe2\x82\xac");  // €
+    EXPECT_EQ(jsonEscape("\xf0\x9f\x92\xa9"),
+              "\xf0\x9f\x92\xa9");                          // 💩
+    EXPECT_EQ(jsonEscape("a\xc3\xa9z"), "a\xc3\xa9z");
+}
+
+TEST(JsonEscape, InvalidBytesBecomeReplacement)
+{
+    // Stray continuation byte.
+    EXPECT_EQ(jsonEscape("\x80"), "\\ufffd");
+    // Latin-1 high byte that is not a UTF-8 lead.
+    EXPECT_EQ(jsonEscape("\xff"), "\\ufffd");
+    // Overlong "/" (C0 AF): both bytes invalid individually.
+    EXPECT_EQ(jsonEscape("\xc0\xaf"), "\\ufffd\\ufffd");
+    // Overlong 3-byte (E0 80 80).
+    EXPECT_EQ(jsonEscape("\xe0\x80\x80"),
+              "\\ufffd\\ufffd\\ufffd");
+    // UTF-16 surrogate half U+D800 (ED A0 80) must not pass.
+    EXPECT_EQ(jsonEscape("\xed\xa0\x80"),
+              "\\ufffd\\ufffd\\ufffd");
+    // Beyond U+10FFFF (F5 ...).
+    EXPECT_EQ(jsonEscape("\xf5\x80\x80\x80"),
+              "\\ufffd\\ufffd\\ufffd\\ufffd");
+    // Truncated tail at end of string.
+    EXPECT_EQ(jsonEscape("ok\xe2\x82"), "ok\\ufffd\\ufffd");
+    // Valid text resumes after damage.
+    EXPECT_EQ(jsonEscape("a\x80z"), "a\\ufffdz");
+}
+
+TEST(JsonEscape, WriterProducesParseableStrings)
+{
+    std::ostringstream os;
+    {
+        JsonWriter jw(os, 0);
+        jw.beginObject();
+        jw.field("k", std::string("bad\x80mix\xc3\xa9\n"));
+        jw.endObject();
+    }
+    EXPECT_EQ(os.str(), "{\"k\":\"bad\\ufffdmix\xc3\xa9\\n\"}");
+}

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json sets and flag perf/metric regressions.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [options]
+
+BASELINE and CURRENT are either two directories (every BENCH_*.json
+present in both is compared; files present in only one side are
+reported) or two individual JSON files.
+
+Understands both shapes the bench harnesses emit:
+  - turnpike-stats-v1 dumps (BENCH_avf_*.json, BENCH_rootcause.json):
+    every scalar/formula stat becomes a metric;
+  - the throughput shape (BENCH_sim_throughput.json): each scheme's
+    numeric fields become "<label>.<field>" metrics.
+
+Wall-clock metrics (seconds / mips / mcps and host phases) are noisy
+across machines, so they are IGNORED unless --include-wallclock is
+given; deterministic counters are compared at --tolerance (relative,
+default 0: the simulator is deterministic, so any drift is a real
+behavior change worth a look).
+
+Options:
+  --tolerance PCT          default relative tolerance in percent
+                           (default 0.0)
+  --metric-tolerance GLOB=PCT
+                           per-metric override, first match wins;
+                           repeatable (e.g. 'avf.rate.*=10')
+  --include-wallclock      compare wall-clock metrics too (use a
+                           generous tolerance)
+  --json                   emit the machine-readable verdict object
+                           on stdout instead of the human table
+
+Exit status: 0 = no regression, 1 = at least one metric beyond
+tolerance (or a malformed/missing input), which is what the CI gate
+keys on. stdlib only.
+"""
+
+import argparse
+import fnmatch
+import glob
+import json
+import os
+import sys
+
+WALLCLOCK_SUFFIXES = ("seconds", "mips", "mcps", "rate_per_s",
+                      "eta_s", "max_rss_kb")
+
+
+def is_wallclock(name):
+    short = name.rsplit(".", 1)[-1]
+    return short.endswith(WALLCLOCK_SUFFIXES) or \
+        name.startswith("host.")
+
+
+def flatten(doc):
+    """Metric name -> numeric value for either bench JSON shape."""
+    metrics = {}
+    if not isinstance(doc, dict):
+        return metrics
+    if doc.get("schema") == "turnpike-stats-v1":
+        for s in doc.get("stats", []):
+            if isinstance(s, dict) and \
+               isinstance(s.get("name"), str) and \
+               isinstance(s.get("value"), (int, float)):
+                metrics[s["name"]] = s["value"]
+        return metrics
+    for sch in doc.get("schemes", []):
+        if not isinstance(sch, dict):
+            continue
+        label = sch.get("label", "?")
+        for k, v in sch.items():
+            if k != "label" and isinstance(v, (int, float)):
+                metrics[f"{label}.{k}"] = v
+    for ph in doc.get("phases", []):
+        if isinstance(ph, dict) and isinstance(ph.get("phase"), str):
+            for k in ("seconds", "exclusive_seconds"):
+                if isinstance(ph.get(k), (int, float)):
+                    metrics[f"host.{ph['phase']}.{k}"] = ph[k]
+    return metrics
+
+
+def tolerance_for(name, default_pct, overrides):
+    for pattern, pct in overrides:
+        if fnmatch.fnmatch(name, pattern):
+            return pct
+    return default_pct
+
+
+def compare_file(rel, base_doc, cur_doc, args, overrides):
+    base = flatten(base_doc)
+    cur = flatten(cur_doc)
+    rows = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in base or name not in cur:
+            rows.append({"metric": name, "status": "missing",
+                         "file": rel,
+                         "side": "current" if name in base
+                                 else "baseline"})
+            continue
+        if is_wallclock(name) and not args.include_wallclock:
+            rows.append({"metric": name, "status": "ignored",
+                         "file": rel, "baseline": base[name],
+                         "current": cur[name]})
+            continue
+        b, c = base[name], cur[name]
+        if b == c:
+            delta_pct = 0.0
+        elif b == 0:
+            delta_pct = float("inf")
+        else:
+            delta_pct = abs(c - b) / abs(b) * 100.0
+        tol = tolerance_for(name, args.tolerance, overrides)
+        status = "ok" if delta_pct <= tol else "regression"
+        rows.append({"metric": name, "status": status, "file": rel,
+                     "baseline": b, "current": c,
+                     "delta_pct": delta_pct, "tolerance_pct": tol})
+    return rows
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        usage="bench_compare.py BASELINE CURRENT [options]")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.0)
+    ap.add_argument("--metric-tolerance", action="append",
+                    default=[], metavar="GLOB=PCT")
+    ap.add_argument("--include-wallclock", action="store_true")
+    ap.add_argument("--json", action="store_true", dest="as_json")
+    args = ap.parse_args(argv[1:])
+
+    overrides = []
+    for spec in args.metric_tolerance:
+        pattern, eq, pct = spec.partition("=")
+        if not eq:
+            print(f"bad --metric-tolerance '{spec}' (want GLOB=PCT)",
+                  file=sys.stderr)
+            return 1
+        overrides.append((pattern, float(pct)))
+
+    pairs = []  # (relative name, baseline path, current path)
+    problems = []
+    if os.path.isdir(args.baseline) and os.path.isdir(args.current):
+        base_files = {os.path.basename(p): p for p in
+                      glob.glob(os.path.join(args.baseline,
+                                             "BENCH_*.json"))}
+        cur_files = {os.path.basename(p): p for p in
+                     glob.glob(os.path.join(args.current,
+                                            "BENCH_*.json"))}
+        for name in sorted(set(base_files) | set(cur_files)):
+            if name in base_files and name in cur_files:
+                pairs.append((name, base_files[name],
+                              cur_files[name]))
+            else:
+                side = "current" if name in base_files else "baseline"
+                problems.append(f"{name}: missing on {side} side")
+        if not pairs and not problems:
+            problems.append("no BENCH_*.json files found")
+    elif os.path.isfile(args.baseline) and os.path.isfile(args.current):
+        pairs.append((os.path.basename(args.current), args.baseline,
+                      args.current))
+    else:
+        problems.append("BASELINE and CURRENT must both be "
+                        "directories or both files")
+
+    rows = []
+    for rel, bpath, cpath in pairs:
+        try:
+            rows += compare_file(rel, load(bpath), load(cpath),
+                                 args, overrides)
+        except (OSError, ValueError) as e:
+            problems.append(f"{rel}: {e}")
+
+    regressions = [r for r in rows
+                   if r["status"] in ("regression", "missing")]
+    verdict = {
+        "verdict": "regression" if regressions or problems else "ok",
+        "compared": sum(1 for r in rows if r["status"] == "ok") +
+                    len(regressions),
+        "ignored_wallclock": sum(1 for r in rows
+                                 if r["status"] == "ignored"),
+        "regressions": regressions,
+        "problems": problems,
+    }
+
+    if args.as_json:
+        json.dump(verdict, sys.stdout, indent=2)
+        print()
+    else:
+        for p in problems:
+            print(f"PROBLEM  {p}")
+        for r in rows:
+            if r["status"] == "regression":
+                print(f"REGRESS  {r['file']}: {r['metric']} "
+                      f"{r['baseline']} -> {r['current']} "
+                      f"({r['delta_pct']:.2f}% > "
+                      f"{r['tolerance_pct']:.2f}%)")
+            elif r["status"] == "missing":
+                print(f"MISSING  {r['file']}: {r['metric']} "
+                      f"absent on {r['side']} side")
+        print(f"bench_compare: {verdict['verdict']} — "
+              f"{verdict['compared']} metrics compared, "
+              f"{len(regressions)} regressed, "
+              f"{verdict['ignored_wallclock']} wall-clock ignored")
+    return 1 if verdict["verdict"] == "regression" else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate a turnpike chrome trace_event export (stdlib only).
+
+Usage: check_chrome_trace.py FILE.json [--jobs N] [--trials N]
+                             [--compare-outcomes FILE2.json]
+
+Checks the contract of --trace-format chrome:
+  - the file parses as JSON with a non-empty traceEvents array and
+    every event carries ph/name/pid/tid (X events also ts/dur);
+  - process_name metadata names both tracks (pid 1 host, pid 2 sim);
+  - host phase spans (cat "phase") exist on pid 1;
+  - with --trials N: exactly N trial spans (cat "trial"/"bisect"),
+    each with an outcome arg, all on pid 1;
+  - with --jobs N: trial spans sit on the expected tids — tid 0 for
+    the serial path (N == 1), tids 1..N for the pool — and each
+    trial index appears on exactly one tid;
+  - with --compare-outcomes: per-trial outcomes in FILE2 match
+    FILE's exactly (campaign results are deterministic at any
+    TURNPIKE_JOBS, so the two exports must classify identically).
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+TRIAL_CATS = {"trial", "bisect"}
+
+
+def load_events(path, problems):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        problems.append(f"{path}: {e}")
+        return []
+    evs = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(evs, list) or not evs:
+        problems.append(f"{path}: no traceEvents array")
+        return []
+    return evs
+
+
+def trial_outcomes(events):
+    """trial index -> (tid, outcome) for campaign trial spans."""
+    out = {}
+    for e in events:
+        if e.get("ph") == "X" and e.get("cat") in TRIAL_CATS:
+            args = e.get("args", {})
+            idx = args.get("trial", len(out))
+            out[idx] = (e.get("tid"),
+                        args.get("outcome", args.get("kind")))
+    return out
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        usage="check_chrome_trace.py FILE.json [--jobs N] "
+              "[--trials N] [--compare-outcomes FILE2.json]")
+    ap.add_argument("file")
+    ap.add_argument("--jobs", type=int, default=None)
+    ap.add_argument("--trials", type=int, default=None)
+    ap.add_argument("--compare-outcomes", default=None)
+    args = ap.parse_args(argv[1:])
+
+    problems = []
+    events = load_events(args.file, problems)
+
+    for i, e in enumerate(events):
+        if not isinstance(e, dict) or e.get("ph") not in \
+                {"X", "i", "M"}:
+            problems.append(f"event[{i}]: bad ph {e.get('ph')!r}")
+            continue
+        for field in ("name", "pid", "tid"):
+            if field not in e:
+                problems.append(f"event[{i}]: missing '{field}'")
+        if e.get("ph") == "X" and \
+                ("ts" not in e or "dur" not in e):
+            problems.append(f"event[{i}]: X span without ts/dur")
+
+    if events:
+        named = {(e.get("pid"), e.get("args", {}).get("name"))
+                 for e in events
+                 if e.get("ph") == "M" and
+                 e.get("name") == "process_name"}
+        for pid, label in ((1, "turnpike host"), (2, "turnpike sim")):
+            if not any(p == pid for p, _ in named):
+                problems.append(f"no process_name metadata for "
+                                f"pid {pid} ({label})")
+        if not any(e.get("cat") == "phase" and e.get("pid") == 1
+                   for e in events):
+            problems.append("no host phase spans (cat 'phase')")
+
+        trials = trial_outcomes(events)
+        if args.trials is not None and len(trials) != args.trials:
+            problems.append(f"expected {args.trials} trial spans, "
+                            f"found {len(trials)}")
+        if args.jobs is not None and trials:
+            want = {0} if args.jobs == 1 else \
+                set(range(1, args.jobs + 1))
+            tids = {tid for tid, _ in trials.values()}
+            if not tids <= want:
+                problems.append(f"trial tids {sorted(tids)} outside "
+                                f"expected {sorted(want)} for "
+                                f"--jobs {args.jobs}")
+        for idx, (_, outcome) in sorted(trials.items()):
+            if not outcome:
+                problems.append(f"trial {idx}: span without an "
+                                f"outcome/kind arg")
+
+        if args.compare_outcomes:
+            other = trial_outcomes(
+                load_events(args.compare_outcomes, problems))
+            mine = {k: v[1] for k, v in trials.items()}
+            theirs = {k: v[1] for k, v in other.items()}
+            if mine != theirs:
+                problems.append(
+                    f"per-trial outcomes differ from "
+                    f"{args.compare_outcomes}: {mine} vs {theirs}")
+
+    for p in problems:
+        print(f"{args.file}: {p}", file=sys.stderr)
+    if not problems:
+        print(f"{args.file}: {len(events)} chrome events ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

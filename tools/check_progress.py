@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate a turnpike-progress-v1 heartbeat JSONL file (stdlib only).
+
+Usage: check_progress.py FILE.jsonl [--total N] [--min-records N]
+
+Checks, per the telemetry contract:
+  - every line parses as JSON and carries the v1 schema tag plus the
+    required fields with the right types;
+  - seq strictly increases across the whole file, and within each
+    campaign (a file may hold several sequential campaigns, e.g. a
+    bench harness grid) trials-completed never decreases
+    (monotonicity — progress cannot go backwards);
+  - started >= completed everywhere, and every "final" record's
+    per-class tallies sum to its completed count, which equals its
+    total (the final record must match the campaign totals);
+  - the last record has type "final" and, with --total N, its
+    completed count equals N exactly;
+  - at least --min-records records exist (default 2: the seq-0
+    heartbeat and the final record).
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "turnpike-progress-v1"
+TYPES = {"heartbeat", "final", "snapshot", "interrupt"}
+REQUIRED = {
+    "schema": str, "type": str, "seq": int, "elapsed_ms": int,
+    "campaign": str, "total": int, "started": int, "completed": int,
+    "classes": dict, "rate_per_s": (int, float),
+    "eta_s": (int, float), "workers": list,
+}
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        usage="check_progress.py FILE.jsonl [--total N] "
+              "[--min-records N]")
+    ap.add_argument("file")
+    ap.add_argument("--total", type=int, default=None)
+    ap.add_argument("--min-records", type=int, default=2)
+    args = ap.parse_args(argv[1:])
+
+    problems = []
+    records = []
+    try:
+        with open(args.file, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append((lineno, json.loads(line)))
+                except ValueError as e:
+                    problems.append(f"line {lineno}: not JSON: {e}")
+    except OSError as e:
+        print(f"{args.file}: {e}", file=sys.stderr)
+        return 1
+
+    if len(records) < args.min_records:
+        problems.append(f"only {len(records)} records, expected >= "
+                        f"{args.min_records}")
+
+    prev_seq = -1
+    prev_completed = -1
+    prev_campaign = None
+    campaign_open = False
+    for lineno, r in records:
+        where = f"line {lineno}"
+        for field, ty in REQUIRED.items():
+            if not isinstance(r.get(field), ty) or \
+               isinstance(r.get(field), bool):
+                problems.append(f"{where}: missing/badly-typed "
+                                f"'{field}'")
+                break
+        else:
+            if r["schema"] != SCHEMA:
+                problems.append(f"{where}: schema {r['schema']!r}")
+            if r["type"] not in TYPES:
+                problems.append(f"{where}: unknown type "
+                                f"{r['type']!r}")
+            if r["seq"] <= prev_seq:
+                problems.append(f"{where}: seq {r['seq']} does not "
+                                f"increase from {prev_seq}")
+            prev_seq = r["seq"]
+            # A new campaign (bench grids run several in sequence)
+            # legitimately resets the trial counters; a campaign must
+            # still end with a final record before the next begins.
+            if r["campaign"] != prev_campaign:
+                if campaign_open and prev_campaign is not None:
+                    problems.append(f"{where}: campaign "
+                                    f"{prev_campaign!r} never "
+                                    f"emitted a final record")
+                prev_campaign = r["campaign"]
+                prev_completed = -1
+            campaign_open = r["type"] != "final"
+            if r["completed"] < prev_completed:
+                problems.append(f"{where}: completed went backwards "
+                                f"({prev_completed} -> "
+                                f"{r['completed']})")
+            prev_completed = r["completed"]
+            if r["started"] < r["completed"]:
+                problems.append(f"{where}: started {r['started']} < "
+                                f"completed {r['completed']}")
+            if not all(isinstance(v, int)
+                       for v in r["classes"].values()):
+                problems.append(f"{where}: non-integer class tally")
+            if r["type"] == "final":
+                class_sum = sum(v for v in r["classes"].values()
+                                if isinstance(v, int))
+                if class_sum != r["completed"]:
+                    problems.append(f"{where}: final class tallies "
+                                    f"sum to {class_sum} != "
+                                    f"completed {r['completed']}")
+                if r["completed"] != r["total"]:
+                    problems.append(f"{where}: final completed "
+                                    f"{r['completed']} != total "
+                                    f"{r['total']}")
+
+    if records:
+        lineno, final = records[-1]
+        if final.get("type") != "final":
+            problems.append(f"last record (line {lineno}) has type "
+                            f"{final.get('type')!r}, expected "
+                            f"'final'")
+        elif args.total is not None and \
+                final.get("completed") != args.total:
+            problems.append(f"final: completed "
+                            f"{final.get('completed')} != expected "
+                            f"--total {args.total}")
+
+    for p in problems:
+        print(f"{args.file}: {p}", file=sys.stderr)
+    if not problems:
+        print(f"{args.file}: {len(records)} progress records ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -102,6 +102,31 @@ def check_host(i, h, problems):
        not isinstance(h.get("seconds"), (int, float)) or \
        not isinstance(h.get("calls"), int):
         err(where, "needs phase/seconds/calls", problems)
+        return
+    # Optional resource fields (present in dumps since the
+    # inclusive/exclusive split); when present they must be sane.
+    if "exclusive_seconds" in h:
+        excl = h["exclusive_seconds"]
+        if not isinstance(excl, (int, float)):
+            err(where, "'exclusive_seconds' is not numeric", problems)
+        elif excl > h["seconds"] + 1e-9:
+            err(where, f"exclusive_seconds {excl} exceeds "
+                f"inclusive seconds {h['seconds']}", problems)
+    for field in ("user_seconds", "sys_seconds", "max_rss_kb"):
+        if field in h and not isinstance(h[field], (int, float)):
+            err(where, f"'{field}' is not numeric", problems)
+
+
+def check_host_resources(hr, problems):
+    if hr is None:
+        return  # optional section
+    if not isinstance(hr, dict):
+        err("host_resources", "not an object", problems)
+        return
+    for field in ("max_rss_kb", "user_seconds", "sys_seconds"):
+        if not isinstance(hr.get(field), (int, float)):
+            err("host_resources", f"missing/numeric '{field}'",
+                problems)
 
 
 def check_rootcause(stats, problems):
@@ -184,6 +209,8 @@ def check_file(path):
     else:
         for i, h in enumerate(host):
             check_host(i, h, problems)
+
+    check_host_resources(doc.get("host_resources"), problems)
 
     return [f"{path}: {p}" for p in problems]
 
