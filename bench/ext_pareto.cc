@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Extension study: automated design-space exploration. Sweeps the
+ * resilience co-design axes (WCDL, store-buffer size, CLQ sizing,
+ * checkpoint-color pool, detector scheme), scores each point with
+ * the CACTI-fitted hardware model plus a measured AVF campaign and
+ * runtime overhead, and reports the Pareto frontier over (area,
+ * runtime overhead, vulnerability) as turnpike-stats-v1 JSON.
+ *
+ * Output is deterministic at any TURNPIKE_JOBS (the CI determinism
+ * job diffs BENCH_pareto.json across job counts).
+ *
+ * Environment:
+ *  - TURNPIKE_BENCH_ICOUNT: per-run instruction budget (as usual);
+ *  - TURNPIKE_PARETO_TRIALS: AVF trials per (point, workload) cell
+ *    (default 12; the CI smoke uses a small count).
+ */
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+
+#include "bench/common.hh"
+#include "core/explorer.hh"
+#include "workloads/suite.hh"
+
+using namespace turnpike;
+using namespace turnpike::bench;
+
+namespace {
+
+uint32_t
+paretoTrials()
+{
+    constexpr uint32_t kDefault = 12;
+    const char *env = std::getenv("TURNPIKE_PARETO_TRIALS");
+    if (!env)
+        return kDefault;
+    char *end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || v < 1) {
+        warn("TURNPIKE_PARETO_TRIALS='%s' is not a positive trial "
+             "count; using the default %u", env, kDefault);
+        return kDefault;
+    }
+    return static_cast<uint32_t>(v);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Extension", "resilience design-space exploration "
+                        "(Pareto frontier over area / overhead / "
+                        "vulnerability)");
+
+    ExplorerConfig cfg;
+    cfg.specs = {findWorkload("CPU2006", "mcf"),
+                 findWorkload("SPLASH3", "radix")};
+    cfg.icount = benchInstBudget();
+    cfg.trials = paretoTrials();
+    cfg.seed = 20260808;
+    cfg.sensorMissRate = 0.1;
+    cfg.wcdls = {10, 40};
+    cfg.sbSizes = {4, 12};
+    cfg.clqDesigns = {ClqDesign::Compact};
+    cfg.clqEntries = {2};
+    cfg.colorPools = {0, 2};
+    cfg.detectors = {"acoustic-parity", "secded-full",
+                     "noisy-sensor"};
+
+    std::printf("%zu-point grid x %zu workloads, %u AVF trials per "
+                "cell\n\n", designGrid(cfg).size(), cfg.specs.size(),
+                cfg.trials);
+
+    std::vector<PointScore> scores = runExplorer(cfg);
+    std::printf("%s\n", paretoTable(scores).c_str());
+
+    uint64_t frontier = 0;
+    for (const PointScore &s : scores)
+        frontier += s.onFrontier ? 1 : 0;
+    std::printf("frontier: %llu of %zu points\n\n",
+                static_cast<unsigned long long>(frontier),
+                scores.size());
+
+    StatRegistry reg;
+    reg.setMeta("trials_per_cell", std::to_string(cfg.trials));
+    exportParetoStats(reg, scores);
+    const std::string path = "BENCH_pareto.json";
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot open %s", path.c_str());
+    reg.dumpJson(f, /*include_host=*/false);
+    std::printf("wrote %s\n", path.c_str());
+    appendHistory("ext_pareto", path,
+                  {{"points", double(scores.size())},
+                   {"frontier_size", double(frontier)}});
+    return 0;
+}

@@ -15,6 +15,7 @@ faultOutcomeName(FaultOutcome o)
       case FaultOutcome::Recovered: return "recovered";
       case FaultOutcome::Sdc:       return "sdc";
       case FaultOutcome::Hang:      return "hang";
+      case FaultOutcome::FalsePos:  return "false-pos";
     }
     return "unknown";
 }
@@ -52,6 +53,10 @@ AvfReport::merge(const AvfReport &other)
     if (scheme.empty())
         scheme = other.scheme;
     trials += other.trials;
+    detector = other.detector;
+    eccCorrected += other.eccCorrected;
+    eccDetected += other.eccDetected;
+    falseAlarmEvents += other.falseAlarmEvents;
     for (int t = 0; t < kNumFaultTargets; t++) {
         injected[t] += other.injected[t];
         for (int o = 0; o < kNumFaultOutcomes; o++)
@@ -78,11 +83,32 @@ avfCycleBudget(uint64_t hangFactor, uint64_t goldenCycles)
     return budget + 100000;
 }
 
+TrialNoise
+detectorTrialNoise(const DetectorConfig &det)
+{
+    TrialNoise noise;
+    noise.falseNegRate = det.falseNegRate;
+    noise.falsePosRate = det.falsePosRate;
+    noise.filterLatency = det.filterLatency;
+    noise.maxBurst = det.maxBurst;
+    return noise;
+}
+
 FaultOutcome
-classifyOutcome(const RunResult &golden, const RunResult &faulty)
+classifyOutcome(const RunResult &golden, const RunResult &faulty,
+                bool spurious)
 {
     if (!faulty.halted)
         return FaultOutcome::Hang;
+    // A spurious trial injected nothing: a matching image means the
+    // needless rollback was harmless (FalsePos, not Recovered — the
+    // detector saved nothing), a diverging one means the recovery
+    // machinery itself corrupted state.
+    if (spurious)
+        return faulty.dataHash == golden.dataHash &&
+                faulty.archHash == golden.archHash
+            ? FaultOutcome::FalsePos
+            : FaultOutcome::Sdc;
     if (faulty.pipe.recoveries > 0)
         return faulty.dataHash == golden.dataHash
             ? FaultOutcome::Recovered
@@ -122,6 +148,12 @@ runAvfCampaign(const AvfCampaignConfig &cfg)
     // exhaustion far beyond that is a hang.
     rep.cycleBudget = avfCycleBudget(cfg.hangFactor,
                                      golden.pipe.cycles);
+    rep.detector = cfg.scheme.detector;
+
+    // The detector scheme's noisy-sensor model rides along with each
+    // trial fault. The default detector leaves TrialNoise at its
+    // defaults, so legacy campaigns draw the exact same RNG stream.
+    TrialNoise noise = detectorTrialNoise(cfg.scheme.detector);
 
     std::vector<RunRequest> reqs;
     reqs.reserve(cfg.trials);
@@ -131,7 +163,7 @@ runAvfCampaign(const AvfCampaignConfig &cfg)
         q.faults.push_back(makeTrialFault(cfg.seed, t,
                                           golden.pipe.cycles,
                                           cfg.scheme.wcdl, targets,
-                                          cfg.sensorMissRate));
+                                          cfg.sensorMissRate, noise));
         reqs.push_back(std::move(q));
     }
 
@@ -146,7 +178,8 @@ runAvfCampaign(const AvfCampaignConfig &cfg)
     if (tel) {
         tel->beginCampaign("avf:" + rep.workload + ":" + rep.scheme,
                            cfg.trials,
-                           {"masked", "recovered", "sdc", "hang"});
+                           {"masked", "recovered", "sdc", "hang",
+                            "false-pos"});
     }
     if (tel || chrome) {
         spanStartUs.assign(256, 0);
@@ -158,7 +191,8 @@ runAvfCampaign(const AvfCampaignConfig &cfg)
         };
         obs.onFinish = [&](unsigned w, size_t i,
                            const RunResult &r) {
-            FaultOutcome o = classifyOutcome(golden, r);
+            FaultOutcome o = classifyOutcome(
+                golden, r, reqs[i].faults[0].spurious);
             if (tel)
                 tel->itemFinished(w, static_cast<int>(o));
             if (chrome && w < spanStartUs.size()) {
@@ -183,13 +217,17 @@ runAvfCampaign(const AvfCampaignConfig &cfg)
     for (uint32_t t = 0; t < cfg.trials; t++) {
         AvfTrial trial;
         trial.fault = reqs[t].faults[0];
-        trial.outcome = classifyOutcome(golden, runs[t]);
+        trial.outcome =
+            classifyOutcome(golden, runs[t], trial.fault.spurious);
         trial.cycles = runs[t].pipe.cycles;
         trial.recoveries = runs[t].pipe.recoveries;
         trial.detections = runs[t].pipe.detectedFaults;
         int ti = static_cast<int>(trial.fault.target);
         rep.injected[ti]++;
         rep.counts[ti][static_cast<int>(trial.outcome)]++;
+        rep.eccCorrected += runs[t].pipe.eccCorrected;
+        rep.eccDetected += runs[t].pipe.eccDetected;
+        rep.falseAlarmEvents += runs[t].pipe.falseAlarms;
         rep.perTrial.push_back(trial);
     }
     return rep;
@@ -237,6 +275,44 @@ exportAvfStats(StatRegistry &reg, const AvfReport &rep)
                    },
                    "probability a random strike corrupts or loses "
                    "the architectural result");
+    reg.addScalar("avf.falsePositives", rep.falsePositives(),
+                  "spurious-detection trials (no fault injected, "
+                  "detector fired anyway)", "trial");
+
+    reg.setMeta("detector.name", rep.detector.label);
+    reg.addScalar("detector.protect.reg",
+                  static_cast<uint64_t>(rep.detector.reg),
+                  "register-file protection level (0=none 1=parity "
+                  "2=secded 3=ldpc)", "level");
+    reg.addScalar("detector.protect.sb",
+                  static_cast<uint64_t>(rep.detector.sb),
+                  "store-buffer protection level", "level");
+    reg.addScalar("detector.protect.cache",
+                  static_cast<uint64_t>(rep.detector.cache),
+                  "cache-data protection level", "level");
+    reg.addScalar("detector.false_pos_rate", rep.detector.falsePosRate,
+                  "per-trial probability of a spurious detection",
+                  "ratio");
+    reg.addScalar("detector.false_neg_rate", rep.detector.falseNegRate,
+                  "extra per-strike probability the detector misses",
+                  "ratio");
+    reg.addScalar("detector.filter_latency",
+                  static_cast<uint64_t>(rep.detector.filterLatency),
+                  "median-filter delay added to every detection",
+                  "cycle");
+    reg.addScalar("detector.max_burst",
+                  static_cast<uint64_t>(rep.detector.maxBurst),
+                  "widest multi-bit upset the fault model draws",
+                  "bit");
+    reg.addScalar("detector.ecc_corrected", rep.eccCorrected,
+                  "strikes corrected in place by structure ECC",
+                  "event");
+    reg.addScalar("detector.ecc_detected", rep.eccDetected,
+                  "strikes detected (not corrected) by structure ECC",
+                  "event");
+    reg.addScalar("detector.false_alarms", rep.falseAlarmEvents,
+                  "spurious detection events raised in the pipeline",
+                  "event");
 
     for (int t = 0; t < kNumFaultTargets; t++) {
         std::string base = std::string("avf.target.") +
@@ -259,7 +335,7 @@ std::string
 avfReportTable(const AvfReport &rep)
 {
     Table table({"target", "injected", "masked", "recovered", "sdc",
-                 "hang", "sdc rate"});
+                 "hang", "false-pos", "sdc rate"});
     for (int t = 0; t < kNumFaultTargets; t++) {
         if (rep.injected[t] == 0)
             continue;
@@ -267,7 +343,7 @@ avfReportTable(const AvfReport &rep)
         table.addRow(
             {faultTargetName(static_cast<FaultTarget>(t)),
              cell(rep.injected[t]), cell(row[0]), cell(row[1]),
-             cell(row[2]), cell(row[3]),
+             cell(row[2]), cell(row[3]), cell(row[4]),
              cell(static_cast<double>(row[2]) /
                       static_cast<double>(rep.injected[t]), 3)});
     }
@@ -276,6 +352,7 @@ avfReportTable(const AvfReport &rep)
                   cell(rep.outcomeTotal(FaultOutcome::Recovered)),
                   cell(rep.outcomeTotal(FaultOutcome::Sdc)),
                   cell(rep.outcomeTotal(FaultOutcome::Hang)),
+                  cell(rep.outcomeTotal(FaultOutcome::FalsePos)),
                   cell(rep.rate(FaultOutcome::Sdc), 3)});
     return table.toText();
 }

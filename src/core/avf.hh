@@ -38,10 +38,18 @@ enum class FaultOutcome : uint8_t {
     Recovered, ///< detection + rollback fired, image matches golden
     Sdc,       ///< run completed, image or arch state differs
     Hang,      ///< cycle budget exhausted
+    /**
+     * A sensor false positive: no fault was injected, the detector
+     * fired anyway, and the (needless) rollback still produced the
+     * golden result. Counting these as Recovered would inflate the
+     * scheme's apparent coverage — a noisy detector's spurious
+     * recoveries are pure overhead, not saves.
+     */
+    FalsePos,
 };
 
 /** Number of FaultOutcome enumerators (for counting tables). */
-constexpr int kNumFaultOutcomes = 4;
+constexpr int kNumFaultOutcomes = 5;
 
 /** Stable lower-case name of @p o ("masked", "recovered", ...). */
 const char *faultOutcomeName(FaultOutcome o);
@@ -96,15 +104,33 @@ struct AvfReport
     double sensorMissRate = 0.0;
     uint64_t goldenCycles = 0;
     uint64_t cycleBudget = 0;
+    /** The detector scheme the campaign ran under. */
+    DetectorConfig detector;
     /** counts[target][outcome], enumerator-indexed. */
     uint64_t counts[kNumFaultTargets][kNumFaultOutcomes] = {};
-    /** Strikes per target (row sums of counts). */
+    /**
+     * Trials attributed to each target (row sums of counts). A
+     * spurious trial still drew a target before the false-positive
+     * draw replaced the strike; it counts here under FalsePos so
+     * rows stay consistent, but nothing was actually corrupted.
+     */
     uint64_t injected[kNumFaultTargets] = {};
     /** Every trial in submission order (diagnostics, tests). */
     std::vector<AvfTrial> perTrial;
+    /** Sum of per-trial pipeline ECC corrections (detector.* stats). */
+    uint64_t eccCorrected = 0;
+    /** Sum of per-trial pipeline ECC detections. */
+    uint64_t eccDetected = 0;
+    /** Sum of per-trial pipeline false alarms. */
+    uint64_t falseAlarmEvents = 0;
 
     /** Campaign-wide count of @p o across all targets. */
     uint64_t outcomeTotal(FaultOutcome o) const;
+    /** Trials classified FalsePos (exported as avf.falsePositives). */
+    uint64_t falsePositives() const
+    {
+        return outcomeTotal(FaultOutcome::FalsePos);
+    }
     /** outcomeTotal(o) / trials; 0 when the report is empty. */
     double rate(FaultOutcome o) const;
     /**
@@ -141,15 +167,30 @@ constexpr uint64_t kMaxTrialCycleBudget = 2000000000ull;
 uint64_t avfCycleBudget(uint64_t hangFactor, uint64_t goldenCycles);
 
 /**
+ * The per-trial noise model a detector scheme implies: the knobs of
+ * DetectorConfig that feed makeTrialFault. The default detector maps
+ * to a default TrialNoise, preserving the legacy RNG stream.
+ */
+TrialNoise detectorTrialNoise(const DetectorConfig &det);
+
+/**
  * Classify one faulted run against the fault-free golden run of the
  * same (workload, scheme): the differential-comparison core of the
  * campaign, exposed for the unit tests. Masked additionally requires
  * the committed-instruction counts to match: a run that silently
  * truncated or warped its execution path but stumbled into matching
  * hashes is an SDC, not a masked strike.
+ *
+ * @p spurious marks a trial whose "fault" was a sensor false
+ * positive (FaultEvent::spurious): nothing was injected, so a run
+ * that still matches the golden image is FalsePos — NOT Recovered,
+ * which would credit the detector for saving a result that was
+ * never in danger — and one that diverges (the rollback itself went
+ * wrong) is an SDC.
  */
 FaultOutcome classifyOutcome(const RunResult &golden,
-                             const RunResult &faulty);
+                             const RunResult &faulty,
+                             bool spurious = false);
 
 /** Run the campaign: golden run, then cfg.trials faulted runs. */
 AvfReport runAvfCampaign(const AvfCampaignConfig &cfg);

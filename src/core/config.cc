@@ -95,6 +95,10 @@ ResilienceConfig::toPipelineConfig() const
     p.clqEntries = clqEntries;
     p.sbSize = sbSize;
     p.wcdl = wcdl;
+    p.colorPool = colorPool;
+    p.regProtect = detector.reg;
+    p.sbProtect = detector.sb;
+    p.cacheProtect = detector.cache;
     return p;
 }
 

@@ -37,9 +37,19 @@ struct ResilienceConfig
     ClqDesign clqDesign = ClqDesign::Compact;
     uint32_t clqEntries = 2;
 
+    // -- detection / protection (sim/detector.hh) --------------------
+    /**
+     * Detector scheme: per-structure protection levels plus the
+     * noisy-sensor model. The default ("acoustic-parity") is the
+     * paper's scheme and reproduces the pre-zoo fault model exactly.
+     */
+    DetectorConfig detector;
+
     // -- sizing --------------------------------------------------------
     uint32_t sbSize = 4;
     uint32_t wcdl = 10;
+    /** Checkpoint colors per register (0 = full pool, the default). */
+    uint32_t colorPool = 0;
     /**
      * Regular-store budget per region for partitioning; 0 selects
      * the paper's rule (SB/2, so one region's verification overlaps

@@ -1,0 +1,242 @@
+#include "core/explorer.hh"
+
+#include <cmath>
+
+#include "ir/function.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace turnpike {
+
+namespace {
+
+const char *
+clqDesignName(ClqDesign d)
+{
+    return d == ClqDesign::Ideal ? "ideal" : "compact";
+}
+
+/** Colors actually deployed: the pool override or the full pool. */
+uint32_t
+effectiveColors(uint32_t pool)
+{
+    return pool ? pool : static_cast<uint32_t>(layout::kNumColors);
+}
+
+} // namespace
+
+std::string
+DesignPoint::label() const
+{
+    return "wcdl" + std::to_string(wcdl) + "/sb" +
+        std::to_string(sbSize) + "/clq-" + clqDesignName(clqDesign) +
+        std::to_string(clqEntries) + "/pool" +
+        std::to_string(effectiveColors(colorPool)) + "/" +
+        detector.label;
+}
+
+ResilienceConfig
+designScheme(const DesignPoint &p)
+{
+    ResilienceConfig cfg = ResilienceConfig::turnpike(p.wcdl);
+    cfg.sbSize = p.sbSize;
+    cfg.clqDesign = p.clqDesign;
+    cfg.clqEntries = p.clqEntries;
+    cfg.colorPool = p.colorPool;
+    cfg.detector = p.detector;
+    return cfg;
+}
+
+std::vector<DesignPoint>
+designGrid(const ExplorerConfig &cfg)
+{
+    TP_ASSERT(!cfg.wcdls.empty() && !cfg.sbSizes.empty() &&
+              !cfg.clqDesigns.empty() && !cfg.clqEntries.empty() &&
+              !cfg.colorPools.empty() && !cfg.detectors.empty(),
+              "explorer: every sweep axis needs at least one value");
+    std::vector<DesignPoint> grid;
+    for (uint32_t wcdl : cfg.wcdls)
+        for (uint32_t sb : cfg.sbSizes)
+            for (ClqDesign design : cfg.clqDesigns)
+                for (uint32_t clq : cfg.clqEntries)
+                    for (uint32_t pool : cfg.colorPools)
+                        for (const std::string &name : cfg.detectors) {
+                            DesignPoint p;
+                            p.wcdl = wcdl;
+                            p.sbSize = sb;
+                            p.clqDesign = design;
+                            p.clqEntries = clq;
+                            p.colorPool = pool;
+                            if (!detectorByName(name, p.detector))
+                                fatal("explorer: unknown detector "
+                                      "'%s' (known: %s)",
+                                      name.c_str(),
+                                      detectorZooNames().c_str());
+                            grid.push_back(p);
+                        }
+    return grid;
+}
+
+PointScore
+staticScore(const DesignPoint &p)
+{
+    PointScore s;
+    s.point = p;
+
+    SensorConfig sensors = sensorsForWcdl(p.wcdl);
+    s.sensors = sensors.numSensors;
+
+    // The modeled cache is the pipeline's 64 KiB L1D worth of data.
+    constexpr double kCacheBytes = 65536.0;
+    HwCost hw = camStoreBufferCost(p.sbSize) +
+        turnpikeCost(32, effectiveColors(p.colorPool),
+                     p.clqEntries) +
+        detectorCost(p.detector, p.sbSize, kCacheBytes);
+    // Sensor area: overhead fraction of the 1 mm^2 = 1e6 um^2 die.
+    double sensor_um2 =
+        sensorAreaOverhead(sensors) * sensors.dieAreaMm2 * 1.0e6;
+    s.areaUm2 = hw.areaUm2 + sensor_um2;
+    s.energyPj = hw.accessEnergyPj;
+    return s;
+}
+
+void
+markParetoFrontier(std::vector<PointScore> &scores)
+{
+    auto dominates = [](const PointScore &a, const PointScore &b) {
+        bool le = a.areaUm2 <= b.areaUm2 &&
+            a.runtimeOverhead <= b.runtimeOverhead &&
+            a.vulnerability <= b.vulnerability;
+        bool lt = a.areaUm2 < b.areaUm2 ||
+            a.runtimeOverhead < b.runtimeOverhead ||
+            a.vulnerability < b.vulnerability;
+        return le && lt;
+    };
+    for (size_t i = 0; i < scores.size(); i++) {
+        scores[i].onFrontier = true;
+        for (size_t j = 0; j < scores.size(); j++) {
+            if (i != j && dominates(scores[j], scores[i])) {
+                scores[i].onFrontier = false;
+                break;
+            }
+        }
+    }
+}
+
+std::vector<PointScore>
+runExplorer(const ExplorerConfig &cfg)
+{
+    TP_ASSERT(!cfg.specs.empty(),
+              "explorer: need at least one workload");
+    std::vector<DesignPoint> grid = designGrid(cfg);
+
+    // Per-workload baseline cycles, shared by every point. Run as
+    // one campaign so workers overlap; results stay keyed by
+    // submission index.
+    std::vector<RunRequest> base_reqs;
+    for (const WorkloadSpec &spec : cfg.specs)
+        base_reqs.push_back({spec, ResilienceConfig::baseline(),
+                             cfg.icount, {}, false});
+    std::vector<RunResult> baselines = runCampaign(base_reqs);
+
+    std::vector<PointScore> scores;
+    scores.reserve(grid.size());
+    for (size_t pi = 0; pi < grid.size(); pi++) {
+        PointScore s = staticScore(grid[pi]);
+        ResilienceConfig scheme = designScheme(grid[pi]);
+
+        std::vector<double> overheads;
+        AvfReport aggregate;
+        for (size_t wi = 0; wi < cfg.specs.size(); wi++) {
+            AvfCampaignConfig acfg;
+            acfg.spec = cfg.specs[wi];
+            acfg.scheme = scheme;
+            acfg.icount = cfg.icount;
+            acfg.trials = cfg.trials;
+            // Grid-position keying: reordering the axes or adding a
+            // workload changes seeds, but re-running the same sweep
+            // never does.
+            acfg.seed = cfg.seed + pi * cfg.specs.size() + wi;
+            acfg.sensorMissRate = cfg.sensorMissRate;
+            acfg.hangFactor = cfg.hangFactor;
+            AvfReport rep = runAvfCampaign(acfg);
+            overheads.push_back(
+                static_cast<double>(rep.goldenCycles) /
+                static_cast<double>(baselines[wi].pipe.cycles));
+            aggregate.merge(rep);
+        }
+        s.runtimeOverhead = geomean(overheads);
+        s.vulnerability = aggregate.vulnerability();
+        scores.push_back(s);
+    }
+    markParetoFrontier(scores);
+    return scores;
+}
+
+void
+exportParetoStats(StatRegistry &reg,
+                  const std::vector<PointScore> &scores)
+{
+    uint64_t frontier = 0;
+    for (const PointScore &s : scores)
+        frontier += s.onFrontier ? 1 : 0;
+    reg.addScalar("pareto.points",
+                  static_cast<uint64_t>(scores.size()),
+                  "design points swept", "point");
+    reg.addScalar("pareto.frontier_size", frontier,
+                  "Pareto-optimal points over (area, overhead, "
+                  "vulnerability)", "point");
+
+    // One block per frontier point, numbered in grid order so the
+    // export is deterministic and diffable.
+    uint64_t fi = 0;
+    for (const PointScore &s : scores) {
+        if (!s.onFrontier)
+            continue;
+        std::string base = "pareto.frontier." + std::to_string(fi);
+        reg.setMeta(base + ".label", s.point.label());
+        reg.setMeta(base + ".detector", s.point.detector.label);
+        reg.addScalar(base + ".wcdl",
+                      static_cast<uint64_t>(s.point.wcdl),
+                      "worst-case detection latency", "cycle");
+        reg.addScalar(base + ".sb",
+                      static_cast<uint64_t>(s.point.sbSize),
+                      "store-buffer entries", "entry");
+        reg.addScalar(base + ".clq",
+                      static_cast<uint64_t>(s.point.clqEntries),
+                      "CLQ range entries", "entry");
+        reg.addScalar(base + ".pool",
+                      static_cast<uint64_t>(
+                          effectiveColors(s.point.colorPool)),
+                      "checkpoint colors per register", "color");
+        reg.addScalar(base + ".sensors",
+                      static_cast<uint64_t>(s.sensors),
+                      "acoustic sensors deployed", "sensor");
+        reg.addScalar(base + ".area_um2", s.areaUm2,
+                      "added silicon area", "um2");
+        reg.addScalar(base + ".energy_pj", s.energyPj,
+                      "added per-access energy", "pJ");
+        reg.addScalar(base + ".overhead", s.runtimeOverhead,
+                      "runtime overhead vs baseline (geomean)",
+                      "ratio");
+        reg.addScalar(base + ".vulnerability", s.vulnerability,
+                      "(SDC + Hang) / trials", "ratio");
+        fi++;
+    }
+}
+
+std::string
+paretoTable(const std::vector<PointScore> &scores)
+{
+    Table table({"", "design point", "sensors", "area um2",
+                 "overhead", "vuln"});
+    for (const PointScore &s : scores)
+        table.addRow({s.onFrontier ? "*" : "", s.point.label(),
+                      cell(static_cast<uint64_t>(s.sensors)),
+                      cell(s.areaUm2, 1), cell(s.runtimeOverhead, 3),
+                      cell(s.vulnerability, 3)});
+    return table.toText();
+}
+
+} // namespace turnpike

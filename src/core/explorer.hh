@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Automated design-space explorer: sweep the resilience co-design
+ * axes (WCDL / sensor deployment, store-buffer size, CLQ design and
+ * sizing, checkpoint-color pool, detector scheme), score every point
+ * with the CACTI-fitted hardware cost model plus a measured AVF
+ * campaign and runtime overhead, and mark the Pareto frontier over
+ * (area, runtime overhead, vulnerability).
+ *
+ * Determinism contract (pinned by tests/explorer_test.cc and the CI
+ * determinism job): the grid is enumerated in a fixed nested order,
+ * every campaign seed is a pure function of the point's grid
+ * position, and all measurements ride the submission-ordered
+ * campaign engine — so the exported pareto.* statistics (and the
+ * bench/ext_pareto BENCH_pareto.json artifact) are byte-identical at
+ * any TURNPIKE_JOBS.
+ */
+
+#ifndef TURNPIKE_CORE_EXPLORER_HH_
+#define TURNPIKE_CORE_EXPLORER_HH_
+
+#include <string>
+#include <vector>
+
+#include "core/avf.hh"
+#include "core/hwcost.hh"
+#include "sim/sensors.hh"
+
+namespace turnpike {
+
+/** One point of the co-design space. */
+struct DesignPoint
+{
+    uint32_t wcdl = 10;
+    uint32_t sbSize = 4;
+    ClqDesign clqDesign = ClqDesign::Compact;
+    uint32_t clqEntries = 2;
+    /** Checkpoint colors per register (0 = full pool). */
+    uint32_t colorPool = 0;
+    DetectorConfig detector;
+
+    /** Compact human-readable identity, e.g.
+     *  "wcdl10/sb4/clq-compact2/pool4/acoustic-parity". */
+    std::string label() const;
+};
+
+/** The full Turnpike scheme a design point configures. */
+ResilienceConfig designScheme(const DesignPoint &p);
+
+/** A scored design point. */
+struct PointScore
+{
+    DesignPoint point;
+    /** Cheapest acoustic deployment meeting the point's WCDL. */
+    uint32_t sensors = 0;
+    /** Added silicon: SB CAM + Turnpike RAMs + ECC + sensors. */
+    double areaUm2 = 0;
+    /** Added per-access energy of the same structures. */
+    double energyPj = 0;
+    /** Geomean of scheme cycles / baseline cycles per workload. */
+    double runtimeOverhead = 1.0;
+    /** (SDC + Hang) / trials, aggregated across the workloads. */
+    double vulnerability = 0.0;
+    /** Set by markParetoFrontier: no other point dominates it. */
+    bool onFrontier = false;
+};
+
+/** The sweep: axes, workloads and campaign sizing. */
+struct ExplorerConfig
+{
+    /** Workloads each point is measured on (>= 1). */
+    std::vector<WorkloadSpec> specs;
+    uint64_t icount = 20000;
+    /** AVF trials per (point, workload) cell. */
+    uint32_t trials = 16;
+    /** Base seed; each cell derives its own from the grid position. */
+    uint64_t seed = 1;
+    double sensorMissRate = 0.1;
+    uint64_t hangFactor = 8;
+
+    // -- the swept axes (outermost to innermost) ---------------------
+    std::vector<uint32_t> wcdls = {10, 20};
+    std::vector<uint32_t> sbSizes = {4, 8};
+    std::vector<ClqDesign> clqDesigns = {ClqDesign::Compact};
+    std::vector<uint32_t> clqEntries = {2};
+    std::vector<uint32_t> colorPools = {0};
+    /** Detector zoo names (detectorByName); >= 1. */
+    std::vector<std::string> detectors = {"acoustic-parity"};
+};
+
+/**
+ * Enumerate the grid in the fixed nested axis order (wcdl, sb, clq
+ * design, clq entries, color pool, detector). Exposed so tests and
+ * the stats export can rely on the same ordering as runExplorer.
+ */
+std::vector<DesignPoint> designGrid(const ExplorerConfig &cfg);
+
+/**
+ * The static (no-simulation) half of a point's score: hardware cost
+ * of the configured structures plus the sensor deployment sized by
+ * sensorsForWcdl. Exposed for the unit tests.
+ */
+PointScore staticScore(const DesignPoint &p);
+
+/**
+ * Mark the Pareto-optimal points of the 3-objective minimization
+ * (areaUm2, runtimeOverhead, vulnerability): a point is dominated
+ * when another point is <= on every objective and < on at least one.
+ * Order-stable: only the onFrontier flags change.
+ */
+void markParetoFrontier(std::vector<PointScore> &scores);
+
+/** Run the sweep: measure, score, and mark the frontier. */
+std::vector<PointScore> runExplorer(const ExplorerConfig &cfg);
+
+/**
+ * Register the sweep under the pareto.* namespace: point/frontier
+ * counts plus one stats block per frontier point (grid order).
+ */
+void exportParetoStats(StatRegistry &reg,
+                       const std::vector<PointScore> &scores);
+
+/** Render the scored sweep (frontier rows marked with '*'). */
+std::string paretoTable(const std::vector<PointScore> &scores);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_CORE_EXPLORER_HH_

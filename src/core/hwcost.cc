@@ -56,4 +56,41 @@ turnpikeCost(uint32_t regs, uint32_t colors, uint32_t clq_entries)
     return colorMapsCost(regs, colors) + clqCost(clq_entries);
 }
 
+double
+protectOverheadRatio(ProtectLevel level)
+{
+    switch (level) {
+      case ProtectLevel::None:   return 0.0;
+      case ProtectLevel::Parity: return 1.0 / 64.0;
+      case ProtectLevel::Secded: return 8.0 / 64.0;
+      case ProtectLevel::Ldpc:   return 48.0 / 64.0;
+    }
+    return 0.0;
+}
+
+HwCost
+protectCost(ProtectLevel level, double bytes)
+{
+    HwCost checks = ramCost(bytes * protectOverheadRatio(level));
+    switch (level) {
+      case ProtectLevel::None:
+      case ProtectLevel::Parity:
+        return checks;
+      case ProtectLevel::Secded:
+        return checks + HwCost{150.0, 0.02};
+      case ProtectLevel::Ldpc:
+        return checks + HwCost{420.0, 0.06};
+    }
+    return checks;
+}
+
+HwCost
+detectorCost(const DetectorConfig &det, uint32_t sbEntries,
+             double cacheBytes)
+{
+    return protectCost(det.reg, 32.0 * 8.0) +
+        protectCost(det.sb, static_cast<double>(sbEntries) * 8.0) +
+        protectCost(det.cache, cacheBytes);
+}
+
 } // namespace turnpike

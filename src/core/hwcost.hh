@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "sim/detector.hh"
+
 namespace turnpike {
 
 /** Area and per-access energy of one structure. */
@@ -43,6 +45,31 @@ HwCost clqCost(uint32_t entries);
 /** Total Turnpike addition: color maps + CLQ. */
 HwCost turnpikeCost(uint32_t regs, uint32_t colors,
                     uint32_t clq_entries);
+
+/**
+ * Storage overhead of @p level as a fraction of the protected data:
+ * parity adds 1 bit per 64-bit word, SECDED 8 check bits per word
+ * (Hamming(72,64)), and the LDPC code 48 parity bits per 64-bit
+ * block (detector.hh's one-step majority-logic geometry).
+ */
+double protectOverheadRatio(ProtectLevel level);
+
+/**
+ * Cost of protecting a @p bytes-byte structure at @p level: the RAM
+ * cost of the extra check bits plus a fixed encoder/decoder block
+ * (SECDED ~150 um^2 / 0.02 pJ, LDPC ~420 um^2 / 0.06 pJ — majority
+ * gates across six line families dominate). None and Parity need no
+ * decoder block (parity trees ride on existing datapaths).
+ */
+HwCost protectCost(ProtectLevel level, double bytes);
+
+/**
+ * Total protection cost of @p det over the modeled structures: the
+ * 32x8 B register file, the @p sbEntries x 8 B store buffer, and
+ * @p cacheBytes of cache data.
+ */
+HwCost detectorCost(const DetectorConfig &det, uint32_t sbEntries,
+                    double cacheBytes);
 
 } // namespace turnpike
 

@@ -17,12 +17,14 @@ FaultEvent
 TrialReplayer::trialFault(uint32_t trial) const
 {
     // The campaign's exact keying: seed, trial index, golden-run
-    // horizon, detection deadline and target set. Any drift here
-    // breaks the replay contract, which is why replay_test.cc pins
-    // byte-for-byte equality against live campaign trials.
+    // horizon, detection deadline, target set and the detector
+    // scheme's noise model. Any drift here breaks the replay
+    // contract, which is why replay_test.cc pins byte-for-byte
+    // equality against live campaign trials.
     return makeTrialFault(cfg_.seed, trial, golden_.pipe.cycles,
                           cfg_.scheme.wcdl, targets_,
-                          cfg_.sensorMissRate);
+                          cfg_.sensorMissRate,
+                          detectorTrialNoise(cfg_.scheme.detector));
 }
 
 ReplayedTrial
@@ -40,7 +42,7 @@ TrialReplayer::replay(uint32_t trial, Tracer *tracer,
     opts.skipInterpret = capture != nullptr;
     rt.run = runWorkload(cfg_.spec, cfg_.scheme, cfg_.icount,
                          {rt.fault}, opts);
-    rt.outcome = classifyOutcome(golden_, rt.run);
+    rt.outcome = classifyOutcome(golden_, rt.run, rt.fault.spurious);
     return rt;
 }
 

@@ -4,9 +4,22 @@
 
 namespace turnpike {
 
-ColorMaps::ColorMaps()
+namespace {
+
+uint32_t
+clampPool(uint32_t pool)
+{
+    if (pool < 1)
+        return 1;
+    uint32_t max = static_cast<uint32_t>(layout::kNumColors);
+    return pool > max ? max : pool;
+}
+
+} // namespace
+
+ColorMaps::ColorMaps(uint32_t pool)
     : ac_(kNumPhysRegs,
-          static_cast<uint8_t>((1u << layout::kNumColors) - 1)),
+          static_cast<uint8_t>((1u << clampPool(pool)) - 1)),
       vc_(kNumPhysRegs, layout::kQuarantineColor)
 {}
 

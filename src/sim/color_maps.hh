@@ -29,7 +29,13 @@ using UsedColor = std::pair<Reg, int>;
 class ColorMaps
 {
   public:
-    ColorMaps();
+    /**
+     * @p pool colors per register, clamped to [1, kNumColors]; the
+     * default is the paper's full pool. A smaller pool models a
+     * cheaper color map (fewer bits per register) that exhausts —
+     * and quarantines checkpoints — sooner.
+     */
+    explicit ColorMaps(uint32_t pool = layout::kNumColors);
 
     /**
      * Try to take a free color for @p reg; returns the color or -1

@@ -1,0 +1,431 @@
+#include "sim/detector.hh"
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+const char *
+protectLevelName(ProtectLevel l)
+{
+    switch (l) {
+      case ProtectLevel::None:   return "none";
+      case ProtectLevel::Parity: return "parity";
+      case ProtectLevel::Secded: return "secded";
+      case ProtectLevel::Ldpc:   return "ldpc";
+    }
+    return "unknown";
+}
+
+bool
+parseProtectLevel(const std::string &name, ProtectLevel &out)
+{
+    for (int i = 0; i < kNumProtectLevels; i++) {
+        ProtectLevel l = static_cast<ProtectLevel>(i);
+        if (name == protectLevelName(l)) {
+            out = l;
+            return true;
+        }
+    }
+    return false;
+}
+
+StrikeEffect
+strikeEffect(ProtectLevel l, uint32_t burst)
+{
+    if (burst == 0)
+        return StrikeEffect::Corrected; // nothing flipped
+    switch (l) {
+      case ProtectLevel::None:
+        return StrikeEffect::Silent;
+      case ProtectLevel::Parity:
+        return (burst & 1) ? StrikeEffect::Detected
+                           : StrikeEffect::Silent;
+      case ProtectLevel::Secded:
+        if (burst <= 1)
+            return StrikeEffect::Corrected;
+        return burst == 2 ? StrikeEffect::Detected
+                          : StrikeEffect::Silent;
+      case ProtectLevel::Ldpc:
+        if (burst <= 3)
+            return StrikeEffect::Corrected;
+        return burst == 4 ? StrikeEffect::Detected
+                          : StrikeEffect::Silent;
+    }
+    return StrikeEffect::Silent;
+}
+
+// ---------------------------------------------------------------------
+// SECDED: extended Hamming(72,64).
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Codeword position (1..71, non-power-of-two) of each data bit. */
+struct SecdedGeometry
+{
+    uint32_t dataPos[64];
+    int posToData[72]; ///< inverse; -1 for check positions
+
+    SecdedGeometry()
+    {
+        for (int p = 0; p < 72; p++)
+            posToData[p] = -1;
+        uint32_t d = 0;
+        for (uint32_t p = 1; p <= 71; p++) {
+            if ((p & (p - 1)) == 0)
+                continue; // power of two: check-bit position
+            dataPos[d] = p;
+            posToData[p] = static_cast<int>(d);
+            d++;
+        }
+        TP_ASSERT(d == 64, "Hamming(72,64) geometry is off");
+    }
+};
+
+const SecdedGeometry &
+secdedGeometry()
+{
+    static const SecdedGeometry g;
+    return g;
+}
+
+} // namespace
+
+void
+SecdedWord::flip(uint32_t k)
+{
+    TP_ASSERT(k < kSecdedBits, "SECDED flip position %u out of range",
+              k);
+    if (k < 64)
+        data ^= uint64_t(1) << k;
+    else
+        check = static_cast<uint8_t>(check ^ (1u << (k - 64)));
+}
+
+SecdedWord
+secdedEncode(uint64_t data)
+{
+    const SecdedGeometry &g = secdedGeometry();
+    SecdedWord w;
+    w.data = data;
+    uint8_t check = 0;
+    for (uint32_t j = 0; j < 7; j++) {
+        uint32_t group = 1u << j;
+        uint32_t p = 0;
+        for (uint32_t d = 0; d < 64; d++)
+            if ((g.dataPos[d] & group) && ((data >> d) & 1))
+                p ^= 1;
+        check = static_cast<uint8_t>(check | (p << j));
+    }
+    // Overall parity over all 71 Hamming positions; the eighth check
+    // bit makes the full 72-bit codeword even-parity.
+    uint32_t overall = __builtin_popcountll(data) & 1;
+    overall ^= __builtin_popcount(check & 0x7f) & 1;
+    check = static_cast<uint8_t>(check | (overall << 7));
+    w.check = check;
+    return w;
+}
+
+DecodeResult
+secdedDecode(const SecdedWord &w)
+{
+    const SecdedGeometry &g = secdedGeometry();
+    DecodeResult r;
+    r.data = w.data;
+
+    uint32_t syndrome = 0;
+    for (uint32_t j = 0; j < 7; j++) {
+        uint32_t group = 1u << j;
+        uint32_t p = (w.check >> j) & 1;
+        for (uint32_t d = 0; d < 64; d++)
+            if ((g.dataPos[d] & group) && ((w.data >> d) & 1))
+                p ^= 1;
+        if (p)
+            syndrome |= group;
+    }
+    uint32_t overall = __builtin_popcountll(w.data) & 1;
+    overall ^= __builtin_popcount(w.check) & 1;
+
+    if (syndrome == 0 && overall == 0)
+        return r; // Clean
+
+    if (overall == 1) {
+        // Odd number of errors: a single error at position
+        // `syndrome` (0 = the overall-parity bit itself). Repair it.
+        if (syndrome == 0) {
+            // overall-parity bit flipped; data untouched
+        } else if (syndrome <= 71) {
+            int d = g.posToData[syndrome];
+            if (d >= 0)
+                r.data ^= uint64_t(1) << d;
+            // else: a check bit flipped; data untouched
+        } else {
+            // Syndrome points outside the codeword: >= 3 errors.
+            r.status = DecodeStatus::Detected;
+            return r;
+        }
+        r.status = DecodeStatus::Corrected;
+        r.corrected = 1;
+        return r;
+    }
+
+    // Even error count with a nonzero syndrome: the double-error
+    // signature. Flagged, never miscorrected.
+    r.status = DecodeStatus::Detected;
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// LDPC-style one-step majority-logic code over the 8x8 grid.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** GF(8) multiply, polynomial x^3 + x + 1. */
+uint32_t
+gfmul8(uint32_t a, uint32_t b)
+{
+    uint32_t r = 0;
+    while (b) {
+        if (b & 1)
+            r ^= a;
+        b >>= 1;
+        a <<= 1;
+        if (a & 8)
+            a ^= 0xb;
+    }
+    return r & 7;
+}
+
+/** The 6 lines (global indices) through each of the 64 data bits. */
+struct LdpcGeometry
+{
+    uint32_t lines[64][kLdpcFamilies];
+    uint64_t lineBits[kLdpcParityBits]; ///< data-bit mask per line
+
+    LdpcGeometry()
+    {
+        for (uint32_t ell = 0; ell < kLdpcParityBits; ell++)
+            lineBits[ell] = 0;
+        for (uint32_t i = 0; i < 64; i++) {
+            uint32_t x = i & 7, y = i >> 3;
+            for (uint32_t f = 0; f < kLdpcFamilies; f++) {
+                uint32_t c;
+                if (f == 0)
+                    c = y; // rows
+                else if (f == 1)
+                    c = x; // columns
+                else
+                    c = y ^ gfmul8(f - 1, x); // slope f-1 in GF(8)
+                uint32_t ell = f * 8 + c;
+                lines[i][f] = ell;
+                lineBits[ell] |= uint64_t(1) << i;
+            }
+        }
+    }
+};
+
+const LdpcGeometry &
+ldpcGeometry()
+{
+    static const LdpcGeometry g;
+    return g;
+}
+
+uint64_t
+ldpcSyndrome(uint64_t data, uint64_t parity)
+{
+    const LdpcGeometry &g = ldpcGeometry();
+    uint64_t synd = 0;
+    for (uint32_t ell = 0; ell < kLdpcParityBits; ell++) {
+        uint32_t p = __builtin_popcountll(data & g.lineBits[ell]) & 1;
+        p ^= (parity >> ell) & 1;
+        if (p)
+            synd |= uint64_t(1) << ell;
+    }
+    return synd;
+}
+
+} // namespace
+
+void
+LdpcWord::flip(uint32_t k)
+{
+    TP_ASSERT(k < kLdpcBits, "LDPC flip position %u out of range", k);
+    if (k < 64)
+        data ^= uint64_t(1) << k;
+    else
+        parity ^= uint64_t(1) << (k - 64);
+}
+
+LdpcWord
+ldpcEncode(uint64_t data)
+{
+    const LdpcGeometry &g = ldpcGeometry();
+    LdpcWord w;
+    w.data = data;
+    for (uint32_t ell = 0; ell < kLdpcParityBits; ell++)
+        if (__builtin_popcountll(data & g.lineBits[ell]) & 1)
+            w.parity |= uint64_t(1) << ell;
+    return w;
+}
+
+DecodeResult
+ldpcDecode(const LdpcWord &w)
+{
+    const LdpcGeometry &g = ldpcGeometry();
+    DecodeResult r;
+    r.data = w.data;
+
+    uint64_t synd = ldpcSyndrome(w.data, w.parity);
+    if (synd == 0)
+        return r; // Clean
+
+    // One-step majority logic: with 6 orthogonal checks per bit and
+    // at most 3 errors, an erroneous bit sees >= 4 failing checks
+    // and a correct one sees <= 3 (each other error pollutes at most
+    // one of its lines). All votes use the *original* syndrome.
+    uint32_t dataFlips = 0;
+    uint64_t fixed = w.data;
+    for (uint32_t i = 0; i < 64; i++) {
+        uint32_t fails = 0;
+        for (uint32_t f = 0; f < kLdpcFamilies; f++)
+            fails += (synd >> g.lines[i][f]) & 1;
+        if (fails >= 4) {
+            fixed ^= uint64_t(1) << i;
+            dataFlips++;
+        }
+    }
+
+    // Any check still failing against the repaired data can only be
+    // a flipped parity bit (attributed, not a data problem).
+    uint64_t residual = ldpcSyndrome(fixed, w.parity);
+    uint32_t parityFlips =
+        static_cast<uint32_t>(__builtin_popcountll(residual));
+
+    // The guarantee covers <= 3 total flips; a decode that would
+    // have to claim more corrections than that is outside it and is
+    // flagged instead of trusted (a 4-error pattern can alias).
+    uint32_t total = dataFlips + parityFlips;
+    if (total <= 3) {
+        r.data = fixed;
+        r.status = DecodeStatus::Corrected;
+        r.corrected = total;
+    } else {
+        r.status = DecodeStatus::Detected;
+    }
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Detector zoo.
+// ---------------------------------------------------------------------
+
+const std::vector<DetectorConfig> &
+detectorZoo()
+{
+    static const std::vector<DetectorConfig> zoo = [] {
+        std::vector<DetectorConfig> z;
+
+        DetectorConfig d; // the paper's scheme, and the default
+        d.label = "acoustic-parity";
+        z.push_back(d);
+
+        d = DetectorConfig();
+        d.label = "acoustic-only";
+        d.reg = ProtectLevel::None;
+        z.push_back(d);
+
+        d = DetectorConfig();
+        d.label = "secded-reg";
+        d.reg = ProtectLevel::Secded;
+        z.push_back(d);
+
+        d = DetectorConfig();
+        d.label = "secded-full";
+        d.reg = ProtectLevel::Secded;
+        d.sb = ProtectLevel::Secded;
+        d.cache = ProtectLevel::Secded;
+        z.push_back(d);
+
+        d = DetectorConfig();
+        d.label = "ldpc-full";
+        d.reg = ProtectLevel::Ldpc;
+        d.sb = ProtectLevel::Ldpc;
+        d.cache = ProtectLevel::Ldpc;
+        z.push_back(d);
+
+        d = DetectorConfig(); // heterogeneous protection showcase
+        d.label = "hetero";
+        d.reg = ProtectLevel::Secded;
+        d.sb = ProtectLevel::Parity;
+        d.cache = ProtectLevel::Ldpc;
+        z.push_back(d);
+
+        d = DetectorConfig();
+        d.label = "noisy-sensor";
+        d.falsePosRate = 0.02;
+        d.falseNegRate = 0.05;
+        d.filterLatency = 3;
+        z.push_back(d);
+
+        d = DetectorConfig(); // multi-bit upsets vs. ECC radii
+        d.label = "burst";
+        d.reg = ProtectLevel::Secded;
+        d.sb = ProtectLevel::Parity;
+        d.maxBurst = 4;
+        z.push_back(d);
+
+        return z;
+    }();
+    return zoo;
+}
+
+bool
+detectorByName(const std::string &name, DetectorConfig &out)
+{
+    for (const DetectorConfig &d : detectorZoo()) {
+        if (d.label == name) {
+            out = d;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+detectorZooNames()
+{
+    std::string names;
+    for (const DetectorConfig &d : detectorZoo()) {
+        if (!names.empty())
+            names += ", ";
+        names += d.label;
+    }
+    return names;
+}
+
+bool
+applyProtectOverride(DetectorConfig &det, const std::string &spec)
+{
+    size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 ||
+        eq + 1 >= spec.size())
+        return false;
+    std::string target = spec.substr(0, eq);
+    ProtectLevel level;
+    if (!parseProtectLevel(spec.substr(eq + 1), level))
+        return false;
+    if (target == "reg")
+        det.reg = level;
+    else if (target == "sb")
+        det.sb = level;
+    else if (target == "cache")
+        det.cache = level;
+    else
+        return false;
+    det.label += "+" + spec;
+    return true;
+}
+
+} // namespace turnpike

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Pluggable detector / error-protection model zoo. The paper's
+ * scheme is one point in the detection design space: acoustic
+ * sensors (WCDL-bounded) plus register parity. This layer
+ * generalizes it to heterogeneous per-structure protection levels —
+ * none, parity, SECDED (extended Hamming(72,64)) or an LDPC-style
+ * one-step majority-logic code — and to a *noisy* sensor array with
+ * false-positive / false-negative rates and a median-filter latency.
+ *
+ * Two views of each code are provided:
+ *
+ *  - a real codec (encode / flip bits / decode) whose correction and
+ *    detection guarantees are pinned by property tests
+ *    (tests/detector_test.cc), and
+ *  - a closed-form strikeEffect(level, burst) the pipeline consults
+ *    when a fault lands on a protected structure, consistent with
+ *    the codec guarantees: what an N-bit burst does to a word
+ *    protected at that level.
+ *
+ * Scheme selection threads through core/config (ResilienceConfig::
+ * detector), the AVF engine, replay and the CLI (--detector NAME,
+ * --protect STRUCT=LEVEL).
+ */
+
+#ifndef TURNPIKE_SIM_DETECTOR_HH_
+#define TURNPIKE_SIM_DETECTOR_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace turnpike {
+
+/** Per-structure protection level. */
+enum class ProtectLevel : uint8_t {
+    None,   ///< unprotected: any strike corrupts silently
+    Parity, ///< one parity bit: detects odd bursts, corrects nothing
+    Secded, ///< extended Hamming(72,64): corrects 1, detects 2
+    Ldpc,   ///< one-step majority-logic LDPC: corrects 3, detects 4
+};
+
+/** Number of ProtectLevel enumerators. */
+constexpr int kNumProtectLevels = 4;
+
+/** Stable lower-case name ("none", "parity", "secded", "ldpc"). */
+const char *protectLevelName(ProtectLevel l);
+
+/** Parse a protection-level name; false on unknown input. */
+bool parseProtectLevel(const std::string &name, ProtectLevel &out);
+
+/** What a burst strike does to a word at a protection level. */
+enum class StrikeEffect : uint8_t {
+    Silent,    ///< corrupts undetected (the code is blind or overrun)
+    Corrected, ///< the code repairs it in place: no corruption at all
+    Detected,  ///< corrupts, but the code flags it (recovery fires)
+};
+
+/**
+ * Closed-form outcome of an adjacent @p burst-bit strike on a word
+ * protected at @p l, consistent with the codec guarantees below:
+ * None is always Silent; Parity detects odd bursts; SECDED corrects
+ * 1 and detects 2; LDPC corrects up to 3 and detects 4. Beyond each
+ * code's detection radius the strike is conservatively Silent (an
+ * aliased syndrome may miscorrect).
+ */
+StrikeEffect strikeEffect(ProtectLevel l, uint32_t burst);
+
+// ---------------------------------------------------------------------
+// SECDED codec: extended Hamming(72,64). 64 data bits, 7 Hamming
+// check bits and one overall-parity bit. Single-bit errors anywhere
+// in the 72-bit codeword are corrected; double-bit errors are
+// detected (never miscorrected).
+// ---------------------------------------------------------------------
+
+/** A SECDED codeword: 64 data bits + 8 check bits. */
+struct SecdedWord
+{
+    uint64_t data = 0;
+    uint8_t check = 0; ///< bits 0..6: Hamming checks; bit 7: overall
+
+    /** Flip codeword bit @p k: k in [0,64) data, [64,72) check. */
+    void flip(uint32_t k);
+};
+
+/** Total codeword bits (for property-test flip positions). */
+constexpr uint32_t kSecdedBits = 72;
+
+/** Decoder verdict. */
+enum class DecodeStatus : uint8_t {
+    Clean,     ///< syndrome zero: nothing happened
+    Corrected, ///< error(s) repaired; data is trustworthy
+    Detected,  ///< uncorrectable but flagged; data must not be used
+};
+
+/** Decoder output: possibly-repaired data plus the verdict. */
+struct DecodeResult
+{
+    uint64_t data = 0;
+    DecodeStatus status = DecodeStatus::Clean;
+    uint32_t corrected = 0; ///< bits the decoder repaired
+};
+
+SecdedWord secdedEncode(uint64_t data);
+DecodeResult secdedDecode(const SecdedWord &w);
+
+// ---------------------------------------------------------------------
+// LDPC-style codec: a one-step majority-logic decodable code over
+// the 8x8 bit grid of a 64-bit word (positions (x, y) in GF(8)^2).
+// Six orthogonal line families — rows, columns and four GF(8)
+// slopes — give every data bit 6 parity checks such that any two
+// data bits share at most one check (affine-plane geometry). With
+// J = 6 orthogonal checks the code corrects floor(J/2) = 3 errors by
+// one-step majority logic and detects 4. 48 parity bits total: the
+// ROADMAP exemplar's pitch — triple-error correction at a SECDED-
+// class parity budget per protected block.
+// ---------------------------------------------------------------------
+
+/** Line families (rows, columns, slopes 1..4 in GF(8)). */
+constexpr uint32_t kLdpcFamilies = 6;
+/** Parity bits: kLdpcFamilies * 8 lines. */
+constexpr uint32_t kLdpcParityBits = kLdpcFamilies * 8;
+/** Total codeword bits (for property-test flip positions). */
+constexpr uint32_t kLdpcBits = 64 + kLdpcParityBits;
+
+/** An LDPC codeword: 64 data bits + 48 line-parity bits. */
+struct LdpcWord
+{
+    uint64_t data = 0;
+    uint64_t parity = 0; ///< low kLdpcParityBits bits used
+
+    /** Flip codeword bit @p k: k in [0,64) data, [64,112) parity. */
+    void flip(uint32_t k);
+};
+
+LdpcWord ldpcEncode(uint64_t data);
+DecodeResult ldpcDecode(const LdpcWord &w);
+
+// ---------------------------------------------------------------------
+// Detector configuration: which structures are protected at which
+// level, plus the noisy-sensor model.
+// ---------------------------------------------------------------------
+
+/** One full detection scheme (per-structure levels + sensor noise). */
+struct DetectorConfig
+{
+    std::string label = "acoustic-parity";
+
+    // -- heterogeneous per-structure protection ----------------------
+    /** Register file (the paper's default: parity). */
+    ProtectLevel reg = ProtectLevel::Parity;
+    /** Store-buffer data bits (the paper assumes hardened: none). */
+    ProtectLevel sb = ProtectLevel::None;
+    /** L1D data (the paper's study assumes ECC-less: none). */
+    ProtectLevel cache = ProtectLevel::None;
+
+    // -- noisy acoustic sensors --------------------------------------
+    /**
+     * Per-trial probability of a spurious detection: the sensor
+     * array "hears" a strike that never happened and recovery fires
+     * for nothing (the false-positive outcome class).
+     */
+    double falsePosRate = 0.0;
+    /**
+     * Additional per-strike miss probability from sensor noise,
+     * composed with the campaign's sensorMissRate as independent
+     * misses: 1 - (1-miss)(1-falseNeg).
+     */
+    double falseNegRate = 0.0;
+    /**
+     * Median-filter latency: extra cycles the (noise-filtered)
+     * detection takes beyond the acoustic WCDL draw.
+     */
+    uint32_t filterLatency = 0;
+    /**
+     * Maximum adjacent-bit burst width a strike can flip (>= 1).
+     * 1 reproduces the single-bit-upset model of PR 4 exactly.
+     */
+    uint32_t maxBurst = 1;
+
+    /**
+     * True when this detector reproduces the pre-zoo model exactly
+     * (parity on registers, nothing else, noiseless sensors): the
+     * campaign RNG stream and every outcome are then byte-identical
+     * to the legacy engine.
+     */
+    bool isLegacy() const
+    {
+        return reg == ProtectLevel::Parity &&
+            sb == ProtectLevel::None &&
+            cache == ProtectLevel::None && falsePosRate == 0.0 &&
+            falseNegRate == 0.0 && filterLatency == 0 &&
+            maxBurst <= 1;
+    }
+};
+
+/** The built-in model zoo (stable order; labels are the names). */
+const std::vector<DetectorConfig> &detectorZoo();
+
+/** Look up a zoo detector by name; false on unknown. */
+bool detectorByName(const std::string &name, DetectorConfig &out);
+
+/** Comma-separated zoo names (CLI error messages). */
+std::string detectorZooNames();
+
+/**
+ * Apply one "STRUCT=LEVEL" override (STRUCT in {reg, sb, cache},
+ * LEVEL a protectLevelName). Returns false on malformed input.
+ * Overrides relabel the detector "<label>+STRUCT=LEVEL".
+ */
+bool applyProtectOverride(DetectorConfig &det, const std::string &spec);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_SIM_DETECTOR_HH_

@@ -74,7 +74,7 @@ makeFaultPlan(Rng &rng, uint64_t horizon, uint32_t wcdl, uint32_t count)
 FaultEvent
 makeTrialFault(uint64_t seed, uint32_t trial, uint64_t horizon,
                uint32_t wcdl, const std::vector<FaultTarget> &targets,
-               double sensor_miss_rate)
+               double sensor_miss_rate, const TrialNoise &noise)
 {
     TP_ASSERT(horizon > 1, "trial fault needs a horizon");
     TP_ASSERT(!targets.empty(), "trial fault needs a target set");
@@ -89,7 +89,25 @@ makeTrialFault(uint64_t seed, uint32_t trial, uint64_t horizon,
     ev.index = static_cast<uint32_t>(rng.below(1u << 30));
     ev.bit = static_cast<uint32_t>(rng.below(64));
     ev.detectDelay = 1 + static_cast<uint32_t>(rng.below(wcdl));
-    ev.detected = !rng.chance(sensor_miss_rate);
+    // Independent misses compose: the acoustic array misses the wave
+    // OR the noise filter drops the (real) detection. The default
+    // noise keeps the argument — and thus the draw — identical to
+    // the legacy stream.
+    double miss = sensor_miss_rate + noise.falseNegRate -
+        sensor_miss_rate * noise.falseNegRate;
+    ev.detected = !rng.chance(miss);
+    ev.detectDelay += noise.filterLatency;
+    // New draws append strictly after the legacy sequence, gated on
+    // non-default noise, so (seed, trial) keys replay byte-for-byte
+    // across detector configurations that don't use them.
+    if (noise.maxBurst > 1)
+        ev.burst =
+            1 + static_cast<uint32_t>(rng.below(noise.maxBurst));
+    if (noise.falsePosRate > 0 && rng.chance(noise.falsePosRate)) {
+        ev.spurious = true;
+        ev.detected = true; // a false alarm is, by definition, heard
+        ev.burst = 0;       // and nothing is actually struck
+    }
     return ev;
 }
 

@@ -51,7 +51,7 @@ struct FaultEvent
     FaultTarget target = FaultTarget::Register;
     uint32_t index = 0;       ///< structure-entry selector (modded per target)
     uint32_t bit = 0;         ///< bit to flip (0..63)
-    uint32_t detectDelay = 1; ///< sensor latency, in (0, WCDL]
+    uint32_t detectDelay = 1; ///< sensor latency, in (0, WCDL] + filter
     /**
      * False models a sensor miss: the strike still corrupts state
      * but no acoustic detection is ever delivered, so only parity
@@ -59,6 +59,38 @@ struct FaultEvent
      * the architectural results.
      */
     bool detected = true;
+    /**
+     * Adjacent bits flipped starting at @p bit (wrapping mod 64).
+     * 1 is the classic single-event upset; wider bursts exercise
+     * the ECC correction/detection radii (sim/detector.hh).
+     */
+    uint32_t burst = 1;
+    /**
+     * A sensor false positive: nothing is struck at all, but the
+     * detection (and the recovery it triggers) still fires. The AVF
+     * engine classifies such trials FalsePos, never Recovered.
+     */
+    bool spurious = false;
+};
+
+/**
+ * Noisy-sensor and multi-bit-upset knobs for makeTrialFault,
+ * normally derived from a DetectorConfig (sim/detector.hh). The
+ * default value adds no draws to the trial RNG stream, so legacy
+ * campaigns stay byte-identical.
+ */
+struct TrialNoise
+{
+    double falseNegRate = 0.0;  ///< extra miss probability (sensor noise)
+    double falsePosRate = 0.0;  ///< spurious-detection probability
+    uint32_t filterLatency = 0; ///< extra detection delay (median filter)
+    uint32_t maxBurst = 1;      ///< maximum adjacent bits per strike
+
+    bool isDefault() const
+    {
+        return falseNegRate == 0.0 && falsePosRate == 0.0 &&
+            filterLatency == 0 && maxBurst <= 1;
+    }
 };
 
 /**
@@ -77,14 +109,21 @@ std::vector<FaultEvent> makeFaultPlan(Rng &rng, uint64_t horizon,
  * The single upset of Monte Carlo trial @p trial of a campaign
  * seeded with @p seed: strike cycle uniform over (0, horizon),
  * target uniform over @p targets, random entry/bit, detection delay
- * in [1, wcdl], and detected = false with probability
- * @p sensor_miss_rate. Deterministic in (seed, trial) alone, so a
- * campaign's trial set is identical at any worker count.
+ * in [1, wcdl] plus noise.filterLatency, and detected = false with
+ * the combined miss probability 1 - (1-sensor_miss_rate) *
+ * (1-noise.falseNegRate). With noise.maxBurst > 1 the strike flips
+ * a uniform 1..maxBurst adjacent bits; with probability
+ * noise.falsePosRate the trial is a spurious detection instead (no
+ * corruption, recovery fires anyway). Deterministic in (seed,
+ * trial) alone, so a campaign's trial set is identical at any
+ * worker count — and the default TrialNoise draws nothing extra, so
+ * legacy (pre-detector-zoo) campaigns replay byte-for-byte.
  */
 FaultEvent makeTrialFault(uint64_t seed, uint32_t trial,
                           uint64_t horizon, uint32_t wcdl,
                           const std::vector<FaultTarget> &targets,
-                          double sensor_miss_rate);
+                          double sensor_miss_rate,
+                          const TrialNoise &noise = {});
 
 } // namespace turnpike
 

@@ -54,6 +54,9 @@ InOrderPipeline::InOrderPipeline(const Module &mod,
       sb_(cfg.sbSize),
       rbb_(cfg.rbbEntries),
       clq_(cfg.clqDesign, cfg.clqEntries),
+      colors_(cfg.colorPool ? cfg.colorPool
+                            : static_cast<uint32_t>(
+                                  layout::kNumColors)),
       caches_(cfg.l1d, cfg.l2, cfg.memLatency)
 {
     memory_.loadModule(mod);
@@ -285,18 +288,52 @@ InOrderPipeline::parityTriggered(const MInstr &mi)
 void
 InOrderPipeline::applyFault(const FaultEvent &ev)
 {
+    if (ev.spurious) {
+        // Sensor false positive (noisy-detector model): nothing was
+        // struck, but the detection pipeline fires anyway and rolls
+        // back a perfectly healthy region.
+        stats_.falseAlarms++;
+        if (cfg_.tracer && cfg_.tracer->wants(kTraceRecovery))
+            cfg_.tracer->event(cycle_, kTraceRecovery, "fault",
+                               strfmt("spurious detection (false "
+                                      "positive) in %u cycles",
+                                      ev.detectDelay),
+                               pc_, kNoTraceOp, 0, 0);
+        if (ev.detected)
+            pending_detect_.push(cycle_ + ev.detectDelay);
+        return;
+    }
+    const uint32_t burst = ev.burst ? ev.burst : 1;
     switch (ev.target) {
       case FaultTarget::Register: {
         Reg r = ev.index % kNumPhysRegs;
-        regs_[r] ^= int64_t(1) << (ev.bit & 63);
-        reg_parity_bad_[r] = true;
-        any_parity_bad_ = true;
+        // The register file's code sees the whole burst at once:
+        // within its correction radius the strike never lands;
+        // within its detection radius it lands but is flagged
+        // (parity-style) the next time the register is read.
+        StrikeEffect se = strikeEffect(cfg_.regProtect, burst);
+        if (se == StrikeEffect::Corrected) {
+            stats_.eccCorrected++;
+        } else {
+            for (uint32_t i = 0; i < burst; i++)
+                regs_[r] ^= int64_t(1) << ((ev.bit + i) & 63);
+            if (se == StrikeEffect::Detected) {
+                stats_.eccDetected++;
+                reg_parity_bad_[r] = true;
+                any_parity_bad_ = true;
+            }
+        }
         if (cfg_.tracer && cfg_.tracer->wants(kTraceRecovery))
-            cfg_.tracer->event(cycle_, kTraceRecovery, "fault",
-                               strfmt("bit %u of r%u flipped; "
-                                      "detection in %u cycles",
-                                      ev.bit, r, ev.detectDelay),
-                               pc_, kNoTraceOp, r, ev.bit);
+            cfg_.tracer->event(
+                cycle_, kTraceRecovery, "fault",
+                se == StrikeEffect::Corrected
+                    ? strfmt("bit %u of r%u corrected by %s",
+                             ev.bit, r,
+                             protectLevelName(cfg_.regProtect))
+                    : strfmt("bit %u of r%u flipped; "
+                             "detection in %u cycles",
+                             ev.bit, r, ev.detectDelay),
+                pc_, kNoTraceOp, r, ev.bit);
         break;
       }
       case FaultTarget::SbEntry: {
@@ -317,8 +354,21 @@ InOrderPipeline::applyFault(const FaultEvent &ev)
             }
         }
         if (!candidates.empty()) {
-            SbEntry *e = candidates[ev.index % candidates.size()];
-            e->value ^= int64_t(1) << (ev.bit & 63);
+            StrikeEffect se = strikeEffect(cfg_.sbProtect, burst);
+            if (se == StrikeEffect::Corrected) {
+                stats_.eccCorrected++;
+            } else {
+                SbEntry *e = candidates[ev.index % candidates.size()];
+                for (uint32_t i = 0; i < burst; i++)
+                    e->value ^= int64_t(1) << ((ev.bit + i) & 63);
+                if (se == StrikeEffect::Detected) {
+                    // The SB's own code flags the entry on its next
+                    // access — an immediate detection independent of
+                    // the acoustic wave.
+                    stats_.eccDetected++;
+                    pending_detect_.push(cycle_ + 1);
+                }
+            }
         }
         break;
       }
@@ -334,10 +384,11 @@ InOrderPipeline::applyFault(const FaultEvent &ev)
       case FaultTarget::Latch: {
         // A pipeline latch holds a register value in flight; the
         // writeback lands in the register file *without* tripping
-        // parity (the latch itself has no parity bits), so only the
-        // acoustic sensor can catch this one.
+        // any storage code (the latch itself is unprotected at every
+        // level), so only the acoustic sensor can catch this one.
         Reg r = ev.index % kNumPhysRegs;
-        regs_[r] ^= int64_t(1) << (ev.bit & 63);
+        for (uint32_t i = 0; i < burst; i++)
+            regs_[r] ^= int64_t(1) << ((ev.bit + i) & 63);
         break;
       }
       case FaultTarget::RbbEntry: {
@@ -367,9 +418,15 @@ InOrderPipeline::applyFault(const FaultEvent &ev)
         colors_.corruptVerified(ev.index % kNumPhysRegs, ev.bit);
         break;
       case FaultTarget::CacheData: {
-        // A dirty line in the (assumed ECC-less for this study) data
-        // cache: authoritative data lives in memory_, so flip a word
-        // of the module's data segment directly.
+        // A dirty line in the data cache (ECC-less in the paper's
+        // study; the detector zoo can protect it): authoritative
+        // data lives in memory_, so flip a word of the module's data
+        // segment directly.
+        StrikeEffect se = strikeEffect(cfg_.cacheProtect, burst);
+        if (se == StrikeEffect::Corrected) {
+            stats_.eccCorrected++;
+            break;
+        }
         uint64_t total = 0;
         for (const DataObject &obj : mod_.data())
             total += obj.words;
@@ -378,12 +435,18 @@ InOrderPipeline::applyFault(const FaultEvent &ev)
             for (const DataObject &obj : mod_.data()) {
                 if (k < obj.words) {
                     uint64_t addr = obj.base + k * 8;
-                    memory_.write(addr,
-                                  memory_.read(addr) ^
-                                      (int64_t(1) << (ev.bit & 63)));
+                    int64_t v = memory_.read(addr);
+                    for (uint32_t i = 0; i < burst; i++)
+                        v ^= int64_t(1) << ((ev.bit + i) & 63);
+                    memory_.write(addr, v);
                     break;
                 }
                 k -= obj.words;
+            }
+            if (se == StrikeEffect::Detected) {
+                // Cache ECC flags the line on its next fill/probe.
+                stats_.eccDetected++;
+                pending_detect_.push(cycle_ + 1);
             }
         }
         break;

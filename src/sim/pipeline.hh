@@ -23,6 +23,7 @@
 #include "sim/cache.hh"
 #include "sim/clq.hh"
 #include "sim/color_maps.hh"
+#include "sim/detector.hh"
 #include "sim/fault_injector.hh"
 #include "sim/rbb.hh"
 #include "sim/store_buffer.hh"
@@ -105,6 +106,21 @@ struct PipelineConfig
     uint32_t sbSize = 4;
     uint32_t wcdl = 10;
     uint32_t rbbEntries = 64;
+    /**
+     * Checkpoint colors per register, 1..layout::kNumColors; 0
+     * selects the full pool. Smaller pools shrink the color maps
+     * (hwcost) at the price of more colorExhausted quarantines —
+     * one of the explorer's sweep axes.
+     */
+    uint32_t colorPool = 0;
+
+    // -- error protection (sim/detector.hh) ---------------------------
+    /** Register-file protection (the paper's default: parity). */
+    ProtectLevel regProtect = ProtectLevel::Parity;
+    /** Store-buffer data protection (paper: assumed hardened). */
+    ProtectLevel sbProtect = ProtectLevel::None;
+    /** Cache-data protection (paper's study: ECC-less). */
+    ProtectLevel cacheProtect = ProtectLevel::None;
 
     // -- core ---------------------------------------------------------
     int issueWidth = 2;
@@ -191,6 +207,12 @@ struct PipelineStats
     uint64_t detectedFaults = 0;
     uint64_t recoveries = 0;
     uint64_t recoveryCycles = 0;
+    /** Strikes repaired in place by a structure's ECC (no corruption). */
+    uint64_t eccCorrected = 0;
+    /** Strikes flagged (but not repaired) by a structure's code. */
+    uint64_t eccDetected = 0;
+    /** Spurious sensor detections (false alarms; recovery still fires). */
+    uint64_t falseAlarms = 0;
     // Cache hit/miss totals, copied out of the hierarchy at the end
     // of run() (the caches keep their own counters on the hot path).
     uint64_t l1dHits = 0;

@@ -36,4 +36,30 @@ sensorAreaOverhead(const SensorConfig &cfg)
         cfg.dieAreaMm2;
 }
 
+SensorConfig
+sensorsForWcdl(uint32_t wcdl, SensorConfig base)
+{
+    TP_ASSERT(wcdl >= 1, "WCDL is at least one cycle");
+    SensorConfig probe = base;
+    // Latency is monotonically non-increasing in the sensor count, so
+    // binary-search the smallest count meeting the deadline. The cap
+    // (one sensor per ~10 um pitch on a 1 mm^2 die) is far beyond any
+    // deployment the paper considers; if even that misses the
+    // deadline the deadline is unachievable and we return the cap.
+    uint32_t lo = 1, hi = 10000;
+    probe.numSensors = hi;
+    if (worstCaseDetectionLatency(probe) > wcdl)
+        return probe;
+    while (lo < hi) {
+        uint32_t mid = lo + (hi - lo) / 2;
+        probe.numSensors = mid;
+        if (worstCaseDetectionLatency(probe) <= wcdl)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    probe.numSensors = lo;
+    return probe;
+}
+
 } // namespace turnpike

@@ -34,6 +34,15 @@ uint32_t worstCaseDetectionLatency(const SensorConfig &cfg);
  */
 double sensorAreaOverhead(const SensorConfig &cfg);
 
+/**
+ * Invert the latency model: the cheapest deployment (smallest sensor
+ * count, hence smallest area) whose WCDL is at most @p wcdl cycles,
+ * holding @p base's clock and die area fixed. Latency shrinks
+ * monotonically as sensors are added, so this is a binary search.
+ * The design-space explorer uses it to price each WCDL point.
+ */
+SensorConfig sensorsForWcdl(uint32_t wcdl, SensorConfig base = {});
+
 } // namespace turnpike
 
 #endif // TURNPIKE_SIM_SENSORS_HH_

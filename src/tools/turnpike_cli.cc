@@ -24,6 +24,7 @@
 
 #include "core/avf.hh"
 #include "core/compiler.hh"
+#include "core/explorer.hh"
 #include "core/replay.hh"
 #include "core/rootcause.hh"
 #include "core/runner.hh"
@@ -64,9 +65,29 @@ usage()
         "(default 200000)\n"
         "  --faults N             inject N single-event upsets\n"
         "  --fault-seed S         fault plan seed (default 1)\n"
+        "  --detector NAME        detection scheme from the model "
+        "zoo\n"
+        "                         (default acoustic-parity; see "
+        "--help output\n"
+        "                         of an unknown name for the list)\n"
+        "  --protect STRUCT=LEVEL override one structure's "
+        "protection:\n"
+        "                         STRUCT in {reg, sb, cache}, LEVEL "
+        "in\n"
+        "                         {none, parity, secded, ldpc} "
+        "(repeatable)\n"
+        "  --pool N               checkpoint colors per register "
+        "(1..4;\n"
+        "                         default 0 = full pool)\n"
         "  --avf                  run a Monte Carlo vulnerability\n"
         "                         campaign instead of a single "
         "simulation\n"
+        "  --explore              sweep the co-design space around "
+        "the\n"
+        "                         configured point and report the "
+        "Pareto\n"
+        "                         frontier (area / overhead / "
+        "vulnerability)\n"
         "  --replay TRIAL         deterministically re-run one "
         "campaign trial\n"
         "                         (honors --trace; same keying as "
@@ -223,6 +244,10 @@ main(int argc, char **argv)
     uint64_t icount = 200000;
     uint32_t faults = 0;
     uint64_t fault_seed = 1;
+    std::string detector_name;
+    std::vector<std::string> protect_specs;
+    uint32_t color_pool = 0;
+    bool explore = false;
     bool avf = false;
     bool root_cause = false;
     long long replay_trial = -1;
@@ -275,6 +300,14 @@ main(int argc, char **argv)
             faults = parseU32("--faults", need(i), 0);
         } else if (a == "--fault-seed") {
             fault_seed = parseU64("--fault-seed", need(i), 0);
+        } else if (a == "--detector") {
+            detector_name = need(i);
+        } else if (a == "--protect") {
+            protect_specs.push_back(need(i));
+        } else if (a == "--pool") {
+            color_pool = parseU32("--pool", need(i), 0);
+        } else if (a == "--explore") {
+            explore = true;
         } else if (a == "--avf") {
             avf = true;
         } else if (a == "--replay") {
@@ -344,11 +377,25 @@ main(int argc, char **argv)
     cfg.clqEntries = clq;
     if (ideal_clq)
         cfg.clqDesign = ClqDesign::Ideal;
+    if (color_pool > static_cast<uint32_t>(layout::kNumColors))
+        fatal("--pool %u exceeds the %d-color checkpoint pool",
+              color_pool, layout::kNumColors);
+    cfg.colorPool = color_pool;
+    if (!detector_name.empty() &&
+        !detectorByName(detector_name, cfg.detector))
+        fatal("unknown detector '%s' (known: %s)",
+              detector_name.c_str(), detectorZooNames().c_str());
+    for (const std::string &spec_str : protect_specs)
+        if (!applyProtectOverride(cfg.detector, spec_str))
+            fatal("--protect expects STRUCT=LEVEL with STRUCT in "
+                  "{reg, sb, cache} and LEVEL in {none, parity, "
+                  "secded, ldpc}, got '%s'", spec_str.c_str());
 
     if (static_cast<int>(avf) + static_cast<int>(root_cause) +
-            static_cast<int>(replay_trial >= 0) > 1)
-        fatal("--avf, --replay and --root-cause are mutually "
-              "exclusive");
+            static_cast<int>(replay_trial >= 0) +
+            static_cast<int>(explore) > 1)
+        fatal("--avf, --replay, --root-cause and --explore are "
+              "mutually exclusive");
 
     // Shared tracer setup (all run modes). In chrome mode one
     // ChromeTraceWriter owns the whole timeline document: host
@@ -474,6 +521,68 @@ main(int argc, char **argv)
                 cw->finish();
         });
     };
+
+    if (explore) {
+        if (!protect_specs.empty())
+            fatal("--protect is not supported with --explore (the "
+                  "sweep selects whole zoo detectors; use "
+                  "--detector to pin one)");
+        if (wcdl < 1)
+            fatal("--explore needs --wcdl >= 1 (the sensor model "
+                  "sizes a deployment for the deadline)");
+        ExplorerConfig ecfg;
+        ecfg.specs = {spec};
+        ecfg.icount = icount;
+        ecfg.trials = trials;
+        ecfg.seed = fault_seed;
+        ecfg.sensorMissRate = miss_rate;
+        ecfg.hangFactor = hang_factor;
+        // A compact sweep around the configured point: two WCDL and
+        // SB settings, two color-pool sizes, three detectors (or the
+        // pinned one).
+        ecfg.wcdls = {wcdl, wcdl + 30};
+        ecfg.sbSizes = {sb, sb + 8};
+        ecfg.clqDesigns = {cfg.clqDesign};
+        ecfg.clqEntries = {clq};
+        ecfg.colorPools = {0, 2};
+        if (!detector_name.empty())
+            ecfg.detectors = {detector_name};
+        else
+            ecfg.detectors = {"acoustic-parity", "secded-full",
+                              "noisy-sensor"};
+
+        std::vector<PointScore> scores = runExplorer(ecfg);
+        uint64_t frontier = 0;
+        for (const PointScore &s : scores)
+            frontier += s.onFrontier ? 1 : 0;
+        std::printf("design-space exploration: %s, %zu points, %u "
+                    "trials per cell (seed %llu)\n\n%s\n"
+                    "pareto frontier: %llu of %zu points\n",
+                    workload.c_str(), scores.size(), trials,
+                    static_cast<unsigned long long>(fault_seed),
+                    paretoTable(scores).c_str(),
+                    static_cast<unsigned long long>(frontier),
+                    scores.size());
+        if (!stats_file.empty()) {
+            StatRegistry reg;
+            reg.setMeta("workload", workload);
+            reg.setMeta("icount", std::to_string(icount));
+            reg.setMeta("fault_seed", std::to_string(fault_seed));
+            exportParetoStats(reg, scores);
+            reg.setHostResources(captureHostResources());
+            std::ofstream sf(stats_file);
+            if (!sf)
+                fatal("cannot open stats file %s",
+                      stats_file.c_str());
+            if (stats_format == "json")
+                reg.dumpJson(sf);
+            else
+                reg.dumpText(sf);
+            std::printf("\nwrote %s stats to %s\n",
+                        stats_format.c_str(), stats_file.c_str());
+        }
+        return 0;
+    }
 
     if (root_cause) {
         makeTracer();

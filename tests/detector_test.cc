@@ -1,0 +1,827 @@
+/**
+ * @file
+ * Detector-zoo tests (sim/detector.hh, the noisy trial-fault model
+ * and their integration with the pipeline, the AVF campaign and
+ * replay):
+ *
+ *  - property tests (tests/property.hh) pinning the codec laws:
+ *    SECDED corrects any single flip and detects any double flip,
+ *    the LDPC code corrects any <= 3 flips, never calls a 4-flip
+ *    word Clean and always detects an adjacent 4-bit burst, and
+ *    neither codec ever miscorrects inside its guarantee radius;
+ *  - the closed-form strikeEffect table the pipeline consults;
+ *  - noisy-sensor determinism and the append-only RNG contract: the
+ *    default TrialNoise reproduces the legacy fault stream
+ *    byte-for-byte;
+ *  - zoo integrity, --protect override parsing;
+ *  - pipeline integration: ECC-corrected strikes leave no trace on
+ *    the architectural results, spurious detections corrupt nothing;
+ *  - the false-positive outcome class: a spurious recovery is
+ *    FalsePos, never Recovered (regression for the coverage
+ *    inflation bug), in campaigns and replay alike;
+ *  - a differential check: for every zoo detector and every fault
+ *    target, the campaign's classification equals a brute-force
+ *    golden-diff re-derivation from re-executed trials;
+ *  - campaign determinism at TURNPIKE_JOBS=1 vs 3 under a noisy
+ *    detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "core/avf.hh"
+#include "core/replay.hh"
+#include "tests/property.hh"
+#include "workloads/suite.hh"
+
+namespace turnpike {
+namespace {
+
+using proptest::Property;
+using proptest::checkProperty;
+using proptest::shrinkToFixpoint;
+
+// ---------------------------------------------------------------- levels
+
+TEST(ProtectLevel, NamesRoundTrip)
+{
+    for (int i = 0; i < kNumProtectLevels; i++) {
+        ProtectLevel l = static_cast<ProtectLevel>(i);
+        ProtectLevel parsed;
+        ASSERT_TRUE(parseProtectLevel(protectLevelName(l), parsed))
+            << protectLevelName(l);
+        EXPECT_EQ(parsed, l);
+    }
+    ProtectLevel out;
+    EXPECT_FALSE(parseProtectLevel("hamming", out));
+    EXPECT_FALSE(parseProtectLevel("", out));
+    EXPECT_FALSE(parseProtectLevel("PARITY", out));
+}
+
+TEST(StrikeEffectTable, MatchesCodecGuarantees)
+{
+    using PL = ProtectLevel;
+    using SE = StrikeEffect;
+    // A zero-width burst never lands anywhere.
+    for (int i = 0; i < kNumProtectLevels; i++)
+        EXPECT_EQ(strikeEffect(static_cast<PL>(i), 0), SE::Corrected);
+
+    for (uint32_t b = 1; b <= 6; b++)
+        EXPECT_EQ(strikeEffect(PL::None, b), SE::Silent) << b;
+
+    EXPECT_EQ(strikeEffect(PL::Parity, 1), SE::Detected);
+    EXPECT_EQ(strikeEffect(PL::Parity, 2), SE::Silent);
+    EXPECT_EQ(strikeEffect(PL::Parity, 3), SE::Detected);
+    EXPECT_EQ(strikeEffect(PL::Parity, 4), SE::Silent);
+
+    EXPECT_EQ(strikeEffect(PL::Secded, 1), SE::Corrected);
+    EXPECT_EQ(strikeEffect(PL::Secded, 2), SE::Detected);
+    EXPECT_EQ(strikeEffect(PL::Secded, 3), SE::Silent);
+
+    EXPECT_EQ(strikeEffect(PL::Ldpc, 1), SE::Corrected);
+    EXPECT_EQ(strikeEffect(PL::Ldpc, 2), SE::Corrected);
+    EXPECT_EQ(strikeEffect(PL::Ldpc, 3), SE::Corrected);
+    EXPECT_EQ(strikeEffect(PL::Ldpc, 4), SE::Detected);
+    EXPECT_EQ(strikeEffect(PL::Ldpc, 5), SE::Silent);
+}
+
+// ------------------------------------------------------- property harness
+
+TEST(PropertyHarness, ShrinksToMinimalCounterexample)
+{
+    // A deliberately failing law (v < 10) with a halving/decrement
+    // shrinker must shrink any failing draw to exactly 10.
+    Property<uint64_t> p;
+    p.holds = [](const uint64_t &v) { return v < 10; };
+    p.shrink = [](const uint64_t &v) {
+        std::vector<uint64_t> out;
+        if (v > 0) {
+            out.push_back(v / 2);
+            out.push_back(v - 1);
+        }
+        return out;
+    };
+    EXPECT_EQ(shrinkToFixpoint(p, uint64_t(1000)), 10u);
+    EXPECT_EQ(shrinkToFixpoint(p, uint64_t(11)), 10u);
+    EXPECT_EQ(shrinkToFixpoint(p, uint64_t(10)), 10u);
+}
+
+TEST(PropertyHarness, PassingPropertyRunsAllIterations)
+{
+    uint32_t calls = 0;
+    Property<uint64_t> p;
+    p.iterations = 57;
+    p.gen = [&](Rng &rng) {
+        calls++;
+        return rng.next();
+    };
+    p.holds = [](const uint64_t &) { return true; };
+    EXPECT_TRUE(checkProperty(p));
+    EXPECT_EQ(calls, 57u);
+}
+
+// ------------------------------------------------------------ SECDED laws
+
+TEST(SecdedProperty, CleanRoundTrip)
+{
+    Property<uint64_t> p;
+    p.name = "secded: encode/decode of an untouched word is Clean";
+    p.gen = [](Rng &rng) { return rng.next(); };
+    p.holds = [](const uint64_t &v) {
+        DecodeResult r = secdedDecode(secdedEncode(v));
+        return r.status == DecodeStatus::Clean && r.data == v;
+    };
+    p.show = [](const uint64_t &v) { return std::to_string(v); };
+    checkProperty(p);
+}
+
+TEST(SecdedProperty, CorrectsAnySingleFlip)
+{
+    // Exhaustive in the flip position, random in the data.
+    Rng rng(99);
+    for (uint32_t k = 0; k < kSecdedBits; k++) {
+        uint64_t v = rng.next();
+        SecdedWord w = secdedEncode(v);
+        w.flip(k);
+        DecodeResult r = secdedDecode(w);
+        ASSERT_EQ(r.status, DecodeStatus::Corrected) << "bit " << k;
+        ASSERT_EQ(r.data, v) << "bit " << k;
+        ASSERT_EQ(r.corrected, 1u) << "bit " << k;
+    }
+}
+
+TEST(SecdedProperty, DetectsAnyDoubleFlip)
+{
+    struct Case
+    {
+        uint64_t v;
+        uint32_t a, b;
+    };
+    Property<Case> p;
+    p.name = "secded: any two distinct flips are Detected";
+    p.iterations = 400;
+    p.gen = [](Rng &rng) {
+        Case c;
+        c.v = rng.next();
+        c.a = static_cast<uint32_t>(rng.below(kSecdedBits));
+        do {
+            c.b = static_cast<uint32_t>(rng.below(kSecdedBits));
+        } while (c.b == c.a);
+        return c;
+    };
+    p.holds = [](const Case &c) {
+        SecdedWord w = secdedEncode(c.v);
+        w.flip(c.a);
+        w.flip(c.b);
+        return secdedDecode(w).status == DecodeStatus::Detected;
+    };
+    p.shrink = [](const Case &c) {
+        // Shrink the data word toward zero; the flip pair is the
+        // interesting part and stays fixed.
+        std::vector<Case> out;
+        if (c.v)
+            out.push_back({c.v / 2, c.a, c.b});
+        return out;
+    };
+    p.show = [](const Case &c) {
+        return "v=" + std::to_string(c.v) + " flips {" +
+            std::to_string(c.a) + "," + std::to_string(c.b) + "}";
+    };
+    checkProperty(p);
+}
+
+TEST(SecdedProperty, NeverSilentlyWrongWithinRadius)
+{
+    // With <= 2 flips the decoder must either hand back the original
+    // data or say Detected — returning corrupted data as
+    // Clean/Corrected would defeat the code's whole purpose.
+    struct Case
+    {
+        uint64_t v;
+        std::vector<uint32_t> flips;
+    };
+    Property<Case> p;
+    p.name = "secded: <= 2 flips never silently wrong";
+    p.iterations = 400;
+    p.gen = [](Rng &rng) {
+        Case c;
+        c.v = rng.next();
+        uint32_t n = 1 + static_cast<uint32_t>(rng.below(2));
+        std::set<uint32_t> used;
+        while (used.size() < n)
+            used.insert(static_cast<uint32_t>(
+                rng.below(kSecdedBits)));
+        c.flips.assign(used.begin(), used.end());
+        return c;
+    };
+    p.holds = [](const Case &c) {
+        SecdedWord w = secdedEncode(c.v);
+        for (uint32_t k : c.flips)
+            w.flip(k);
+        DecodeResult r = secdedDecode(w);
+        return r.status == DecodeStatus::Detected || r.data == c.v;
+    };
+    p.show = [](const Case &c) {
+        std::string s = "v=" + std::to_string(c.v) + " flips {";
+        for (uint32_t k : c.flips)
+            s += std::to_string(k) + ",";
+        return s + "}";
+    };
+    checkProperty(p);
+}
+
+// -------------------------------------------------------------- LDPC laws
+
+std::vector<uint32_t>
+distinctFlips(Rng &rng, uint32_t n, uint32_t bits)
+{
+    std::set<uint32_t> used;
+    while (used.size() < n)
+        used.insert(static_cast<uint32_t>(rng.below(bits)));
+    return {used.begin(), used.end()};
+}
+
+TEST(LdpcProperty, CleanRoundTrip)
+{
+    Property<uint64_t> p;
+    p.name = "ldpc: encode/decode of an untouched word is Clean";
+    p.gen = [](Rng &rng) { return rng.next(); };
+    p.holds = [](const uint64_t &v) {
+        DecodeResult r = ldpcDecode(ldpcEncode(v));
+        return r.status == DecodeStatus::Clean && r.data == v;
+    };
+    checkProperty(p);
+}
+
+TEST(LdpcProperty, CorrectsUpToThreeFlipsAnywhere)
+{
+    struct Case
+    {
+        uint64_t v;
+        std::vector<uint32_t> flips;
+    };
+    Property<Case> p;
+    p.name = "ldpc: any 1..3 distinct flips are corrected";
+    p.iterations = 600;
+    p.gen = [](Rng &rng) {
+        Case c;
+        c.v = rng.next();
+        c.flips = distinctFlips(
+            rng, 1 + static_cast<uint32_t>(rng.below(3)), kLdpcBits);
+        return c;
+    };
+    p.holds = [](const Case &c) {
+        LdpcWord w = ldpcEncode(c.v);
+        for (uint32_t k : c.flips)
+            w.flip(k);
+        DecodeResult r = ldpcDecode(w);
+        return r.status == DecodeStatus::Corrected && r.data == c.v &&
+            r.corrected == c.flips.size();
+    };
+    p.shrink = [](const Case &c) {
+        // Drop one flip at a time: a smaller failing flip set is
+        // always more informative.
+        std::vector<Case> out;
+        for (size_t i = 0; i < c.flips.size(); i++) {
+            Case s = c;
+            s.flips.erase(s.flips.begin() +
+                          static_cast<long>(i));
+            if (!s.flips.empty())
+                out.push_back(std::move(s));
+        }
+        if (c.v)
+            out.push_back({c.v / 2, c.flips});
+        return out;
+    };
+    p.show = [](const Case &c) {
+        std::string s = "v=" + std::to_string(c.v) + " flips {";
+        for (uint32_t k : c.flips)
+            s += std::to_string(k) + ",";
+        return s + "}";
+    };
+    checkProperty(p);
+}
+
+TEST(LdpcProperty, FourFlipsNeverPassAsClean)
+{
+    // Four arbitrary flips sit outside the correction radius: the
+    // decoder may repair them, flag them, or (rarely — the pattern
+    // can alias to a different <= 3-error pattern, unavoidable at
+    // minimum distance 7) miscorrect. What it must never do is call
+    // the word Clean: 4 < d, so the syndrome cannot vanish.
+    struct Case
+    {
+        uint64_t v;
+        std::vector<uint32_t> flips;
+    };
+    Property<Case> p;
+    p.name = "ldpc: 4 distinct flips never decode as Clean";
+    p.iterations = 600;
+    p.gen = [](Rng &rng) {
+        Case c;
+        c.v = rng.next();
+        c.flips = distinctFlips(rng, 4, kLdpcBits);
+        return c;
+    };
+    p.holds = [](const Case &c) {
+        LdpcWord w = ldpcEncode(c.v);
+        for (uint32_t k : c.flips)
+            w.flip(k);
+        DecodeResult r = ldpcDecode(w);
+        if (r.status == DecodeStatus::Clean)
+            return false;
+        // A claimed repair outside the radius never claims more
+        // corrections than the guarantee covers.
+        return r.status != DecodeStatus::Corrected ||
+            r.corrected <= 3;
+    };
+    checkProperty(p);
+}
+
+TEST(LdpcProperty, AdjacentDataBurstOfFourIsDetected)
+{
+    // The pipeline's closed-form model says an adjacent 4-bit burst
+    // in a protected word is Detected; the real codec must agree at
+    // every offset (including bursts wrapping mod 64).
+    Rng rng(7);
+    for (uint32_t start = 0; start < 64; start++) {
+        uint64_t v = rng.next();
+        LdpcWord w = ldpcEncode(v);
+        for (uint32_t i = 0; i < 4; i++)
+            w.flip((start + i) & 63);
+        EXPECT_EQ(ldpcDecode(w).status, DecodeStatus::Detected)
+            << "burst at bit " << start;
+    }
+}
+
+// ------------------------------------------------------- noisy trial model
+
+TEST(TrialNoiseModel, DefaultNoiseReproducesLegacyStream)
+{
+    const auto &targets = allFaultTargets();
+    for (uint32_t t = 0; t < 64; t++) {
+        FaultEvent legacy =
+            makeTrialFault(31, t, 9000, 20, targets, 0.3);
+        FaultEvent with_default =
+            makeTrialFault(31, t, 9000, 20, targets, 0.3, {});
+        EXPECT_EQ(legacy.cycle, with_default.cycle);
+        EXPECT_EQ(legacy.target, with_default.target);
+        EXPECT_EQ(legacy.index, with_default.index);
+        EXPECT_EQ(legacy.bit, with_default.bit);
+        EXPECT_EQ(legacy.detectDelay, with_default.detectDelay);
+        EXPECT_EQ(legacy.detected, with_default.detected);
+        EXPECT_EQ(with_default.burst, 1u);
+        EXPECT_FALSE(with_default.spurious);
+    }
+}
+
+TEST(TrialNoiseModel, NoisyDrawsAreAppendOnly)
+{
+    // Noise knobs that draw nothing extra before the legacy fields
+    // must leave those fields untouched: filter latency only adds to
+    // the delay, a burst range only appends a draw.
+    const auto &targets = allFaultTargets();
+    TrialNoise filter;
+    filter.filterLatency = 5;
+    TrialNoise burst;
+    burst.maxBurst = 4;
+    for (uint32_t t = 0; t < 64; t++) {
+        FaultEvent legacy =
+            makeTrialFault(77, t, 9000, 20, targets, 0.25);
+        FaultEvent f =
+            makeTrialFault(77, t, 9000, 20, targets, 0.25, filter);
+        EXPECT_EQ(f.cycle, legacy.cycle);
+        EXPECT_EQ(f.target, legacy.target);
+        EXPECT_EQ(f.index, legacy.index);
+        EXPECT_EQ(f.bit, legacy.bit);
+        EXPECT_EQ(f.detected, legacy.detected);
+        EXPECT_EQ(f.detectDelay, legacy.detectDelay + 5);
+
+        FaultEvent b =
+            makeTrialFault(77, t, 9000, 20, targets, 0.25, burst);
+        EXPECT_EQ(b.cycle, legacy.cycle);
+        EXPECT_EQ(b.target, legacy.target);
+        EXPECT_EQ(b.bit, legacy.bit);
+        EXPECT_EQ(b.detected, legacy.detected);
+        EXPECT_GE(b.burst, 1u);
+        EXPECT_LE(b.burst, 4u);
+    }
+}
+
+TEST(TrialNoiseModel, DeterministicAndRatesBite)
+{
+    const auto &targets = allFaultTargets();
+    TrialNoise noisy;
+    noisy.falsePosRate = 0.3;
+    noisy.falseNegRate = 0.4;
+    noisy.maxBurst = 3;
+    noisy.filterLatency = 2;
+    uint32_t spurious = 0, missed = 0;
+    bool any_wide_burst = false;
+    for (uint32_t t = 0; t < 200; t++) {
+        FaultEvent a =
+            makeTrialFault(5, t, 9000, 20, targets, 0.0, noisy);
+        FaultEvent b =
+            makeTrialFault(5, t, 9000, 20, targets, 0.0, noisy);
+        ASSERT_EQ(a.cycle, b.cycle);
+        ASSERT_EQ(a.spurious, b.spurious);
+        ASSERT_EQ(a.burst, b.burst);
+        ASSERT_EQ(a.detected, b.detected);
+        if (a.spurious) {
+            spurious++;
+            // A spurious "strike" hits nothing and is always heard.
+            EXPECT_TRUE(a.detected);
+            EXPECT_EQ(a.burst, 0u);
+        } else if (!a.detected) {
+            missed++;
+        }
+        any_wide_burst |= a.burst > 1;
+    }
+    // With rates 0.3/0.4 over 200 trials these are overwhelmingly
+    // likely; the draws are deterministic, so no flakiness.
+    EXPECT_GT(spurious, 20u);
+    EXPECT_GT(missed, 20u);
+    EXPECT_TRUE(any_wide_burst);
+}
+
+TEST(TrialNoiseModel, FalsePosRateOneMakesEveryTrialSpurious)
+{
+    const auto &targets = allFaultTargets();
+    TrialNoise noise;
+    noise.falsePosRate = 1.0;
+    for (uint32_t t = 0; t < 32; t++) {
+        FaultEvent ev =
+            makeTrialFault(13, t, 9000, 20, targets, 0.5, noise);
+        EXPECT_TRUE(ev.spurious);
+        EXPECT_TRUE(ev.detected);
+        EXPECT_EQ(ev.burst, 0u);
+    }
+}
+
+TEST(TrialNoiseModel, FalseNegRateOneMissesEveryStrike)
+{
+    const auto &targets = allFaultTargets();
+    TrialNoise noise;
+    noise.falseNegRate = 1.0;
+    for (uint32_t t = 0; t < 32; t++) {
+        FaultEvent ev =
+            makeTrialFault(13, t, 9000, 20, targets, 0.0, noise);
+        EXPECT_FALSE(ev.detected);
+        EXPECT_FALSE(ev.spurious);
+    }
+}
+
+// ------------------------------------------------------------------- zoo
+
+TEST(DetectorZoo, NamesAreUniqueAndResolvable)
+{
+    const auto &zoo = detectorZoo();
+    ASSERT_GE(zoo.size(), 6u);
+    std::set<std::string> names;
+    for (const DetectorConfig &d : zoo) {
+        EXPECT_TRUE(names.insert(d.label).second)
+            << "duplicate zoo label " << d.label;
+        DetectorConfig out;
+        ASSERT_TRUE(detectorByName(d.label, out)) << d.label;
+        EXPECT_EQ(out.label, d.label);
+    }
+    DetectorConfig out;
+    EXPECT_FALSE(detectorByName("no-such-detector", out));
+    // The error-message list mentions every zoo member.
+    std::string all = detectorZooNames();
+    for (const DetectorConfig &d : zoo)
+        EXPECT_NE(all.find(d.label), std::string::npos) << d.label;
+}
+
+TEST(DetectorZoo, DefaultIsTheLegacyPaperModel)
+{
+    DetectorConfig def;
+    EXPECT_TRUE(def.isLegacy());
+    DetectorConfig zoo_default;
+    ASSERT_TRUE(detectorByName("acoustic-parity", zoo_default));
+    EXPECT_TRUE(zoo_default.isLegacy());
+    DetectorConfig noisy;
+    ASSERT_TRUE(detectorByName("noisy-sensor", noisy));
+    EXPECT_FALSE(noisy.isLegacy());
+    DetectorConfig secded;
+    ASSERT_TRUE(detectorByName("secded-full", secded));
+    EXPECT_FALSE(secded.isLegacy());
+}
+
+TEST(DetectorZoo, ProtectOverrideParsing)
+{
+    DetectorConfig det;
+    ASSERT_TRUE(applyProtectOverride(det, "reg=ldpc"));
+    EXPECT_EQ(det.reg, ProtectLevel::Ldpc);
+    ASSERT_TRUE(applyProtectOverride(det, "sb=secded"));
+    EXPECT_EQ(det.sb, ProtectLevel::Secded);
+    ASSERT_TRUE(applyProtectOverride(det, "cache=parity"));
+    EXPECT_EQ(det.cache, ProtectLevel::Parity);
+    // Overrides relabel so reports stay distinguishable.
+    EXPECT_NE(det.label, DetectorConfig().label);
+    EXPECT_NE(det.label.find("cache=parity"), std::string::npos);
+
+    for (const char *bad :
+         {"", "reg", "reg=", "=parity", "reg=banana", "pc=parity",
+          "reg=parity=extra"}) {
+        DetectorConfig fresh;
+        EXPECT_FALSE(applyProtectOverride(fresh, bad)) << bad;
+    }
+}
+
+// -------------------------------------------------- pipeline integration
+
+RunOptions
+trialOptions(const RunResult &golden)
+{
+    return RunOptions(avfCycleBudget(8, golden.pipe.cycles),
+                      /*allow_no_halt=*/true);
+}
+
+TEST(PipelineIntegration, SecdedCorrectsRegisterStrikeInPlace)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "mcf");
+    ResilienceConfig cfg = ResilienceConfig::turnpike(10);
+    cfg.detector.reg = ProtectLevel::Secded;
+    RunResult golden = runWorkload(spec, cfg, 3000);
+
+    FaultEvent ev;
+    ev.target = FaultTarget::Register;
+    ev.cycle = golden.pipe.cycles / 2;
+    ev.index = 5;
+    ev.bit = 17;
+    ev.detected = false; // isolate the ECC from the acoustic path
+    RunResult run =
+        runWorkload(spec, cfg, 3000, {ev}, trialOptions(golden));
+    ASSERT_TRUE(run.halted);
+    EXPECT_EQ(run.pipe.eccCorrected, 1u);
+    EXPECT_EQ(run.pipe.eccDetected, 0u);
+    EXPECT_EQ(run.pipe.recoveries, 0u);
+    EXPECT_EQ(run.dataHash, golden.dataHash);
+    EXPECT_EQ(run.archHash, golden.archHash);
+    EXPECT_EQ(classifyOutcome(golden, run), FaultOutcome::Masked);
+}
+
+TEST(PipelineIntegration, UnprotectedRegisterStrikeStillCorrupts)
+{
+    // Same strike, protection stripped: the sensor miss now leaves
+    // the corruption in place (whatever the downstream outcome, the
+    // ECC counters must stay zero and the flip must land).
+    const WorkloadSpec &spec = findWorkload("CPU2006", "mcf");
+    ResilienceConfig cfg = ResilienceConfig::turnpike(10);
+    cfg.detector.reg = ProtectLevel::None;
+    RunResult golden = runWorkload(spec, cfg, 3000);
+
+    FaultEvent ev;
+    ev.target = FaultTarget::Register;
+    ev.cycle = golden.pipe.cycles / 2;
+    ev.index = 5;
+    ev.bit = 17;
+    ev.detected = false;
+    RunResult run =
+        runWorkload(spec, cfg, 3000, {ev}, trialOptions(golden));
+    EXPECT_EQ(run.pipe.eccCorrected, 0u);
+    EXPECT_EQ(run.pipe.eccDetected, 0u);
+}
+
+TEST(PipelineIntegration, SpuriousDetectionCorruptsNothing)
+{
+    const WorkloadSpec &spec = findWorkload("CPU2006", "mcf");
+    ResilienceConfig cfg = ResilienceConfig::turnpike(10);
+    RunResult golden = runWorkload(spec, cfg, 3000);
+
+    FaultEvent ev;
+    ev.spurious = true;
+    ev.detected = true;
+    ev.cycle = golden.pipe.cycles / 2;
+    ev.detectDelay = 3;
+    RunResult run =
+        runWorkload(spec, cfg, 3000, {ev}, trialOptions(golden));
+    ASSERT_TRUE(run.halted);
+    EXPECT_EQ(run.pipe.falseAlarms, 1u);
+    EXPECT_GE(run.pipe.recoveries, 1u);
+    EXPECT_EQ(run.dataHash, golden.dataHash);
+    EXPECT_EQ(run.archHash, golden.archHash);
+}
+
+// --------------------------------------------- false-positive regression
+
+TEST(ClassifyOutcome, SpuriousTrialsAreFalsePosNotRecovered)
+{
+    RunResult golden;
+    golden.halted = true;
+    golden.dataHash = 0xaaa;
+    golden.archHash = 0xbbb;
+    golden.pipe.insts = 100;
+
+    RunResult faulty = golden;
+    faulty.pipe.recoveries = 1;
+    // Regression: a spurious recovery that lands on the golden image
+    // used to be credited as Recovered, inflating apparent coverage.
+    EXPECT_EQ(classifyOutcome(golden, faulty, /*spurious=*/true),
+              FaultOutcome::FalsePos);
+    EXPECT_EQ(classifyOutcome(golden, faulty, /*spurious=*/false),
+              FaultOutcome::Recovered);
+
+    RunResult diverged = faulty;
+    diverged.dataHash = 0xdead;
+    EXPECT_EQ(classifyOutcome(golden, diverged, /*spurious=*/true),
+              FaultOutcome::Sdc);
+
+    RunResult hung = faulty;
+    hung.halted = false;
+    EXPECT_EQ(classifyOutcome(golden, hung, /*spurious=*/true),
+              FaultOutcome::Hang);
+}
+
+TEST(FalsePositiveCampaign, AllSpuriousTrialsClassifyFalsePos)
+{
+    AvfCampaignConfig cfg;
+    cfg.spec = findWorkload("SPLASH3", "radix");
+    cfg.scheme = ResilienceConfig::turnpike(10);
+    cfg.scheme.detector.falsePosRate = 1.0;
+    cfg.scheme.detector.label = "always-crying-wolf";
+    cfg.icount = 3000;
+    cfg.trials = 10;
+    cfg.seed = 4242;
+
+    AvfReport rep = runAvfCampaign(cfg);
+    EXPECT_EQ(rep.falsePositives(), 10u);
+    EXPECT_EQ(rep.outcomeTotal(FaultOutcome::Recovered), 0u);
+    EXPECT_EQ(rep.outcomeTotal(FaultOutcome::Sdc), 0u);
+    EXPECT_EQ(rep.vulnerability(), 0.0);
+    EXPECT_EQ(rep.falseAlarmEvents, 10u);
+    for (const AvfTrial &t : rep.perTrial) {
+        EXPECT_TRUE(t.fault.spurious);
+        EXPECT_EQ(t.outcome, FaultOutcome::FalsePos);
+    }
+    // The false-positive column reaches the rendered report too.
+    EXPECT_NE(avfReportTable(rep).find("false-pos"),
+              std::string::npos);
+}
+
+TEST(FalsePositiveCampaign, ExportCarriesFalsePositivesAndDetector)
+{
+    AvfCampaignConfig cfg;
+    cfg.spec = findWorkload("SPLASH3", "radix");
+    cfg.scheme = ResilienceConfig::turnpike(10);
+    ASSERT_TRUE(detectorByName("noisy-sensor",
+                               cfg.scheme.detector));
+    cfg.icount = 3000;
+    cfg.trials = 8;
+    cfg.seed = 77;
+
+    AvfReport rep = runAvfCampaign(cfg);
+    StatRegistry reg;
+    exportAvfStats(reg, rep);
+    std::ostringstream out;
+    reg.dumpJson(out, /*include_host=*/false);
+    const std::string dump = out.str();
+    for (const char *key :
+         {"avf.falsePositives", "avf.outcome.false-pos",
+          "detector.protect.reg", "detector.false_pos_rate",
+          "detector.filter_latency", "detector.max_burst",
+          "detector.ecc_corrected", "detector.ecc_detected",
+          "detector.false_alarms"})
+        EXPECT_NE(dump.find(key), std::string::npos) << key;
+    EXPECT_NE(dump.find("noisy-sensor"), std::string::npos);
+}
+
+TEST(FalsePositiveReplay, ReplayAgreesWithCampaign)
+{
+    AvfCampaignConfig cfg;
+    cfg.spec = findWorkload("SPLASH3", "radix");
+    cfg.scheme = ResilienceConfig::turnpike(10);
+    ASSERT_TRUE(detectorByName("noisy-sensor",
+                               cfg.scheme.detector));
+    cfg.scheme.detector.falsePosRate = 0.5; // plenty of both kinds
+    cfg.icount = 3000;
+    cfg.trials = 8;
+    cfg.seed = 31337;
+
+    AvfReport rep = runAvfCampaign(cfg);
+    TrialReplayer replayer(cfg);
+    bool saw_false_pos = false;
+    for (uint32_t t = 0; t < cfg.trials; t++) {
+        ReplayedTrial rt = replayer.replay(t);
+        EXPECT_EQ(rt.fault.spurious, rep.perTrial[t].fault.spurious)
+            << "trial " << t;
+        EXPECT_EQ(rt.fault.burst, rep.perTrial[t].fault.burst)
+            << "trial " << t;
+        EXPECT_EQ(rt.outcome, rep.perTrial[t].outcome)
+            << "trial " << t;
+        saw_false_pos |= rt.outcome == FaultOutcome::FalsePos;
+    }
+    EXPECT_TRUE(saw_false_pos)
+        << "seed 31337 should produce at least one spurious trial";
+}
+
+// --------------------------------------------------- differential check
+
+/**
+ * Brute-force reference classifier: re-derive the taxonomy directly
+ * from a re-executed run's hashes, independent of classifyOutcome's
+ * internal structure.
+ */
+FaultOutcome
+referenceClassify(const RunResult &golden, const RunResult &run,
+                  const FaultEvent &ev)
+{
+    if (!run.halted)
+        return FaultOutcome::Hang;
+    bool image_ok = run.dataHash == golden.dataHash;
+    bool arch_ok = run.archHash == golden.archHash;
+    if (ev.spurious)
+        return image_ok && arch_ok ? FaultOutcome::FalsePos
+                                   : FaultOutcome::Sdc;
+    if (run.pipe.recoveries > 0)
+        return image_ok ? FaultOutcome::Recovered : FaultOutcome::Sdc;
+    return image_ok && arch_ok && run.pipe.insts == golden.pipe.insts
+        ? FaultOutcome::Masked
+        : FaultOutcome::Sdc;
+}
+
+TEST(DifferentialTaxonomy, EveryZooDetectorEveryTarget)
+{
+    // For every zoo detector and every fault target: run a tiny
+    // campaign, then brute-force re-execute each trial's fault and
+    // re-derive its class by direct golden-diff. The campaign's
+    // classification must agree everywhere.
+    const WorkloadSpec &spec = findWorkload("SPLASH3", "radix");
+    for (const DetectorConfig &det : detectorZoo()) {
+        for (FaultTarget target : allFaultTargets()) {
+            AvfCampaignConfig cfg;
+            cfg.spec = spec;
+            cfg.scheme = ResilienceConfig::turnpike(10);
+            cfg.scheme.detector = det;
+            cfg.icount = 2000;
+            cfg.trials = 2;
+            cfg.seed = 555 + static_cast<uint64_t>(target);
+            cfg.sensorMissRate = 0.3;
+            cfg.targets = {target};
+
+            SCOPED_TRACE(det.label + std::string(" / ") +
+                         faultTargetName(target));
+            AvfReport rep = runAvfCampaign(cfg);
+            RunResult golden = runWorkload(spec, cfg.scheme,
+                                           cfg.icount);
+            ASSERT_EQ(rep.perTrial.size(), cfg.trials);
+            for (const AvfTrial &trial : rep.perTrial) {
+                RunOptions opts(rep.cycleBudget,
+                                /*allow_no_halt=*/true);
+                RunResult rerun = runWorkload(
+                    spec, cfg.scheme, cfg.icount, {trial.fault},
+                    opts);
+                EXPECT_EQ(trial.outcome,
+                          referenceClassify(golden, rerun,
+                                            trial.fault));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(NoisyCampaignDeterminism, IdenticalAtJobs1And3)
+{
+    AvfCampaignConfig cfg;
+    cfg.spec = findWorkload("CPU2006", "mcf");
+    cfg.scheme = ResilienceConfig::turnpike(10);
+    ASSERT_TRUE(detectorByName("noisy-sensor",
+                               cfg.scheme.detector));
+    cfg.scheme.detector.maxBurst = 4;
+    cfg.icount = 3000;
+    cfg.trials = 12;
+    cfg.seed = 2026;
+    cfg.sensorMissRate = 0.2;
+
+    const char *saved = std::getenv("TURNPIKE_JOBS");
+    std::string saved_val = saved ? saved : "";
+    setenv("TURNPIKE_JOBS", "1", 1);
+    AvfReport serial = runAvfCampaign(cfg);
+    setenv("TURNPIKE_JOBS", "3", 1);
+    AvfReport parallel = runAvfCampaign(cfg);
+    if (saved)
+        setenv("TURNPIKE_JOBS", saved_val.c_str(), 1);
+    else
+        unsetenv("TURNPIKE_JOBS");
+
+    ASSERT_EQ(serial.perTrial.size(), parallel.perTrial.size());
+    for (size_t t = 0; t < serial.perTrial.size(); t++) {
+        EXPECT_EQ(serial.perTrial[t].outcome,
+                  parallel.perTrial[t].outcome) << "trial " << t;
+        EXPECT_EQ(serial.perTrial[t].fault.spurious,
+                  parallel.perTrial[t].fault.spurious);
+        EXPECT_EQ(serial.perTrial[t].fault.burst,
+                  parallel.perTrial[t].fault.burst);
+    }
+    EXPECT_EQ(serial.eccCorrected, parallel.eccCorrected);
+    EXPECT_EQ(serial.eccDetected, parallel.eccDetected);
+    EXPECT_EQ(serial.falseAlarmEvents, parallel.falseAlarmEvents);
+}
+
+} // namespace
+} // namespace turnpike

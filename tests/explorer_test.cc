@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Design-space explorer tests (core/explorer.hh) plus the hwcost and
+ * sensor-sizing extensions it builds on:
+ *
+ *  - protection cost monotonicity in the protection level;
+ *  - sensorsForWcdl: the returned deployment meets the deadline, is
+ *    minimal (one fewer sensor misses it) and shrinks as the WCDL
+ *    relaxes;
+ *  - Pareto dominance on synthetic scores, including ties;
+ *  - grid enumeration: size, fixed nested order, scheme mapping;
+ *  - a tiny end-to-end sweep (sane scores, non-empty frontier);
+ *  - explorer determinism at TURNPIKE_JOBS=1 vs 3;
+ *  - exportParetoStats shape for the schema checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "core/explorer.hh"
+#include "workloads/suite.hh"
+
+namespace turnpike {
+namespace {
+
+// ----------------------------------------------------------- hw cost
+
+TEST(ProtectCost, OverheadRatioMonotoneInLevel)
+{
+    double prev = -1;
+    for (int i = 0; i < kNumProtectLevels; i++) {
+        double r = protectOverheadRatio(static_cast<ProtectLevel>(i));
+        EXPECT_GE(r, prev) << protectLevelName(
+            static_cast<ProtectLevel>(i));
+        prev = r;
+    }
+    EXPECT_EQ(protectOverheadRatio(ProtectLevel::None), 0.0);
+    EXPECT_GT(protectOverheadRatio(ProtectLevel::Ldpc),
+              protectOverheadRatio(ProtectLevel::Secded));
+}
+
+TEST(ProtectCost, CostGrowsWithLevelAndSize)
+{
+    HwCost none = protectCost(ProtectLevel::None, 256);
+    EXPECT_EQ(none.areaUm2, 0.0);
+    EXPECT_EQ(none.accessEnergyPj, 0.0);
+
+    HwCost parity = protectCost(ProtectLevel::Parity, 256);
+    HwCost secded = protectCost(ProtectLevel::Secded, 256);
+    HwCost ldpc = protectCost(ProtectLevel::Ldpc, 256);
+    EXPECT_GT(parity.areaUm2, 0.0);
+    EXPECT_GT(secded.areaUm2, parity.areaUm2);
+    EXPECT_GT(ldpc.areaUm2, secded.areaUm2);
+    EXPECT_GT(ldpc.accessEnergyPj, parity.accessEnergyPj);
+
+    HwCost big = protectCost(ProtectLevel::Secded, 65536);
+    EXPECT_GT(big.areaUm2, secded.areaUm2);
+}
+
+TEST(ProtectCost, DetectorCostSumsTheProtectedStructures)
+{
+    DetectorConfig none;
+    none.reg = ProtectLevel::None;
+    EXPECT_EQ(detectorCost(none, 4, 65536).areaUm2, 0.0);
+
+    DetectorConfig full;
+    full.reg = ProtectLevel::Secded;
+    full.sb = ProtectLevel::Secded;
+    full.cache = ProtectLevel::Secded;
+    DetectorConfig reg_only;
+    reg_only.reg = ProtectLevel::Secded;
+    double full_area = detectorCost(full, 4, 65536).areaUm2;
+    double reg_area = detectorCost(reg_only, 4, 65536).areaUm2;
+    EXPECT_GT(full_area, reg_area);
+    // Register-file protection alone must match protectCost directly
+    // (32 x 8 B architectural registers).
+    EXPECT_DOUBLE_EQ(reg_area,
+                     protectCost(ProtectLevel::Secded, 256).areaUm2);
+}
+
+// ------------------------------------------------------ sensor sizing
+
+TEST(SensorsForWcdl, MeetsDeadlineMinimally)
+{
+    for (uint32_t wcdl : {5u, 10u, 20u, 40u, 100u}) {
+        SensorConfig cfg = sensorsForWcdl(wcdl);
+        EXPECT_LE(worstCaseDetectionLatency(cfg), wcdl)
+            << "wcdl " << wcdl;
+        if (cfg.numSensors > 1) {
+            SensorConfig fewer = cfg;
+            fewer.numSensors--;
+            EXPECT_GT(worstCaseDetectionLatency(fewer), wcdl)
+                << "deployment for wcdl " << wcdl
+                << " is not minimal";
+        }
+    }
+}
+
+TEST(SensorsForWcdl, MonotoneInDeadline)
+{
+    uint32_t prev = UINT32_MAX;
+    for (uint32_t wcdl : {5u, 10u, 20u, 40u, 100u, 400u}) {
+        uint32_t n = sensorsForWcdl(wcdl).numSensors;
+        EXPECT_LE(n, prev) << "wcdl " << wcdl;
+        prev = n;
+    }
+}
+
+// -------------------------------------------------------- dominance
+
+PointScore
+score(double area, double overhead, double vuln)
+{
+    PointScore s;
+    s.areaUm2 = area;
+    s.runtimeOverhead = overhead;
+    s.vulnerability = vuln;
+    return s;
+}
+
+TEST(ParetoFrontier, SyntheticDominance)
+{
+    std::vector<PointScore> s = {
+        score(100, 1.10, 0.20), // on frontier: cheapest
+        score(200, 1.05, 0.10), // on frontier: balanced
+        score(250, 1.06, 0.15), // dominated by [1] on all three
+        score(300, 1.01, 0.30), // on frontier: fastest
+        score(150, 1.20, 0.05), // on frontier: safest
+    };
+    markParetoFrontier(s);
+    EXPECT_TRUE(s[0].onFrontier);
+    EXPECT_TRUE(s[1].onFrontier);
+    EXPECT_FALSE(s[2].onFrontier);
+    EXPECT_TRUE(s[3].onFrontier);
+    EXPECT_TRUE(s[4].onFrontier);
+}
+
+TEST(ParetoFrontier, ExactTiesBothSurvive)
+{
+    // Equal on every objective: neither dominates (dominance needs a
+    // strict improvement somewhere), so both stay on the frontier.
+    std::vector<PointScore> s = {
+        score(100, 1.10, 0.20),
+        score(100, 1.10, 0.20),
+        score(90, 1.10, 0.20), // strictly better area: dominates both
+    };
+    markParetoFrontier(s);
+    EXPECT_FALSE(s[0].onFrontier);
+    EXPECT_FALSE(s[1].onFrontier);
+    EXPECT_TRUE(s[2].onFrontier);
+
+    std::vector<PointScore> ties = {
+        score(100, 1.10, 0.20),
+        score(100, 1.10, 0.20),
+    };
+    markParetoFrontier(ties);
+    EXPECT_TRUE(ties[0].onFrontier);
+    EXPECT_TRUE(ties[1].onFrontier);
+}
+
+// ------------------------------------------------------------- grid
+
+TEST(DesignGrid, SizeOrderAndLabels)
+{
+    ExplorerConfig cfg;
+    cfg.wcdls = {10, 40};
+    cfg.sbSizes = {4, 12};
+    cfg.clqDesigns = {ClqDesign::Compact};
+    cfg.clqEntries = {2};
+    cfg.colorPools = {0, 2};
+    cfg.detectors = {"acoustic-parity", "secded-full"};
+
+    std::vector<DesignPoint> grid = designGrid(cfg);
+    ASSERT_EQ(grid.size(), 2u * 2 * 1 * 1 * 2 * 2);
+    // Innermost axis is the detector, outermost the WCDL.
+    EXPECT_EQ(grid[0].wcdl, 10u);
+    EXPECT_EQ(grid[0].detector.label, "acoustic-parity");
+    EXPECT_EQ(grid[1].detector.label, "secded-full");
+    EXPECT_EQ(grid[1].wcdl, 10u);
+    EXPECT_EQ(grid[2].colorPool, 2u);
+    EXPECT_EQ(grid.back().wcdl, 40u);
+    EXPECT_EQ(grid.back().sbSize, 12u);
+    EXPECT_EQ(grid.back().detector.label, "secded-full");
+
+    // Labels are unique identities.
+    std::set<std::string> labels;
+    for (const DesignPoint &p : grid)
+        EXPECT_TRUE(labels.insert(p.label()).second) << p.label();
+    EXPECT_EQ(grid[0].label(),
+              "wcdl10/sb4/clq-compact2/pool4/acoustic-parity");
+}
+
+TEST(DesignGrid, SchemeMapping)
+{
+    DesignPoint p;
+    p.wcdl = 25;
+    p.sbSize = 12;
+    p.clqDesign = ClqDesign::Ideal;
+    p.clqEntries = 6;
+    p.colorPool = 2;
+    ASSERT_TRUE(detectorByName("secded-full", p.detector));
+
+    ResilienceConfig cfg = designScheme(p);
+    EXPECT_EQ(cfg.wcdl, 25u);
+    EXPECT_EQ(cfg.sbSize, 12u);
+    EXPECT_EQ(cfg.clqDesign, ClqDesign::Ideal);
+    EXPECT_EQ(cfg.clqEntries, 6u);
+    EXPECT_EQ(cfg.colorPool, 2u);
+    EXPECT_EQ(cfg.detector.label, "secded-full");
+    EXPECT_TRUE(cfg.resilience);
+}
+
+TEST(StaticScore, AreaReflectsTheAxes)
+{
+    DesignPoint cheap;
+    cheap.wcdl = 100; // few sensors
+    DesignPoint tight = cheap;
+    tight.wcdl = 5; // many sensors
+    EXPECT_GT(staticScore(tight).sensors, staticScore(cheap).sensors);
+    EXPECT_GT(staticScore(tight).areaUm2, staticScore(cheap).areaUm2);
+
+    DesignPoint ecc = cheap;
+    ASSERT_TRUE(detectorByName("ldpc-full", ecc.detector));
+    EXPECT_GT(staticScore(ecc).areaUm2, staticScore(cheap).areaUm2);
+
+    DesignPoint big_sb = cheap;
+    big_sb.sbSize = 32;
+    EXPECT_GT(staticScore(big_sb).areaUm2,
+              staticScore(cheap).areaUm2);
+}
+
+// ------------------------------------------------------- end to end
+
+ExplorerConfig
+tinySweep()
+{
+    ExplorerConfig cfg;
+    cfg.specs = {findWorkload("SPLASH3", "radix")};
+    cfg.icount = 2000;
+    cfg.trials = 2;
+    cfg.seed = 11;
+    cfg.wcdls = {10, 40};
+    cfg.sbSizes = {4};
+    cfg.detectors = {"acoustic-parity", "secded-full"};
+    return cfg;
+}
+
+TEST(RunExplorer, TinySweepScoresAreSane)
+{
+    ExplorerConfig cfg = tinySweep();
+    std::vector<PointScore> scores = runExplorer(cfg);
+    ASSERT_EQ(scores.size(), designGrid(cfg).size());
+    bool any_frontier = false;
+    for (const PointScore &s : scores) {
+        EXPECT_GT(s.sensors, 0u);
+        EXPECT_GT(s.areaUm2, 0.0);
+        EXPECT_GT(s.energyPj, 0.0);
+        EXPECT_GT(s.runtimeOverhead, 0.0);
+        EXPECT_GE(s.vulnerability, 0.0);
+        EXPECT_LE(s.vulnerability, 1.0);
+        any_frontier |= s.onFrontier;
+    }
+    EXPECT_TRUE(any_frontier);
+    // The rendered table marks the frontier and names every point.
+    std::string table = paretoTable(scores);
+    EXPECT_NE(table.find("*"), std::string::npos);
+    EXPECT_NE(table.find("secded-full"), std::string::npos);
+}
+
+TEST(RunExplorer, DeterministicAcrossJobs)
+{
+    ExplorerConfig cfg = tinySweep();
+
+    const char *saved = std::getenv("TURNPIKE_JOBS");
+    std::string saved_val = saved ? saved : "";
+    setenv("TURNPIKE_JOBS", "1", 1);
+    std::vector<PointScore> serial = runExplorer(cfg);
+    setenv("TURNPIKE_JOBS", "3", 1);
+    std::vector<PointScore> parallel = runExplorer(cfg);
+    if (saved)
+        setenv("TURNPIKE_JOBS", saved_val.c_str(), 1);
+    else
+        unsetenv("TURNPIKE_JOBS");
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); i++) {
+        EXPECT_EQ(serial[i].point.label(), parallel[i].point.label());
+        EXPECT_EQ(serial[i].sensors, parallel[i].sensors);
+        EXPECT_EQ(serial[i].areaUm2, parallel[i].areaUm2);
+        EXPECT_EQ(serial[i].runtimeOverhead,
+                  parallel[i].runtimeOverhead) << i;
+        EXPECT_EQ(serial[i].vulnerability, parallel[i].vulnerability)
+            << i;
+        EXPECT_EQ(serial[i].onFrontier, parallel[i].onFrontier) << i;
+    }
+}
+
+TEST(ExportParetoStats, ShapeForTheSchemaChecker)
+{
+    ExplorerConfig cfg = tinySweep();
+    std::vector<PointScore> scores = runExplorer(cfg);
+
+    StatRegistry reg;
+    exportParetoStats(reg, scores);
+    std::ostringstream out;
+    reg.dumpJson(out, /*include_host=*/false);
+    const std::string dump = out.str();
+    EXPECT_NE(dump.find("pareto.points"), std::string::npos);
+    EXPECT_NE(dump.find("pareto.frontier_size"), std::string::npos);
+    for (const char *key :
+         {"pareto.frontier.0.wcdl", "pareto.frontier.0.sensors",
+          "pareto.frontier.0.area_um2", "pareto.frontier.0.overhead",
+          "pareto.frontier.0.vulnerability"})
+        EXPECT_NE(dump.find(key), std::string::npos) << key;
+}
+
+} // namespace
+} // namespace turnpike

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A tiny property-test harness on top of googletest: seeded random
+ * generators, a fixed iteration budget and greedy counterexample
+ * shrinking — no external dependencies beyond the repo's own Rng.
+ *
+ * Usage:
+ *
+ *   Property<uint32_t> p;
+ *   p.name = "secded corrects any single flip";
+ *   p.gen = [](Rng &rng) { return uint32_t(rng.below(72)); };
+ *   p.holds = [](const uint32_t &bit) { ... return ok; };
+ *   p.shrink = [](const uint32_t &bit) {     // optional
+ *       return bit ? std::vector<uint32_t>{bit / 2, bit - 1}
+ *                  : std::vector<uint32_t>{};
+ *   };
+ *   p.show = [](const uint32_t &bit) { return std::to_string(bit); };
+ *   checkProperty(p);
+ *
+ * checkProperty draws `iterations` cases from `gen` (seeded, so a
+ * failure reproduces exactly), checks `holds` on each, and on the
+ * first failure repeatedly applies `shrink` — accepting any proposed
+ * smaller case that still fails — until a fixpoint, then reports the
+ * shrunken counterexample through ADD_FAILURE().
+ */
+
+#ifndef TURNPIKE_TESTS_PROPERTY_HH_
+#define TURNPIKE_TESTS_PROPERTY_HH_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+namespace turnpike {
+namespace proptest {
+
+template <typename T>
+struct Property
+{
+    /** Shown in the failure report. */
+    std::string name = "unnamed property";
+    /** Cases drawn per checkProperty call. */
+    uint32_t iterations = 200;
+    /** Generator seed: failures replay byte-for-byte. */
+    uint64_t seed = 20260808;
+    /** Draw one random case. */
+    std::function<T(Rng &)> gen;
+    /** The law under test: true = case passes. */
+    std::function<bool(const T &)> holds;
+    /**
+     * Optional: propose strictly "smaller" variants of a failing
+     * case. Each proposal that still fails becomes the new
+     * counterexample; shrinking stops at a fixpoint (no proposal
+     * fails). Cycles are the caller's responsibility to avoid —
+     * always propose genuinely smaller cases.
+     */
+    std::function<std::vector<T>(const T &)> shrink;
+    /** Optional: render a case for the failure message. */
+    std::function<std::string(const T &)> show;
+};
+
+/**
+ * Greedily shrink @p failing to a fixpoint: keep applying the first
+ * still-failing proposal until no proposal fails. Bounded at 10000
+ * accepted steps as a cycle backstop. Exposed for harness tests.
+ */
+template <typename T>
+T
+shrinkToFixpoint(const Property<T> &p, T failing)
+{
+    if (!p.shrink)
+        return failing;
+    for (int steps = 0; steps < 10000; steps++) {
+        bool shrunk = false;
+        for (const T &candidate : p.shrink(failing)) {
+            if (!p.holds(candidate)) {
+                failing = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if (!shrunk)
+            break;
+    }
+    return failing;
+}
+
+/**
+ * Run the property. Returns true when every case passed (so callers
+ * can compose); failures are also reported through ADD_FAILURE with
+ * the shrunken counterexample and the iteration that found it.
+ */
+template <typename T>
+bool
+checkProperty(const Property<T> &p)
+{
+    Rng rng(p.seed);
+    for (uint32_t i = 0; i < p.iterations; i++) {
+        T v = p.gen(rng);
+        if (p.holds(v))
+            continue;
+        T smallest = shrinkToFixpoint(p, v);
+        std::string rendered =
+            p.show ? p.show(smallest) : std::string("<no show fn>");
+        ADD_FAILURE() << "property '" << p.name << "' failed at "
+                      << "iteration " << i << " (seed " << p.seed
+                      << ")\n  shrunken counterexample: " << rendered;
+        return false;
+    }
+    return true;
+}
+
+} // namespace proptest
+} // namespace turnpike
+
+#endif // TURNPIKE_TESTS_PROPERTY_HH_

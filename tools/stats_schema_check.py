@@ -165,6 +165,77 @@ def check_rootcause(stats, problems):
                 f"analyzed {values['rootcause.analyzed']}", problems)
 
 
+def check_detector(stats, problems):
+    """Namespace invariants for detector.* dumps.
+
+    A dump carrying any detector.* stat must carry all three
+    per-structure protection levels (small enums) and sensor noise
+    rates inside [0, 1].
+    """
+    by_name = {s["name"]: s for s in stats
+               if isinstance(s, dict) and isinstance(s.get("name"), str)}
+    if not any(n.startswith("detector.") for n in by_name):
+        return
+    for name in ("detector.protect.reg", "detector.protect.sb",
+                 "detector.protect.cache"):
+        s = by_name.get(name)
+        if s is None or not isinstance(s.get("value"), (int, float)):
+            err("detector", f"namespace present but '{name}' "
+                "missing or non-numeric", problems)
+            return
+        if not 0 <= s["value"] <= 3:
+            err("detector", f"'{name}' = {s['value']} outside the "
+                "protection-level enum [0, 3]", problems)
+    for name in ("detector.false_pos_rate", "detector.false_neg_rate"):
+        s = by_name.get(name)
+        if s is None or not isinstance(s.get("value"), (int, float)):
+            err("detector", f"namespace present but '{name}' "
+                "missing or non-numeric", problems)
+            return
+        if not 0 <= s["value"] <= 1:
+            err("detector", f"'{name}' = {s['value']} outside [0, 1]",
+                problems)
+
+
+def check_pareto(stats, problems):
+    """Namespace invariants for pareto.* dumps.
+
+    A dump carrying any pareto.* stat must carry the point/frontier
+    counters with frontier_size <= points, and every frontier point
+    block must be complete (one stat per scored objective).
+    """
+    by_name = {s["name"]: s for s in stats
+               if isinstance(s, dict) and isinstance(s.get("name"), str)}
+    if not any(n.startswith("pareto.") for n in by_name):
+        return
+    values = {}
+    for name in ("pareto.points", "pareto.frontier_size"):
+        s = by_name.get(name)
+        if s is None or not isinstance(s.get("value"), (int, float)):
+            err("pareto", f"namespace present but '{name}' "
+                "missing or non-numeric", problems)
+            return
+        values[name] = s["value"]
+    if values["pareto.frontier_size"] > values["pareto.points"]:
+        err("pareto",
+            f"frontier_size {values['pareto.frontier_size']} exceeds "
+            f"points {values['pareto.points']}", problems)
+    if values["pareto.frontier_size"] < 1 <= values["pareto.points"]:
+        err("pareto", "non-empty sweep with an empty frontier "
+            "(the best point always survives)", problems)
+    fields = ("wcdl", "sb", "clq", "pool", "sensors", "area_um2",
+              "energy_pj", "overhead", "vulnerability")
+    for fi in range(int(values["pareto.frontier_size"])):
+        for field in fields:
+            name = f"pareto.frontier.{fi}.{field}"
+            s = by_name.get(name)
+            if s is None or not isinstance(s.get("value"),
+                                           (int, float)):
+                err("pareto", f"frontier point {fi} missing/non-"
+                    f"numeric '{name}'", problems)
+                return
+
+
 def check_file(path):
     problems = []
     try:
@@ -195,6 +266,8 @@ def check_file(path):
                         problems)
                 names.add(s["name"])
         check_rootcause(stats, problems)
+        check_detector(stats, problems)
+        check_pareto(stats, problems)
 
     intervals = doc.get("intervals")
     if not isinstance(intervals, list):
