@@ -1,5 +1,8 @@
 #include "core/avf.hh"
 
+#include <map>
+
+#include "core/campaign.hh"
 #include "util/chrome_trace.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -125,11 +128,38 @@ classifyOutcome(const RunResult &golden, const RunResult &faulty,
         : FaultOutcome::Sdc;
 }
 
+namespace {
+
+/**
+ * The scheme half of the campaign identity: the config fingerprint,
+ * plus the target list when the caller narrowed it (the targets
+ * change every trial's fault draw, so two campaigns over different
+ * target sets must never share a checkpoint).
+ */
+std::string
+avfIdentityScheme(const AvfCampaignConfig &cfg)
+{
+    std::string s = schemeFingerprint(cfg.scheme);
+    if (!cfg.targets.empty()) {
+        s += ";targets=";
+        for (size_t i = 0; i < cfg.targets.size(); i++) {
+            if (i)
+                s += ',';
+            s += std::to_string(int(cfg.targets[i]));
+        }
+    }
+    return s;
+}
+
+} // namespace
+
 AvfReport
 runAvfCampaign(const AvfCampaignConfig &cfg)
 {
     const std::vector<FaultTarget> &targets =
         cfg.targets.empty() ? allFaultTargets() : cfg.targets;
+    TP_ASSERT(cfg.checkpointFile.empty() || cfg.resumeFile.empty(),
+              "checkpointFile and resumeFile are mutually exclusive");
 
     // The fault-free golden run: reference image/arch state, and the
     // horizon the strike cycles are drawn from.
@@ -155,81 +185,171 @@ runAvfCampaign(const AvfCampaignConfig &cfg)
     // defaults, so legacy campaigns draw the exact same RNG stream.
     TrialNoise noise = detectorTrialNoise(cfg.scheme.detector);
 
-    std::vector<RunRequest> reqs;
-    reqs.reserve(cfg.trials);
-    for (uint32_t t = 0; t < cfg.trials; t++) {
-        RunRequest q{cfg.spec, cfg.scheme, cfg.icount, {}, false,
-                     {rep.cycleBudget, true}};
-        q.faults.push_back(makeTrialFault(cfg.seed, t,
-                                          golden.pipe.cycles,
-                                          cfg.scheme.wcdl, targets,
-                                          cfg.sensorMissRate, noise));
-        reqs.push_back(std::move(q));
+    // The campaign identity every shard record is keyed by. The
+    // golden signature rides along so a resume against a diverging
+    // build fails loudly instead of merging incompatible results.
+    CampaignIdentity id;
+    id.workload = rep.workload;
+    id.scheme = avfIdentityScheme(cfg);
+    id.seed = cfg.seed;
+    id.trials = cfg.trials;
+    id.shardTrials = campaignShardTrials(cfg.shardTrials);
+    id.icount = cfg.icount;
+    id.missRate = cfg.sensorMissRate;
+    id.hangFactor = cfg.hangFactor;
+    id.goldenCycles = golden.pipe.cycles;
+    id.goldenData = golden.dataHash;
+    id.goldenArch = golden.archHash;
+    id.goldenInsts = golden.pipe.insts;
+
+    const std::vector<ShardRange> shards =
+        decomposeShards(cfg.trials, id.shardTrials);
+
+    // Checkpoint plumbing: completed shards already on disk are
+    // skipped; new ones are appended as they finish.
+    std::map<uint32_t, ShardRecord> have;
+    CheckpointWriter writer;
+    std::string ckPath = cfg.resumeFile.empty() ? cfg.checkpointFile
+                                                : cfg.resumeFile;
+    if (!cfg.resumeFile.empty()) {
+        LoadedCheckpoint loaded = loadCheckpoint(cfg.resumeFile, id);
+        have = std::move(loaded.shards);
+        writer.openResume(cfg.resumeFile, id, loaded);
+        // Status to stderr: stdout stays byte-identical to an
+        // uninterrupted run (the resume CI job diffs it).
+        if (loaded.status == CheckpointStatus::NoFile)
+            inform("resume: %s does not exist yet; starting fresh",
+                   cfg.resumeFile.c_str());
+        else
+            inform("resume: %zu of %zu shards already complete in "
+                   "%s", have.size(), shards.size(),
+                   cfg.resumeFile.c_str());
+    } else if (!cfg.checkpointFile.empty()) {
+        writer.openFresh(cfg.checkpointFile, id);
     }
 
-    // Observation only: live progress tallies and chrome trial
-    // spans. Classification here is the same pure function applied
-    // again below for the authoritative (submission-ordered) report,
-    // so the hooks cannot change any result.
-    CampaignTelemetry *tel = telemetryForCampaign();
-    ChromeTraceWriter *chrome = activeChromeTrace();
-    CampaignObserver obs;
-    std::vector<uint64_t> spanStartUs;
-    if (tel) {
-        tel->beginCampaign("avf:" + rep.workload + ":" + rep.scheme,
-                           cfg.trials,
-                           {"masked", "recovered", "sdc", "hang",
-                            "false-pos"});
+    std::vector<ShardRange> pending;
+    pending.reserve(shards.size());
+    uint64_t pendingTrials = 0;
+    for (const ShardRange &sr : shards) {
+        if (have.count(sr.shard))
+            continue;
+        pending.push_back(sr);
+        pendingTrials += sr.hi - sr.lo;
     }
-    if (tel || chrome) {
-        spanStartUs.assign(256, 0);
-        obs.onStart = [&](unsigned w, size_t i) {
+
+    // One shard, start to finish: pure in (identity, shard range),
+    // so it computes the same record on any worker thread, in any
+    // forked child, or in a later resumed invocation. Telemetry and
+    // chrome spans are re-fetched per shard because forked children
+    // must see their nulled sinks, not a captured parent pointer.
+    ShardRunner runShard = [&](const ShardRange &sr) {
+        CampaignTelemetry *tel = activeTelemetry();
+        ChromeTraceWriter *chrome = activeChromeTrace();
+        unsigned w = currentCampaignWorker();
+        ShardRecord rec;
+        rec.shard = sr.shard;
+        rec.lo = sr.lo;
+        rec.hi = sr.hi;
+        size_t n = sr.hi - sr.lo;
+        rec.outcomes.reserve(n);
+        rec.cycles.reserve(n);
+        rec.recoveries.reserve(n);
+        rec.detections.reserve(n);
+        for (uint32_t t = sr.lo; t < sr.hi; t++) {
+            FaultEvent fault = makeTrialFault(
+                cfg.seed, t, golden.pipe.cycles, cfg.scheme.wcdl,
+                targets, cfg.sensorMissRate, noise);
             if (tel)
-                tel->itemStarted(w, i);
-            if (chrome && w < spanStartUs.size())
-                spanStartUs[w] = chrome->nowUs();
-        };
-        obs.onFinish = [&](unsigned w, size_t i,
-                           const RunResult &r) {
-            FaultOutcome o = classifyOutcome(
-                golden, r, reqs[i].faults[0].spurious);
+                tel->itemStarted(w, t);
+            uint64_t ts = chrome ? chrome->nowUs() : 0;
+            RunResult r = runWorkload(cfg.spec, cfg.scheme,
+                                      cfg.icount, {fault},
+                                      {rep.cycleBudget, true});
+            FaultOutcome o =
+                classifyOutcome(golden, r, fault.spurious);
             if (tel)
                 tel->itemFinished(w, static_cast<int>(o));
-            if (chrome && w < spanStartUs.size()) {
-                uint64_t ts = spanStartUs[w];
+            if (chrome) {
                 uint64_t end = chrome->nowUs();
                 chrome->completeEvent(
-                    "trial " + std::to_string(i), "trial",
+                    "trial " + std::to_string(t), "trial",
                     kChromePidHost, threadChromeTid(), ts,
                     end > ts ? end - ts : 0,
-                    "\"trial\":" + std::to_string(i) +
+                    "\"trial\":" + std::to_string(t) +
                         ",\"outcome\":\"" + faultOutcomeName(o) +
                         "\"");
             }
-        };
+            rec.outcomes.push_back(uint8_t(o));
+            rec.cycles.push_back(r.pipe.cycles);
+            rec.recoveries.push_back(r.pipe.recoveries);
+            rec.detections.push_back(r.pipe.detectedFaults);
+            rec.eccCorrected += r.pipe.eccCorrected;
+            rec.eccDetected += r.pipe.eccDetected;
+            rec.falseAlarms += r.pipe.falseAlarms;
+        }
+        return rec;
+    };
+
+    unsigned procs = campaignProcs(cfg.procs);
+    if (procs > 1 && !pending.empty()) {
+        // Forked children cannot feed the parent's progress
+        // monitor, so multi-process campaigns skip telemetry
+        // entirely rather than report a misleading trickle.
+        std::string segBase = ckPath.empty()
+            ? defaultSegmentBase(id.key())
+            : ckPath;
+        runShardsForked(pending, procs, id, segBase, runShard,
+                        writer.isOpen() ? &writer : nullptr, have);
+    } else {
+        CampaignTelemetry *tel = telemetryForCampaign();
+        if (tel)
+            tel->beginCampaign(
+                "avf:" + rep.workload + ":" + rep.scheme,
+                pendingTrials,
+                {"masked", "recovered", "sdc", "hang",
+                 "false-pos"});
+        std::vector<ShardRecord> fresh(pending.size());
+        CampaignService::instance().run(
+            pending.size(), [&](size_t i) {
+                fresh[i] = runShard(pending[i]);
+                if (writer.isOpen())
+                    writer.appendShard(fresh[i]);
+            });
+        if (tel)
+            tel->endCampaign();
+        for (ShardRecord &rec : fresh)
+            have.emplace(rec.shard, std::move(rec));
     }
+    writer.close();
 
-    std::vector<RunResult> runs = runCampaign(reqs, obs);
-    if (tel)
-        tel->endCampaign();
-
+    // Assemble the report in ascending trial order — the same order
+    // the old per-trial loop used, so every downstream export is
+    // byte-identical however the shards were actually executed.
     rep.perTrial.reserve(cfg.trials);
-    for (uint32_t t = 0; t < cfg.trials; t++) {
-        AvfTrial trial;
-        trial.fault = reqs[t].faults[0];
-        trial.outcome =
-            classifyOutcome(golden, runs[t], trial.fault.spurious);
-        trial.cycles = runs[t].pipe.cycles;
-        trial.recoveries = runs[t].pipe.recoveries;
-        trial.detections = runs[t].pipe.detectedFaults;
-        int ti = static_cast<int>(trial.fault.target);
-        rep.injected[ti]++;
-        rep.counts[ti][static_cast<int>(trial.outcome)]++;
-        rep.eccCorrected += runs[t].pipe.eccCorrected;
-        rep.eccDetected += runs[t].pipe.eccDetected;
-        rep.falseAlarmEvents += runs[t].pipe.falseAlarms;
-        rep.perTrial.push_back(trial);
+    for (const auto &kv : have) {
+        const ShardRecord &rec = kv.second;
+        for (uint32_t t = rec.lo; t < rec.hi; t++) {
+            AvfTrial trial;
+            trial.fault = makeTrialFault(
+                cfg.seed, t, golden.pipe.cycles, cfg.scheme.wcdl,
+                targets, cfg.sensorMissRate, noise);
+            trial.outcome = FaultOutcome(rec.outcomes[t - rec.lo]);
+            trial.cycles = rec.cycles[t - rec.lo];
+            trial.recoveries = rec.recoveries[t - rec.lo];
+            trial.detections = rec.detections[t - rec.lo];
+            int ti = static_cast<int>(trial.fault.target);
+            rep.injected[ti]++;
+            rep.counts[ti][static_cast<int>(trial.outcome)]++;
+            rep.perTrial.push_back(trial);
+        }
+        rep.eccCorrected += rec.eccCorrected;
+        rep.eccDetected += rec.eccDetected;
+        rep.falseAlarmEvents += rec.falseAlarms;
     }
+    TP_ASSERT(rep.perTrial.size() == cfg.trials,
+              "campaign assembled %zu of %u trials",
+              rep.perTrial.size(), cfg.trials);
     return rep;
 }
 

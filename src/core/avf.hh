@@ -15,10 +15,18 @@
  *               supposed to make impossible for detected faults;
  *  - Hang:      the cycle budget was exhausted before Halt.
  *
- * Trials fan out over the parallel campaign runner (runCampaign) and
- * every trial's fault is derived from (seed, trial index) alone, so
- * outcome counts are identical at any TURNPIKE_JOBS. Results export
- * through the StatRegistry under the avf.* namespace.
+ * The campaign is decomposed into shards — contiguous trial ranges
+ * keyed by (seed, trial range) — that fan out over the persistent
+ * campaign service (core/parallel.hh), optionally across forked OS
+ * processes, with completed shards streamed to a
+ * turnpike-checkpoint-v1 file (core/campaign.hh) so an interrupted
+ * campaign resumes instead of restarting. Every trial's fault is
+ * derived from (seed, trial index) alone and the report is
+ * assembled in trial order from the shard records, so outcome
+ * counts, stats and tables are byte-identical at any TURNPIKE_JOBS
+ * x TURNPIKE_PROCS combination, straight through or
+ * interrupted-and-resumed. Results export through the StatRegistry
+ * under the avf.* namespace.
  */
 
 #ifndef TURNPIKE_CORE_AVF_HH_
@@ -83,6 +91,28 @@ struct AvfCampaignConfig
      * locking against trial runs.
      */
     Tracer *goldenTracer = nullptr;
+
+    // -- campaign service (core/campaign.hh) -------------------------
+    /**
+     * Stream completed-shard records to this turnpike-checkpoint-v1
+     * file as the campaign runs (truncating anything already
+     * there). Empty = no checkpointing.
+     */
+    std::string checkpointFile;
+    /**
+     * Resume from (and keep appending to) this checkpoint: shards
+     * it records are skipped and their results merged; a checkpoint
+     * from a different campaign identity is a hard error. A missing
+     * file starts fresh. Mutually exclusive with checkpointFile.
+     */
+    std::string resumeFile;
+    /** Trials per shard; 0 = TURNPIKE_SHARD_TRIALS, default 4. */
+    uint32_t shardTrials = 0;
+    /**
+     * Forked worker processes for the trial sweep; 0 defers to
+     * TURNPIKE_PROCS (default 1 = in-process threads only).
+     */
+    unsigned procs = 0;
 };
 
 /** One classified injection trial. */

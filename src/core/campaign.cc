@@ -1,0 +1,651 @@
+#include "core/campaign.hh"
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/json_read.hh"
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+
+namespace turnpike {
+
+namespace {
+
+/** Upper bound (exclusive) on an encoded FaultOutcome enumerator —
+ *  mirrors kNumFaultOutcomes without pulling core/avf.hh in here. */
+constexpr uint64_t kMaxOutcomeCode = 5;
+
+uint64_t
+fnv1a(const std::string &s, uint64_t h = 1469598103934665603ull)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+    return buf;
+}
+
+uint64_t
+parseHex16(const std::string &s)
+{
+    return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+/** Exact double round-trip via the bit pattern (the %.12g human
+ *  field in the header is informational only). */
+uint64_t
+doubleBits(double d)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+std::string
+segmentPath(const std::string &base, unsigned proc)
+{
+    return base + ".seg" + std::to_string(proc);
+}
+
+std::string
+headerJson(const CampaignIdentity &id)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, 0);
+        w.beginObject();
+        w.field("schema", kCheckpointSchemaVersion);
+        w.field("type", "header");
+        w.field("key", hex16(id.key()));
+        w.field("workload", id.workload);
+        w.field("scheme", id.scheme);
+        w.field("seed", id.seed);
+        w.field("trials", uint64_t(id.trials));
+        w.field("shard_trials", uint64_t(id.shardTrials));
+        w.field("icount", id.icount);
+        w.field("miss_rate", id.missRate);
+        w.field("miss_rate_bits", hex16(doubleBits(id.missRate)));
+        w.field("hang_factor", id.hangFactor);
+        w.field("golden_cycles", id.goldenCycles);
+        w.field("golden_data", hex16(id.goldenData));
+        w.field("golden_arch", hex16(id.goldenArch));
+        w.field("golden_insts", id.goldenInsts);
+        w.endObject();
+    }
+    return os.str();
+}
+
+std::string
+shardJson(const ShardRecord &rec, uint64_t key)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, 0);
+        w.beginObject();
+        w.field("schema", kCheckpointSchemaVersion);
+        w.field("type", "shard");
+        w.field("key", hex16(key));
+        w.field("shard", uint64_t(rec.shard));
+        w.field("lo", uint64_t(rec.lo));
+        w.field("hi", uint64_t(rec.hi));
+        w.key("outcomes");
+        w.beginArray();
+        for (uint8_t o : rec.outcomes)
+            w.value(uint64_t(o));
+        w.endArray();
+        w.key("cycles");
+        w.beginArray();
+        for (uint64_t c : rec.cycles)
+            w.value(c);
+        w.endArray();
+        w.key("recoveries");
+        w.beginArray();
+        for (uint64_t r : rec.recoveries)
+            w.value(r);
+        w.endArray();
+        w.key("detections");
+        w.beginArray();
+        for (uint64_t d : rec.detections)
+            w.value(d);
+        w.endArray();
+        w.field("ecc_corrected", rec.eccCorrected);
+        w.field("ecc_detected", rec.eccDetected);
+        w.field("false_alarms", rec.falseAlarms);
+        w.endObject();
+    }
+    return os.str();
+}
+
+const JsonValue *
+requireMember(const JsonValue &obj, const char *name,
+              const std::string &path, size_t frame)
+{
+    const JsonValue *v = obj.find(name);
+    if (!v)
+        fatal("checkpoint %s: frame %zu missing field '%s'",
+              path.c_str(), frame, name);
+    return v;
+}
+
+uint64_t
+requireU64(const JsonValue &obj, const char *name,
+           const std::string &path, size_t frame)
+{
+    const JsonValue *v = requireMember(obj, name, path, frame);
+    if (!v->isNumber())
+        fatal("checkpoint %s: frame %zu field '%s' is not a number",
+              path.c_str(), frame, name);
+    return v->u64();
+}
+
+std::string
+requireStr(const JsonValue &obj, const char *name,
+           const std::string &path, size_t frame)
+{
+    const JsonValue *v = requireMember(obj, name, path, frame);
+    if (!v->isString())
+        fatal("checkpoint %s: frame %zu field '%s' is not a string",
+              path.c_str(), frame, name);
+    return v->str;
+}
+
+std::vector<uint64_t>
+requireU64Array(const JsonValue &obj, const char *name, size_t count,
+                const std::string &path, size_t frame)
+{
+    const JsonValue *v = requireMember(obj, name, path, frame);
+    if (!v->isArray())
+        fatal("checkpoint %s: frame %zu field '%s' is not an array",
+              path.c_str(), frame, name);
+    if (v->items.size() != count)
+        fatal("checkpoint %s: frame %zu field '%s' has %zu entries, "
+              "want %zu", path.c_str(), frame, name, v->items.size(),
+              count);
+    std::vector<uint64_t> out;
+    out.reserve(count);
+    for (const JsonValue &item : v->items) {
+        if (!item.isNumber())
+            fatal("checkpoint %s: frame %zu field '%s' has a "
+                  "non-number entry", path.c_str(), frame, name);
+        out.push_back(item.u64());
+    }
+    return out;
+}
+
+void
+checkHeaderField(const char *name, uint64_t got, uint64_t want,
+                 const std::string &path)
+{
+    if (got != want)
+        fatal("checkpoint %s: header %s %" PRIu64 " does not match "
+              "this campaign's %s %" PRIu64 " — refusing to merge "
+              "results from a different campaign", path.c_str(),
+              name, got, name, want);
+}
+
+void
+validateHeader(const JsonValue &obj, const CampaignIdentity &want,
+               const std::string &path)
+{
+    std::string workload = requireStr(obj, "workload", path, 0);
+    if (workload != want.workload)
+        fatal("checkpoint %s: header workload '%s' != '%s'",
+              path.c_str(), workload.c_str(), want.workload.c_str());
+    std::string scheme = requireStr(obj, "scheme", path, 0);
+    if (scheme != want.scheme)
+        fatal("checkpoint %s: header scheme fingerprint\n  '%s'\n"
+              "does not match this campaign's\n  '%s'",
+              path.c_str(), scheme.c_str(), want.scheme.c_str());
+    checkHeaderField("seed", requireU64(obj, "seed", path, 0),
+                     want.seed, path);
+    checkHeaderField("trials", requireU64(obj, "trials", path, 0),
+                     want.trials, path);
+    checkHeaderField("shard_trials",
+                     requireU64(obj, "shard_trials", path, 0),
+                     want.shardTrials, path);
+    checkHeaderField("icount", requireU64(obj, "icount", path, 0),
+                     want.icount, path);
+    checkHeaderField("miss_rate_bits",
+                     parseHex16(requireStr(obj, "miss_rate_bits",
+                                           path, 0)),
+                     doubleBits(want.missRate), path);
+    checkHeaderField("hang_factor",
+                     requireU64(obj, "hang_factor", path, 0),
+                     want.hangFactor, path);
+    checkHeaderField("golden_cycles",
+                     requireU64(obj, "golden_cycles", path, 0),
+                     want.goldenCycles, path);
+    checkHeaderField("golden_data",
+                     parseHex16(requireStr(obj, "golden_data",
+                                           path, 0)),
+                     want.goldenData, path);
+    checkHeaderField("golden_arch",
+                     parseHex16(requireStr(obj, "golden_arch",
+                                           path, 0)),
+                     want.goldenArch, path);
+    checkHeaderField("golden_insts",
+                     requireU64(obj, "golden_insts", path, 0),
+                     want.goldenInsts, path);
+    checkHeaderField("key", parseHex16(requireStr(obj, "key",
+                                                  path, 0)),
+                     want.key(), path);
+}
+
+ShardRecord
+parseShard(const JsonValue &obj, const CampaignIdentity &want,
+           const std::string &path, size_t frame)
+{
+    ShardRecord rec;
+    rec.shard = uint32_t(requireU64(obj, "shard", path, frame));
+    rec.lo = uint32_t(requireU64(obj, "lo", path, frame));
+    rec.hi = uint32_t(requireU64(obj, "hi", path, frame));
+
+    // The decomposition is a pure function of (trials, shard_trials),
+    // so the recorded range must match it exactly.
+    uint64_t lo = uint64_t(rec.shard) * want.shardTrials;
+    uint64_t hi = std::min<uint64_t>(lo + want.shardTrials,
+                                     want.trials);
+    if (lo >= want.trials || rec.lo != lo || rec.hi != hi)
+        fatal("checkpoint %s: frame %zu shard %u covers [%u,%u) but "
+              "the campaign decomposition says [%" PRIu64 ",%" PRIu64
+              ")", path.c_str(), frame, rec.shard, rec.lo, rec.hi,
+              lo, hi);
+
+    size_t n = rec.hi - rec.lo;
+    std::vector<uint64_t> outcomes =
+        requireU64Array(obj, "outcomes", n, path, frame);
+    rec.outcomes.reserve(n);
+    for (uint64_t o : outcomes) {
+        if (o >= kMaxOutcomeCode)
+            fatal("checkpoint %s: frame %zu shard %u has outcome "
+                  "code %" PRIu64 " out of range", path.c_str(),
+                  frame, rec.shard, o);
+        rec.outcomes.push_back(uint8_t(o));
+    }
+    rec.cycles = requireU64Array(obj, "cycles", n, path, frame);
+    rec.recoveries = requireU64Array(obj, "recoveries", n, path,
+                                     frame);
+    rec.detections = requireU64Array(obj, "detections", n, path,
+                                     frame);
+    rec.eccCorrected = requireU64(obj, "ecc_corrected", path, frame);
+    rec.eccDetected = requireU64(obj, "ecc_detected", path, frame);
+    rec.falseAlarms = requireU64(obj, "false_alarms", path, frame);
+    return rec;
+}
+
+} // namespace
+
+uint64_t
+CampaignIdentity::key() const
+{
+    char num[512];
+    std::snprintf(num, sizeof(num),
+                  "|seed=%" PRIu64 "|trials=%u|shard=%u|icount=%"
+                  PRIu64 "|miss=%016" PRIx64 "|hang=%" PRIu64,
+                  seed, trials, shardTrials, icount,
+                  doubleBits(missRate), hangFactor);
+    uint64_t h = fnv1a(workload);
+    h = fnv1a("\x1f", h);
+    h = fnv1a(scheme, h);
+    h = fnv1a(num, h);
+    return h;
+}
+
+std::string
+schemeFingerprint(const ResilienceConfig &cfg)
+{
+    const DetectorConfig &d = cfg.detector;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        ";res=%d;livm=%d;prune=%d;licm=%d;sched=%d;sra=%d;war=%d;"
+        "hwc=%d;naive=%d;clq=%d:%u;det=%s:%d:%d:%d:fp%016" PRIx64
+        ":fn%016" PRIx64 ":fl%u:mb%u;sb=%u;wcdl=%u;pool=%u;rsb=%u",
+        int(cfg.resilience), int(cfg.livm), int(cfg.pruning),
+        int(cfg.licm), int(cfg.scheduling), int(cfg.storeAwareRa),
+        int(cfg.warFreeRelease), int(cfg.hwColoring),
+        int(cfg.naiveCkptRelease), int(cfg.clqDesign),
+        cfg.clqEntries, d.label.c_str(), int(d.reg), int(d.sb),
+        int(d.cache), doubleBits(d.falsePosRate),
+        doubleBits(d.falseNegRate), d.filterLatency, d.maxBurst,
+        cfg.sbSize, cfg.wcdl, cfg.colorPool, cfg.regionStoreBudget);
+    return cfg.label + buf;
+}
+
+std::vector<ShardRange>
+decomposeShards(uint32_t trials, uint32_t shard_trials)
+{
+    TP_ASSERT(shard_trials > 0, "shard size must be positive");
+    std::vector<ShardRange> shards;
+    shards.reserve((size_t(trials) + shard_trials - 1) /
+                   shard_trials);
+    for (uint32_t lo = 0, i = 0; lo < trials;
+         lo += shard_trials, i++)
+        shards.push_back(
+            {i, lo, std::min(lo + shard_trials, trials)});
+    return shards;
+}
+
+uint32_t
+campaignShardTrials(uint32_t requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("TURNPIKE_SHARD_TRIALS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            return uint32_t(std::min<long>(v, 1u << 20));
+        warn("ignoring invalid TURNPIKE_SHARD_TRIALS='%s'", env);
+    }
+    return 4;
+}
+
+unsigned
+campaignProcs(unsigned requested)
+{
+    long v = long(requested);
+    if (v == 0) {
+        if (const char *env = std::getenv("TURNPIKE_PROCS")) {
+            char *end = nullptr;
+            v = std::strtol(env, &end, 10);
+            if (!end || *end != '\0' || v < 1) {
+                warn("ignoring invalid TURNPIKE_PROCS='%s'", env);
+                v = 1;
+            }
+        } else {
+            v = 1;
+        }
+    }
+    return unsigned(std::min<long>(std::max<long>(v, 1), 64));
+}
+
+LoadedCheckpoint
+loadCheckpoint(const std::string &path, const CampaignIdentity &want)
+{
+    LoadedCheckpoint out;
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        out.status = CheckpointStatus::NoFile;
+        return out;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string data = buf.str();
+
+    out.status = CheckpointStatus::Ok;
+    size_t pos = 0;
+    size_t frame = 0;
+    bool sawHeader = false;
+    while (pos < data.size()) {
+        size_t nl = data.find('\n', pos);
+        if (nl == std::string::npos) {
+            // No terminator: a torn final write (kill -9 mid-frame).
+            // The valid prefix is intact; drop the tail, loudly.
+            warn("checkpoint %s: dropping torn partial record at "
+                 "byte %zu (interrupted write)", path.c_str(), pos);
+            out.status = CheckpointStatus::TruncatedTail;
+            break;
+        }
+        // A complete line that fails framing cannot be a torn write
+        // (the newline is the last byte of every frame) — it is
+        // corruption, and merging around it could silently drop or
+        // double-count shards.
+        size_t tab = data.find('\t', pos);
+        if (tab == std::string::npos || tab >= nl)
+            fatal("checkpoint %s: frame %zu at byte %zu has no "
+                  "length prefix — corrupt file", path.c_str(),
+                  frame, pos);
+        uint64_t len = 0;
+        bool numeric = tab > pos;
+        for (size_t i = pos; i < tab && numeric; i++) {
+            if (data[i] < '0' || data[i] > '9')
+                numeric = false;
+            else
+                len = len * 10 + uint64_t(data[i] - '0');
+        }
+        if (!numeric)
+            fatal("checkpoint %s: frame %zu has a non-numeric "
+                  "length prefix — corrupt file", path.c_str(),
+                  frame);
+        if (len != nl - (tab + 1))
+            fatal("checkpoint %s: frame %zu declares %" PRIu64
+                  " bytes but carries %zu — corrupt file",
+                  path.c_str(), frame, len, nl - (tab + 1));
+
+        const std::string json = data.substr(tab + 1, len);
+        JsonValue obj;
+        std::string err;
+        if (!parseJson(json, obj, &err) || !obj.isObject())
+            fatal("checkpoint %s: frame %zu is not valid JSON (%s)",
+                  path.c_str(), frame, err.c_str());
+        std::string schema = requireStr(obj, "schema", path, frame);
+        if (schema != kCheckpointSchemaVersion)
+            fatal("checkpoint %s: frame %zu schema '%s' != '%s'",
+                  path.c_str(), frame, schema.c_str(),
+                  kCheckpointSchemaVersion);
+        std::string type = requireStr(obj, "type", path, frame);
+        if (frame == 0) {
+            if (type != "header")
+                fatal("checkpoint %s: first frame must be the "
+                      "campaign header, got '%s'", path.c_str(),
+                      type.c_str());
+            validateHeader(obj, want, path);
+            sawHeader = true;
+        } else if (type == "shard") {
+            uint64_t key = parseHex16(requireStr(obj, "key", path,
+                                                 frame));
+            if (key != want.key())
+                fatal("checkpoint %s: frame %zu shard key %s does "
+                      "not match campaign key %s", path.c_str(),
+                      frame, hex16(key).c_str(),
+                      hex16(want.key()).c_str());
+            ShardRecord rec = parseShard(obj, want, path, frame);
+            if (!out.shards.emplace(rec.shard, std::move(rec))
+                     .second)
+                fatal("checkpoint %s: frame %zu duplicates shard %"
+                      PRIu64 " — corrupt file", path.c_str(), frame,
+                      requireU64(obj, "shard", path, frame));
+        } else {
+            fatal("checkpoint %s: frame %zu has unknown type '%s'",
+                  path.c_str(), frame, type.c_str());
+        }
+        frame++;
+        pos = nl + 1;
+        out.validBytes = pos;
+    }
+    (void)sawHeader;
+    return out;
+}
+
+void
+CheckpointWriter::openFresh(const std::string &path,
+                            const CampaignIdentity &id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TP_ASSERT(!f_, "checkpoint writer already open");
+    f_ = std::fopen(path.c_str(), "wb");
+    if (!f_)
+        fatal("cannot create checkpoint %s: %s", path.c_str(),
+              std::strerror(errno));
+    key_ = id.key();
+    writeHeader(id);
+}
+
+void
+CheckpointWriter::openResume(const std::string &path,
+                             const CampaignIdentity &id,
+                             const LoadedCheckpoint &loaded)
+{
+    if (loaded.status == CheckpointStatus::NoFile ||
+        loaded.validBytes == 0) {
+        openFresh(path, id);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    TP_ASSERT(!f_, "checkpoint writer already open");
+    f_ = std::fopen(path.c_str(), "r+b");
+    if (!f_)
+        fatal("cannot reopen checkpoint %s: %s", path.c_str(),
+              std::strerror(errno));
+    key_ = id.key();
+    // Cut the torn tail (if any) so appended frames start on a
+    // clean line boundary.
+    if (ftruncate(fileno(f_), off_t(loaded.validBytes)) != 0)
+        fatal("cannot truncate checkpoint %s to %" PRIu64
+              " bytes: %s", path.c_str(), loaded.validBytes,
+              std::strerror(errno));
+    if (std::fseek(f_, long(loaded.validBytes), SEEK_SET) != 0)
+        fatal("cannot seek checkpoint %s: %s", path.c_str(),
+              std::strerror(errno));
+}
+
+void
+CheckpointWriter::appendShard(const ShardRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TP_ASSERT(f_, "checkpoint writer not open");
+    writeFrame(shardJson(rec, key_));
+}
+
+void
+CheckpointWriter::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+}
+
+void
+CheckpointWriter::writeFrame(const std::string &json)
+{
+    // One buffered write of the whole frame, then a flush: a crash
+    // can tear the final line, never interleave or reorder frames.
+    std::string line = std::to_string(json.size());
+    line += '\t';
+    line += json;
+    line += '\n';
+    if (std::fwrite(line.data(), 1, line.size(), f_) != line.size()
+        || std::fflush(f_) != 0)
+        fatal("checkpoint write failed: %s", std::strerror(errno));
+}
+
+void
+CheckpointWriter::writeHeader(const CampaignIdentity &id)
+{
+    writeFrame(headerJson(id));
+}
+
+void
+runShardsForked(const std::vector<ShardRange> &pending,
+                unsigned procs, const CampaignIdentity &id,
+                const std::string &segment_base,
+                const ShardRunner &run_shard,
+                CheckpointWriter *writer,
+                std::map<uint32_t, ShardRecord> &have)
+{
+    unsigned np = unsigned(
+        std::min<size_t>(procs, pending.size()));
+    std::vector<pid_t> kids(np, -1);
+    // Anything buffered now would be flushed once per child too.
+    std::fflush(nullptr);
+    for (unsigned p = 0; p < np; p++) {
+        pid_t pid = fork();
+        if (pid < 0) {
+            warn("fork failed for campaign worker %u (%s); the "
+                 "remaining shards run in-process", p,
+                 std::strerror(errno));
+            break;
+        }
+        if (pid == 0) {
+            // Child: single-threaded at birth regardless of the
+            // parent's pool; silence the parent's telemetry/trace
+            // sinks and write results to a private segment.
+            markForkedChild();
+            {
+                CheckpointWriter seg;
+                seg.openFresh(segmentPath(segment_base, p), id);
+                for (size_t i = p; i < pending.size(); i += np)
+                    seg.appendShard(run_shard(pending[i]));
+                seg.close();
+            }
+            std::_Exit(0);
+        }
+        kids[p] = pid;
+    }
+
+    for (unsigned p = 0; p < np; p++) {
+        if (kids[p] < 0)
+            continue;
+        int status = 0;
+        if (waitpid(kids[p], &status, 0) < 0)
+            warn("waitpid for campaign worker %u failed: %s", p,
+                 std::strerror(errno));
+        else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            warn("campaign worker process %u died (%s %d); its "
+                 "unfinished shards will be re-run", p,
+                 WIFSIGNALED(status) ? "signal" : "status",
+                 WIFSIGNALED(status) ? WTERMSIG(status)
+                                     : WEXITSTATUS(status));
+    }
+
+    for (unsigned p = 0; p < np; p++) {
+        const std::string seg = segmentPath(segment_base, p);
+        // A crashed child leaves a valid prefix (or no file at
+        // all); corruption beyond a torn tail is still fatal.
+        LoadedCheckpoint loaded = loadCheckpoint(seg, id);
+        for (auto &kv : loaded.shards) {
+            if (have.count(kv.first))
+                continue;
+            if (writer && writer->isOpen())
+                writer->appendShard(kv.second);
+            have.emplace(kv.first, std::move(kv.second));
+        }
+        if (loaded.status != CheckpointStatus::NoFile)
+            std::remove(seg.c_str());
+    }
+
+    for (const ShardRange &sr : pending) {
+        if (have.count(sr.shard))
+            continue;
+        warn("shard %u missing after multi-process run; re-running "
+             "in-process", sr.shard);
+        ShardRecord rec = run_shard(sr);
+        if (writer && writer->isOpen())
+            writer->appendShard(rec);
+        have.emplace(sr.shard, std::move(rec));
+    }
+}
+
+std::string
+defaultSegmentBase(uint64_t key)
+{
+    const char *tmp = std::getenv("TMPDIR");
+    std::string base = tmp && *tmp ? tmp : "/tmp";
+    if (!base.empty() && base.back() == '/')
+        base.pop_back();
+    return base + "/turnpike-ck-" + std::to_string(getpid()) + "-" +
+        hex16(key);
+}
+
+} // namespace turnpike

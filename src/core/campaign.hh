@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Campaign job model and checkpoint/resume: the persistence layer of
+ * the campaign service. A Monte Carlo campaign of N trials is
+ * decomposed into shards — contiguous trial ranges keyed by (seed,
+ * trial-range) — each a self-describing unit of work whose results
+ * are pure functions of the campaign identity, so a shard can run on
+ * any worker thread, in any OS process, in any order, or in a
+ * different invocation entirely, and the merged report is
+ * byte-identical to a straight single-threaded run.
+ *
+ * Checkpoint format (`turnpike-checkpoint-v1`): a JSONL file whose
+ * every line is length-framed as
+ *
+ *     LEN \t JSON \n
+ *
+ * where LEN is the decimal byte length of the JSON text. The first
+ * record is a header carrying the campaign identity (and the golden
+ * run's hashes, so a resume on a diverging build fails loudly);
+ * every subsequent record is one completed shard with its per-trial
+ * outcome/cycle/recovery/detection arrays. Writers emit complete
+ * frames followed by fflush, so a kill -9 can lose at most a
+ * partial final line — which the framing detects and the loader
+ * drops (with a warning) as a truncated tail. A malformed frame
+ * that IS newline-terminated cannot come from a torn write and is
+ * rejected as corruption, never silently skipped.
+ *
+ * Multi-process mode: runShardsForked() forks N workers, each
+ * running an interleaved subset of the pending shards and writing
+ * its own checkpoint segment (`BASE.segP`); the parent reaps the
+ * children, merges the segments into the main checkpoint, and
+ * re-runs any shard a crashed child failed to deliver.
+ */
+
+#ifndef TURNPIKE_CORE_CAMPAIGN_HH_
+#define TURNPIKE_CORE_CAMPAIGN_HH_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+
+namespace turnpike {
+
+/** Schema tag on every checkpoint record. */
+constexpr const char *kCheckpointSchemaVersion =
+    "turnpike-checkpoint-v1";
+
+/**
+ * Everything that identifies a campaign's result set. Two runs with
+ * equal identities produce bit-identical shard records; resuming
+ * under a different identity is a hard error, not a silent merge of
+ * incompatible results.
+ */
+struct CampaignIdentity
+{
+    std::string workload;   ///< "SUITE/NAME"
+    /** schemeFingerprint() of the resilience config. */
+    std::string scheme;
+    uint64_t seed = 0;
+    uint32_t trials = 0;
+    uint32_t shardTrials = 0;
+    uint64_t icount = 0;
+    double missRate = 0.0;
+    uint64_t hangFactor = 0;
+    // Golden-run signature: equal configs must reproduce these, so a
+    // resume against a diverging build (or a flipped default) is
+    // caught before any counts are merged.
+    uint64_t goldenCycles = 0;
+    uint64_t goldenData = 0;
+    uint64_t goldenArch = 0;
+    uint64_t goldenInsts = 0;
+
+    /**
+     * FNV-1a digest of the configuration fields (the golden
+     * signature is excluded — it is validated field-by-field with a
+     * better error message). Stamped on every record so a shard can
+     * never be merged into the wrong campaign.
+     */
+    uint64_t key() const;
+};
+
+/**
+ * A deterministic fingerprint of every ResilienceConfig field that
+ * can change campaign results — the scheme component of the
+ * campaign identity. Label alone is not enough: the CLI mutates
+ * sbSize/wcdl/detector/... underneath an unchanged label.
+ */
+std::string schemeFingerprint(const ResilienceConfig &cfg);
+
+/** One shard of a campaign: trials [lo, hi). */
+struct ShardRange
+{
+    uint32_t shard = 0;
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+};
+
+/**
+ * Decompose @p trials into shards of @p shard_trials (the last may
+ * be short). shard i always covers [i*S, min((i+1)*S, trials)), so
+ * the decomposition is a pure function of (trials, S) and a resume
+ * can recognize completed shards by id alone.
+ */
+std::vector<ShardRange> decomposeShards(uint32_t trials,
+                                        uint32_t shard_trials);
+
+/**
+ * Effective shard size: @p requested when nonzero, else the
+ * TURNPIKE_SHARD_TRIALS environment variable, else 4. Always >= 1.
+ * The default is small so even CI-sized campaigns exercise the
+ * multi-shard paths.
+ */
+uint32_t campaignShardTrials(uint32_t requested);
+
+/**
+ * Effective process count for a campaign: @p requested when
+ * nonzero, else TURNPIKE_PROCS, else 1. Clamped to [1, 64]; a
+ * malformed environment value is warned about and ignored.
+ */
+unsigned campaignProcs(unsigned requested);
+
+/** One completed shard's results: per-trial arrays over [lo, hi). */
+struct ShardRecord
+{
+    uint32_t shard = 0;
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    /** FaultOutcome per trial, enumerator-encoded. */
+    std::vector<uint8_t> outcomes;
+    std::vector<uint64_t> cycles;
+    std::vector<uint64_t> recoveries;
+    std::vector<uint64_t> detections;
+    // Shard-level sums (addition commutes, so per-trial detail is
+    // not needed to merge them deterministically).
+    uint64_t eccCorrected = 0;
+    uint64_t eccDetected = 0;
+    uint64_t falseAlarms = 0;
+};
+
+enum class CheckpointStatus : uint8_t {
+    Ok,            ///< every frame valid
+    NoFile,        ///< path does not exist (fresh start)
+    TruncatedTail, ///< last frame torn (kill -9); valid prefix kept
+};
+
+struct LoadedCheckpoint
+{
+    CheckpointStatus status = CheckpointStatus::NoFile;
+    /** Completed shards by id, validated against the identity. */
+    std::map<uint32_t, ShardRecord> shards;
+    /** Byte length of the valid prefix (append resumes here). */
+    uint64_t validBytes = 0;
+};
+
+/**
+ * Load and validate a checkpoint against @p want. A missing file is
+ * CheckpointStatus::NoFile; a torn final frame is TruncatedTail
+ * (warned, valid prefix returned). Everything else that is wrong —
+ * a newline-terminated malformed frame, a bad or missing header, a
+ * key/identity/golden-signature mismatch, a duplicate shard id, a
+ * shard inconsistent with the decomposition — is fatal(): resuming
+ * must never silently drop or misattribute completed work.
+ */
+LoadedCheckpoint loadCheckpoint(const std::string &path,
+                                const CampaignIdentity &want);
+
+/**
+ * Append-only checkpoint writer. appendShard() is thread-safe (the
+ * campaign service calls it from whichever worker finished the
+ * shard) and flushes each complete frame, so the kernel owns every
+ * finished record even if the process is killed immediately after.
+ */
+class CheckpointWriter
+{
+  public:
+    CheckpointWriter() = default;
+    ~CheckpointWriter() { close(); }
+
+    CheckpointWriter(const CheckpointWriter &) = delete;
+    CheckpointWriter &operator=(const CheckpointWriter &) = delete;
+
+    /** Truncate/create @p path and write the header frame. */
+    void openFresh(const std::string &path, const CampaignIdentity &id);
+
+    /**
+     * Open @p path for appending after a loadCheckpoint() of the
+     * same file: truncates the torn tail (if any) back to
+     * @p loaded.validBytes first, or falls back to openFresh() when
+     * the file did not exist.
+     */
+    void openResume(const std::string &path,
+                    const CampaignIdentity &id,
+                    const LoadedCheckpoint &loaded);
+
+    /** Append one completed-shard frame and flush it. */
+    void appendShard(const ShardRecord &rec);
+
+    void close();
+    bool isOpen() const { return f_ != nullptr; }
+
+  private:
+    void writeFrame(const std::string &json);
+    void writeHeader(const CampaignIdentity &id);
+
+    std::mutex mu_;
+    std::FILE *f_ = nullptr;
+    uint64_t key_ = 0;
+};
+
+/** Runs one shard to completion; pure in the campaign identity. */
+using ShardRunner = std::function<ShardRecord(const ShardRange &)>;
+
+/**
+ * Execute @p pending across @p procs forked OS processes. Child p
+ * runs shards pending[i] with i % procs == p and writes them to its
+ * own segment file @p segment_base.segP; the parent reaps every
+ * child, merges the segment records into @p have (and @p writer,
+ * when open), deletes the segments, and re-runs locally — with a
+ * warning, never a silent drop — any shard a crashed child failed
+ * to deliver. Children never touch the parent's telemetry, chrome
+ * sink, stdio buffers (they _Exit) or main checkpoint file.
+ */
+void runShardsForked(const std::vector<ShardRange> &pending,
+                     unsigned procs, const CampaignIdentity &id,
+                     const std::string &segment_base,
+                     const ShardRunner &run_shard,
+                     CheckpointWriter *writer,
+                     std::map<uint32_t, ShardRecord> &have);
+
+/**
+ * Scratch segment base for multi-process campaigns with no
+ * checkpoint file configured: "$TMPDIR/turnpike-ck-<pid>-<key>".
+ */
+std::string defaultSegmentBase(uint64_t key);
+
+} // namespace turnpike
+
+#endif // TURNPIKE_CORE_CAMPAIGN_HH_

@@ -1,5 +1,7 @@
 #include "core/parallel.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
@@ -106,6 +108,139 @@ ThreadPool::workerLoop(unsigned index)
     }
 }
 
+CampaignService &
+CampaignService::instance()
+{
+    static std::mutex inst_mu;
+    static CampaignService *service = nullptr;
+    static pid_t service_pid = -1;
+
+    std::lock_guard<std::mutex> lock(inst_mu);
+    pid_t pid = getpid();
+    if (!service || service_pid != pid) {
+        // First use, or we are a fork of the process that built the
+        // old service: its worker threads do not exist here and its
+        // mutexes may be in any state, so leak the husk (never
+        // touch it again) and start a fresh pool under our own pid.
+        service = new CampaignService();
+        service_pid = pid;
+    }
+    return *service;
+}
+
+CampaignService::~CampaignService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+unsigned
+CampaignService::threads() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<unsigned>(workers_.size());
+}
+
+void
+CampaignService::ensureWorkers(unsigned jobs)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    while (workers_.size() < jobs) {
+        unsigned index = static_cast<unsigned>(workers_.size());
+        workers_.emplace_back([this, index] { workerLoop(index); });
+    }
+}
+
+void
+CampaignService::run(size_t count,
+                     const std::function<void(size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    size_t jobs = std::min<size_t>(campaignJobs(), count);
+    if (jobs <= 1) {
+        // Serial debug path: same results, caller's thread, worker
+        // index 0, chrome tid 0.
+        for (size_t i = 0; i < count; i++)
+            fn(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> runLock(runMu_);
+    ensureWorkers(static_cast<unsigned>(jobs));
+
+    // Push every index BEFORE publishing the batch: during a batch a
+    // failed pop can then only mean "drained", never "not yet
+    // produced", which is what lets workers retire on empty.
+    for (size_t i = 0; i < count; i++)
+        queue_.push(i);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        fn_ = &fn;
+        activeJobs_ = static_cast<unsigned>(jobs);
+        remaining_ = count;
+        generation_++;
+    }
+    workCv_.notify_all();
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        doneCv_.wait(lock, [this] {
+            return remaining_ == 0 && busy_ == 0;
+        });
+        // Retire the batch before releasing runMu_: a worker that
+        // never woke for this generation must find nothing to do.
+        fn_ = nullptr;
+        activeJobs_ = 0;
+    }
+}
+
+void
+CampaignService::workerLoop(unsigned index)
+{
+    t_workerIndex = index;
+    // Host-side spans from this thread (trial spans, phase timers
+    // inside a trial) land on the worker's own chrome track.
+    setThreadChromeTid(chromeWorkerTid(index));
+    uint64_t seen_gen = 0;
+    for (;;) {
+        const std::function<void(size_t)> *fn = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workCv_.wait(lock, [&] {
+                return stop_ ||
+                    (generation_ != seen_gen && fn_ &&
+                     index < activeJobs_);
+            });
+            if (stop_)
+                return;
+            seen_gen = generation_;
+            fn = fn_;
+            busy_++;
+        }
+        // Claim items until the queue is dry. All items were pushed
+        // before the batch was published, so a failed pop is
+        // definitive exhaustion for this batch.
+        uint64_t did = 0;
+        size_t i = 0;
+        while (queue_.pop(i)) {
+            (*fn)(i);
+            did++;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            busy_--;
+            remaining_ -= did;
+            if (remaining_ == 0 && busy_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
 std::vector<RunResult>
 runCampaign(const std::vector<RunRequest> &requests)
 {
@@ -130,18 +265,7 @@ runCampaign(const std::vector<RunRequest> &requests,
             observer.onFinish(w, i, results[i]);
     };
 
-    size_t jobs = std::min<size_t>(campaignJobs(), requests.size());
-    if (jobs <= 1) {
-        // Serial debug path: same results, one thread, no pool.
-        for (size_t i = 0; i < requests.size(); i++)
-            runOne(i);
-        return results;
-    }
-
-    ThreadPool pool(static_cast<unsigned>(jobs));
-    for (size_t i = 0; i < requests.size(); i++)
-        pool.submit([&runOne, i] { runOne(i); });
-    pool.wait();
+    CampaignService::instance().run(requests.size(), runOne);
     return results;
 }
 

@@ -1,18 +1,26 @@
 /**
  * @file
- * Parallel campaign engine: a small fixed-size thread pool plus a
- * runCampaign() API that executes many independent
- * runWorkload()/interpretWorkload() jobs concurrently. Every paper
- * figure is a grid of (workload, scheme) cells and every
- * fault-injection study is thousands of independent simulations;
- * each InOrderPipeline instance is self-contained state, so the
- * grid is embarrassingly parallel.
+ * Parallel campaign engine: a persistent campaign service whose
+ * worker threads drain a growable lock-free MPMC queue
+ * (util/mpmc_queue.hh), plus the runCampaign() API that executes
+ * many independent runWorkload()/interpretWorkload() jobs
+ * concurrently on top of it. Every paper figure is a grid of
+ * (workload, scheme) cells and every fault-injection study is
+ * thousands of independent simulations; each InOrderPipeline
+ * instance is self-contained state, so the grid is embarrassingly
+ * parallel.
  *
- * Results are keyed by submission index, never by completion order,
- * so tables and geomeans computed from a campaign are bit-identical
- * to a serial run. The worker count honors the TURNPIKE_JOBS
- * environment variable (default: hardware_concurrency(); 1 forces
- * the serial path for debugging).
+ * The service is long-lived: one set of worker threads serves every
+ * batch in the process (AVF shards, root-cause bisections, explorer
+ * grids) instead of each call spawning and joining its own pool,
+ * and work is claimed item-by-item from the queue, so a straggling
+ * item no longer serializes the tail the way a static index split
+ * did. Results are keyed by submission index, never by completion
+ * order or by which worker ran them, so tables and geomeans
+ * computed from a campaign are bit-identical to a serial run. The
+ * worker count honors the TURNPIKE_JOBS environment variable
+ * (default: hardware_concurrency(); 1 forces the serial path for
+ * debugging).
  */
 
 #ifndef TURNPIKE_CORE_PARALLEL_HH_
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "core/runner.hh"
+#include "util/mpmc_queue.hh"
 
 namespace turnpike {
 
@@ -99,6 +108,76 @@ std::vector<RunResult> runCampaign(
 std::vector<RunResult> runCampaign(
     const std::vector<RunRequest> &requests,
     const CampaignObserver &observer);
+
+/**
+ * The persistent campaign service: one process-wide set of worker
+ * threads that executes batches of independent index-addressed jobs.
+ * Work items are claimed from a growable lock-free MPMC queue
+ * (util/mpmc_queue.hh), so however unevenly item costs are
+ * distributed, no worker idles while items remain.
+ *
+ * Batches are serialized (one run() at a time); within a batch,
+ * fn(i) is called exactly once for every i in [0, count), from
+ * whichever worker claimed it. Workers keep their identity for the
+ * process lifetime — worker w always reports currentCampaignWorker()
+ * == w and traces onto chrome tid w+1 — and a batch using J jobs
+ * wakes exactly workers 0..J-1, so telemetry and trace track
+ * assignment depend only on TURNPIKE_JOBS, not on history.
+ *
+ * After fork() the singleton detects the pid change and replaces
+ * itself (worker threads do not survive a fork), so forked
+ * multi-process campaign children transparently get their own pool.
+ */
+class CampaignService
+{
+  public:
+    /** The process-wide service (per-pid; rebuilt after fork). */
+    static CampaignService &instance();
+
+    /**
+     * Run fn(0) .. fn(count-1) to completion across
+     * min(campaignJobs(), count) workers and return once every call
+     * has finished (the mutex handoff makes the workers' writes
+     * visible to the caller). With one job or one item, runs
+     * serially on the calling thread — no handoff, worker index 0,
+     * chrome tid 0 — which is also the deterministic debug path.
+     */
+    void run(size_t count, const std::function<void(size_t)> &fn);
+
+    /** Workers spawned so far (grow-only; tests). */
+    unsigned threads() const;
+
+  private:
+    CampaignService() = default;
+    ~CampaignService();
+
+    CampaignService(const CampaignService &) = delete;
+    CampaignService &operator=(const CampaignService &) = delete;
+
+    void ensureWorkers(unsigned jobs);
+    void workerLoop(unsigned index);
+
+    mutable std::mutex mu_;
+    std::condition_variable workCv_; ///< new batch / shutdown
+    std::condition_variable doneCv_; ///< batch fully retired
+    /** Bumped per batch so parked workers recognize new work. */
+    uint64_t generation_ = 0;
+    /** Current batch's job; valid while the batch is in flight. */
+    const std::function<void(size_t)> *fn_ = nullptr;
+    /** Workers participating in the current batch (index gate). */
+    unsigned activeJobs_ = 0;
+    /** Items of the current batch not yet executed. */
+    uint64_t remaining_ = 0;
+    /** Workers currently inside the current batch. */
+    unsigned busy_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+    /** Serializes run() callers (batches never interleave). */
+    std::mutex runMu_;
+    /** Index queue; pushed fully before a batch is published, so a
+     *  failed pop during a batch means the batch is drained. */
+    MpmcQueue<size_t> queue_{1024};
+};
 
 /**
  * A fixed-size pool of worker threads draining a FIFO job queue.

@@ -234,11 +234,8 @@ runRootCauseAnalysis(const AvfCampaignConfig &cfg)
                 harmful.size(),
                 {"commit", "truncated", "extended", "state_only"});
         }
-        ThreadPool pool(std::min<unsigned>(
-            campaignJobs(),
-            static_cast<unsigned>(harmful.size())));
-        for (size_t i = 0; i < harmful.size(); i++)
-            pool.submit([&, i, tel, chrome] {
+        CampaignService::instance().run(
+            harmful.size(), [&, tel, chrome](size_t i) {
                 unsigned w = currentCampaignWorker();
                 if (tel)
                     tel->itemStarted(w, i);
@@ -262,7 +259,6 @@ runRootCauseAnalysis(const AvfCampaignConfig &cfg)
                             std::to_string(points[i].probes));
                 }
             });
-        pool.wait();
         if (tel)
             tel->endCampaign();
     }

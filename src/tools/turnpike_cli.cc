@@ -103,6 +103,24 @@ usage()
         "  --hang-factor N        Hang budget multiple of the golden "
         "run\n"
         "                         (default 8)\n"
+        "  --checkpoint FILE      stream completed campaign shards "
+        "to FILE\n"
+        "                         (turnpike-checkpoint-v1 JSONL)\n"
+        "  --resume FILE          skip shards already recorded in "
+        "FILE and\n"
+        "                         keep appending to it (a checkpoint "
+        "from a\n"
+        "                         different campaign is a hard "
+        "error)\n"
+        "  --shard-trials N       trials per campaign shard "
+        "(default\n"
+        "                         TURNPIKE_SHARD_TRIALS, or 4)\n"
+        "  --procs N              fork N campaign worker processes\n"
+        "                         (default TURNPIKE_PROCS, or 1)\n"
+        "  --stats-no-host        omit the host profile/resource "
+        "section\n"
+        "                         from stats dumps (byte-stable "
+        "output)\n"
         "  --progress[=FILE]      live campaign progress: a TTY\n"
         "                         line on stderr, or heartbeat JSONL "
         "to FILE\n"
@@ -254,6 +272,11 @@ main(int argc, char **argv)
     uint32_t trials = 64;
     double miss_rate = 0.0;
     uint64_t hang_factor = 8;
+    std::string checkpoint_file;
+    std::string resume_file;
+    uint32_t shard_trials = 0;
+    uint32_t procs = 0;
+    bool stats_no_host = false;
     std::string trace_cats;
     std::string trace_file;
     std::string trace_format = "text";
@@ -323,6 +346,19 @@ main(int argc, char **argv)
         } else if (a == "--hang-factor") {
             // 0 would classify every trial as a hang; hard error.
             hang_factor = parseU64("--hang-factor", need(i), 1);
+        } else if (a == "--checkpoint") {
+            checkpoint_file = need(i);
+        } else if (a == "--resume") {
+            resume_file = need(i);
+        } else if (a == "--shard-trials") {
+            shard_trials = parseU32("--shard-trials", need(i), 1);
+        } else if (a == "--procs") {
+            procs = parseU32("--procs", need(i), 1);
+            if (procs > 64)
+                fatal("--procs %u exceeds the 64-process cap",
+                      procs);
+        } else if (a == "--stats-no-host") {
+            stats_no_host = true;
         } else if (a == "--trace") {
             trace_cats = need(i);
         } else if (a == "--trace-file") {
@@ -396,6 +432,12 @@ main(int argc, char **argv)
             static_cast<int>(explore) > 1)
         fatal("--avf, --replay, --root-cause and --explore are "
               "mutually exclusive");
+    if (!checkpoint_file.empty() && !resume_file.empty())
+        fatal("--checkpoint and --resume are mutually exclusive "
+              "(--resume already appends to its file)");
+    if ((!checkpoint_file.empty() || !resume_file.empty()) &&
+        !(avf || root_cause))
+        fatal("--checkpoint/--resume require --avf or --root-cause");
 
     // Shared tracer setup (all run modes). In chrome mode one
     // ChromeTraceWriter owns the whole timeline document: host
@@ -464,6 +506,10 @@ main(int argc, char **argv)
     acfg.seed = fault_seed;
     acfg.sensorMissRate = miss_rate;
     acfg.hangFactor = hang_factor;
+    acfg.checkpointFile = checkpoint_file;
+    acfg.resumeFile = resume_file;
+    acfg.shardTrials = shard_trials;
+    acfg.procs = procs;
 
     if (replay_trial >= 0) {
         if (static_cast<uint64_t>(replay_trial) >= trials)
@@ -569,15 +615,16 @@ main(int argc, char **argv)
             reg.setMeta("icount", std::to_string(icount));
             reg.setMeta("fault_seed", std::to_string(fault_seed));
             exportParetoStats(reg, scores);
-            reg.setHostResources(captureHostResources());
+            if (!stats_no_host)
+                reg.setHostResources(captureHostResources());
             std::ofstream sf(stats_file);
             if (!sf)
                 fatal("cannot open stats file %s",
                       stats_file.c_str());
             if (stats_format == "json")
-                reg.dumpJson(sf);
+                reg.dumpJson(sf, !stats_no_host);
             else
-                reg.dumpText(sf);
+                reg.dumpText(sf, !stats_no_host);
             std::printf("\nwrote %s stats to %s\n",
                         stats_format.c_str(), stats_file.c_str());
         }
@@ -623,15 +670,16 @@ main(int argc, char **argv)
             reg.setMeta("fault_seed", std::to_string(fault_seed));
             exportAvfStats(reg, rep.screen);
             exportRootCauseStats(reg, rep);
-            reg.setHostResources(captureHostResources());
+            if (!stats_no_host)
+                reg.setHostResources(captureHostResources());
             std::ofstream sf(stats_file);
             if (!sf)
                 fatal("cannot open stats file %s",
                       stats_file.c_str());
             if (stats_format == "json")
-                reg.dumpJson(sf);
+                reg.dumpJson(sf, !stats_no_host);
             else
-                reg.dumpText(sf);
+                reg.dumpText(sf, !stats_no_host);
             std::printf("\nwrote %s stats to %s\n",
                         stats_format.c_str(), stats_file.c_str());
         }
@@ -660,15 +708,16 @@ main(int argc, char **argv)
             reg.setMeta("icount", std::to_string(icount));
             reg.setMeta("fault_seed", std::to_string(fault_seed));
             exportAvfStats(reg, rep);
-            reg.setHostResources(captureHostResources());
+            if (!stats_no_host)
+                reg.setHostResources(captureHostResources());
             std::ofstream sf(stats_file);
             if (!sf)
                 fatal("cannot open stats file %s",
                       stats_file.c_str());
             if (stats_format == "json")
-                reg.dumpJson(sf);
+                reg.dumpJson(sf, !stats_no_host);
             else
-                reg.dumpText(sf);
+                reg.dumpText(sf, !stats_no_host);
             std::printf("\nwrote %s stats to %s\n",
                         stats_format.c_str(), stats_file.c_str());
         }
@@ -787,14 +836,15 @@ main(int argc, char **argv)
         reg.addScalar("code.recovery_bytes", prog.mf->recoveryBytes(),
                       "recovery block size", "byte");
         reg.setHostProfile(profile);
-        reg.setHostResources(captureHostResources());
+        if (!stats_no_host)
+            reg.setHostResources(captureHostResources());
         std::ofstream sf(stats_file);
         if (!sf)
             fatal("cannot open stats file %s", stats_file.c_str());
         if (stats_format == "json")
-            reg.dumpJson(sf);
+            reg.dumpJson(sf, !stats_no_host);
         else
-            reg.dumpText(sf);
+            reg.dumpText(sf, !stats_no_host);
         std::printf("\nwrote %s stats to %s\n", stats_format.c_str(),
                     stats_file.c_str());
     }

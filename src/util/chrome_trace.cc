@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "util/json.hh"
+#include "util/telemetry.hh"
 
 namespace turnpike {
 
@@ -32,6 +33,10 @@ setActiveChromeTrace(ChromeTraceWriter *w)
 ChromeTraceWriter *
 activeChromeTrace()
 {
+    // A forked campaign child inherits the parent's writer pointer
+    // (and its half-written output stream); it must never emit.
+    if (inForkedChild())
+        return nullptr;
     return g_chrome.load(std::memory_order_relaxed);
 }
 

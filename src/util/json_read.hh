@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Minimal JSON reader for the checkpoint loader (core/campaign.hh):
+ * a recursive-descent parser into a small tree value. The repo's
+ * json.hh is write-only (streaming writer); this is its read-side
+ * counterpart, scoped to what turnpike's own artifacts need —
+ * objects, arrays, strings with the standard escapes, numbers,
+ * booleans and null.
+ *
+ * Numbers keep their raw source text alongside the double
+ * conversion: checkpoint records carry uint64 counters (cycle
+ * counts, 64-bit hashes serialized as decimal would lose precision
+ * past 2^53 through a double), so integer consumers re-parse the
+ * token with strtoull via JsonValue::u64().
+ *
+ * Parse failures return false with a byte-offset error message —
+ * the checkpoint loader turns those into loud rejections, never
+ * silent drops.
+ */
+
+#ifndef TURNPIKE_UTIL_JSON_READ_HH_
+#define TURNPIKE_UTIL_JSON_READ_HH_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace turnpike {
+
+struct JsonValue
+{
+    enum class Kind : uint8_t { Null, Bool, Number, String, Array,
+                                Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    /** Raw number token (full-precision integer re-parse). */
+    std::string raw;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        for (const auto &kv : members)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+
+    /** The number as a uint64, full precision; 0 if not a number. */
+    uint64_t u64() const
+    {
+        if (kind != Kind::Number || raw.empty())
+            return 0;
+        return std::strtoull(raw.c_str(), nullptr, 10);
+    }
+};
+
+namespace jsondetail {
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    const char *begin;
+    std::string *err;
+
+    bool fail(const char *what)
+    {
+        if (err)
+            *err = std::string(what) + " at byte " +
+                std::to_string(p - begin);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            p++;
+    }
+
+    bool literal(const char *word, size_t n)
+    {
+        if (size_t(end - p) < n ||
+            std::string(p, n) != std::string(word, n))
+            return fail("bad literal");
+        p += n;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        p++;
+        out.clear();
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (p >= end)
+                return fail("dangling escape");
+            char e = *p++;
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (end - p < 4)
+                    return fail("short \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; i++) {
+                    char h = *p++;
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode; surrogate pairs are passed through
+                // as-is (turnpike's own writers never emit them).
+                if (code < 0x80) {
+                    out.push_back(char(code));
+                } else if (code < 0x800) {
+                    out.push_back(char(0xc0 | (code >> 6)));
+                    out.push_back(char(0x80 | (code & 0x3f)));
+                } else {
+                    out.push_back(char(0xe0 | (code >> 12)));
+                    out.push_back(char(0x80 | ((code >> 6) & 0x3f)));
+                    out.push_back(char(0x80 | (code & 0x3f)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        p++; // closing quote
+        return true;
+    }
+
+    bool parseValue(JsonValue &v, int depth)
+    {
+        if (depth > 64)
+            return fail("nesting too deep");
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{': {
+            v.kind = JsonValue::Kind::Object;
+            p++;
+            skipWs();
+            if (p < end && *p == '}') {
+                p++;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':'");
+                p++;
+                JsonValue member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                v.members.emplace_back(std::move(key),
+                                       std::move(member));
+                skipWs();
+                if (p < end && *p == ',') {
+                    p++;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    p++;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            v.kind = JsonValue::Kind::Array;
+            p++;
+            skipWs();
+            if (p < end && *p == ']') {
+                p++;
+                return true;
+            }
+            for (;;) {
+                JsonValue item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                v.items.push_back(std::move(item));
+                skipWs();
+                if (p < end && *p == ',') {
+                    p++;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    p++;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            v.kind = JsonValue::Kind::String;
+            return parseString(v.str);
+          case 't':
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            v.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default: {
+            const char *start = p;
+            if (p < end && (*p == '-' || *p == '+'))
+                p++;
+            while (p < end &&
+                   ((*p >= '0' && *p <= '9') || *p == '.' ||
+                    *p == 'e' || *p == 'E' || *p == '-' || *p == '+'))
+                p++;
+            if (p == start)
+                return fail("unexpected character");
+            v.kind = JsonValue::Kind::Number;
+            v.raw.assign(start, p - start);
+            char *numEnd = nullptr;
+            v.number = std::strtod(v.raw.c_str(), &numEnd);
+            if (!numEnd || *numEnd != '\0')
+                return fail("malformed number");
+            return true;
+          }
+        }
+    }
+};
+
+} // namespace jsondetail
+
+/**
+ * Parse @p text as one JSON document into @p out. Trailing
+ * non-whitespace is an error (a frame must be exactly one value).
+ * On failure returns false and, when @p err is non-null, stores a
+ * message with the byte offset of the problem.
+ */
+inline bool
+parseJson(const std::string &text, JsonValue &out,
+          std::string *err = nullptr)
+{
+    jsondetail::Parser parser{text.data(), text.data() + text.size(),
+                              text.data(), err};
+    out = JsonValue();
+    if (!parser.parseValue(out, 0))
+        return false;
+    parser.skipWs();
+    if (parser.p != parser.end)
+        return parser.fail("trailing garbage");
+    return true;
+}
+
+} // namespace turnpike
+
+#endif // TURNPIKE_UTIL_JSON_READ_HH_

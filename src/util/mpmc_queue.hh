@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Growable lock-free MPMC work queue: a chain of bounded CAS-based
+ * ring segments in the style of Vyukov's bounded MPMC queue, each
+ * cell carrying a sequence number that encodes whose turn it is.
+ * When a segment fills up, the producer that notices closes it (a
+ * high bit set on the enqueue ticket with a CAS, so no late push can
+ * ever land behind the consumers' backs) and links a new segment of
+ * twice the capacity; consumers drain segments strictly in link
+ * order, so a single-producer stream stays FIFO.
+ *
+ * This is the dispatch spine of the campaign service
+ * (core/parallel.hh): shard indices go in, worker threads pop them
+ * out, and a straggling worker never serializes the tail the way
+ * the old static index split could. Both operations are lock-free —
+ * a producer or consumer stalled mid-operation cannot block the
+ * others (growth allocates, but only the one producer that won the
+ * close races on it; the losers just follow the link).
+ *
+ * Semantics and caveats:
+ *  - pop() returning false means "empty at this instant as far as
+ *    this consumer can see". If a producer has claimed a ticket but
+ *    not yet published the value, a concurrent pop may report empty.
+ *    Callers that need a strict "all items seen" barrier (the
+ *    campaign service) count completions separately and only treat
+ *    pop-failure as exhaustion once every producer has finished
+ *    pushing.
+ *  - Retired segments are kept on the chain and freed in the
+ *    destructor, never while consumers may still hold a pointer —
+ *    the simplest safe reclamation, costing at most the sum of all
+ *    segment capacities (< 2x the final capacity) in memory.
+ */
+
+#ifndef TURNPIKE_UTIL_MPMC_QUEUE_HH_
+#define TURNPIKE_UTIL_MPMC_QUEUE_HH_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace turnpike {
+
+template <typename T>
+class MpmcQueue
+{
+  public:
+    /**
+     * @p initial_capacity is rounded up to a power of two (minimum
+     * 2). The queue grows by doubling segments up to
+     * kMaxSegmentCapacity per segment; total size is unbounded.
+     */
+    explicit MpmcQueue(size_t initial_capacity = 1024)
+    {
+        Segment *s = new Segment(roundUpPow2(initial_capacity));
+        first_ = s;
+        head_.store(s, std::memory_order_relaxed);
+        tail_.store(s, std::memory_order_relaxed);
+    }
+
+    ~MpmcQueue()
+    {
+        Segment *s = first_;
+        while (s) {
+            Segment *next = s->next.load(std::memory_order_relaxed);
+            delete s;
+            s = next;
+        }
+    }
+
+    MpmcQueue(const MpmcQueue &) = delete;
+    MpmcQueue &operator=(const MpmcQueue &) = delete;
+
+    /** Enqueue @p v; grows a new segment when the tail one is full. */
+    void push(const T &v)
+    {
+        Segment *s = tail_.load(std::memory_order_acquire);
+        for (;;) {
+            uint64_t e = s->enq.load(std::memory_order_relaxed);
+            if (!(e & kClosed)) {
+                Cell &c = s->cells[e & s->mask];
+                uint64_t seq = c.seq.load(std::memory_order_acquire);
+                int64_t dif = static_cast<int64_t>(seq) -
+                    static_cast<int64_t>(e);
+                if (dif == 0) {
+                    // Our turn: claim the ticket, publish the value.
+                    if (s->enq.compare_exchange_weak(
+                            e, e + 1, std::memory_order_relaxed)) {
+                        c.val = v;
+                        c.seq.store(e + 1,
+                                    std::memory_order_release);
+                        return;
+                    }
+                    continue; // lost the ticket race; retry
+                }
+                if (dif > 0)
+                    continue; // another producer advanced; reload
+                // Full at this ticket: close the segment so no late
+                // producer can slip a value into a slot the head may
+                // already have scrolled past, then grow.
+                if (!s->enq.compare_exchange_strong(
+                        e, e | kClosed, std::memory_order_relaxed))
+                    continue; // enq moved or closed meanwhile
+            }
+            s = advancePastClosed(s);
+        }
+    }
+
+    /**
+     * Dequeue into @p out. Returns false when no item is visible to
+     * this consumer right now (see the file comment for the exact
+     * guarantee under concurrent pushes).
+     */
+    bool pop(T &out)
+    {
+        Segment *s = head_.load(std::memory_order_acquire);
+        for (;;) {
+            uint64_t d = s->deq.load(std::memory_order_relaxed);
+            Cell &c = s->cells[d & s->mask];
+            uint64_t seq = c.seq.load(std::memory_order_acquire);
+            int64_t dif = static_cast<int64_t>(seq) -
+                static_cast<int64_t>(d + 1);
+            if (dif == 0) {
+                if (s->deq.compare_exchange_weak(
+                        d, d + 1, std::memory_order_relaxed)) {
+                    out = c.val;
+                    // Free the cell for the producer's next lap.
+                    c.seq.store(d + s->cap,
+                                std::memory_order_release);
+                    return true;
+                }
+                continue; // lost the ticket race; retry
+            }
+            if (dif > 0)
+                continue; // another consumer advanced; reload
+            // Nothing ready at our ticket. If the segment is closed
+            // and fully drained, move to the next one; otherwise the
+            // queue is (transiently) empty.
+            uint64_t e = s->enq.load(std::memory_order_acquire);
+            if ((e & kClosed) && (e & ~kClosed) == d) {
+                Segment *next =
+                    s->next.load(std::memory_order_acquire);
+                if (!next)
+                    return false; // closed, drained, nothing linked
+                head_.compare_exchange_strong(
+                    s, next, std::memory_order_acq_rel);
+                s = head_.load(std::memory_order_acquire);
+                continue;
+            }
+            return false;
+        }
+    }
+
+    /** Segments allocated so far (tests; includes retired ones). */
+    size_t segments() const
+    {
+        size_t n = 0;
+        for (const Segment *s = first_; s;
+             s = s->next.load(std::memory_order_acquire))
+            n++;
+        return n;
+    }
+
+    /** Sum of all segment capacities (tests). */
+    size_t capacity() const
+    {
+        size_t n = 0;
+        for (const Segment *s = first_; s;
+             s = s->next.load(std::memory_order_acquire))
+            n += s->cap;
+        return n;
+    }
+
+    /** Largest capacity a single segment will grow to. */
+    static constexpr size_t kMaxSegmentCapacity = 1ull << 20;
+
+  private:
+    /** Turn marker: producer expects seq == ticket, consumer
+     *  ticket + 1; a consumed cell is re-armed at ticket + cap. */
+    struct Cell
+    {
+        std::atomic<uint64_t> seq;
+        T val;
+    };
+
+    struct Segment
+    {
+        explicit Segment(size_t capacity)
+            : cap(capacity), mask(capacity - 1),
+              cells(new Cell[capacity])
+        {
+            for (size_t i = 0; i < capacity; i++)
+                cells[i].seq.store(i, std::memory_order_relaxed);
+        }
+
+        const size_t cap;
+        const size_t mask;
+        std::unique_ptr<Cell[]> cells;
+        /** Enqueue ticket; kClosed set once the segment is sealed. */
+        alignas(64) std::atomic<uint64_t> enq{0};
+        /** Dequeue ticket. */
+        alignas(64) std::atomic<uint64_t> deq{0};
+        std::atomic<Segment *> next{nullptr};
+    };
+
+    static constexpr uint64_t kClosed = 1ull << 63;
+
+    static size_t roundUpPow2(size_t v)
+    {
+        size_t p = 2;
+        while (p < v && p < kMaxSegmentCapacity)
+            p <<= 1;
+        return p;
+    }
+
+    /** The caller saw @p s closed: link/follow the next segment. */
+    Segment *advancePastClosed(Segment *s)
+    {
+        Segment *next = s->next.load(std::memory_order_acquire);
+        if (!next) {
+            size_t cap = s->cap < kMaxSegmentCapacity
+                ? s->cap * 2
+                : kMaxSegmentCapacity;
+            Segment *fresh = new Segment(cap);
+            Segment *expected = nullptr;
+            if (s->next.compare_exchange_strong(
+                    expected, fresh, std::memory_order_acq_rel))
+                next = fresh;
+            else {
+                delete fresh; // another producer linked first
+                next = expected;
+            }
+        }
+        // Best effort: drag the shared tail hint forward so later
+        // producers start at the open segment.
+        tail_.compare_exchange_strong(s, next,
+                                      std::memory_order_acq_rel);
+        return next;
+    }
+
+    Segment *first_; ///< reclamation anchor (destructor walk)
+    alignas(64) std::atomic<Segment *> head_;
+    alignas(64) std::atomic<Segment *> tail_;
+};
+
+} // namespace turnpike
+
+#endif // TURNPIKE_UTIL_MPMC_QUEUE_HH_

@@ -24,6 +24,29 @@ namespace {
  */
 std::atomic<CampaignTelemetry *> g_active{nullptr};
 
+/** See markForkedChild(): one-way kill switch for child processes. */
+std::atomic<bool> g_forkedChild{false};
+
+/**
+ * Worker slots to provision per campaign: enough for any plausible
+ * pool, and for TURNPIKE_JOBS when it asks for more (the campaign
+ * service spawns up to that many workers; util/ cannot see
+ * core/parallel's parser, so the clamp is repeated here).
+ */
+size_t
+workerSlotTarget()
+{
+    size_t slots = 64;
+    if (const char *env = std::getenv("TURNPIKE_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end && end != env && *end == '\0' && v > 0)
+            slots = std::max<size_t>(
+                slots, size_t(std::min<long>(v, 1024)));
+    }
+    return slots;
+}
+
 // Async-signal-safe handlers only set flags; the monitor thread
 // polls them. volatile sig_atomic_t is the only type the C standard
 // guarantees for this.
@@ -62,15 +85,31 @@ CampaignTelemetry::instance()
     return *inst;
 }
 
+void
+markForkedChild()
+{
+    g_forkedChild.store(true, std::memory_order_relaxed);
+}
+
+bool
+inForkedChild()
+{
+    return g_forkedChild.load(std::memory_order_relaxed);
+}
+
 CampaignTelemetry *
 activeTelemetry()
 {
+    if (inForkedChild())
+        return nullptr;
     return g_active.load(std::memory_order_relaxed);
 }
 
 CampaignTelemetry *
 telemetryForCampaign()
 {
+    if (inForkedChild())
+        return nullptr;
     if (CampaignTelemetry *t = activeTelemetry())
         return t;
     // One-shot environment probe so bench harnesses and library
@@ -163,11 +202,12 @@ CampaignTelemetry::beginCampaign(const std::string &name,
         classNames_ = class_names;
         if (classNames_.size() > size_t(kMaxProgressClasses))
             classNames_.resize(kMaxProgressClasses);
-        // Enough slots for any plausible worker count; slots are
-        // tiny and growing mid-campaign would race the monitor.
-        if (workers_.size() < 64)
-            while (workers_.size() < 64)
-                workers_.push_back(std::make_unique<WorkerProgress>());
+        // Enough slots for any plausible worker count (and for an
+        // oversized TURNPIKE_JOBS); slots are tiny and growing
+        // mid-campaign would race the monitor.
+        size_t slots = workerSlotTarget();
+        while (workers_.size() < slots)
+            workers_.push_back(std::make_unique<WorkerProgress>());
         for (auto &w : workers_) {
             w->started.store(0, std::memory_order_relaxed);
             w->completed.store(0, std::memory_order_relaxed);

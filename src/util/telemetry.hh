@@ -210,6 +210,18 @@ CampaignTelemetry *activeTelemetry();
  */
 CampaignTelemetry *telemetryForCampaign();
 
+/**
+ * Mark this process as a forked multi-process campaign child: from
+ * here on activeTelemetry()/telemetryForCampaign() return nullptr
+ * and the chrome trace sink deactivates, so a child can never
+ * interleave progress or trace records into file sinks it inherited
+ * from its parent. One-way; only runShardsForked() children call it.
+ */
+void markForkedChild();
+
+/** True in a process that called markForkedChild(). */
+bool inForkedChild();
+
 } // namespace turnpike
 
 #endif // TURNPIKE_UTIL_TELEMETRY_HH_

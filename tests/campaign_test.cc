@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Tests for the campaign job model and checkpoint/resume layer
+ * (core/campaign.hh):
+ *
+ *  - decomposition laws (coverage, disjointness, purity) as property
+ *    tests;
+ *  - schemeFingerprint / CampaignIdentity::key sensitivity to every
+ *    knob that changes results;
+ *  - checkpoint framing round-trips and writer/loader agreement;
+ *  - the kill -9 torture: a checkpoint truncated at EVERY byte
+ *    offset must load as a clean prefix (Ok or TruncatedTail) —
+ *    never crash, never invent shards — and resuming from sampled
+ *    truncations must reproduce the uninterrupted campaign
+ *    byte-for-byte;
+ *  - corruption (a malformed frame that IS newline-terminated, or
+ *    an identity mismatch) must be a loud exit(1), never a merge;
+ *  - report invariance across shard sizes and across forked
+ *    multi-process mode (TURNPIKE_PROCS semantics).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/avf.hh"
+#include "core/campaign.hh"
+#include "tests/property.hh"
+#include "util/rng.hh"
+
+namespace turnpike {
+namespace {
+
+TEST(ShardDecomposition, CoversExactlyOnceInOrder)
+{
+    proptest::Property<std::pair<uint32_t, uint32_t>> p;
+    p.name = "shards tile [0, trials) exactly, in order";
+    p.iterations = 300;
+    p.gen = [](Rng &rng) {
+        return std::make_pair(uint32_t(rng.below(5000)),
+                              1 + uint32_t(rng.below(600)));
+    };
+    p.holds = [](const std::pair<uint32_t, uint32_t> &c) {
+        uint32_t trials = c.first, s = c.second;
+        auto shards = decomposeShards(trials, s);
+        uint32_t next = 0;
+        for (size_t i = 0; i < shards.size(); i++) {
+            if (shards[i].shard != i)
+                return false;
+            if (shards[i].lo != next || shards[i].hi <= shards[i].lo)
+                return false;
+            if (shards[i].hi - shards[i].lo > s)
+                return false;
+            // Only the last shard may be short.
+            if (i + 1 < shards.size() &&
+                shards[i].hi - shards[i].lo != s)
+                return false;
+            next = shards[i].hi;
+        }
+        return next == trials;
+    };
+    p.show = [](const std::pair<uint32_t, uint32_t> &c) {
+        return "trials=" + std::to_string(c.first) +
+               " shard_trials=" + std::to_string(c.second);
+    };
+    checkProperty(p);
+}
+
+TEST(ShardDecomposition, EdgeCases)
+{
+    EXPECT_TRUE(decomposeShards(0, 4).empty());
+    auto one = decomposeShards(3, 100);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].lo, 0u);
+    EXPECT_EQ(one[0].hi, 3u);
+    auto exact = decomposeShards(8, 4);
+    ASSERT_EQ(exact.size(), 2u);
+    EXPECT_EQ(exact[1].lo, 4u);
+    EXPECT_EQ(exact[1].hi, 8u);
+}
+
+TEST(SchemeFingerprint, SeesThroughTheLabel)
+{
+    // The CLI mutates knobs underneath an unchanged label; the
+    // fingerprint must still distinguish the campaigns.
+    ResilienceConfig a = ResilienceConfig::turnpike(20);
+    ResilienceConfig b = a;
+    EXPECT_EQ(schemeFingerprint(a), schemeFingerprint(b));
+    b.wcdl = 21;
+    EXPECT_NE(schemeFingerprint(a), schemeFingerprint(b));
+    b = a;
+    b.sbSize = a.sbSize + 1;
+    EXPECT_NE(schemeFingerprint(a), schemeFingerprint(b));
+    b = a;
+    b.detector.falsePosRate += 0.125;
+    EXPECT_NE(schemeFingerprint(a), schemeFingerprint(b));
+    b = a;
+    b.detector.maxBurst += 1;
+    EXPECT_NE(schemeFingerprint(a), schemeFingerprint(b));
+}
+
+TEST(CampaignIdentityKey, SensitiveToEveryField)
+{
+    CampaignIdentity base;
+    base.workload = "SPLASH3/radix";
+    base.scheme = "s";
+    base.seed = 1;
+    base.trials = 16;
+    base.shardTrials = 4;
+    base.icount = 8000;
+    base.missRate = 0.25;
+    base.hangFactor = 8;
+
+    auto mutate = [&](auto fn) {
+        CampaignIdentity m = base;
+        fn(m);
+        return m.key();
+    };
+    uint64_t k = base.key();
+    EXPECT_NE(k, mutate([](CampaignIdentity &m) { m.seed = 2; }));
+    EXPECT_NE(k, mutate([](CampaignIdentity &m) { m.trials = 17; }));
+    EXPECT_NE(k,
+              mutate([](CampaignIdentity &m) { m.shardTrials = 5; }));
+    EXPECT_NE(k, mutate([](CampaignIdentity &m) { m.icount = 1; }));
+    EXPECT_NE(k,
+              mutate([](CampaignIdentity &m) { m.missRate = 0.5; }));
+    EXPECT_NE(k,
+              mutate([](CampaignIdentity &m) { m.hangFactor = 9; }));
+    EXPECT_NE(k,
+              mutate([](CampaignIdentity &m) { m.workload = "x"; }));
+    EXPECT_NE(k, mutate([](CampaignIdentity &m) { m.scheme = "t"; }));
+    // The golden signature is excluded (validated field-by-field).
+    EXPECT_EQ(k, mutate([](CampaignIdentity &m) {
+                  m.goldenCycles = 99;
+              }));
+}
+
+/** A scratch path in the build dir, removed on destruction. */
+struct ScratchFile
+{
+    explicit ScratchFile(const std::string &name) : path(name)
+    {
+        std::remove(path.c_str());
+    }
+    ~ScratchFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+CampaignIdentity
+testIdentity()
+{
+    CampaignIdentity id;
+    id.workload = "SPLASH3/radix";
+    id.scheme = "fingerprint-goes-here";
+    id.seed = 11;
+    id.trials = 10;
+    id.shardTrials = 4;
+    id.icount = 8000;
+    id.missRate = 0.25;
+    id.hangFactor = 8;
+    id.goldenCycles = 12345;
+    id.goldenData = 0xdeadbeefcafef00dull;
+    id.goldenArch = 0x0123456789abcdefull;
+    id.goldenInsts = 8000;
+    return id;
+}
+
+ShardRecord
+testShard(const ShardRange &r)
+{
+    ShardRecord rec;
+    rec.shard = r.shard;
+    rec.lo = r.lo;
+    rec.hi = r.hi;
+    for (uint32_t t = r.lo; t < r.hi; t++) {
+        rec.outcomes.push_back(uint8_t(t % 5));
+        rec.cycles.push_back(10000 + t);
+        rec.recoveries.push_back(t % 3);
+        rec.detections.push_back(t % 2);
+    }
+    rec.eccCorrected = r.shard * 7;
+    rec.eccDetected = r.shard * 3;
+    rec.falseAlarms = r.shard;
+    return rec;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Checkpoint, RoundTripsWriterToLoader)
+{
+    ScratchFile ck("campaign_test_roundtrip.ckpt");
+    CampaignIdentity id = testIdentity();
+    auto shards = decomposeShards(id.trials, id.shardTrials);
+
+    CheckpointWriter w;
+    w.openFresh(ck.path, id);
+    for (const ShardRange &r : shards)
+        w.appendShard(testShard(r));
+    w.close();
+
+    LoadedCheckpoint loaded = loadCheckpoint(ck.path, id);
+    EXPECT_EQ(loaded.status, CheckpointStatus::Ok);
+    ASSERT_EQ(loaded.shards.size(), shards.size());
+    EXPECT_EQ(loaded.validBytes, slurp(ck.path).size());
+    for (const ShardRange &r : shards) {
+        ASSERT_TRUE(loaded.shards.count(r.shard));
+        const ShardRecord &got = loaded.shards.at(r.shard);
+        ShardRecord want = testShard(r);
+        EXPECT_EQ(got.lo, want.lo);
+        EXPECT_EQ(got.hi, want.hi);
+        EXPECT_EQ(got.outcomes, want.outcomes);
+        EXPECT_EQ(got.cycles, want.cycles);
+        EXPECT_EQ(got.recoveries, want.recoveries);
+        EXPECT_EQ(got.detections, want.detections);
+        EXPECT_EQ(got.eccCorrected, want.eccCorrected);
+        EXPECT_EQ(got.eccDetected, want.eccDetected);
+        EXPECT_EQ(got.falseAlarms, want.falseAlarms);
+    }
+}
+
+TEST(Checkpoint, MissingFileIsNoFile)
+{
+    LoadedCheckpoint loaded =
+        loadCheckpoint("campaign_test_nonexistent.ckpt",
+                       testIdentity());
+    EXPECT_EQ(loaded.status, CheckpointStatus::NoFile);
+    EXPECT_TRUE(loaded.shards.empty());
+    EXPECT_EQ(loaded.validBytes, 0u);
+}
+
+/**
+ * The kill -9 torture: a writer emits whole frames + fflush, so the
+ * on-disk file a crash leaves behind is always a prefix of the full
+ * checkpoint. Truncate at EVERY byte offset: the loader must accept
+ * the intact frames and drop at most one torn tail — statuses other
+ * than Ok/TruncatedTail (i.e. fatal) would mean a crash can brick
+ * its own checkpoint.
+ */
+TEST(Checkpoint, TruncationAtEveryByteLoadsCleanPrefix)
+{
+    ScratchFile full("campaign_test_torture_full.ckpt");
+    ScratchFile cut("campaign_test_torture_cut.ckpt");
+    CampaignIdentity id = testIdentity();
+    auto shards = decomposeShards(id.trials, id.shardTrials);
+
+    CheckpointWriter w;
+    w.openFresh(full.path, id);
+    for (const ShardRange &r : shards)
+        w.appendShard(testShard(r));
+    w.close();
+    const std::string bytes = slurp(full.path);
+    ASSERT_GT(bytes.size(), 0u);
+
+    // Frame boundaries: offsets just past each '\n'.
+    std::vector<size_t> boundaries{0};
+    for (size_t i = 0; i < bytes.size(); i++)
+        if (bytes[i] == '\n')
+            boundaries.push_back(i + 1);
+
+    for (size_t cutAt = 0; cutAt <= bytes.size(); cutAt++) {
+        std::ofstream out(cut.path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), std::streamsize(cutAt));
+        out.close();
+
+        LoadedCheckpoint loaded = loadCheckpoint(cut.path, id);
+        bool onBoundary = std::find(boundaries.begin(),
+                                    boundaries.end(),
+                                    cutAt) != boundaries.end();
+        SCOPED_TRACE("cut at byte " + std::to_string(cutAt));
+        if (onBoundary)
+            EXPECT_EQ(loaded.status, CheckpointStatus::Ok);
+        else
+            EXPECT_EQ(loaded.status,
+                      CheckpointStatus::TruncatedTail);
+        // The valid prefix is exactly the whole frames before the
+        // cut; every recovered shard matches what was written.
+        size_t wantValid = 0;
+        for (size_t b : boundaries)
+            if (b <= cutAt)
+                wantValid = b;
+        EXPECT_EQ(loaded.validBytes, wantValid);
+        size_t wholeFrames = 0;
+        for (size_t i = 0; i < cutAt; i++)
+            if (bytes[i] == '\n')
+                wholeFrames++;
+        size_t wantShards = wholeFrames > 0 ? wholeFrames - 1 : 0;
+        ASSERT_EQ(loaded.shards.size(), wantShards);
+        for (const auto &kv : loaded.shards) {
+            const ShardRecord &got = kv.second;
+            ShardRecord want = testShard(shards[kv.first]);
+            EXPECT_EQ(got.outcomes, want.outcomes);
+            EXPECT_EQ(got.cycles, want.cycles);
+        }
+    }
+}
+
+TEST(Checkpoint, ResumeTruncatesTornTailBeforeAppending)
+{
+    ScratchFile ck("campaign_test_resume_tail.ckpt");
+    CampaignIdentity id = testIdentity();
+    auto shards = decomposeShards(id.trials, id.shardTrials);
+
+    CheckpointWriter w;
+    w.openFresh(ck.path, id);
+    w.appendShard(testShard(shards[0]));
+    w.close();
+    // Simulate a kill -9 mid-write of shard 1: append half a frame.
+    {
+        std::ofstream out(ck.path,
+                          std::ios::binary | std::ios::app);
+        out << "999\t{\"schema\":\"turnpike-checkp";
+    }
+
+    LoadedCheckpoint loaded = loadCheckpoint(ck.path, id);
+    EXPECT_EQ(loaded.status, CheckpointStatus::TruncatedTail);
+    ASSERT_EQ(loaded.shards.size(), 1u);
+
+    CheckpointWriter resume;
+    resume.openResume(ck.path, id, loaded);
+    resume.appendShard(testShard(shards[1]));
+    resume.close();
+
+    // The torn tail must be gone and both shards intact.
+    LoadedCheckpoint reloaded = loadCheckpoint(ck.path, id);
+    EXPECT_EQ(reloaded.status, CheckpointStatus::Ok);
+    EXPECT_EQ(reloaded.shards.size(), 2u);
+}
+
+using CheckpointDeath = ::testing::Test;
+
+TEST(CheckpointDeath, NewlineTerminatedCorruptionIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ScratchFile ck("campaign_test_corrupt.ckpt");
+    CampaignIdentity id = testIdentity();
+    auto shards = decomposeShards(id.trials, id.shardTrials);
+    CheckpointWriter w;
+    w.openFresh(ck.path, id);
+    w.appendShard(testShard(shards[0]));
+    w.close();
+    std::string bytes = slurp(ck.path);
+
+    // Flip one byte inside the shard frame's JSON payload (not the
+    // trailing newline): framed length no longer matches, or the
+    // JSON no longer parses — either way the loader must exit(1).
+    std::string corrupt = bytes;
+    corrupt[corrupt.size() / 2] = '#';
+    {
+        std::ofstream out(ck.path,
+                          std::ios::binary | std::ios::trunc);
+        out << corrupt;
+    }
+    EXPECT_EXIT(loadCheckpoint(ck.path, id),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(CheckpointDeath, IdentityMismatchIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ScratchFile ck("campaign_test_mismatch.ckpt");
+    CampaignIdentity id = testIdentity();
+    CheckpointWriter w;
+    w.openFresh(ck.path, id);
+    w.close();
+
+    CampaignIdentity otherSeed = id;
+    otherSeed.seed++;
+    EXPECT_EXIT(loadCheckpoint(ck.path, otherSeed),
+                ::testing::ExitedWithCode(1), "seed");
+
+    CampaignIdentity otherGolden = id;
+    otherGolden.goldenData++;
+    EXPECT_EXIT(loadCheckpoint(ck.path, otherGolden),
+                ::testing::ExitedWithCode(1), "golden");
+}
+
+// ---------------------------------------------------------------
+// End-to-end invariance through the real campaign engine.
+// ---------------------------------------------------------------
+
+AvfCampaignConfig
+smallCampaign()
+{
+    AvfCampaignConfig cfg;
+    cfg.spec = findWorkload("SPLASH3", "radix");
+    cfg.scheme = ResilienceConfig::turnpike(20);
+    cfg.icount = 8000;
+    cfg.trials = 10;
+    cfg.seed = 11;
+    cfg.sensorMissRate = 0.25;
+    return cfg;
+}
+
+/** The deterministic stats dump (host section excluded). */
+std::string
+reportDump(const AvfReport &rep)
+{
+    StatRegistry reg;
+    exportAvfStats(reg, rep);
+    std::ostringstream ss;
+    reg.dumpJson(ss, /*include_host=*/false);
+    return ss.str();
+}
+
+TEST(CampaignEngine, ReportInvariantAcrossShardSizes)
+{
+    AvfCampaignConfig cfg = smallCampaign();
+    cfg.shardTrials = 1;
+    std::string one = reportDump(runAvfCampaign(cfg));
+    cfg.shardTrials = 4;
+    std::string four = reportDump(runAvfCampaign(cfg));
+    cfg.shardTrials = 64; // one giant shard
+    std::string all = reportDump(runAvfCampaign(cfg));
+    EXPECT_EQ(one, four);
+    EXPECT_EQ(one, all);
+}
+
+TEST(CampaignEngine, ReportInvariantAcrossProcessCounts)
+{
+    AvfCampaignConfig cfg = smallCampaign();
+    cfg.shardTrials = 2;
+    cfg.procs = 1;
+    std::string inproc = reportDump(runAvfCampaign(cfg));
+    cfg.procs = 2;
+    std::string forked = reportDump(runAvfCampaign(cfg));
+    EXPECT_EQ(inproc, forked);
+}
+
+TEST(CampaignEngine, CheckpointThenResumeReproducesStraightRun)
+{
+    ScratchFile ck("campaign_test_resume_e2e.ckpt");
+    AvfCampaignConfig cfg = smallCampaign();
+    cfg.shardTrials = 2;
+
+    std::string straight = reportDump(runAvfCampaign(cfg));
+
+    // Full checkpointed run, then replay the kill -9 at sampled
+    // truncation points (a prefix of whole frames plus a torn tail)
+    // and resume: the report must be byte-identical every time.
+    cfg.checkpointFile = ck.path;
+    std::string checkpointed = reportDump(runAvfCampaign(cfg));
+    EXPECT_EQ(straight, checkpointed);
+    const std::string bytes = slurp(ck.path);
+    ASSERT_GT(bytes.size(), 0u);
+
+    for (size_t cutAt :
+         {size_t(0), bytes.size() / 4, bytes.size() / 2,
+          bytes.size() - 2, bytes.size()}) {
+        SCOPED_TRACE("cut at byte " + std::to_string(cutAt));
+        {
+            std::ofstream out(ck.path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(bytes.data(), std::streamsize(cutAt));
+        }
+        AvfCampaignConfig rcfg = smallCampaign();
+        rcfg.shardTrials = 2;
+        rcfg.resumeFile = ck.path;
+        EXPECT_EQ(straight, reportDump(runAvfCampaign(rcfg)));
+        // And the resumed checkpoint is whole again: a header frame
+        // plus one newline-terminated frame per shard, no torn tail.
+        const std::string resumed = slurp(ck.path);
+        ASSERT_FALSE(resumed.empty());
+        EXPECT_EQ(resumed.back(), '\n');
+        size_t frames = 0;
+        for (char c : resumed)
+            if (c == '\n')
+                frames++;
+        EXPECT_EQ(frames,
+                  1 + decomposeShards(rcfg.trials, 2).size());
+    }
+}
+
+} // namespace
+} // namespace turnpike

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the growable lock-free MPMC queue (util/mpmc_queue.hh):
+ * serial FIFO and wraparound behavior, segment growth, property
+ * tests against a deque model, and multi-producer/multi-consumer
+ * stress runs whose multiset of popped values must equal the pushed
+ * set. The stress tests are the payload of the CI TSan job — the
+ * sanitizer watches the CAS protocol while the assertions watch the
+ * values.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/property.hh"
+#include "util/mpmc_queue.hh"
+#include "util/rng.hh"
+
+namespace turnpike {
+namespace {
+
+TEST(MpmcQueue, StartsEmpty)
+{
+    MpmcQueue<int> q(4);
+    int v = -1;
+    EXPECT_FALSE(q.pop(v));
+    EXPECT_EQ(q.segments(), 1u);
+    EXPECT_EQ(q.capacity(), 4u);
+}
+
+TEST(MpmcQueue, SerialFifo)
+{
+    MpmcQueue<int> q(8);
+    for (int i = 0; i < 8; i++)
+        q.push(i);
+    int v = -1;
+    for (int i = 0; i < 8; i++) {
+        ASSERT_TRUE(q.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(q.pop(v));
+}
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo)
+{
+    MpmcQueue<int> q(5);
+    EXPECT_EQ(q.capacity(), 8u);
+    MpmcQueue<int> q1(1);
+    EXPECT_EQ(q1.capacity(), 2u);
+    MpmcQueue<int> q0(0);
+    EXPECT_EQ(q0.capacity(), 2u);
+}
+
+TEST(MpmcQueue, WraparoundReusesOneSegment)
+{
+    // Interleaved push/pop never fills the ring, so the queue must
+    // cycle the same cells forever instead of growing.
+    MpmcQueue<int> q(4);
+    int v = -1;
+    for (int i = 0; i < 1000; i++) {
+        q.push(i);
+        ASSERT_TRUE(q.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_EQ(q.segments(), 1u);
+}
+
+TEST(MpmcQueue, GrowsWhenFullAndStaysFifo)
+{
+    MpmcQueue<int> q(4);
+    const int n = 100; // 4 + 8 + 16 + 32 + 64 segments reach 100
+    for (int i = 0; i < n; i++)
+        q.push(i);
+    EXPECT_GT(q.segments(), 1u);
+    EXPECT_GE(q.capacity(), size_t(n));
+    int v = -1;
+    for (int i = 0; i < n; i++) {
+        ASSERT_TRUE(q.pop(v));
+        // Single producer: link-order draining keeps strict FIFO.
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(q.pop(v));
+}
+
+TEST(MpmcQueue, ReusableAfterGrowthAndDrain)
+{
+    MpmcQueue<int> q(2);
+    for (int round = 0; round < 5; round++) {
+        for (int i = 0; i < 50; i++)
+            q.push(round * 100 + i);
+        int v = -1;
+        for (int i = 0; i < 50; i++) {
+            ASSERT_TRUE(q.pop(v));
+            EXPECT_EQ(v, round * 100 + i);
+        }
+        EXPECT_FALSE(q.pop(v));
+    }
+}
+
+/**
+ * One random serial workload: a sequence of push/pop steps starting
+ * from a small initial capacity.
+ */
+struct QueueScript
+{
+    size_t initialCap = 2;
+    /** true = push (next int in sequence), false = pop. */
+    std::vector<bool> steps;
+};
+
+TEST(MpmcQueueProperty, MatchesDequeModelSerially)
+{
+    proptest::Property<QueueScript> p;
+    p.name = "queue matches a std::deque model on any serial script";
+    p.iterations = 300;
+    p.gen = [](Rng &rng) {
+        QueueScript s;
+        s.initialCap = 1 + size_t(rng.below(9));
+        uint32_t n = 1 + rng.below(200);
+        for (uint32_t i = 0; i < n; i++)
+            s.steps.push_back(rng.below(100) < 60);
+        return s;
+    };
+    p.holds = [](const QueueScript &s) {
+        MpmcQueue<int> q(s.initialCap);
+        std::deque<int> model;
+        int next = 0;
+        for (bool isPush : s.steps) {
+            if (isPush) {
+                q.push(next);
+                model.push_back(next);
+                next++;
+                continue;
+            }
+            int got = -1;
+            bool ok = q.pop(got);
+            if (model.empty()) {
+                if (ok)
+                    return false; // popped from an empty queue
+                continue;
+            }
+            // Serial, all pushes visible: pop must succeed and
+            // must be FIFO.
+            if (!ok || got != model.front())
+                return false;
+            model.pop_front();
+        }
+        // Drain and compare the tail.
+        int got = -1;
+        while (!model.empty()) {
+            if (!q.pop(got) || got != model.front())
+                return false;
+            model.pop_front();
+        }
+        return !q.pop(got);
+    };
+    p.shrink = [](const QueueScript &s) {
+        std::vector<QueueScript> out;
+        if (s.steps.size() > 1) {
+            QueueScript half = s;
+            half.steps.resize(s.steps.size() / 2);
+            out.push_back(half);
+            QueueScript drop = s;
+            drop.steps.pop_back();
+            out.push_back(drop);
+        }
+        return out;
+    };
+    p.show = [](const QueueScript &s) {
+        std::string r = "cap=" + std::to_string(s.initialCap) + " ";
+        for (bool b : s.steps)
+            r += b ? '+' : '-';
+        return r;
+    };
+    checkProperty(p);
+}
+
+TEST(MpmcQueueProperty, GrowthCoversAnyBurstSize)
+{
+    proptest::Property<uint32_t> p;
+    p.name = "a burst of N pushes always round-trips in order";
+    p.iterations = 60;
+    p.gen = [](Rng &rng) { return 1 + rng.below(3000); };
+    p.holds = [](const uint32_t &n) {
+        MpmcQueue<uint32_t> q(2);
+        for (uint32_t i = 0; i < n; i++)
+            q.push(i);
+        uint32_t v = 0;
+        for (uint32_t i = 0; i < n; i++)
+            if (!q.pop(v) || v != i)
+                return false;
+        return !q.pop(v);
+    };
+    p.shrink = [](const uint32_t &n) {
+        return n > 1 ? std::vector<uint32_t>{n / 2, n - 1}
+                     : std::vector<uint32_t>{};
+    };
+    p.show = [](const uint32_t &n) { return std::to_string(n); };
+    checkProperty(p);
+}
+
+/**
+ * Fan @p total items from @p producers threads into @p consumers
+ * threads and return every popped value. Consumers only treat
+ * pop-failure as exhaustion after all producers have finished — the
+ * same protocol the campaign service uses.
+ */
+std::vector<uint64_t>
+stressRun(unsigned producers, unsigned consumers, uint64_t total,
+          size_t initialCap)
+{
+    MpmcQueue<uint64_t> q(initialCap);
+    std::atomic<uint64_t> nextItem{0};
+    std::atomic<unsigned> liveProducers{producers};
+    std::atomic<uint64_t> popped{0};
+
+    std::vector<std::vector<uint64_t>> got(consumers);
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < consumers; c++) {
+        threads.emplace_back([&, c] {
+            uint64_t v = 0;
+            for (;;) {
+                if (q.pop(v)) {
+                    got[c].push_back(v);
+                    popped.fetch_add(1);
+                    continue;
+                }
+                if (liveProducers.load() == 0 &&
+                    popped.load() >= total && !q.pop(v))
+                    return;
+                std::this_thread::yield();
+            }
+        });
+    }
+    for (unsigned p = 0; p < producers; p++) {
+        threads.emplace_back([&] {
+            for (;;) {
+                uint64_t i = nextItem.fetch_add(1);
+                if (i >= total)
+                    break;
+                q.push(i);
+            }
+            liveProducers.fetch_sub(1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    std::vector<uint64_t> all;
+    for (auto &g : got)
+        all.insert(all.end(), g.begin(), g.end());
+    return all;
+}
+
+void
+expectExactlyOnce(std::vector<uint64_t> all, uint64_t total)
+{
+    ASSERT_EQ(all.size(), total);
+    std::sort(all.begin(), all.end());
+    for (uint64_t i = 0; i < total; i++)
+        ASSERT_EQ(all[i], i) << "item " << i << " lost or duplicated";
+}
+
+TEST(MpmcQueueStress, SingleProducerManyConsumers)
+{
+    expectExactlyOnce(stressRun(1, 4, 20000, 8), 20000);
+}
+
+TEST(MpmcQueueStress, ManyProducersSingleConsumer)
+{
+    expectExactlyOnce(stressRun(4, 1, 20000, 8), 20000);
+}
+
+TEST(MpmcQueueStress, ManyProducersManyConsumersWithGrowth)
+{
+    // A tiny initial segment forces growth races under full
+    // contention; every item must still arrive exactly once.
+    expectExactlyOnce(stressRun(4, 4, 50000, 2), 50000);
+}
+
+TEST(MpmcQueueStress, RepeatedRoundsReuseTheQueue)
+{
+    MpmcQueue<uint64_t> q(4);
+    for (int round = 0; round < 10; round++) {
+        const uint64_t total = 5000;
+        std::atomic<uint64_t> next{0};
+        std::atomic<uint64_t> sum{0};
+        std::atomic<uint64_t> popped{0};
+        std::atomic<unsigned> live{3};
+        std::vector<std::thread> threads;
+        for (int c = 0; c < 3; c++) {
+            threads.emplace_back([&] {
+                uint64_t v = 0;
+                for (;;) {
+                    if (q.pop(v)) {
+                        sum.fetch_add(v);
+                        popped.fetch_add(1);
+                        continue;
+                    }
+                    if (live.load() == 0 && popped.load() >= total &&
+                        !q.pop(v))
+                        return;
+                    std::this_thread::yield();
+                }
+            });
+        }
+        for (int p = 0; p < 3; p++) {
+            threads.emplace_back([&] {
+                for (;;) {
+                    uint64_t i = next.fetch_add(1);
+                    if (i >= total)
+                        break;
+                    q.push(i);
+                }
+                live.fetch_sub(1);
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+        EXPECT_EQ(sum.load(), total * (total - 1) / 2)
+            << "round " << round;
+        uint64_t leftover = 0;
+        EXPECT_FALSE(q.pop(leftover));
+    }
+}
+
+} // namespace
+} // namespace turnpike

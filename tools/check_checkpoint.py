@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Validate a turnpike-checkpoint-v1 campaign checkpoint (stdlib only).
+
+Usage: check_checkpoint.py FILE [--complete] [--allow-torn-tail]
+
+The checkpoint is length-framed JSONL: every record is one line of
+the form "LEN\\tJSON\\n" where LEN is the decimal byte length of the
+JSON payload. The first record is the campaign header; every later
+record is one completed shard. Checks, per the campaign contract
+(src/core/campaign.cc):
+
+  - every line is a well-formed frame: a decimal LEN, one tab, then
+    exactly LEN bytes of JSON carrying the v1 schema tag;
+  - the first record is the header with the identity fields (seed,
+    trials, shard_trials, golden hashes, key) typed correctly, and
+    the key is a 16-digit hex string echoed by every shard record;
+  - shard records are unique by shard index, their [lo, hi) ranges
+    match the header's decomposition exactly (lo = shard *
+    shard_trials, hi capped at trials), ranges never overlap, the
+    per-trial arrays all have exactly hi - lo entries, and outcome
+    codes stay within the enum (0..4);
+  - a final line with no terminating newline (a torn tail from a
+    kill -9) is an error unless --allow-torn-tail, matching the
+    loader, which drops it and truncates on resume;
+  - with --complete, the recorded shards must cover every trial.
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "turnpike-checkpoint-v1"
+NUM_OUTCOMES = 5  # kNumFaultOutcomes in src/core/avf.hh
+HEADER_REQUIRED = {
+    "schema": str, "type": str, "key": str, "workload": str,
+    "scheme": str, "seed": int, "trials": int, "shard_trials": int,
+    "icount": int, "miss_rate": (int, float), "miss_rate_bits": str,
+    "hang_factor": int, "golden_cycles": int, "golden_data": str,
+    "golden_arch": str, "golden_insts": int,
+}
+SHARD_REQUIRED = {
+    "schema": str, "type": str, "key": str, "shard": int, "lo": int,
+    "hi": int, "outcomes": list, "cycles": list, "recoveries": list,
+    "detections": list, "ecc_corrected": int, "ecc_detected": int,
+    "false_alarms": int,
+}
+
+
+def is_hex16(s):
+    return isinstance(s, str) and len(s) == 16 and \
+        all(c in "0123456789abcdef" for c in s)
+
+
+def check_fields(rec, required, where, problems):
+    for field, ty in required.items():
+        if not isinstance(rec.get(field), ty) or \
+           isinstance(rec.get(field), bool):
+            problems.append(f"{where}: missing/badly-typed "
+                            f"'{field}'")
+            return False
+    return True
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        usage="check_checkpoint.py FILE [--complete] "
+              "[--allow-torn-tail]")
+    ap.add_argument("file")
+    ap.add_argument("--complete", action="store_true",
+                    help="require every shard to be recorded")
+    ap.add_argument("--allow-torn-tail", action="store_true",
+                    help="tolerate a final line without a newline "
+                         "(a kill -9 mid-write)")
+    args = ap.parse_args(argv[1:])
+
+    try:
+        with open(args.file, "rb") as f:
+            data = f.read()
+    except OSError as e:
+        print(f"{args.file}: {e}", file=sys.stderr)
+        return 1
+
+    problems = []
+    records = []
+    pos = 0
+    recno = 0
+    while pos < len(data):
+        nl = data.find(b"\n", pos)
+        if nl < 0:
+            if not args.allow_torn_tail:
+                problems.append(f"byte {pos}: torn partial record "
+                                f"at end of file (resume would drop "
+                                f"it; pass --allow-torn-tail to "
+                                f"accept)")
+            break
+        line = data[pos:nl]
+        recno += 1
+        where = f"record {recno} (byte {pos})"
+        pos = nl + 1
+        tab = line.find(b"\t")
+        if tab < 0:
+            problems.append(f"{where}: no LEN\\tJSON separator")
+            continue
+        lenfield, payload = line[:tab], line[tab + 1:]
+        if not lenfield.isdigit():
+            problems.append(f"{where}: non-decimal length "
+                            f"{lenfield!r}")
+            continue
+        if int(lenfield) != len(payload):
+            problems.append(f"{where}: framed length {int(lenfield)}"
+                            f" != payload length {len(payload)}")
+            continue
+        try:
+            rec = json.loads(payload)
+        except ValueError as e:
+            problems.append(f"{where}: not JSON: {e}")
+            continue
+        if not isinstance(rec, dict):
+            problems.append(f"{where}: payload is not an object")
+            continue
+        if rec.get("schema") != SCHEMA:
+            problems.append(f"{where}: schema {rec.get('schema')!r}")
+            continue
+        records.append((where, rec))
+
+    if not records:
+        problems.append("no complete records")
+    header = None
+    shards = {}
+    for i, (where, rec) in enumerate(records):
+        if i == 0:
+            if rec.get("type") != "header":
+                problems.append(f"{where}: first record has type "
+                                f"{rec.get('type')!r}, expected "
+                                f"'header'")
+                break
+            if not check_fields(rec, HEADER_REQUIRED, where,
+                                problems):
+                break
+            for field in ("key", "miss_rate_bits", "golden_data",
+                          "golden_arch"):
+                if not is_hex16(rec[field]):
+                    problems.append(f"{where}: '{field}' is not a "
+                                    f"16-digit hex string: "
+                                    f"{rec[field]!r}")
+            if rec["trials"] <= 0 or rec["shard_trials"] <= 0:
+                problems.append(f"{where}: non-positive trials/"
+                                f"shard_trials")
+                break
+            header = rec
+            continue
+        if rec.get("type") != "shard":
+            problems.append(f"{where}: unexpected type "
+                            f"{rec.get('type')!r}")
+            continue
+        if not check_fields(rec, SHARD_REQUIRED, where, problems):
+            continue
+        if rec["key"] != header["key"]:
+            problems.append(f"{where}: key {rec['key']!r} != header "
+                            f"key {header['key']!r}")
+        s, lo, hi = rec["shard"], rec["lo"], rec["hi"]
+        st, trials = header["shard_trials"], header["trials"]
+        if s in shards:
+            problems.append(f"{where}: duplicate shard {s}")
+            continue
+        shards[s] = rec
+        want_lo = s * st
+        want_hi = min(want_lo + st, trials)
+        if lo != want_lo or hi != want_hi or lo >= trials:
+            problems.append(f"{where}: shard {s} range [{lo},{hi}) "
+                            f"does not match the decomposition "
+                            f"[{want_lo},{want_hi})")
+            continue
+        n = hi - lo
+        for field in ("outcomes", "cycles", "recoveries",
+                      "detections"):
+            if len(rec[field]) != n:
+                problems.append(f"{where}: '{field}' has "
+                                f"{len(rec[field])} entries, "
+                                f"expected {n}")
+        for o in rec["outcomes"]:
+            if not isinstance(o, int) or isinstance(o, bool) or \
+               not 0 <= o < NUM_OUTCOMES:
+                problems.append(f"{where}: outcome code {o!r} "
+                                f"outside 0..{NUM_OUTCOMES - 1}")
+                break
+
+    if header is not None:
+        # The per-shard range check already pins each shard to its
+        # decomposition slot, so coverage reduces to presence.
+        st, trials = header["shard_trials"], header["trials"]
+        num_shards = (trials + st - 1) // st
+        extra = sorted(s for s in shards if s >= num_shards)
+        if extra:
+            problems.append(f"shards {extra} beyond the "
+                            f"{num_shards}-shard decomposition")
+        if args.complete:
+            missing = sorted(set(range(num_shards)) - set(shards))
+            if missing:
+                problems.append(f"--complete: missing shards "
+                                f"{missing}")
+
+    for p in problems:
+        print(f"{args.file}: {p}", file=sys.stderr)
+    if not problems:
+        print(f"{args.file}: header + {len(shards)} shard records "
+              f"ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
